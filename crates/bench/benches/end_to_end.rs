@@ -1,0 +1,24 @@
+//! Criterion bench: full paper experiments end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm_workload::model::ModelZoo;
+use llm_workload::parallelism::Parallelism;
+use optimus::{RequestShape, SpeedupStudy};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let study = SpeedupStudy::paper_baseline();
+    let model = ModelZoo::gpt3_76b();
+    let par = Parallelism::new(8, 8, 1).expect("valid");
+    c.bench_function("e2e/fig6_training_point", |b| {
+        b.iter(|| study.training(black_box(&model), &par, 64))
+    });
+    let llama = ModelZoo::llama_70b();
+    let tp = Parallelism::pure_tp(64).expect("valid");
+    c.bench_function("e2e/fig8_inference_point", |b| {
+        b.iter(|| study.inference(black_box(&llama), &tp, RequestShape::paper_io(8)))
+    });
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: the discrete-event torus simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scd_noc::collective::simulate_ring_all_reduce;
+use scd_noc::sim::NocConfig;
+use scd_noc::topology::Torus;
+use scd_noc::traffic::{run_traffic, TrafficPattern};
+use std::hint::black_box;
+
+fn bench_noc(c: &mut Criterion) {
+    let torus = Torus::blade_8x8();
+    let cfg = NocConfig::blade_baseline();
+    c.bench_function("noc/ring_all_reduce_64mb", |b| {
+        b.iter(|| simulate_ring_all_reduce(black_box(&torus), cfg, 64.0e6))
+    });
+    c.bench_function("noc/uniform_traffic_256msgs", |b| {
+        b.iter(|| {
+            run_traffic(
+                black_box(&torus),
+                cfg,
+                TrafficPattern::UniformRandom,
+                4096.0,
+                4,
+                1000,
+                7,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: the roofline kernel-timing engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm_workload::kernel::{Kernel, KernelClass};
+use llm_workload::model::Precision;
+use optimus::Roofline;
+use scd_arch::Blade;
+use std::hint::black_box;
+
+fn bench_roofline(c: &mut Criterion) {
+    let accel = Blade::baseline().accelerator();
+    let roofline = Roofline::new(&accel);
+    let gemm = Kernel::gemm(
+        "qkv",
+        KernelClass::Gemm,
+        2048.0,
+        4096.0,
+        16384.0,
+        Precision::Bf16,
+        1.0,
+    );
+    let eltw = Kernel::elementwise("softmax", 1e7, 5.0, Precision::Bf16, 1.0);
+
+    c.bench_function("roofline/time_gemm", |b| {
+        b.iter(|| roofline.time_kernel(black_box(&gemm)))
+    });
+    c.bench_function("roofline/time_elementwise", |b| {
+        b.iter(|| roofline.time_kernel(black_box(&eltw)))
+    });
+}
+
+criterion_group!(benches, bench_roofline);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: task-graph generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm_workload::model::{ModelZoo, Precision};
+use llm_workload::parallelism::Parallelism;
+use llm_workload::taskgraph::{decode_step, training_step};
+use std::hint::black_box;
+
+fn bench_taskgraph(c: &mut Criterion) {
+    let model = ModelZoo::gpt3_76b();
+    let par = Parallelism::new(8, 8, 1).expect("valid");
+    c.bench_function("taskgraph/training_step_gpt3_76b", |b| {
+        b.iter(|| training_step(black_box(&model), &par, 64, 2048, Precision::Bf16))
+    });
+    let llama = ModelZoo::llama_405b();
+    let tp = Parallelism::pure_tp(64).expect("valid");
+    c.bench_function("taskgraph/decode_step_llama_405b", |b| {
+        b.iter(|| decode_step(black_box(&llama), &tp, 8, 400, Precision::Bf16))
+    });
+}
+
+criterion_group!(benches, bench_taskgraph);
+criterion_main!(benches);

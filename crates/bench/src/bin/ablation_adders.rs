@@ -1,0 +1,6 @@
+//! Ablation: ripple vs Kogge–Stone adder architectures.
+fn main() -> Result<(), scd_eda::EdaError> {
+    let rows = scd_bench::extensions::adder_ablation()?;
+    print!("{}", scd_bench::extensions::render_adder_ablation(&rows));
+    Ok(())
+}

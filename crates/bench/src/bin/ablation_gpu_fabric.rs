@@ -1,0 +1,6 @@
+//! Ablation: tiered vs flat GPU fabric in the Fig. 8 comparison.
+fn main() -> Result<(), optimus::OptimusError> {
+    let rows = scd_bench::extensions::fabric_ablation()?;
+    print!("{}", scd_bench::extensions::render_fabric_ablation(&rows));
+    Ok(())
+}

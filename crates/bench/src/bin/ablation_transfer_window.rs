@@ -1,0 +1,6 @@
+//! Ablation: cryo-DRAM request window vs the Fig. 7 saturation point.
+fn main() -> Result<(), optimus::OptimusError> {
+    let rows = scd_bench::extensions::window_ablation()?;
+    print!("{}", scd_bench::extensions::render_window_ablation(&rows));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Extension: device- and wall-plug-level energy projection.
+fn main() -> Result<(), optimus::OptimusError> {
+    let rows = scd_bench::extensions::energy_projection()?;
+    print!("{}", scd_bench::extensions::render_energy(&rows));
+    Ok(())
+}

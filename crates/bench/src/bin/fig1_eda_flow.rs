@@ -1,0 +1,6 @@
+//! Experiment F1h: the RTL→PCL flow over the design database.
+fn main() -> Result<(), scd_eda::EdaError> {
+    let rows = scd_bench::spec_tables::fig1_eda_flow()?;
+    print!("{}", scd_bench::spec_tables::render_eda_flow(&rows));
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Experiment F1f/g: the PCL cell library.
+fn main() {
+    print!("{}", scd_bench::spec_tables::fig1_pcl_library());
+}

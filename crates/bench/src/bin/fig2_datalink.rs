@@ -1,0 +1,4 @@
+//! Experiment F2b: the 4K↔77K datalink specification.
+fn main() {
+    print!("{}", scd_bench::spec_tables::fig2_datalink());
+}

@@ -1,0 +1,4 @@
+//! Experiment F3c: the blade specification table, derived bottom-up.
+fn main() {
+    print!("{}", scd_bench::spec_tables::fig3_blade_specs());
+}

@@ -1,0 +1,6 @@
+//! Experiment F5: training throughput vs DRAM bandwidth (+ inset).
+fn main() -> Result<(), optimus::OptimusError> {
+    let pts = scd_bench::training_experiments::fig5_sweep()?;
+    print!("{}", scd_bench::training_experiments::render_fig5(&pts));
+    Ok(())
+}

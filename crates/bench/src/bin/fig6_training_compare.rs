@@ -1,0 +1,6 @@
+//! Experiment F6: training time breakdown, GPU vs SPU (+ inset).
+fn main() -> Result<(), optimus::OptimusError> {
+    let rows = scd_bench::training_experiments::fig6_rows()?;
+    print!("{}", scd_bench::training_experiments::render_fig6(&rows));
+    Ok(())
+}

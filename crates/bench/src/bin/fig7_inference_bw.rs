@@ -1,0 +1,6 @@
+//! Experiment F7: inference latency vs DRAM bandwidth.
+fn main() -> Result<(), optimus::OptimusError> {
+    let pts = scd_bench::inference_experiments::fig7_sweep()?;
+    print!("{}", scd_bench::inference_experiments::render_fig7(&pts));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Experiment F7a: throughput vs DRAM latency.
+fn main() -> Result<(), optimus::OptimusError> {
+    let pts = scd_bench::inference_experiments::fig7a_sweep()?;
+    print!("{}", scd_bench::inference_experiments::render_fig7a(&pts));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Experiment F7b: latency vs throughput across batch sizes.
+fn main() -> Result<(), optimus::OptimusError> {
+    let pts = scd_bench::inference_experiments::fig7b_sweep()?;
+    print!("{}", scd_bench::inference_experiments::render_fig7b(&pts));
+    Ok(())
+}

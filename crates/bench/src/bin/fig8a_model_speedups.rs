@@ -1,0 +1,6 @@
+//! Experiment F8a: inference speed-up across models.
+fn main() -> Result<(), optimus::OptimusError> {
+    let rows = scd_bench::inference_experiments::fig8a_rows()?;
+    print!("{}", scd_bench::inference_experiments::render_fig8a(&rows));
+    Ok(())
+}

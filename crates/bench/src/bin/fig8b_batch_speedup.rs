@@ -1,0 +1,6 @@
+//! Experiment F8b: speed-up and KV-cache size vs batch.
+fn main() -> Result<(), optimus::OptimusError> {
+    let pts = scd_bench::inference_experiments::fig8b_sweep()?;
+    print!("{}", scd_bench::inference_experiments::render_fig8b(&pts));
+    Ok(())
+}

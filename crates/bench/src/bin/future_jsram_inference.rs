@@ -1,0 +1,6 @@
+//! §VII extension: weights resident in a huge JSRAM L2.
+fn main() -> Result<(), optimus::OptimusError> {
+    let rows = scd_bench::extensions::jsram_inference_study()?;
+    print!("{}", scd_bench::extensions::render_jsram_study(&rows));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! §VII extension: multi-blade weak scaling.
+fn main() -> Result<(), optimus::OptimusError> {
+    let pts = scd_bench::extensions::multi_blade_scaling()?;
+    print!("{}", scd_bench::extensions::render_multi_blade(&pts));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Experiment V1: analytical comm model vs discrete-event simulation.
+fn main() -> Result<(), scd_noc::NocError> {
+    let pts = scd_bench::validation::noc_validation()?;
+    print!("{}", scd_bench::validation::render_validation(&pts));
+    Ok(())
+}

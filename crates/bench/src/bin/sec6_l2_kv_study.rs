@@ -1,0 +1,6 @@
+//! Experiment S6L2: the KV-cache-in-L2 study.
+fn main() -> Result<(), optimus::OptimusError> {
+    let rows = scd_bench::l2_study::l2_kv_study()?;
+    print!("{}", scd_bench::l2_study::render_l2_study(&rows));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Extension: serving capacity under per-token QoS budgets.
+fn main() -> Result<(), optimus::OptimusError> {
+    let rows = scd_bench::extensions::serving_capacity()?;
+    print!("{}", scd_bench::extensions::render_serving(&rows));
+    Ok(())
+}

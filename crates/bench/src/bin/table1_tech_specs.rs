@@ -1,0 +1,4 @@
+//! Experiment T1: regenerate Table I.
+fn main() {
+    print!("{}", scd_bench::spec_tables::table1());
+}

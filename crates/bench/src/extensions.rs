@@ -1,0 +1,531 @@
+//! Extension experiments beyond the paper's evaluation: its §VII future
+//! work (multi-blade scaling, huge-JSRAM inference), an energy projection
+//! for the §I motivation, and ablations of the design choices DESIGN.md
+//! calls out.
+
+use llm_workload::model::{ModelZoo, Precision};
+use llm_workload::parallelism::Parallelism;
+use llm_workload::taskgraph::{decode_step, training_step, weights_per_unit_bytes};
+use optimus::{
+    estimate_energy, weak_scaling_sweep, EnergyModel, InferenceEstimator, OptimusError,
+    Placement, RequestShape, ScalingPoint, SpeedupStudy,
+};
+use scd_arch::blade::{Blade, SnuConfig};
+use scd_arch::gpu::GpuSystem;
+use scd_arch::spu::SpuConfig;
+use scd_eda::blocks;
+use scd_eda::flow::StarlingFlow;
+use scd_mem::datalink::Datalink;
+use scd_mem::dram::CryoDramBlock;
+use scd_mem::level::LevelKind;
+use scd_tech::units::{Bandwidth, TimeInterval};
+use scd_tech::Technology;
+use serde::{Deserialize, Serialize};
+
+/// Runs the §VII multi-blade weak-scaling study.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn multi_blade_scaling() -> Result<Vec<ScalingPoint>, OptimusError> {
+    weak_scaling_sweep(&ModelZoo::gpt3_175b(), 64, &[1, 2, 4, 8])
+}
+
+/// Renders the scaling study.
+#[must_use]
+pub fn render_multi_blade(points: &[ScalingPoint]) -> String {
+    let mut out = String::from(
+        "§VII outlook: multi-blade weak scaling (GPT3-175B, B=64 per blade)\n\n\
+         blades  SPUs   step(s)  system PFLOP/s  efficiency\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<8}{:<7}{:>7.3}{:>15.1}{:>11.3}\n",
+            p.blades, p.spus, p.step_time_s, p.system_pflops, p.efficiency
+        ));
+    }
+    out
+}
+
+/// One row of the huge-JSRAM inference study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsramStudyRow {
+    /// Model name.
+    pub model: String,
+    /// Per-unit weight footprint (GB).
+    pub weights_gb: f64,
+    /// Whether the whole model (all TP shards) fits the 32 GB L2.
+    pub fits_l2: bool,
+    /// Decode latency with weights in cryo-DRAM (s).
+    pub dram_s: f64,
+    /// Decode latency with weights resident in the enlarged JSRAM L2 (s).
+    pub jsram_s: f64,
+    /// Speed-up.
+    pub speedup: f64,
+}
+
+/// Runs the §VII "huge JSRAM capacity" study: a hypothetical blade whose
+/// SNU stacks provide 32 GB of shared JSRAM lets small-model weights live
+/// entirely on-chip, removing the DRAM stream from decode.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn jsram_inference_study() -> Result<Vec<JsramStudyRow>, OptimusError> {
+    let big_l2 = SnuConfig {
+        l2_stacks: 160,
+        l2_capacity_bytes: 32 << 30,
+        l2_bandwidth_per_spu: Bandwidth::from_tbps(24.0),
+        l2_latency: TimeInterval::from_ns(10.0),
+    };
+    let blade = Blade::new(
+        Technology::scd_nbtin(),
+        SpuConfig::default(),
+        64,
+        big_l2,
+        CryoDramBlock::blade_baseline(),
+        Datalink::paper_peak(),
+    )?;
+    let shape = RequestShape::paper_io(8);
+    let mut rows = Vec::new();
+    for model in [ModelZoo::llama2_7b(), ModelZoo::llama2_13b(), ModelZoo::llama_70b()] {
+        let par = Parallelism::pure_tp(8)?;
+        let accel = blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
+        let dram = InferenceEstimator::new(accel.clone(), blade.interconnect())
+            .estimate(&model, &par, shape)?;
+        let weights_resident = Placement {
+            weights: LevelKind::L2,
+            kv: Some(LevelKind::L2),
+        };
+        let jsram = InferenceEstimator::new(accel, blade.interconnect())
+            .with_placement(weights_resident)
+            .estimate(&model, &par, shape)?;
+        let per_unit = weights_per_unit_bytes(&model, &par, Precision::Bf16);
+        rows.push(JsramStudyRow {
+            model: model.name.clone(),
+            weights_gb: per_unit / 1e9,
+            fits_l2: per_unit * f64::from(par.units()) <= (32u64 << 30) as f64,
+            dram_s: dram.latency_s(),
+            jsram_s: jsram.latency_s(),
+            speedup: dram.latency_s() / jsram.latency_s(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the JSRAM study.
+#[must_use]
+pub fn render_jsram_study(rows: &[JsramStudyRow]) -> String {
+    let mut out = String::from(
+        "§VII outlook: weights resident in a 32 GB JSRAM L2 (B=8, I/O 200/200, TP=8)\n\n\
+         model        weights/unit(GB)  fits?  DRAM(s)  JSRAM(s)  speed-up\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13}{:>16.2}{:>7}{:>9.3}{:>10.3}{:>9.2}x\n",
+            r.model,
+            r.weights_gb,
+            if r.fits_l2 { "yes" } else { "no" },
+            r.dram_s,
+            r.jsram_s,
+            r.speedup
+        ));
+    }
+    out
+}
+
+/// One row of the energy projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRow {
+    /// Workload label.
+    pub workload: String,
+    /// SCD device-level energy (J).
+    pub scd_device_j: f64,
+    /// SCD wall-plug energy including 4 K cooling (J).
+    pub scd_wall_j: f64,
+    /// GPU energy (J; room temperature, device ≈ wall).
+    pub gpu_j: f64,
+    /// Device-level advantage.
+    pub device_ratio: f64,
+    /// Wall-plug advantage.
+    pub wall_ratio: f64,
+}
+
+/// Projects per-step training energy and per-request inference energy
+/// for both systems (per processing unit).
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn energy_projection() -> Result<Vec<EnergyRow>, OptimusError> {
+    let spu = Blade::baseline()
+        .accelerator()
+        .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
+    let gpu = GpuSystem::h100_cluster(64).accelerator().clone();
+    let mut rows = Vec::new();
+
+    let train_graph = training_step(
+        &ModelZoo::gpt3_76b(),
+        &Parallelism::training_baseline(),
+        64,
+        2048,
+        Precision::Bf16,
+    )?;
+    let decode_graph = decode_step(
+        &ModelZoo::llama_405b(),
+        &Parallelism::pure_tp(64)?,
+        8,
+        400,
+        Precision::Bf16,
+    )?;
+    for (label, graph) in [
+        ("GPT3-76B train step".to_owned(), &train_graph),
+        ("Llama-405B decode token".to_owned(), &decode_graph),
+    ] {
+        let e_scd = estimate_energy(&spu, graph, &EnergyModel::scd(), Placement::dram())?;
+        let e_gpu = estimate_energy(&gpu, graph, &EnergyModel::h100(), Placement::dram())?;
+        rows.push(EnergyRow {
+            workload: label,
+            scd_device_j: e_scd.total_j,
+            scd_wall_j: e_scd.wall_plug_j,
+            gpu_j: e_gpu.total_j,
+            device_ratio: e_gpu.total_j / e_scd.total_j,
+            wall_ratio: e_gpu.total_j / e_scd.wall_plug_j,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the energy projection.
+#[must_use]
+pub fn render_energy(rows: &[EnergyRow]) -> String {
+    let mut out = String::from(
+        "Energy projection per processing unit (device level + 4 K cooling)\n\n\
+         workload                  SCD dev(J)  SCD wall(J)    GPU(J)  dev adv  wall adv\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26}{:>10.4}{:>13.4}{:>10.3}{:>8.0}x{:>9.2}x\n",
+            r.workload, r.scd_device_j, r.scd_wall_j, r.gpu_j, r.device_ratio, r.wall_ratio
+        ));
+    }
+    out
+}
+
+/// One row of the serving-capacity study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingRow {
+    /// Per-token latency budget (ms).
+    pub budget_ms: f64,
+    /// Largest batch the SCD blade sustains within budget (0 = none).
+    pub scd_batch: u32,
+    /// SCD serving throughput at that batch (tokens/s).
+    pub scd_tokens_per_s: f64,
+    /// Largest batch 64 H100s sustain within budget.
+    pub gpu_batch: u32,
+    /// GPU serving throughput at that batch (tokens/s).
+    pub gpu_tokens_per_s: f64,
+}
+
+/// Extension of Fig. 7b: for per-token QoS budgets, how many queries can
+/// each system batch, and what serving throughput results (Llama-405B,
+/// I/O 200/200, TP=64).
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn serving_capacity() -> Result<Vec<ServingRow>, OptimusError> {
+    use optimus::plan_serving;
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let study = SpeedupStudy::paper_baseline();
+    let scd = study.scd_inference();
+    let gpu = study.gpu_inference();
+    let mut rows = Vec::new();
+    for budget_ms in [2.0, 5.0, 10.0, 25.0] {
+        let b = budget_ms / 1e3;
+        let s = plan_serving(&scd, &model, &par, (200, 200), 128, b)?;
+        let g = plan_serving(&gpu, &model, &par, (200, 200), 128, b)?;
+        rows.push(ServingRow {
+            budget_ms,
+            scd_batch: s.chosen.map_or(0, |p| p.batch),
+            scd_tokens_per_s: s.chosen.map_or(0.0, |p| p.tokens_per_s),
+            gpu_batch: g.chosen.map_or(0, |p| p.batch),
+            gpu_tokens_per_s: g.chosen.map_or(0.0, |p| p.tokens_per_s),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the serving-capacity study.
+#[must_use]
+pub fn render_serving(rows: &[ServingRow]) -> String {
+    let mut out = String::from(
+        "Serving capacity under per-token QoS budgets (Llama-405B, TP=64)\n\n\
+         budget(ms)  SCD batch  SCD tok/s  GPU batch  GPU tok/s\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}{:<11}{:>9.0}{:>11}{:>11.0}\n",
+            r.budget_ms, r.scd_batch, r.scd_tokens_per_s, r.gpu_batch, r.gpu_tokens_per_s
+        ));
+    }
+    out
+}
+
+/// One row of the adder ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdderAblationRow {
+    /// Bus width.
+    pub width: usize,
+    /// Ripple total JJ / phases.
+    pub ripple: (u64, u32),
+    /// Kogge–Stone total JJ / phases.
+    pub kogge_stone: (u64, u32),
+}
+
+/// Ablation: ripple vs Kogge–Stone adders across widths — the
+/// junctions-vs-phase-depth trade-off that motivated prefix adders in
+/// the MAC datapath.
+///
+/// # Errors
+///
+/// Propagates flow failures.
+pub fn adder_ablation() -> Result<Vec<AdderAblationRow>, scd_eda::EdaError> {
+    let flow = StarlingFlow::new(Technology::scd_nbtin()).with_verify_words(4);
+    let mut rows = Vec::new();
+    for width in [8usize, 16, 32] {
+        let ripple = flow.compile(&blocks::ripple_adder(width)?)?.report;
+        let ks = flow.compile(&blocks::kogge_stone_adder(width)?)?.report;
+        rows.push(AdderAblationRow {
+            width,
+            ripple: (ripple.total_junctions, ripple.pipeline_depth),
+            kogge_stone: (ks.total_junctions, ks.pipeline_depth),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the adder ablation.
+#[must_use]
+pub fn render_adder_ablation(rows: &[AdderAblationRow]) -> String {
+    let mut out = String::from(
+        "Ablation: ripple vs Kogge–Stone adders (total JJ incl. balancing)\n\n\
+         width   ripple JJ  phases     KS JJ  phases\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8}{:>10}{:>8}{:>10}{:>8}\n",
+            r.width, r.ripple.0, r.ripple.1, r.kogge_stone.0, r.kogge_stone.1
+        ));
+    }
+    out
+}
+
+/// One row of the transfer-window ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowAblationRow {
+    /// Outstanding requests in the cryo-DRAM window.
+    pub outstanding: u32,
+    /// Effective bandwidth cap at 30 ns (TB/s).
+    pub cap_tbps: f64,
+    /// Fig. 7-style latency at 16 TB/s wire bandwidth (s).
+    pub latency_s: f64,
+}
+
+/// Ablation: how the datalink's outstanding-request window sets the
+/// Fig. 7 saturation point (DESIGN.md's Little's-law model).
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn window_ablation() -> Result<Vec<WindowAblationRow>, OptimusError> {
+    use scd_mem::transfer::TransferModel;
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let shape = RequestShape::paper_io(8);
+    let blade = Blade::baseline();
+    let mut rows = Vec::new();
+    for outstanding in [16u32, 64, 256, 1024] {
+        let tm = TransferModel {
+            burst_bytes: 4096,
+            max_outstanding: outstanding,
+        };
+        let mut accel = blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
+        if let Some(level) = accel.hierarchy.level_mut(LevelKind::MainMemory) {
+            level.transfer = tm;
+        }
+        let cap = tm
+            .effective_bandwidth(Bandwidth::from_tbps(16.0), TimeInterval::from_ns(30.0))
+            .tbps();
+        let r = InferenceEstimator::new(accel, blade.interconnect())
+            .estimate(&model, &par, shape)?;
+        rows.push(WindowAblationRow {
+            outstanding,
+            cap_tbps: cap,
+            latency_s: r.latency_s(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the window ablation.
+#[must_use]
+pub fn render_window_ablation(rows: &[WindowAblationRow]) -> String {
+    let mut out = String::from(
+        "Ablation: cryo-DRAM request window vs Fig. 7 saturation (16 TB/s, 30 ns)\n\n\
+         outstanding  eff. BW cap(TB/s)  latency(s)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13}{:>17.2}{:>12.3}\n",
+            r.outstanding, r.cap_tbps, r.latency_s
+        ));
+    }
+    out
+}
+
+/// One row of the fabric ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricAblationRow {
+    /// Model name.
+    pub model: String,
+    /// Speed-up with the tiered (NVLink+IB) GPU fabric.
+    pub tiered_speedup: f64,
+    /// Speed-up if the GPU cluster had flat NVLink everywhere.
+    pub flat_speedup: f64,
+}
+
+/// Ablation: how much of the Fig. 8 inference speed-up comes from the
+/// GPU cluster's tiered network (vs a hypothetical flat-NVLink fabric).
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn fabric_ablation() -> Result<Vec<FabricAblationRow>, OptimusError> {
+    use scd_arch::{Fabric, InterconnectSpec};
+    let study = SpeedupStudy::paper_baseline();
+    let shape = RequestShape::paper_io(8);
+    let flat_fabric = Fabric::single(InterconnectSpec::nvlink());
+    let mut rows = Vec::new();
+    for model in [ModelZoo::llama_70b(), ModelZoo::llama_405b()] {
+        let par = Parallelism::pure_tp(64)?;
+        let tiered = study.inference(&model, &par, shape)?;
+        let gpu_flat = InferenceEstimator::new(
+            GpuSystem::h100_cluster(64).accelerator().clone(),
+            flat_fabric.clone(),
+        )
+        .estimate(&model, &par, shape)?;
+        rows.push(FabricAblationRow {
+            model: model.name.clone(),
+            tiered_speedup: tiered.speedup,
+            flat_speedup: gpu_flat.latency_s() / tiered.scd.latency_s(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the fabric ablation.
+#[must_use]
+pub fn render_fabric_ablation(rows: &[FabricAblationRow]) -> String {
+    let mut out = String::from(
+        "Ablation: GPU fabric model vs Fig. 8 speed-up (B=8, 16 TB/s per SPU)\n\n\
+         model        tiered NVLink+IB  flat NVLink (hypothetical)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13}{:>15.1}x{:>21.1}x\n",
+            r.model, r.tiered_speedup, r.flat_speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_blade_scales_efficiently() {
+        let pts = multi_blade_scaling().unwrap();
+        assert_eq!(pts.last().unwrap().blades, 8);
+        assert!(pts.last().unwrap().efficiency > 0.85);
+        assert!(render_multi_blade(&pts).contains("efficiency"));
+    }
+
+    #[test]
+    fn jsram_residency_speeds_small_models() {
+        let rows = jsram_inference_study().unwrap();
+        // llama2-7B/13B fit the 32 GB L2 in full and gain; llama-70B does
+        // not fit (its row is the hypothetical upper bound).
+        assert!(rows[0].fits_l2 && rows[1].fits_l2 && !rows[2].fits_l2);
+        for r in &rows[..2] {
+            assert!(r.speedup > 1.3, "{}: {:.2}", r.model, r.speedup);
+        }
+        assert!(render_jsram_study(&rows).contains("JSRAM"));
+    }
+
+    #[test]
+    fn energy_projection_favors_scd() {
+        let rows = energy_projection().unwrap();
+        for r in &rows {
+            assert!(r.device_ratio > 10.0, "{}: {:.1}", r.workload, r.device_ratio);
+            assert!(r.wall_ratio > 1.0, "{}: {:.2}", r.workload, r.wall_ratio);
+        }
+        assert!(render_energy(&rows).contains("wall adv"));
+    }
+
+    #[test]
+    fn serving_capacity_favors_scd() {
+        let rows = serving_capacity().unwrap();
+        // At every budget the SCD blade batches at least as much; at some
+        // budget it strictly wins.
+        assert!(rows.iter().all(|r| r.scd_batch >= r.gpu_batch));
+        assert!(rows.iter().any(|r| r.scd_batch > r.gpu_batch));
+        assert!(render_serving(&rows).contains("QoS"));
+    }
+
+    #[test]
+    fn adder_ablation_shows_tradeoff() {
+        let rows = adder_ablation().unwrap();
+        // At width 8 the prefix network's setup stages still dominate; by
+        // 16 bits Kogge–Stone is decisively shallower.
+        for r in rows.iter().filter(|r| r.width >= 16) {
+            assert!(
+                r.kogge_stone.1 < r.ripple.1,
+                "KS must be shallower at width {}",
+                r.width
+            );
+        }
+        // The depth gap must widen with width.
+        let gap = |r: &AdderAblationRow| r.ripple.1 as i64 - r.kogge_stone.1 as i64;
+        assert!(gap(&rows[2]) > gap(&rows[0]));
+    }
+
+    #[test]
+    fn window_ablation_monotone() {
+        let rows = window_ablation().unwrap();
+        for w in rows.windows(2) {
+            assert!(w[1].cap_tbps >= w[0].cap_tbps);
+            assert!(w[1].latency_s <= w[0].latency_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fabric_ablation_shows_comm_contribution() {
+        let rows = fabric_ablation().unwrap();
+        for r in &rows {
+            assert!(
+                r.tiered_speedup > r.flat_speedup,
+                "{}: tiered {:.1} vs flat {:.1}",
+                r.model,
+                r.tiered_speedup,
+                r.flat_speedup
+            );
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Experiments F7 (+insets), F8a, F8b: LLM-inference projections.
+
+use llm_workload::kvcache::KvCache;
+use llm_workload::model::{ModelZoo, Precision, TransformerConfig};
+use llm_workload::parallelism::Parallelism;
+use optimus::{OptimusError, RequestShape, SpeedupStudy};
+use scd_tech::units::{Bandwidth, TimeInterval};
+use serde::{Deserialize, Serialize};
+
+/// A 64-unit parallelization valid for `model` (pure TP when the head
+/// count allows, TP×PP otherwise — MoE-132B has 48 heads).
+///
+/// # Errors
+///
+/// Propagates plan-construction failures.
+pub fn blade_parallelism(model: &TransformerConfig) -> Result<Parallelism, OptimusError> {
+    if model.heads.is_multiple_of(64) && model.ffn_hidden.is_multiple_of(64) {
+        Ok(Parallelism::pure_tp(64)?)
+    } else {
+        Ok(Parallelism::new(16, 4, 1)?)
+    }
+}
+
+/// One point of the Fig. 7 bandwidth sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Point {
+    /// DRAM bandwidth per SPU (TB/s).
+    pub bw_tbps: f64,
+    /// End-to-end inference latency (s).
+    pub latency_s: f64,
+}
+
+/// Runs the Fig. 7 sweep: Llama-405B, B=8, I/O 200/200, TP=64, 30 ns.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn fig7_sweep() -> Result<Vec<Fig7Point>, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let shape = RequestShape::paper_io(8);
+    let mut out = Vec::new();
+    for bw in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let study = SpeedupStudy::paper_baseline()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
+        let r = study.scd_inference().estimate(&model, &par, shape)?;
+        out.push(Fig7Point {
+            bw_tbps: bw,
+            latency_s: r.latency_s(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders Fig. 7.
+#[must_use]
+pub fn render_fig7(points: &[Fig7Point]) -> String {
+    let mut out = String::from(
+        "Fig. 7: Llama-405B inference latency vs DRAM bandwidth per SPU\n\
+         (B=8, bf16, I/O 200/200, TP=64, DRAM latency 30 ns)\n\n\
+         BW(TB/s)  latency(s)\n",
+    );
+    for p in points {
+        out.push_str(&format!("{:>8.1}{:>12.3}\n", p.bw_tbps, p.latency_s));
+    }
+    if let (Some(first), Some(last)) = (points.first(), points.last()) {
+        out.push_str(&format!(
+            "\nspeed-up {:.1} TB/s → {:.1} TB/s: {:.1}x\n",
+            first.bw_tbps,
+            last.bw_tbps,
+            first.latency_s / last.latency_s
+        ));
+    }
+    out
+}
+
+/// One point of the Fig. 7 inset (a) latency sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig7aPoint {
+    /// DRAM latency (ns).
+    pub latency_ns: f64,
+    /// Achieved PFLOP/s per SPU.
+    pub pflops_per_spu: f64,
+}
+
+/// Runs Fig. 7 inset (a): DRAM latency 10–200 ns at 16 TB/s.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn fig7a_sweep() -> Result<Vec<Fig7aPoint>, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let shape = RequestShape::paper_io(8);
+    let mut out = Vec::new();
+    for lat in [10.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0] {
+        let study = SpeedupStudy::paper_baseline()
+            .with_dram_latency(TimeInterval::from_ns(lat));
+        let r = study.scd_inference().estimate(&model, &par, shape)?;
+        out.push(Fig7aPoint {
+            latency_ns: lat,
+            pflops_per_spu: r.pflops_per_unit(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders Fig. 7 inset (a).
+#[must_use]
+pub fn render_fig7a(points: &[Fig7aPoint]) -> String {
+    let mut out = String::from(
+        "Fig. 7 inset (a): throughput vs DRAM latency (16 TB/s per SPU, B=8)\n\n\
+         latency(ns)  PFLOP/s/SPU\n",
+    );
+    for p in points {
+        out.push_str(&format!("{:>11.0}{:>13.4}\n", p.latency_ns, p.pflops_per_spu));
+    }
+    out
+}
+
+/// One point of the Fig. 7 inset (b) batch sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig7bPoint {
+    /// Batch size.
+    pub batch: u32,
+    /// SCD latency (s).
+    pub scd_latency_s: f64,
+    /// SCD throughput (PFLOP/s per SPU).
+    pub scd_pflops: f64,
+    /// GPU latency (s).
+    pub gpu_latency_s: f64,
+    /// GPU throughput (PFLOP/s per GPU).
+    pub gpu_pflops: f64,
+}
+
+/// Runs Fig. 7 inset (b): latency vs throughput as B = 4…128.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn fig7b_sweep() -> Result<Vec<Fig7bPoint>, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let study = SpeedupStudy::paper_baseline();
+    let mut out = Vec::new();
+    for batch in [4u32, 8, 16, 32, 64, 128] {
+        let shape = RequestShape::paper_io(batch);
+        let scd = study.scd_inference().estimate(&model, &par, shape)?;
+        let gpu = study.gpu_inference().estimate(&model, &par, shape)?;
+        out.push(Fig7bPoint {
+            batch,
+            scd_latency_s: scd.latency_s(),
+            scd_pflops: scd.pflops_per_unit(),
+            gpu_latency_s: gpu.latency_s(),
+            gpu_pflops: gpu.pflops_per_unit(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders Fig. 7 inset (b).
+#[must_use]
+pub fn render_fig7b(points: &[Fig7bPoint]) -> String {
+    let mut out = String::from(
+        "Fig. 7 inset (b): latency vs throughput while B varies (16 TB/s)\n\n\
+         B     SPU lat(s)  SPU PFLOP/s   GPU lat(s)  GPU PFLOP/s\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<6}{:>10.3}{:>13.4}{:>13.3}{:>13.4}\n",
+            p.batch, p.scd_latency_s, p.scd_pflops, p.gpu_latency_s, p.gpu_pflops
+        ));
+    }
+    out
+}
+
+/// One bar of Fig. 8a.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8aRow {
+    /// Model name.
+    pub model: String,
+    /// Parallelization used on the 64 units.
+    pub parallelism: String,
+    /// Blade-vs-64-GPU inference speed-up.
+    pub speedup: f64,
+    /// SCD latency (s).
+    pub scd_latency_s: f64,
+    /// GPU latency (s).
+    pub gpu_latency_s: f64,
+}
+
+/// Runs Fig. 8a: single-blade inference speed-up for three models.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn fig8a_rows() -> Result<Vec<Fig8aRow>, OptimusError> {
+    let study = SpeedupStudy::paper_baseline();
+    let shape = RequestShape::paper_io(8);
+    let mut rows = Vec::new();
+    for model in [
+        ModelZoo::moe_132b(),
+        ModelZoo::llama_70b(),
+        ModelZoo::llama_405b(),
+    ] {
+        let par = blade_parallelism(&model)?;
+        let c = study.inference(&model, &par, shape)?;
+        rows.push(Fig8aRow {
+            model: model.name.clone(),
+            parallelism: par.to_string(),
+            speedup: c.speedup,
+            scd_latency_s: c.scd.latency_s(),
+            gpu_latency_s: c.gpu.latency_s(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Fig. 8a.
+#[must_use]
+pub fn render_fig8a(rows: &[Fig8aRow]) -> String {
+    let mut out = String::from(
+        "Fig. 8a: single-blade inference speed-up vs 64 H100s\n\
+         (B=8, bf16, I/O 200/200, 16 TB/s per SPU, 30 ns)\n\n\
+         model          parallelism       speed-up  SPU lat(s)  GPU lat(s)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15}{:<18}{:>7.1}x{:>12.3}{:>12.3}\n",
+            r.model, r.parallelism, r.speedup, r.scd_latency_s, r.gpu_latency_s
+        ));
+    }
+    out
+}
+
+/// One point of Fig. 8b.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig8bPoint {
+    /// Batch size.
+    pub batch: u32,
+    /// Inference speed-up at this batch.
+    pub speedup: f64,
+    /// KV-cache size at the provisioned context, in TB.
+    pub kv_cache_tb: f64,
+    /// Whether the KV cache still fits the 64-GPU memory (5 TB).
+    pub fits_gpu_memory: bool,
+}
+
+/// Runs Fig. 8b: speed-up and KV-cache size vs batch for Llama-405B.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn fig8b_sweep() -> Result<Vec<Fig8bPoint>, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let study = SpeedupStudy::paper_baseline();
+    let gpu_capacity_tb =
+        study.gpus().total_memory_bytes() as f64 / 1e12;
+    let mut out = Vec::new();
+    for batch in [4u32, 8, 16, 32, 64, 128] {
+        let c = study.inference(&model, &par, RequestShape::paper_io(batch))?;
+        // Fig. 8b plots the cache at the provisioned context window.
+        let kv = KvCache {
+            batch,
+            seq_len: model.max_context,
+            precision: Precision::Bf16,
+        }
+        .bytes_mha(&model)
+            / 1e12;
+        out.push(Fig8bPoint {
+            batch,
+            speedup: c.speedup,
+            kv_cache_tb: kv,
+            fits_gpu_memory: kv < gpu_capacity_tb,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders Fig. 8b.
+#[must_use]
+pub fn render_fig8b(points: &[Fig8bPoint]) -> String {
+    let mut out = String::from(
+        "Fig. 8b: Llama-405B speed-up and KV-cache size vs batch\n\
+         (64-GPU capacity reference: 5 TB)\n\n\
+         B     speed-up  KV cache(TB)  fits 64-GPU HBM?\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<6}{:>7.1}x{:>13.2}{:>15}\n",
+            p.batch,
+            p.speedup,
+            p.kv_cache_tb,
+            if p.fits_gpu_memory { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_latency_falls_17x_ish() {
+        let pts = fig7_sweep().unwrap();
+        let overall = pts.first().unwrap().latency_s / pts.last().unwrap().latency_s;
+        assert!((8.0..30.0).contains(&overall), "got {overall:.1}");
+        assert!(render_fig7(&pts).contains("speed-up"));
+    }
+
+    #[test]
+    fn fig7a_monotone_decline() {
+        let pts = fig7a_sweep().unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].pflops_per_spu < w[0].pflops_per_spu);
+        }
+    }
+
+    #[test]
+    fn fig7b_throughput_latency_tradeoff() {
+        let pts = fig7b_sweep().unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].scd_pflops > w[0].scd_pflops);
+            assert!(w[1].scd_latency_s > w[0].scd_latency_s);
+        }
+    }
+
+    #[test]
+    fn fig8a_order_matches_paper() {
+        // Paper: Llama-70B benefits most (max communication fraction).
+        let rows = fig8a_rows().unwrap();
+        let by_name = |n: &str| rows.iter().find(|r| r.model.contains(n)).unwrap().speedup;
+        assert!(by_name("70B") > by_name("405B"));
+        assert!(by_name("405B") > by_name("MoE"));
+        for r in &rows {
+            assert!(r.speedup > 4.0, "{}: {:.1}", r.model, r.speedup);
+        }
+    }
+
+    #[test]
+    fn fig8b_kv_cache_hits_gpu_capacity_at_128() {
+        let pts = fig8b_sweep().unwrap();
+        let last = pts.last().unwrap();
+        assert_eq!(last.batch, 128);
+        assert!(
+            (3.5..5.5).contains(&last.kv_cache_tb),
+            "got {:.2} TB",
+            last.kv_cache_tb
+        );
+        // Speed-up is robust across batch sizes (order of magnitude).
+        for p in &pts {
+            assert!(p.speedup > 5.0);
+        }
+        // ... and declines gently at large batch (compute ratio rises).
+        assert!(pts.last().unwrap().speedup < pts.first().unwrap().speedup);
+    }
+}

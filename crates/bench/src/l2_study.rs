@@ -1,0 +1,129 @@
+//! Experiment S6L2: the §VI "KV cache in the large L2" exploration.
+//!
+//! The blade's shared L2 (~3.4–4.2 GB) can hold the entire KV cache of
+//! llama2-7B (~2 GB) and llama2-13B (~3 GB); the paper estimates a 2–4×
+//! speed-up for the affected GEMM/GEMVs. We reproduce the study by running
+//! decode with KV pinned to L2 versus streamed from DRAM.
+
+use llm_workload::kvcache::paper_kv_bytes;
+use llm_workload::model::ModelZoo;
+use llm_workload::parallelism::Parallelism;
+use optimus::{InferenceEstimator, OptimusError, Placement, RequestShape};
+use scd_arch::Blade;
+use scd_mem::level::LevelKind;
+use scd_tech::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// One row of the L2 study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct L2StudyRow {
+    /// Model name.
+    pub model: String,
+    /// Full-context KV-cache size (GB, paper convention).
+    pub kv_gb: f64,
+    /// Whether the cache fits the blade's shared L2.
+    pub fits_l2: bool,
+    /// Decode time with KV streamed from DRAM (s).
+    pub dram_decode_s: f64,
+    /// Decode time with KV pinned in L2 (s).
+    pub l2_decode_s: f64,
+    /// Speed-up of the KV-affected execution.
+    pub speedup: f64,
+}
+
+/// Runs the study over llama2-7B/13B/70B at the baseline per-SPU DRAM
+/// bandwidth (0.47 TB/s — where the L2's bandwidth jump matters most) with
+/// a long context to make the KV stream significant.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn l2_kv_study() -> Result<Vec<L2StudyRow>, OptimusError> {
+    let blade = Blade::baseline();
+    let l2_capacity = blade
+        .accelerator()
+        .hierarchy
+        .level(LevelKind::L2)
+        .expect("blade has an L2")
+        .capacity_bytes as f64;
+    // Long-context decode at the baseline datalink share.
+    let shape = RequestShape {
+        batch: 8,
+        input_tokens: 3896,
+        output_tokens: 64,
+    };
+    let mut rows = Vec::new();
+    for model in [
+        ModelZoo::llama2_7b(),
+        ModelZoo::llama2_13b(),
+        ModelZoo::llama_70b(),
+    ] {
+        let par = Parallelism::pure_tp(8)?;
+        let accel = blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(0.47));
+        let base = InferenceEstimator::new(accel.clone(), blade.interconnect());
+        let pinned = InferenceEstimator::new(accel, blade.interconnect())
+            .with_placement(Placement::kv_in_l2());
+        let dram = base.estimate(&model, &par, shape)?;
+        let l2 = pinned.estimate(&model, &par, shape)?;
+        let kv = paper_kv_bytes(&model);
+        rows.push(L2StudyRow {
+            model: model.name.clone(),
+            kv_gb: kv / 1e9,
+            fits_l2: kv <= l2_capacity,
+            dram_decode_s: dram.decode_s,
+            l2_decode_s: l2.decode_s,
+            speedup: dram.decode_s / l2.decode_s,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the study.
+#[must_use]
+pub fn render_l2_study(rows: &[L2StudyRow]) -> String {
+    let mut out = String::from(
+        "§VI: KV-cache-in-L2 study (long-context decode, baseline 0.47 TB/s DRAM/SPU)\n\n\
+         model        KV(GB)  fits L2?  DRAM decode(s)  L2 decode(s)  speed-up\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13}{:>6.1}{:>9}{:>15.3}{:>14.3}{:>9.2}x\n",
+            r.model,
+            r.kv_gb,
+            if r.fits_l2 { "yes" } else { "no" },
+            r.dram_decode_s,
+            r.l2_decode_s,
+            r.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_llamas_fit_l2_and_speed_up() {
+        let rows = l2_kv_study().unwrap();
+        let r7 = &rows[0];
+        let r13 = &rows[1];
+        let r70 = &rows[2];
+        assert!(r7.fits_l2, "llama2-7B (~2 GB) fits the 3.4 GB L2");
+        assert!(r13.fits_l2, "llama2-13B (~3 GB) fits the 3.4 GB L2");
+        assert!(!r70.fits_l2, "llama2-70B (~10 GB) does not fit");
+        // Paper's early estimate: ~2–4× for the relevant GEMM/GEMVs.
+        for r in [r7, r13] {
+            assert!(
+                (1.3..6.0).contains(&r.speedup),
+                "{}: {:.2}",
+                r.model,
+                r.speedup
+            );
+        }
+        let text = render_l2_study(&rows);
+        assert!(text.contains("fits L2?"));
+    }
+}

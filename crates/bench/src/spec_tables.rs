@@ -1,0 +1,181 @@
+//! Experiments T1, F1f/g, F1h, F2b, F3c: regenerating the paper's
+//! specification tables bottom-up.
+
+use scd_eda::blocks;
+use scd_eda::flow::StarlingFlow;
+use scd_eda::netlist::Netlist;
+use scd_mem::datalink::Datalink;
+use scd_tech::pcl::LibrarySummary;
+use scd_tech::technology::{render_table1, Technology};
+use scd_arch::Blade;
+use serde::{Deserialize, Serialize};
+
+/// Renders Table I (technology stack specifications).
+#[must_use]
+pub fn table1() -> String {
+    let mut out = String::from("TABLE I: Specifications for the SCD technology stack\n\n");
+    out.push_str(&render_table1(
+        &Technology::cmos_5nm(),
+        &Technology::scd_nbtin(),
+    ));
+    out
+}
+
+/// Renders the PCL cell library (Fig. 1f/1g) with JJ costs and phases.
+#[must_use]
+pub fn fig1_pcl_library() -> String {
+    let mut out = String::from(
+        "Fig. 1f/1g: PCL dual-rail cell library\n\n\
+         cell      fan-in  outputs  junctions  phases\n",
+    );
+    for (name, fanin, outs, jjs, phases) in LibrarySummary::build().rows {
+        out.push_str(&format!(
+            "{name:<10}{fanin:>5}{outs:>9}{jjs:>11}{phases:>8}\n"
+        ));
+    }
+    out
+}
+
+/// One design-database row of the F1h experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdaFlowRow {
+    /// Block name.
+    pub design: String,
+    /// Logic junctions (the paper's anchor metric).
+    pub logic_junctions: u64,
+    /// Total junctions including splitters and phase padding.
+    pub total_junctions: u64,
+    /// Pipeline depth in phases.
+    pub phases: u32,
+    /// Latency at 30 GHz, in nanoseconds.
+    pub latency_ns: f64,
+    /// Energy per operation in femtojoules.
+    pub energy_fj: f64,
+}
+
+/// Runs the Starling flow over the Fig. 1h design database.
+///
+/// # Errors
+///
+/// Propagates generator/flow errors.
+pub fn fig1_eda_flow() -> Result<Vec<EdaFlowRow>, scd_eda::EdaError> {
+    let flow = StarlingFlow::new(Technology::scd_nbtin());
+    let fast_flow = flow.clone().with_verify_words(8);
+    let designs: Vec<(Netlist, bool)> = vec![
+        (blocks::ripple_adder(8)?, false),
+        (blocks::kogge_stone_adder(8)?, false),
+        (blocks::array_multiplier(8)?, true),
+        (blocks::bf16_mac()?, true),
+        (blocks::alu(8)?, true),
+        (blocks::crossbar(4, 8)?, true),
+        (blocks::shift_register(8, 8)?, false),
+        (blocks::register_file_read(8, 8)?, true),
+        (blocks::comparator(8)?, false),
+        (blocks::popcount(16)?, false),
+    ];
+    let mut rows = Vec::new();
+    for (netlist, wide) in designs {
+        let compiled = if wide {
+            fast_flow.compile(&netlist)?
+        } else {
+            flow.compile(&netlist)?
+        };
+        let r = compiled.report;
+        rows.push(EdaFlowRow {
+            design: r.design.clone(),
+            logic_junctions: r.logic_junctions,
+            total_junctions: r.total_junctions,
+            phases: r.pipeline_depth,
+            latency_ns: r.latency.ns(),
+            energy_fj: r.energy_per_op.joules() * 1e15,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the F1h rows.
+#[must_use]
+pub fn render_eda_flow(rows: &[EdaFlowRow]) -> String {
+    let mut out = String::from(
+        "Fig. 1h: RTL→PCL flow over the design database\n\n\
+         design          logic JJ   total JJ  phases  latency(ns)  energy/op(fJ)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15}{:>9}{:>11}{:>8}{:>13.3}{:>15.3}\n",
+            r.design, r.logic_junctions, r.total_junctions, r.phases, r.latency_ns, r.energy_fj
+        ));
+    }
+    out
+}
+
+/// Renders the Fig. 2b datalink table (baseline rate and the paper-peak
+/// 30 TB/s operating point).
+#[must_use]
+pub fn fig2_datalink() -> String {
+    let baseline = Datalink::fig2_baseline();
+    let peak = Datalink::paper_peak();
+    let mut out = String::from("Fig. 2b: main-memory datalink specifications (baseline)\n\n");
+    out.push_str(&baseline.render_table());
+    out.push_str(&format!(
+        "\nAt the paper's peak operating point ({:.0} Gb/s per wire):\n{} down / {} up = {} bidirectional\n",
+        peak.downlink.data_rate.hz() / 1e9,
+        peak.downlink.bandwidth(),
+        peak.uplink.bandwidth(),
+        peak.total_bandwidth(),
+    ));
+    out
+}
+
+/// Renders the Fig. 3c blade specification table, derived bottom-up.
+#[must_use]
+pub fn fig3_blade_specs() -> String {
+    let blade = Blade::baseline();
+    let mut out = String::from("Fig. 3c: system specifications for the SCD blade\n\n");
+    out.push_str(&blade.spec_table());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_both_columns() {
+        let t = table1();
+        assert!(t.contains("CMOS 5nm"));
+        assert!(t.contains("this work"));
+    }
+
+    #[test]
+    fn pcl_library_covers_fa() {
+        let t = fig1_pcl_library();
+        assert!(t.contains("FA"));
+        assert!(t.contains("INV"));
+    }
+
+    #[test]
+    fn eda_flow_hits_mac_anchor() {
+        let rows = fig1_eda_flow().unwrap();
+        let mac = rows.iter().find(|r| r.design == "bf16_mac").unwrap();
+        assert!(
+            (5_000..12_000).contains(&mac.logic_junctions),
+            "MAC anchor ~8 kJJ, got {}",
+            mac.logic_junctions
+        );
+        let text = render_eda_flow(&rows);
+        assert!(text.contains("adder8"));
+    }
+
+    #[test]
+    fn datalink_table_has_peak_point() {
+        let t = fig2_datalink();
+        assert!(t.contains("30.00 TB/s"));
+    }
+
+    #[test]
+    fn blade_specs_render() {
+        let t = fig3_blade_specs();
+        assert!(t.contains("No. of SPUs"));
+    }
+}

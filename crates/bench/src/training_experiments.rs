@@ -1,0 +1,181 @@
+//! Experiments F5 and F6: LLM-training projections.
+
+use llm_workload::model::ModelZoo;
+use llm_workload::parallelism::Parallelism;
+use optimus::{OptimusError, SpeedupStudy};
+use scd_tech::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 5 bandwidth sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Point {
+    /// DRAM bandwidth per SPU (TB/s).
+    pub bw_tbps: f64,
+    /// Achieved PFLOP/s per SPU.
+    pub pflops_per_spu: f64,
+    /// Forward-GEMM time per layer spent memory-bound (ms).
+    pub fw_gemm_mem_ms: f64,
+    /// Forward-GEMM time per layer spent compute-bound (ms).
+    pub fw_gemm_comp_ms: f64,
+}
+
+/// Runs the Fig. 5 sweep: GPT3-76B training, B=128, TP=8/PP=8/DP=1,
+/// DRAM bandwidth per SPU swept 0.5–64 TB/s.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn fig5_sweep() -> Result<Vec<Fig5Point>, OptimusError> {
+    let model = ModelZoo::gpt3_76b();
+    let par = Parallelism::new(8, 8, 1)?;
+    let mut out = Vec::new();
+    for bw in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+        let study = SpeedupStudy::paper_baseline()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
+        let r = study.scd_training().estimate(&model, &par, 128)?;
+        out.push(Fig5Point {
+            bw_tbps: bw,
+            pflops_per_spu: r.pflops_per_unit(),
+            fw_gemm_mem_ms: r.fw_gemm_mem_bound_per_layer_s * 1e3,
+            fw_gemm_comp_ms: r.fw_gemm_comp_bound_per_layer_s * 1e3,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the Fig. 5 series.
+#[must_use]
+pub fn render_fig5(points: &[Fig5Point]) -> String {
+    let mut out = String::from(
+        "Fig. 5: GPT3-76B training throughput vs DRAM bandwidth per SPU\n\
+         (B=128, bf16, TP=8, PP=8, DP=1)\n\n\
+         BW(TB/s)  PFLOP/s/SPU   FW-GEMM/layer mem-bound(ms)  comp-bound(ms)\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>8.1}{:>13.3}{:>30.3}{:>16.3}\n",
+            p.bw_tbps, p.pflops_per_spu, p.fw_gemm_mem_ms, p.fw_gemm_comp_ms
+        ));
+    }
+    out
+}
+
+/// One bar of Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Model name.
+    pub model: String,
+    /// "GPU" or "SPU".
+    pub system: &'static str,
+    /// Compute time per batch (s).
+    pub comp_s: f64,
+    /// Communication time per batch (s).
+    pub comm_s: f64,
+    /// Others (bubble + update) time (s).
+    pub others_s: f64,
+    /// Total time per batch (s).
+    pub total_s: f64,
+    /// Achieved PFLOP/s per processing unit (the inset).
+    pub pflops_per_unit: f64,
+}
+
+/// Runs the Fig. 6 comparison: three GPT models, B=64, TP=8/PP=8/DP=1,
+/// 16 TB/s per SPU vs 64 H100s.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn fig6_rows() -> Result<Vec<Fig6Row>, OptimusError> {
+    let par = Parallelism::new(8, 8, 1)?;
+    let study = SpeedupStudy::paper_baseline();
+    let mut rows = Vec::new();
+    for model in [
+        ModelZoo::gpt3_18b(),
+        ModelZoo::gpt3_76b(),
+        ModelZoo::gpt3_175b(),
+    ] {
+        let c = study.training(&model, &par, 64)?;
+        rows.push(Fig6Row {
+            model: model.name.clone(),
+            system: "GPU",
+            comp_s: c.gpu.compute_s,
+            comm_s: c.gpu.comm_s,
+            others_s: c.gpu.others_s(),
+            total_s: c.gpu.total_s,
+            pflops_per_unit: c.gpu.pflops_per_unit(),
+        });
+        rows.push(Fig6Row {
+            model: model.name.clone(),
+            system: "SPU",
+            comp_s: c.scd.compute_s,
+            comm_s: c.scd.comm_s,
+            others_s: c.scd.others_s(),
+            total_s: c.scd.total_s,
+            pflops_per_unit: c.scd.pflops_per_unit(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Fig. 6 with per-model speed-ups.
+#[must_use]
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::from(
+        "Fig. 6: training time per batch, GPU (64×H100) vs SPU (64, 16 TB/s)\n\
+         (B=64, bf16, TP=8, PP=8, DP=1)\n\n\
+         model        sys   comp(s)   comm(s)  others(s)  total(s)  PFLOP/s/PU\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13}{:<5}{:>9.3}{:>10.3}{:>11.3}{:>10.3}{:>12.3}\n",
+            r.model, r.system, r.comp_s, r.comm_s, r.others_s, r.total_s, r.pflops_per_unit
+        ));
+    }
+    out.push('\n');
+    for pair in rows.chunks(2) {
+        if let [gpu, spu] = pair {
+            out.push_str(&format!(
+                "{:<13} speed-up: {:.2}x\n",
+                gpu.model,
+                gpu.total_s / spu.total_s
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_monotone_and_saturating() {
+        let pts = fig5_sweep().unwrap();
+        assert_eq!(pts.len(), 8);
+        for w in pts.windows(2) {
+            assert!(w[1].pflops_per_spu >= w[0].pflops_per_spu - 1e-9);
+        }
+        // Crossover: memory-bound share shrinks with bandwidth.
+        assert!(pts[0].fw_gemm_mem_ms > pts[0].fw_gemm_comp_ms);
+        let last = pts.last().unwrap();
+        assert!(last.fw_gemm_comp_ms > last.fw_gemm_mem_ms);
+        let text = render_fig5(&pts);
+        assert!(text.contains("PFLOP/s/SPU"));
+    }
+
+    #[test]
+    fn fig6_speedups_in_paper_band() {
+        let rows = fig6_rows().unwrap();
+        assert_eq!(rows.len(), 6);
+        for pair in rows.chunks(2) {
+            let speedup = pair[0].total_s / pair[1].total_s;
+            assert!(
+                (2.5..6.0).contains(&speedup),
+                "{}: {speedup:.2}",
+                pair[0].model
+            );
+        }
+        let text = render_fig6(&rows);
+        assert!(text.contains("speed-up"));
+    }
+}

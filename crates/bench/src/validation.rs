@@ -1,0 +1,58 @@
+//! Experiment V1: analytical communication model vs discrete-event NoC
+//! simulation.
+
+use optimus::validate::{validate_all_reduce, ValidationPoint};
+use scd_arch::Blade;
+use scd_noc::NocError;
+
+/// Runs the validation sweep on the baseline blade.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn noc_validation() -> Result<Vec<ValidationPoint>, NocError> {
+    let blade = Blade::baseline();
+    validate_all_reduce(
+        &blade.torus(),
+        blade.noc_config(),
+        &[1e6, 4e6, 16e6, 64e6, 256e6],
+    )
+}
+
+/// Renders the validation table.
+#[must_use]
+pub fn render_validation(points: &[ValidationPoint]) -> String {
+    let mut out = String::from(
+        "NoC validation: ring all-reduce on the 8×8 blade torus\n\n\
+         bytes/node   analytical(µs)  simulated(µs)  sim/model\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>10.0}{:>16.3}{:>15.3}{:>11.2}\n",
+            p.bytes,
+            p.analytical_s * 1e6,
+            p.simulated_s * 1e6,
+            p.ratio()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_ratios_near_unity() {
+        let pts = noc_validation().unwrap();
+        for p in &pts {
+            assert!(
+                (0.4..1.6).contains(&p.ratio()),
+                "bytes {:.0e}: ratio {:.2}",
+                p.bytes,
+                p.ratio()
+            );
+        }
+        assert!(render_validation(&pts).contains("sim/model"));
+    }
+}

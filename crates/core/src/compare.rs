@@ -1,0 +1,203 @@
+//! SCD-vs-GPU comparison harnesses: the machinery behind Fig. 6 and
+//! Fig. 8.
+
+use crate::error::OptimusError;
+use crate::inference::{InferenceEstimator, InferenceReport, RequestShape};
+use crate::training::{TrainingEstimator, TrainingReport};
+use llm_workload::model::TransformerConfig;
+use llm_workload::parallelism::Parallelism;
+use scd_arch::{Blade, GpuSystem};
+use scd_tech::units::{Bandwidth, TimeInterval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A paired measurement of the same workload on both systems.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comparison<R> {
+    /// SCD-system result.
+    pub scd: R,
+    /// GPU-system result.
+    pub gpu: R,
+    /// GPU time / SCD time.
+    pub speedup: f64,
+}
+
+/// Builder for the paper's standard comparison setup: one SCD blade
+/// (64 SPUs) against the same number of H100s.
+#[derive(Debug, Clone)]
+pub struct SpeedupStudy {
+    blade: Blade,
+    gpus: GpuSystem,
+    dram_bandwidth_per_spu: Bandwidth,
+    dram_latency: TimeInterval,
+}
+
+impl SpeedupStudy {
+    /// The §VI setup: 64 SPUs at 16 TB/s effective DRAM bandwidth per SPU
+    /// and 30 ns latency, versus 64 H100s.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        Self {
+            blade: Blade::baseline(),
+            gpus: GpuSystem::h100_cluster(64),
+            dram_bandwidth_per_spu: Bandwidth::from_tbps(16.0),
+            dram_latency: TimeInterval::from_ns(30.0),
+        }
+    }
+
+    /// Overrides the per-SPU DRAM bandwidth.
+    #[must_use]
+    pub fn with_dram_bandwidth(mut self, bw: Bandwidth) -> Self {
+        self.dram_bandwidth_per_spu = bw;
+        self
+    }
+
+    /// Overrides the cryo-DRAM latency.
+    #[must_use]
+    pub fn with_dram_latency(mut self, latency: TimeInterval) -> Self {
+        self.dram_latency = latency;
+        self
+    }
+
+    /// The SCD training estimator for this study.
+    #[must_use]
+    pub fn scd_training(&self) -> TrainingEstimator {
+        TrainingEstimator::new(
+            self.blade
+                .accelerator()
+                .with_dram_bandwidth(self.dram_bandwidth_per_spu)
+                .with_dram_latency(self.dram_latency),
+            self.blade.interconnect(),
+        )
+    }
+
+    /// The GPU training estimator for this study.
+    #[must_use]
+    pub fn gpu_training(&self) -> TrainingEstimator {
+        TrainingEstimator::new(
+            self.gpus.accelerator().clone(),
+            self.gpus.fabric().clone(),
+        )
+    }
+
+    /// The SCD inference estimator for this study.
+    #[must_use]
+    pub fn scd_inference(&self) -> InferenceEstimator {
+        InferenceEstimator::new(
+            self.blade
+                .accelerator()
+                .with_dram_bandwidth(self.dram_bandwidth_per_spu)
+                .with_dram_latency(self.dram_latency),
+            self.blade.interconnect(),
+        )
+    }
+
+    /// The GPU inference estimator for this study.
+    #[must_use]
+    pub fn gpu_inference(&self) -> InferenceEstimator {
+        InferenceEstimator::new(
+            self.gpus.accelerator().clone(),
+            self.gpus.fabric().clone(),
+        )
+    }
+
+    /// The GPU system under comparison.
+    #[must_use]
+    pub fn gpus(&self) -> &GpuSystem {
+        &self.gpus
+    }
+
+    /// Runs the Fig. 6 training comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures.
+    pub fn training(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        global_batch: u32,
+    ) -> Result<Comparison<TrainingReport>, OptimusError> {
+        let scd = self.scd_training().estimate(model, par, global_batch)?;
+        let gpu = self.gpu_training().estimate(model, par, global_batch)?;
+        Ok(Comparison {
+            scd,
+            gpu,
+            speedup: gpu.total_s / scd.total_s,
+        })
+    }
+
+    /// Runs the Fig. 8 inference comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures.
+    pub fn inference(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        shape: RequestShape,
+    ) -> Result<Comparison<InferenceReport>, OptimusError> {
+        let scd = self.scd_inference().estimate(model, par, shape)?;
+        let gpu = self.gpu_inference().estimate(model, par, shape)?;
+        Ok(Comparison {
+            scd,
+            gpu,
+            speedup: gpu.total_s / scd.total_s,
+        })
+    }
+}
+
+impl Default for SpeedupStudy {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl<R: fmt::Debug> fmt::Display for Comparison<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "speed-up {:.2}×", self.speedup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::model::ModelZoo;
+
+    #[test]
+    fn training_comparison_favors_scd() {
+        let study = SpeedupStudy::paper_baseline();
+        let par = Parallelism::new(8, 8, 1).unwrap();
+        let c = study.training(&ModelZoo::gpt3_76b(), &par, 64).unwrap();
+        assert!(c.speedup > 2.0, "got {:.2}", c.speedup);
+        assert!(c.to_string().contains('×'));
+    }
+
+    #[test]
+    fn inference_comparison_favors_scd_more() {
+        let study = SpeedupStudy::paper_baseline();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let inf = study
+            .inference(&ModelZoo::llama_70b(), &par, RequestShape::paper_io(8))
+            .unwrap();
+        let train_par = Parallelism::new(8, 8, 1).unwrap();
+        let train = study.training(&ModelZoo::gpt3_76b(), &train_par, 64).unwrap();
+        assert!(inf.speedup > train.speedup);
+    }
+
+    #[test]
+    fn lower_bandwidth_reduces_scd_advantage() {
+        let par = Parallelism::pure_tp(64).unwrap();
+        let model = ModelZoo::llama_405b();
+        let shape = RequestShape::paper_io(8);
+        let fast = SpeedupStudy::paper_baseline()
+            .inference(&model, &par, shape)
+            .unwrap();
+        let slow = SpeedupStudy::paper_baseline()
+            .with_dram_bandwidth(Bandwidth::from_tbps(0.5))
+            .inference(&model, &par, shape)
+            .unwrap();
+        assert!(fast.speedup > slow.speedup);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for the Optimus performance model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from performance estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimusError {
+    /// The workload could not be generated.
+    Workload(llm_workload::WorkloadError),
+    /// The architecture descriptor was invalid.
+    Architecture(scd_arch::ArchError),
+    /// The requested mapping/placement was impossible.
+    Mapping {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OptimusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Workload(e) => write!(f, "workload error: {e}"),
+            Self::Architecture(e) => write!(f, "architecture error: {e}"),
+            Self::Mapping { reason } => write!(f, "mapping error: {reason}"),
+        }
+    }
+}
+
+impl Error for OptimusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Workload(e) => Some(e),
+            Self::Architecture(e) => Some(e),
+            Self::Mapping { .. } => None,
+        }
+    }
+}
+
+impl From<llm_workload::WorkloadError> for OptimusError {
+    fn from(e: llm_workload::WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}
+
+impl From<scd_arch::ArchError> for OptimusError {
+    fn from(e: scd_arch::ArchError) -> Self {
+        Self::Architecture(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OptimusError::Mapping {
+            reason: "no level fits".to_owned(),
+        };
+        assert!(e.to_string().contains("no level fits"));
+        assert!(e.source().is_none());
+
+        let w: OptimusError =
+            llm_workload::WorkloadError::InvalidModel {
+                reason: "x".to_owned(),
+            }
+            .into();
+        assert!(w.source().is_some());
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end LLM-inference estimation (Fig. 7 / Fig. 8).
+//!
+//! Inference runs a prefill pass over the prompt followed by
+//! token-by-token decode with a growing KV cache. Decode is memory-bound
+//! (weights and KV stream from DRAM every step), which is why the paper
+//! finds inference benefits from the SCD system even more than training.
+
+use crate::error::OptimusError;
+use crate::roofline::{Placement, Roofline};
+use llm_workload::kernel::CommScope;
+use llm_workload::kvcache::KvCache;
+use llm_workload::model::{Precision, TransformerConfig};
+use llm_workload::parallelism::Parallelism;
+use llm_workload::taskgraph::{decode_step, prefill, TaskGraph};
+use scd_arch::{Accelerator, Fabric};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Inference timing report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Prompt-processing time (s).
+    pub prefill_s: f64,
+    /// Total decode time over all generated tokens (s).
+    pub decode_s: f64,
+    /// Communication share of the total (s).
+    pub comm_s: f64,
+    /// End-to-end latency (s).
+    pub total_s: f64,
+    /// Useful FLOPs per unit over the request.
+    pub flops_per_unit: f64,
+    /// Achieved throughput per unit (FLOP/s).
+    pub achieved_flops_per_unit: f64,
+    /// Mean time per generated token (s).
+    pub per_token_s: f64,
+    /// KV-cache footprint at the end of generation (bytes, whole system).
+    pub kv_cache_bytes: f64,
+}
+
+impl InferenceReport {
+    /// End-to-end latency in seconds.
+    #[must_use]
+    pub fn latency_s(&self) -> f64 {
+        self.total_s
+    }
+
+    /// Achieved PFLOP/s per unit.
+    #[must_use]
+    pub fn pflops_per_unit(&self) -> f64 {
+        self.achieved_flops_per_unit / 1e15
+    }
+}
+
+impl fmt::Display for InferenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "latency {:.3} s (prefill {:.3} + decode {:.3}); {:.3} PFLOP/s/unit",
+            self.total_s, self.prefill_s, self.decode_s, self.pflops_per_unit()
+        )
+    }
+}
+
+/// An inference request shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestShape {
+    /// Concurrent sequences.
+    pub batch: u32,
+    /// Prompt tokens (the paper's I/O 200/200 default).
+    pub input_tokens: u32,
+    /// Generated tokens.
+    pub output_tokens: u32,
+}
+
+impl RequestShape {
+    /// The paper's I/O 200/200 shape at a given batch.
+    #[must_use]
+    pub fn paper_io(batch: u32) -> Self {
+        Self {
+            batch,
+            input_tokens: 200,
+            output_tokens: 200,
+        }
+    }
+}
+
+/// Inference estimator for one accelerator type + fabric.
+#[derive(Debug, Clone)]
+pub struct InferenceEstimator {
+    accel: Accelerator,
+    fabric: Fabric,
+    precision: Precision,
+    placement: Placement,
+}
+
+impl InferenceEstimator {
+    /// Creates an estimator with bf16 precision and DRAM KV placement.
+    #[must_use]
+    pub fn new(accel: Accelerator, fabric: Fabric) -> Self {
+        Self {
+            accel,
+            fabric,
+            precision: Precision::Bf16,
+            placement: Placement::dram(),
+        }
+    }
+
+    /// Overrides traffic placement (the §VI KV-in-L2 study).
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Overrides the working precision.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The accelerator under analysis.
+    #[must_use]
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    fn graph_time(&self, graph: &TaskGraph, tp: usize) -> (f64, f64) {
+        let roofline = Roofline::new(&self.accel).with_placement(self.placement);
+        let compute: f64 = graph
+            .kernels
+            .iter()
+            .map(|k| roofline.time_all(k).seconds())
+            .sum();
+        let comm: f64 = graph
+            .comms
+            .iter()
+            .map(|c| {
+                let t = match c.scope {
+                    CommScope::TensorParallel => self.fabric.all_reduce_time(c.bytes, tp),
+                    CommScope::DataParallel => self.fabric.all_reduce_time(c.bytes, tp),
+                    CommScope::PipelineNeighbor => self.fabric.p2p_time(c.bytes),
+                };
+                t.seconds() * c.invocations
+            })
+            .sum();
+        (compute, comm)
+    }
+
+    /// Estimates a full request (prefill + decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError`] for invalid model/parallelism combinations.
+    pub fn estimate(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        shape: RequestShape,
+    ) -> Result<InferenceReport, OptimusError> {
+        self.accel.validate()?;
+        let tp = par.tp() as usize;
+
+        let prefill_graph = prefill(model, par, shape.batch, shape.input_tokens, self.precision)?;
+        let (prefill_comp, prefill_comm) = self.graph_time(&prefill_graph, tp);
+        let mut flops = prefill_graph.total_flops();
+
+        let mut decode_comp = 0.0;
+        let mut decode_comm = 0.0;
+        for t in 0..shape.output_tokens {
+            let kv_len = shape.input_tokens + t;
+            let g = decode_step(model, par, shape.batch, kv_len, self.precision)?;
+            let (c, m) = self.graph_time(&g, tp);
+            decode_comp += c;
+            decode_comm += m;
+            flops += g.total_flops();
+        }
+
+        let prefill_s = prefill_comp + prefill_comm;
+        let decode_s = decode_comp + decode_comm;
+        let total_s = prefill_s + decode_s;
+        let kv = KvCache {
+            batch: shape.batch,
+            seq_len: shape.input_tokens + shape.output_tokens,
+            precision: self.precision,
+        };
+        Ok(InferenceReport {
+            prefill_s,
+            decode_s,
+            comm_s: prefill_comm + decode_comm,
+            total_s,
+            flops_per_unit: flops,
+            achieved_flops_per_unit: flops / total_s,
+            per_token_s: decode_s / f64::from(shape.output_tokens.max(1)),
+            kv_cache_bytes: kv.bytes_mha(model),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::model::ModelZoo;
+    use scd_arch::{Blade, GpuSystem};
+    use scd_tech::units::{Bandwidth, TimeInterval};
+
+    fn spu_estimator(bw_tbps: f64, lat_ns: f64) -> InferenceEstimator {
+        let blade = Blade::baseline();
+        let accel = blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw_tbps))
+            .with_dram_latency(TimeInterval::from_ns(lat_ns));
+        InferenceEstimator::new(accel, blade.interconnect())
+    }
+
+    fn gpu_estimator() -> InferenceEstimator {
+        let gpus = GpuSystem::h100_cluster(64);
+        InferenceEstimator::new(gpus.accelerator().clone(), gpus.fabric().clone())
+    }
+
+    #[test]
+    fn fig7_bandwidth_sweep_shape() {
+        // Llama-405B, B=8, I/O 200/200, TP=64, 30 ns: latency falls
+        // steeply from 0.5 TB/s then saturates beyond ~8 TB/s.
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let shape = RequestShape::paper_io(8);
+        let mut latencies = Vec::new();
+        for bw in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            let r = spu_estimator(bw, 30.0).estimate(&model, &par, shape).unwrap();
+            latencies.push(r.latency_s());
+        }
+        for w in latencies.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "latency must fall with bandwidth");
+        }
+        let overall = latencies[0] / latencies[6];
+        assert!(
+            (8.0..30.0).contains(&overall),
+            "paper sees ~17× from 0.5→32 TB/s, got {overall:.1}"
+        );
+        let saturation = latencies[4] / latencies[6];
+        assert!(
+            saturation < 1.35,
+            "should saturate beyond 8 TB/s, got {saturation:.2}"
+        );
+    }
+
+    #[test]
+    fn fig7a_latency_sensitivity() {
+        // Throughput falls steadily as DRAM latency goes 10 → 200 ns at
+        // 16 TB/s.
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let shape = RequestShape::paper_io(8);
+        let mut last = f64::INFINITY;
+        for lat in [10.0, 30.0, 50.0, 100.0, 200.0] {
+            let r = spu_estimator(16.0, lat).estimate(&model, &par, shape).unwrap();
+            let p = r.pflops_per_unit();
+            assert!(p < last, "throughput must fall with latency");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn fig7b_batch_tradeoff() {
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let mut last_throughput = 0.0;
+        let mut last_latency = 0.0;
+        for b in [4, 8, 16, 32, 64, 128] {
+            let r = spu_estimator(16.0, 30.0)
+                .estimate(&model, &par, RequestShape::paper_io(b))
+                .unwrap();
+            assert!(r.pflops_per_unit() > last_throughput, "throughput grows with batch");
+            assert!(r.latency_s() > last_latency, "latency grows with batch");
+            last_throughput = r.pflops_per_unit();
+            last_latency = r.latency_s();
+        }
+    }
+
+    #[test]
+    fn fig8a_model_speedups() {
+        // Paper: 8.9×–10.6× vs 64 H100s at 16 TB/s, B=8, I/O 200/200.
+        // MoE-132B has 48 heads, so its 64 units split TP=16 × PP=4.
+        let shape = RequestShape::paper_io(8);
+        let cases = [
+            (ModelZoo::moe_132b(), Parallelism::new(16, 4, 1).unwrap()),
+            (ModelZoo::llama_70b(), Parallelism::pure_tp(64).unwrap()),
+            (ModelZoo::llama_405b(), Parallelism::pure_tp(64).unwrap()),
+        ];
+        for (model, par) in cases {
+            let spu = spu_estimator(16.0, 30.0).estimate(&model, &par, shape).unwrap();
+            let gpu = gpu_estimator().estimate(&model, &par, shape).unwrap();
+            let speedup = gpu.latency_s() / spu.latency_s();
+            assert!(
+                (4.0..40.0).contains(&speedup),
+                "{}: inference speed-up {speedup:.1} outside band",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn inference_speedup_exceeds_training_speedup() {
+        // The paper's key takeaway: inference benefits more than training.
+        let model = ModelZoo::gpt3_76b();
+        let train_par = Parallelism::new(8, 8, 1).unwrap();
+        // 80 heads: 64-unit inference splits TP=16 × PP=4.
+        let inf_par = Parallelism::new(16, 4, 1).unwrap();
+        let shape = RequestShape::paper_io(8);
+
+        let spu_inf = spu_estimator(16.0, 30.0).estimate(&model, &inf_par, shape).unwrap();
+        let gpu_inf = gpu_estimator().estimate(&model, &inf_par, shape).unwrap();
+        let inf_speedup = gpu_inf.latency_s() / spu_inf.latency_s();
+
+        let blade = Blade::baseline();
+        let spu_train = crate::training::TrainingEstimator::new(
+            blade
+                .accelerator()
+                .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        )
+        .estimate(&model, &train_par, 64)
+        .unwrap();
+        let gpus = GpuSystem::h100_cluster(64);
+        let gpu_train = crate::training::TrainingEstimator::new(
+            gpus.accelerator().clone(),
+            gpus.fabric().clone(),
+        )
+        .estimate(&model, &train_par, 64)
+        .unwrap();
+        let train_speedup = gpu_train.total_s / spu_train.total_s;
+        assert!(
+            inf_speedup > train_speedup,
+            "inference {inf_speedup:.1}× should exceed training {train_speedup:.1}×"
+        );
+    }
+
+    #[test]
+    fn kv_cache_reported() {
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let r = spu_estimator(16.0, 30.0)
+            .estimate(&model, &par, RequestShape::paper_io(8))
+            .unwrap();
+        // 2·126·8·400·16384·2 ≈ 26.4 GB at the generated length.
+        assert!((r.kv_cache_bytes / 1e9 - 26.4).abs() < 1.0);
+    }
+}

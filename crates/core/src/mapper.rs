@@ -1,0 +1,161 @@
+//! Mapping search: "for a given system architecture and workload, we
+//! assess the most optimal mapping, reducing communication overhead" (§V).
+//!
+//! Exhaustively enumerates the (TP, PP, DP) factorizations of the unit
+//! count that are compatible with the model and picks the one minimizing
+//! estimated step time.
+
+use crate::error::OptimusError;
+use crate::training::{TrainingEstimator, TrainingReport};
+use llm_workload::model::TransformerConfig;
+use llm_workload::parallelism::Parallelism;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MappingChoice {
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Pipeline-parallel degree.
+    pub pp: u32,
+    /// Data-parallel degree.
+    pub dp: u32,
+    /// Estimated step time (s).
+    pub step_time_s: f64,
+}
+
+/// Exhaustive mapping search over a fixed unit count.
+#[derive(Debug, Clone)]
+pub struct MappingSearch {
+    units: u32,
+}
+
+impl MappingSearch {
+    /// Creates a search over `units` processing units.
+    #[must_use]
+    pub fn new(units: u32) -> Self {
+        Self { units }
+    }
+
+    /// All valid (tp, pp, dp) factorizations for `model`.
+    #[must_use]
+    pub fn candidates(&self, model: &TransformerConfig, global_batch: u32) -> Vec<Parallelism> {
+        let mut out = Vec::new();
+        let n = self.units;
+        for tp in 1..=n {
+            if !n.is_multiple_of(tp) {
+                continue;
+            }
+            for pp in 1..=(n / tp) {
+                if !(n / tp).is_multiple_of(pp) {
+                    continue;
+                }
+                let dp = n / tp / pp;
+                let Ok(par) = Parallelism::new(tp, pp, dp) else {
+                    continue;
+                };
+                if par.check_model(model).is_err() {
+                    continue;
+                }
+                if !global_batch.is_multiple_of(dp) {
+                    continue;
+                }
+                out.push(par);
+            }
+        }
+        out
+    }
+
+    /// Finds the fastest training mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Mapping`] if no candidate is valid.
+    pub fn best_training(
+        &self,
+        estimator: &TrainingEstimator,
+        model: &TransformerConfig,
+        global_batch: u32,
+    ) -> Result<(MappingChoice, TrainingReport), OptimusError> {
+        let mut best: Option<(MappingChoice, TrainingReport)> = None;
+        for par in self.candidates(model, global_batch) {
+            let Ok(report) = estimator.estimate(model, &par, global_batch) else {
+                continue;
+            };
+            let choice = MappingChoice {
+                tp: par.tp(),
+                pp: par.pp(),
+                dp: par.dp(),
+                step_time_s: report.total_s,
+            };
+            match &best {
+                Some((b, _)) if b.step_time_s <= choice.step_time_s => {}
+                _ => best = Some((choice, report)),
+            }
+        }
+        best.ok_or_else(|| OptimusError::Mapping {
+            reason: format!(
+                "no valid (tp,pp,dp) factorization of {} units for {}",
+                self.units, model.name
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::model::ModelZoo;
+    use scd_arch::Blade;
+    use scd_tech::units::Bandwidth;
+
+    fn estimator(bw: f64) -> TrainingEstimator {
+        let blade = Blade::baseline();
+        TrainingEstimator::new(
+            blade
+                .accelerator()
+                .with_dram_bandwidth(Bandwidth::from_tbps(bw)),
+            blade.interconnect(),
+        )
+    }
+
+    #[test]
+    fn candidates_respect_model_constraints() {
+        let search = MappingSearch::new(64);
+        let model = ModelZoo::gpt3_76b(); // 80 heads
+        for par in search.candidates(&model, 64) {
+            assert_eq!(par.units(), 64);
+            assert_eq!(model.heads % par.tp(), 0);
+        }
+        // tp=64 does not divide 80 heads, so it must be absent.
+        assert!(search
+            .candidates(&model, 64)
+            .iter()
+            .all(|p| p.tp() != 64));
+    }
+
+    #[test]
+    fn best_mapping_beats_or_matches_naive() {
+        let search = MappingSearch::new(64);
+        let model = ModelZoo::gpt3_76b();
+        let est = estimator(16.0);
+        let (best, _) = search.best_training(&est, &model, 64).unwrap();
+        let naive = est
+            .estimate(&model, &Parallelism::new(8, 8, 1).unwrap(), 64)
+            .unwrap();
+        assert!(best.step_time_s <= naive.total_s * 1.0001);
+    }
+
+    #[test]
+    fn impossible_search_errors() {
+        let search = MappingSearch::new(7); // prime, larger than any divisor set
+        let mut model = ModelZoo::gpt3_76b();
+        model.heads = 64; // 7 divides neither heads nor layers usefully
+        model.ffn_hidden = 4096;
+        // batch 3 not divisible by dp=7 either → only dp=1,tp=1,pp=7 path
+        // remains; make layers < 7 to kill it.
+        model.layers = 4;
+        let est = estimator(16.0);
+        assert!(search.best_training(&est, &model, 3).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! The hierarchical roofline kernel-timing engine (§V).
+//!
+//! For every kernel Optimus determines whether it is compute- or
+//! memory-bound: compute time is `flops / achievable_flops`; memory time
+//! is evaluated against the hierarchy level each traffic stream resides
+//! in, using the latency-aware transfer model of `scd-mem`. A kernel's
+//! time is the maximum of its compute time and its slowest stream — the
+//! standard overlapped-roofline assumption.
+
+use llm_workload::kernel::Kernel;
+use scd_arch::Accelerator;
+use scd_mem::level::LevelKind;
+use scd_tech::units::TimeInterval;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a kernel is limited by compute or by a memory level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Boundedness {
+    /// Limited by MAC throughput.
+    Compute,
+    /// Limited by traffic at the given level.
+    Memory(LevelKind),
+}
+
+impl fmt::Display for Boundedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Compute => write!(f, "compute-bound"),
+            Self::Memory(l) => write!(f, "{l}-bound"),
+        }
+    }
+}
+
+/// Traffic-placement policy for a kernel stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Level parameters (weights) stream from.
+    pub weights: LevelKind,
+    /// Level attention KV streams from (decode); `None` keeps it with
+    /// the weights level.
+    pub kv: Option<LevelKind>,
+}
+
+impl Placement {
+    /// The default placement: weights and KV in main memory.
+    #[must_use]
+    pub fn dram() -> Self {
+        Self {
+            weights: LevelKind::MainMemory,
+            kv: None,
+        }
+    }
+
+    /// The §VI study: KV cache pinned in the blade-shared L2.
+    #[must_use]
+    pub fn kv_in_l2() -> Self {
+        Self {
+            weights: LevelKind::MainMemory,
+            kv: Some(LevelKind::L2),
+        }
+    }
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Self::dram()
+    }
+}
+
+/// Timing verdict for one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTime {
+    /// Compute-limited time.
+    pub compute: TimeInterval,
+    /// Memory-limited time (slowest stream).
+    pub memory: TimeInterval,
+    /// Resulting kernel time (max of the two).
+    pub total: TimeInterval,
+    /// What limited the kernel.
+    pub bound: Boundedness,
+}
+
+/// The roofline engine over one accelerator.
+#[derive(Debug, Clone)]
+pub struct Roofline<'a> {
+    accel: &'a Accelerator,
+    placement: Placement,
+}
+
+impl<'a> Roofline<'a> {
+    /// Creates an engine with the default (DRAM) placement.
+    #[must_use]
+    pub fn new(accel: &'a Accelerator) -> Self {
+        Self {
+            accel,
+            placement: Placement::dram(),
+        }
+    }
+
+    /// Overrides the traffic placement.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The accelerator under analysis.
+    #[must_use]
+    pub fn accelerator(&self) -> &Accelerator {
+        self.accel
+    }
+
+    /// Level activations stream from: the innermost level whose capacity
+    /// fits the kernel's activation working set.
+    #[must_use]
+    pub fn activation_level(&self, kernel: &Kernel) -> LevelKind {
+        let bytes = kernel.activation_bytes.max(0.0) as u64;
+        self.accel
+            .hierarchy
+            .placement(bytes)
+            .map_or(LevelKind::MainMemory, |l| l.kind)
+    }
+
+    /// Times one invocation of `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for accelerators built by `scd-arch` (all levels
+    /// present).
+    #[must_use]
+    pub fn time_kernel(&self, kernel: &Kernel) -> KernelTime {
+        let compute = TimeInterval::from_base(kernel.flops / self.accel.achievable_flops());
+
+        // Weight stream.
+        let weight_level = self
+            .accel
+            .hierarchy
+            .level(self.placement.weights)
+            .unwrap_or_else(|| self.accel.hierarchy.outermost());
+        // Persistent KV streams live with the weights (DRAM) unless the
+        // placement pins them elsewhere; transient activations stream from
+        // the innermost level they fit in.
+        let act_level_kind = if kernel.kv_stream {
+            self.placement.kv.unwrap_or(self.placement.weights)
+        } else {
+            self.activation_level(kernel)
+        };
+        let act_level = self
+            .accel
+            .hierarchy
+            .level(act_level_kind)
+            .unwrap_or_else(|| self.accel.hierarchy.outermost());
+
+        let t_weights = weight_level.transfer_time(kernel.weight_bytes);
+        let t_acts = act_level.transfer_time(kernel.activation_bytes);
+        let (memory, mem_level) = if t_weights.seconds() >= t_acts.seconds() {
+            (t_weights, weight_level.kind)
+        } else {
+            (t_acts, act_level.kind)
+        };
+
+        let total = compute.max(memory);
+        let bound = if compute.seconds() >= memory.seconds() {
+            Boundedness::Compute
+        } else {
+            Boundedness::Memory(mem_level)
+        };
+        KernelTime {
+            compute,
+            memory,
+            total,
+            bound,
+        }
+    }
+
+    /// Times all invocations of `kernel`.
+    #[must_use]
+    pub fn time_all(&self, kernel: &Kernel) -> TimeInterval {
+        self.time_kernel(kernel).total * kernel.invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::kernel::KernelClass;
+    use llm_workload::model::Precision;
+    use scd_arch::Blade;
+    use scd_tech::units::Bandwidth;
+
+    fn spu() -> Accelerator {
+        Blade::baseline()
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0))
+    }
+
+    #[test]
+    fn large_square_gemm_is_compute_bound() {
+        let accel = spu();
+        let r = Roofline::new(&accel);
+        let k = Kernel::gemm(
+            "big",
+            KernelClass::Gemm,
+            4096.0,
+            4096.0,
+            4096.0,
+            Precision::Bf16,
+            1.0,
+        );
+        let t = r.time_kernel(&k);
+        assert_eq!(t.bound, Boundedness::Compute);
+    }
+
+    #[test]
+    fn decode_gemv_is_memory_bound() {
+        let accel = spu();
+        let r = Roofline::new(&accel);
+        let k = Kernel::gemm(
+            "gemv",
+            KernelClass::Gemm,
+            8.0,
+            16384.0,
+            16384.0,
+            Precision::Bf16,
+            1.0,
+        );
+        let t = r.time_kernel(&k);
+        assert_eq!(t.bound, Boundedness::Memory(LevelKind::MainMemory));
+    }
+
+    #[test]
+    fn more_bandwidth_speeds_memory_bound_kernels() {
+        let slow = Blade::baseline()
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(0.5));
+        let fast = Blade::baseline()
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(8.0));
+        let k = Kernel::gemm(
+            "gemv",
+            KernelClass::Gemm,
+            8.0,
+            16384.0,
+            16384.0,
+            Precision::Bf16,
+            1.0,
+        );
+        let t_slow = Roofline::new(&slow).time_kernel(&k).total;
+        let t_fast = Roofline::new(&fast).time_kernel(&k).total;
+        assert!(t_slow.seconds() / t_fast.seconds() > 4.0);
+    }
+
+    #[test]
+    fn small_activations_stream_from_inner_levels() {
+        let accel = spu();
+        let r = Roofline::new(&accel);
+        let small = Kernel::elementwise("ln", 1024.0, 5.0, Precision::Bf16, 1.0);
+        assert_eq!(r.activation_level(&small), LevelKind::RegisterFile);
+        let medium = Kernel::elementwise("softmax", 4e6, 5.0, Precision::Bf16, 1.0);
+        assert_eq!(r.activation_level(&medium), LevelKind::L1);
+    }
+
+    #[test]
+    fn kv_in_l2_accelerates_attention_kernels() {
+        let accel = Blade::baseline().accelerator(); // 0.47 TB/s DRAM
+        let mut kv = Kernel::activation_gemm(
+            "attn_scores",
+            1.0,
+            4096.0,
+            128.0,
+            8.0 * 128.0,
+            Precision::Bf16,
+            1.0,
+        );
+        kv.kv_stream = true;
+        let t_dram = Roofline::new(&accel).time_kernel(&kv).total;
+        let t_l2 = Roofline::new(&accel)
+            .with_placement(Placement::kv_in_l2())
+            .time_kernel(&kv)
+            .total;
+        assert!(
+            t_dram.seconds() / t_l2.seconds() > 2.0,
+            "L2 pinning should speed KV streams: {} vs {}",
+            t_dram,
+            t_l2
+        );
+    }
+
+    #[test]
+    fn time_all_scales_with_invocations() {
+        let accel = spu();
+        let r = Roofline::new(&accel);
+        let mut k = Kernel::elementwise("ln", 1e6, 5.0, Precision::Bf16, 1.0);
+        let one = r.time_all(&k);
+        k.invocations = 10.0;
+        let ten = r.time_all(&k);
+        assert!((ten.seconds() / one.seconds() - 10.0).abs() < 1e-9);
+    }
+}

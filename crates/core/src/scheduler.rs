@@ -1,0 +1,198 @@
+//! Serving-throughput scheduler: "this trade off helps determining the
+//! number of queries that can be batched without sacrificing user
+//! experience" (§VI, Fig. 7 inset b).
+//!
+//! Given a latency target per generated token (the user-experience
+//! budget), the scheduler finds the largest batch the system can run
+//! within budget and reports the resulting serving throughput
+//! (tokens/second) — the capacity-planning question behind the paper's
+//! batching study.
+
+use crate::error::OptimusError;
+use crate::inference::{InferenceEstimator, RequestShape};
+use llm_workload::model::TransformerConfig;
+use llm_workload::parallelism::Parallelism;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serving operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingPoint {
+    /// Concurrent batch size.
+    pub batch: u32,
+    /// Mean decode time per token (s).
+    pub per_token_s: f64,
+    /// Aggregate serving throughput (generated tokens per second across
+    /// the batch).
+    pub tokens_per_s: f64,
+    /// End-to-end request latency (s).
+    pub request_latency_s: f64,
+}
+
+impl fmt::Display for ServingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "B={}: {:.2} ms/token, {:.0} tok/s, request {:.2} s",
+            self.batch,
+            self.per_token_s * 1e3,
+            self.tokens_per_s,
+            self.request_latency_s
+        )
+    }
+}
+
+/// Result of a scheduler search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerDecision {
+    /// The chosen operating point (largest batch within budget), if any
+    /// candidate met it.
+    pub chosen: Option<ServingPoint>,
+    /// Every evaluated point, ascending batch.
+    pub frontier: Vec<ServingPoint>,
+    /// The per-token latency budget used (s).
+    pub budget_s: f64,
+}
+
+/// Searches batch sizes (powers of two up to `max_batch`) for the largest
+/// batch whose mean per-token decode latency stays within `budget_s`.
+///
+/// # Errors
+///
+/// Propagates estimation failures.
+pub fn plan_serving(
+    estimator: &InferenceEstimator,
+    model: &TransformerConfig,
+    par: &Parallelism,
+    io: (u32, u32),
+    max_batch: u32,
+    budget_s: f64,
+) -> Result<SchedulerDecision, OptimusError> {
+    let mut frontier = Vec::new();
+    let mut chosen = None;
+    let mut batch = 1u32;
+    while batch <= max_batch {
+        let shape = RequestShape {
+            batch,
+            input_tokens: io.0,
+            output_tokens: io.1,
+        };
+        let r = estimator.estimate(model, par, shape)?;
+        let point = ServingPoint {
+            batch,
+            per_token_s: r.per_token_s,
+            tokens_per_s: f64::from(batch) / r.per_token_s,
+            request_latency_s: r.latency_s(),
+        };
+        if point.per_token_s <= budget_s {
+            chosen = Some(point);
+        }
+        frontier.push(point);
+        batch *= 2;
+    }
+    Ok(SchedulerDecision {
+        chosen,
+        frontier,
+        budget_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::model::ModelZoo;
+    use scd_arch::{Blade, GpuSystem};
+    use scd_tech::units::Bandwidth;
+
+    fn spu_estimator() -> InferenceEstimator {
+        let blade = Blade::baseline();
+        InferenceEstimator::new(
+            blade
+                .accelerator()
+                .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        )
+    }
+
+    fn gpu_estimator() -> InferenceEstimator {
+        let gpus = GpuSystem::h100_cluster(64);
+        InferenceEstimator::new(gpus.accelerator().clone(), gpus.fabric().clone())
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let d = plan_serving(
+            &spu_estimator(),
+            &ModelZoo::llama_405b(),
+            &Parallelism::pure_tp(64).unwrap(),
+            (200, 200),
+            64,
+            1.0, // generous budget: everything qualifies
+        )
+        .unwrap();
+        for w in d.frontier.windows(2) {
+            assert!(w[1].per_token_s >= w[0].per_token_s - 1e-12);
+            assert!(w[1].tokens_per_s >= w[0].tokens_per_s);
+        }
+        assert_eq!(d.chosen.unwrap().batch, 64);
+    }
+
+    #[test]
+    fn tight_budget_limits_batch() {
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let generous = plan_serving(&est, &model, &par, (200, 200), 128, 10.0).unwrap();
+        // Pick a budget between the smallest and largest per-token times.
+        let lo = generous.frontier.first().unwrap().per_token_s;
+        let hi = generous.frontier.last().unwrap().per_token_s;
+        let mid = (lo + hi) / 2.0;
+        let constrained = plan_serving(&est, &model, &par, (200, 200), 128, mid).unwrap();
+        let c = constrained.chosen.expect("some batch fits");
+        assert!(c.batch < 128, "budget must bind");
+        assert!(c.per_token_s <= mid);
+    }
+
+    #[test]
+    fn impossible_budget_chooses_nothing() {
+        let d = plan_serving(
+            &spu_estimator(),
+            &ModelZoo::llama_405b(),
+            &Parallelism::pure_tp(64).unwrap(),
+            (200, 200),
+            8,
+            1e-9,
+        )
+        .unwrap();
+        assert!(d.chosen.is_none());
+        assert!(!d.frontier.is_empty());
+    }
+
+    #[test]
+    fn scd_sustains_larger_batch_at_same_qos() {
+        // The serving-capacity version of the paper's Fig. 7b takeaway.
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let budget = 0.01; // 10 ms per token
+        let scd = plan_serving(&spu_estimator(), &model, &par, (200, 200), 128, budget).unwrap();
+        let gpu = plan_serving(&gpu_estimator(), &model, &par, (200, 200), 128, budget).unwrap();
+        let scd_batch = scd.chosen.map_or(0, |p| p.batch);
+        let gpu_batch = gpu.chosen.map_or(0, |p| p.batch);
+        assert!(
+            scd_batch > gpu_batch,
+            "SCD should batch more at 10 ms/token: {scd_batch} vs {gpu_batch}"
+        );
+        assert!(scd.frontier.iter().all(|p| p.tokens_per_s > 0.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = ServingPoint {
+            batch: 8,
+            per_token_s: 0.0015,
+            tokens_per_s: 5333.0,
+            request_latency_s: 0.3,
+        };
+        assert!(p.to_string().contains("B=8"));
+    }
+}

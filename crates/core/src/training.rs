@@ -1,0 +1,321 @@
+//! End-to-end LLM-training estimation (Fig. 5 / Fig. 6).
+//!
+//! One training step per global batch: all microbatches stream through a
+//! pipeline stage (compute + TP collectives), pipeline fill/drain adds the
+//! GPipe bubble, then the optimizer update and any DP gradient all-reduce
+//! run. The report splits time into the paper's Fig. 6 categories —
+//! compute, communication, and "others" (bubble + weight update).
+
+use crate::error::OptimusError;
+use crate::roofline::{Boundedness, Placement, Roofline};
+use llm_workload::kernel::{CommScope, KernelClass};
+use llm_workload::model::{Precision, TransformerConfig};
+use llm_workload::parallelism::Parallelism;
+use llm_workload::taskgraph::{training_step, weights_per_unit_bytes};
+use scd_arch::{Accelerator, Fabric};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Breakdown of one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Pure compute time per batch (s).
+    pub compute_s: f64,
+    /// Communication time per batch (TP + PP + DP collectives, s).
+    pub comm_s: f64,
+    /// Pipeline-bubble time (s).
+    pub bubble_s: f64,
+    /// Optimizer/weight-update time (s).
+    pub update_s: f64,
+    /// Total step time (s).
+    pub total_s: f64,
+    /// Useful model FLOPs executed per unit per step.
+    pub flops_per_unit: f64,
+    /// Achieved throughput per unit (FLOP/s).
+    pub achieved_flops_per_unit: f64,
+    /// Forward-pass GEMM time per layer spent memory-bound (s).
+    pub fw_gemm_mem_bound_per_layer_s: f64,
+    /// Forward-pass GEMM time per layer spent compute-bound (s).
+    pub fw_gemm_comp_bound_per_layer_s: f64,
+    /// Parameter bytes resident per unit.
+    pub weight_bytes_per_unit: f64,
+}
+
+impl TrainingReport {
+    /// Total step time in seconds.
+    #[must_use]
+    pub fn total_time_s(&self) -> f64 {
+        self.total_s
+    }
+
+    /// "Others" time of Fig. 6: bubble + update.
+    #[must_use]
+    pub fn others_s(&self) -> f64 {
+        self.bubble_s + self.update_s
+    }
+
+    /// Achieved PFLOP/s per unit.
+    #[must_use]
+    pub fn pflops_per_unit(&self) -> f64 {
+        self.achieved_flops_per_unit / 1e15
+    }
+}
+
+impl fmt::Display for TrainingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {:.3} s = comp {:.3} + comm {:.3} + others {:.3}; {:.2} PFLOP/s/unit",
+            self.total_s,
+            self.compute_s,
+            self.comm_s,
+            self.others_s(),
+            self.pflops_per_unit()
+        )
+    }
+}
+
+/// Training estimator for one accelerator type + fabric.
+#[derive(Debug, Clone)]
+pub struct TrainingEstimator {
+    accel: Accelerator,
+    fabric: Fabric,
+    precision: Precision,
+    seq_len: u32,
+}
+
+impl TrainingEstimator {
+    /// Creates an estimator with bf16 precision and the 2048-token
+    /// training context used throughout the paper's §VI.
+    #[must_use]
+    pub fn new(accel: Accelerator, fabric: Fabric) -> Self {
+        Self {
+            accel,
+            fabric,
+            precision: Precision::Bf16,
+            seq_len: 2048,
+        }
+    }
+
+    /// Overrides the sequence length.
+    #[must_use]
+    pub fn with_seq_len(mut self, seq_len: u32) -> Self {
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// Overrides the working precision.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The accelerator under analysis.
+    #[must_use]
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    /// Estimates one training step of `global_batch` sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError`] for invalid model/parallelism combinations.
+    pub fn estimate(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        global_batch: u32,
+    ) -> Result<TrainingReport, OptimusError> {
+        self.accel.validate()?;
+        let graph = training_step(model, par, global_batch, self.seq_len, self.precision)?;
+        let roofline = Roofline::new(&self.accel).with_placement(Placement::dram());
+
+        let mut compute_s = 0.0;
+        let mut update_s = 0.0;
+        let mut fw_gemm_mem = 0.0;
+        let mut fw_gemm_comp = 0.0;
+        let layers_per_stage = f64::from(par.layers_per_stage(model));
+        for kernel in &graph.kernels {
+            let t = roofline.time_kernel(kernel);
+            let total = t.total.seconds() * kernel.invocations;
+            if kernel.class == KernelClass::WeightUpdate {
+                update_s += total;
+                continue;
+            }
+            compute_s += total;
+            // Fig. 5 inset: forward-pass GEMM time per layer, split by
+            // boundedness (GEMM-like kernels only, forward only).
+            let is_fw_gemm = !kernel.name.ends_with("_bwd")
+                && matches!(
+                    kernel.class,
+                    KernelClass::Gemm | KernelClass::Attention | KernelClass::Embedding
+                );
+            if is_fw_gemm {
+                let per_layer = total / layers_per_stage;
+                match t.bound {
+                    Boundedness::Compute => fw_gemm_comp += per_layer,
+                    Boundedness::Memory(_) => fw_gemm_mem += per_layer,
+                }
+            }
+        }
+
+        let mut comm_s = 0.0;
+        let mut dp_comm_s = 0.0;
+        for comm in &graph.comms {
+            let t = match comm.scope {
+                CommScope::TensorParallel => self
+                    .fabric
+                    .all_reduce_time(comm.bytes, par.tp() as usize)
+                    .seconds(),
+                CommScope::DataParallel => self
+                    .fabric
+                    .all_reduce_time(comm.bytes, par.dp() as usize)
+                    .seconds(),
+                CommScope::PipelineNeighbor => self.fabric.p2p_time(comm.bytes).seconds(),
+            };
+            if comm.scope == CommScope::DataParallel {
+                dp_comm_s += t * comm.invocations;
+            } else {
+                comm_s += t * comm.invocations;
+            }
+        }
+
+        // Pipeline bubble: fill/drain stretches the per-stage work.
+        let microbatches = global_batch / par.dp();
+        let bubble = par.bubble_fraction(microbatches);
+        let stage_work = compute_s + comm_s;
+        let bubble_s = if bubble > 0.0 {
+            stage_work * bubble / (1.0 - bubble)
+        } else {
+            0.0
+        };
+
+        let total_s = stage_work + bubble_s + update_s + dp_comm_s;
+        let flops_per_unit = graph.total_flops();
+        Ok(TrainingReport {
+            compute_s,
+            comm_s: comm_s + dp_comm_s,
+            bubble_s,
+            update_s,
+            total_s,
+            flops_per_unit,
+            achieved_flops_per_unit: flops_per_unit / total_s,
+            fw_gemm_mem_bound_per_layer_s: fw_gemm_mem,
+            fw_gemm_comp_bound_per_layer_s: fw_gemm_comp,
+            weight_bytes_per_unit: weights_per_unit_bytes(model, par, self.precision),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_workload::model::ModelZoo;
+    use scd_arch::{Blade, GpuSystem};
+    use scd_tech::units::Bandwidth;
+
+    fn spu_estimator(bw_tbps: f64) -> TrainingEstimator {
+        let blade = Blade::baseline();
+        let accel = blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw_tbps));
+        TrainingEstimator::new(accel, blade.interconnect())
+    }
+
+    fn gpu_estimator() -> TrainingEstimator {
+        let gpus = GpuSystem::h100_cluster(64);
+        TrainingEstimator::new(gpus.accelerator().clone(), gpus.fabric().clone())
+    }
+
+    #[test]
+    fn throughput_grows_with_bandwidth_and_saturates() {
+        let model = ModelZoo::gpt3_76b();
+        let par = Parallelism::new(8, 8, 1).unwrap();
+        let mut last = 0.0;
+        let mut results = Vec::new();
+        for bw in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            let r = spu_estimator(bw).estimate(&model, &par, 128).unwrap();
+            let p = r.pflops_per_unit();
+            assert!(p >= last - 1e-9, "monotone in bandwidth: {p} after {last}");
+            last = p;
+            results.push(p);
+        }
+        // Fig. 5 shape: large gains early, saturation by 16 TB/s.
+        let gain_low = results[2] / results[0];
+        let gain_high = results[7] / results[5];
+        assert!(gain_low > 1.5, "low-BW region should scale, got {gain_low}");
+        assert!(gain_high < 1.15, "should saturate, got {gain_high}");
+        // Fig. 5: ~2 PFLOP/s/SPU at 16 TB/s for B=128.
+        assert!(
+            (1.2..2.4).contains(&results[5]),
+            "at 16 TB/s expected ~2 PFLOP/s, got {}",
+            results[5]
+        );
+    }
+
+    #[test]
+    fn gemm_mix_crosses_from_memory_to_compute_bound() {
+        let model = ModelZoo::gpt3_76b();
+        let par = Parallelism::new(8, 8, 1).unwrap();
+        let low = spu_estimator(0.5).estimate(&model, &par, 128).unwrap();
+        let high = spu_estimator(32.0).estimate(&model, &par, 128).unwrap();
+        let low_mem_frac = low.fw_gemm_mem_bound_per_layer_s
+            / (low.fw_gemm_mem_bound_per_layer_s + low.fw_gemm_comp_bound_per_layer_s);
+        let high_mem_frac = high.fw_gemm_mem_bound_per_layer_s
+            / (high.fw_gemm_mem_bound_per_layer_s + high.fw_gemm_comp_bound_per_layer_s);
+        assert!(low_mem_frac > 0.5, "low BW is memory-dominated: {low_mem_frac}");
+        assert!(high_mem_frac < 0.3, "high BW is compute-dominated: {high_mem_frac}");
+    }
+
+    #[test]
+    fn spu_beats_gpu_training_by_3_to_5x() {
+        // Fig. 6: 3.5–4.4× for B=64, TP=8, PP=8, 16 TB/s per SPU.
+        let par = Parallelism::new(8, 8, 1).unwrap();
+        for model in [
+            ModelZoo::gpt3_18b(),
+            ModelZoo::gpt3_76b(),
+            ModelZoo::gpt3_175b(),
+        ] {
+            let spu = spu_estimator(16.0).estimate(&model, &par, 64).unwrap();
+            let gpu = gpu_estimator().estimate(&model, &par, 64).unwrap();
+            let speedup = gpu.total_s / spu.total_s;
+            assert!(
+                (2.5..6.0).contains(&speedup),
+                "{}: speed-up {speedup:.2} outside the paper's band",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn larger_batch_amortizes_bubble() {
+        let model = ModelZoo::gpt3_76b();
+        let par = Parallelism::new(8, 8, 1).unwrap();
+        let b64 = spu_estimator(16.0).estimate(&model, &par, 64).unwrap();
+        let b128 = spu_estimator(16.0).estimate(&model, &par, 128).unwrap();
+        // Fig. 5 vs Fig. 6: 1.5 → 2 PFLOP/s going from B=64 to B=128.
+        assert!(b128.pflops_per_unit() > b64.pflops_per_unit());
+        let bubble64 = b64.bubble_s / b64.total_s;
+        let bubble128 = b128.bubble_s / b128.total_s;
+        assert!(bubble128 < bubble64);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let model = ModelZoo::gpt3_18b();
+        let par = Parallelism::training_baseline();
+        let r = spu_estimator(16.0).estimate(&model, &par, 64).unwrap();
+        let sum = r.compute_s + r.comm_s + r.bubble_s + r.update_s;
+        assert!((sum - r.total_s).abs() / r.total_s < 1e-9);
+        assert!(r.to_string().contains("PFLOP/s"));
+    }
+
+    #[test]
+    fn dp_requires_divisible_batch() {
+        let model = ModelZoo::gpt3_18b();
+        let par = Parallelism::new(8, 1, 3).unwrap();
+        assert!(spu_estimator(16.0).estimate(&model, &par, 64).is_err());
+    }
+}

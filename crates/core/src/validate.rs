@@ -1,0 +1,87 @@
+//! Cross-validation of the analytical communication model against the
+//! discrete-event NoC simulator — the role the paper's reference [35]
+//! plays for Optimus (validation against measured systems).
+
+use scd_noc::collective::{analytical_ring_all_reduce, simulate_ring_all_reduce};
+use scd_noc::sim::NocConfig;
+use scd_noc::topology::Torus;
+use serde::{Deserialize, Serialize};
+
+/// One validation point: analytical vs simulated all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationPoint {
+    /// Bytes per node.
+    pub bytes: f64,
+    /// Analytical ring all-reduce time (s).
+    pub analytical_s: f64,
+    /// Discrete-event simulated time (s).
+    pub simulated_s: f64,
+}
+
+impl ValidationPoint {
+    /// Ratio simulated / analytical.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.simulated_s / self.analytical_s
+    }
+}
+
+/// Sweeps all-reduce sizes on the blade torus and compares the closed-form
+/// ring model (the same structure the fabric's bandwidth term uses)
+/// against the event-driven simulation, with hop parameters taken from the
+/// simulator configuration so the comparison is apples-to-apples.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn validate_all_reduce(
+    torus: &Torus,
+    config: NocConfig,
+    sizes: &[f64],
+) -> Result<Vec<ValidationPoint>, scd_noc::NocError> {
+    let n = torus.nodes();
+    let hop_s = (config.router_delay_ps + config.wire_delay_ps) as f64 * 1e-12;
+    let mut points = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        let sim = simulate_ring_all_reduce(torus, config, bytes)?;
+        let analytical = analytical_ring_all_reduce(n, bytes, config.link_bytes_per_s, hop_s);
+        points.push(ValidationPoint {
+            bytes,
+            analytical_s: analytical,
+            simulated_s: sim.makespan_ps as f64 * 1e-12,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_model_tracks_simulation_within_50_percent() {
+        let torus = Torus::blade_8x8();
+        let cfg = NocConfig::blade_baseline();
+        let sizes = [1e6, 16e6, 64e6, 256e6];
+        let points = validate_all_reduce(&torus, cfg, &sizes).unwrap();
+        for p in points {
+            let r = p.ratio();
+            assert!(
+                (0.5..1.5).contains(&r),
+                "bytes {:.0e}: sim/analytical ratio {r:.2}",
+                p.bytes
+            );
+        }
+    }
+
+    #[test]
+    fn both_models_scale_linearly_at_large_sizes() {
+        let torus = Torus::blade_8x8();
+        let cfg = NocConfig::blade_baseline();
+        let points = validate_all_reduce(&torus, cfg, &[64e6, 128e6]).unwrap();
+        let sim_ratio = points[1].simulated_s / points[0].simulated_s;
+        let ana_ratio = points[1].analytical_s / points[0].analytical_s;
+        assert!((sim_ratio - 2.0).abs() < 0.2, "sim {sim_ratio}");
+        assert!((ana_ratio - 2.0).abs() < 0.2, "analytical {ana_ratio}");
+    }
+}

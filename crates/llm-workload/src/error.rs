@@ -1,0 +1,43 @@
+//! Error types for the workload layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building workloads or parallelization plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A parallelism degree was invalid for the model/system.
+    InvalidParallelism {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A model configuration was inconsistent.
+    InvalidModel {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParallelism { reason } => write!(f, "invalid parallelism: {reason}"),
+            Self::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = WorkloadError::InvalidParallelism {
+            reason: "tp=3 does not divide 48 heads".to_owned(),
+        };
+        assert!(e.to_string().contains("tp=3"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-unit memory-footprint accounting for training and inference.
+//!
+//! The paper's capacity arguments (Fig. 8b's 5 TB GPU ceiling, the 2 TB
+//! cryo-DRAM blade) need the standard footprint decomposition: weights,
+//! gradients, optimizer state and activations for training; weights and
+//! KV cache for inference. Activation sizing follows the Megatron
+//! accounting (≈ `s·b·h·(34 + 5·a·s/h)` bytes per layer at 16-bit
+//! precision), with optional full activation recomputation, which trades
+//! one extra forward pass for storing only layer inputs.
+
+use crate::kvcache::KvCache;
+use crate::model::{Precision, TransformerConfig};
+use crate::parallelism::Parallelism;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory footprint of one processing unit, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Model weights resident on the unit.
+    pub weights: f64,
+    /// Gradients (training only).
+    pub gradients: f64,
+    /// Optimizer state (training only; mixed-precision Adam ≈ 12 B/param).
+    pub optimizer: f64,
+    /// Peak activation storage.
+    pub activations: f64,
+    /// KV cache (inference only).
+    pub kv_cache: f64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.weights + self.gradients + self.optimizer + self.activations + self.kv_cache
+    }
+
+    /// Whether the footprint fits a memory of `capacity_bytes`.
+    #[must_use]
+    pub fn fits(&self, capacity_bytes: u64) -> bool {
+        self.total() <= capacity_bytes as f64
+    }
+}
+
+impl fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} GB (w {:.2} + g {:.2} + opt {:.2} + act {:.2} + kv {:.2})",
+            self.total() / 1e9,
+            self.weights / 1e9,
+            self.gradients / 1e9,
+            self.optimizer / 1e9,
+            self.activations / 1e9,
+            self.kv_cache / 1e9
+        )
+    }
+}
+
+/// Activation-storage policy during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationPolicy {
+    /// Store every intermediate activation for the backward pass.
+    StoreAll,
+    /// Full recomputation: store only layer inputs, re-run the forward
+    /// pass inside backward (≈ +33 % forward FLOPs, ~10× less activation
+    /// memory).
+    Recompute,
+}
+
+/// Per-unit training footprint for `microbatches_in_flight` concurrent
+/// microbatches (≈ the PP degree under 1F1B).
+#[must_use]
+pub fn training_footprint(
+    model: &TransformerConfig,
+    par: &Parallelism,
+    seq_len: u32,
+    precision: Precision,
+    policy: ActivationPolicy,
+) -> MemoryFootprint {
+    let shards = f64::from(par.tp() * par.pp());
+    let params_per_unit = model.total_params() / shards;
+    let b = precision.bytes();
+    let weights = params_per_unit * b;
+    let gradients = params_per_unit * b;
+    let optimizer = params_per_unit * 12.0;
+
+    let s = f64::from(seq_len);
+    let h = f64::from(model.hidden);
+    let a = f64::from(model.heads);
+    let layers_per_stage = f64::from(par.layers_per_stage(model));
+    let in_flight = f64::from(par.pp());
+    // Megatron per-layer activation bytes for one sequence at 16-bit,
+    // sharded by TP; recompute keeps only the 2·s·h layer input.
+    let per_layer = match policy {
+        ActivationPolicy::StoreAll => s * h * (34.0 + 5.0 * a * s / h) / f64::from(par.tp()),
+        ActivationPolicy::Recompute => 2.0 * s * h,
+    };
+    let activations = per_layer * layers_per_stage * in_flight;
+
+    MemoryFootprint {
+        weights,
+        gradients,
+        optimizer,
+        activations,
+        kv_cache: 0.0,
+    }
+}
+
+/// Per-unit inference footprint at the given request shape.
+#[must_use]
+pub fn inference_footprint(
+    model: &TransformerConfig,
+    par: &Parallelism,
+    batch: u32,
+    seq_len: u32,
+    precision: Precision,
+) -> MemoryFootprint {
+    let shards = f64::from(par.tp() * par.pp());
+    let weights = model.total_params() / shards * precision.bytes();
+    let kv = KvCache {
+        batch,
+        seq_len,
+        precision,
+    }
+    .bytes_mha(model)
+        / shards;
+    // Transient decode activations are negligible next to weights/KV.
+    let activations = f64::from(batch) * f64::from(model.hidden) * precision.bytes() * 8.0;
+    MemoryFootprint {
+        weights,
+        gradients: 0.0,
+        optimizer: 0.0,
+        activations,
+        kv_cache: kv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelZoo;
+
+    #[test]
+    fn gpt3_175b_needs_recompute_on_h100() {
+        let model = ModelZoo::gpt3_175b();
+        let par = Parallelism::new(8, 8, 1).unwrap();
+        // 80 GB HBM minus ~10 % workspace/fragmentation reserve.
+        let usable: u64 = 72 << 30;
+        let store = training_footprint(&model, &par, 2048, Precision::Bf16,
+                                       ActivationPolicy::StoreAll);
+        let recompute = training_footprint(&model, &par, 2048, Precision::Bf16,
+                                           ActivationPolicy::Recompute);
+        assert!(
+            !store.fits(usable),
+            "store-all should blow the usable budget: {store}"
+        );
+        assert!(
+            recompute.fits(usable),
+            "recompute should fit: {recompute}"
+        );
+    }
+
+    #[test]
+    fn recompute_slashes_activation_memory() {
+        let model = ModelZoo::gpt3_76b();
+        let par = Parallelism::training_baseline();
+        let store =
+            training_footprint(&model, &par, 2048, Precision::Bf16, ActivationPolicy::StoreAll);
+        let rec = training_footprint(
+            &model,
+            &par,
+            2048,
+            Precision::Bf16,
+            ActivationPolicy::Recompute,
+        );
+        // The Megatron ratio (34 + 5·a·s/h)/tp : 2 ≈ 7× here.
+        assert!(store.activations / rec.activations > 5.0);
+        // Weights/optimizer unchanged.
+        assert_eq!(store.weights, rec.weights);
+        assert_eq!(store.optimizer, rec.optimizer);
+    }
+
+    #[test]
+    fn inference_llama405_fits_64_gpus_at_b8_not_weights_on_one() {
+        let model = ModelZoo::llama_405b();
+        let tp64 = Parallelism::pure_tp(64).unwrap();
+        let fp = inference_footprint(&model, &tp64, 8, 400, Precision::Bf16);
+        assert!(fp.fits(80 << 30), "sharded 64-way fits one H100: {fp}");
+        let tp1 = Parallelism::new(1, 1, 1).unwrap();
+        let single = inference_footprint(&model, &tp1, 8, 400, Precision::Bf16);
+        assert!(!single.fits(80 << 30), "unsharded 405B cannot fit");
+    }
+
+    #[test]
+    fn footprint_display_and_total() {
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).unwrap();
+        let fp = inference_footprint(&model, &par, 1, 4096, Precision::Bf16);
+        let sum = fp.weights + fp.gradients + fp.optimizer + fp.activations + fp.kv_cache;
+        assert!((fp.total() - sum).abs() < 1.0);
+        assert!(fp.to_string().contains("GB"));
+    }
+
+    #[test]
+    fn optimizer_state_dominates_training_weights() {
+        let model = ModelZoo::gpt3_18b();
+        let par = Parallelism::training_baseline();
+        let fp =
+            training_footprint(&model, &par, 2048, Precision::Bf16, ActivationPolicy::Recompute);
+        assert!(fp.optimizer > fp.weights * 5.0);
+    }
+}

@@ -1,0 +1,436 @@
+//! Transformer model configurations — the model zoo of the paper's §VI:
+//! the Megatron GPT-3 family (18.4B/76.1B/175B), Llama-2 (7B/13B/70B),
+//! Llama-3 405B and a DBRX-class MoE-132B/38B.
+
+use crate::error::WorkloadError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric precision of weights/activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 8-bit floating point.
+    Fp8,
+    /// bfloat16 (the paper's working precision).
+    Bf16,
+    /// IEEE half.
+    Fp16,
+    /// IEEE single.
+    Fp32,
+}
+
+impl Precision {
+    /// Bytes per element.
+    #[must_use]
+    pub fn bytes(self) -> f64 {
+        match self {
+            Self::Fp8 => 1.0,
+            Self::Bf16 | Self::Fp16 => 2.0,
+            Self::Fp32 => 4.0,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fp8 => write!(f, "fp8"),
+            Self::Bf16 => write!(f, "bf16"),
+            Self::Fp16 => write!(f, "fp16"),
+            Self::Fp32 => write!(f, "fp32"),
+        }
+    }
+}
+
+/// Mixture-of-experts configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MoeConfig {
+    /// Total experts per MLP block.
+    pub experts: u32,
+    /// Experts activated per token (top-k routing).
+    pub active_experts: u32,
+}
+
+/// A decoder-only transformer configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Model name.
+    pub name: String,
+    /// Decoder layers.
+    pub layers: u32,
+    /// Hidden dimension.
+    pub hidden: u32,
+    /// Attention heads.
+    pub heads: u32,
+    /// Key/value heads (== `heads` for MHA, fewer for GQA).
+    pub kv_heads: u32,
+    /// Feed-forward inner dimension (per expert, for MoE).
+    pub ffn_hidden: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Whether the MLP is gated (SwiGLU: three weight matrices instead of
+    /// two).
+    pub gated_mlp: bool,
+    /// Maximum context length the KV cache is provisioned for.
+    pub max_context: u32,
+    /// MoE configuration, if any.
+    pub moe: Option<MoeConfig>,
+}
+
+impl TransformerConfig {
+    /// Head dimension.
+    #[must_use]
+    pub fn head_dim(&self) -> u32 {
+        self.hidden / self.heads
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidModel`] for inconsistent shapes.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.layers == 0 || self.hidden == 0 || self.heads == 0 {
+            return Err(WorkloadError::InvalidModel {
+                reason: "layers, hidden and heads must be non-zero".to_owned(),
+            });
+        }
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(WorkloadError::InvalidModel {
+                reason: format!("hidden {} not divisible by heads {}", self.hidden, self.heads),
+            });
+        }
+        if self.kv_heads == 0 || !self.heads.is_multiple_of(self.kv_heads) {
+            return Err(WorkloadError::InvalidModel {
+                reason: format!(
+                    "kv_heads {} must divide heads {}",
+                    self.kv_heads, self.heads
+                ),
+            });
+        }
+        if let Some(moe) = &self.moe {
+            if moe.active_experts == 0 || moe.active_experts > moe.experts {
+                return Err(WorkloadError::InvalidModel {
+                    reason: "active experts must be in 1..=experts".to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Attention parameters per layer: QKV + output projections.
+    #[must_use]
+    pub fn attention_params_per_layer(&self) -> f64 {
+        let h = f64::from(self.hidden);
+        let kv = f64::from(self.kv_heads) * f64::from(self.head_dim());
+        // Q: h·h, K/V: h·kv each, O: h·h.
+        h * h + 2.0 * h * kv + h * h
+    }
+
+    /// Weight matrices in one MLP block (2, or 3 when gated).
+    #[must_use]
+    pub fn mlp_matrices(&self) -> f64 {
+        if self.gated_mlp {
+            3.0
+        } else {
+            2.0
+        }
+    }
+
+    /// MLP parameters per layer (all experts for MoE).
+    #[must_use]
+    pub fn mlp_params_per_layer(&self) -> f64 {
+        let h = f64::from(self.hidden);
+        let f = f64::from(self.ffn_hidden);
+        let per_expert = self.mlp_matrices() * h * f;
+        match &self.moe {
+            Some(m) => per_expert * f64::from(m.experts),
+            None => per_expert,
+        }
+    }
+
+    /// MLP parameters touched per token (active experts only).
+    #[must_use]
+    pub fn active_mlp_params_per_layer(&self) -> f64 {
+        let h = f64::from(self.hidden);
+        let f = f64::from(self.ffn_hidden);
+        let per_expert = self.mlp_matrices() * h * f;
+        match &self.moe {
+            Some(m) => per_expert * f64::from(m.active_experts),
+            None => per_expert,
+        }
+    }
+
+    /// Embedding + LM-head parameters.
+    #[must_use]
+    pub fn embedding_params(&self) -> f64 {
+        2.0 * f64::from(self.vocab) * f64::from(self.hidden)
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn total_params(&self) -> f64 {
+        f64::from(self.layers)
+            * (self.attention_params_per_layer() + self.mlp_params_per_layer())
+            + self.embedding_params()
+    }
+
+    /// Parameters active per token (MoE-aware).
+    #[must_use]
+    pub fn active_params(&self) -> f64 {
+        f64::from(self.layers)
+            * (self.attention_params_per_layer() + self.active_mlp_params_per_layer())
+            + self.embedding_params()
+    }
+}
+
+impl fmt::Display for TransformerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.1}B params, {} layers × h{} × {} heads)",
+            self.name,
+            self.total_params() / 1e9,
+            self.layers,
+            self.hidden,
+            self.heads
+        )
+    }
+}
+
+/// Named constructors for the paper's model zoo.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelZoo;
+
+impl ModelZoo {
+    /// Megatron GPT-3 18.4B: 40 layers, h = 6144.
+    #[must_use]
+    pub fn gpt3_18b() -> TransformerConfig {
+        TransformerConfig {
+            name: "GPT3-18.4B".to_owned(),
+            layers: 40,
+            hidden: 6144,
+            heads: 48,
+            kv_heads: 48,
+            ffn_hidden: 4 * 6144,
+            gated_mlp: false,
+            vocab: 51_200,
+            max_context: 2048,
+            moe: None,
+        }
+    }
+
+    /// Megatron GPT-3 76.1B: 60 layers, h = 10240.
+    #[must_use]
+    pub fn gpt3_76b() -> TransformerConfig {
+        TransformerConfig {
+            name: "GPT3-76B".to_owned(),
+            layers: 60,
+            hidden: 10_240,
+            heads: 80,
+            kv_heads: 80,
+            ffn_hidden: 4 * 10_240,
+            gated_mlp: false,
+            vocab: 51_200,
+            max_context: 2048,
+            moe: None,
+        }
+    }
+
+    /// GPT-3 175B: 96 layers, h = 12288.
+    #[must_use]
+    pub fn gpt3_175b() -> TransformerConfig {
+        TransformerConfig {
+            name: "GPT3-175B".to_owned(),
+            layers: 96,
+            hidden: 12_288,
+            heads: 96,
+            kv_heads: 96,
+            ffn_hidden: 4 * 12_288,
+            gated_mlp: false,
+            vocab: 51_200,
+            max_context: 2048,
+            moe: None,
+        }
+    }
+
+    /// Llama-2 7B.
+    #[must_use]
+    pub fn llama2_7b() -> TransformerConfig {
+        TransformerConfig {
+            name: "Llama2-7B".to_owned(),
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 32,
+            ffn_hidden: 11_008,
+            gated_mlp: true,
+            vocab: 32_000,
+            max_context: 4096,
+            moe: None,
+        }
+    }
+
+    /// Llama-2 13B.
+    #[must_use]
+    pub fn llama2_13b() -> TransformerConfig {
+        TransformerConfig {
+            name: "Llama2-13B".to_owned(),
+            layers: 40,
+            hidden: 5120,
+            heads: 40,
+            kv_heads: 40,
+            ffn_hidden: 13_824,
+            gated_mlp: true,
+            vocab: 32_000,
+            max_context: 4096,
+            moe: None,
+        }
+    }
+
+    /// Llama-70B (the paper's inference subject; MHA convention per §VI).
+    #[must_use]
+    pub fn llama_70b() -> TransformerConfig {
+        TransformerConfig {
+            name: "Llama-70B".to_owned(),
+            layers: 80,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            ffn_hidden: 28_672,
+            gated_mlp: true,
+            vocab: 32_000,
+            max_context: 4096,
+            moe: None,
+        }
+    }
+
+    /// Llama-405B (126 layers, h = 16384; MHA convention per §VI).
+    #[must_use]
+    pub fn llama_405b() -> TransformerConfig {
+        TransformerConfig {
+            name: "Llama-405B".to_owned(),
+            layers: 126,
+            hidden: 16_384,
+            heads: 128,
+            kv_heads: 8,
+            ffn_hidden: 53_248,
+            gated_mlp: true,
+            vocab: 128_256,
+            max_context: 4096,
+            moe: None,
+        }
+    }
+
+    /// MoE-132B with ~38B active: DBRX-class, 16 experts with 4 active.
+    #[must_use]
+    pub fn moe_132b() -> TransformerConfig {
+        TransformerConfig {
+            name: "MoE-132B/38B".to_owned(),
+            layers: 40,
+            hidden: 6144,
+            heads: 48,
+            kv_heads: 8,
+            ffn_hidden: 10_752,
+            gated_mlp: true,
+            vocab: 100_352,
+            max_context: 4096,
+            moe: Some(MoeConfig {
+                experts: 16,
+                active_experts: 4,
+            }),
+        }
+    }
+
+    /// Every model in the zoo.
+    #[must_use]
+    pub fn all() -> Vec<TransformerConfig> {
+        vec![
+            Self::gpt3_18b(),
+            Self::gpt3_76b(),
+            Self::gpt3_175b(),
+            Self::llama2_7b(),
+            Self::llama2_13b(),
+            Self::llama_70b(),
+            Self::llama_405b(),
+            Self::moe_132b(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_match_names() {
+        let cases = [
+            (ModelZoo::gpt3_18b(), 18.4e9, 0.10),
+            (ModelZoo::gpt3_76b(), 76.1e9, 0.05),
+            (ModelZoo::gpt3_175b(), 175e9, 0.05),
+            (ModelZoo::llama2_7b(), 6.7e9, 0.10),
+            (ModelZoo::llama2_13b(), 13e9, 0.08),
+            (ModelZoo::llama_70b(), 69e9, 0.08),
+            (ModelZoo::llama_405b(), 405e9, 0.08),
+            (ModelZoo::moe_132b(), 132e9, 0.15),
+        ];
+        for (model, expect, tol) in cases {
+            let got = model.total_params();
+            let rel = (got - expect).abs() / expect;
+            assert!(
+                rel < tol,
+                "{}: {:.1}B vs expected {:.1}B (rel {rel:.3})",
+                model.name,
+                got / 1e9,
+                expect / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn moe_active_params_around_38b() {
+        let m = ModelZoo::moe_132b();
+        let active = m.active_params();
+        assert!(
+            (30e9..45e9).contains(&active),
+            "got {:.1}B active",
+            active / 1e9
+        );
+    }
+
+    #[test]
+    fn all_zoo_models_validate() {
+        for m in ModelZoo::all() {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        let mut m = ModelZoo::llama2_7b();
+        m.heads = 33; // does not divide hidden
+        assert!(m.validate().is_err());
+        let mut m2 = ModelZoo::llama2_7b();
+        m2.kv_heads = 3;
+        assert!(m2.validate().is_err());
+        let mut m3 = ModelZoo::moe_132b();
+        m3.moe = Some(MoeConfig {
+            experts: 4,
+            active_experts: 5,
+        });
+        assert!(m3.validate().is_err());
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Bf16.bytes(), 2.0);
+        assert_eq!(Precision::Fp32.bytes(), 4.0);
+        assert_eq!(Precision::Fp8.bytes(), 1.0);
+    }
+
+    #[test]
+    fn dense_active_equals_total() {
+        let m = ModelZoo::gpt3_76b();
+        assert!((m.active_params() - m.total_params()).abs() < 1.0);
+    }
+}

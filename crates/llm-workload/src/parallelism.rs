@@ -1,0 +1,181 @@
+//! TP/PP/DP parallelization strategies (§V).
+//!
+//! In data parallelism the model is replicated and the data sharded; in
+//! tensor parallelism the model is sharded and the data replicated; in
+//! pipeline parallelism the model is sharded layer-wise and data moves in
+//! microbatch chunks. The degrees multiply to the total unit count.
+
+use crate::error::WorkloadError;
+use crate::model::TransformerConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parallelization plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Parallelism {
+    tp: u32,
+    pp: u32,
+    dp: u32,
+}
+
+impl Parallelism {
+    /// Creates a plan with the given tensor / pipeline / data degrees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParallelism`] if any degree is 0.
+    pub fn new(tp: u32, pp: u32, dp: u32) -> Result<Self, WorkloadError> {
+        if tp == 0 || pp == 0 || dp == 0 {
+            return Err(WorkloadError::InvalidParallelism {
+                reason: "all degrees must be ≥ 1".to_owned(),
+            });
+        }
+        Ok(Self { tp, pp, dp })
+    }
+
+    /// The paper's training setup: TP=8, PP=8, DP=1.
+    #[must_use]
+    pub fn training_baseline() -> Self {
+        Self {
+            tp: 8,
+            pp: 8,
+            dp: 1,
+        }
+    }
+
+    /// The paper's inference setup: pure TP over all units.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Parallelism::new`] errors.
+    pub fn pure_tp(units: u32) -> Result<Self, WorkloadError> {
+        Self::new(units, 1, 1)
+    }
+
+    /// Tensor-parallel degree.
+    #[must_use]
+    pub fn tp(&self) -> u32 {
+        self.tp
+    }
+
+    /// Pipeline-parallel degree.
+    #[must_use]
+    pub fn pp(&self) -> u32 {
+        self.pp
+    }
+
+    /// Data-parallel degree.
+    #[must_use]
+    pub fn dp(&self) -> u32 {
+        self.dp
+    }
+
+    /// Total processing units.
+    #[must_use]
+    pub fn units(&self) -> u32 {
+        self.tp * self.pp * self.dp
+    }
+
+    /// Checks the plan against a model: TP must divide the head count and
+    /// the FFN width; PP must not exceed the layer count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParallelism`] on mismatch.
+    pub fn check_model(&self, model: &TransformerConfig) -> Result<(), WorkloadError> {
+        if !model.heads.is_multiple_of(self.tp) {
+            return Err(WorkloadError::InvalidParallelism {
+                reason: format!("tp={} does not divide {} heads", self.tp, model.heads),
+            });
+        }
+        if !model.ffn_hidden.is_multiple_of(self.tp) {
+            return Err(WorkloadError::InvalidParallelism {
+                reason: format!(
+                    "tp={} does not divide ffn width {}",
+                    self.tp, model.ffn_hidden
+                ),
+            });
+        }
+        if self.pp > model.layers {
+            return Err(WorkloadError::InvalidParallelism {
+                reason: format!("pp={} exceeds {} layers", self.pp, model.layers),
+            });
+        }
+        Ok(())
+    }
+
+    /// Layers resident on one pipeline stage (ceiling for uneven splits).
+    #[must_use]
+    pub fn layers_per_stage(&self, model: &TransformerConfig) -> u32 {
+        model.layers.div_ceil(self.pp)
+    }
+
+    /// Pipeline-bubble fraction for `microbatches` in flight:
+    /// `(pp−1) / (microbatches + pp − 1)` (GPipe/1F1B schedule, [34]).
+    #[must_use]
+    pub fn bubble_fraction(&self, microbatches: u32) -> f64 {
+        if self.pp <= 1 {
+            return 0.0;
+        }
+        let p = f64::from(self.pp);
+        let m = f64::from(microbatches.max(1));
+        (p - 1.0) / (m + p - 1.0)
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TP={} PP={} DP={}", self.tp, self.pp, self.dp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelZoo;
+
+    #[test]
+    fn units_multiply() {
+        let p = Parallelism::new(8, 8, 2).unwrap();
+        assert_eq!(p.units(), 128);
+    }
+
+    #[test]
+    fn zero_degree_rejected() {
+        assert!(Parallelism::new(0, 1, 1).is_err());
+        assert!(Parallelism::new(1, 0, 1).is_err());
+        assert!(Parallelism::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn model_compatibility() {
+        let model = ModelZoo::gpt3_76b(); // 80 heads
+        assert!(Parallelism::new(8, 8, 1).unwrap().check_model(&model).is_ok());
+        assert!(Parallelism::new(3, 1, 1).unwrap().check_model(&model).is_err());
+        assert!(Parallelism::new(1, 70, 1)
+            .unwrap()
+            .check_model(&model)
+            .is_err());
+    }
+
+    #[test]
+    fn bubble_fraction_matches_gpipe_formula() {
+        let p = Parallelism::new(1, 8, 1).unwrap();
+        assert!((p.bubble_fraction(64) - 7.0 / 71.0).abs() < 1e-12);
+        assert_eq!(Parallelism::new(8, 1, 1).unwrap().bubble_fraction(64), 0.0);
+    }
+
+    #[test]
+    fn layers_per_stage_ceils() {
+        let model = ModelZoo::llama_405b(); // 126 layers
+        let p = Parallelism::new(1, 8, 1).unwrap();
+        assert_eq!(p.layers_per_stage(&model), 16);
+    }
+
+    #[test]
+    fn pure_tp_inference_setup() {
+        let p = Parallelism::pure_tp(64).unwrap();
+        assert_eq!(p.units(), 64);
+        assert_eq!(p.pp(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Generic accelerator descriptor consumed by the performance model.
+//!
+//! Both the SPU and the GPU baseline reduce to the same abstraction: a
+//! peak compute throughput plus a memory hierarchy. The hierarchical
+//! roofline in `optimus` only ever sees this type, which is exactly the
+//! paper's "system architecture abstraction layer" (Fig. 4).
+
+use crate::error::ArchError;
+use scd_mem::level::{LevelKind, MemoryHierarchy};
+use scd_tech::units::{Bandwidth, TimeInterval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single accelerator (one SPU or one GPU).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Descriptive name ("SPU", "H100", ...).
+    pub name: String,
+    /// Peak compute throughput in FLOP/s at the working precision
+    /// (the paper quotes structured-sparse peaks for both systems).
+    pub peak_flops: f64,
+    /// Maximum achievable fraction of peak on dense GEMM (the paper uses
+    /// 80 % MAC utilization for the SPU).
+    pub max_utilization: f64,
+    /// The accelerator's memory hierarchy, innermost level first.
+    pub hierarchy: MemoryHierarchy,
+}
+
+impl Accelerator {
+    /// Validates the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] for non-positive peak or a
+    /// utilization outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.peak_flops <= 0.0 {
+            return Err(ArchError::InvalidConfig {
+                reason: format!("{} has non-positive peak FLOP/s", self.name),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.max_utilization) || self.max_utilization == 0.0 {
+            return Err(ArchError::InvalidConfig {
+                reason: format!("{} has utilization outside (0,1]", self.name),
+            });
+        }
+        Ok(())
+    }
+
+    /// Achievable compute throughput (peak × utilization cap).
+    #[must_use]
+    pub fn achievable_flops(&self) -> f64 {
+        self.peak_flops * self.max_utilization
+    }
+
+    /// Main-memory bandwidth (the outermost hierarchy level).
+    #[must_use]
+    pub fn dram_bandwidth(&self) -> Bandwidth {
+        self.hierarchy.outermost().bandwidth
+    }
+
+    /// Main-memory latency.
+    #[must_use]
+    pub fn dram_latency(&self) -> TimeInterval {
+        self.hierarchy.outermost().latency
+    }
+
+    /// Machine balance at the DRAM level: FLOPs per byte needed to stay
+    /// compute-bound (the roofline ridge point).
+    #[must_use]
+    pub fn ridge_flops_per_byte(&self) -> f64 {
+        self.achievable_flops() / self.dram_bandwidth().bytes_per_s()
+    }
+
+    /// Re-parameterizes the main-memory bandwidth (the Fig. 5/7 sweeps).
+    #[must_use]
+    pub fn with_dram_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        if let Some(level) = self.hierarchy.level_mut(LevelKind::MainMemory) {
+            level.bandwidth = bandwidth;
+        }
+        self
+    }
+
+    /// Re-parameterizes the main-memory latency (the Fig. 7a sweep).
+    #[must_use]
+    pub fn with_dram_latency(mut self, latency: TimeInterval) -> Self {
+        if let Some(level) = self.hierarchy.level_mut(LevelKind::MainMemory) {
+            level.latency = latency;
+        }
+        self
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} PFLOP/s peak, DRAM {}",
+            self.name,
+            self.peak_flops / 1e15,
+            self.dram_bandwidth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_mem::level::MemoryLevel;
+    use scd_mem::transfer::TransferModel;
+    use scd_tech::units::Energy;
+
+    fn test_accel() -> Accelerator {
+        let hierarchy = MemoryHierarchy::new(vec![
+            MemoryLevel {
+                kind: LevelKind::L1,
+                capacity_bytes: 1 << 20,
+                bandwidth: Bandwidth::from_tbps(100.0),
+                latency: TimeInterval::from_ns(1.0),
+                energy_per_byte: Energy::from_fj(10.0),
+                transfer: TransferModel::jsram(),
+            },
+            MemoryLevel {
+                kind: LevelKind::MainMemory,
+                capacity_bytes: 1 << 40,
+                bandwidth: Bandwidth::from_tbps(1.0),
+                latency: TimeInterval::from_ns(30.0),
+                energy_per_byte: Energy::from_pj(1.0),
+                transfer: TransferModel::cryo_dram(),
+            },
+        ])
+        .unwrap();
+        Accelerator {
+            name: "test".to_owned(),
+            peak_flops: 1e15,
+            max_utilization: 0.8,
+            hierarchy,
+        }
+    }
+
+    #[test]
+    fn achievable_applies_utilization() {
+        let a = test_accel();
+        assert!((a.achievable_flops() - 0.8e15).abs() < 1.0);
+    }
+
+    #[test]
+    fn ridge_point() {
+        let a = test_accel();
+        // 0.8e15 / 1e12 = 800 FLOP/byte.
+        assert!((a.ridge_flops_per_byte() - 800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_knobs_update_outermost_level() {
+        let a = test_accel()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0))
+            .with_dram_latency(TimeInterval::from_ns(100.0));
+        assert!((a.dram_bandwidth().tbps() - 16.0).abs() < 1e-9);
+        assert!((a.dram_latency().ns() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut a = test_accel();
+        a.peak_flops = 0.0;
+        assert!(a.validate().is_err());
+        let mut b = test_accel();
+        b.max_utilization = 1.5;
+        assert!(b.validate().is_err());
+        assert!(test_accel().validate().is_ok());
+    }
+}

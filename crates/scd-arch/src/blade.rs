@@ -1,0 +1,383 @@
+//! The SCD blade (Fig. 3c/3d): an 8×8 SPU array with SNU stacks at the
+//! edges, 2 TB of cryo-DRAM behind the 4K↔77K datalink, joined by a
+//! 2D-torus of 73 TB/s links.
+
+use crate::accelerator::Accelerator;
+use crate::error::ArchError;
+use crate::interconnect::Fabric;
+use crate::spu::{Spu, SpuConfig};
+use scd_mem::datalink::Datalink;
+use scd_mem::dram::CryoDramBlock;
+use scd_mem::level::{LevelKind, MemoryHierarchy, MemoryLevel};
+use scd_mem::transfer::TransferModel;
+use scd_noc::sim::NocConfig;
+use scd_noc::switch::HierarchicalSwitch;
+use scd_noc::topology::Torus;
+use scd_tech::units::{Bandwidth, Energy, TimeInterval};
+use scd_tech::Technology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of the SNU (network + shared-L2) stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnuConfig {
+    /// Number of HD JSRAM stacks forming the distributed shared L2.
+    pub l2_stacks: u32,
+    /// Shared L2 capacity across the blade.
+    pub l2_capacity_bytes: u64,
+    /// L2 bandwidth seen by one SPU (network-limited slice access).
+    pub l2_bandwidth_per_spu: Bandwidth,
+    /// Average L2 access latency (hops to the blade edge + banks).
+    pub l2_latency: TimeInterval,
+}
+
+impl Default for SnuConfig {
+    fn default() -> Self {
+        Self {
+            l2_stacks: 16,
+            l2_capacity_bytes: (3.375 * (1u64 << 30) as f64) as u64,
+            l2_bandwidth_per_spu: Bandwidth::from_tbps(24.0),
+            l2_latency: TimeInterval::from_ns(10.0),
+        }
+    }
+}
+
+/// The full blade.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Blade {
+    technology: Technology,
+    spu: Spu,
+    spus: u32,
+    snu: SnuConfig,
+    dram: CryoDramBlock,
+    datalink: Datalink,
+    dram_latency: TimeInterval,
+}
+
+impl Blade {
+    /// The paper's baseline blade: 64 SPUs, 3.375 GB shared L2, 2 TB
+    /// cryo-DRAM at 30 TB/s / 30 ns.
+    ///
+    /// ```
+    /// use scd_arch::blade::Blade;
+    ///
+    /// let blade = Blade::baseline();
+    /// assert_eq!(blade.spus(), 64);
+    /// let acc = blade.accelerator();
+    /// assert!((acc.peak_flops / 1e15 - 2.46).abs() < 0.2);
+    /// ```
+    #[must_use]
+    pub fn baseline() -> Self {
+        let technology = Technology::scd_nbtin();
+        let spu = Spu::derive(&technology, SpuConfig::default())
+            .expect("baseline SPU derivation is infallible");
+        Self {
+            technology,
+            spu,
+            spus: 64,
+            snu: SnuConfig::default(),
+            dram: CryoDramBlock::blade_baseline(),
+            datalink: Datalink::paper_peak(),
+            dram_latency: TimeInterval::from_ns(30.0),
+        }
+    }
+
+    /// Builds a custom blade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] for zero or non-square SPU
+    /// counts (the torus must be rectangular; we require a power of two
+    /// per side up to 10×10 per the interposer-stitching limit).
+    pub fn new(
+        technology: Technology,
+        spu_config: SpuConfig,
+        spus: u32,
+        snu: SnuConfig,
+        dram: CryoDramBlock,
+        datalink: Datalink,
+    ) -> Result<Self, ArchError> {
+        if spus == 0 || spus > 100 {
+            return Err(ArchError::InvalidConfig {
+                reason: format!("{spus} SPUs outside 1..=100 (interposer stitching limit)"),
+            });
+        }
+        let spu = Spu::derive(&technology, spu_config)?;
+        Ok(Self {
+            technology,
+            spu,
+            spus,
+            snu,
+            dram,
+            datalink,
+            dram_latency: TimeInterval::from_ns(30.0),
+        })
+    }
+
+    /// Number of SPUs.
+    #[must_use]
+    pub fn spus(&self) -> u32 {
+        self.spus
+    }
+
+    /// The per-SPU descriptor.
+    #[must_use]
+    pub fn spu(&self) -> &Spu {
+        &self.spu
+    }
+
+    /// SNU configuration.
+    #[must_use]
+    pub fn snu(&self) -> &SnuConfig {
+        &self.snu
+    }
+
+    /// Cryo-DRAM block.
+    #[must_use]
+    pub fn dram(&self) -> &CryoDramBlock {
+        &self.dram
+    }
+
+    /// The main-memory datalink.
+    #[must_use]
+    pub fn datalink(&self) -> &Datalink {
+        &self.datalink
+    }
+
+    /// Technology the blade is built in.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.technology
+    }
+
+    /// Overrides the cryo-DRAM access latency (Fig. 7a sweep).
+    #[must_use]
+    pub fn with_dram_latency(mut self, latency: TimeInterval) -> Self {
+        self.dram_latency = latency;
+        self
+    }
+
+    /// Main-memory bandwidth available per SPU at the baseline datalink.
+    #[must_use]
+    pub fn dram_bandwidth_per_spu(&self) -> Bandwidth {
+        self.datalink
+            .per_spu_bandwidth(self.spus)
+            .expect("spus > 0 by construction")
+    }
+
+    /// Blade-level torus topology.
+    #[must_use]
+    pub fn torus(&self) -> Torus {
+        let side = (self.spus as f64).sqrt().round() as usize;
+        Torus::new(side.max(1), (self.spus as usize).div_ceil(side.max(1)))
+            .expect("non-zero by construction")
+    }
+
+    /// NoC simulator configuration matching this blade.
+    #[must_use]
+    pub fn noc_config(&self) -> NocConfig {
+        let switch = HierarchicalSwitch::blade_baseline();
+        NocConfig {
+            link_bytes_per_s: switch.port_bandwidth().bytes_per_s(),
+            router_delay_ps: switch.traversal_ps(),
+            wire_delay_ps: 12,
+        }
+    }
+
+    /// The per-SPU [`Accelerator`] view consumed by the performance model.
+    ///
+    /// The shared L2 exposes its full capacity (it is blade-shared and XY
+    /// addressed); DRAM exposes the per-SPU capacity share and the
+    /// baseline per-SPU datalink bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for blades built through the public constructors.
+    #[must_use]
+    pub fn accelerator(&self) -> Accelerator {
+        let spu = &self.spu;
+        let hierarchy = MemoryHierarchy::new(vec![
+            MemoryLevel {
+                kind: LevelKind::RegisterFile,
+                capacity_bytes: spu.config().rf_capacity_bytes,
+                bandwidth: spu.register_file().read_bandwidth(),
+                latency: spu.rf_latency(),
+                energy_per_byte: Energy::from_fj(1.0),
+                transfer: TransferModel::jsram(),
+            },
+            MemoryLevel {
+                kind: LevelKind::L1,
+                capacity_bytes: spu.config().l1_capacity_bytes,
+                bandwidth: spu.l1_bandwidth(),
+                latency: spu.l1_latency(),
+                energy_per_byte: Energy::from_fj(5.0),
+                transfer: TransferModel::jsram(),
+            },
+            MemoryLevel {
+                kind: LevelKind::L2,
+                capacity_bytes: self.snu.l2_capacity_bytes,
+                bandwidth: self.snu.l2_bandwidth_per_spu,
+                latency: self.snu.l2_latency,
+                energy_per_byte: Energy::from_fj(50.0),
+                transfer: TransferModel::jsram(),
+            },
+            MemoryLevel {
+                kind: LevelKind::MainMemory,
+                capacity_bytes: self.dram.capacity_bytes() / u64::from(self.spus),
+                bandwidth: self.dram_bandwidth_per_spu(),
+                latency: self.dram_latency,
+                energy_per_byte: Energy::from_pj(1.0),
+                transfer: TransferModel::cryo_dram(),
+            },
+        ])
+        .expect("blade hierarchy is ordered by construction");
+        Accelerator {
+            name: "SPU".to_owned(),
+            peak_flops: spu.peak_flops(),
+            max_utilization: spu.mac_array().utilization,
+            hierarchy,
+        }
+    }
+
+    /// The blade's communication fabric.
+    #[must_use]
+    pub fn interconnect(&self) -> Fabric {
+        Fabric::scd_blade()
+    }
+
+    /// Renders the Fig. 3c system-specification table.
+    #[must_use]
+    pub fn spec_table(&self) -> String {
+        let acc = self.accelerator();
+        let mut out = String::new();
+        let mut row = |p: &str, v: String| out.push_str(&format!("{p:<52}{v}\n"));
+        row(
+            "Peak compute throughput per SPU",
+            format!("{:.2} PFLOP/s (sparse)", acc.peak_flops / 1e15),
+        );
+        row("No. of SPUs", format!("{}", self.spus));
+        row(
+            "SPU L1 D-cache capacity (private)",
+            format!("{} MB", self.spu.config().l1_capacity_bytes >> 20),
+        );
+        row(
+            "Shared L2 cache capacity",
+            format!(
+                "{:.3} GB ({} HD JSRAM stacks in SNU)",
+                self.snu.l2_capacity_bytes as f64 / (1u64 << 30) as f64,
+                self.snu.l2_stacks
+            ),
+        );
+        row(
+            "Avg. main-memory bandwidth per SPU",
+            format!("{}", self.dram_bandwidth_per_spu()),
+        );
+        row(
+            "Cryo-DRAM capacity",
+            format!("{} TB", self.dram.capacity_bytes() >> 40),
+        );
+        row(
+            "Bi-directional main-memory bandwidth",
+            format!("{}", self.datalink.total_bandwidth()),
+        );
+        row(
+            "Avg. cryo-DRAM access latency (RD/WR)",
+            format!("{}", self.dram_latency),
+        );
+        row(
+            "Intra-blade reduction latency",
+            format!("{}", TimeInterval::from_ns(60.0)),
+        );
+        row(
+            "Max SPU-to-SPU bandwidth",
+            format!(
+                "{}",
+                HierarchicalSwitch::blade_baseline().port_bandwidth()
+            ),
+        );
+        out
+    }
+}
+
+impl Default for Blade {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl fmt::Display for Blade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SCD blade: {} SPUs, {} TB cryo-DRAM, {} datalink",
+            self.spus,
+            self.dram.capacity_bytes() >> 40,
+            self.datalink.total_bandwidth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_spec_matches_fig3c() {
+        let blade = Blade::baseline();
+        assert_eq!(blade.spus(), 64);
+        assert!((blade.dram_bandwidth_per_spu().tbps() - 0.469).abs() < 0.01);
+        assert_eq!(blade.dram().capacity_bytes(), 2 << 40);
+        let t = blade.spec_table();
+        for needle in ["2.46", "64", "24 MB", "3.375 GB", "2 TB", "30.00 TB/s"] {
+            assert!(t.contains(needle), "missing {needle}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn accelerator_hierarchy_is_four_levels() {
+        let acc = Blade::baseline().accelerator();
+        assert_eq!(acc.hierarchy.levels().len(), 4);
+        assert!(acc.validate().is_ok());
+        // Bandwidths strictly decrease outward.
+        let bws: Vec<f64> = acc
+            .hierarchy
+            .levels()
+            .iter()
+            .map(|l| l.bandwidth.bytes_per_s())
+            .collect();
+        assert!(bws.windows(2).all(|w| w[0] > w[1]), "{bws:?}");
+    }
+
+    #[test]
+    fn torus_is_8x8() {
+        let t = Blade::baseline().torus();
+        assert_eq!((t.width(), t.height()), (8, 8));
+    }
+
+    #[test]
+    fn interposer_limit_enforced() {
+        let r = Blade::new(
+            Technology::scd_nbtin(),
+            SpuConfig::default(),
+            101,
+            SnuConfig::default(),
+            CryoDramBlock::blade_baseline(),
+            Datalink::paper_peak(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn dram_latency_override() {
+        let blade = Blade::baseline().with_dram_latency(TimeInterval::from_ns(100.0));
+        let acc = blade.accelerator();
+        assert!((acc.dram_latency().ns() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noc_config_uses_blade_switch() {
+        let cfg = Blade::baseline().noc_config();
+        assert!((cfg.link_bytes_per_s - 73.3e12).abs() < 1e6);
+        assert!(cfg.router_delay_ps > 100);
+    }
+}

@@ -1,0 +1,146 @@
+//! The high-throughput compute core (§III): a banked, regular array of
+//! bf16 MAC units derived bottom-up from the technology and the compiled
+//! MAC datapath.
+
+use crate::error::ArchError;
+use scd_tech::units::{Area, Energy, Frequency};
+use scd_tech::{JosephsonJunction, Technology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A banked MAC array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacArray {
+    /// Junctions per MAC (the paper's ~8 kJJ datapath).
+    pub mac_junctions: u64,
+    /// Number of MAC units.
+    pub mac_count: u64,
+    /// Array clock.
+    pub clock: Frequency,
+    /// Sustainable utilization (the paper's 80 %).
+    pub utilization: f64,
+}
+
+impl MacArray {
+    /// Derives the array that fits in `compute_area` of `tech` silicon
+    /// with `mac_junctions` per unit.
+    ///
+    /// For the paper's numbers — a 144 mm² die with ~57 % devoted to MACs,
+    /// 4 MJJ/mm² and 8 kJJ per MAC — this yields ≈ 41 k MACs and the
+    /// Fig. 3c peak of ~2.45 PFLOP/s (see DESIGN.md on the "400k" typo in
+    /// the text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if no MAC fits.
+    pub fn derive(
+        tech: &Technology,
+        compute_area: Area,
+        mac_junctions: u64,
+        utilization: f64,
+    ) -> Result<Self, ArchError> {
+        let budget = tech.devices_in(compute_area);
+        let count = budget / mac_junctions.max(1);
+        if count == 0 {
+            return Err(ArchError::InvalidConfig {
+                reason: format!(
+                    "compute area {compute_area} fits no {mac_junctions}-JJ MAC"
+                ),
+            });
+        }
+        Ok(Self {
+            mac_junctions,
+            mac_count: count,
+            clock: tech.clock,
+            utilization,
+        })
+    }
+
+    /// The SPU baseline: 57 % of a 144 mm² die at 8 kJJ per MAC, 80 %
+    /// utilization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MacArray::derive`] errors.
+    pub fn spu_baseline(tech: &Technology) -> Result<Self, ArchError> {
+        Self::derive(tech, Area::from_mm2(144.0 * 0.57), 8_000, 0.8)
+    }
+
+    /// Peak throughput: 2 ops (multiply + accumulate) per MAC per clock.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.mac_count as f64 * 2.0 * self.clock.hz()
+    }
+
+    /// Peak × utilization cap.
+    #[must_use]
+    pub fn achievable_flops(&self) -> f64 {
+        self.peak_flops() * self.utilization
+    }
+
+    /// Total junction budget of the array.
+    #[must_use]
+    pub fn junctions(&self) -> u64 {
+        self.mac_count * self.mac_junctions
+    }
+
+    /// Dynamic compute power at full utilization.
+    #[must_use]
+    pub fn dynamic_energy_per_cycle(&self, jj: &JosephsonJunction) -> Energy {
+        // Half the junctions switch per cycle at full load.
+        jj.switching_energy() * (self.junctions() as f64) * 0.5 * self.utilization
+    }
+}
+
+impl fmt::Display for MacArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} MACs × {} @ {} = {:.2} PFLOP/s peak",
+            self.mac_count,
+            self.mac_junctions,
+            self.clock,
+            self.peak_flops() / 1e15
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spu_baseline_matches_fig3c_peak() {
+        let tech = Technology::scd_nbtin();
+        let array = MacArray::spu_baseline(&tech).unwrap();
+        let pflops = array.peak_flops() / 1e15;
+        assert!(
+            (2.3..=2.6).contains(&pflops),
+            "expected ~2.45 PFLOP/s, got {pflops}"
+        );
+        assert!(array.mac_count > 40_000 && array.mac_count < 42_000);
+    }
+
+    #[test]
+    fn achievable_is_80_percent() {
+        let tech = Technology::scd_nbtin();
+        let array = MacArray::spu_baseline(&tech).unwrap();
+        let ratio = array.achievable_flops() / array.peak_flops();
+        assert!((ratio - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_area_rejected() {
+        let tech = Technology::scd_nbtin();
+        assert!(MacArray::derive(&tech, Area::from_um2(1.0), 8_000, 0.8).is_err());
+    }
+
+    #[test]
+    fn energy_per_cycle_is_sub_picojoule_per_mac() {
+        let tech = Technology::scd_nbtin();
+        let array = MacArray::spu_baseline(&tech).unwrap();
+        let jj = JosephsonJunction::nominal();
+        let per_mac = array.dynamic_energy_per_cycle(&jj).joules() / array.mac_count as f64;
+        assert!(per_mac < 1e-12, "SCD MACs must be far below pJ/op");
+    }
+}

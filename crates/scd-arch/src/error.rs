@@ -1,0 +1,58 @@
+//! Error types for the architecture layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or configuring system architectures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A lower-layer error surfaced during bottom-up derivation.
+    Derivation {
+        /// Description of the failing derivation step.
+        step: &'static str,
+        /// The underlying message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => {
+                write!(f, "invalid architecture configuration: {reason}")
+            }
+            Self::Derivation { step, detail } => {
+                write!(f, "bottom-up derivation failed at {step}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+impl From<scd_mem::MemError> for ArchError {
+    fn from(e: scd_mem::MemError) -> Self {
+        Self::Derivation {
+            step: "memory hierarchy",
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ArchError::InvalidConfig {
+            reason: "zero SPUs".to_owned(),
+        };
+        assert!(e.to_string().contains("zero SPUs"));
+    }
+}

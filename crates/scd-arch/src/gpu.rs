@@ -1,0 +1,154 @@
+//! The contemporary-GPU baseline (H100) used for every comparison in the
+//! paper's §VI: peak 0.9895 PFLOP/s (structured-sparse bf16), 3.35 TB/s of
+//! HBM3 and 80 GB per device, 50 MB of on-die L2, NVLink within a node and
+//! InfiniBand beyond it.
+
+use crate::accelerator::Accelerator;
+use crate::error::ArchError;
+use crate::interconnect::Fabric;
+use scd_mem::level::{LevelKind, MemoryHierarchy, MemoryLevel};
+use scd_mem::transfer::TransferModel;
+use scd_tech::units::{Bandwidth, Energy, TimeInterval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A GPU-based reference system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSystem {
+    accelerator: Accelerator,
+    fabric: Fabric,
+    devices: u32,
+}
+
+impl GpuSystem {
+    /// An H100 cluster of `devices` GPUs.
+    ///
+    /// ```
+    /// use scd_arch::gpu::GpuSystem;
+    ///
+    /// let cluster = GpuSystem::h100_cluster(64);
+    /// assert!((cluster.accelerator().peak_flops / 1e15 - 0.9895).abs() < 1e-6);
+    /// ```
+    #[must_use]
+    pub fn h100_cluster(devices: u32) -> Self {
+        let hierarchy = MemoryHierarchy::new(vec![
+            MemoryLevel {
+                kind: LevelKind::L1,
+                // SMEM/L1 across 132 SMs.
+                capacity_bytes: 30 << 20,
+                bandwidth: Bandwidth::from_tbps(300.0),
+                latency: TimeInterval::from_ns(25.0),
+                energy_per_byte: Energy::from_pj(0.1),
+                transfer: TransferModel::jsram(),
+            },
+            MemoryLevel {
+                kind: LevelKind::L2,
+                capacity_bytes: 50 << 20,
+                bandwidth: Bandwidth::from_tbps(12.0),
+                latency: TimeInterval::from_ns(250.0),
+                energy_per_byte: Energy::from_pj(0.5),
+                transfer: TransferModel::hbm(),
+            },
+            MemoryLevel {
+                kind: LevelKind::MainMemory,
+                capacity_bytes: 80 << 30,
+                bandwidth: Bandwidth::from_tbps(3.35),
+                latency: TimeInterval::from_ns(500.0),
+                energy_per_byte: Energy::from_pj(7.0),
+                transfer: TransferModel::hbm(),
+            },
+        ])
+        .expect("H100 hierarchy is well-formed");
+        Self {
+            accelerator: Accelerator {
+                name: "H100".to_owned(),
+                peak_flops: 0.9895e15,
+                max_utilization: 0.8,
+                hierarchy,
+            },
+            fabric: Fabric::gpu_cluster(),
+            devices,
+        }
+    }
+
+    /// The per-device accelerator view.
+    #[must_use]
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accelerator
+    }
+
+    /// The cluster fabric.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Device count.
+    #[must_use]
+    pub fn devices(&self) -> u32 {
+        self.devices
+    }
+
+    /// Total HBM capacity of the cluster (the Fig. 8b "open bar": 64 ×
+    /// 80 GB = 5 TB).
+    #[must_use]
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.accelerator
+            .hierarchy
+            .outermost()
+            .capacity_bytes.saturating_mul(u64::from(self.devices))
+    }
+
+    /// Validates the system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator validation failures.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        self.accelerator.validate()
+    }
+}
+
+impl fmt::Display for GpuSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} × {}", self.devices, self.accelerator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_numbers_match_paper() {
+        let g = GpuSystem::h100_cluster(64);
+        assert!((g.accelerator().peak_flops - 0.9895e15).abs() < 1.0);
+        assert!((g.accelerator().dram_bandwidth().tbps() - 3.35).abs() < 1e-9);
+        assert_eq!(g.total_memory_bytes(), 64 * (80u64 << 30));
+    }
+
+    #[test]
+    fn fig8b_open_bar_is_5tb() {
+        let g = GpuSystem::h100_cluster(64);
+        let tb = g.total_memory_bytes() as f64 / (1u64 << 40) as f64;
+        assert!((tb - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn hbm_latency_mostly_hidden() {
+        // The deep HBM queue must not cap 3.35 TB/s at 500 ns.
+        let g = GpuSystem::h100_cluster(8);
+        let dram = g.accelerator().hierarchy.outermost();
+        let eff = dram.transfer.effective_bandwidth(dram.bandwidth, dram.latency);
+        assert!((eff.tbps() - 3.35).abs() < 1e-9, "got {}", eff.tbps());
+    }
+
+    #[test]
+    fn spu_vs_gpu_peak_ratio() {
+        use crate::blade::Blade;
+        let spu = Blade::baseline().accelerator();
+        let gpu = GpuSystem::h100_cluster(64);
+        let ratio = spu.peak_flops / gpu.accelerator().peak_flops;
+        assert!((2.3..2.7).contains(&ratio), "≈2.5× peak, got {ratio}");
+    }
+}

@@ -1,0 +1,357 @@
+//! Architecture-level interconnect descriptor and analytical collective
+//! costs.
+//!
+//! The closed forms here are the communication model the paper's Optimus
+//! framework relies on (ring collectives per [34]); the `noc_validation`
+//! experiment checks them against the `scd-noc` discrete-event simulator.
+
+use crate::error::ArchError;
+use scd_tech::units::{Bandwidth, TimeInterval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Point-to-point and collective characteristics of an accelerator fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    /// Descriptive name ("SCD 2D-torus", "NVLink", ...).
+    pub name: String,
+    /// Per-accelerator link bandwidth, each direction.
+    pub link_bandwidth: Bandwidth,
+    /// Per-hop (or per-message) latency.
+    pub per_hop_latency: TimeInterval,
+    /// Fixed software/synchronization overhead per collective phase.
+    pub phase_overhead: TimeInterval,
+    /// Largest group size the fabric supports at this bandwidth.
+    pub max_group: usize,
+}
+
+impl InterconnectSpec {
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] for non-positive bandwidth or
+    /// a zero group bound.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.link_bandwidth.bytes_per_s() <= 0.0 {
+            return Err(ArchError::InvalidConfig {
+                reason: format!("{} has non-positive link bandwidth", self.name),
+            });
+        }
+        if self.max_group == 0 {
+            return Err(ArchError::InvalidConfig {
+                reason: format!("{} allows no group members", self.name),
+            });
+        }
+        Ok(())
+    }
+
+    /// All-reduce time for `bytes` per member over `group` members.
+    ///
+    /// Bandwidth term: the ring bound `2(n−1)/n · V / bw`. Latency term:
+    /// tree-structured, `2·⌈log2 n⌉` phases of hop latency + overhead —
+    /// the hybrid every production collective library (NCCL-style) uses,
+    /// so small messages do not pay a full ring of latencies. Zero for
+    /// trivial groups.
+    #[must_use]
+    pub fn all_reduce_time(&self, bytes: f64, group: usize) -> TimeInterval {
+        if group < 2 || bytes <= 0.0 {
+            return TimeInterval::ZERO;
+        }
+        let n = group as f64;
+        let bw_term = 2.0 * (n - 1.0) / n * bytes / self.link_bandwidth.bytes_per_s();
+        let phases = 2.0 * n.log2().ceil();
+        let lat_term = phases * (self.per_hop_latency.seconds() + self.phase_overhead.seconds());
+        TimeInterval::from_base(bw_term + lat_term)
+    }
+
+    /// All-gather time for `bytes` gathered per member (half the
+    /// all-reduce cost structure).
+    #[must_use]
+    pub fn all_gather_time(&self, bytes: f64, group: usize) -> TimeInterval {
+        if group < 2 || bytes <= 0.0 {
+            return TimeInterval::ZERO;
+        }
+        let n = group as f64;
+        let bw_term = (n - 1.0) / n * bytes / self.link_bandwidth.bytes_per_s();
+        let lat_term =
+            n.log2().ceil() * (self.per_hop_latency.seconds() + self.phase_overhead.seconds());
+        TimeInterval::from_base(bw_term + lat_term)
+    }
+
+    /// Point-to-point transfer time for `bytes` (pipeline-parallel
+    /// activation hand-off).
+    #[must_use]
+    pub fn p2p_time(&self, bytes: f64) -> TimeInterval {
+        if bytes <= 0.0 {
+            return TimeInterval::ZERO;
+        }
+        TimeInterval::from_base(
+            bytes / self.link_bandwidth.bytes_per_s()
+                + self.per_hop_latency.seconds()
+                + self.phase_overhead.seconds(),
+        )
+    }
+
+    /// The SCD blade fabric (Fig. 3c): 73.3 TB/s chip-to-chip links, a
+    /// ~145 ps hop (switch + wire), 60 ns intra-blade reduction overhead
+    /// per collective phase amortized across the 2(n−1) phases.
+    #[must_use]
+    pub fn scd_blade() -> Self {
+        Self {
+            name: "SCD 2D-torus".to_owned(),
+            link_bandwidth: Bandwidth::from_tbps(73.3),
+            per_hop_latency: TimeInterval::from_ps(145.0),
+            // 60 ns blade reduction latency spread over a 64-member ring's
+            // 126 phases ≈ 0.5 ns/phase.
+            phase_overhead: TimeInterval::from_ns(0.5),
+            max_group: 64,
+        }
+    }
+
+    /// NVLink-class GPU fabric: 450 GB/s per direction per GPU, NCCL-like
+    /// per-phase overheads of a few microseconds.
+    #[must_use]
+    pub fn nvlink() -> Self {
+        Self {
+            name: "NVLink".to_owned(),
+            link_bandwidth: Bandwidth::from_gbps(450.0),
+            per_hop_latency: TimeInterval::from_ns(500.0),
+            phase_overhead: TimeInterval::from_us(2.0),
+            max_group: 64,
+        }
+    }
+}
+
+impl fmt::Display for InterconnectSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} links, {} hop",
+            self.name, self.link_bandwidth, self.per_hop_latency
+        )
+    }
+}
+
+/// A (possibly tiered) communication fabric.
+///
+/// GPU clusters are strongly tiered: collectives within one NVLink domain
+/// (8 GPUs) run at 450 GB/s, while larger groups bottleneck on the
+/// inter-node network. The SCD blade is a single tier — its torus spans
+/// all 64 SPUs at full link bandwidth, which is precisely the advantage
+/// the paper's Fig. 6/8 comparisons exercise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    /// Tiers ordered by ascending group capacity; a collective over `n`
+    /// members uses the first tier with `max_group ≥ n`.
+    tiers: Vec<InterconnectSpec>,
+}
+
+impl Fabric {
+    /// Builds a fabric from tiers ordered by ascending `max_group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if empty or out of order.
+    pub fn new(tiers: Vec<InterconnectSpec>) -> Result<Self, ArchError> {
+        if tiers.is_empty() {
+            return Err(ArchError::InvalidConfig {
+                reason: "fabric needs at least one tier".to_owned(),
+            });
+        }
+        for t in &tiers {
+            t.validate()?;
+        }
+        if tiers.windows(2).any(|w| w[0].max_group >= w[1].max_group) {
+            return Err(ArchError::InvalidConfig {
+                reason: "fabric tiers must have strictly increasing max_group".to_owned(),
+            });
+        }
+        Ok(Self { tiers })
+    }
+
+    /// Single-tier fabric.
+    #[must_use]
+    pub fn single(spec: InterconnectSpec) -> Self {
+        Self { tiers: vec![spec] }
+    }
+
+    /// The SCD blade's one-tier torus fabric.
+    #[must_use]
+    pub fn scd_blade() -> Self {
+        Self::single(InterconnectSpec::scd_blade())
+    }
+
+    /// An H100 cluster: NVLink inside an 8-GPU node, ~50 GB/s-per-GPU
+    /// InfiniBand beyond it.
+    #[must_use]
+    pub fn gpu_cluster() -> Self {
+        let nvlink = InterconnectSpec {
+            max_group: 8, // one DGX node
+            ..InterconnectSpec::nvlink()
+        };
+        // Cross-node NCCL: hierarchical reduction keeps the effective
+        // per-GPU bandwidth near the node's aggregate NIC share
+        // (~400 GB/s), but every tree phase pays several µs of network +
+        // software latency — small cross-node collectives are
+        // latency-dominated, which is what the paper's §VI GPU baselines
+        // exhibit.
+        let infiniband = InterconnectSpec {
+            name: "InfiniBand (cross-node)".to_owned(),
+            link_bandwidth: Bandwidth::from_gbps(400.0),
+            per_hop_latency: TimeInterval::from_us(2.5),
+            phase_overhead: TimeInterval::from_us(2.5),
+            max_group: 4096,
+        };
+        Self {
+            tiers: vec![nvlink, infiniband],
+        }
+    }
+
+    /// Tier used for a `group`-member collective (the last tier if the
+    /// group exceeds every bound).
+    #[must_use]
+    pub fn tier_for(&self, group: usize) -> &InterconnectSpec {
+        self.tiers
+            .iter()
+            .find(|t| t.max_group >= group)
+            .unwrap_or_else(|| self.tiers.last().expect("non-empty"))
+    }
+
+    /// All tiers.
+    #[must_use]
+    pub fn tiers(&self) -> &[InterconnectSpec] {
+        &self.tiers
+    }
+
+    /// Ring all-reduce across `group` members.
+    #[must_use]
+    pub fn all_reduce_time(&self, bytes: f64, group: usize) -> TimeInterval {
+        self.tier_for(group).all_reduce_time(bytes, group)
+    }
+
+    /// Ring all-gather across `group` members.
+    #[must_use]
+    pub fn all_gather_time(&self, bytes: f64, group: usize) -> TimeInterval {
+        self.tier_for(group).all_gather_time(bytes, group)
+    }
+
+    /// Point-to-point hand-off (uses the innermost tier: PP neighbors are
+    /// placed adjacent).
+    #[must_use]
+    pub fn p2p_time(&self, bytes: f64) -> TimeInterval {
+        self.tiers[0].p2p_time(bytes)
+    }
+}
+
+impl fmt::Display for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tiers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scd_links_are_160x_nvlink() {
+        let scd = InterconnectSpec::scd_blade();
+        let nv = InterconnectSpec::nvlink();
+        let ratio = scd.link_bandwidth.bytes_per_s() / nv.link_bandwidth.bytes_per_s();
+        assert!(ratio > 150.0 && ratio < 170.0, "got {ratio}");
+    }
+
+    #[test]
+    fn all_reduce_degenerate_cases() {
+        let s = InterconnectSpec::scd_blade();
+        assert_eq!(s.all_reduce_time(1e6, 1).seconds(), 0.0);
+        assert_eq!(s.all_reduce_time(0.0, 8).seconds(), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_bandwidth_term_dominates_large_payloads() {
+        let s = InterconnectSpec::scd_blade();
+        let t = s.all_reduce_time(1e9, 8);
+        let ideal = 2.0 * 7.0 / 8.0 * 1e9 / 73.3e12;
+        assert!(t.seconds() >= ideal);
+        assert!(t.seconds() < ideal * 1.5);
+    }
+
+    #[test]
+    fn gpu_all_reduce_is_much_slower() {
+        let scd = InterconnectSpec::scd_blade();
+        let nv = InterconnectSpec::nvlink();
+        let bytes = 100e6;
+        let ratio = nv.all_reduce_time(bytes, 8).seconds() / scd.all_reduce_time(bytes, 8).seconds();
+        assert!(ratio > 50.0, "got {ratio}");
+    }
+
+    #[test]
+    fn all_gather_is_half_of_all_reduce_bandwidth_term() {
+        let s = InterconnectSpec::scd_blade();
+        let ar = s.all_reduce_time(1e9, 16).seconds();
+        let ag = s.all_gather_time(1e9, 16).seconds();
+        assert!(ag < ar);
+    }
+
+    #[test]
+    fn p2p_includes_latency_floor() {
+        let s = InterconnectSpec::nvlink();
+        let t = s.p2p_time(1.0);
+        assert!(t.seconds() >= 2.5e-6);
+    }
+
+    #[test]
+    fn validation() {
+        let mut s = InterconnectSpec::scd_blade();
+        s.link_bandwidth = Bandwidth::ZERO;
+        assert!(s.validate().is_err());
+        let mut s2 = InterconnectSpec::scd_blade();
+        s2.max_group = 0;
+        assert!(s2.validate().is_err());
+        assert!(InterconnectSpec::nvlink().validate().is_ok());
+    }
+
+    #[test]
+    fn gpu_fabric_tiers_by_group_size() {
+        let f = Fabric::gpu_cluster();
+        assert_eq!(f.tier_for(8).name, "NVLink");
+        assert!(f.tier_for(64).name.contains("InfiniBand"));
+        // Cross-node collectives are markedly slower (latency-dominated).
+        let small = f.all_reduce_time(1e6, 8).seconds();
+        let large = f.all_reduce_time(1e6, 64).seconds();
+        assert!(large > small * 3.0, "{large} vs {small}");
+    }
+
+    #[test]
+    fn scd_fabric_is_flat() {
+        let f = Fabric::scd_blade();
+        assert_eq!(f.tier_for(2).name, f.tier_for(64).name);
+    }
+
+    #[test]
+    fn fabric_tier_ordering_enforced() {
+        let a = InterconnectSpec::nvlink();
+        let mut b = InterconnectSpec::nvlink();
+        b.max_group = 4; // smaller than a's 64 → out of order
+        assert!(Fabric::new(vec![a.clone(), b]).is_err());
+        assert!(Fabric::new(vec![a]).is_ok());
+        assert!(Fabric::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn p2p_uses_innermost_tier() {
+        let f = Fabric::gpu_cluster();
+        let t = f.p2p_time(1e6).seconds();
+        // 1 MB over NVLink 450 GB/s ≈ 2.2 µs + 2.5 µs overhead, far from
+        // the 20 µs it would take over IB.
+        assert!(t < 10e-6);
+    }
+}

@@ -1,0 +1,51 @@
+//! # scd-arch — SCD system architecture and GPU baselines
+//!
+//! The architecture layer of *"A System Level Performance Evaluation for
+//! Superconducting Digital Systems"* (Kundu et al., DATE 2025): parametric
+//! building blocks assembled bottom-up from the technology layer.
+//!
+//! * [`compute`] — the banked bf16 MAC array, derived from JJ density and
+//!   the ~8 kJJ MAC (≈41 k MACs → the Fig. 3c 2.45 PFLOP/s peak).
+//! * [`spu`] — the SPU die stack: compute die, HD-JSRAM L1 dies,
+//!   HP-JSRAM register-file die, control complex + switch.
+//! * [`blade`] — the 8×8-SPU blade with SNU shared L2, 2 TB cryo-DRAM and
+//!   the 30 TB/s datalink; renders the Fig. 3c spec table.
+//! * [`gpu`] — the H100 reference system (0.9895 PFLOP/s, 3.35 TB/s HBM).
+//! * [`accelerator`] / [`interconnect`] — the abstraction layer the
+//!   `optimus` performance model consumes (Fig. 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use scd_arch::blade::Blade;
+//! use scd_arch::gpu::GpuSystem;
+//!
+//! let blade = Blade::baseline();
+//! let gpus = GpuSystem::h100_cluster(64);
+//!
+//! // The memory-bandwidth story of the paper, per processing unit:
+//! let spu_bw = blade.accelerator().dram_bandwidth();
+//! let gpu_bw = gpus.accelerator().dram_bandwidth();
+//! assert!(spu_bw.tbps() < 1.0);   // 0.47 TB/s baseline share...
+//! assert!(gpu_bw.tbps() > 3.0);   // ...but it scales to 16+ TB/s in the
+//!                                 // sweeps, unlike fixed HBM stacks.
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod blade;
+pub mod compute;
+pub mod error;
+pub mod gpu;
+pub mod interconnect;
+pub mod spu;
+
+pub use accelerator::Accelerator;
+pub use blade::{Blade, SnuConfig};
+pub use compute::MacArray;
+pub use error::ArchError;
+pub use gpu::GpuSystem;
+pub use interconnect::{Fabric, InterconnectSpec};
+pub use spu::{Spu, SpuConfig};

@@ -1,0 +1,232 @@
+//! The SCD Processing Unit (SPU) die stack (Fig. 3a).
+//!
+//! A vertical stack joined by NbTiN TSVs: the high-throughput compute die,
+//! a host-controller die, four HD-JSRAM memory dies (private L1 D-cache),
+//! one HP-JSRAM die (register files + L1 I-caches), and the control
+//! complex + local switch at the base.
+
+use crate::compute::MacArray;
+use crate::error::ArchError;
+use scd_tech::jsram::{JsramArray, JsramCell};
+use scd_tech::units::{Area, Bandwidth, Energy, TimeInterval};
+use scd_tech::{JosephsonJunction, Technology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of one SPU stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpuConfig {
+    /// Die footprint (12 mm × 12 mm in Fig. 3a).
+    pub die_area: Area,
+    /// Fraction of the compute die devoted to the MAC array.
+    pub compute_fraction: f64,
+    /// Junctions per MAC.
+    pub mac_junctions: u64,
+    /// MAC utilization cap.
+    pub utilization: f64,
+    /// Private L1 D-cache capacity (4 HD stacks → 24 MB in Fig. 3c).
+    pub l1_capacity_bytes: u64,
+    /// L1 banks.
+    pub l1_banks: u32,
+    /// Register-file capacity on the HP die.
+    pub rf_capacity_bytes: u64,
+    /// Register-file banks.
+    pub rf_banks: u32,
+}
+
+impl Default for SpuConfig {
+    fn default() -> Self {
+        Self {
+            die_area: Area::from_mm2(144.0),
+            compute_fraction: 0.57,
+            mac_junctions: 8_000,
+            utilization: 0.8,
+            l1_capacity_bytes: 24 << 20,
+            l1_banks: 64,
+            rf_capacity_bytes: 256 << 10,
+            rf_banks: 32,
+        }
+    }
+}
+
+/// A derived SPU: compute array plus its on-stack memories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spu {
+    config: SpuConfig,
+    mac_array: MacArray,
+    l1: JsramArray,
+    register_file: JsramArray,
+}
+
+impl Spu {
+    /// Derives an SPU from the technology and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the MAC array or JSRAM arrays cannot be
+    /// realized.
+    pub fn derive(tech: &Technology, config: SpuConfig) -> Result<Self, ArchError> {
+        let compute_area = config.die_area * config.compute_fraction;
+        let mac_array = MacArray::derive(
+            tech,
+            compute_area,
+            config.mac_junctions,
+            config.utilization,
+        )?;
+        let l1 = JsramArray::new(
+            JsramCell::Hd1R1W,
+            config.l1_capacity_bytes,
+            config.l1_banks,
+            tech.clock,
+        )
+        .map_err(|e| ArchError::Derivation {
+            step: "L1 JSRAM",
+            detail: e.to_string(),
+        })?;
+        let register_file = JsramArray::new(
+            JsramCell::Hp3R2W,
+            config.rf_capacity_bytes,
+            config.rf_banks,
+            tech.clock,
+        )
+        .map_err(|e| ArchError::Derivation {
+            step: "register file",
+            detail: e.to_string(),
+        })?;
+        Ok(Self {
+            config,
+            mac_array,
+            l1,
+            register_file,
+        })
+    }
+
+    /// Baseline SPU in the NbTiN technology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates derivation failures.
+    pub fn baseline() -> Result<Self, ArchError> {
+        Self::derive(&Technology::scd_nbtin(), SpuConfig::default())
+    }
+
+    /// Configuration used.
+    #[must_use]
+    pub fn config(&self) -> &SpuConfig {
+        &self.config
+    }
+
+    /// The MAC array.
+    #[must_use]
+    pub fn mac_array(&self) -> &MacArray {
+        &self.mac_array
+    }
+
+    /// The private L1 D-cache array.
+    #[must_use]
+    pub fn l1(&self) -> &JsramArray {
+        &self.l1
+    }
+
+    /// The HP register-file array.
+    #[must_use]
+    pub fn register_file(&self) -> &JsramArray {
+        &self.register_file
+    }
+
+    /// Peak compute throughput.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.mac_array.peak_flops()
+    }
+
+    /// L1 read bandwidth available to the datapath.
+    #[must_use]
+    pub fn l1_bandwidth(&self) -> Bandwidth {
+        self.l1.read_bandwidth()
+    }
+
+    /// L1 access latency: a few clock cycles of XY addressing plus TSV
+    /// hop.
+    #[must_use]
+    pub fn l1_latency(&self) -> TimeInterval {
+        TimeInterval::from_base(30.0 * self.mac_array.clock.period().seconds())
+    }
+
+    /// Register-file latency (cycles on the same die).
+    #[must_use]
+    pub fn rf_latency(&self) -> TimeInterval {
+        TimeInterval::from_base(4.0 * self.mac_array.clock.period().seconds())
+    }
+
+    /// Total junction budget of the stack (compute + memories).
+    #[must_use]
+    pub fn junctions(&self) -> u64 {
+        self.mac_array.junctions() + self.l1.junctions() + self.register_file.junctions()
+    }
+
+    /// Dynamic power at full load.
+    #[must_use]
+    pub fn dynamic_power_w(&self, jj: &JosephsonJunction) -> f64 {
+        let per_cycle = self.mac_array.dynamic_energy_per_cycle(jj);
+        let e: Energy = per_cycle;
+        e.joules() * self.mac_array.clock.hz()
+    }
+}
+
+impl fmt::Display for Spu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SPU: {:.2} PFLOP/s peak, {} MB L1, {} kJJ RF",
+            self.peak_flops() / 1e15,
+            self.config.l1_capacity_bytes >> 20,
+            self.register_file.junctions() / 1000
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_spu_matches_fig3c() {
+        let spu = Spu::baseline().unwrap();
+        let pflops = spu.peak_flops() / 1e15;
+        assert!((2.3..=2.6).contains(&pflops));
+        assert_eq!(spu.config().l1_capacity_bytes, 24 << 20);
+    }
+
+    #[test]
+    fn l1_bandwidth_far_exceeds_dram_share() {
+        let spu = Spu::baseline().unwrap();
+        // 64 banks × 32 B × 30 GHz ≈ 61 TB/s, versus 0.47 TB/s of DRAM.
+        assert!(spu.l1_bandwidth().tbps() > 50.0);
+    }
+
+    #[test]
+    fn latencies_ordered() {
+        let spu = Spu::baseline().unwrap();
+        assert!(spu.rf_latency().seconds() < spu.l1_latency().seconds());
+        assert!(spu.l1_latency().ns() < 2.0);
+    }
+
+    #[test]
+    fn junction_budget_dominated_by_memory() {
+        let spu = Spu::baseline().unwrap();
+        // 24 MB × 8 bits × 8 JJ ≈ 1.6 GJJ of L1 versus 0.33 GJJ of MACs:
+        // memory dies dominate, which is why they are separate stacked
+        // dies in Fig. 3a.
+        assert!(spu.l1().junctions() > spu.mac_array().junctions());
+    }
+
+    #[test]
+    fn dynamic_power_is_sub_watt() {
+        let spu = Spu::baseline().unwrap();
+        let p = spu.dynamic_power_w(&JosephsonJunction::nominal());
+        // The paper's "100× less on-chip power" claim: a full SPU's MAC
+        // array dissipates well under a watt at 4 K.
+        assert!(p < 1.0, "got {p} W");
+    }
+}

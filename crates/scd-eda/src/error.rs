@@ -1,0 +1,93 @@
+//! Error types for the EDA flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, synthesizing or verifying netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdaError {
+    /// A node id did not refer to an existing node.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// A gate was created with the wrong number of inputs for its operator.
+    BadArity {
+        /// Operator name.
+        op: &'static str,
+        /// Expected input count description.
+        expected: &'static str,
+        /// Actual count supplied.
+        actual: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle,
+    /// A primary output refers to a node that does not exist.
+    DanglingOutput {
+        /// Name of the output port.
+        name: String,
+    },
+    /// Two netlists disagreed during equivalence checking.
+    NotEquivalent {
+        /// Index of the first differing output.
+        output: usize,
+        /// Input pattern (little-endian bit pack) exposing the mismatch.
+        pattern: u64,
+    },
+    /// A width-parameterized generator was asked for an unsupported width.
+    UnsupportedWidth {
+        /// Generator name.
+        generator: &'static str,
+        /// Requested width.
+        width: usize,
+        /// Supported range description.
+        supported: &'static str,
+    },
+}
+
+impl fmt::Display for EdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode { index } => write!(f, "unknown node id {index}"),
+            Self::BadArity {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} expects {expected} inputs, got {actual}"),
+            Self::CombinationalCycle => write!(f, "netlist contains a combinational cycle"),
+            Self::DanglingOutput { name } => write!(f, "output '{name}' drives nothing"),
+            Self::NotEquivalent { output, pattern } => write!(
+                f,
+                "netlists differ at output {output} for input pattern {pattern:#b}"
+            ),
+            Self::UnsupportedWidth {
+                generator,
+                width,
+                supported,
+            } => write!(f, "{generator} does not support width {width} (supported: {supported})"),
+        }
+    }
+}
+
+impl Error for EdaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = EdaError::BadArity {
+            op: "MAJ",
+            expected: "exactly 3",
+            actual: 2,
+        };
+        assert!(e.to_string().contains("MAJ"));
+        let e = EdaError::UnsupportedWidth {
+            generator: "adder",
+            width: 0,
+            supported: "1..=64",
+        };
+        assert!(e.to_string().contains("adder"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Phase assignment and balancing.
+//!
+//! Every PCL gate is clocked by the resonant AC network: data advances one
+//! *phase* per gate stage. For correct operation all inputs of a gate must
+//! arrive in the same phase, so shorter paths receive JTL padding buffers —
+//! the "phase assignment / phase matching" step of the Fig. 1h flow. The
+//! resulting design is a fully-pipelined systolic structure: latency is the
+//! output phase count, and a new operation can enter every clock cycle.
+
+use crate::mapped::{MappedNetlist, MappedNode};
+use scd_tech::pcl::PclCell;
+use serde::{Deserialize, Serialize};
+
+/// Result of phase balancing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase (pipeline stage) at which each node's output is valid.
+    pub node_phase: Vec<u32>,
+    /// Total pipeline depth: latest primary-output phase.
+    pub pipeline_depth: u32,
+    /// JTL padding buffers required to equalize arrival phases.
+    pub padding_buffers: u64,
+    /// Junction cost of the padding buffers.
+    pub padding_junctions: u64,
+}
+
+/// Junctions per single-phase dual-rail JTL padding stage (both rails).
+const PADDING_JJ: u64 = 4;
+
+/// Assigns phases to every node and computes the padding needed to
+/// phase-balance all reconvergent paths.
+///
+/// # Errors
+///
+/// Returns [`crate::EdaError::CombinationalCycle`] if the netlist is
+/// cyclic.
+pub fn balance_phases(netlist: &MappedNetlist) -> Result<PhaseReport, crate::EdaError> {
+    let order = netlist.topo_order()?;
+    let mut phase = vec![0u32; netlist.nodes().len()];
+    let mut padding: u64 = 0;
+
+    for id in order {
+        match &netlist.nodes()[id.index()] {
+            MappedNode::Input { .. } | MappedNode::Const { .. } => {
+                phase[id.index()] = 0;
+            }
+            MappedNode::Cell { cell, pins } => {
+                let arrival = pins
+                    .iter()
+                    .map(|p| phase[p.node.index()])
+                    .max()
+                    .unwrap_or(0);
+                for p in pins {
+                    padding += u64::from(arrival - phase[p.node.index()]);
+                }
+                phase[id.index()] = arrival + cell.phase_depth();
+            }
+        }
+    }
+
+    // Primary outputs must also leave in lock-step.
+    let out_phase = netlist
+        .outputs()
+        .iter()
+        .map(|(_, p)| phase[p.node.index()])
+        .max()
+        .unwrap_or(0);
+    for (_, p) in netlist.outputs() {
+        padding += u64::from(out_phase - phase[p.node.index()]);
+    }
+
+    Ok(PhaseReport {
+        pipeline_depth: out_phase,
+        padding_buffers: padding,
+        padding_junctions: padding * PADDING_JJ,
+        node_phase: phase,
+    })
+}
+
+/// Returns `true` if the given netlist needs no padding (all reconvergent
+/// paths already balanced).
+///
+/// # Errors
+///
+/// Propagates topological-sort failures.
+pub fn is_balanced(netlist: &MappedNetlist) -> Result<bool, crate::EdaError> {
+    Ok(balance_phases(netlist)?.padding_buffers == 0)
+}
+
+/// A convenience alias used by reports: phases through a single cell.
+#[must_use]
+pub fn cell_phases(cell: PclCell) -> u32 {
+    cell.phase_depth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::{MappedNetlist, Pin};
+
+    #[test]
+    fn straight_chain_needs_no_padding() {
+        let mut m = MappedNetlist::new("chain");
+        let a = m.add_input("a");
+        let b = m.add_input("b");
+        let g1 = m.add_cell(PclCell::And2, vec![Pin::of(a), Pin::of(b)]);
+        m.add_output("y", Pin::of(g1));
+        let r = balance_phases(&m).unwrap();
+        assert_eq!(r.pipeline_depth, 1);
+        assert_eq!(r.padding_buffers, 0);
+        assert!(is_balanced(&m).unwrap());
+    }
+
+    #[test]
+    fn reconvergent_paths_get_padding() {
+        // y = (a AND b) OR a: the direct `a` arm is 1 phase short.
+        let mut m = MappedNetlist::new("reconv");
+        let a = m.add_input("a");
+        let b = m.add_input("b");
+        let g1 = m.add_cell(PclCell::And2, vec![Pin::of(a), Pin::of(b)]);
+        let g2 = m.add_cell(PclCell::Or2, vec![Pin::of(g1), Pin::of(a)]);
+        m.add_output("y", Pin::of(g2));
+        let r = balance_phases(&m).unwrap();
+        assert_eq!(r.pipeline_depth, 2);
+        assert_eq!(r.padding_buffers, 1);
+        assert_eq!(r.padding_junctions, 4);
+        assert!(!is_balanced(&m).unwrap());
+    }
+
+    #[test]
+    fn two_phase_cells_advance_two_phases() {
+        let mut m = MappedNetlist::new("xor");
+        let a = m.add_input("a");
+        let b = m.add_input("b");
+        let g = m.add_cell(PclCell::Xor2, vec![Pin::of(a), Pin::of(b)]);
+        m.add_output("y", Pin::of(g));
+        let r = balance_phases(&m).unwrap();
+        assert_eq!(r.pipeline_depth, 2);
+    }
+
+    #[test]
+    fn output_skew_is_padded() {
+        let mut m = MappedNetlist::new("skew");
+        let a = m.add_input("a");
+        let b = m.add_input("b");
+        let deep = m.add_cell(PclCell::Xor2, vec![Pin::of(a), Pin::of(b)]);
+        let shallow = m.add_cell(PclCell::And2, vec![Pin::of(a), Pin::of(b)]);
+        m.add_output("x", Pin::of(deep)); // phase 2
+        m.add_output("y", Pin::of(shallow)); // phase 1 → 1 pad
+        let r = balance_phases(&m).unwrap();
+        assert_eq!(r.pipeline_depth, 2);
+        assert_eq!(r.padding_buffers, 1);
+    }
+
+    #[test]
+    fn free_inversion_does_not_shift_phase() {
+        let mut m = MappedNetlist::new("inv");
+        let a = m.add_input("a");
+        let b = m.add_input("b");
+        let g1 = m.add_cell(PclCell::And2, vec![Pin::of(a).invert(), Pin::of(b)]);
+        let g2 = m.add_cell(PclCell::And2, vec![Pin::of(a), Pin::of(b).invert()]);
+        let g3 = m.add_cell(PclCell::Or2, vec![Pin::of(g1), Pin::of(g2)]);
+        m.add_output("y", Pin::of(g3));
+        let r = balance_phases(&m).unwrap();
+        assert_eq!(r.pipeline_depth, 2);
+        assert_eq!(r.padding_buffers, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Synthesis reports: junction budget, area, timing and energy of a
+//! compiled design — the numbers the architecture layer consumes.
+
+use crate::mapped::MappedNetlist;
+use crate::phase::PhaseReport;
+use crate::splitter::SplitterStats;
+use crate::synth::SynthStats;
+use scd_tech::pcl::PclCell;
+use scd_tech::units::{Area, Energy, Frequency, TimeInterval};
+use scd_tech::{JosephsonJunction, Technology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Full PPA (power-performance-area) report for a compiled design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Design name.
+    pub design: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Cell instances by library cell name.
+    pub cell_histogram: BTreeMap<String, usize>,
+    /// Junctions in logic cells (including fused adders, excluding
+    /// splitters and phase padding).
+    pub logic_junctions: u64,
+    /// Junctions in splitter trees.
+    pub splitter_junctions: u64,
+    /// Junctions in phase-padding JTLs.
+    pub padding_junctions: u64,
+    /// Total junction count.
+    pub total_junctions: u64,
+    /// Pipeline depth in clock phases.
+    pub pipeline_depth: u32,
+    /// Die area at the technology's device density.
+    pub area: Area,
+    /// Input-to-output latency at the technology clock.
+    pub latency: TimeInterval,
+    /// Energy per operation (all junctions, 50 % activity).
+    pub energy_per_op: Energy,
+    /// Mapping statistics.
+    pub synth_stats: SynthStats,
+    /// Splitter statistics.
+    pub splitter_stats: SplitterStats,
+}
+
+impl SynthesisReport {
+    /// Assembles a report from the flow's intermediate artifacts.
+    #[must_use]
+    pub fn assemble(
+        mapped: &MappedNetlist,
+        synth_stats: SynthStats,
+        splitter_stats: SplitterStats,
+        phases: &PhaseReport,
+        tech: &Technology,
+    ) -> Self {
+        let histogram = mapped.cell_histogram();
+        let splitter_junctions = histogram
+            .get(&PclCell::Splitter)
+            .map_or(0, |&n| n as u64 * u64::from(PclCell::Splitter.junctions()));
+        let all_junctions = mapped.junctions();
+        let logic_junctions = all_junctions - splitter_junctions;
+        let total = all_junctions + phases.padding_junctions;
+        let jj = JosephsonJunction::nominal();
+        let clock: Frequency = tech.clock;
+        Self {
+            design: mapped.name().to_owned(),
+            inputs: mapped.inputs().len(),
+            outputs: mapped.outputs().len(),
+            cell_histogram: histogram
+                .into_iter()
+                .map(|(c, n)| (c.name().to_owned(), n))
+                .collect(),
+            logic_junctions,
+            splitter_junctions,
+            padding_junctions: phases.padding_junctions,
+            total_junctions: total,
+            pipeline_depth: phases.pipeline_depth,
+            area: tech.area_for_devices(total),
+            latency: TimeInterval::from_base(
+                f64::from(phases.pipeline_depth) * clock.period().seconds(),
+            ),
+            energy_per_op: jj.switching_energy() * (total as f64) * 0.5,
+            synth_stats,
+            splitter_stats,
+        }
+    }
+
+    /// Throughput in operations per second: the design is fully pipelined,
+    /// one operation per clock.
+    #[must_use]
+    pub fn throughput_ops(&self, clock: Frequency) -> f64 {
+        clock.hz()
+    }
+
+    /// Fraction of junctions spent on overhead (splitters + padding).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_junctions == 0 {
+            return 0.0;
+        }
+        (self.splitter_junctions + self.padding_junctions) as f64 / self.total_junctions as f64
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design           : {}", self.design)?;
+        writeln!(f, "io               : {} in / {} out", self.inputs, self.outputs)?;
+        writeln!(f, "logic JJs        : {}", self.logic_junctions)?;
+        writeln!(f, "splitter JJs     : {}", self.splitter_junctions)?;
+        writeln!(f, "padding JJs      : {}", self.padding_junctions)?;
+        writeln!(f, "total JJs        : {}", self.total_junctions)?;
+        writeln!(f, "pipeline depth   : {} phases", self.pipeline_depth)?;
+        writeln!(f, "area             : {}", self.area)?;
+        writeln!(f, "latency          : {}", self.latency)?;
+        writeln!(f, "energy/op        : {}", self.energy_per_op)?;
+        write!(f, "overhead fraction: {:.1} %", self.overhead_fraction() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::StarlingFlow;
+    use crate::netlist::{LogicOp, Netlist};
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let mut n = Netlist::new("toy");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let s = n.add_gate(LogicOp::Xor, vec![a, b, c]).unwrap();
+        let m = n.add_gate(LogicOp::Maj, vec![a, b, c]).unwrap();
+        n.add_output("s", s);
+        n.add_output("c", m);
+        let flow = StarlingFlow::new(Technology::scd_nbtin());
+        let design = flow.compile(&n).unwrap();
+        let r = &design.report;
+        assert_eq!(
+            r.total_junctions,
+            r.logic_junctions + r.splitter_junctions + r.padding_junctions
+        );
+        assert!(r.overhead_fraction() >= 0.0 && r.overhead_fraction() < 1.0);
+        assert!(r.area.um2() > 0.0);
+        assert!(r.latency.ps() > 0.0);
+        let text = r.to_string();
+        assert!(text.contains("total JJs"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Global-routing estimation over a placed design.
+//!
+//! PCL wires are transmission lines that must be routed "with targeted
+//! inductance" (§II-B); inductance is proportional to length, so a net
+//! whose placed length strays far from the target needs meanders or
+//! re-buffering. This estimator routes every placed net with an L-shape,
+//! builds a per-tile congestion map, and reports how many nets fall
+//! outside the inductance window — the feedback signal a real P&R loop
+//! would iterate on.
+
+use crate::mapped::{MappedNetlist, MappedNode};
+use crate::place::PlacementResult;
+use serde::{Deserialize, Serialize};
+
+/// Routing report over a placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingReport {
+    /// Total routed wire length (grid units, L-shaped point-to-point).
+    pub total_wirelength: f64,
+    /// Demand of the most congested routing tile (wires crossing it).
+    pub peak_congestion: u32,
+    /// Mean tile demand.
+    pub mean_congestion: f64,
+    /// Nets whose length lies within the inductance window.
+    pub nets_in_window: usize,
+    /// Nets shorter than the window (need added meander inductance).
+    pub nets_too_short: usize,
+    /// Nets longer than the window (need re-buffering).
+    pub nets_too_long: usize,
+    /// Per-tile demand map (row-major, `grid × grid`).
+    pub congestion: Vec<u32>,
+    /// Grid side length.
+    pub grid: usize,
+}
+
+impl RoutingReport {
+    /// Fraction of nets inside the inductance window.
+    #[must_use]
+    pub fn window_yield(&self) -> f64 {
+        let total = self.nets_in_window + self.nets_too_short + self.nets_too_long;
+        if total == 0 {
+            1.0
+        } else {
+            self.nets_in_window as f64 / total as f64
+        }
+    }
+}
+
+/// Inductance window for routed nets, expressed in grid-unit lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InductanceWindow {
+    /// Minimum acceptable routed length.
+    pub min_len: f64,
+    /// Maximum acceptable routed length.
+    pub max_len: f64,
+}
+
+impl Default for InductanceWindow {
+    fn default() -> Self {
+        // A JTL-coupled PCL connection tolerates roughly 0–8 cell pitches
+        // before its inductance leaves the bias window.
+        Self {
+            min_len: 0.0,
+            max_len: 8.0,
+        }
+    }
+}
+
+/// Routes every driver→sink connection of the placed design with an
+/// L-shape (horizontal then vertical), accumulating tile demand.
+#[must_use]
+pub fn route(
+    netlist: &MappedNetlist,
+    placement: &PlacementResult,
+    window: InductanceWindow,
+) -> RoutingReport {
+    let grid = placement.grid;
+    let mut congestion = vec![0u32; grid * grid];
+    let mut total_wirelength = 0.0;
+    let (mut ok, mut short, mut long) = (0usize, 0usize, 0usize);
+
+    let mark = |x: usize, y: usize, congestion: &mut Vec<u32>| {
+        congestion[y * grid + x] = congestion[y * grid + x].saturating_add(1);
+    };
+
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        let MappedNode::Cell { pins, .. } = node else {
+            continue;
+        };
+        let (sx, sy) = placement.locations[idx];
+        for p in pins {
+            let (dx, dy) = placement.locations[p.node.index()];
+            let len = (sx.abs_diff(dx) + sy.abs_diff(dy)) as f64;
+            total_wirelength += len;
+            if len < window.min_len {
+                short += 1;
+            } else if len > window.max_len {
+                long += 1;
+            } else {
+                ok += 1;
+            }
+            // L-shape: horizontal leg at the driver row, vertical at the
+            // sink column.
+            let (x0, x1) = (dx.min(sx), dx.max(sx));
+            for x in x0..=x1 {
+                mark(x, dy, &mut congestion);
+            }
+            let (y0, y1) = (dy.min(sy), dy.max(sy));
+            for y in y0..=y1 {
+                mark(sx, y, &mut congestion);
+            }
+        }
+    }
+
+    let peak = congestion.iter().copied().max().unwrap_or(0);
+    let mean = if congestion.is_empty() {
+        0.0
+    } else {
+        congestion.iter().map(|&c| f64::from(c)).sum::<f64>() / congestion.len() as f64
+    };
+    RoutingReport {
+        total_wirelength,
+        peak_congestion: peak,
+        mean_congestion: mean,
+        nets_in_window: ok,
+        nets_too_short: short,
+        nets_too_long: long,
+        congestion,
+        grid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks;
+    use crate::place::place;
+    use crate::synth::synthesize;
+
+    fn setup(width: usize, iters: u64) -> (MappedNetlist, PlacementResult) {
+        let m = synthesize(&blocks::ripple_adder(width).unwrap())
+            .unwrap()
+            .mapped;
+        let p = place(&m, iters, 9);
+        (m, p)
+    }
+
+    #[test]
+    fn annealed_placement_routes_better_than_raw() {
+        let m = synthesize(&blocks::ripple_adder(16).unwrap())
+            .unwrap()
+            .mapped;
+        let raw = place(&m, 0, 9);
+        let annealed = place(&m, 30_000, 9);
+        let w = InductanceWindow::default();
+        let r_raw = route(&m, &raw, w);
+        let r_annealed = route(&m, &annealed, w);
+        assert!(r_annealed.total_wirelength <= r_raw.total_wirelength);
+        assert!(r_annealed.window_yield() >= r_raw.window_yield());
+    }
+
+    #[test]
+    fn congestion_map_is_consistent() {
+        let (m, p) = setup(8, 5_000);
+        let r = route(&m, &p, InductanceWindow::default());
+        assert_eq!(r.congestion.len(), r.grid * r.grid);
+        assert!(f64::from(r.peak_congestion) >= r.mean_congestion);
+        let _ = m;
+    }
+
+    #[test]
+    fn window_accounting_sums_to_net_count() {
+        let (m, p) = setup(8, 5_000);
+        let r = route(&m, &p, InductanceWindow::default());
+        let pins: usize = m
+            .nodes()
+            .iter()
+            .map(|n| match n {
+                MappedNode::Cell { pins, .. } => pins.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(r.nets_in_window + r.nets_too_short + r.nets_too_long, pins);
+        assert!(r.window_yield() <= 1.0);
+    }
+
+    #[test]
+    fn tight_window_flags_long_nets() {
+        let (m, p) = setup(8, 1_000);
+        let tight = route(
+            &m,
+            &p,
+            InductanceWindow {
+                min_len: 0.0,
+                max_len: 0.0,
+            },
+        );
+        // With a zero-length window every non-coincident net is long.
+        assert!(tight.nets_too_long > 0);
+        assert!(tight.window_yield() < 1.0);
+    }
+}

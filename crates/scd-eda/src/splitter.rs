@@ -1,0 +1,194 @@
+//! Splitter insertion (fan-out repair).
+//!
+//! In pulse logic a gate output is a single SFQ pulse and can drive exactly
+//! one load; any net with fan-out > 1 needs a tree of 1→2 splitters. This
+//! pass physically inserts balanced splitter trees, mirroring the
+//! "splitter insertion" step of the Fig. 1h flow.
+
+use crate::mapped::{CellId, MappedNetlist, MappedNode, Pin};
+use scd_tech::pcl::PclCell;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics from splitter insertion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitterStats {
+    /// Splitter cells inserted.
+    pub splitters_inserted: usize,
+    /// Maximum fan-out encountered before repair.
+    pub max_fanout: usize,
+    /// Nets that required repair.
+    pub nets_repaired: usize,
+}
+
+/// Inserts splitter trees so every output drives at most one load.
+///
+/// Consumers of a repaired net are re-pointed at distinct leaves of a
+/// balanced splitter tree; pin inversions are preserved (the splitter
+/// carries both rails, so inversion remains free downstream).
+pub fn insert_splitters(netlist: &mut MappedNetlist) -> SplitterStats {
+    // Gather consumers per (node, port): (consumer cell, pin index) or
+    // primary output index.
+    #[derive(Clone, Copy)]
+    enum Consumer {
+        CellPin { cell: CellId, pin: usize },
+        Output { index: usize },
+    }
+
+    let mut consumers: HashMap<(CellId, usize), Vec<(Consumer, bool)>> = HashMap::new();
+    let node_count = netlist.nodes().len();
+    for idx in 0..node_count {
+        if let MappedNode::Cell { pins, .. } = &netlist.nodes()[idx] {
+            for (k, p) in pins.iter().enumerate() {
+                consumers.entry((p.node, p.port)).or_default().push((
+                    Consumer::CellPin {
+                        cell: CellId(idx),
+                        pin: k,
+                    },
+                    p.inverted,
+                ));
+            }
+        }
+    }
+    for (i, (_, p)) in netlist.outputs().iter().enumerate() {
+        consumers
+            .entry((p.node, p.port))
+            .or_default()
+            .push((Consumer::Output { index: i }, p.inverted));
+    }
+
+    let mut stats = SplitterStats::default();
+    for ((src, port), users) in consumers {
+        stats.max_fanout = stats.max_fanout.max(users.len());
+        if users.len() <= 1 {
+            continue;
+        }
+        // Inputs and constants fan out through distribution wiring on the
+        // resonant network, not gate outputs; still repaired for realism.
+        stats.nets_repaired += 1;
+
+        // Build a balanced tree with `users.len()` leaves. Each splitter
+        // provides 2 output pins; greedily expand the frontier.
+        let mut frontier: Vec<Pin> = vec![Pin {
+            node: src,
+            port,
+            inverted: false,
+        }];
+        while frontier.len() < users.len() {
+            // Expand the shallowest pin (front of the queue).
+            let feed = frontier.remove(0);
+            let spl = netlist.add_cell(PclCell::Splitter, vec![feed]);
+            stats.splitters_inserted += 1;
+            frontier.push(Pin {
+                node: spl,
+                port: 0,
+                inverted: false,
+            });
+            frontier.push(Pin {
+                node: spl,
+                port: 1,
+                inverted: false,
+            });
+        }
+
+        for ((user, inverted), leaf) in users.into_iter().zip(frontier) {
+            let leaf = Pin {
+                inverted: inverted ^ leaf.inverted,
+                ..leaf
+            };
+            match user {
+                Consumer::CellPin { cell, pin } => {
+                    let mut pins = match &netlist.nodes()[cell.index()] {
+                        MappedNode::Cell { pins, .. } => pins.clone(),
+                        _ => unreachable!("consumer is a cell"),
+                    };
+                    pins[pin] = leaf;
+                    netlist.set_pins(cell, pins);
+                }
+                Consumer::Output { index } => netlist.set_output_pin(index, leaf),
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::MappedNetlist;
+
+    /// Max fan-out over all (node, port) nets.
+    fn max_fanout(netlist: &MappedNetlist) -> usize {
+        let mut count: HashMap<(usize, usize), usize> = HashMap::new();
+        for n in netlist.nodes() {
+            if let MappedNode::Cell { pins, .. } = n {
+                for p in pins {
+                    *count.entry((p.node.index(), p.port)).or_insert(0) += 1;
+                }
+            }
+        }
+        for (_, p) in netlist.outputs() {
+            *count.entry((p.node.index(), p.port)).or_insert(0) += 1;
+        }
+        count.values().copied().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn high_fanout_net_is_repaired_and_function_preserved() {
+        let mut m = MappedNetlist::new("fan");
+        let a = m.add_input("a");
+        let b = m.add_input("b");
+        let g = m.add_cell(PclCell::And2, vec![Pin::of(a), Pin::of(b)]);
+        // g drives 5 consumers.
+        for i in 0..4 {
+            let c = m.add_cell(PclCell::Or2, vec![Pin::of(g), Pin::of(b)]);
+            m.add_output(format!("o{i}"), Pin::of(c));
+        }
+        m.add_output("g", Pin::of(g).invert());
+
+        let before: Vec<u64> = m.eval_word(&[0b0110, 0b1010]).unwrap();
+        let stats = insert_splitters(&mut m);
+        let after: Vec<u64> = m.eval_word(&[0b0110, 0b1010]).unwrap();
+
+        assert_eq!(before, after, "splitters must not change the function");
+        assert_eq!(stats.max_fanout, 5);
+        assert!(stats.splitters_inserted >= 4);
+        assert_eq!(max_fanout(&m), 1);
+    }
+
+    #[test]
+    fn fanout_one_designs_untouched() {
+        let mut m = MappedNetlist::new("chain");
+        let a = m.add_input("a");
+        let g1 = m.add_cell(PclCell::Buf, vec![Pin::of(a)]);
+        let g2 = m.add_cell(PclCell::Buf, vec![Pin::of(g1)]);
+        m.add_output("y", Pin::of(g2));
+        let stats = insert_splitters(&mut m);
+        assert_eq!(stats.splitters_inserted, 0);
+        assert_eq!(stats.nets_repaired, 0);
+    }
+
+    #[test]
+    fn splitter_tree_is_balanced_for_power_of_two_fanout() {
+        let mut m = MappedNetlist::new("fan4");
+        let a = m.add_input("a");
+        for i in 0..4 {
+            m.add_output(format!("o{i}"), Pin::of(a));
+        }
+        let stats = insert_splitters(&mut m);
+        // 4 leaves need exactly 3 splitters in a balanced binary tree.
+        assert_eq!(stats.splitters_inserted, 3);
+        assert_eq!(m.eval(&[true]).unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn inverted_consumers_keep_their_sense() {
+        let mut m = MappedNetlist::new("inv_fan");
+        let a = m.add_input("a");
+        m.add_output("pos", Pin::of(a));
+        m.add_output("neg", Pin::of(a).invert());
+        insert_splitters(&mut m);
+        assert_eq!(m.eval(&[true]).unwrap(), vec![true, false]);
+        assert_eq!(m.eval(&[false]).unwrap(), vec![false, true]);
+    }
+}

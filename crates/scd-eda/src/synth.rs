@@ -1,0 +1,395 @@
+//! Technology mapping: generic logic netlist → dual-rail PCL netlist.
+//!
+//! This implements the synthesis portion of the Fig. 1h flow:
+//!
+//! * **single-to-dual-rail conversion** — every `NOT` is absorbed into a
+//!   rail-swap on the consuming pin (free in PCL);
+//! * **library mapping** — `AND`/`OR` map to 2/3/4-input cells with
+//!   balanced tree decomposition for wider gates, `XOR` to `XOR2`/`XOR3`
+//!   trees, `MAJ` to `MAJ3`, `MUX` to `AO22`;
+//! * **arithmetic extraction** — the "`XOR3+FA`, `XOR2+HA`" re-mapping of
+//!   Fig. 1h: an `XOR` and `MAJ`/`AND` gate over the same inputs fuse into
+//!   a single full/half-adder cell, sharing junctions between the sum and
+//!   carry paths.
+
+use crate::error::EdaError;
+use crate::mapped::{MappedNetlist, Pin};
+use crate::netlist::{LogicOp, Netlist, Node, NodeId};
+use scd_tech::pcl::PclCell;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics gathered during technology mapping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthStats {
+    /// `NOT` gates absorbed into dual-rail pin swaps.
+    pub inverters_absorbed: usize,
+    /// Full-adder fusions performed (XOR3+MAJ3 → FA).
+    pub full_adders_fused: usize,
+    /// Half-adder fusions performed (XOR2+AND2 → HA).
+    pub half_adders_fused: usize,
+    /// Explicit pipeline buffers mapped to JTL stages.
+    pub buffers_mapped: usize,
+}
+
+/// Result of technology mapping.
+#[derive(Debug, Clone)]
+pub struct SynthResult {
+    /// The mapped dual-rail netlist.
+    pub mapped: MappedNetlist,
+    /// Mapping statistics.
+    pub stats: SynthStats,
+}
+
+/// Maps a generic netlist onto the PCL library.
+///
+/// # Errors
+///
+/// Returns [`EdaError`] if the netlist fails validation.
+///
+/// ```
+/// use scd_eda::netlist::{LogicOp, Netlist};
+/// use scd_eda::synth::synthesize;
+///
+/// let mut n = Netlist::new("maj_not");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let c = n.add_input("c");
+/// let na = n.add_gate(LogicOp::Not, vec![a])?;
+/// let m = n.add_gate(LogicOp::Maj, vec![na, b, c])?;
+/// n.add_output("y", m);
+///
+/// let r = synthesize(&n)?;
+/// // The inverter vanished into a rail swap.
+/// assert_eq!(r.stats.inverters_absorbed, 1);
+/// # Ok::<(), scd_eda::EdaError>(())
+/// ```
+pub fn synthesize(netlist: &Netlist) -> Result<SynthResult, EdaError> {
+    netlist.validate()?;
+    let mut out = MappedNetlist::new(netlist.name().to_owned());
+    let mut stats = SynthStats::default();
+    // Pin each source node resolves to once mapped.
+    let mut pin_of: Vec<Option<Pin>> = vec![None; netlist.nodes().len()];
+
+    // Pre-pass: find fusable (sum, carry) partners, keyed by whichever node
+    // of the pair appears first so the fusion happens before any consumer.
+    let fusions = find_adder_fusions(netlist);
+
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        let id = NodeId(idx);
+        if pin_of[idx].is_some() {
+            continue; // already produced by a fusion partner
+        }
+        if let Some(f) = fusions.get(&id) {
+            // Fuse the sum/carry pair into one adder cell now.
+            let inputs = match node {
+                Node::Gate { inputs, .. } => inputs,
+                Node::Input { .. } => unreachable!("fusions only index gates"),
+            };
+            let pins: Vec<Pin> = inputs.iter().map(|&i| resolve(&pin_of, i)).collect();
+            let (cell, sum_node, carry_node) = if inputs.len() == 3 {
+                stats.full_adders_fused += 1;
+                (PclCell::FullAdder, f.sum_node, f.carry_node)
+            } else {
+                stats.half_adders_fused += 1;
+                (PclCell::HalfAdder, f.sum_node, f.carry_node)
+            };
+            let adder = out.add_cell(cell, pins);
+            pin_of[sum_node.0] = Some(Pin {
+                node: adder,
+                port: 0,
+                inverted: false,
+            });
+            pin_of[carry_node.0] = Some(Pin {
+                node: adder,
+                port: 1,
+                inverted: false,
+            });
+            continue;
+        }
+        let pin = match node {
+            Node::Input { name } => Pin::of(out.add_input(name.clone())),
+            Node::Gate { op, inputs } => match op {
+                LogicOp::Const(v) => Pin::of(out.add_const(*v)),
+                LogicOp::Buf => {
+                    // Pipeline buffers are real JTL stages in PCL (the
+                    // shift-register database entry is made of these).
+                    stats.buffers_mapped += 1;
+                    Pin::of(out.add_cell(PclCell::Buf, vec![resolve(&pin_of, inputs[0])]))
+                }
+                LogicOp::Not => {
+                    stats.inverters_absorbed += 1;
+                    resolve(&pin_of, inputs[0]).invert()
+                }
+                LogicOp::And => map_assoc(&mut out, &pin_of, inputs, Assoc::And),
+                LogicOp::Or => map_assoc(&mut out, &pin_of, inputs, Assoc::Or),
+                LogicOp::Xor => map_xor(&mut out, &pin_of, inputs),
+                LogicOp::Maj => {
+                    let pins: Vec<Pin> = inputs.iter().map(|&i| resolve(&pin_of, i)).collect();
+                    Pin::of(out.add_cell(PclCell::Maj3, pins))
+                }
+                LogicOp::Mux => {
+                    // sel ? a : b  =  (sel·a) + (!sel·b)
+                    let sel = resolve(&pin_of, inputs[0]);
+                    let a = resolve(&pin_of, inputs[1]);
+                    let b = resolve(&pin_of, inputs[2]);
+                    Pin::of(out.add_cell(PclCell::Ao22, vec![sel, a, sel.invert(), b]))
+                }
+            },
+        };
+        pin_of[idx] = Some(pin);
+    }
+
+    for port in netlist.outputs() {
+        out.add_output(port.name.clone(), resolve(&pin_of, port.node));
+    }
+    Ok(SynthResult { mapped: out, stats })
+}
+
+fn resolve(pin_of: &[Option<Pin>], id: NodeId) -> Pin {
+    pin_of[id.index()].expect("topological construction guarantees the driver is mapped")
+}
+
+/// Gates grouped by (arity, sorted input set) for fusion matching.
+type FusionGroups = HashMap<(u8, Vec<NodeId>), Vec<(NodeId, LogicOp)>>;
+
+#[derive(Clone, Copy)]
+struct FusionPair {
+    sum_node: NodeId,
+    carry_node: NodeId,
+}
+
+/// Finds XOR gates whose carry partner (MAJ for 3-input, AND for 2-input)
+/// consumes exactly the same input set, so the pair can fuse into one
+/// adder cell. The resulting map is keyed by the *earlier* node of each
+/// pair, which is where the fusion is materialized during mapping.
+fn find_adder_fusions(netlist: &Netlist) -> HashMap<NodeId, FusionPair> {
+    let mut by_inputs: FusionGroups = HashMap::new();
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        if let Node::Gate { op, inputs } = node {
+            if matches!(op, LogicOp::Xor | LogicOp::Maj | LogicOp::And)
+                && (inputs.len() == 2 || inputs.len() == 3)
+            {
+                let mut key = inputs.clone();
+                key.sort_unstable();
+                by_inputs
+                    .entry((inputs.len() as u8, key))
+                    .or_default()
+                    .push((NodeId(idx), *op));
+            }
+        }
+    }
+    let mut fusions = HashMap::new();
+    for ((arity, _), group) in by_inputs {
+        let mut carries: Vec<NodeId> = group
+            .iter()
+            .filter(|(_, op)| {
+                (arity == 3 && *op == LogicOp::Maj) || (arity == 2 && *op == LogicOp::And)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for (id, op) in &group {
+            if *op == LogicOp::Xor {
+                if let Some(carry) = carries.pop() {
+                    let pair = FusionPair {
+                        sum_node: *id,
+                        carry_node: carry,
+                    };
+                    fusions.insert(std::cmp::min(*id, carry), pair);
+                }
+            }
+        }
+    }
+    fusions
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Assoc {
+    And,
+    Or,
+}
+
+/// Maps an n-input AND/OR as a balanced tree of 2/3/4-input cells.
+fn map_assoc(
+    out: &mut MappedNetlist,
+    pin_of: &[Option<Pin>],
+    inputs: &[NodeId],
+    kind: Assoc,
+) -> Pin {
+    let mut pins: Vec<Pin> = inputs.iter().map(|&i| resolve(pin_of, i)).collect();
+    while pins.len() > 1 {
+        let take = match pins.len() {
+            2 => 2,
+            3 => 3,
+            _ => 4,
+        };
+        let group: Vec<Pin> = pins.drain(..take).collect();
+        let cell = match (kind, take) {
+            (Assoc::And, 2) => PclCell::And2,
+            (Assoc::And, 3) => PclCell::And3,
+            (Assoc::And, _) => PclCell::And4,
+            (Assoc::Or, 2) => PclCell::Or2,
+            (Assoc::Or, 3) => PclCell::Or3,
+            (Assoc::Or, _) => PclCell::Or4,
+        };
+        pins.push(Pin::of(out.add_cell(cell, group)));
+    }
+    pins[0]
+}
+
+/// Maps an n-input XOR as a tree of XOR3/XOR2 cells.
+fn map_xor(out: &mut MappedNetlist, pin_of: &[Option<Pin>], inputs: &[NodeId]) -> Pin {
+    let mut pins: Vec<Pin> = inputs.iter().map(|&i| resolve(pin_of, i)).collect();
+    while pins.len() > 1 {
+        let take = if pins.len() == 2 || pins.len() == 4 {
+            2
+        } else {
+            3
+        };
+        let group: Vec<Pin> = pins.drain(..take).collect();
+        let cell = if take == 3 {
+            PclCell::Xor3
+        } else {
+            PclCell::Xor2
+        };
+        pins.push(Pin::of(out.add_cell(cell, group)));
+    }
+    pins[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_equivalent;
+
+    fn verify(netlist: &Netlist) -> SynthResult {
+        let r = synthesize(netlist).expect("synthesis");
+        check_equivalent(netlist, &r.mapped, 64).expect("equivalence");
+        r
+    }
+
+    #[test]
+    fn wide_and_decomposes_and_stays_correct() {
+        let mut n = Netlist::new("and9");
+        let ins: Vec<_> = (0..9).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate(LogicOp::And, ins).unwrap();
+        n.add_output("y", g);
+        let r = verify(&n);
+        assert!(r.mapped.cell_count() >= 3);
+    }
+
+    #[test]
+    fn wide_xor_decomposes() {
+        let mut n = Netlist::new("xor7");
+        let ins: Vec<_> = (0..7).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate(LogicOp::Xor, ins).unwrap();
+        n.add_output("y", g);
+        verify(&n);
+    }
+
+    #[test]
+    fn inverters_absorbed_cost_nothing() {
+        let mut n = Netlist::new("inv_chain");
+        let a = n.add_input("a");
+        let x1 = n.add_gate(LogicOp::Not, vec![a]).unwrap();
+        let x2 = n.add_gate(LogicOp::Not, vec![x1]).unwrap();
+        let x3 = n.add_gate(LogicOp::Not, vec![x2]).unwrap();
+        n.add_output("y", x3);
+        let r = verify(&n);
+        assert_eq!(r.stats.inverters_absorbed, 3);
+        assert_eq!(r.mapped.junctions(), 0);
+    }
+
+    #[test]
+    fn full_adder_fusion_happens_and_saves_junctions() {
+        let mut n = Netlist::new("fa");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let sum = n.add_gate(LogicOp::Xor, vec![a, b, c]).unwrap();
+        let carry = n.add_gate(LogicOp::Maj, vec![a, b, c]).unwrap();
+        n.add_output("sum", sum);
+        n.add_output("carry", carry);
+        let r = verify(&n);
+        assert_eq!(r.stats.full_adders_fused, 1);
+        let separate =
+            u64::from(PclCell::Xor3.junctions()) + u64::from(PclCell::Maj3.junctions());
+        assert!(r.mapped.junctions() < separate);
+    }
+
+    #[test]
+    fn half_adder_fusion() {
+        let mut n = Netlist::new("ha");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let sum = n.add_gate(LogicOp::Xor, vec![a, b]).unwrap();
+        let carry = n.add_gate(LogicOp::And, vec![a, b]).unwrap();
+        n.add_output("s", sum);
+        n.add_output("c", carry);
+        let r = verify(&n);
+        assert_eq!(r.stats.half_adders_fused, 1);
+    }
+
+    #[test]
+    fn mux_maps_to_ao22() {
+        let mut n = Netlist::new("mux");
+        let s = n.add_input("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let m = n.add_gate(LogicOp::Mux, vec![s, a, b]).unwrap();
+        n.add_output("y", m);
+        let r = verify(&n);
+        assert_eq!(r.mapped.cell_histogram()[&PclCell::Ao22], 1);
+    }
+
+    #[test]
+    fn unfused_and_still_maps_when_no_xor_partner() {
+        let mut n = Netlist::new("plain_and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(LogicOp::And, vec![a, b]).unwrap();
+        n.add_output("y", g);
+        let r = verify(&n);
+        assert_eq!(r.stats.half_adders_fused, 0);
+        assert_eq!(r.mapped.cell_histogram()[&PclCell::And2], 1);
+    }
+
+    #[test]
+    fn not_of_fused_outputs_is_correct() {
+        // Inverted consumers of both FA ports.
+        let mut n = Netlist::new("fa_inv");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let sum = n.add_gate(LogicOp::Xor, vec![a, b, c]).unwrap();
+        let carry = n.add_gate(LogicOp::Maj, vec![a, b, c]).unwrap();
+        let nsum = n.add_gate(LogicOp::Not, vec![sum]).unwrap();
+        let ncarry = n.add_gate(LogicOp::Not, vec![carry]).unwrap();
+        n.add_output("ns", nsum);
+        n.add_output("nc", ncarry);
+        verify(&n);
+    }
+
+    #[test]
+    fn buffers_map_to_jtl_stages() {
+        let mut n = Netlist::new("buf");
+        let a = n.add_input("a");
+        let b1 = n.add_gate(LogicOp::Buf, vec![a]).unwrap();
+        let b2 = n.add_gate(LogicOp::Buf, vec![b1]).unwrap();
+        n.add_output("y", b2);
+        let r = verify(&n);
+        assert_eq!(r.stats.buffers_mapped, 2);
+        assert_eq!(r.mapped.cell_count(), 2);
+        assert_eq!(r.mapped.junctions(), 2 * u64::from(PclCell::Buf.junctions()));
+    }
+
+    #[test]
+    fn constants_map() {
+        let mut n = Netlist::new("c");
+        let a = n.add_input("a");
+        let one = n.add_const(true);
+        let g = n.add_gate(LogicOp::And, vec![a, one]).unwrap();
+        n.add_output("y", g);
+        verify(&n);
+    }
+}

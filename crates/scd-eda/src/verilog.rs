@@ -1,0 +1,262 @@
+//! Structural-Verilog export of mapped PCL netlists.
+//!
+//! The paper's flow ends in a commercial place-and-route tool; the
+//! hand-off artifact is a structural netlist over the PCL standard-cell
+//! library. This module emits that netlist (one instance per cell, dual
+//! rails carried as `<net>_p`/`<net>_n` wire pairs so free inversion is
+//! visible as swapped rail connections), plus a matching gate-level
+//! Verilog for the technology-independent netlist.
+
+use crate::mapped::{MappedNetlist, MappedNode, Pin};
+use crate::netlist::{Netlist, Node};
+use std::fmt::Write as _;
+
+/// Sanitizes a port name into a Verilog identifier.
+fn ident(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+/// Emits gate-level structural Verilog for a technology-independent
+/// netlist (AND/OR/XOR/NOT/MAJ/MUX expressed with `assign`).
+#[must_use]
+pub fn netlist_to_verilog(netlist: &Netlist) -> String {
+    let mut v = String::new();
+    let module = ident(netlist.name());
+    let inputs: Vec<String> = netlist
+        .inputs()
+        .iter()
+        .map(|&id| match &netlist.nodes()[id.index()] {
+            Node::Input { name } => ident(name),
+            Node::Gate { .. } => unreachable!("inputs are input nodes"),
+        })
+        .collect();
+    let outputs: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|o| ident(&o.name))
+        .collect();
+    let _ = writeln!(
+        v,
+        "module {module} ({});",
+        inputs
+            .iter()
+            .chain(outputs.iter())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for i in &inputs {
+        let _ = writeln!(v, "  input {i};");
+    }
+    for o in &outputs {
+        let _ = writeln!(v, "  output {o};");
+    }
+
+    // One wire per gate node.
+    let wire_of = |idx: usize| -> String {
+        match &netlist.nodes()[idx] {
+            Node::Input { name } => ident(name),
+            Node::Gate { .. } => format!("w{idx}"),
+        }
+    };
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        if matches!(node, Node::Gate { .. }) {
+            let _ = writeln!(v, "  wire w{idx};");
+        }
+    }
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        let Node::Gate { op, inputs } = node else {
+            continue;
+        };
+        let args: Vec<String> = inputs.iter().map(|n| wire_of(n.index())).collect();
+        use crate::netlist::LogicOp as Op;
+        let expr = match op {
+            Op::Const(false) => "1'b0".to_owned(),
+            Op::Const(true) => "1'b1".to_owned(),
+            Op::Buf => args[0].clone(),
+            Op::Not => format!("~{}", args[0]),
+            Op::And => args.join(" & "),
+            Op::Or => args.join(" | "),
+            Op::Xor => args.join(" ^ "),
+            Op::Maj => format!(
+                "({a} & {b}) | ({b} & {c}) | ({a} & {c})",
+                a = args[0],
+                b = args[1],
+                c = args[2]
+            ),
+            Op::Mux => format!("{} ? {} : {}", args[0], args[1], args[2]),
+        };
+        let _ = writeln!(v, "  assign w{idx} = {expr};");
+    }
+    for port in netlist.outputs() {
+        let _ = writeln!(
+            v,
+            "  assign {} = {};",
+            ident(&port.name),
+            wire_of(port.node.index())
+        );
+    }
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+/// Emits structural Verilog for a mapped dual-rail PCL netlist: one cell
+/// instance per node, dual-rail nets as `_p`/`_n` pairs, inversion as
+/// swapped rail hookup.
+#[must_use]
+pub fn mapped_to_verilog(netlist: &MappedNetlist) -> String {
+    let mut v = String::new();
+    let module = ident(netlist.name());
+    let mut ports = Vec::new();
+    for &id in netlist.inputs() {
+        if let MappedNode::Input { name } = &netlist.nodes()[id.index()] {
+            let n = ident(name);
+            ports.push(format!("{n}_p"));
+            ports.push(format!("{n}_n"));
+        }
+    }
+    for (name, _) in netlist.outputs() {
+        let n = ident(name);
+        ports.push(format!("{n}_p"));
+        ports.push(format!("{n}_n"));
+    }
+    let _ = writeln!(v, "module {module} ({});", ports.join(", "));
+    for &id in netlist.inputs() {
+        if let MappedNode::Input { name } = &netlist.nodes()[id.index()] {
+            let n = ident(name);
+            let _ = writeln!(v, "  input {n}_p, {n}_n;");
+        }
+    }
+    for (name, _) in netlist.outputs() {
+        let n = ident(name);
+        let _ = writeln!(v, "  output {n}_p, {n}_n;");
+    }
+
+    // Net naming: node idx + output port.
+    let net = |id: usize, port: usize| format!("net{id}_{port}");
+    let rail = |netlist: &MappedNetlist, p: &Pin, positive: bool| -> String {
+        let base = match &netlist.nodes()[p.node.index()] {
+            MappedNode::Input { name } => ident(name),
+            _ => net(p.node.index(), p.port),
+        };
+        // Free inversion: pick the opposite rail.
+        let want_pos = positive ^ p.inverted;
+        format!("{base}_{}", if want_pos { "p" } else { "n" })
+    };
+
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        match node {
+            MappedNode::Input { .. } => {}
+            MappedNode::Const { value } => {
+                let _ = writeln!(
+                    v,
+                    "  supply{} net{idx}_0_p;\n  supply{} net{idx}_0_n;",
+                    if *value { '1' } else { '0' },
+                    if *value { '0' } else { '1' },
+                );
+            }
+            MappedNode::Cell { cell, pins } => {
+                for port in 0..cell.fanout() {
+                    let n = net(idx, port);
+                    let _ = writeln!(v, "  wire {n}_p, {n}_n;");
+                }
+                let mut conns = Vec::new();
+                for (k, p) in pins.iter().enumerate() {
+                    conns.push(format!(".i{k}_p({})", rail(netlist, p, true)));
+                    conns.push(format!(".i{k}_n({})", rail(netlist, p, false)));
+                }
+                for port in 0..cell.fanout() {
+                    let n = net(idx, port);
+                    conns.push(format!(".o{port}_p({n}_p)"));
+                    conns.push(format!(".o{port}_n({n}_n)"));
+                }
+                let _ = writeln!(v, "  {} u{idx} ({});", cell.name(), conns.join(", "));
+            }
+        }
+    }
+    for (i, (name, pin)) in netlist.outputs().iter().enumerate() {
+        let n = ident(name);
+        let _ = writeln!(v, "  assign {n}_p = {};", rail(netlist, pin, true));
+        let _ = writeln!(v, "  assign {n}_n = {};", rail(netlist, pin, false));
+        let _ = i;
+    }
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks;
+    use crate::netlist::LogicOp;
+    use crate::synth::synthesize;
+
+    #[test]
+    fn gate_level_verilog_structure() {
+        let adder = blocks::ripple_adder(4).unwrap();
+        let v = netlist_to_verilog(&adder);
+        assert!(v.starts_with("module adder4 ("));
+        assert!(v.contains("input a0;"));
+        assert!(v.contains("output cout;"));
+        assert!(v.contains("endmodule"));
+        // Every gate appears as an assign.
+        assert!(v.matches("assign").count() >= adder.gate_count());
+    }
+
+    #[test]
+    fn mapped_verilog_has_dual_rails_and_cells() {
+        let mut n = crate::netlist::Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(LogicOp::And, vec![a, b]).unwrap();
+        let inv = n.add_gate(LogicOp::Not, vec![g]).unwrap();
+        n.add_output("y", inv);
+        let mapped = synthesize(&n).unwrap().mapped;
+        let v = mapped_to_verilog(&mapped);
+        assert!(v.contains("input a_p, a_n;"));
+        assert!(v.contains("AND2 u"));
+        // The inverted output hooks y_p to the AND's negative rail.
+        assert!(v.contains("assign y_p = net2_0_n;"), "{v}");
+        assert!(v.contains("assign y_n = net2_0_p;"), "{v}");
+    }
+
+    #[test]
+    fn identifiers_sanitized() {
+        assert_eq!(ident("3weird name!"), "n3weird_name_");
+        assert_eq!(ident("ok_name"), "ok_name");
+    }
+
+    #[test]
+    fn constants_become_supplies() {
+        let mut n = crate::netlist::Netlist::new("c");
+        let a = n.add_input("a");
+        let one = n.add_const(true);
+        let g = n.add_gate(LogicOp::And, vec![a, one]).unwrap();
+        n.add_output("y", g);
+        let mapped = synthesize(&n).unwrap().mapped;
+        let v = mapped_to_verilog(&mapped);
+        assert!(v.contains("supply1"), "{v}");
+    }
+
+    #[test]
+    fn full_design_database_exports() {
+        for netlist in [
+            blocks::ripple_adder(8).unwrap(),
+            blocks::alu(8).unwrap(),
+            blocks::comparator(8).unwrap(),
+        ] {
+            let v = netlist_to_verilog(&netlist);
+            assert!(v.contains("endmodule"));
+            let mapped = synthesize(&netlist).unwrap().mapped;
+            let mv = mapped_to_verilog(&mapped);
+            assert!(mv.contains("endmodule"));
+        }
+    }
+}

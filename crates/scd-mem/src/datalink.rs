@@ -1,0 +1,275 @@
+//! The 4K↔77K main-memory datalink (Fig. 2).
+//!
+//! A DC-coupled interface over Cu transmission lines on a glass bridge,
+//! translating between the ~100 mV drive of the 77 K cryo-DRAM PHY and the
+//! ~4 mV superconducting domain. The baseline wire tables of Fig. 2b give
+//! 20,000 downlink and 10,000 uplink wires; the paper quotes a peak
+//! bidirectional bandwidth of 30 TB/s (20 down / 10 up), i.e. an effective
+//! per-wire payload rate of 8 Gb/s — the Fig. 2b "1 Gbps" row is the
+//! per-wire *baseline* which the text notes "can be increased or decreased
+//! based on the power budget, available metal layers, channel reach,
+//! reliability, noise & dispersion etc.". Both views are exposed here.
+
+use crate::error::MemError;
+use scd_tech::units::{Bandwidth, Energy, Frequency, Length, TimeInterval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One direction of the dual-temperature datalink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatalinkDirection {
+    /// Human-readable direction label.
+    pub name: String,
+    /// Wire width.
+    pub wire_width: Length,
+    /// Wire thickness.
+    pub wire_thickness: Length,
+    /// Wire pitch.
+    pub wire_pitch: Length,
+    /// Copper span on the glass bridge.
+    pub copper_length: Length,
+    /// NbTiN span on the 4 K interposer.
+    pub nbtin_length: Length,
+    /// Per-wire signalling rate.
+    pub data_rate: Frequency,
+    /// Number of parallel wires.
+    pub wires: u32,
+    /// Metal layers consumed.
+    pub metal_layers: u32,
+}
+
+impl DatalinkDirection {
+    /// Aggregate bandwidth of this direction.
+    #[must_use]
+    pub fn bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_base(f64::from(self.wires) * self.data_rate.hz() / 8.0)
+    }
+
+    /// Time-of-flight across the full Cu + NbTiN span (at c/3).
+    #[must_use]
+    pub fn propagation_delay(&self) -> TimeInterval {
+        let total_mm = self.copper_length.mm() + self.nbtin_length.mm();
+        TimeInterval::from_base(total_mm * 1e-3 / (0.33 * 2.997_924_58e8))
+    }
+
+    /// Total cross-section width occupied by the wires.
+    #[must_use]
+    pub fn beachfront(&self) -> Length {
+        Length::from_nm(self.wire_pitch.nm() * f64::from(self.wires))
+    }
+}
+
+/// The full bidirectional datalink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Datalink {
+    /// 77 K → 4 K direction (reads from cryo-DRAM into compute).
+    pub downlink: DatalinkDirection,
+    /// 4 K → 77 K direction (writes).
+    pub uplink: DatalinkDirection,
+    /// Link energy per transported bit (Cu domain crossing dominates).
+    pub energy_per_bit: Energy,
+}
+
+impl Datalink {
+    /// The Fig. 2b wire tables at their baseline 1 Gb/s per-wire rate
+    /// (30 Tb/s aggregate).
+    #[must_use]
+    pub fn fig2_baseline() -> Self {
+        Self::with_per_wire_rate(Frequency::from_base(1e9))
+    }
+
+    /// The paper's quoted peak: 30 TB/s bidirectional (20 TB/s down,
+    /// 10 TB/s up), i.e. 8 Gb/s effective per wire.
+    #[must_use]
+    pub fn paper_peak() -> Self {
+        Self::with_per_wire_rate(Frequency::from_base(8e9))
+    }
+
+    /// Builds the Fig. 2b geometry with an arbitrary per-wire rate.
+    #[must_use]
+    pub fn with_per_wire_rate(rate: Frequency) -> Self {
+        Self {
+            downlink: DatalinkDirection {
+                name: "downlink (towards 4K)".to_owned(),
+                wire_width: Length::from_um(6.2),
+                wire_thickness: Length::from_um(0.5),
+                wire_pitch: Length::from_um(30.0),
+                copper_length: Length::from_mm(30.0),
+                nbtin_length: Length::from_mm(30.0),
+                data_rate: rate,
+                wires: 20_000,
+                metal_layers: 2,
+            },
+            uplink: DatalinkDirection {
+                name: "uplink (towards 77K)".to_owned(),
+                wire_width: Length::from_um(62.0),
+                wire_thickness: Length::from_um(0.5),
+                wire_pitch: Length::from_um(90.0),
+                copper_length: Length::from_mm(30.0),
+                nbtin_length: Length::from_mm(30.0),
+                data_rate: rate,
+                wires: 10_000,
+                metal_layers: 8,
+            },
+            // Short-reach Cu at cryo with simple DC coupling: ~0.1 pJ/bit.
+            energy_per_bit: Energy::from_fj(100.0),
+        }
+    }
+
+    /// Total bidirectional bandwidth.
+    #[must_use]
+    pub fn total_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_base(
+            self.downlink.bandwidth().bytes_per_s() + self.uplink.bandwidth().bytes_per_s(),
+        )
+    }
+
+    /// Per-SPU share of the downlink+uplink bandwidth for `spus`
+    /// processing units on the blade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] for zero `spus`.
+    pub fn per_spu_bandwidth(&self, spus: u32) -> Result<Bandwidth, MemError> {
+        if spus == 0 {
+            return Err(MemError::InvalidConfig {
+                reason: "blade must have at least one SPU".to_owned(),
+            });
+        }
+        Ok(Bandwidth::from_base(
+            self.total_bandwidth().bytes_per_s() / f64::from(spus),
+        ))
+    }
+
+    /// Renders the Fig. 2b specification table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22}{:>18}{:>18}\n",
+            "Parameter", "Downlink", "Uplink"
+        ));
+        let rows: [(&str, String, String); 7] = [
+            (
+                "Wire Width",
+                format!("{}", self.downlink.wire_width),
+                format!("{}", self.uplink.wire_width),
+            ),
+            (
+                "Wire Thickness",
+                format!("{}", self.downlink.wire_thickness),
+                format!("{}", self.uplink.wire_thickness),
+            ),
+            (
+                "Wire Pitch",
+                format!("{}", self.downlink.wire_pitch),
+                format!("{}", self.uplink.wire_pitch),
+            ),
+            (
+                "Wire Length",
+                format!(
+                    "{} Cu + {} NbTiN",
+                    self.downlink.copper_length, self.downlink.nbtin_length
+                ),
+                format!(
+                    "{} Cu + {} NbTiN",
+                    self.uplink.copper_length, self.uplink.nbtin_length
+                ),
+            ),
+            (
+                "Data Rate",
+                format!("{:.0} Gbps", self.downlink.data_rate.hz() / 1e9),
+                format!("{:.0} Gbps", self.uplink.data_rate.hz() / 1e9),
+            ),
+            (
+                "No. of wires",
+                format!("{}", self.downlink.wires),
+                format!("{}", self.uplink.wires),
+            ),
+            (
+                "Required ML",
+                format!("{}", self.downlink.metal_layers),
+                format!("{}", self.uplink.metal_layers),
+            ),
+        ];
+        for (name, d, u) in rows {
+            out.push_str(&format!("{name:<22}{d:>18}{u:>18}\n"));
+        }
+        out.push_str(&format!(
+            "{:<22}{:>18}{:>18}\n",
+            "Bandwidth",
+            format!("{}", self.downlink.bandwidth()),
+            format!("{}", self.uplink.bandwidth()),
+        ));
+        out
+    }
+}
+
+impl Default for Datalink {
+    fn default() -> Self {
+        Self::paper_peak()
+    }
+}
+
+impl fmt::Display for Datalink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "datalink: {} down / {} up",
+            self.downlink.bandwidth(),
+            self.uplink.bandwidth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_peak_is_30_tbps_20_10_split() {
+        let link = Datalink::paper_peak();
+        assert!((link.downlink.bandwidth().tbps() - 20.0).abs() < 1e-9);
+        assert!((link.uplink.bandwidth().tbps() - 10.0).abs() < 1e-9);
+        assert!((link.total_bandwidth().tbps() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_spu_share_matches_fig3c() {
+        let link = Datalink::paper_peak();
+        let per = link.per_spu_bandwidth(64).unwrap();
+        assert!((per.tbps() - 0.46875).abs() < 1e-6, "≈0.47 TB/s per SPU");
+    }
+
+    #[test]
+    fn baseline_rate_gives_one_eighth() {
+        let link = Datalink::fig2_baseline();
+        assert!((link.total_bandwidth().tbps() - 3.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_spus_rejected() {
+        assert!(Datalink::paper_peak().per_spu_bandwidth(0).is_err());
+    }
+
+    #[test]
+    fn propagation_delay_sub_nanosecond() {
+        let d = Datalink::paper_peak().downlink.propagation_delay();
+        assert!(d.ns() > 0.3 && d.ns() < 1.0, "got {} ns", d.ns());
+    }
+
+    #[test]
+    fn table_renders_fig2b_rows() {
+        let t = Datalink::fig2_baseline().render_table();
+        for needle in ["Wire Pitch", "20000", "10000", "Required ML", "Data Rate"] {
+            assert!(t.contains(needle), "missing {needle}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn downlink_uses_narrower_wires_than_uplink() {
+        let link = Datalink::paper_peak();
+        assert!(link.downlink.wire_width.um() < link.uplink.wire_width.um());
+        assert!(link.downlink.beachfront().mm() < link.uplink.beachfront().mm() * 3.0);
+    }
+}

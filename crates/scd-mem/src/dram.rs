@@ -1,0 +1,159 @@
+//! Cryo-DRAM main-memory block (§III).
+//!
+//! Standard, unmodified DDR/LPDDR packages operated at 77 K on a silicon
+//! interposer. Cryo operation brings well-documented retention and I/O
+//! power benefits ([30]–[32] of the paper); capacity and channel bandwidth
+//! follow the commodity parts.
+
+use crate::error::MemError;
+use scd_tech::units::{Bandwidth, TimeInterval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A commodity DRAM package operated at 77 K.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CryoDramPackage {
+    /// Capacity per package in bytes.
+    pub capacity_bytes: u64,
+    /// Peak bandwidth per package.
+    pub bandwidth: Bandwidth,
+    /// Row access latency at 77 K (shorter than at 300 K).
+    pub access_latency: TimeInterval,
+    /// Refresh-power reduction factor vs 300 K operation (retention at
+    /// cryo temperatures practically eliminates refresh [30]).
+    pub refresh_power_factor: f64,
+}
+
+impl CryoDramPackage {
+    /// A quad-die LPDDR5X-class package: 8 GB, 68 GB/s, 30 ns at 77 K.
+    #[must_use]
+    pub fn lpddr5x_quad() -> Self {
+        Self {
+            capacity_bytes: 8 << 30,
+            bandwidth: Bandwidth::from_gbps(68.0),
+            access_latency: TimeInterval::from_ns(30.0),
+            refresh_power_factor: 0.01,
+        }
+    }
+}
+
+/// An array of cryo-DRAM packages on the 77 K interposer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CryoDramBlock {
+    package: CryoDramPackage,
+    packages: u32,
+}
+
+impl CryoDramBlock {
+    /// The paper's baseline: 8 × 8 quad-die packages giving 2 TB per blade
+    /// at ~30 ns average access latency.
+    ///
+    /// ```
+    /// use scd_mem::dram::CryoDramBlock;
+    ///
+    /// let block = CryoDramBlock::blade_baseline();
+    /// assert_eq!(block.capacity_bytes() >> 40, 2); // 2 TB
+    /// ```
+    #[must_use]
+    pub fn blade_baseline() -> Self {
+        // 8×8 grid of 4×8 GB quad-die packages = 2 TB.
+        Self {
+            package: CryoDramPackage {
+                capacity_bytes: 32 << 30, // quad-die of 8 GB dies
+                ..CryoDramPackage::lpddr5x_quad()
+            },
+            packages: 64,
+        }
+    }
+
+    /// Builds a block of `packages` identical packages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] for zero packages.
+    pub fn new(package: CryoDramPackage, packages: u32) -> Result<Self, MemError> {
+        if packages == 0 {
+            return Err(MemError::InvalidConfig {
+                reason: "cryo-DRAM block needs at least one package".to_owned(),
+            });
+        }
+        Ok(Self { package, packages })
+    }
+
+    /// Package descriptor.
+    #[must_use]
+    pub fn package(&self) -> &CryoDramPackage {
+        &self.package
+    }
+
+    /// Number of packages.
+    #[must_use]
+    pub fn packages(&self) -> u32 {
+        self.packages
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.package.capacity_bytes * u64::from(self.packages)
+    }
+
+    /// Aggregate device-side bandwidth (before the datalink cap).
+    #[must_use]
+    pub fn device_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_base(self.package.bandwidth.bytes_per_s() * f64::from(self.packages))
+    }
+
+    /// Average access latency.
+    #[must_use]
+    pub fn access_latency(&self) -> TimeInterval {
+        self.package.access_latency
+    }
+}
+
+impl Default for CryoDramBlock {
+    fn default() -> Self {
+        Self::blade_baseline()
+    }
+}
+
+impl fmt::Display for CryoDramBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} × cryo-DRAM packages, {:.1} TB total",
+            self.packages,
+            self.capacity_bytes() as f64 / 1e12
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blade_baseline_is_2tb_at_30ns() {
+        let b = CryoDramBlock::blade_baseline();
+        assert_eq!(b.capacity_bytes(), 2 << 40);
+        assert!((b.access_latency().ns() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_packages_rejected() {
+        assert!(CryoDramBlock::new(CryoDramPackage::lpddr5x_quad(), 0).is_err());
+    }
+
+    #[test]
+    fn bandwidth_scales_with_packages() {
+        let p = CryoDramPackage::lpddr5x_quad();
+        let a = CryoDramBlock::new(p, 10).unwrap();
+        let b = CryoDramBlock::new(p, 20).unwrap();
+        assert!((b.device_bandwidth().gbps() / a.device_bandwidth().gbps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_benefit_is_large() {
+        assert!(CryoDramPackage::lpddr5x_quad().refresh_power_factor < 0.1);
+    }
+}

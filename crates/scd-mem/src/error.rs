@@ -1,0 +1,49 @@
+//! Error types for the memory-hierarchy layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing or querying memory models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A requested working set exceeds every level of the hierarchy.
+    WorkingSetTooLarge {
+        /// Requested bytes.
+        requested: u64,
+        /// Largest level capacity available.
+        largest: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid memory configuration: {reason}"),
+            Self::WorkingSetTooLarge { requested, largest } => write!(
+                f,
+                "working set of {requested} bytes exceeds the largest level ({largest} bytes)"
+            ),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MemError::WorkingSetTooLarge {
+            requested: 100,
+            largest: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

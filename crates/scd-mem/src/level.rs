@@ -1,0 +1,282 @@
+//! Memory-level descriptors and the per-accelerator hierarchy.
+//!
+//! The SPU's hierarchy (§III/§IV): HP-JSRAM register files, private HD-JSRAM
+//! L1 D-caches, blade-shared distributed L2 (HD-JSRAM slices in the SNU
+//! stacks) and cryo-DRAM main memory behind the 4K↔77K datalink. Each
+//! level carries capacity, bandwidth, latency and an energy cost per byte;
+//! the hierarchical roofline in `optimus` walks these levels.
+
+use crate::error::MemError;
+use crate::transfer::TransferModel;
+use scd_tech::units::{Bandwidth, Energy, TimeInterval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Position of a level in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LevelKind {
+    /// Register file (HP JSRAM, 3R/2W).
+    RegisterFile,
+    /// Private L1 data cache (HD JSRAM).
+    L1,
+    /// Shared distributed L2 (HD JSRAM slices in the SNU).
+    L2,
+    /// Cryo-DRAM main memory at 77 K.
+    MainMemory,
+}
+
+impl LevelKind {
+    /// All levels, closest to compute first.
+    pub const ALL: [Self; 4] = [Self::RegisterFile, Self::L1, Self::L2, Self::MainMemory];
+}
+
+impl fmt::Display for LevelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RegisterFile => write!(f, "RF"),
+            Self::L1 => write!(f, "L1"),
+            Self::L2 => write!(f, "L2"),
+            Self::MainMemory => write!(f, "DRAM"),
+        }
+    }
+}
+
+/// One level of the memory hierarchy as seen by a single accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryLevel {
+    /// Which level this is.
+    pub kind: LevelKind,
+    /// Capacity available to this accelerator, in bytes.
+    pub capacity_bytes: u64,
+    /// Sustained bandwidth to the compute datapath.
+    pub bandwidth: Bandwidth,
+    /// Round-trip access latency.
+    pub latency: TimeInterval,
+    /// Access energy per byte.
+    pub energy_per_byte: Energy,
+    /// Burst/window behaviour of the interface.
+    pub transfer: TransferModel,
+}
+
+impl MemoryLevel {
+    /// Validates the level parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] for zero capacity or
+    /// non-positive bandwidth.
+    pub fn validate(&self) -> Result<(), MemError> {
+        if self.capacity_bytes == 0 {
+            return Err(MemError::InvalidConfig {
+                reason: format!("{} has zero capacity", self.kind),
+            });
+        }
+        if self.bandwidth.bytes_per_s() <= 0.0 {
+            return Err(MemError::InvalidConfig {
+                reason: format!("{} has non-positive bandwidth", self.kind),
+            });
+        }
+        Ok(())
+    }
+
+    /// Time to move `bytes` through this level.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: f64) -> TimeInterval {
+        self.transfer
+            .transfer_time(bytes, self.bandwidth, self.latency)
+    }
+
+    /// Energy to move `bytes` through this level.
+    #[must_use]
+    pub fn transfer_energy(&self, bytes: f64) -> Energy {
+        self.energy_per_byte * bytes
+    }
+}
+
+impl fmt::Display for MemoryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} GB @ {} (lat {})",
+            self.kind,
+            self.capacity_bytes as f64 / 1e9,
+            self.bandwidth,
+            self.latency
+        )
+    }
+}
+
+/// An ordered memory hierarchy (closest level first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryHierarchy {
+    levels: Vec<MemoryLevel>,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy from levels ordered closest-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] if any level is invalid, the
+    /// order is not closest-first (capacities must be non-decreasing), or
+    /// the list is empty.
+    pub fn new(levels: Vec<MemoryLevel>) -> Result<Self, MemError> {
+        if levels.is_empty() {
+            return Err(MemError::InvalidConfig {
+                reason: "hierarchy must have at least one level".to_owned(),
+            });
+        }
+        for level in &levels {
+            level.validate()?;
+        }
+        for pair in levels.windows(2) {
+            if pair[0].capacity_bytes > pair[1].capacity_bytes {
+                return Err(MemError::InvalidConfig {
+                    reason: format!(
+                        "{} ({} B) is larger than outer level {} ({} B)",
+                        pair[0].kind,
+                        pair[0].capacity_bytes,
+                        pair[1].kind,
+                        pair[1].capacity_bytes
+                    ),
+                });
+            }
+            if pair[0].kind >= pair[1].kind {
+                return Err(MemError::InvalidConfig {
+                    reason: "levels must be ordered RF → L1 → L2 → DRAM".to_owned(),
+                });
+            }
+        }
+        Ok(Self { levels })
+    }
+
+    /// Levels, closest first.
+    #[must_use]
+    pub fn levels(&self) -> &[MemoryLevel] {
+        &self.levels
+    }
+
+    /// Looks up a level by kind.
+    #[must_use]
+    pub fn level(&self, kind: LevelKind) -> Option<&MemoryLevel> {
+        self.levels.iter().find(|l| l.kind == kind)
+    }
+
+    /// Mutable lookup (used by sweeps that re-parameterize bandwidth).
+    pub fn level_mut(&mut self, kind: LevelKind) -> Option<&mut MemoryLevel> {
+        self.levels.iter_mut().find(|l| l.kind == kind)
+    }
+
+    /// The innermost level whose capacity fits `working_set` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::WorkingSetTooLarge`] if nothing fits.
+    pub fn placement(&self, working_set: u64) -> Result<&MemoryLevel, MemError> {
+        self.levels
+            .iter()
+            .find(|l| l.capacity_bytes >= working_set)
+            .ok_or(MemError::WorkingSetTooLarge {
+                requested: working_set,
+                largest: self
+                    .levels
+                    .last()
+                    .map(|l| l.capacity_bytes)
+                    .unwrap_or(0),
+            })
+    }
+
+    /// Outermost (largest, slowest) level — main memory.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: construction guarantees at least one level.
+    #[must_use]
+    pub fn outermost(&self) -> &MemoryLevel {
+        self.levels.last().expect("non-empty by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_tech::units::Energy;
+
+    fn level(kind: LevelKind, cap: u64, bw_tbps: f64, lat_ns: f64) -> MemoryLevel {
+        MemoryLevel {
+            kind,
+            capacity_bytes: cap,
+            bandwidth: Bandwidth::from_tbps(bw_tbps),
+            latency: TimeInterval::from_ns(lat_ns),
+            energy_per_byte: Energy::from_fj(10.0),
+            transfer: TransferModel::jsram(),
+        }
+    }
+
+    fn hierarchy() -> MemoryHierarchy {
+        MemoryHierarchy::new(vec![
+            level(LevelKind::RegisterFile, 1 << 16, 200.0, 0.1),
+            level(LevelKind::L1, 24 << 20, 100.0, 1.0),
+            level(LevelKind::L2, 3 << 30, 40.0, 10.0),
+            level(LevelKind::MainMemory, 2 << 40, 16.0, 30.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn placement_picks_innermost_fitting_level() {
+        let h = hierarchy();
+        assert_eq!(h.placement(1024).unwrap().kind, LevelKind::RegisterFile);
+        assert_eq!(h.placement(1 << 20).unwrap().kind, LevelKind::L1);
+        assert_eq!(h.placement(1 << 30).unwrap().kind, LevelKind::L2);
+        assert_eq!(h.placement(1 << 40).unwrap().kind, LevelKind::MainMemory);
+    }
+
+    #[test]
+    fn oversized_working_set_errors() {
+        let h = hierarchy();
+        let err = h.placement(u64::MAX).unwrap_err();
+        assert!(matches!(err, MemError::WorkingSetTooLarge { .. }));
+    }
+
+    #[test]
+    fn misordered_hierarchy_rejected() {
+        let r = MemoryHierarchy::new(vec![
+            level(LevelKind::L1, 24 << 20, 100.0, 1.0),
+            level(LevelKind::RegisterFile, 1 << 16, 200.0, 0.1),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn shrinking_capacity_rejected() {
+        let r = MemoryHierarchy::new(vec![
+            level(LevelKind::L1, 24 << 20, 100.0, 1.0),
+            level(LevelKind::L2, 1 << 20, 40.0, 10.0),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_hierarchy_rejected() {
+        assert!(MemoryHierarchy::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn inner_levels_are_faster() {
+        let h = hierarchy();
+        let bytes = 1e6;
+        let t_l1 = h.level(LevelKind::L1).unwrap().transfer_time(bytes);
+        let t_dram = h.outermost().transfer_time(bytes);
+        assert!(t_l1.seconds() < t_dram.seconds());
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut l = level(LevelKind::L1, 0, 1.0, 1.0);
+        assert!(l.validate().is_err());
+        l.capacity_bytes = 1;
+        l.bandwidth = Bandwidth::ZERO;
+        assert!(l.validate().is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # scd-mem — SCD memory hierarchy, cryo-DRAM and the 4K↔77K datalink
+//!
+//! The memory substrate of *"A System Level Performance Evaluation for
+//! Superconducting Digital Systems"* (Kundu et al., DATE 2025):
+//!
+//! * [`level`] — per-accelerator memory-level descriptors (HP-JSRAM
+//!   register file → HD-JSRAM L1 → shared SNU L2 → cryo-DRAM) and the
+//!   ordered [`MemoryHierarchy`] walked by the hierarchical roofline.
+//! * [`transfer`] — the latency-aware transfer model (Little's-law window
+//!   cap) behind the paper's Fig. 7 saturation and inset (a) sensitivity.
+//! * [`datalink`] — the Fig. 2 dual-temperature interface (Cu-over-glass
+//!   bridge, 20k/10k wires, 30 TB/s bidirectional peak).
+//! * [`dram`] — commodity DDR/LPDDR packages operated at 77 K (2 TB per
+//!   blade baseline, ~30 ns access).
+//! * [`cache`] — an LRU set-associative simulator used to ground-truth the
+//!   analytical working-set placement and the §VI KV-in-L2 study.
+//!
+//! # Examples
+//!
+//! ```
+//! use scd_mem::datalink::Datalink;
+//! use scd_mem::transfer::TransferModel;
+//! use scd_tech::units::TimeInterval;
+//!
+//! let link = Datalink::paper_peak();
+//! assert!((link.total_bandwidth().tbps() - 30.0).abs() < 1e-9);
+//!
+//! // Per-SPU share on a 64-SPU blade: the 0.47 TB/s of Fig. 3c.
+//! let per_spu = link.per_spu_bandwidth(64)?;
+//! assert!((per_spu.tbps() - 0.469).abs() < 1e-3);
+//!
+//! // Effective bandwidth at 30 ns is latency-capped near 8.7 TB/s.
+//! let eff = TransferModel::cryo_dram()
+//!     .effective_bandwidth(scd_tech::units::Bandwidth::from_tbps(16.0),
+//!                          TimeInterval::from_ns(30.0));
+//! assert!(eff.tbps() < 9.0);
+//! # Ok::<(), scd_mem::MemError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod datalink;
+pub mod dram;
+pub mod error;
+pub mod level;
+pub mod transfer;
+
+pub use cache::CacheSim;
+pub use datalink::Datalink;
+pub use dram::CryoDramBlock;
+pub use error::MemError;
+pub use level::{LevelKind, MemoryHierarchy, MemoryLevel};
+pub use transfer::TransferModel;

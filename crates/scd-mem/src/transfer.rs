@@ -1,0 +1,199 @@
+//! Latency-aware transfer-time model.
+//!
+//! The paper observes two latency effects that pure `bytes / bandwidth`
+//! models miss:
+//!
+//! 1. Fig. 7: inference scaling "tend[s] to saturate beyond 8 TB/s since we
+//!    start hitting the DRAM latency bound limit" (at 30 ns);
+//! 2. Fig. 7 inset (a): at a fixed 16 TB/s, throughput declines steadily as
+//!    DRAM latency grows from 10 ns to 200 ns.
+//!
+//! Both fall out of Little's law applied to a memory interface with a
+//! bounded window of outstanding burst requests: with `w` outstanding
+//! requests of `b` bytes and round-trip latency `lat`, the sustainable
+//! request throughput is `w·b / lat`, so a transfer of `V` bytes takes
+//!
+//! ```text
+//! t = lat + V / min(bw, w·b / lat)
+//! ```
+//!
+//! With the cryo-DRAM defaults (4 KiB bursts, 64 outstanding → 256 KiB
+//! window) the 30 ns latency caps effective bandwidth at ≈ 8.7 TB/s —
+//! exactly the paper's observed saturation point.
+
+use scd_tech::units::{Bandwidth, TimeInterval};
+use serde::{Deserialize, Serialize};
+
+/// Burst/window parameters for a memory interface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Bytes per burst request.
+    pub burst_bytes: u64,
+    /// Maximum outstanding burst requests (window size).
+    pub max_outstanding: u32,
+}
+
+impl TransferModel {
+    /// Cryo-DRAM access over the 4K↔77K datalink: 4 KiB bursts with a
+    /// 64-deep request window (256 KiB in flight). At 30 ns this caps
+    /// effective bandwidth at ≈ 8.7 TB/s, reproducing Fig. 7's saturation.
+    #[must_use]
+    pub fn cryo_dram() -> Self {
+        Self {
+            burst_bytes: 4096,
+            max_outstanding: 64,
+        }
+    }
+
+    /// On-chip JSRAM: fine-grained words but deeply pipelined XY
+    /// addressing — latency hiding is nearly perfect.
+    #[must_use]
+    pub fn jsram() -> Self {
+        Self {
+            burst_bytes: 256,
+            max_outstanding: 65_536,
+        }
+    }
+
+    /// GPU HBM path: 2 KiB bursts with the massive memory-level
+    /// parallelism of >100 SMs (≈8 MiB in flight), which is how GPUs hide
+    /// ~500 ns of HBM latency at full streaming bandwidth.
+    #[must_use]
+    pub fn hbm() -> Self {
+        Self {
+            burst_bytes: 2048,
+            max_outstanding: 4096,
+        }
+    }
+
+    /// Bytes in flight when the request window is full.
+    #[must_use]
+    pub fn window_bytes(&self) -> u64 {
+        self.burst_bytes * u64::from(self.max_outstanding)
+    }
+
+    /// Effective sustainable bandwidth given the wire bandwidth and the
+    /// round-trip `latency` (Little's law cap).
+    #[must_use]
+    pub fn effective_bandwidth(&self, bandwidth: Bandwidth, latency: TimeInterval) -> Bandwidth {
+        if latency.seconds() <= 0.0 {
+            return bandwidth;
+        }
+        let cap = self.window_bytes() as f64 / latency.seconds();
+        Bandwidth::from_base(bandwidth.bytes_per_s().min(cap))
+    }
+
+    /// Transfer time for `bytes` at `bandwidth` with round-trip `latency`:
+    /// one leading latency plus streaming at the effective bandwidth.
+    /// Zero-byte transfers take zero time.
+    #[must_use]
+    pub fn transfer_time(
+        &self,
+        bytes: f64,
+        bandwidth: Bandwidth,
+        latency: TimeInterval,
+    ) -> TimeInterval {
+        if bytes <= 0.0 {
+            return TimeInterval::ZERO;
+        }
+        let eff = self.effective_bandwidth(bandwidth, latency);
+        TimeInterval::from_base(latency.seconds() + bytes / eff.bytes_per_s())
+    }
+
+    /// Achieved bandwidth (bytes/s) for a transfer of `bytes`, including
+    /// the leading-latency penalty.
+    #[must_use]
+    pub fn achieved_bandwidth(
+        &self,
+        bytes: f64,
+        bandwidth: Bandwidth,
+        latency: TimeInterval,
+    ) -> Bandwidth {
+        let t = self.transfer_time(bytes, bandwidth, latency);
+        if t.seconds() <= 0.0 {
+            return bandwidth;
+        }
+        Bandwidth::from_base(bytes / t.seconds())
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self::cryo_dram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_takes_zero_time() {
+        let m = TransferModel::cryo_dram();
+        let t = m.transfer_time(0.0, Bandwidth::from_tbps(16.0), TimeInterval::from_ns(30.0));
+        assert_eq!(t.seconds(), 0.0);
+    }
+
+    #[test]
+    fn saturation_point_matches_paper() {
+        // 256 KiB window at 30 ns → ~8.7 TB/s cap: raising wire bandwidth
+        // from 8 to 32 TB/s barely helps (Fig. 7 saturation).
+        let m = TransferModel::cryo_dram();
+        let lat = TimeInterval::from_ns(30.0);
+        let cap = m.effective_bandwidth(Bandwidth::from_tbps(32.0), lat);
+        assert!((cap.tbps() - 8.738).abs() < 0.01, "got {}", cap.tbps());
+        let at8 = m.effective_bandwidth(Bandwidth::from_tbps(8.0), lat);
+        assert!((at8.tbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_transfer_pays_one_latency() {
+        let m = TransferModel::cryo_dram();
+        let lat = TimeInterval::from_ns(30.0);
+        let t = m.transfer_time(64.0, Bandwidth::from_tbps(16.0), lat);
+        assert!(t.ns() >= 30.0 && t.ns() < 30.1);
+    }
+
+    #[test]
+    fn throughput_declines_monotonically_with_latency() {
+        // The Fig. 7a sweep: 10 → 200 ns at fixed 16 TB/s.
+        let m = TransferModel::cryo_dram();
+        let bw = Bandwidth::from_tbps(16.0);
+        let bytes = 100e6;
+        let mut last = f64::INFINITY;
+        for ns in [10.0, 30.0, 50.0, 100.0, 200.0] {
+            let eff = m
+                .achieved_bandwidth(bytes, bw, TimeInterval::from_ns(ns))
+                .tbps();
+            assert!(eff < last, "throughput must fall with latency");
+            last = eff;
+        }
+    }
+
+    #[test]
+    fn large_transfer_approaches_effective_wire_speed() {
+        let m = TransferModel::cryo_dram();
+        let bw = Bandwidth::from_tbps(4.0); // below the 30 ns cap
+        let lat = TimeInterval::from_ns(30.0);
+        let eff = m.achieved_bandwidth(1e9, bw, lat);
+        assert!(eff.tbps() > 0.99 * 4.0);
+    }
+
+    #[test]
+    fn jsram_hides_latency_better_than_dram() {
+        let bw = Bandwidth::from_tbps(16.0);
+        let lat = TimeInterval::from_ns(30.0);
+        let e_dram = TransferModel::cryo_dram().effective_bandwidth(bw, lat);
+        let e_jsram = TransferModel::jsram().effective_bandwidth(bw, lat);
+        assert!(e_jsram.tbps() >= e_dram.tbps());
+        assert!((e_jsram.tbps() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_latency_is_wire_limited() {
+        let m = TransferModel::cryo_dram();
+        let bw = Bandwidth::from_tbps(16.0);
+        let eff = m.effective_bandwidth(bw, TimeInterval::ZERO);
+        assert!((eff.tbps() - 16.0).abs() < 1e-12);
+    }
+}

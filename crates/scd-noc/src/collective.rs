@@ -1,0 +1,349 @@
+//! Collective-communication schedules on the blade torus.
+//!
+//! Tensor/data-parallel LLM execution is dominated by ring all-reduce
+//! ([34] of the paper). This module provides a boustrophedon ring embedding
+//! (every ring neighbor is one torus hop), a synchronous phase-by-phase
+//! discrete-event simulation, and the closed-form analytical cost the
+//! `optimus` communication model uses — so the two can be cross-validated
+//! (the `noc_validation` experiment).
+
+use crate::error::NocError;
+use crate::sim::{Message, NocConfig, Ps, TorusSim};
+use crate::topology::{NodeId, Torus};
+use serde::{Deserialize, Serialize};
+
+/// A Hamiltonian ring through the torus in which successive nodes are
+/// adjacent (snake through rows; row-to-row steps and the final wrap are
+/// single torus hops).
+#[must_use]
+pub fn ring_order(torus: &Torus) -> Vec<NodeId> {
+    let mut order = Vec::with_capacity(torus.nodes());
+    for y in 0..torus.height() {
+        if y % 2 == 0 {
+            for x in 0..torus.width() {
+                order.push(NodeId::new(x, y));
+            }
+        } else {
+            for x in (0..torus.width()).rev() {
+                order.push(NodeId::new(x, y));
+            }
+        }
+    }
+    order
+}
+
+/// Result of a collective run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveResult {
+    /// Total completion time in ps.
+    pub makespan_ps: Ps,
+    /// Number of communication phases executed.
+    pub phases: usize,
+    /// Bytes sent per node per phase.
+    pub chunk_bytes: f64,
+}
+
+/// Simulates a synchronous ring all-reduce of `bytes` per node.
+///
+/// The standard schedule: `n−1` reduce-scatter phases plus `n−1`
+/// all-gather phases, each moving `bytes/n` per node to its ring
+/// successor. Phases are barrier-synchronized (the common NCCL-style
+/// model).
+///
+/// # Errors
+///
+/// Returns [`NocError::InvalidConfig`] for non-positive sizes or a
+/// single-node ring.
+pub fn simulate_ring_all_reduce(
+    torus: &Torus,
+    config: NocConfig,
+    bytes_per_node: f64,
+) -> Result<CollectiveResult, NocError> {
+    let n = torus.nodes();
+    if n < 2 {
+        return Err(NocError::InvalidConfig {
+            reason: "all-reduce needs at least two nodes".to_owned(),
+        });
+    }
+    if bytes_per_node <= 0.0 {
+        return Err(NocError::InvalidConfig {
+            reason: "payload must be positive".to_owned(),
+        });
+    }
+    let ring = ring_order(torus);
+    let chunk = bytes_per_node / n as f64;
+    let phases = 2 * (n - 1);
+    let mut t: Ps = 0;
+    for _ in 0..phases {
+        let mut sim = TorusSim::new(*torus, config);
+        for i in 0..n {
+            let src = ring[i];
+            let dst = ring[(i + 1) % n];
+            sim.inject(Message {
+                src,
+                dst,
+                bytes: chunk,
+                inject_at: t,
+            })?;
+        }
+        sim.run();
+        t = sim.makespan_ps();
+    }
+    Ok(CollectiveResult {
+        makespan_ps: t,
+        phases,
+        chunk_bytes: chunk,
+    })
+}
+
+/// Closed-form ring all-reduce time (seconds): the bandwidth term
+/// `2(n−1)/n · V / bw` plus per-phase hop latency.
+#[must_use]
+pub fn analytical_ring_all_reduce(
+    nodes: usize,
+    bytes_per_node: f64,
+    link_bytes_per_s: f64,
+    per_hop_latency_s: f64,
+) -> f64 {
+    if nodes < 2 {
+        return 0.0;
+    }
+    let n = nodes as f64;
+    let bandwidth_term = 2.0 * (n - 1.0) / n * bytes_per_node / link_bytes_per_s;
+    let latency_term = 2.0 * (n - 1.0) * per_hop_latency_s;
+    bandwidth_term + latency_term
+}
+
+/// Simulates a synchronous ring all-gather: `n−1` phases, each moving the
+/// full `bytes_per_node` shard to the ring successor.
+///
+/// # Errors
+///
+/// Returns [`NocError::InvalidConfig`] for degenerate inputs.
+pub fn simulate_ring_all_gather(
+    torus: &Torus,
+    config: NocConfig,
+    bytes_per_node: f64,
+) -> Result<CollectiveResult, NocError> {
+    let n = torus.nodes();
+    if n < 2 {
+        return Err(NocError::InvalidConfig {
+            reason: "all-gather needs at least two nodes".to_owned(),
+        });
+    }
+    if bytes_per_node <= 0.0 {
+        return Err(NocError::InvalidConfig {
+            reason: "payload must be positive".to_owned(),
+        });
+    }
+    let ring = ring_order(torus);
+    let phases = n - 1;
+    let mut t: Ps = 0;
+    for _ in 0..phases {
+        let mut sim = TorusSim::new(*torus, config);
+        for i in 0..n {
+            sim.inject(Message {
+                src: ring[i],
+                dst: ring[(i + 1) % n],
+                bytes: bytes_per_node,
+                inject_at: t,
+            })?;
+        }
+        sim.run();
+        t = sim.makespan_ps();
+    }
+    Ok(CollectiveResult {
+        makespan_ps: t,
+        phases,
+        chunk_bytes: bytes_per_node,
+    })
+}
+
+/// Simulates a binary-tree broadcast of `bytes` from the torus origin.
+/// Each round doubles the informed set; rounds are barrier-synchronized.
+///
+/// # Errors
+///
+/// Returns [`NocError::InvalidConfig`] for degenerate inputs.
+pub fn simulate_broadcast(
+    torus: &Torus,
+    config: NocConfig,
+    bytes: f64,
+) -> Result<CollectiveResult, NocError> {
+    let n = torus.nodes();
+    if bytes <= 0.0 {
+        return Err(NocError::InvalidConfig {
+            reason: "payload must be positive".to_owned(),
+        });
+    }
+    let ring = ring_order(torus);
+    let mut informed = 1usize;
+    let mut t: Ps = 0;
+    let mut phases = 0usize;
+    while informed < n {
+        let senders = informed.min(n - informed);
+        let mut sim = TorusSim::new(*torus, config);
+        for k in 0..senders {
+            sim.inject(Message {
+                src: ring[k],
+                dst: ring[informed + k],
+                bytes,
+                inject_at: t,
+            })?;
+        }
+        sim.run();
+        t = sim.makespan_ps();
+        informed += senders;
+        phases += 1;
+    }
+    Ok(CollectiveResult {
+        makespan_ps: t,
+        phases,
+        chunk_bytes: bytes,
+    })
+}
+
+/// Closed-form ring all-gather time (seconds).
+#[must_use]
+pub fn analytical_ring_all_gather(
+    nodes: usize,
+    bytes_per_node: f64,
+    link_bytes_per_s: f64,
+    per_hop_latency_s: f64,
+) -> f64 {
+    if nodes < 2 {
+        return 0.0;
+    }
+    let n = nodes as f64;
+    (n - 1.0) * (bytes_per_node / link_bytes_per_s + per_hop_latency_s)
+}
+
+/// Simulates a one-to-one point-to-point transfer and returns its latency
+/// in ps.
+///
+/// # Errors
+///
+/// Propagates injection errors.
+pub fn simulate_p2p(
+    torus: &Torus,
+    config: NocConfig,
+    src: NodeId,
+    dst: NodeId,
+    bytes: f64,
+) -> Result<Ps, NocError> {
+    let mut sim = TorusSim::new(*torus, config);
+    sim.inject(Message {
+        src,
+        dst,
+        bytes,
+        inject_at: 0,
+    })?;
+    sim.run();
+    Ok(sim.makespan_ps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_order_neighbors_are_one_hop() {
+        let t = Torus::blade_8x8();
+        let ring = ring_order(&t);
+        assert_eq!(ring.len(), 64);
+        for i in 0..ring.len() {
+            let a = ring[i];
+            let b = ring[(i + 1) % ring.len()];
+            assert_eq!(t.distance(a, b), 1, "ring step {i}: {a} → {b}");
+        }
+    }
+
+    #[test]
+    fn simulated_matches_analytical_within_router_overhead() {
+        let t = Torus::blade_8x8();
+        let cfg = NocConfig::blade_baseline();
+        let bytes = 64.0 * 1024.0 * 1024.0; // 64 MiB per node
+        let sim = simulate_ring_all_reduce(&t, cfg, bytes).unwrap();
+        let hop_lat = (cfg.router_delay_ps + cfg.wire_delay_ps) as f64 * 1e-12;
+        let analytical = analytical_ring_all_reduce(64, bytes, cfg.link_bytes_per_s, hop_lat);
+        let sim_s = sim.makespan_ps as f64 * 1e-12;
+        let ratio = sim_s / analytical;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "sim {sim_s:.3e} s vs analytical {analytical:.3e} s (ratio {ratio:.3})"
+        );
+    }
+
+    #[test]
+    fn all_reduce_phase_count() {
+        let t = Torus::new(2, 2).unwrap();
+        let r = simulate_ring_all_reduce(&t, NocConfig::blade_baseline(), 1024.0).unwrap();
+        assert_eq!(r.phases, 6);
+        assert!((r.chunk_bytes - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_node_rejected() {
+        let t = Torus::new(1, 1).unwrap();
+        assert!(simulate_ring_all_reduce(&t, NocConfig::blade_baseline(), 1024.0).is_err());
+    }
+
+    #[test]
+    fn bigger_payload_takes_longer() {
+        let t = Torus::new(4, 4).unwrap();
+        let cfg = NocConfig::blade_baseline();
+        let small = simulate_ring_all_reduce(&t, cfg, 1e6).unwrap();
+        let large = simulate_ring_all_reduce(&t, cfg, 1e8).unwrap();
+        assert!(large.makespan_ps > small.makespan_ps);
+    }
+
+    #[test]
+    fn p2p_latency_reasonable() {
+        let t = Torus::blade_8x8();
+        let cfg = NocConfig::blade_baseline();
+        let lat = simulate_p2p(&t, cfg, NodeId::new(0, 0), NodeId::new(4, 4), 1e6).unwrap();
+        // 8 hops of ~145 ps + 8 × serialization of 1 MB at 73.3 TB/s
+        // (store-and-forward per hop): ≈ 8 × (145 + 13 642) ps.
+        assert!(lat > 8 * 13_000);
+        assert!(lat < 8 * 16_000);
+    }
+
+    #[test]
+    fn all_gather_matches_analytical() {
+        let t = Torus::blade_8x8();
+        let cfg = NocConfig::blade_baseline();
+        let bytes = 8.0e6;
+        let sim = simulate_ring_all_gather(&t, cfg, bytes).unwrap();
+        assert_eq!(sim.phases, 63);
+        let hop = (cfg.router_delay_ps + cfg.wire_delay_ps) as f64 * 1e-12;
+        let model = analytical_ring_all_gather(64, bytes, cfg.link_bytes_per_s, hop);
+        let ratio = sim.makespan_ps as f64 * 1e-12 / model;
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn broadcast_takes_log_rounds() {
+        let t = Torus::blade_8x8();
+        let cfg = NocConfig::blade_baseline();
+        let r = simulate_broadcast(&t, cfg, 1.0e6).unwrap();
+        assert_eq!(r.phases, 6, "64 nodes → log2(64) rounds");
+        // Broadcast of V is far cheaper than all-gather of V per node.
+        let ag = simulate_ring_all_gather(&t, cfg, 1.0e6).unwrap();
+        assert!(r.makespan_ps < ag.makespan_ps);
+    }
+
+    #[test]
+    fn broadcast_single_node_trivial() {
+        let t = Torus::new(1, 1).unwrap();
+        let r = simulate_broadcast(&t, NocConfig::blade_baseline(), 64.0).unwrap();
+        assert_eq!(r.phases, 0);
+        assert_eq!(r.makespan_ps, 0);
+    }
+
+    #[test]
+    fn analytical_degenerate_cases() {
+        assert_eq!(analytical_ring_all_reduce(1, 1e6, 1e12, 1e-9), 0.0);
+        let t2 = analytical_ring_all_reduce(2, 1e6, 1e12, 0.0);
+        assert!((t2 - 1e6 / 1e12).abs() < 1e-15);
+    }
+}

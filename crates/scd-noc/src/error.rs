@@ -1,0 +1,57 @@
+//! Error types for the NoC simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing or driving the network simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NocError {
+    /// A coordinate was outside the torus.
+    InvalidNode {
+        /// Offending coordinate.
+        x: usize,
+        /// Offending coordinate.
+        y: usize,
+        /// Torus extent.
+        width: usize,
+        /// Torus extent.
+        height: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidNode {
+                x,
+                y,
+                width,
+                height,
+            } => write!(f, "node ({x},{y}) outside {width}×{height} torus"),
+            Self::InvalidConfig { reason } => write!(f, "invalid NoC configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_coordinates() {
+        let e = NocError::InvalidNode {
+            x: 9,
+            y: 1,
+            width: 8,
+            height: 8,
+        };
+        assert!(e.to_string().contains("(9,1)"));
+    }
+}

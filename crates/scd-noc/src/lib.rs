@@ -1,0 +1,48 @@
+//! # scd-noc — discrete-event simulator for the SCD blade interconnect
+//!
+//! The 2D-torus network of *"A System Level Performance Evaluation for
+//! Superconducting Digital Systems"* (Kundu et al., DATE 2025), Fig. 3:
+//! an 8×8 array of SPUs joined by their local hierarchical-crossbar
+//! switches over 73 TB/s chip-to-chip links.
+//!
+//! * [`topology`] — torus coordinates, wraparound dimension-order routing.
+//! * [`switch`] — the two-level MUX-crossbar switch model.
+//! * [`sim`] — virtual-cut-through discrete-event simulation with link
+//!   contention.
+//! * [`collective`] — ring all-reduce / p2p schedules, both simulated and
+//!   closed-form; used to validate the `optimus` communication model.
+//! * [`traffic`] — synthetic load generators (uniform, transpose, ring).
+//!
+//! # Examples
+//!
+//! ```
+//! use scd_noc::collective::{analytical_ring_all_reduce, simulate_ring_all_reduce};
+//! use scd_noc::sim::NocConfig;
+//! use scd_noc::topology::Torus;
+//!
+//! # fn main() -> Result<(), scd_noc::NocError> {
+//! let torus = Torus::blade_8x8();
+//! let cfg = NocConfig::blade_baseline();
+//! let sim = simulate_ring_all_reduce(&torus, cfg, 1.0e6)?;
+//! let hop = (cfg.router_delay_ps + cfg.wire_delay_ps) as f64 * 1e-12;
+//! let model = analytical_ring_all_reduce(64, 1.0e6, cfg.link_bytes_per_s, hop);
+//! let ratio = sim.makespan_ps as f64 * 1e-12 / model;
+//! assert!(ratio > 0.5 && ratio < 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collective;
+pub mod error;
+pub mod sim;
+pub mod switch;
+pub mod topology;
+pub mod traffic;
+
+pub use error::NocError;
+pub use sim::{Message, NocConfig, TorusSim};
+pub use switch::HierarchicalSwitch;
+pub use topology::{Direction, NodeId, Torus};

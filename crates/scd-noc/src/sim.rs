@@ -1,0 +1,336 @@
+//! Discrete-event simulation of the blade torus.
+//!
+//! Virtual-cut-through semantics: a packet occupies each link for its
+//! serialization time; links are shared resources with FIFO availability.
+//! Router traversal adds a fixed pipeline delay. This captures link
+//! contention and multi-hop latency — the effects the analytical
+//! communication model in `optimus` must agree with.
+
+use crate::error::NocError;
+use crate::topology::{Direction, NodeId, Torus};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulated time in picoseconds.
+pub type Ps = u64;
+
+/// Link/router parameters for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Per-link bandwidth in bytes per second.
+    pub link_bytes_per_s: f64,
+    /// Router pipeline traversal delay in picoseconds.
+    pub router_delay_ps: Ps,
+    /// Wire time-of-flight per hop in picoseconds.
+    pub wire_delay_ps: Ps,
+}
+
+impl NocConfig {
+    /// Blade baseline from Fig. 3c: 73.3 TB/s chip-to-chip links, a few
+    /// 30 GHz router cycles of pipeline, ~1 mm hop wires.
+    #[must_use]
+    pub fn blade_baseline() -> Self {
+        Self {
+            link_bytes_per_s: 73.3e12,
+            router_delay_ps: 133, // 4 cycles at 30 GHz
+            wire_delay_ps: 12,    // ~1.2 mm at c/3
+        }
+    }
+
+    /// Serialization time of `bytes` on one link, in ps (≥ 1).
+    #[must_use]
+    pub fn serialization_ps(&self, bytes: f64) -> Ps {
+        ((bytes / self.link_bytes_per_s) * 1e12).ceil().max(1.0) as Ps
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self::blade_baseline()
+    }
+}
+
+/// A message to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// Injection time (ps).
+    pub inject_at: Ps,
+}
+
+/// Delivery record for a completed message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Index of the message in injection order.
+    pub message: usize,
+    /// Arrival time at the destination ejection port (ps).
+    pub arrived_at: Ps,
+    /// End-to-end latency (ps).
+    pub latency_ps: Ps,
+    /// Hops traversed.
+    pub hops: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    time: Ps,
+    seq: usize,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    message: usize,
+    at: NodeId,
+    dst: NodeId,
+    bytes: f64,
+    injected: Ps,
+    hops: usize,
+}
+
+/// The discrete-event torus simulator.
+#[derive(Debug)]
+pub struct TorusSim {
+    torus: Torus,
+    config: NocConfig,
+    /// Next-free time per directed link (node index, direction).
+    link_free: HashMap<(usize, Direction), Ps>,
+    queue: BinaryHeap<Reverse<(EventKey, usize)>>,
+    in_flight: Vec<InFlight>,
+    deliveries: Vec<Delivery>,
+    seq: usize,
+}
+
+impl TorusSim {
+    /// Creates a simulator over `torus` with `config`.
+    #[must_use]
+    pub fn new(torus: Torus, config: NocConfig) -> Self {
+        Self {
+            torus,
+            config,
+            link_free: HashMap::new(),
+            queue: BinaryHeap::new(),
+            in_flight: Vec::new(),
+            deliveries: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Topology under simulation.
+    #[must_use]
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// Injects a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidNode`] for out-of-range endpoints or
+    /// [`NocError::InvalidConfig`] for non-positive sizes.
+    pub fn inject(&mut self, msg: Message) -> Result<usize, NocError> {
+        self.torus.check(msg.src)?;
+        self.torus.check(msg.dst)?;
+        if msg.bytes <= 0.0 {
+            return Err(NocError::InvalidConfig {
+                reason: "message size must be positive".to_owned(),
+            });
+        }
+        let id = self.in_flight.len();
+        self.in_flight.push(InFlight {
+            message: id,
+            at: msg.src,
+            dst: msg.dst,
+            bytes: msg.bytes,
+            injected: msg.inject_at,
+            hops: 0,
+        });
+        self.push_event(msg.inject_at, id);
+        Ok(id)
+    }
+
+    fn push_event(&mut self, time: Ps, flight: usize) {
+        let key = EventKey {
+            time,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse((key, flight)));
+    }
+
+    /// Runs to completion; returns deliveries in completion order.
+    pub fn run(&mut self) -> &[Delivery] {
+        while let Some(Reverse((key, fid))) = self.queue.pop() {
+            let now = key.time;
+            let flight = self.in_flight[fid].clone();
+            if flight.at == flight.dst {
+                self.deliveries.push(Delivery {
+                    message: flight.message,
+                    arrived_at: now,
+                    latency_ps: now - flight.injected,
+                    hops: flight.hops,
+                });
+                continue;
+            }
+            let dir = self.torus.route(flight.at, flight.dst);
+            let link = (self.torus.index(flight.at), dir);
+            let free = self.link_free.get(&link).copied().unwrap_or(0);
+            let start = now.max(free);
+            let ser = self.config.serialization_ps(flight.bytes);
+            let done = start + ser;
+            self.link_free.insert(link, done);
+            let arrive = done + self.config.router_delay_ps + self.config.wire_delay_ps;
+            let next = self.torus.neighbor(flight.at, dir);
+            let f = &mut self.in_flight[fid];
+            f.at = next;
+            f.hops += 1;
+            self.push_event(arrive, fid);
+        }
+        &self.deliveries
+    }
+
+    /// Deliveries recorded so far.
+    #[must_use]
+    pub fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    /// Latest delivery time (makespan) in ps, 0 if nothing delivered.
+    #[must_use]
+    pub fn makespan_ps(&self) -> Ps {
+        self.deliveries
+            .iter()
+            .map(|d| d.arrived_at)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> TorusSim {
+        TorusSim::new(Torus::blade_8x8(), NocConfig::blade_baseline())
+    }
+
+    #[test]
+    fn single_hop_latency_decomposes() {
+        let mut s = sim();
+        let cfg = NocConfig::blade_baseline();
+        s.inject(Message {
+            src: NodeId::new(0, 0),
+            dst: NodeId::new(1, 0),
+            bytes: 73.3, // 1 ps serialization
+            inject_at: 0,
+        })
+        .unwrap();
+        let d = s.run()[0];
+        assert_eq!(d.hops, 1);
+        assert_eq!(
+            d.latency_ps,
+            cfg.serialization_ps(73.3) + cfg.router_delay_ps + cfg.wire_delay_ps
+        );
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let mut s = sim();
+        s.inject(Message {
+            src: NodeId::new(0, 0),
+            dst: NodeId::new(4, 4),
+            bytes: 1024.0,
+            inject_at: 0,
+        })
+        .unwrap();
+        let d = s.run()[0];
+        assert_eq!(d.hops, 8);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        let mut s = sim();
+        // Two equal messages over the same first link.
+        for _ in 0..2 {
+            s.inject(Message {
+                src: NodeId::new(0, 0),
+                dst: NodeId::new(1, 0),
+                bytes: 73.3e3, // 1000 ps serialization
+                inject_at: 0,
+            })
+            .unwrap();
+        }
+        let ds: Vec<_> = s.run().to_vec();
+        let mut times: Vec<_> = ds.iter().map(|d| d.arrived_at).collect();
+        times.sort_unstable();
+        let wait = times[1] - times[0];
+        // One serialization interval (±1 ps of ceil rounding).
+        assert!(
+            (1000..=1001).contains(&wait),
+            "second message should wait one serialization, got {wait}"
+        );
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_contend() {
+        let mut s = sim();
+        s.inject(Message {
+            src: NodeId::new(0, 0),
+            dst: NodeId::new(1, 0),
+            bytes: 73.3e3,
+            inject_at: 0,
+        })
+        .unwrap();
+        s.inject(Message {
+            src: NodeId::new(0, 1),
+            dst: NodeId::new(1, 1),
+            bytes: 73.3e3,
+            inject_at: 0,
+        })
+        .unwrap();
+        let ds: Vec<_> = s.run().to_vec();
+        assert_eq!(ds[0].arrived_at, ds[1].arrived_at);
+    }
+
+    #[test]
+    fn self_message_delivers_immediately() {
+        let mut s = sim();
+        s.inject(Message {
+            src: NodeId::new(2, 2),
+            dst: NodeId::new(2, 2),
+            bytes: 64.0,
+            inject_at: 42,
+        })
+        .unwrap();
+        let d = s.run()[0];
+        assert_eq!(d.latency_ps, 0);
+        assert_eq!(d.arrived_at, 42);
+        assert_eq!(d.hops, 0);
+    }
+
+    #[test]
+    fn invalid_injections_rejected() {
+        let mut s = sim();
+        assert!(s
+            .inject(Message {
+                src: NodeId::new(8, 0),
+                dst: NodeId::new(0, 0),
+                bytes: 1.0,
+                inject_at: 0,
+            })
+            .is_err());
+        assert!(s
+            .inject(Message {
+                src: NodeId::new(0, 0),
+                dst: NodeId::new(0, 0),
+                bytes: 0.0,
+                inject_at: 0,
+            })
+            .is_err());
+    }
+}

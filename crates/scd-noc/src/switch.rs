@@ -1,0 +1,156 @@
+//! The SCD switch (§III): a hierarchical crossbar built from
+//! superconducting MUX-based cross-point units, with a first level routing
+//! each packet to its output port and a second aggregation level.
+//!
+//! The gate-level cross-point is the `crossbar` generator in `scd-eda`;
+//! this module models the assembled switch at the architecture level
+//! (radix, per-port bandwidth, traversal phases) for use by both the NoC
+//! simulator configuration and the blade builder.
+
+use crate::error::NocError;
+use scd_tech::units::{Bandwidth, Frequency, TimeInterval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A two-level hierarchical crossbar switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalSwitch {
+    radix: u32,
+    port_bandwidth: Bandwidth,
+    clock: Frequency,
+    /// Pipeline phases through one cross-point level.
+    level_phases: u32,
+}
+
+impl HierarchicalSwitch {
+    /// The blade's intra-node switch: radix 5 (N/S/E/W/local), Fig. 3c
+    /// chip-to-chip ports of 73.3 TB/s, 30 GHz clock, 2 phases per
+    /// cross-point level (mux tree depth from the compiled `crossbar`
+    /// block).
+    #[must_use]
+    pub fn blade_baseline() -> Self {
+        Self {
+            radix: 5,
+            port_bandwidth: Bandwidth::from_tbps(73.3),
+            clock: Frequency::from_ghz(30.0),
+            level_phases: 2,
+        }
+    }
+
+    /// Creates a switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidConfig`] for a radix below 2 or
+    /// non-positive bandwidth.
+    pub fn new(
+        radix: u32,
+        port_bandwidth: Bandwidth,
+        clock: Frequency,
+        level_phases: u32,
+    ) -> Result<Self, NocError> {
+        if radix < 2 {
+            return Err(NocError::InvalidConfig {
+                reason: "switch radix must be at least 2".to_owned(),
+            });
+        }
+        if port_bandwidth.bytes_per_s() <= 0.0 {
+            return Err(NocError::InvalidConfig {
+                reason: "port bandwidth must be positive".to_owned(),
+            });
+        }
+        Ok(Self {
+            radix,
+            port_bandwidth,
+            clock,
+            level_phases,
+        })
+    }
+
+    /// Port count.
+    #[must_use]
+    pub fn radix(&self) -> u32 {
+        self.radix
+    }
+
+    /// Per-port bandwidth.
+    #[must_use]
+    pub fn port_bandwidth(&self) -> Bandwidth {
+        self.port_bandwidth
+    }
+
+    /// Aggregate (all-port) bandwidth.
+    #[must_use]
+    pub fn aggregate_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_base(self.port_bandwidth.bytes_per_s() * f64::from(self.radix))
+    }
+
+    /// Traversal latency through both cross-point levels.
+    #[must_use]
+    pub fn traversal_latency(&self) -> TimeInterval {
+        TimeInterval::from_base(
+            f64::from(2 * self.level_phases) * self.clock.period().seconds(),
+        )
+    }
+
+    /// Traversal latency in whole picoseconds (for the simulator config).
+    #[must_use]
+    pub fn traversal_ps(&self) -> u64 {
+        (self.traversal_latency().ps()).ceil() as u64
+    }
+}
+
+impl Default for HierarchicalSwitch {
+    fn default() -> Self {
+        Self::blade_baseline()
+    }
+}
+
+impl fmt::Display for HierarchicalSwitch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "radix-{} switch, {} per port, {} traversal",
+            self.radix,
+            self.port_bandwidth,
+            self.traversal_latency()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blade_switch_traversal_is_a_few_cycles() {
+        let s = HierarchicalSwitch::blade_baseline();
+        // 2 levels × 2 phases at 33.3 ps.
+        assert!((s.traversal_latency().ps() - 133.3).abs() < 1.0);
+        assert_eq!(s.traversal_ps(), 134);
+    }
+
+    #[test]
+    fn aggregate_scales_with_radix() {
+        let s = HierarchicalSwitch::blade_baseline();
+        assert!((s.aggregate_bandwidth().tbps() - 5.0 * 73.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HierarchicalSwitch::new(
+            1,
+            Bandwidth::from_tbps(1.0),
+            Frequency::from_ghz(30.0),
+            2
+        )
+        .is_err());
+        assert!(HierarchicalSwitch::new(
+            4,
+            Bandwidth::ZERO,
+            Frequency::from_ghz(30.0),
+            2
+        )
+        .is_err());
+    }
+}

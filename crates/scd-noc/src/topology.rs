@@ -1,0 +1,303 @@
+//! 2D-torus topology and dimension-order routing.
+//!
+//! The SCD blade (Fig. 3d) arranges an 8×8 array of SPUs whose local
+//! switches form a 2D torus. Dimension-order (X then Y) routing with
+//! shortest-direction wraparound is deadlock-benign for the offered
+//! traffic the blade sees (collectives and nearest-neighbor exchange).
+
+use crate::error::NocError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node coordinate on the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId {
+    /// Column.
+    pub x: usize,
+    /// Row.
+    pub y: usize,
+}
+
+impl NodeId {
+    /// Creates a coordinate.
+    #[must_use]
+    pub fn new(x: usize, y: usize) -> Self {
+        Self { x, y }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Output direction from a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// +x neighbor.
+    East,
+    /// −x neighbor.
+    West,
+    /// +y neighbor.
+    North,
+    /// −y neighbor.
+    South,
+    /// Local ejection port.
+    Local,
+}
+
+impl Direction {
+    /// The four link directions (excluding `Local`).
+    pub const LINKS: [Self; 4] = [Self::East, Self::West, Self::North, Self::South];
+}
+
+/// A `width × height` torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus {
+    width: usize,
+    height: usize,
+}
+
+impl Torus {
+    /// Creates a torus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidConfig`] if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Result<Self, NocError> {
+        if width == 0 || height == 0 {
+            return Err(NocError::InvalidConfig {
+                reason: "torus dimensions must be non-zero".to_owned(),
+            });
+        }
+        Ok(Self { width, height })
+    }
+
+    /// The paper's 8×8 blade.
+    #[must_use]
+    pub fn blade_8x8() -> Self {
+        Self {
+            width: 8,
+            height: 8,
+        }
+    }
+
+    /// Torus width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Torus height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Validates a coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidNode`] when out of bounds.
+    pub fn check(&self, node: NodeId) -> Result<(), NocError> {
+        if node.x < self.width && node.y < self.height {
+            Ok(())
+        } else {
+            Err(NocError::InvalidNode {
+                x: node.x,
+                y: node.y,
+                width: self.width,
+                height: self.height,
+            })
+        }
+    }
+
+    /// Linear index of a node (row-major).
+    #[must_use]
+    pub fn index(&self, node: NodeId) -> usize {
+        node.y * self.width + node.x
+    }
+
+    /// Node for a linear index.
+    #[must_use]
+    pub fn node(&self, index: usize) -> NodeId {
+        NodeId::new(index % self.width, index / self.width)
+    }
+
+    /// The neighbor of `node` in `dir` (with wraparound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is [`Direction::Local`].
+    #[must_use]
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> NodeId {
+        match dir {
+            Direction::East => NodeId::new((node.x + 1) % self.width, node.y),
+            Direction::West => NodeId::new((node.x + self.width - 1) % self.width, node.y),
+            Direction::North => NodeId::new(node.x, (node.y + 1) % self.height),
+            Direction::South => NodeId::new(node.x, (node.y + self.height - 1) % self.height),
+            Direction::Local => panic!("Local is not a link direction"),
+        }
+    }
+
+    /// Signed shortest offset from `a` to `b` along one ring of size `n`.
+    fn ring_offset(a: usize, b: usize, n: usize) -> isize {
+        let fwd = (b + n - a) % n;
+        let bwd = n - fwd;
+        if fwd == 0 {
+            0
+        } else if fwd <= bwd {
+            fwd as isize
+        } else {
+            -(bwd as isize)
+        }
+    }
+
+    /// Hop distance between two nodes under shortest-path torus routing.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let dx = Self::ring_offset(a.x, b.x, self.width).unsigned_abs();
+        let dy = Self::ring_offset(a.y, b.y, self.height).unsigned_abs();
+        dx + dy
+    }
+
+    /// Next hop under dimension-order (X-first) shortest-direction routing,
+    /// or `Local` if already at the destination.
+    #[must_use]
+    pub fn route(&self, at: NodeId, dst: NodeId) -> Direction {
+        let dx = Self::ring_offset(at.x, dst.x, self.width);
+        if dx > 0 {
+            return Direction::East;
+        }
+        if dx < 0 {
+            return Direction::West;
+        }
+        let dy = Self::ring_offset(at.y, dst.y, self.height);
+        if dy > 0 {
+            return Direction::North;
+        }
+        if dy < 0 {
+            return Direction::South;
+        }
+        Direction::Local
+    }
+
+    /// The full dimension-order path (excluding the source, including the
+    /// destination).
+    #[must_use]
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        let mut at = src;
+        while at != dst {
+            let dir = self.route(at, dst);
+            at = self.neighbor(at, dir);
+            path.push(at);
+        }
+        path
+    }
+
+    /// Average hop distance over all node pairs (network diameter metric).
+    #[must_use]
+    pub fn mean_distance(&self) -> f64 {
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for i in 0..self.nodes() {
+            for j in 0..self.nodes() {
+                if i != j {
+                    total += self.distance(self.node(i), self.node(j));
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_shortens_paths() {
+        let t = Torus::blade_8x8();
+        // 0 → 7 along x is 1 hop backwards, not 7 forwards.
+        assert_eq!(t.distance(NodeId::new(0, 0), NodeId::new(7, 0)), 1);
+        assert_eq!(t.distance(NodeId::new(0, 0), NodeId::new(4, 0)), 4);
+        assert_eq!(t.distance(NodeId::new(0, 0), NodeId::new(4, 4)), 8);
+    }
+
+    #[test]
+    fn route_is_x_first() {
+        let t = Torus::blade_8x8();
+        assert_eq!(
+            t.route(NodeId::new(0, 0), NodeId::new(2, 3)),
+            Direction::East
+        );
+        assert_eq!(
+            t.route(NodeId::new(2, 0), NodeId::new(2, 3)),
+            Direction::North
+        );
+        assert_eq!(
+            t.route(NodeId::new(2, 3), NodeId::new(2, 3)),
+            Direction::Local
+        );
+    }
+
+    #[test]
+    fn path_length_equals_distance() {
+        let t = Torus::blade_8x8();
+        for (src, dst) in [
+            (NodeId::new(0, 0), NodeId::new(5, 6)),
+            (NodeId::new(7, 7), NodeId::new(0, 0)),
+            (NodeId::new(3, 3), NodeId::new(3, 3)),
+        ] {
+            assert_eq!(t.path(src, dst).len(), t.distance(src, dst));
+        }
+        let p = t.path(NodeId::new(0, 0), NodeId::new(2, 1));
+        assert_eq!(p.last(), Some(&NodeId::new(2, 1)));
+    }
+
+    #[test]
+    fn neighbors_wrap() {
+        let t = Torus::blade_8x8();
+        assert_eq!(
+            t.neighbor(NodeId::new(7, 0), Direction::East),
+            NodeId::new(0, 0)
+        );
+        assert_eq!(
+            t.neighbor(NodeId::new(0, 0), Direction::South),
+            NodeId::new(0, 7)
+        );
+    }
+
+    #[test]
+    fn mean_distance_8x8_is_4() {
+        // Mean torus distance per dimension is n/4 = 2; two dimensions → 4
+        // (up to the small bias from excluding self-pairs).
+        let t = Torus::blade_8x8();
+        let d = t.mean_distance();
+        assert!((d - 4.06).abs() < 0.01, "got {d}");
+    }
+
+    #[test]
+    fn index_roundtrip_and_bounds() {
+        let t = Torus::new(4, 3).unwrap();
+        for i in 0..t.nodes() {
+            assert_eq!(t.index(t.node(i)), i);
+        }
+        assert!(t.check(NodeId::new(3, 2)).is_ok());
+        assert!(t.check(NodeId::new(4, 0)).is_err());
+        assert!(Torus::new(0, 5).is_err());
+    }
+}

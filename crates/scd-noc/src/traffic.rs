@@ -1,0 +1,186 @@
+//! Synthetic traffic generators and load/latency measurement.
+//!
+//! Used by benchmarks and tests to characterize the blade NoC beyond the
+//! collectives: uniform-random and transpose (worst-case dimension-order)
+//! patterns, swept over offered load.
+
+use crate::error::NocError;
+use crate::sim::{Message, NocConfig, TorusSim};
+use crate::topology::{NodeId, Torus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Traffic pattern selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Independent uniformly-random destinations.
+    UniformRandom,
+    /// Transpose: node (x, y) sends to (y, x) — adversarial for
+    /// dimension-order routing.
+    Transpose,
+    /// Nearest-neighbor ring shift (the collective-like pattern).
+    RingShift,
+}
+
+/// Result of a traffic experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficResult {
+    /// Messages delivered.
+    pub delivered: usize,
+    /// Mean end-to-end latency in ps.
+    pub mean_latency_ps: f64,
+    /// 99th-percentile latency in ps.
+    pub p99_latency_ps: u64,
+    /// Makespan in ps.
+    pub makespan_ps: u64,
+    /// Aggregate delivered throughput in bytes/s.
+    pub throughput_bytes_per_s: f64,
+}
+
+/// Runs `messages_per_node` messages of `bytes` each, injected at a fixed
+/// per-node interval of `inject_interval_ps`, and reports latency and
+/// throughput statistics.
+///
+/// # Errors
+///
+/// Propagates injection errors; returns [`NocError::InvalidConfig`] for a
+/// zero message count.
+pub fn run_traffic(
+    torus: &Torus,
+    config: NocConfig,
+    pattern: TrafficPattern,
+    bytes: f64,
+    messages_per_node: usize,
+    inject_interval_ps: u64,
+    seed: u64,
+) -> Result<TrafficResult, NocError> {
+    if messages_per_node == 0 {
+        return Err(NocError::InvalidConfig {
+            reason: "need at least one message per node".to_owned(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = TorusSim::new(*torus, config);
+    let n = torus.nodes();
+    for k in 0..messages_per_node {
+        let t = k as u64 * inject_interval_ps;
+        for i in 0..n {
+            let src = torus.node(i);
+            let dst = match pattern {
+                TrafficPattern::UniformRandom => {
+                    let mut d = torus.node(rng.gen_range(0..n));
+                    if d == src {
+                        d = torus.node((i + 1) % n);
+                    }
+                    d
+                }
+                TrafficPattern::Transpose => NodeId::new(src.y, src.x),
+                TrafficPattern::RingShift => torus.node((i + 1) % n),
+            };
+            if dst == src {
+                continue; // transpose diagonal
+            }
+            sim.inject(Message {
+                src,
+                dst,
+                bytes,
+                inject_at: t,
+            })?;
+        }
+    }
+    sim.run();
+    let deliveries = sim.deliveries();
+    let delivered = deliveries.len();
+    let mut latencies: Vec<u64> = deliveries.iter().map(|d| d.latency_ps).collect();
+    latencies.sort_unstable();
+    let mean = latencies.iter().map(|&l| l as f64).sum::<f64>() / delivered.max(1) as f64;
+    let p99 = latencies
+        .get((delivered as f64 * 0.99) as usize)
+        .copied()
+        .unwrap_or(0);
+    let makespan = sim.makespan_ps();
+    let total_bytes = bytes * delivered as f64;
+    Ok(TrafficResult {
+        delivered,
+        mean_latency_ps: mean,
+        p99_latency_ps: p99,
+        makespan_ps: makespan,
+        throughput_bytes_per_s: if makespan == 0 {
+            0.0
+        } else {
+            total_bytes / (makespan as f64 * 1e-12)
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NocConfig {
+        NocConfig::blade_baseline()
+    }
+
+    #[test]
+    fn uniform_traffic_delivers_everything() {
+        let t = Torus::blade_8x8();
+        let r = run_traffic(&t, cfg(), TrafficPattern::UniformRandom, 4096.0, 4, 1000, 7).unwrap();
+        assert_eq!(r.delivered, 64 * 4);
+        assert!(r.mean_latency_ps > 0.0);
+        assert!(r.throughput_bytes_per_s > 0.0);
+    }
+
+    #[test]
+    fn ring_shift_has_low_latency() {
+        let t = Torus::blade_8x8();
+        let ring = run_traffic(&t, cfg(), TrafficPattern::RingShift, 4096.0, 2, 1000, 7).unwrap();
+        let uniform =
+            run_traffic(&t, cfg(), TrafficPattern::UniformRandom, 4096.0, 2, 1000, 7).unwrap();
+        assert!(
+            ring.mean_latency_ps < uniform.mean_latency_ps,
+            "nearest-neighbor should beat uniform ({} vs {})",
+            ring.mean_latency_ps,
+            uniform.mean_latency_ps
+        );
+    }
+
+    #[test]
+    fn transpose_skips_diagonal() {
+        let t = Torus::new(4, 4).unwrap();
+        let r = run_traffic(&t, cfg(), TrafficPattern::Transpose, 1024.0, 1, 0, 7).unwrap();
+        assert_eq!(r.delivered, 16 - 4);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let t = Torus::new(4, 4).unwrap();
+        let a = run_traffic(&t, cfg(), TrafficPattern::UniformRandom, 2048.0, 3, 500, 42).unwrap();
+        let b = run_traffic(&t, cfg(), TrafficPattern::UniformRandom, 2048.0, 3, 500, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_messages_rejected() {
+        let t = Torus::new(2, 2).unwrap();
+        assert!(run_traffic(&t, cfg(), TrafficPattern::RingShift, 1.0, 0, 0, 7).is_err());
+    }
+
+    #[test]
+    fn higher_load_raises_latency() {
+        let t = Torus::blade_8x8();
+        // Long messages injected back-to-back vs widely spaced.
+        let hot = run_traffic(&t, cfg(), TrafficPattern::UniformRandom, 1e6, 4, 10, 3).unwrap();
+        let cold = run_traffic(
+            &t,
+            cfg(),
+            TrafficPattern::UniformRandom,
+            1e6,
+            4,
+            10_000_000,
+            3,
+        )
+        .unwrap();
+        assert!(hot.mean_latency_ps > cold.mean_latency_ps);
+    }
+}

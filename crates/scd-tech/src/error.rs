@@ -1,0 +1,71 @@
+//! Error types for the technology layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or validating technology-layer objects.
+///
+/// ```
+/// use scd_tech::jj::JosephsonJunction;
+/// use scd_tech::units::Length;
+///
+/// // Diameter outside the demonstrated 210–500 nm window is rejected.
+/// let err = JosephsonJunction::with_diameter(Length::from_nm(5.0)).unwrap_err();
+/// assert!(err.to_string().contains("diameter"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechError {
+    /// A physical parameter fell outside its demonstrated/valid range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The provided value (in the parameter's natural unit).
+        value: f64,
+        /// Human-readable description of the valid range.
+        valid: &'static str,
+    },
+    /// A derived quantity would be non-physical (e.g. zero or negative).
+    NonPhysical {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfRange {
+                parameter,
+                value,
+                valid,
+            } => write!(f, "{parameter} value {value} outside valid range ({valid})"),
+            Self::NonPhysical { reason } => write!(f, "non-physical configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TechError::OutOfRange {
+            parameter: "junction diameter",
+            value: 5.0,
+            valid: "210–500 nm",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("junction diameter"));
+        assert!(msg.contains("210–500"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

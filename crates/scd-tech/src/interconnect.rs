@@ -1,0 +1,196 @@
+//! Superconducting BEOL interconnect model.
+//!
+//! NbTiN wires (Fig. 1b) are dispersion-free, essentially lossless
+//! transmission lines up to 100s of GHz. This is the root of the paper's
+//! two headline communication claims (Table I): ~200 Gb/s per pJ
+//! (≈ 5 fJ/bit, vs 0.5–1 pJ/bit for CMOS links) and full-clock-rate
+//! signalling over chip-scale distances with no RC penalty.
+
+use crate::error::TechError;
+use crate::units::{Bandwidth, Energy, Frequency, Length, TimeInterval};
+use serde::{Deserialize, Serialize};
+
+/// Propagation speed on an NbTiN microstrip, as a fraction of c.
+/// Superconducting striplines over SiO₂/SiN dielectrics run at roughly c/3.
+pub const PROPAGATION_FRACTION_OF_C: f64 = 0.33;
+
+/// Speed of light in m/s.
+pub const SPEED_OF_LIGHT_M_S: f64 = 2.997_924_58e8;
+
+/// Wire material for a link budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireMaterial {
+    /// Superconducting NbTiN — negligible dissipation/dispersion.
+    NbTiN,
+    /// Normal-metal copper — used on the glass bridge between temperature
+    /// domains (Fig. 2a) and in the CMOS comparison column of Table I.
+    Copper,
+}
+
+impl WireMaterial {
+    /// Effective resistivity in µΩ·cm at the material's operating point.
+    /// Table I quotes < 2 for NbTiN (residual/AC loss equivalent at M1–M3
+    /// dimensions) versus ~75 for damascene Cu at the same critical
+    /// dimensions.
+    #[must_use]
+    pub fn resistivity_uohm_cm(self) -> f64 {
+        match self {
+            Self::NbTiN => 2.0,
+            Self::Copper => 75.0,
+        }
+    }
+
+    /// Energy cost per transported bit at on-chip distances.
+    ///
+    /// Table I: CMOS achieves 1–2 Gb/s per pJ (≈ 0.7 pJ/bit); the SCD stack
+    /// achieves ~200 Gb/s per pJ (≈ 5 fJ/bit) — the paper's "10000× more
+    /// energy efficient communication at the on-chip clock rate" claim is
+    /// the product of this ratio and the clock-rate ratio.
+    #[must_use]
+    pub fn energy_per_bit(self) -> Energy {
+        match self {
+            Self::NbTiN => Energy::from_fj(5.0),
+            Self::Copper => Energy::from_pj(0.7),
+        }
+    }
+}
+
+/// A point-to-point wire bundle (one direction of a link).
+///
+/// ```
+/// use scd_tech::interconnect::{WireBundle, WireMaterial};
+/// use scd_tech::units::{Frequency, Length};
+///
+/// // Chip-to-chip link of Fig. 3c: 30 Gb/s per wire at 30 GHz.
+/// let link = WireBundle::new(WireMaterial::NbTiN, 1000, Frequency::from_ghz(30.0))?;
+/// assert_eq!(link.bandwidth().gbps(), 30.0e9 * 1000.0 / 8.0 / 1.0e9);
+/// # Ok::<(), scd_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireBundle {
+    material: WireMaterial,
+    wires: u32,
+    signalling_rate: Frequency,
+}
+
+impl WireBundle {
+    /// Creates a bundle of `wires` wires each signalling one bit per cycle
+    /// of `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::OutOfRange`] if `wires` is zero or the rate is
+    /// non-positive.
+    pub fn new(
+        material: WireMaterial,
+        wires: u32,
+        signalling_rate: Frequency,
+    ) -> Result<Self, TechError> {
+        if wires == 0 {
+            return Err(TechError::OutOfRange {
+                parameter: "wire count",
+                value: 0.0,
+                valid: "≥ 1",
+            });
+        }
+        if signalling_rate.hz() <= 0.0 {
+            return Err(TechError::OutOfRange {
+                parameter: "signalling rate (Hz)",
+                value: signalling_rate.hz(),
+                valid: "> 0",
+            });
+        }
+        Ok(Self {
+            material,
+            wires,
+            signalling_rate,
+        })
+    }
+
+    /// Wire material.
+    #[must_use]
+    pub fn material(&self) -> WireMaterial {
+        self.material
+    }
+
+    /// Number of parallel wires.
+    #[must_use]
+    pub fn wires(&self) -> u32 {
+        self.wires
+    }
+
+    /// Per-wire signalling rate.
+    #[must_use]
+    pub fn signalling_rate(&self) -> Frequency {
+        self.signalling_rate
+    }
+
+    /// Aggregate one-directional bandwidth (bytes/s).
+    #[must_use]
+    pub fn bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_base(f64::from(self.wires) * self.signalling_rate.hz() / 8.0)
+    }
+
+    /// Time-of-flight latency over `length` of wire.
+    #[must_use]
+    pub fn propagation_delay(&self, length: Length) -> TimeInterval {
+        TimeInterval::from_base(
+            length.mm() * 1e-3 / (PROPAGATION_FRACTION_OF_C * SPEED_OF_LIGHT_M_S),
+        )
+    }
+
+    /// Energy to move `bytes` across the bundle.
+    #[must_use]
+    pub fn transfer_energy(&self, bytes: f64) -> Energy {
+        self.material.energy_per_bit() * (bytes * 8.0)
+    }
+
+    /// Bits transported per picojoule — the Table I "power efficiency"
+    /// figure of merit ("~200 Gb @ 1 pJ/bit" for the SCD stack versus
+    /// "1–2 Gb @ 1 pJ/bit" for CMOS; at 5 fJ/bit one picojoule buys
+    /// 200 bits).
+    #[must_use]
+    pub fn bits_per_pj(&self) -> f64 {
+        1e-12 / self.material.energy_per_bit().joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_power_efficiency_reproduced() {
+        let scd = WireBundle::new(WireMaterial::NbTiN, 1, Frequency::from_ghz(30.0)).unwrap();
+        let cmos = WireBundle::new(WireMaterial::Copper, 1, Frequency::from_ghz(2.0)).unwrap();
+        // ~200 Gb @ 1 pJ for SCD, 1–2 Gb @ 1 pJ for CMOS.
+        assert!((scd.bits_per_pj() - 200.0).abs() < 1.0);
+        assert!(cmos.bits_per_pj() > 1.0 && cmos.bits_per_pj() < 2.0);
+    }
+
+    #[test]
+    fn zero_wires_rejected() {
+        assert!(WireBundle::new(WireMaterial::NbTiN, 0, Frequency::from_ghz(30.0)).is_err());
+    }
+
+    #[test]
+    fn bandwidth_linear_in_wires_and_rate() {
+        let a = WireBundle::new(WireMaterial::NbTiN, 100, Frequency::from_ghz(30.0)).unwrap();
+        let b = WireBundle::new(WireMaterial::NbTiN, 200, Frequency::from_ghz(15.0)).unwrap();
+        assert!((a.bandwidth().tbps() - b.bandwidth().tbps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propagation_delay_30mm_is_fraction_of_ns() {
+        let link = WireBundle::new(WireMaterial::NbTiN, 1, Frequency::from_ghz(30.0)).unwrap();
+        let d = link.propagation_delay(Length::from_mm(30.0));
+        assert!(d.ns() > 0.2 && d.ns() < 0.4, "got {} ns", d.ns());
+    }
+
+    #[test]
+    fn nbtiin_beats_copper_on_energy() {
+        let ratio = WireMaterial::Copper.energy_per_bit().joules()
+            / WireMaterial::NbTiN.energy_per_bit().joules();
+        assert!(ratio > 100.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Josephson-junction device model.
+//!
+//! The paper's technology uses NbTiN/αSi/NbTiN junctions fabricated with
+//! 193i lithography on a 300 mm platform, with diameters demonstrated
+//! between 210 nm and 500 nm and CD control of σ < 2 % (Fig. 1c). The
+//! switching energy of a single-flux-quantum event is `I_c · Φ₀`, which for
+//! typical critical currents of ~100 µA lands at the "sub-attojoule" scale
+//! the paper highlights — and, unlike CMOS, is set by thermal-noise margins
+//! rather than the process node.
+
+use crate::error::TechError;
+use crate::units::{Energy, Frequency, Length};
+use serde::{Deserialize, Serialize};
+
+/// The magnetic flux quantum Φ₀ = h / 2e in webers.
+pub const FLUX_QUANTUM_WB: f64 = 2.067_833_848e-15;
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN_J_PER_K: f64 = 1.380_649e-23;
+
+/// Demonstrated junction diameter window (Fig. 1c), in nanometres.
+pub const DIAMETER_RANGE_NM: (f64, f64) = (210.0, 500.0);
+
+/// A single NbTiN/αSi/NbTiN Josephson junction.
+///
+/// ```
+/// use scd_tech::jj::JosephsonJunction;
+///
+/// let jj = JosephsonJunction::nominal();
+/// // Sub-attojoule switching, the headline device claim of the paper.
+/// assert!(jj.switching_energy().aj() < 1.0);
+/// // Comfortable thermal stability at 4 K.
+/// assert!(jj.thermal_stability(4.0) > 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JosephsonJunction {
+    diameter: Length,
+    critical_current_ua: f64,
+    critical_current_density_ma_um2: f64,
+}
+
+impl JosephsonJunction {
+    /// Nominal junction used by the PCL cell library: 210 nm diameter at a
+    /// critical-current density of 1 mA/µm² (the upper end of the range
+    /// characterized in [22] and targeted by the advanced NbTiN process).
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self::with_diameter_and_density(Length::from_nm(210.0), 1.0)
+            .expect("nominal parameters are in range")
+    }
+
+    /// Creates a junction with the given diameter at nominal current
+    /// density (1 mA/µm²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::OutOfRange`] if the diameter lies outside the
+    /// demonstrated 210–500 nm window.
+    pub fn with_diameter(diameter: Length) -> Result<Self, TechError> {
+        Self::with_diameter_and_density(diameter, 1.0)
+    }
+
+    /// Creates a junction with explicit diameter and critical-current
+    /// density (mA/µm²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::OutOfRange`] if the diameter is outside
+    /// 210–500 nm or the density is outside the 0.1–1 mA/µm² range
+    /// characterized for shunted junctions ([22] of the paper).
+    pub fn with_diameter_and_density(
+        diameter: Length,
+        critical_current_density_ma_um2: f64,
+    ) -> Result<Self, TechError> {
+        let (lo, hi) = DIAMETER_RANGE_NM;
+        if !(lo..=hi).contains(&diameter.nm()) {
+            return Err(TechError::OutOfRange {
+                parameter: "junction diameter (nm)",
+                value: diameter.nm(),
+                valid: "210–500 nm",
+            });
+        }
+        if !(0.1..=1.0).contains(&critical_current_density_ma_um2) {
+            return Err(TechError::OutOfRange {
+                parameter: "critical current density (mA/µm²)",
+                value: critical_current_density_ma_um2,
+                valid: "0.1–1.0 mA/µm²",
+            });
+        }
+        let radius_um = diameter.um() / 2.0;
+        let area_um2 = std::f64::consts::PI * radius_um * radius_um;
+        let critical_current_ua = critical_current_density_ma_um2 * 1e3 * area_um2;
+        Ok(Self {
+            diameter,
+            critical_current_ua,
+            critical_current_density_ma_um2,
+        })
+    }
+
+    /// Junction diameter.
+    #[must_use]
+    pub fn diameter(&self) -> Length {
+        self.diameter
+    }
+
+    /// Critical current in microamperes.
+    #[must_use]
+    pub fn critical_current_ua(&self) -> f64 {
+        self.critical_current_ua
+    }
+
+    /// Critical-current density in mA/µm².
+    #[must_use]
+    pub fn critical_current_density_ma_um2(&self) -> f64 {
+        self.critical_current_density_ma_um2
+    }
+
+    /// Energy dissipated per switching event, `I_c · Φ₀`.
+    ///
+    /// For the nominal 210 nm junction this is ≈ 0.07 aJ, matching the
+    /// paper's "sub-attoJoule energy scales" claim.
+    #[must_use]
+    pub fn switching_energy(&self) -> Energy {
+        Energy::from_base(self.critical_current_ua * 1e-6 * FLUX_QUANTUM_WB)
+    }
+
+    /// Josephson-energy-to-thermal-energy ratio `E_J / k_B T` at the given
+    /// temperature; a proxy for bit-error margin. Values ≫ 1 mean
+    /// thermally-robust switching.
+    #[must_use]
+    pub fn thermal_stability(&self, temperature_k: f64) -> f64 {
+        let ej = self.critical_current_ua * 1e-6 * FLUX_QUANTUM_WB
+            / (2.0 * std::f64::consts::PI);
+        ej / (BOLTZMANN_J_PER_K * temperature_k)
+    }
+
+    /// Characteristic single-flux-quantum pulse width for a junction with
+    /// `I_c R_n ≈ 1 mV` (the ~1 mV "voltage" entry of Table I): the pulse
+    /// area is exactly Φ₀, so τ ≈ Φ₀ / V ≈ 2 ps.
+    #[must_use]
+    pub fn pulse_width_ps(&self) -> f64 {
+        const IC_RN_PRODUCT_MV: f64 = 1.0;
+        FLUX_QUANTUM_WB / (IC_RN_PRODUCT_MV * 1e-3) * 1e12
+    }
+
+    /// Maximum comfortable clock rate for logic built from this junction:
+    /// a conservative 10 pulse-widths per cycle, which for the nominal
+    /// device yields ~48 GHz — comfortably above the 30 GHz design point.
+    #[must_use]
+    pub fn max_clock(&self) -> Frequency {
+        Frequency::from_base(1.0 / (10.0 * self.pulse_width_ps() * 1e-12))
+    }
+
+    /// Dynamic switching energy of a gate that fires `junctions` JJs per
+    /// clock with the given activity factor.
+    #[must_use]
+    pub fn gate_energy(&self, junctions: u32, activity: f64) -> Energy {
+        self.switching_energy() * f64::from(junctions) * activity
+    }
+}
+
+impl Default for JosephsonJunction {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_sub_attojoule() {
+        let jj = JosephsonJunction::nominal();
+        assert!(jj.switching_energy().aj() < 1.0);
+        assert!(jj.switching_energy().aj() > 0.01);
+    }
+
+    #[test]
+    fn diameter_bounds_enforced() {
+        assert!(JosephsonJunction::with_diameter(Length::from_nm(209.0)).is_err());
+        assert!(JosephsonJunction::with_diameter(Length::from_nm(501.0)).is_err());
+        assert!(JosephsonJunction::with_diameter(Length::from_nm(210.0)).is_ok());
+        assert!(JosephsonJunction::with_diameter(Length::from_nm(500.0)).is_ok());
+    }
+
+    #[test]
+    fn density_bounds_enforced() {
+        let d = Length::from_nm(300.0);
+        assert!(JosephsonJunction::with_diameter_and_density(d, 0.05).is_err());
+        assert!(JosephsonJunction::with_diameter_and_density(d, 1.5).is_err());
+        assert!(JosephsonJunction::with_diameter_and_density(d, 0.5).is_ok());
+    }
+
+    #[test]
+    fn critical_current_scales_with_area() {
+        let small = JosephsonJunction::with_diameter(Length::from_nm(210.0)).unwrap();
+        let large = JosephsonJunction::with_diameter(Length::from_nm(420.0)).unwrap();
+        let ratio = large.critical_current_ua() / small.critical_current_ua();
+        assert!((ratio - 4.0).abs() < 1e-9, "Ic ∝ area (diameter²)");
+    }
+
+    #[test]
+    fn supports_30ghz_design_point() {
+        let jj = JosephsonJunction::nominal();
+        assert!(jj.max_clock().ghz() > 30.0);
+    }
+
+    #[test]
+    fn thermally_stable_at_4k_not_at_300k_margin() {
+        let jj = JosephsonJunction::nominal();
+        let s4 = jj.thermal_stability(4.0);
+        let s300 = jj.thermal_stability(300.0);
+        assert!(s4 > 100.0);
+        assert!((s4 / s300 - 75.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gate_energy_linear_in_junction_count() {
+        let jj = JosephsonJunction::nominal();
+        let e1 = jj.gate_energy(1, 1.0);
+        let e8 = jj.gate_energy(8, 1.0);
+        assert!((e8.joules() / e1.joules() - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,343 @@
+//! Josephson SRAM (JSRAM) cell and array model.
+//!
+//! JSRAM ([18] of the paper) is the memory technology complementary to PCL,
+//! with XY addressing analogous to CMOS SRAM. The high-density (HD) variant
+//! is a single-port 1R/1W cell with 8 JJs in 1.86 µm² (Fig. 1e / Table I);
+//! high-performance (HP) multi-port variants (2R/1W with 14 JJs, 3R/2W with
+//! 29 JJs) serve register files, high-speed buffers and L1 instruction
+//! caches. In the advanced NbTiN process the HD array reaches ~4 MB/cm² —
+//! a 600× improvement over older SFQ-compatible memory.
+
+use crate::error::TechError;
+use crate::jj::JosephsonJunction;
+use crate::units::{Area, Bandwidth, Energy, Frequency};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The JSRAM cell variants described in §III of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JsramCell {
+    /// High-density single-port cell: 1 read + 1 write port, 8 JJs.
+    /// Used for L1 data caches and L2 slices.
+    Hd1R1W,
+    /// High-performance dual-port cell: 2 read + 1 write ports, 14 JJs.
+    /// Used for high-speed buffers.
+    Hp2R1W,
+    /// High-performance multi-port cell: 3 read + 2 write ports, 29 JJs.
+    /// Used for register files and L1 instruction caches.
+    Hp3R2W,
+}
+
+impl JsramCell {
+    /// All cell variants, in increasing port count.
+    pub const ALL: [Self; 3] = [Self::Hd1R1W, Self::Hp2R1W, Self::Hp3R2W];
+
+    /// Josephson junctions per bit cell.
+    #[must_use]
+    pub fn junctions(self) -> u32 {
+        match self {
+            Self::Hd1R1W => 8,
+            Self::Hp2R1W => 14,
+            Self::Hp3R2W => 29,
+        }
+    }
+
+    /// Independent read ports.
+    #[must_use]
+    pub fn read_ports(self) -> u32 {
+        match self {
+            Self::Hd1R1W => 1,
+            Self::Hp2R1W => 2,
+            Self::Hp3R2W => 3,
+        }
+    }
+
+    /// Independent write ports.
+    #[must_use]
+    pub fn write_ports(self) -> u32 {
+        match self {
+            Self::Hd1R1W | Self::Hp2R1W => 1,
+            Self::Hp3R2W => 2,
+        }
+    }
+
+    /// Bit-cell area. The HD cell is 1.86 µm² (Table I); HP variants scale
+    /// with junction count (wiring-dominated layout).
+    #[must_use]
+    pub fn area(self) -> Area {
+        let hd = 1.86;
+        Area::from_um2(hd * f64::from(self.junctions()) / 8.0)
+    }
+}
+
+impl fmt::Display for JsramCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Hd1R1W => write!(f, "HD 1R/1W (8 JJ)"),
+            Self::Hp2R1W => write!(f, "HP 2R/1W (14 JJ)"),
+            Self::Hp3R2W => write!(f, "HP 3R/2W (29 JJ)"),
+        }
+    }
+}
+
+/// Array periphery overhead: decoders, sense circuitry and the resonant
+/// power grid, expressed as the fraction of macro area *not* holding cells.
+/// Chosen so that the HD macro density reproduces the paper's ~4 MB/cm²
+/// "incl. peri" figure.
+pub const PERIPHERY_FRACTION: f64 = 0.28;
+
+/// A banked JSRAM array macro.
+///
+/// ```
+/// use scd_tech::jsram::{JsramArray, JsramCell};
+/// use scd_tech::units::Frequency;
+///
+/// // A 24 MB HD array (one SPU's L1 D-cache worth of capacity).
+/// let l1 = JsramArray::new(JsramCell::Hd1R1W, 24 * 1024 * 1024, 16, Frequency::from_ghz(30.0))?;
+/// assert!(l1.density_mb_per_cm2() > 3.0);
+/// # Ok::<(), scd_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JsramArray {
+    cell: JsramCell,
+    capacity_bytes: u64,
+    banks: u32,
+    clock: Frequency,
+    word_bits: u32,
+}
+
+impl JsramArray {
+    /// Creates an array of `capacity_bytes` built from `cell`, split into
+    /// `banks` independently-addressable banks clocked at `clock`, with a
+    /// 256-bit word per bank access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::OutOfRange`] if the capacity or bank count is
+    /// zero, or if the bank count exceeds the number of words.
+    pub fn new(
+        cell: JsramCell,
+        capacity_bytes: u64,
+        banks: u32,
+        clock: Frequency,
+    ) -> Result<Self, TechError> {
+        Self::with_word_bits(cell, capacity_bytes, banks, clock, 256)
+    }
+
+    /// Creates an array with an explicit per-access word width in bits.
+    ///
+    /// # Errors
+    ///
+    /// See [`JsramArray::new`].
+    pub fn with_word_bits(
+        cell: JsramCell,
+        capacity_bytes: u64,
+        banks: u32,
+        clock: Frequency,
+        word_bits: u32,
+    ) -> Result<Self, TechError> {
+        if capacity_bytes == 0 {
+            return Err(TechError::OutOfRange {
+                parameter: "capacity (bytes)",
+                value: 0.0,
+                valid: "≥ 1",
+            });
+        }
+        if banks == 0 {
+            return Err(TechError::OutOfRange {
+                parameter: "bank count",
+                value: 0.0,
+                valid: "≥ 1",
+            });
+        }
+        if word_bits == 0 || !word_bits.is_multiple_of(8) {
+            return Err(TechError::OutOfRange {
+                parameter: "word width (bits)",
+                value: f64::from(word_bits),
+                valid: "multiple of 8, ≥ 8",
+            });
+        }
+        let words = capacity_bytes * 8 / u64::from(word_bits);
+        if u64::from(banks) > words.max(1) {
+            return Err(TechError::NonPhysical {
+                reason: format!("{banks} banks but only {words} words"),
+            });
+        }
+        Ok(Self {
+            cell,
+            capacity_bytes,
+            banks,
+            clock,
+            word_bits,
+        })
+    }
+
+    /// Cell variant used by the array.
+    #[must_use]
+    pub fn cell(&self) -> JsramCell {
+        self.cell
+    }
+
+    /// Usable capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of independent banks.
+    #[must_use]
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Array clock.
+    #[must_use]
+    pub fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    /// Word width per bank access, in bits.
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Total junction count including a periphery allowance proportional
+    /// to the cell array.
+    #[must_use]
+    pub fn junctions(&self) -> u64 {
+        let cell_jjs = self.capacity_bytes * 8 * u64::from(self.cell.junctions());
+        let periphery = (cell_jjs as f64 * PERIPHERY_FRACTION / (1.0 - PERIPHERY_FRACTION)) as u64;
+        cell_jjs + periphery
+    }
+
+    /// Macro area including periphery.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        let cells = self.cell.area() * (self.capacity_bytes as f64 * 8.0);
+        cells / (1.0 - PERIPHERY_FRACTION)
+    }
+
+    /// Effective storage density in MB/cm², including periphery.
+    #[must_use]
+    pub fn density_mb_per_cm2(&self) -> f64 {
+        self.capacity_bytes as f64 / (1024.0 * 1024.0) / self.area().cm2()
+    }
+
+    /// Peak read bandwidth: every bank can stream one word per clock per
+    /// read port.
+    #[must_use]
+    pub fn read_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_base(
+            f64::from(self.banks)
+                * f64::from(self.cell.read_ports())
+                * f64::from(self.word_bits / 8)
+                * self.clock.hz(),
+        )
+    }
+
+    /// Peak write bandwidth.
+    #[must_use]
+    pub fn write_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_base(
+            f64::from(self.banks)
+                * f64::from(self.cell.write_ports())
+                * f64::from(self.word_bits / 8)
+                * self.clock.hz(),
+        )
+    }
+
+    /// Energy per accessed byte given the device's switching energy: each
+    /// bit read/write fires the cell's junctions once plus a 2× periphery
+    /// activity allowance.
+    #[must_use]
+    pub fn access_energy_per_byte(&self, jj: &JosephsonJunction) -> Energy {
+        let per_bit = jj.switching_energy() * f64::from(self.cell.junctions()) * 2.0;
+        per_bit * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clk() -> Frequency {
+        Frequency::from_ghz(30.0)
+    }
+
+    #[test]
+    fn hd_density_matches_paper_4mb_per_cm2() {
+        let arr = JsramArray::new(JsramCell::Hd1R1W, 4 * 1024 * 1024, 8, clk()).unwrap();
+        let d = arr.density_mb_per_cm2();
+        assert!((3.5..=5.0).contains(&d), "HD density {d} MB/cm², expected ~4");
+    }
+
+    #[test]
+    fn six_hundred_x_over_legacy_sfq_memory() {
+        // Legacy SFQ-compatible memory ≈ 4 MB/cm² / 600 ≈ 6.8 kB/cm².
+        let arr = JsramArray::new(JsramCell::Hd1R1W, 1024 * 1024, 4, clk()).unwrap();
+        let legacy_mb_per_cm2 = arr.density_mb_per_cm2() / 600.0;
+        assert!(legacy_mb_per_cm2 < 0.01);
+    }
+
+    #[test]
+    fn cell_junction_counts_match_paper() {
+        assert_eq!(JsramCell::Hd1R1W.junctions(), 8);
+        assert_eq!(JsramCell::Hp2R1W.junctions(), 14);
+        assert_eq!(JsramCell::Hp3R2W.junctions(), 29);
+    }
+
+    #[test]
+    fn ports_match_paper() {
+        assert_eq!(
+            (JsramCell::Hd1R1W.read_ports(), JsramCell::Hd1R1W.write_ports()),
+            (1, 1)
+        );
+        assert_eq!(
+            (JsramCell::Hp2R1W.read_ports(), JsramCell::Hp2R1W.write_ports()),
+            (2, 1)
+        );
+        assert_eq!(
+            (JsramCell::Hp3R2W.read_ports(), JsramCell::Hp3R2W.write_ports()),
+            (3, 2)
+        );
+    }
+
+    #[test]
+    fn hp_cells_cost_more_area_and_bandwidth() {
+        let hd = JsramArray::new(JsramCell::Hd1R1W, 1 << 20, 8, clk()).unwrap();
+        let hp = JsramArray::new(JsramCell::Hp3R2W, 1 << 20, 8, clk()).unwrap();
+        assert!(hp.area().um2() > hd.area().um2());
+        assert!(hp.read_bandwidth().tbps() > hd.read_bandwidth().tbps());
+    }
+
+    #[test]
+    fn read_bandwidth_scales_with_banks() {
+        let a = JsramArray::new(JsramCell::Hd1R1W, 1 << 20, 8, clk()).unwrap();
+        let b = JsramArray::new(JsramCell::Hd1R1W, 1 << 20, 16, clk()).unwrap();
+        assert!((b.read_bandwidth().tbps() / a.read_bandwidth().tbps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(JsramArray::new(JsramCell::Hd1R1W, 0, 8, clk()).is_err());
+        assert!(JsramArray::new(JsramCell::Hd1R1W, 1024, 0, clk()).is_err());
+        assert!(JsramArray::with_word_bits(JsramCell::Hd1R1W, 1024, 4, clk(), 7).is_err());
+        // 1024 bytes = 32 words of 256 bits; 64 banks is non-physical.
+        assert!(JsramArray::new(JsramCell::Hd1R1W, 1024, 64, clk()).is_err());
+    }
+
+    #[test]
+    fn junctions_include_periphery() {
+        let arr = JsramArray::new(JsramCell::Hd1R1W, 1024, 4, clk()).unwrap();
+        let raw = 1024 * 8 * 8;
+        assert!(arr.junctions() > raw);
+    }
+
+    #[test]
+    fn access_energy_sub_femtojoule_per_byte() {
+        let arr = JsramArray::new(JsramCell::Hd1R1W, 1 << 20, 8, clk()).unwrap();
+        let e = arr.access_energy_per_byte(&JosephsonJunction::nominal());
+        assert!(e.joules() < 1e-14, "JSRAM access should be ~fJ/byte scale");
+    }
+}

@@ -1,0 +1,57 @@
+//! # scd-tech — superconducting digital technology layer
+//!
+//! Device- and technology-level models for the cross-layer performance
+//! evaluation of *"A System Level Performance Evaluation for Superconducting
+//! Digital Systems"* (Kundu et al., DATE 2025). This crate encodes the
+//! measured 300 mm NbTiN process data the paper builds on:
+//!
+//! * [`jj`] — NbTiN/αSi/NbTiN Josephson junctions (Fig. 1c): sub-attojoule
+//!   switching, thermal-noise-set energy scale, ps pulse widths.
+//! * [`mim`] — tunable HZO MIM capacitors (Fig. 1d) for the resonant AC
+//!   power network.
+//! * [`interconnect`] — lossless NbTiN BEOL wiring (Fig. 1b) with its
+//!   ~200 Gb/pJ communication efficiency.
+//! * [`pcl`] — the Pulse-Conserving Logic dual-rail standard-cell library
+//!   (Fig. 1f/1g), where inversion is free.
+//! * [`jsram`] — Josephson SRAM cells and banked arrays (Fig. 1e):
+//!   8 JJ HD 1R/1W, 14 JJ HP 2R/1W, 29 JJ HP 3R/2W.
+//! * [`technology`] — full Table I stack descriptors (SCD vs CMOS 5 nm).
+//! * [`units`] — strongly-typed physical quantities shared by all layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use scd_tech::jj::JosephsonJunction;
+//! use scd_tech::pcl::PclCell;
+//! use scd_tech::technology::Technology;
+//!
+//! let tech = Technology::scd_nbtin();
+//! let jj = JosephsonJunction::nominal();
+//!
+//! // A full adder costs a few tens of JJs and switches with ~aJ energy.
+//! let fa = PclCell::FullAdder;
+//! let energy = jj.gate_energy(fa.junctions(), 0.5);
+//! assert!(energy.aj() < 10.0);
+//! assert_eq!(tech.clock.ghz(), 30.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod interconnect;
+pub mod jj;
+pub mod jsram;
+pub mod mim;
+pub mod pcl;
+pub mod power;
+pub mod technology;
+pub mod units;
+
+pub use error::TechError;
+pub use jj::JosephsonJunction;
+pub use jsram::{JsramArray, JsramCell};
+pub use mim::MimCapacitor;
+pub use pcl::{PclCell, PclPrimitive};
+pub use power::ResonantNetwork;
+pub use technology::Technology;

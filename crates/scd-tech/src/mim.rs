@@ -1,0 +1,144 @@
+//! Tunable HZO metal-insulator-metal (MIM) capacitor model.
+//!
+//! NbTiN/HZO/NbTiN MIM capacitors (Fig. 1d) together with NbTiN wires form
+//! the resonant AC power-distribution network of the PCL logic family
+//! ([29] of the paper). Diameters of 195–600 nm with σ < 2 % CD control
+//! across the 300 mm wafer were demonstrated.
+
+use crate::error::TechError;
+use crate::units::{Frequency, Length};
+use serde::{Deserialize, Serialize};
+
+/// Demonstrated capacitor diameter window (Fig. 1d), in nanometres.
+pub const DIAMETER_RANGE_NM: (f64, f64) = (195.0, 600.0);
+
+/// Vacuum permittivity in F/m.
+const EPSILON_0: f64 = 8.854_187_812_8e-12;
+
+/// A tunable HZO MIM capacitor.
+///
+/// ```
+/// use scd_tech::mim::MimCapacitor;
+/// use scd_tech::units::Length;
+///
+/// let cap = MimCapacitor::with_diameter(Length::from_nm(400.0))?;
+/// assert!(cap.capacitance_ff() > 0.0);
+/// # Ok::<(), scd_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MimCapacitor {
+    diameter: Length,
+    dielectric_thickness: Length,
+    relative_permittivity: f64,
+}
+
+impl MimCapacitor {
+    /// Relative permittivity of HZO (Hf₀.₅Zr₀.₅O₂) in its tunable regime.
+    pub const HZO_EPSILON_R: f64 = 28.0;
+
+    /// Nominal capacitor for the resonant clock network: 400 nm diameter,
+    /// 10 nm HZO film.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self::with_diameter(Length::from_nm(400.0)).expect("nominal in range")
+    }
+
+    /// Creates a capacitor with the given diameter and a 10 nm HZO film.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::OutOfRange`] if the diameter lies outside the
+    /// demonstrated 195–600 nm window.
+    pub fn with_diameter(diameter: Length) -> Result<Self, TechError> {
+        let (lo, hi) = DIAMETER_RANGE_NM;
+        if !(lo..=hi).contains(&diameter.nm()) {
+            return Err(TechError::OutOfRange {
+                parameter: "capacitor diameter (nm)",
+                value: diameter.nm(),
+                valid: "195–600 nm",
+            });
+        }
+        Ok(Self {
+            diameter,
+            dielectric_thickness: Length::from_nm(10.0),
+            relative_permittivity: Self::HZO_EPSILON_R,
+        })
+    }
+
+    /// Capacitor plate diameter.
+    #[must_use]
+    pub fn diameter(&self) -> Length {
+        self.diameter
+    }
+
+    /// Parallel-plate capacitance in femtofarads.
+    #[must_use]
+    pub fn capacitance_ff(&self) -> f64 {
+        let r_m = self.diameter.nm() * 1e-9 / 2.0;
+        let area_m2 = std::f64::consts::PI * r_m * r_m;
+        let c = EPSILON_0 * self.relative_permittivity * area_m2
+            / (self.dielectric_thickness.nm() * 1e-9);
+        c * 1e15
+    }
+
+    /// Resonant frequency of an LC tank formed with the given inductance
+    /// (picohenries). The AC power network is tuned so this matches the
+    /// logic clock.
+    #[must_use]
+    pub fn resonant_frequency(&self, inductance_ph: f64) -> Frequency {
+        let l = inductance_ph * 1e-12;
+        let c = self.capacitance_ff() * 1e-15;
+        Frequency::from_base(1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt()))
+    }
+
+    /// Inductance (picohenries) required to resonate at `target`.
+    #[must_use]
+    pub fn tuning_inductance_ph(&self, target: Frequency) -> f64 {
+        let c = self.capacitance_ff() * 1e-15;
+        let w = 2.0 * std::f64::consts::PI * target.hz();
+        1.0 / (w * w * c) * 1e12
+    }
+}
+
+impl Default for MimCapacitor {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_bounds_enforced() {
+        assert!(MimCapacitor::with_diameter(Length::from_nm(194.0)).is_err());
+        assert!(MimCapacitor::with_diameter(Length::from_nm(601.0)).is_err());
+        assert!(MimCapacitor::with_diameter(Length::from_nm(195.0)).is_ok());
+        assert!(MimCapacitor::with_diameter(Length::from_nm(600.0)).is_ok());
+    }
+
+    #[test]
+    fn capacitance_scales_with_area() {
+        let small = MimCapacitor::with_diameter(Length::from_nm(200.0)).unwrap();
+        let large = MimCapacitor::with_diameter(Length::from_nm(400.0)).unwrap();
+        let ratio = large.capacitance_ff() / small.capacitance_ff();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resonance_roundtrip_at_30ghz() {
+        let cap = MimCapacitor::nominal();
+        let target = Frequency::from_ghz(30.0);
+        let l = cap.tuning_inductance_ph(target);
+        let f = cap.resonant_frequency(l);
+        assert!((f.ghz() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nominal_capacitance_plausible() {
+        // ~3 fF for a 400 nm plate with 10 nm HZO.
+        let c = MimCapacitor::nominal().capacitance_ff();
+        assert!(c > 1.0 && c < 10.0, "got {c} fF");
+    }
+}

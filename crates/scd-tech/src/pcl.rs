@@ -1,0 +1,505 @@
+//! Pulse-Conserving Logic (PCL) standard-cell library.
+//!
+//! PCL ([13], [18] of the paper) is an AC-powered SCD logic family in which
+//! every digital signal travels on two physical wires (positive and negative
+//! sense). Inversion is a wire swap and therefore **free** — zero JJs, zero
+//! delay — which removes the inversion latency inherent to other AC-powered
+//! SFQ families and makes the library map cleanly onto a conventional
+//! standard-cell synthesis flow (Fig. 1f–h).
+//!
+//! The library here mirrors Fig. 1f/1g: primitive pulse gates (JTL, splitter,
+//! AND/OR, 3-input AND/OR/MAJ) and the dual-rail composite cells built from
+//! them (XOR via cross-coupled OR/AND pairs, 4-input trees via `a22`/`o22`
+//! compositions, full adder via OR3/MAJ3/AND3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A primitive single-rail pulse gate.
+///
+/// JJ costs follow the pulse-conserving design style of [18]: a JTL repeater
+/// stage uses 2 JJs, a splitter 3, two-input confluence logic 4 and
+/// three-input logic 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PclPrimitive {
+    /// Josephson transmission line segment (buffering/repeating).
+    Jtl,
+    /// 1→2 pulse splitter.
+    Splitter,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 3-input AND.
+    And3,
+    /// 3-input OR.
+    Or3,
+    /// 3-input majority.
+    Maj3,
+}
+
+impl PclPrimitive {
+    /// Josephson junctions in the primitive.
+    #[must_use]
+    pub fn junctions(self) -> u32 {
+        match self {
+            Self::Jtl => 2,
+            Self::Splitter => 3,
+            Self::And2 | Self::Or2 => 4,
+            Self::And3 | Self::Or3 | Self::Maj3 => 6,
+        }
+    }
+
+    /// Number of logic inputs.
+    #[must_use]
+    pub fn fanin(self) -> u32 {
+        match self {
+            Self::Jtl | Self::Splitter => 1,
+            Self::And2 | Self::Or2 => 2,
+            Self::And3 | Self::Or3 | Self::Maj3 => 3,
+        }
+    }
+}
+
+/// A dual-rail PCL standard cell (Fig. 1g).
+///
+/// Each cell consumes and produces *dual-rail* signals; the JJ counts below
+/// are totals across both rails. Inverting variants cost exactly the same
+/// as their non-inverting counterparts because inversion is a rail swap.
+///
+/// ```
+/// use scd_tech::pcl::PclCell;
+///
+/// // Free inversion is the family's signature property.
+/// assert_eq!(PclCell::Inv.junctions(), 0);
+/// assert_eq!(PclCell::Nand2.junctions(), PclCell::And2.junctions());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PclCell {
+    /// Dual-rail buffer (JTL on both rails).
+    Buf,
+    /// Inverter: swap the two rails. Zero junctions, zero phases.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR (cross-coupled OR/AND pairs, Fig. 1g).
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 3-input AND.
+    And3,
+    /// 3-input OR.
+    Or3,
+    /// 3-input NAND.
+    Nand3,
+    /// 3-input NOR.
+    Nor3,
+    /// 3-input majority.
+    Maj3,
+    /// Inverted 3-input majority.
+    Maj3Inv,
+    /// 3-input XOR (full-adder sum path: OR3/MAJ3/AND3 pairs, Fig. 1g).
+    Xor3,
+    /// 3-input XNOR.
+    Xnor3,
+    /// 4-input AND (`a22a` composition).
+    And4,
+    /// 4-input OR (`o22o` composition).
+    Or4,
+    /// 4-input NAND.
+    Nand4,
+    /// 4-input NOR.
+    Nor4,
+    /// AND-OR cell `a22o`: `(A·B) + (C·D)`.
+    Ao22,
+    /// OR-AND cell `o22a`: `(A+B) · (C+D)`.
+    Oa22,
+    /// Half adder: outputs `[sum, carry]`.
+    HalfAdder,
+    /// Full adder: outputs `[sum, carry]` (Fig. 1f composition).
+    FullAdder,
+    /// Dual-rail 1→2 splitter (fan-out repair; both outputs equal input).
+    Splitter,
+}
+
+impl PclCell {
+    /// Every cell in the library.
+    pub const ALL: [Self; 25] = [
+        Self::Buf,
+        Self::Inv,
+        Self::And2,
+        Self::Or2,
+        Self::Nand2,
+        Self::Nor2,
+        Self::Xor2,
+        Self::Xnor2,
+        Self::And3,
+        Self::Or3,
+        Self::Nand3,
+        Self::Nor3,
+        Self::Maj3,
+        Self::Maj3Inv,
+        Self::Xor3,
+        Self::Xnor3,
+        Self::And4,
+        Self::Or4,
+        Self::Nand4,
+        Self::Nor4,
+        Self::Ao22,
+        Self::Oa22,
+        Self::HalfAdder,
+        Self::FullAdder,
+        Self::Splitter,
+    ];
+
+    /// Library cell name as it would appear in a liberty file.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Buf => "BUF",
+            Self::Inv => "INV",
+            Self::And2 => "AND2",
+            Self::Or2 => "OR2",
+            Self::Nand2 => "NAND2",
+            Self::Nor2 => "NOR2",
+            Self::Xor2 => "XOR2",
+            Self::Xnor2 => "XNOR2",
+            Self::And3 => "AND3",
+            Self::Or3 => "OR3",
+            Self::Nand3 => "NAND3",
+            Self::Nor3 => "NOR3",
+            Self::Maj3 => "MAJ3",
+            Self::Maj3Inv => "MAJ3I",
+            Self::Xor3 => "XOR3",
+            Self::Xnor3 => "XNOR3",
+            Self::And4 => "AND4",
+            Self::Or4 => "OR4",
+            Self::Nand4 => "NAND4",
+            Self::Nor4 => "NOR4",
+            Self::Ao22 => "AO22",
+            Self::Oa22 => "OA22",
+            Self::HalfAdder => "HA",
+            Self::FullAdder => "FA",
+            Self::Splitter => "SPL",
+        }
+    }
+
+    /// Number of dual-rail logic inputs.
+    #[must_use]
+    pub fn fanin(self) -> usize {
+        match self {
+            Self::Buf | Self::Inv | Self::Splitter => 1,
+            Self::And2 | Self::Or2 | Self::Nand2 | Self::Nor2 | Self::Xor2 | Self::Xnor2
+            | Self::HalfAdder => 2,
+            Self::And3 | Self::Or3 | Self::Nand3 | Self::Nor3 | Self::Maj3 | Self::Maj3Inv
+            | Self::Xor3 | Self::Xnor3 | Self::FullAdder => 3,
+            Self::And4 | Self::Or4 | Self::Nand4 | Self::Nor4 | Self::Ao22 | Self::Oa22 => 4,
+        }
+    }
+
+    /// Number of dual-rail outputs.
+    #[must_use]
+    pub fn fanout(self) -> usize {
+        match self {
+            Self::HalfAdder | Self::FullAdder | Self::Splitter => 2,
+            _ => 1,
+        }
+    }
+
+    /// Primitive decomposition across both rails (Fig. 1g structures).
+    #[must_use]
+    pub fn primitives(self) -> Vec<PclPrimitive> {
+        use PclPrimitive as P;
+        match self {
+            Self::Buf => vec![P::Jtl, P::Jtl],
+            Self::Inv => vec![],
+            // pos rail AND, neg rail OR (De Morgan on the negative sense).
+            Self::And2 | Self::Nand2 => vec![P::And2, P::Or2],
+            Self::Or2 | Self::Nor2 => vec![P::Or2, P::And2],
+            // Cross-coupled OR/AND pairs produce both XOR rails.
+            Self::Xor2 | Self::Xnor2 => vec![P::Or2, P::And2, P::Or2, P::And2],
+            Self::And3 | Self::Nand3 => vec![P::And3, P::Or3],
+            Self::Or3 | Self::Nor3 => vec![P::Or3, P::And3],
+            Self::Maj3 | Self::Maj3Inv => vec![P::Maj3, P::Maj3],
+            // Full-adder sum path: OR3+MAJ3+AND3 per rail (Fig. 1g).
+            Self::Xor3 | Self::Xnor3 => {
+                vec![P::Or3, P::Maj3, P::And3, P::Or3, P::Maj3, P::And3]
+            }
+            // a22a / o22o trees: three 2-input gates per rail.
+            Self::And4 | Self::Nand4 => {
+                vec![P::And2, P::And2, P::And2, P::Or2, P::Or2, P::Or2]
+            }
+            Self::Or4 | Self::Nor4 => {
+                vec![P::Or2, P::Or2, P::Or2, P::And2, P::And2, P::And2]
+            }
+            Self::Ao22 => vec![P::And2, P::And2, P::Or2, P::Or2, P::Or2, P::And2],
+            Self::Oa22 => vec![P::Or2, P::Or2, P::And2, P::And2, P::And2, P::Or2],
+            // HA: the XOR2 structure already computes AND(a,b) internally
+            // on one rail, so the carry output taps it for free — a fused
+            // half adder costs the same as a lone XOR2.
+            Self::HalfAdder => vec![P::Or2, P::And2, P::Or2, P::And2],
+            // FA: the XOR3 sum path (Fig. 1g) contains MAJ3 on both rails;
+            // the carry output taps those, so FA == XOR3 in junctions.
+            Self::FullAdder => vec![P::Or3, P::Maj3, P::And3, P::Or3, P::Maj3, P::And3],
+            Self::Splitter => vec![P::Splitter, P::Splitter],
+        }
+    }
+
+    /// Total Josephson junctions across both rails.
+    #[must_use]
+    pub fn junctions(self) -> u32 {
+        self.primitives().iter().map(|p| p.junctions()).sum()
+    }
+
+    /// Pipeline phases (clock phases of logic depth) through the cell.
+    /// Every non-trivial PCL gate is clocked; inversion is combinational
+    /// rewiring and costs zero phases.
+    #[must_use]
+    pub fn phase_depth(self) -> u32 {
+        match self {
+            Self::Inv => 0,
+            Self::Buf
+            | Self::Splitter
+            | Self::And2
+            | Self::Or2
+            | Self::Nand2
+            | Self::Nor2
+            | Self::And3
+            | Self::Or3
+            | Self::Nand3
+            | Self::Nor3
+            | Self::Maj3
+            | Self::Maj3Inv => 1,
+            Self::Xor2
+            | Self::Xnor2
+            | Self::Xor3
+            | Self::Xnor3
+            | Self::And4
+            | Self::Or4
+            | Self::Nand4
+            | Self::Nor4
+            | Self::Ao22
+            | Self::Oa22
+            | Self::HalfAdder
+            | Self::FullAdder => 2,
+        }
+    }
+
+    /// Whether the cell's *logical* outputs are the inverted variant (the
+    /// dual-rail encoding makes this a free relabelling of the rails).
+    #[must_use]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            Self::Inv
+                | Self::Nand2
+                | Self::Nor2
+                | Self::Xnor2
+                | Self::Nand3
+                | Self::Nor3
+                | Self::Maj3Inv
+                | Self::Xnor3
+                | Self::Nand4
+                | Self::Nor4
+        )
+    }
+
+    /// Evaluates the cell's logical function.
+    ///
+    /// Inputs and outputs are plain booleans; the dual-rail encoding is an
+    /// implementation detail of the physical cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.fanin()`.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.fanin(),
+            "{} expects {} inputs, got {}",
+            self.name(),
+            self.fanin(),
+            inputs.len()
+        );
+        let and = |xs: &[bool]| xs.iter().all(|&b| b);
+        let or = |xs: &[bool]| xs.iter().any(|&b| b);
+        let maj = |xs: &[bool]| xs.iter().filter(|&&b| b).count() * 2 > xs.len();
+        let xor = |xs: &[bool]| xs.iter().filter(|&&b| b).count() % 2 == 1;
+        match self {
+            Self::Buf => vec![inputs[0]],
+            Self::Inv => vec![!inputs[0]],
+            Self::And2 | Self::And3 | Self::And4 => vec![and(inputs)],
+            Self::Nand2 | Self::Nand3 | Self::Nand4 => vec![!and(inputs)],
+            Self::Or2 | Self::Or3 | Self::Or4 => vec![or(inputs)],
+            Self::Nor2 | Self::Nor3 | Self::Nor4 => vec![!or(inputs)],
+            Self::Xor2 | Self::Xor3 => vec![xor(inputs)],
+            Self::Xnor2 | Self::Xnor3 => vec![!xor(inputs)],
+            Self::Maj3 => vec![maj(inputs)],
+            Self::Maj3Inv => vec![!maj(inputs)],
+            Self::Ao22 => vec![(inputs[0] && inputs[1]) || (inputs[2] && inputs[3])],
+            Self::Oa22 => vec![(inputs[0] || inputs[1]) && (inputs[2] || inputs[3])],
+            Self::HalfAdder => vec![xor(inputs), and(inputs)],
+            Self::FullAdder => vec![xor(inputs), maj(inputs)],
+            Self::Splitter => vec![inputs[0], inputs[0]],
+        }
+    }
+}
+
+impl fmt::Display for PclCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Summary of the whole cell library, used by reports and the EDA flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LibrarySummary {
+    /// One row per cell: `(name, fanin, outputs, junctions, phases)`.
+    pub rows: Vec<(String, usize, usize, u32, u32)>,
+}
+
+impl LibrarySummary {
+    /// Builds the summary over the full library.
+    #[must_use]
+    pub fn build() -> Self {
+        Self {
+            rows: PclCell::ALL
+                .iter()
+                .map(|c| {
+                    (
+                        c.name().to_owned(),
+                        c.fanin(),
+                        c.fanout(),
+                        c.junctions(),
+                        c.phase_depth(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for LibrarySummary {
+    fn default() -> Self {
+        Self::build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversion_is_free() {
+        assert_eq!(PclCell::Inv.junctions(), 0);
+        assert_eq!(PclCell::Inv.phase_depth(), 0);
+    }
+
+    #[test]
+    fn inverting_variants_cost_the_same() {
+        let pairs = [
+            (PclCell::And2, PclCell::Nand2),
+            (PclCell::Or2, PclCell::Nor2),
+            (PclCell::Xor2, PclCell::Xnor2),
+            (PclCell::And3, PclCell::Nand3),
+            (PclCell::Maj3, PclCell::Maj3Inv),
+            (PclCell::And4, PclCell::Nand4),
+            (PclCell::Or4, PclCell::Nor4),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a.junctions(), b.junctions(), "{a} vs {b}");
+            assert_eq!(a.phase_depth(), b.phase_depth(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let out = PclCell::FullAdder.eval(&[a, b, c]);
+                    let sum = a ^ b ^ c;
+                    let carry = (a && b) || (c && (a || b));
+                    assert_eq!(out, vec![sum, carry]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor2_and_ao22_truth_tables() {
+        assert_eq!(PclCell::Xor2.eval(&[true, false]), vec![true]);
+        assert_eq!(PclCell::Xor2.eval(&[true, true]), vec![false]);
+        assert_eq!(
+            PclCell::Ao22.eval(&[true, true, false, false]),
+            vec![true]
+        );
+        assert_eq!(
+            PclCell::Oa22.eval(&[true, false, false, false]),
+            vec![false]
+        );
+    }
+
+    #[test]
+    fn eval_matches_inverting_flag() {
+        for cell in PclCell::ALL {
+            if cell.fanout() != 1 {
+                continue;
+            }
+            let n = cell.fanin();
+            for bits in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let v = cell.eval(&inputs)[0];
+                // Find the non-inverting partner and check the relationship.
+                let partner = match cell {
+                    PclCell::Nand2 => Some(PclCell::And2),
+                    PclCell::Nor2 => Some(PclCell::Or2),
+                    PclCell::Xnor2 => Some(PclCell::Xor2),
+                    PclCell::Nand3 => Some(PclCell::And3),
+                    PclCell::Nor3 => Some(PclCell::Or3),
+                    PclCell::Maj3Inv => Some(PclCell::Maj3),
+                    PclCell::Xnor3 => Some(PclCell::Xor3),
+                    PclCell::Nand4 => Some(PclCell::And4),
+                    PclCell::Nor4 => Some(PclCell::Or4),
+                    _ => None,
+                };
+                if let Some(p) = partner {
+                    assert_eq!(v, !p.eval(&inputs)[0], "{cell} vs {p} at {bits:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        let _ = PclCell::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn library_summary_covers_all_cells() {
+        let s = LibrarySummary::build();
+        assert_eq!(s.rows.len(), PclCell::ALL.len());
+        assert!(s.rows.iter().any(|r| r.0 == "FA" && r.3 > 0));
+    }
+
+    #[test]
+    fn junction_costs_are_ordered_sensibly() {
+        assert!(PclCell::FullAdder.junctions() > PclCell::Xor2.junctions());
+        assert!(PclCell::Xor2.junctions() > PclCell::And2.junctions());
+        assert!(PclCell::And2.junctions() > PclCell::Inv.junctions());
+    }
+
+    #[test]
+    fn splitter_duplicates_input() {
+        assert_eq!(PclCell::Splitter.eval(&[true]), vec![true, true]);
+        assert_eq!(PclCell::Splitter.eval(&[false]), vec![false, false]);
+    }
+}

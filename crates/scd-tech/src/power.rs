@@ -1,0 +1,167 @@
+//! Resonant AC power-distribution network model.
+//!
+//! PCL circuits are AC-powered: a resonant network of NbTiN inductive
+//! wiring and HZO MIM capacitors ([29] of the paper) delivers the
+//! multi-phase clock that is also the power supply. Design questions this
+//! model answers: how many tuning capacitors a die needs, what the
+//! network's reactive loading is, and what the dynamic power of a die
+//! looks like at a given activity — the quantities behind Table I's
+//! "fraction of the on-chip power" claim.
+
+use crate::jj::JosephsonJunction;
+use crate::mim::MimCapacitor;
+use crate::units::{Area, Energy, Frequency, Power};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The resonant clock/power network of one die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResonantNetwork {
+    /// Operating (clock) frequency.
+    pub clock: Frequency,
+    /// Clock phases distributed (PCL uses a multi-phase AC clock).
+    pub phases: u32,
+    /// Junctions served per tuning capacitor (local resonator granularity).
+    pub junctions_per_capacitor: u32,
+    /// The tuning capacitor.
+    pub capacitor: MimCapacitor,
+}
+
+impl ResonantNetwork {
+    /// The baseline 30 GHz four-phase network with one MIM capacitor per
+    /// 32 junctions.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            clock: Frequency::from_ghz(30.0),
+            phases: 4,
+            junctions_per_capacitor: 32,
+            capacitor: MimCapacitor::nominal(),
+        }
+    }
+
+    /// Tuning capacitors needed for a die with `junctions` JJs.
+    #[must_use]
+    pub fn capacitors_for(&self, junctions: u64) -> u64 {
+        junctions.div_ceil(u64::from(self.junctions_per_capacitor.max(1)))
+    }
+
+    /// Area consumed by the tuning capacitors of a `junctions`-JJ die.
+    /// MIM caps sit in dedicated BEOL layers, so this is wiring-plane
+    /// area, not device-plane area — but it bounds the metal-layer budget.
+    #[must_use]
+    pub fn capacitor_area(&self, junctions: u64) -> Area {
+        let d_um = self.capacitor.diameter().um();
+        let per_cap = std::f64::consts::PI * d_um * d_um / 4.0;
+        Area::from_um2(per_cap * self.capacitors_for(junctions) as f64)
+    }
+
+    /// Per-resonator inductance target (pH) to hit the clock frequency —
+    /// the "targeted inductance" routing constraint of the paper's P&R.
+    #[must_use]
+    pub fn inductance_target_ph(&self) -> f64 {
+        self.capacitor.tuning_inductance_ph(self.clock)
+    }
+
+    /// Dynamic power of a die with `junctions` JJs at `activity`
+    /// (fraction of junctions switching per cycle).
+    #[must_use]
+    pub fn dynamic_power(
+        &self,
+        jj: &JosephsonJunction,
+        junctions: u64,
+        activity: f64,
+    ) -> Power {
+        let per_cycle: Energy =
+            jj.switching_energy() * (junctions as f64) * activity.clamp(0.0, 1.0);
+        Power::from_watts(per_cycle.joules() * self.clock.hz())
+    }
+
+    /// AC distribution loss: the resonant network recycles most reactive
+    /// energy; the dissipated fraction is set by the resonator quality
+    /// factor (Q ≈ 1000 for superconducting LC tanks → 0.1 % loss of the
+    /// circulating energy per cycle). Returned as watts for a die with
+    /// `junctions` JJs biased at `bias_fraction` of critical current.
+    #[must_use]
+    pub fn distribution_loss(&self, jj: &JosephsonJunction, junctions: u64) -> Power {
+        const QUALITY_FACTOR: f64 = 1000.0;
+        // Circulating energy ≈ one switching quantum per junction per
+        // cycle held reactively.
+        let circulating = jj.switching_energy() * (junctions as f64);
+        Power::from_watts(circulating.joules() * self.clock.hz() / QUALITY_FACTOR)
+    }
+}
+
+impl Default for ResonantNetwork {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl fmt::Display for ResonantNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-phase resonant network @ {} (L target {:.1} pH)",
+            self.phases,
+            self.clock,
+            self.inductance_target_ph()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spu_compute_die_power_is_sub_watt() {
+        // The paper's "100× less on-chip power": a 41k-MAC die
+        // (~330 MJJ at 8 kJJ each) at 50 % activity stays well under a
+        // watt of dynamic power.
+        let net = ResonantNetwork::baseline();
+        let jj = JosephsonJunction::nominal();
+        let junctions = 41_000u64 * 8_000;
+        let p = net.dynamic_power(&jj, junctions, 0.5);
+        assert!(p.watts() < 1.0, "got {p}");
+        assert!(p.watts() > 0.01, "non-trivial: {p}");
+    }
+
+    #[test]
+    fn distribution_loss_below_dynamic_power() {
+        let net = ResonantNetwork::baseline();
+        let jj = JosephsonJunction::nominal();
+        let junctions = 1_000_000u64;
+        let dynamic = net.dynamic_power(&jj, junctions, 0.5);
+        let loss = net.distribution_loss(&jj, junctions);
+        assert!(loss.watts() < dynamic.watts());
+    }
+
+    #[test]
+    fn capacitor_count_and_area_scale() {
+        let net = ResonantNetwork::baseline();
+        assert_eq!(net.capacitors_for(0), 0);
+        assert_eq!(net.capacitors_for(1), 1);
+        assert_eq!(net.capacitors_for(64), 2);
+        let a1 = net.capacitor_area(1_000_000);
+        let a2 = net.capacitor_area(2_000_000);
+        assert!((a2.um2() / a1.um2() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn inductance_target_matches_capacitor_resonance() {
+        let net = ResonantNetwork::baseline();
+        let l = net.inductance_target_ph();
+        let f = net.capacitor.resonant_frequency(l);
+        assert!((f.ghz() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activity_clamped() {
+        let net = ResonantNetwork::baseline();
+        let jj = JosephsonJunction::nominal();
+        let p_over = net.dynamic_power(&jj, 1000, 2.0);
+        let p_full = net.dynamic_power(&jj, 1000, 1.0);
+        assert!((p_over.watts() - p_full.watts()).abs() < 1e-18);
+    }
+}

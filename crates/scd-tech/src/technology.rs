@@ -1,0 +1,315 @@
+//! Technology-stack descriptors reproducing Table I of the paper.
+//!
+//! Two reference points are provided: the advanced NbTiN SCD stack ("this
+//! work") and the CMOS 5 nm column it is compared against. All downstream
+//! layers (EDA flow, architecture builder, performance model) consume one of
+//! these descriptors, so swapping the technology re-derives the entire
+//! system bottom-up — the paper's "parametric architectural building
+//! blocks" methodology.
+
+use crate::jj::JosephsonJunction;
+use crate::jsram::JsramCell;
+use crate::units::{Area, Energy, Frequency, Length};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lithography platform used by a technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lithography {
+    /// Extreme ultraviolet (CMOS 5 nm).
+    Euv,
+    /// 193 nm immersion — sufficient for the 40/28 nm-class SCD stack.
+    Immersion193,
+}
+
+impl fmt::Display for Lithography {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Euv => write!(f, "EUV"),
+            Self::Immersion193 => write!(f, "193i"),
+        }
+    }
+}
+
+/// Switching-device family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// FinFET transistor (CMOS).
+    FinFet,
+    /// Josephson junction (SCD).
+    JosephsonJunction,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FinFet => write!(f, "FinFET"),
+            Self::JosephsonJunction => write!(f, "Josephson Junction"),
+        }
+    }
+}
+
+/// A full technology-stack descriptor (one column of Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Human-readable technology name.
+    pub name: String,
+    /// Nominal logic clock.
+    pub clock: Frequency,
+    /// Switching device family.
+    pub device: DeviceKind,
+    /// Logic-device density per mm².
+    pub device_density_per_mm2: f64,
+    /// Nominal signal voltage in volts.
+    pub signal_voltage_v: f64,
+    /// On-chip memory density including periphery, MB per mm².
+    pub memory_density_mb_per_mm2: f64,
+    /// Memory unit-cell area.
+    pub memory_cell_area: Area,
+    /// Lithography platform.
+    pub lithography: Lithography,
+    /// Metal-layer count of the stack.
+    pub metal_layers: u32,
+    /// Interconnect resistivity figure (µΩ·cm-equivalent, Table I row).
+    pub interconnect_resistivity_uohm_cm: f64,
+    /// Minimum metal pitch.
+    pub min_metal_pitch: Length,
+    /// Communication efficiency: gigabits transported per picojoule.
+    pub comm_gbps_per_pj: f64,
+    /// Energy per logic switching event.
+    pub switching_energy: Energy,
+}
+
+impl Technology {
+    /// The advanced NbTiN SCD stack of this work (Table I right column).
+    ///
+    /// ```
+    /// use scd_tech::technology::Technology;
+    ///
+    /// let scd = Technology::scd_nbtin();
+    /// let cmos = Technology::cmos_5nm();
+    /// // The paper's ~20× clock-rate advantage at a fraction of the power.
+    /// assert!(scd.clock.ghz() / cmos.clock.ghz() >= 10.0);
+    /// ```
+    #[must_use]
+    pub fn scd_nbtin() -> Self {
+        let jj = JosephsonJunction::nominal();
+        Self {
+            name: "SCD NbTiN (this work)".to_owned(),
+            clock: Frequency::from_ghz(30.0),
+            device: DeviceKind::JosephsonJunction,
+            device_density_per_mm2: 4.0e6,
+            signal_voltage_v: 1.0e-3,
+            // 0.4 Mb/mm² incl. periphery (Table I) ≈ 4–5 MB/cm² (§II-B).
+            memory_density_mb_per_mm2: 0.4 / 8.0,
+            memory_cell_area: JsramCell::Hd1R1W.area(),
+            lithography: Lithography::Immersion193,
+            metal_layers: 16,
+            interconnect_resistivity_uohm_cm: 2.0,
+            min_metal_pitch: Length::from_nm(50.0),
+            comm_gbps_per_pj: 200.0,
+            switching_energy: jj.switching_energy(),
+        }
+    }
+
+    /// The CMOS 5 nm reference column of Table I.
+    #[must_use]
+    pub fn cmos_5nm() -> Self {
+        Self {
+            name: "CMOS 5nm".to_owned(),
+            clock: Frequency::from_ghz(2.0),
+            device: DeviceKind::FinFet,
+            device_density_per_mm2: 170.0e6,
+            signal_voltage_v: 0.7,
+            memory_density_mb_per_mm2: 4.5,
+            memory_cell_area: Area::from_um2(0.021),
+            lithography: Lithography::Euv,
+            metal_layers: 16,
+            interconnect_resistivity_uohm_cm: 75.0,
+            min_metal_pitch: Length::from_nm(28.0),
+            comm_gbps_per_pj: 1.5,
+            switching_energy: Energy::from_fj(1.0),
+        }
+    }
+
+    /// Maximum logic devices that fit in `area`.
+    #[must_use]
+    pub fn devices_in(&self, area: Area) -> u64 {
+        (self.device_density_per_mm2 * area.mm2()) as u64
+    }
+
+    /// Area required for `devices` logic devices.
+    #[must_use]
+    pub fn area_for_devices(&self, devices: u64) -> Area {
+        Area::from_mm2(devices as f64 / self.device_density_per_mm2)
+    }
+
+    /// On-chip memory capacity (bytes) that fits in `area`.
+    #[must_use]
+    pub fn memory_in(&self, area: Area) -> u64 {
+        (self.memory_density_mb_per_mm2 * area.mm2() * 1024.0 * 1024.0) as u64
+    }
+
+    /// Clock-rate advantage over another technology.
+    #[must_use]
+    pub fn clock_ratio(&self, other: &Self) -> f64 {
+        self.clock.hz() / other.clock.hz()
+    }
+
+    /// Communication-efficiency advantage over another technology
+    /// (Gb/pJ ratio — the paper's "10000× at the on-chip clock rate" claim
+    /// combines this with the clock ratio).
+    #[must_use]
+    pub fn comm_efficiency_ratio(&self, other: &Self) -> f64 {
+        self.comm_gbps_per_pj / other.comm_gbps_per_pj
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::scd_nbtin()
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.name, self.clock)
+    }
+}
+
+/// Renders Table I as aligned text, for the experiment harness.
+#[must_use]
+pub fn render_table1(cmos: &Technology, scd: &Technology) -> String {
+    let mut out = String::new();
+    let mut row = |param: &str, a: String, b: String| {
+        out.push_str(&format!("{param:<38}{a:>18}{b:>26}\n"));
+    };
+    row(
+        "Parameter",
+        cmos.name.clone(),
+        scd.name.clone(),
+    );
+    row(
+        "Operating Frequency",
+        format!("{:.0} GHz", cmos.clock.ghz()),
+        format!("{:.0} GHz", scd.clock.ghz()),
+    );
+    row("Device", cmos.device.to_string(), scd.device.to_string());
+    row(
+        "- Device Density (/mm^2)",
+        format!("{:.0}M", cmos.device_density_per_mm2 / 1e6),
+        format!("{:.0}M", scd.device_density_per_mm2 / 1e6),
+    );
+    row(
+        "- Voltage",
+        format!("{:.1} V", cmos.signal_voltage_v),
+        format!("{:.1} mV", scd.signal_voltage_v * 1e3),
+    );
+    row(
+        "On-chip Memory Density (MB/mm^2)",
+        format!("{:.2}", cmos.memory_density_mb_per_mm2),
+        format!("{:.3}", scd.memory_density_mb_per_mm2),
+    );
+    row(
+        "- HD Unit Cell Area",
+        format!("{:.3} um^2", cmos.memory_cell_area.um2()),
+        format!("{:.2} um^2", scd.memory_cell_area.um2()),
+    );
+    row(
+        "Lithography",
+        cmos.lithography.to_string(),
+        scd.lithography.to_string(),
+    );
+    row(
+        "ML stack layers",
+        cmos.metal_layers.to_string(),
+        scd.metal_layers.to_string(),
+    );
+    row(
+        "Interconnect resistivity (uOhm.cm)",
+        format!("~{:.0}", cmos.interconnect_resistivity_uohm_cm),
+        format!("<{:.0}", scd.interconnect_resistivity_uohm_cm),
+    );
+    row(
+        "- Minimum MP",
+        format!("{:.0} nm", cmos.min_metal_pitch.nm()),
+        format!("{:.0} nm", scd.min_metal_pitch.nm()),
+    );
+    row(
+        "Power Efficiency (Gb @ 1 pJ/bit)",
+        format!("{:.1}", cmos.comm_gbps_per_pj),
+        format!("~{:.0}", scd.comm_gbps_per_pj),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scd_clock_is_15x_cmos() {
+        let scd = Technology::scd_nbtin();
+        let cmos = Technology::cmos_5nm();
+        assert!((scd.clock_ratio(&cmos) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_efficiency_advantage_matches_table1() {
+        let scd = Technology::scd_nbtin();
+        let cmos = Technology::cmos_5nm();
+        let r = scd.comm_efficiency_ratio(&cmos);
+        assert!(r > 100.0 && r < 200.1, "got {r}");
+    }
+
+    #[test]
+    fn jj_density_400m_per_cm2() {
+        let scd = Technology::scd_nbtin();
+        let per_cm2 = scd.device_density_per_mm2 * 100.0;
+        assert!((per_cm2 - 4.0e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn device_area_roundtrip() {
+        let scd = Technology::scd_nbtin();
+        let devices = 8_000u64;
+        let area = scd.area_for_devices(devices);
+        let back = scd.devices_in(area);
+        assert!((back as i64 - devices as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn mac_area_anchor() {
+        // An ~8 kJJ MAC occupies ~0.002 mm²; ~41k of them fit in ~82 mm²,
+        // leaving room in the 144 mm² die for routing and memory — the
+        // bottom-up justification for the 2.45 PFLOP/s figure (DESIGN.md).
+        let scd = Technology::scd_nbtin();
+        let mac = scd.area_for_devices(8_000);
+        assert!(mac.mm2() < 0.0021);
+        let array = mac * 41_000.0;
+        assert!(array.mm2() < 144.0 * 0.65);
+    }
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let t = render_table1(&Technology::cmos_5nm(), &Technology::scd_nbtin());
+        for needle in [
+            "Operating Frequency",
+            "Josephson Junction",
+            "193i",
+            "EUV",
+            "Power Efficiency",
+        ] {
+            assert!(t.contains(needle), "missing {needle} in\n{t}");
+        }
+    }
+
+    #[test]
+    fn memory_capacity_in_area() {
+        let scd = Technology::scd_nbtin();
+        // 1 cm² of HD JSRAM ≈ 5 MB (0.05 MB/mm²).
+        let bytes = scd.memory_in(Area::from_mm2(100.0));
+        let mb = bytes as f64 / (1024.0 * 1024.0);
+        assert!((4.0..=6.0).contains(&mb), "got {mb} MB");
+    }
+}

@@ -1,0 +1,637 @@
+//! Strongly-typed physical quantities used throughout the technology layer.
+//!
+//! Every quantity is a thin `f64` newtype ([C-NEWTYPE]) so that frequencies,
+//! energies and areas cannot be accidentally mixed. Constructors take the
+//! unit most natural for the superconducting-digital domain (GHz,
+//! attojoules, µm²) and accessors expose SI plus domain-friendly views.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates the quantity from its base unit
+            #[doc = concat!("(", $base, ").")]
+            #[must_use]
+            pub const fn from_base(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the value in the base unit
+            #[doc = concat!("(", $base, ").")]
+            #[must_use]
+            pub const fn base(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite and non-negative.
+            #[must_use]
+            pub fn is_valid(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+
+            /// Component-wise maximum.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Component-wise minimum.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity! {
+    /// A clock or signal frequency. Base unit: hertz.
+    ///
+    /// ```
+    /// use scd_tech::units::Frequency;
+    /// let clk = Frequency::from_ghz(30.0);
+    /// assert_eq!(clk.hz(), 30.0e9);
+    /// assert!((clk.period().ps() - 33.333).abs() < 0.01);
+    /// ```
+    Frequency, base = "Hz"
+}
+
+impl Frequency {
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self::from_base(ghz * 1e9)
+    }
+
+    /// Returns the frequency in hertz.
+    #[must_use]
+    pub fn hz(self) -> f64 {
+        self.base()
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[must_use]
+    pub fn ghz(self) -> f64 {
+        self.base() / 1e9
+    }
+
+    /// Returns the clock period corresponding to this frequency.
+    #[must_use]
+    pub fn period(self) -> TimeInterval {
+        TimeInterval::from_base(1.0 / self.base())
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GHz", self.ghz())
+    }
+}
+
+quantity! {
+    /// A duration. Base unit: seconds.
+    ///
+    /// ```
+    /// use scd_tech::units::TimeInterval;
+    /// let lat = TimeInterval::from_ns(30.0);
+    /// assert!((lat.ps() - 30_000.0).abs() < 1e-6);
+    /// ```
+    TimeInterval, base = "s"
+}
+
+impl TimeInterval {
+    /// Creates a duration from picoseconds.
+    #[must_use]
+    pub fn from_ps(ps: f64) -> Self {
+        Self::from_base(ps * 1e-12)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub fn from_ns(ns: f64) -> Self {
+        Self::from_base(ns * 1e-9)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub fn from_us(us: f64) -> Self {
+        Self::from_base(us * 1e-6)
+    }
+
+    /// Returns the duration in seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.base()
+    }
+
+    /// Returns the duration in picoseconds.
+    #[must_use]
+    pub fn ps(self) -> f64 {
+        self.base() * 1e12
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[must_use]
+    pub fn ns(self) -> f64 {
+        self.base() * 1e9
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.seconds();
+        if s >= 1.0 {
+            write!(f, "{s:.3} s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3} ms", s * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3} µs", s * 1e6)
+        } else {
+            write!(f, "{:.3} ns", s * 1e9)
+        }
+    }
+}
+
+quantity! {
+    /// An energy. Base unit: joules.
+    ///
+    /// Superconducting switching events live at the attojoule scale, so a
+    /// dedicated constructor is provided:
+    ///
+    /// ```
+    /// use scd_tech::units::Energy;
+    /// let sw = Energy::from_aj(0.2);
+    /// assert!((sw.joules() - 2.0e-19).abs() < 1e-30);
+    /// ```
+    Energy, base = "J"
+}
+
+impl Energy {
+    /// Creates an energy from attojoules (10⁻¹⁸ J).
+    #[must_use]
+    pub fn from_aj(aj: f64) -> Self {
+        Self::from_base(aj * 1e-18)
+    }
+
+    /// Creates an energy from femtojoules (10⁻¹⁵ J).
+    #[must_use]
+    pub fn from_fj(fj: f64) -> Self {
+        Self::from_base(fj * 1e-15)
+    }
+
+    /// Creates an energy from picojoules (10⁻¹² J).
+    #[must_use]
+    pub fn from_pj(pj: f64) -> Self {
+        Self::from_base(pj * 1e-12)
+    }
+
+    /// Returns the energy in joules.
+    #[must_use]
+    pub fn joules(self) -> f64 {
+        self.base()
+    }
+
+    /// Returns the energy in attojoules.
+    #[must_use]
+    pub fn aj(self) -> f64 {
+        self.base() * 1e18
+    }
+
+    /// Returns the energy in picojoules.
+    #[must_use]
+    pub fn pj(self) -> f64 {
+        self.base() * 1e12
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let j = self.joules();
+        if j >= 1e-12 {
+            write!(f, "{:.3} pJ", j * 1e12)
+        } else if j >= 1e-15 {
+            write!(f, "{:.3} fJ", j * 1e15)
+        } else {
+            write!(f, "{:.3} aJ", j * 1e18)
+        }
+    }
+}
+
+quantity! {
+    /// A silicon area. Base unit: square micrometres.
+    ///
+    /// ```
+    /// use scd_tech::units::Area;
+    /// let die = Area::from_mm2(144.0);
+    /// assert_eq!(die.um2(), 144.0e6);
+    /// ```
+    Area, base = "µm²"
+}
+
+impl Area {
+    /// Creates an area from square micrometres.
+    #[must_use]
+    pub fn from_um2(um2: f64) -> Self {
+        Self::from_base(um2)
+    }
+
+    /// Creates an area from square millimetres.
+    #[must_use]
+    pub fn from_mm2(mm2: f64) -> Self {
+        Self::from_base(mm2 * 1e6)
+    }
+
+    /// Returns the area in square micrometres.
+    #[must_use]
+    pub fn um2(self) -> f64 {
+        self.base()
+    }
+
+    /// Returns the area in square millimetres.
+    #[must_use]
+    pub fn mm2(self) -> f64 {
+        self.base() / 1e6
+    }
+
+    /// Returns the area in square centimetres.
+    #[must_use]
+    pub fn cm2(self) -> f64 {
+        self.base() / 1e8
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mm2() >= 0.01 {
+            write!(f, "{:.3} mm²", self.mm2())
+        } else {
+            write!(f, "{:.3} µm²", self.um2())
+        }
+    }
+}
+
+quantity! {
+    /// A length (wire widths, pitches, critical dimensions). Base unit:
+    /// nanometres.
+    ///
+    /// ```
+    /// use scd_tech::units::Length;
+    /// let cd = Length::from_nm(50.0);
+    /// assert_eq!(cd.um(), 0.05);
+    /// ```
+    Length, base = "nm"
+}
+
+impl Length {
+    /// Creates a length from nanometres.
+    #[must_use]
+    pub fn from_nm(nm: f64) -> Self {
+        Self::from_base(nm)
+    }
+
+    /// Creates a length from micrometres.
+    #[must_use]
+    pub fn from_um(um: f64) -> Self {
+        Self::from_base(um * 1e3)
+    }
+
+    /// Creates a length from millimetres.
+    #[must_use]
+    pub fn from_mm(mm: f64) -> Self {
+        Self::from_base(mm * 1e6)
+    }
+
+    /// Returns the length in nanometres.
+    #[must_use]
+    pub fn nm(self) -> f64 {
+        self.base()
+    }
+
+    /// Returns the length in micrometres.
+    #[must_use]
+    pub fn um(self) -> f64 {
+        self.base() / 1e3
+    }
+
+    /// Returns the length in millimetres.
+    #[must_use]
+    pub fn mm(self) -> f64 {
+        self.base() / 1e6
+    }
+}
+
+impl fmt::Display for Length {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mm() >= 1.0 {
+            write!(f, "{:.2} mm", self.mm())
+        } else if self.um() >= 1.0 {
+            write!(f, "{:.2} µm", self.um())
+        } else {
+            write!(f, "{:.1} nm", self.nm())
+        }
+    }
+}
+
+quantity! {
+    /// A data-transfer bandwidth. Base unit: bytes per second.
+    ///
+    /// ```
+    /// use scd_tech::units::Bandwidth;
+    /// let bw = Bandwidth::from_tbps(30.0);
+    /// assert_eq!(bw.gbps(), 30_000.0);
+    /// ```
+    Bandwidth, base = "B/s"
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from terabytes per second.
+    #[must_use]
+    pub fn from_tbps(tbps: f64) -> Self {
+        Self::from_base(tbps * 1e12)
+    }
+
+    /// Creates a bandwidth from gigabytes per second.
+    #[must_use]
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_base(gbps * 1e9)
+    }
+
+    /// Returns the bandwidth in bytes per second.
+    #[must_use]
+    pub fn bytes_per_s(self) -> f64 {
+        self.base()
+    }
+
+    /// Returns the bandwidth in terabytes per second.
+    #[must_use]
+    pub fn tbps(self) -> f64 {
+        self.base() / 1e12
+    }
+
+    /// Returns the bandwidth in gigabytes per second.
+    #[must_use]
+    pub fn gbps(self) -> f64 {
+        self.base() / 1e9
+    }
+
+    /// Time to move `bytes` at this bandwidth, ignoring latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    #[must_use]
+    pub fn transfer_time(self, bytes: f64) -> TimeInterval {
+        assert!(self.base() > 0.0, "transfer over zero bandwidth");
+        TimeInterval::from_base(bytes / self.base())
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.tbps() >= 1.0 {
+            write!(f, "{:.2} TB/s", self.tbps())
+        } else {
+            write!(f, "{:.2} GB/s", self.gbps())
+        }
+    }
+}
+
+quantity! {
+    /// A power. Base unit: watts.
+    ///
+    /// ```
+    /// use scd_tech::units::Power;
+    /// let p = Power::from_mw(1.5);
+    /// assert_eq!(p.watts(), 0.0015);
+    /// ```
+    Power, base = "W"
+}
+
+impl Power {
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_mw(mw: f64) -> Self {
+        Self::from_base(mw * 1e-3)
+    }
+
+    /// Creates a power from watts.
+    #[must_use]
+    pub fn from_watts(w: f64) -> Self {
+        Self::from_base(w)
+    }
+
+    /// Returns the power in watts.
+    #[must_use]
+    pub fn watts(self) -> f64 {
+        self.base()
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} W", self.watts())
+    }
+}
+
+impl Mul<TimeInterval> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: TimeInterval) -> Energy {
+        Energy::from_base(self.watts() * rhs.seconds())
+    }
+}
+
+impl Div<TimeInterval> for Energy {
+    type Output = Power;
+    fn div(self, rhs: TimeInterval) -> Power {
+        Power::from_base(self.joules() / rhs.seconds())
+    }
+}
+
+/// Operating temperature domains in the proposed SCD system.
+///
+/// The compute array operates at 4 K, the cryo-DRAM main memory at 77 K and
+/// conventional hosts at room temperature (Fig. 2/3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TemperatureDomain {
+    /// 4 K superconducting compute domain.
+    Cryo4K,
+    /// 77 K cryo-DRAM domain.
+    Cryo77K,
+    /// ~300 K room-temperature domain.
+    RoomTemperature,
+}
+
+impl TemperatureDomain {
+    /// Nominal temperature of the domain in kelvin.
+    #[must_use]
+    pub fn kelvin(self) -> f64 {
+        match self {
+            Self::Cryo4K => 4.0,
+            Self::Cryo77K => 77.0,
+            Self::RoomTemperature => 300.0,
+        }
+    }
+
+    /// Approximate specific cooling overhead (watts of wall power per watt
+    /// dissipated at this stage), following standard cryo-cooler efficiency
+    /// assumptions used in cryo-computing studies ([30]–[32] of the paper).
+    #[must_use]
+    pub fn cooling_overhead(self) -> f64 {
+        match self {
+            Self::Cryo4K => 400.0,
+            Self::Cryo77K => 10.0,
+            Self::RoomTemperature => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for TemperatureDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Cryo4K => write!(f, "4 K"),
+            Self::Cryo77K => write!(f, "77 K"),
+            Self::RoomTemperature => write!(f, "300 K"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_period_roundtrip() {
+        let f = Frequency::from_ghz(30.0);
+        let p = f.period();
+        assert!((p.ps() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_unit_views() {
+        let e = Energy::from_aj(250.0);
+        assert!((e.pj() - 2.5e-4).abs() < 1e-12);
+        assert_eq!(format!("{e}"), "250.000 aJ");
+    }
+
+    #[test]
+    fn area_conversions() {
+        let a = Area::from_mm2(1.0);
+        assert_eq!(a.um2(), 1e6);
+        assert!((a.cm2() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let bw = Bandwidth::from_tbps(1.0);
+        let t = bw.transfer_time(1e12);
+        assert!((t.seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_transfer_panics() {
+        let _ = Bandwidth::ZERO.transfer_time(1.0);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(2.0) * TimeInterval::from_ns(1.0);
+        assert!((e.joules() - 2e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn quantity_arithmetic() {
+        let a = Area::from_mm2(2.0) + Area::from_mm2(3.0);
+        assert!((a.mm2() - 5.0).abs() < 1e-12);
+        let r = Area::from_mm2(10.0) / Area::from_mm2(2.0);
+        assert!((r - 5.0).abs() < 1e-12);
+        let s: Area = [Area::from_mm2(1.0); 4].into_iter().sum();
+        assert!((s.mm2() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_domains_ordered_by_kelvin() {
+        assert!(TemperatureDomain::Cryo4K.kelvin() < TemperatureDomain::Cryo77K.kelvin());
+        assert!(
+            TemperatureDomain::Cryo77K.cooling_overhead()
+                < TemperatureDomain::Cryo4K.cooling_overhead()
+        );
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(Frequency::from_ghz(30.0).is_valid());
+        assert!(!Frequency::from_base(f64::NAN).is_valid());
+        assert!(!Frequency::from_base(-1.0).is_valid());
+    }
+}

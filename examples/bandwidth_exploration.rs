@@ -1,0 +1,56 @@
+//! Domain scenario: the paper's central question — how much DRAM
+//! bandwidth does an SPU need before LLM work turns compute-bound?
+//! Reproduces the Fig. 5 and Fig. 7 explorations over a custom grid and
+//! shows the memory-bound → compute-bound crossover per kernel.
+//!
+//! Run with: `cargo run --release --example bandwidth_exploration`
+
+use llm_workload::{ModelZoo, Parallelism, Precision};
+use llm_workload::taskgraph::training_step;
+use optimus::{Boundedness, RequestShape, Roofline, SpeedupStudy};
+use scd_arch::Blade;
+use scd_tech::units::Bandwidth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelZoo::gpt3_76b();
+    let par = Parallelism::training_baseline();
+
+    println!("== training throughput vs bandwidth (GPT3-76B, B=128) ==");
+    for bw in [0.5, 2.0, 8.0, 16.0, 32.0, 64.0] {
+        let study = SpeedupStudy::paper_baseline()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
+        let r = study.scd_training().estimate(&model, &par, 128)?;
+        println!("  {bw:>5.1} TB/s -> {:.3} PFLOP/s/SPU", r.pflops_per_unit());
+    }
+
+    println!("\n== kernel boundedness at 0.5 vs 16 TB/s ==");
+    let graph = training_step(&model, &par, 128, 2048, Precision::Bf16)?;
+    for bw in [0.5, 16.0] {
+        let accel = Blade::baseline()
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
+        let roofline = Roofline::new(&accel);
+        println!("  at {bw} TB/s:");
+        for kernel in graph.kernels.iter().filter(|k| !k.name.ends_with("_bwd")).take(8) {
+            let t = roofline.time_kernel(kernel);
+            let tag = match t.bound {
+                Boundedness::Compute => "compute".to_owned(),
+                Boundedness::Memory(l) => format!("{l}-bound"),
+            };
+            println!("    {:<14}{tag}", kernel.name);
+        }
+    }
+
+    println!("\n== inference latency vs bandwidth (Llama-405B, B=8) ==");
+    for bw in [0.5, 4.0, 8.0, 16.0, 32.0] {
+        let study = SpeedupStudy::paper_baseline()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
+        let r = study.scd_inference().estimate(
+            &ModelZoo::llama_405b(),
+            &Parallelism::pure_tp(64)?,
+            RequestShape::paper_io(8),
+        )?;
+        println!("  {bw:>5.1} TB/s -> {:.3} s", r.latency_s());
+    }
+    Ok(())
+}

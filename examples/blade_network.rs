@@ -1,0 +1,60 @@
+//! Domain scenario: drive the blade's 2D-torus interconnect directly —
+//! synthetic traffic patterns, a simulated ring all-reduce, and the
+//! cross-check between the discrete-event simulator and the analytical
+//! communication model Optimus uses.
+//!
+//! Run with: `cargo run --release --example blade_network`
+
+use optimus::validate::validate_all_reduce;
+use scd_arch::Blade;
+use scd_noc::collective::simulate_ring_all_reduce;
+use scd_noc::traffic::{run_traffic, TrafficPattern};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let blade = Blade::baseline();
+    let torus = blade.torus();
+    let cfg = blade.noc_config();
+    println!(
+        "blade torus: {}x{} @ {:.1} TB/s links",
+        torus.width(),
+        torus.height(),
+        cfg.link_bytes_per_s / 1e12
+    );
+
+    println!("\n== synthetic traffic (4 KiB messages, 4 per node) ==");
+    for pattern in [
+        TrafficPattern::RingShift,
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+    ] {
+        let r = run_traffic(&torus, cfg, pattern, 4096.0, 4, 1000, 42)?;
+        println!(
+            "  {pattern:?}: mean {:.2} ns, p99 {:.2} ns, {:.1} GB/s delivered",
+            r.mean_latency_ps / 1e3,
+            r.p99_latency_ps as f64 / 1e3,
+            r.throughput_bytes_per_s / 1e9
+        );
+    }
+
+    println!("\n== ring all-reduce (the TP collective of LLM execution) ==");
+    for mb in [1.0, 16.0, 64.0] {
+        let r = simulate_ring_all_reduce(&torus, cfg, mb * 1e6)?;
+        println!(
+            "  {mb:>4.0} MB/node: {:.2} µs over {} phases",
+            r.makespan_ps as f64 / 1e6,
+            r.phases
+        );
+    }
+
+    println!("\n== analytical model vs simulation ==");
+    for p in validate_all_reduce(&torus, cfg, &[1e6, 64e6])? {
+        println!(
+            "  {:>9.0} B: model {:.3} µs, sim {:.3} µs (ratio {:.2})",
+            p.bytes,
+            p.analytical_s * 1e6,
+            p.simulated_s * 1e6,
+            p.ratio()
+        );
+    }
+    Ok(())
+}

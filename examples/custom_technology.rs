@@ -1,0 +1,53 @@
+//! Extension scenario: what if the process improves? Build a hypothetical
+//! next-generation SCD stack (denser JJs, 60 GHz clock), re-derive the
+//! blade bottom-up, and re-project LLM training — the "parametric
+//! building blocks" workflow the paper proposes for future exploration.
+//!
+//! Run with: `cargo run --release --example custom_technology`
+
+use llm_workload::{ModelZoo, Parallelism};
+use optimus::TrainingEstimator;
+use scd_arch::blade::{Blade, SnuConfig};
+use scd_arch::spu::SpuConfig;
+use scd_mem::datalink::Datalink;
+use scd_mem::dram::CryoDramBlock;
+use scd_tech::units::{Bandwidth, Frequency};
+use scd_tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelZoo::gpt3_175b();
+    let par = Parallelism::training_baseline();
+
+    for (label, tech) in [
+        ("baseline NbTiN (30 GHz, 4 MJJ/mm2)", Technology::scd_nbtin()),
+        ("next-gen (60 GHz, 8 MJJ/mm2)", {
+            let mut t = Technology::scd_nbtin();
+            t.name = "SCD NbTiN next-gen".to_owned();
+            t.clock = Frequency::from_ghz(60.0);
+            t.device_density_per_mm2 = 8.0e6;
+            t
+        }),
+    ] {
+        let blade = Blade::new(
+            tech,
+            SpuConfig::default(),
+            64,
+            SnuConfig::default(),
+            CryoDramBlock::blade_baseline(),
+            Datalink::paper_peak(),
+        )?;
+        let accel = blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
+        println!("{label}:");
+        println!("  {}", accel);
+        let est = TrainingEstimator::new(accel, blade.interconnect());
+        let r = est.estimate(&model, &par, 64)?;
+        println!(
+            "  GPT3-175B step: {:.3} s  ({:.2} PFLOP/s/SPU)\n",
+            r.total_s,
+            r.pflops_per_unit()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Domain scenario: run the Starling RTL→PCL flow on the paper's bf16 MAC
+//! and the rest of the Fig. 1h design database, reproducing the ~8 kJJ
+//! anchor and showing how a block's JJ/latency/energy budget is derived.
+//!
+//! Run with: `cargo run --release --example design_mac`
+
+use scd_eda::blocks;
+use scd_eda::flow::StarlingFlow;
+use scd_tech::pcl::PclCell;
+use scd_tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::scd_nbtin();
+    println!("target technology: {tech}\n");
+
+    // The calibration anchor: the paper's bf16 MAC (~8 kJJ of logic).
+    let flow = StarlingFlow::new(tech).with_verify_words(16);
+    let mac = blocks::bf16_mac()?;
+    println!("source netlist: {mac}");
+    let design = flow.compile(&mac)?;
+    println!("\n{}\n", design.report);
+
+    // Cell histogram of the mapped design.
+    println!("cell mix:");
+    let mut cells: Vec<_> = design.report.cell_histogram.iter().collect();
+    cells.sort_by(|a, b| b.1.cmp(a.1));
+    for (cell, count) in cells {
+        println!("  {cell:<8}{count:>7}");
+    }
+
+    // Free inversion in action: a NAND costs exactly an AND.
+    println!(
+        "\ndual-rail bonus: NAND2 = {} JJ, AND2 = {} JJ, INV = {} JJ",
+        PclCell::Nand2.junctions(),
+        PclCell::And2.junctions(),
+        PclCell::Inv.junctions()
+    );
+
+    // Adder architecture trade-off (the latency-vs-junctions knob).
+    for (name, netlist) in [
+        ("ripple adder8", blocks::ripple_adder(8)?),
+        ("kogge-stone adder8", blocks::kogge_stone_adder(8)?),
+    ] {
+        let d = flow.compile(&netlist)?;
+        println!(
+            "{name:<20} {:>6} JJ, {:>2} phases, {:.3} ns",
+            d.report.total_junctions,
+            d.report.pipeline_depth,
+            d.report.latency.ns()
+        );
+    }
+
+    // Pre-mapping logic optimization (const folding / CSE / DCE).
+    let (optimized, stats) = scd_eda::optimize(&mac);
+    println!(
+        "\nlogic optimization: {} -> {} gates ({:.1} % reduction)",
+        stats.gates_before,
+        stats.gates_after,
+        stats.reduction() * 100.0
+    );
+
+    // Placement: anneal the mapped MAC onto a grid and report wirelength.
+    let placed = scd_eda::place(&design.mapped, 30_000, 1);
+    println!(
+        "placement: {}x{} grid, HPWL {:.0} -> {:.0} ({:.1} % better)",
+        placed.grid,
+        placed.grid,
+        placed.initial_hpwl,
+        placed.final_hpwl,
+        placed.improvement() * 100.0
+    );
+
+    // Hand-off artifact: structural Verilog over the PCL library.
+    let verilog = scd_eda::verilog::mapped_to_verilog(&design.mapped);
+    let head: String = verilog.lines().take(3).collect::<Vec<_>>().join("\n");
+    println!(
+        "\nstructural verilog: {} lines, starts:\n{head}",
+        verilog.lines().count()
+    );
+    let _ = optimized;
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build the paper's baseline SCD blade, estimate GPT-3
+//! training and Llama inference, and compare against 64 H100s.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use llm_workload::{ModelZoo, Parallelism};
+use optimus::{RequestShape, SpeedupStudy};
+use scd_arch::Blade;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The system, derived bottom-up from NbTiN device data (Fig. 3c).
+    let blade = Blade::baseline();
+    println!("{blade}");
+    println!("per-SPU view: {}", blade.accelerator());
+    println!();
+
+    // 2. The paper's standard comparison: 64 SPUs at 16 TB/s vs 64 H100s.
+    let study = SpeedupStudy::paper_baseline();
+
+    // Training: GPT3-76B, B=64, TP=8 / PP=8 / DP=1, bf16.
+    let train = study.training(
+        &ModelZoo::gpt3_76b(),
+        &Parallelism::training_baseline(),
+        64,
+    )?;
+    println!("GPT3-76B training (B=64):");
+    println!("  SPU: {}", train.scd);
+    println!("  GPU: {}", train.gpu);
+    println!("  speed-up: {:.2}x", train.speedup);
+    println!();
+
+    // Inference: Llama-405B, B=8, I/O 200/200, TP=64.
+    let infer = study.inference(
+        &ModelZoo::llama_405b(),
+        &Parallelism::pure_tp(64)?,
+        RequestShape::paper_io(8),
+    )?;
+    println!("Llama-405B inference (B=8, I/O 200/200):");
+    println!("  SPU: {}", infer.scd);
+    println!("  GPU: {}", infer.gpu);
+    println!("  speed-up: {:.2}x", infer.speedup);
+    Ok(())
+}

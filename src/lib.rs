@@ -1,0 +1,39 @@
+//! Umbrella crate for the `scd-perf` workspace.
+//!
+//! Re-exports the layered crates that together reproduce the cross-layer
+//! performance-evaluation stack of *"A System Level Performance Evaluation
+//! for Superconducting Digital Systems"* (Kundu et al., DATE 2025):
+//!
+//! * [`scd_tech`] — device/technology layer (JJs, PCL cells, JSRAM).
+//! * [`scd_eda`] — RTL→PCL synthesis flow and design database.
+//! * [`scd_mem`] — memory hierarchy, cryo-DRAM and the 4K↔77K datalink.
+//! * [`scd_noc`] — discrete-event 2D-torus network simulator.
+//! * [`scd_arch`] — SPU/SNU/blade architecture builders and GPU baseline.
+//! * [`llm_workload`] — LLM model zoo, task graphs and TP/PP/DP sharding.
+//! * [`optimus`] — the hierarchical-roofline performance model.
+//!
+//! # Examples
+//!
+//! ```
+//! use scd_perf::optimus::TrainingEstimator;
+//! use scd_perf::scd_arch::Blade;
+//! use scd_perf::llm_workload::{ModelZoo, Parallelism};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let blade = Blade::baseline();
+//! let model = ModelZoo::gpt3_76b();
+//! let par = Parallelism::new(8, 8, 1)?;
+//! let est = TrainingEstimator::new(blade.accelerator(), blade.interconnect());
+//! let report = est.estimate(&model, &par, 64)?;
+//! assert!(report.total_time_s() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use llm_workload;
+pub use optimus;
+pub use scd_arch;
+pub use scd_eda;
+pub use scd_mem;
+pub use scd_noc;
+pub use scd_tech;

@@ -1,0 +1,90 @@
+//! Integration: the bottom-up derivation chain of the paper — device data
+//! (scd-tech) → compiled logic (scd-eda) → architecture (scd-arch) →
+//! performance projection (optimus) — must be self-consistent.
+
+use llm_workload::{ModelZoo, Parallelism};
+use optimus::TrainingEstimator;
+use scd_arch::{Blade, MacArray};
+use scd_eda::blocks;
+use scd_eda::flow::StarlingFlow;
+use scd_tech::units::Bandwidth;
+use scd_tech::Technology;
+
+#[test]
+fn compiled_mac_supports_the_architectural_assumption() {
+    // The architecture layer assumes 8 kJJ per MAC; the EDA flow must
+    // produce a datapath in that class.
+    let flow = StarlingFlow::new(Technology::scd_nbtin()).with_verify_words(8);
+    let mac = blocks::bf16_mac().expect("mac generator");
+    let compiled = flow.compile(&mac).expect("mac compiles");
+    let logic = compiled.report.logic_junctions;
+    assert!(
+        (5_000..=12_000).contains(&logic),
+        "compiled MAC logic {logic} JJ vs the 8 kJJ architectural budget"
+    );
+}
+
+#[test]
+fn mac_array_peak_flows_into_blade_accelerator() {
+    let tech = Technology::scd_nbtin();
+    let array = MacArray::spu_baseline(&tech).expect("array derives");
+    let blade = Blade::baseline();
+    let accel = blade.accelerator();
+    let rel = (accel.peak_flops - array.peak_flops()).abs() / array.peak_flops();
+    assert!(rel < 1e-9, "blade must expose the derived MAC-array peak");
+}
+
+#[test]
+fn compiled_mac_latency_fits_pipeline_assumption() {
+    // The MAC array issues one op per clock; the compiled datapath is
+    // fully pipelined so its *depth* may exceed one cycle, but each phase
+    // must fit the 30 GHz clock by construction.
+    let flow = StarlingFlow::new(Technology::scd_nbtin()).without_verification();
+    let mac = blocks::bf16_mac().expect("mac generator");
+    let compiled = flow.compile(&mac).expect("mac compiles");
+    assert!(compiled.report.pipeline_depth > 10);
+    let cycle_ns = 1.0 / 30.0;
+    let expected = f64::from(compiled.report.pipeline_depth) * cycle_ns;
+    assert!((compiled.report.latency.ns() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn end_to_end_projection_runs_on_derived_architecture() {
+    let blade = Blade::baseline();
+    let est = TrainingEstimator::new(
+        blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+        blade.interconnect(),
+    );
+    let r = est
+        .estimate(
+            &ModelZoo::gpt3_76b(),
+            &Parallelism::training_baseline(),
+            64,
+        )
+        .expect("estimation succeeds");
+    // Achieved throughput cannot exceed the utilization-capped peak.
+    let cap = blade.accelerator().achievable_flops() / 1e15;
+    assert!(r.pflops_per_unit() <= cap + 1e-9);
+    assert!(r.pflops_per_unit() > 0.5, "got {}", r.pflops_per_unit());
+}
+
+#[test]
+fn umbrella_crate_reexports_work_together() {
+    use scd_perf::llm_workload::ModelZoo as Zoo;
+    use scd_perf::optimus::SpeedupStudy;
+    use scd_perf::scd_arch::Blade as B;
+
+    let blade = B::baseline();
+    assert_eq!(blade.spus(), 64);
+    let study = SpeedupStudy::paper_baseline();
+    let c = study
+        .training(
+            &Zoo::gpt3_18b(),
+            &scd_perf::llm_workload::Parallelism::training_baseline(),
+            64,
+        )
+        .expect("study runs");
+    assert!(c.speedup > 1.0);
+}

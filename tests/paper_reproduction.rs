@@ -1,0 +1,85 @@
+//! Integration: every headline quantitative claim of the paper's §VI,
+//! checked end-to-end through the experiment harness.
+
+use scd_bench::{inference_experiments as inf, l2_study, spec_tables, training_experiments as tr, validation};
+
+#[test]
+fn fig5_throughput_saturates_around_16_tbps() {
+    let pts = tr::fig5_sweep().expect("sweep runs");
+    let at = |bw: f64| {
+        pts.iter()
+            .find(|p| (p.bw_tbps - bw).abs() < 1e-9)
+            .expect("point exists")
+            .pflops_per_spu
+    };
+    // Monotone growth, strong early scaling, <2 % beyond 16 TB/s.
+    assert!(at(2.0) / at(0.5) > 1.8);
+    assert!(at(64.0) / at(16.0) < 1.02);
+    // Saturation level ~1.5–2 PFLOP/s per SPU (paper: ~2).
+    assert!((1.3..2.2).contains(&at(16.0)));
+}
+
+#[test]
+fn fig6_training_speedups_3_to_5x() {
+    let rows = tr::fig6_rows().expect("rows");
+    for pair in rows.chunks(2) {
+        let speedup = pair[0].total_s / pair[1].total_s;
+        assert!(
+            (3.0..5.5).contains(&speedup),
+            "{}: {speedup:.2} (paper band 3.5–4.4)",
+            pair[0].model
+        );
+    }
+}
+
+#[test]
+fn fig7_inference_scales_17x_with_bandwidth() {
+    let pts = inf::fig7_sweep().expect("sweep");
+    let overall = pts.first().unwrap().latency_s / pts.last().unwrap().latency_s;
+    assert!((10.0..25.0).contains(&overall), "paper: 17x, got {overall:.1}");
+}
+
+#[test]
+fn fig8_inference_speedup_order_of_magnitude() {
+    let rows = inf::fig8a_rows().expect("rows");
+    for r in &rows {
+        assert!(r.speedup > 4.0, "{}: {:.1}", r.model, r.speedup);
+    }
+    // Llama-70B benefits most (the paper's communication-fraction logic).
+    let s70 = rows.iter().find(|r| r.model.contains("70B")).unwrap();
+    let s405 = rows.iter().find(|r| r.model.contains("405B")).unwrap();
+    assert!(s70.speedup > s405.speedup);
+}
+
+#[test]
+fn fig8b_kv_cache_approaches_gpu_capacity() {
+    let pts = inf::fig8b_sweep().expect("sweep");
+    let last = pts.last().unwrap();
+    assert!(last.kv_cache_tb > 3.5, "paper: close to 5 TB at B=128");
+    // Speed-up declines gently with batch but stays large.
+    assert!(pts.first().unwrap().speedup > pts.last().unwrap().speedup);
+    assert!(pts.last().unwrap().speedup > 5.0);
+}
+
+#[test]
+fn l2_study_reproduces_2_to_4x() {
+    let rows = l2_study::l2_kv_study().expect("study");
+    assert!(rows[0].fits_l2 && rows[1].fits_l2 && !rows[2].fits_l2);
+    for r in &rows[..2] {
+        assert!((1.3..6.0).contains(&r.speedup), "{}: {:.2}", r.model, r.speedup);
+    }
+}
+
+#[test]
+fn spec_tables_regenerate() {
+    assert!(spec_tables::table1().contains("Josephson Junction"));
+    assert!(spec_tables::fig2_datalink().contains("20000"));
+    assert!(spec_tables::fig3_blade_specs().contains("2 TB"));
+}
+
+#[test]
+fn noc_validation_within_tolerance() {
+    for p in validation::noc_validation().expect("validation") {
+        assert!((0.4..1.6).contains(&p.ratio()));
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests over the core invariants of every layer.
+
+use llm_workload::kernel::{Kernel, KernelClass};
+use llm_workload::kvcache::KvCache;
+use llm_workload::model::{ModelZoo, Precision};
+use llm_workload::parallelism::Parallelism;
+use llm_workload::taskgraph::{decode_step, training_step};
+use optimus::Roofline;
+use proptest::prelude::*;
+use scd_arch::Blade;
+use scd_eda::netlist::{LogicOp, Netlist, NodeId};
+use scd_eda::flow::StarlingFlow;
+use scd_noc::topology::{NodeId as TorusNode, Torus};
+use scd_tech::units::{Bandwidth, TimeInterval};
+
+/// Strategy: a random acyclic netlist with `inputs` primary inputs and up
+/// to `gates` gates over {AND, OR, XOR, NOT, MAJ, MUX}.
+fn arb_netlist(inputs: usize, gates: usize) -> impl Strategy<Value = Netlist> {
+    let ops = prop::collection::vec((0u8..6, prop::collection::vec(any::<prop::sample::Index>(), 3)), 1..=gates);
+    ops.prop_map(move |specs| {
+        let mut n = Netlist::new("random");
+        let mut nodes: Vec<NodeId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+        for (op, picks) in specs {
+            let pick = |k: usize| picks[k].get(&nodes);
+            let id = match op {
+                0 => n.add_gate(LogicOp::And, vec![*pick(0), *pick(1)]),
+                1 => n.add_gate(LogicOp::Or, vec![*pick(0), *pick(1)]),
+                2 => n.add_gate(LogicOp::Xor, vec![*pick(0), *pick(1)]),
+                3 => n.add_gate(LogicOp::Not, vec![*pick(0)]),
+                4 => n.add_gate(LogicOp::Maj, vec![*pick(0), *pick(1), *pick(2)]),
+                _ => n.add_gate(LogicOp::Mux, vec![*pick(0), *pick(1), *pick(2)]),
+            }
+            .expect("arity is valid by construction");
+            nodes.push(id);
+        }
+        // Expose the last few nodes as outputs.
+        let out_count = nodes.len().min(4);
+        for (k, &node) in nodes.iter().rev().take(out_count).enumerate() {
+            n.add_output(format!("o{k}"), node);
+        }
+        n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full Starling flow preserves functionality on arbitrary logic
+    /// (the built-in equivalence check would error otherwise), and its
+    /// report is internally consistent.
+    #[test]
+    fn synthesis_preserves_function(netlist in arb_netlist(6, 24)) {
+        let flow = StarlingFlow::default().with_verify_words(4);
+        let design = flow.compile(&netlist).expect("flow verifies equivalence");
+        let r = &design.report;
+        prop_assert_eq!(
+            r.total_junctions,
+            r.logic_junctions + r.splitter_junctions + r.padding_junctions
+        );
+        prop_assert!(r.overhead_fraction() >= 0.0 && r.overhead_fraction() <= 1.0);
+    }
+
+    /// Roofline: kernel time is never below either asymptote and is
+    /// monotone in DRAM bandwidth.
+    #[test]
+    fn roofline_bounds_and_monotonicity(
+        m in 1.0f64..512.0,
+        n in 64.0f64..8192.0,
+        k in 64.0f64..8192.0,
+        bw_low in 0.25f64..4.0,
+        bw_scale in 1.0f64..32.0,
+    ) {
+        let kernel = Kernel::gemm("k", KernelClass::Gemm, m, n, k, Precision::Bf16, 1.0);
+        let slow = Blade::baseline()
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw_low));
+        let fast = Blade::baseline()
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw_low * bw_scale));
+        let t_slow = Roofline::new(&slow).time_kernel(&kernel);
+        let t_fast = Roofline::new(&fast).time_kernel(&kernel);
+        // More bandwidth never hurts.
+        prop_assert!(t_fast.total.seconds() <= t_slow.total.seconds() + 1e-15);
+        // Time is at least the compute asymptote.
+        let compute_floor = kernel.flops / slow.achievable_flops();
+        prop_assert!(t_slow.total.seconds() >= compute_floor - 1e-15);
+    }
+
+    /// Training estimates are monotone in DRAM bandwidth and the
+    /// breakdown always sums to the total.
+    #[test]
+    fn training_time_monotone_in_bandwidth(bw in 0.5f64..32.0) {
+        let blade = Blade::baseline();
+        let model = ModelZoo::gpt3_18b();
+        let par = Parallelism::training_baseline();
+        let est_lo = optimus::TrainingEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(bw)),
+            blade.interconnect(),
+        );
+        let est_hi = optimus::TrainingEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(bw * 2.0)),
+            blade.interconnect(),
+        );
+        let lo = est_lo.estimate(&model, &par, 16).expect("estimates");
+        let hi = est_hi.estimate(&model, &par, 16).expect("estimates");
+        prop_assert!(hi.total_s <= lo.total_s + 1e-12);
+        let sum = lo.compute_s + lo.comm_s + lo.bubble_s + lo.update_s;
+        prop_assert!((sum - lo.total_s).abs() <= 1e-9 * lo.total_s);
+    }
+
+    /// Decode graphs: FLOPs and traffic grow monotonically with batch.
+    #[test]
+    fn decode_graph_monotone_in_batch(batch in 1u32..64) {
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let small = decode_step(&model, &par, batch, 256, Precision::Bf16).expect("graph");
+        let large = decode_step(&model, &par, batch + 1, 256, Precision::Bf16).expect("graph");
+        prop_assert!(large.total_flops() > small.total_flops());
+        prop_assert!(large.total_bytes() >= small.total_bytes());
+    }
+
+    /// Training graphs: total FLOPs stay within sane bounds of the 6·N·D
+    /// rule for dense models.
+    #[test]
+    fn training_flops_near_6nd(batch in 1u32..8) {
+        let model = ModelZoo::gpt3_18b();
+        let par = Parallelism::new(8, 8, 1).expect("valid");
+        let g = training_step(&model, &par, batch * 8, 2048, Precision::Bf16).expect("graph");
+        let total = g.total_flops() * f64::from(par.units());
+        let tokens = f64::from(batch * 8) * 2048.0;
+        let ratio = total / (6.0 * model.total_params() * tokens);
+        prop_assert!((0.8..1.5).contains(&ratio), "ratio {}", ratio);
+    }
+
+    /// KV cache is exactly linear in batch and sequence length.
+    #[test]
+    fn kv_cache_linearity(batch in 1u32..256, seq in 1u32..8192) {
+        let model = ModelZoo::llama2_13b();
+        let base = KvCache { batch, seq_len: seq, precision: Precision::Bf16 };
+        let double = KvCache { batch: batch * 2, seq_len: seq, precision: Precision::Bf16 };
+        let b = base.bytes_mha(&model);
+        let d = double.bytes_mha(&model);
+        prop_assert!((d / b - 2.0).abs() < 1e-12);
+    }
+
+    /// Torus routing: the dimension-order path always reaches the
+    /// destination in exactly `distance` hops, and distance is symmetric.
+    #[test]
+    fn torus_routing_terminates(
+        w in 2usize..10,
+        h in 2usize..10,
+        ax in 0usize..10,
+        ay in 0usize..10,
+        bx in 0usize..10,
+        by in 0usize..10,
+    ) {
+        let torus = Torus::new(w, h).expect("valid");
+        let a = TorusNode::new(ax % w, ay % h);
+        let b = TorusNode::new(bx % w, by % h);
+        let path = torus.path(a, b);
+        prop_assert_eq!(path.len(), torus.distance(a, b));
+        if let Some(&last) = path.last() {
+            prop_assert_eq!(last, b);
+        }
+        prop_assert_eq!(torus.distance(a, b), torus.distance(b, a));
+        // Diameter bound for a torus.
+        prop_assert!(torus.distance(a, b) <= w / 2 + h / 2);
+    }
+
+    /// The latency-aware transfer model never reports more than wire
+    /// bandwidth and degrades monotonically with latency.
+    #[test]
+    fn transfer_model_sane(
+        bytes in 1.0f64..1e9,
+        lat_ns in 1.0f64..500.0,
+        bw in 0.5f64..64.0,
+    ) {
+        use scd_mem::transfer::TransferModel;
+        let m = TransferModel::cryo_dram();
+        let bw = Bandwidth::from_tbps(bw);
+        let lat = TimeInterval::from_ns(lat_ns);
+        let achieved = m.achieved_bandwidth(bytes, bw, lat);
+        prop_assert!(achieved.bytes_per_s() <= bw.bytes_per_s() + 1.0);
+        let worse = m.achieved_bandwidth(bytes, bw, TimeInterval::from_ns(lat_ns * 2.0));
+        prop_assert!(worse.bytes_per_s() <= achieved.bytes_per_s() + 1.0);
+    }
+}
