@@ -1,6 +1,9 @@
 //! Runs every experiment in sequence (the full paper reproduction).
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    use scd_bench::{inference_experiments as inf, l2_study, spec_tables as spec, training_experiments as tr, validation};
+fn main() -> Result<(), scd_perf::ScdError> {
+    use scd_bench::{
+        inference_experiments as inf, l2_study, spec_tables as spec, training_experiments as tr,
+        validation,
+    };
     let hr = "=".repeat(72);
     println!("{hr}\n{}\n{hr}", spec::table1());
     println!("{}\n{hr}", spec::fig1_pcl_library());
@@ -14,15 +17,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}\n{hr}", inf::render_fig7b(&inf::fig7b_sweep()?));
     println!("{}\n{hr}", inf::render_fig8a(&inf::fig8a_rows()?));
     println!("{}\n{hr}", inf::render_fig8b(&inf::fig8b_sweep()?));
-    println!("{}\n{hr}", l2_study::render_l2_study(&l2_study::l2_kv_study()?));
-    println!("{}\n{hr}", validation::render_validation(&validation::noc_validation()?));
+    println!(
+        "{}\n{hr}",
+        l2_study::render_l2_study(&l2_study::l2_kv_study()?)
+    );
+    println!(
+        "{}\n{hr}",
+        validation::render_validation(&validation::noc_validation()?)
+    );
     use scd_bench::extensions as ext;
-    println!("{}\n{hr}", ext::render_multi_blade(&ext::multi_blade_scaling()?));
-    println!("{}\n{hr}", ext::render_jsram_study(&ext::jsram_inference_study()?));
+    println!(
+        "{}\n{hr}",
+        ext::render_multi_blade(&ext::multi_blade_scaling()?)
+    );
+    println!(
+        "{}\n{hr}",
+        ext::render_jsram_study(&ext::jsram_inference_study()?)
+    );
     println!("{}\n{hr}", ext::render_energy(&ext::energy_projection()?));
-    println!("{}\n{hr}", ext::render_adder_ablation(&ext::adder_ablation()?));
-    println!("{}\n{hr}", ext::render_window_ablation(&ext::window_ablation()?));
-    println!("{}\n{hr}", ext::render_fabric_ablation(&ext::fabric_ablation()?));
+    println!(
+        "{}\n{hr}",
+        ext::render_adder_ablation(&ext::adder_ablation()?)
+    );
+    println!(
+        "{}\n{hr}",
+        ext::render_window_ablation(&ext::window_ablation()?)
+    );
+    println!(
+        "{}\n{hr}",
+        ext::render_fabric_ablation(&ext::fabric_ablation()?)
+    );
     println!("{}\n{hr}", ext::render_serving(&ext::serving_capacity()?));
     Ok(())
 }

@@ -7,9 +7,10 @@ use llm_workload::model::{ModelZoo, Precision};
 use llm_workload::parallelism::Parallelism;
 use llm_workload::taskgraph::{decode_step, training_step, weights_per_unit_bytes};
 use optimus::{
-    estimate_energy, weak_scaling_sweep, EnergyModel, InferenceEstimator, OptimusError,
-    Placement, RequestShape, ScalingPoint, SpeedupStudy,
+    estimate_energy, weak_scaling_sweep, EnergyModel, InferenceEstimator, OptimusError, Placement,
+    RequestShape, ScalingPoint, SpeedupStudy,
 };
+use rayon::prelude::*;
 use scd_arch::blade::{Blade, SnuConfig};
 use scd_arch::gpu::GpuSystem;
 use scd_arch::spu::SpuConfig;
@@ -87,32 +88,38 @@ pub fn jsram_inference_study() -> Result<Vec<JsramStudyRow>, OptimusError> {
         Datalink::paper_peak(),
     )?;
     let shape = RequestShape::paper_io(8);
-    let mut rows = Vec::new();
-    for model in [ModelZoo::llama2_7b(), ModelZoo::llama2_13b(), ModelZoo::llama_70b()] {
-        let par = Parallelism::pure_tp(8)?;
-        let accel = blade
-            .accelerator()
-            .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
-        let dram = InferenceEstimator::new(accel.clone(), blade.interconnect())
-            .estimate(&model, &par, shape)?;
-        let weights_resident = Placement {
-            weights: LevelKind::L2,
-            kv: Some(LevelKind::L2),
-        };
-        let jsram = InferenceEstimator::new(accel, blade.interconnect())
-            .with_placement(weights_resident)
-            .estimate(&model, &par, shape)?;
-        let per_unit = weights_per_unit_bytes(&model, &par, Precision::Bf16);
-        rows.push(JsramStudyRow {
-            model: model.name.clone(),
-            weights_gb: per_unit / 1e9,
-            fits_l2: per_unit * f64::from(par.units()) <= (32u64 << 30) as f64,
-            dram_s: dram.latency_s(),
-            jsram_s: jsram.latency_s(),
-            speedup: dram.latency_s() / jsram.latency_s(),
-        });
-    }
-    Ok(rows)
+    let models = [
+        ModelZoo::llama2_7b(),
+        ModelZoo::llama2_13b(),
+        ModelZoo::llama_70b(),
+    ];
+    models
+        .par_iter()
+        .map(|model| {
+            let par = Parallelism::pure_tp(8)?;
+            let accel = blade
+                .accelerator()
+                .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
+            let dram = InferenceEstimator::new(accel.clone(), blade.interconnect())
+                .estimate(model, &par, shape)?;
+            let weights_resident = Placement {
+                weights: LevelKind::L2,
+                kv: Some(LevelKind::L2),
+            };
+            let jsram = InferenceEstimator::new(accel, blade.interconnect())
+                .with_placement(weights_resident)
+                .estimate(model, &par, shape)?;
+            let per_unit = weights_per_unit_bytes(model, &par, Precision::Bf16);
+            Ok(JsramStudyRow {
+                model: model.name.clone(),
+                weights_gb: per_unit / 1e9,
+                fits_l2: per_unit * f64::from(par.units()) <= (32u64 << 30) as f64,
+                dram_s: dram.latency_s(),
+                jsram_s: jsram.latency_s(),
+                speedup: dram.latency_s() / jsram.latency_s(),
+            })
+        })
+        .collect()
 }
 
 /// Renders the JSRAM study.
@@ -164,7 +171,6 @@ pub fn energy_projection() -> Result<Vec<EnergyRow>, OptimusError> {
         .accelerator()
         .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
     let gpu = GpuSystem::h100_cluster(64).accelerator().clone();
-    let mut rows = Vec::new();
 
     let train_graph = training_step(
         &ModelZoo::gpt3_76b(),
@@ -180,22 +186,24 @@ pub fn energy_projection() -> Result<Vec<EnergyRow>, OptimusError> {
         400,
         Precision::Bf16,
     )?;
-    for (label, graph) in [
+    [
         ("GPT3-76B train step".to_owned(), &train_graph),
         ("Llama-405B decode token".to_owned(), &decode_graph),
-    ] {
+    ]
+    .into_par_iter()
+    .map(|(label, graph)| {
         let e_scd = estimate_energy(&spu, graph, &EnergyModel::scd(), Placement::dram())?;
         let e_gpu = estimate_energy(&gpu, graph, &EnergyModel::h100(), Placement::dram())?;
-        rows.push(EnergyRow {
+        Ok(EnergyRow {
             workload: label,
             scd_device_j: e_scd.total_j,
             scd_wall_j: e_scd.wall_plug_j,
             gpu_j: e_gpu.total_j,
             device_ratio: e_gpu.total_j / e_scd.total_j,
             wall_ratio: e_gpu.total_j / e_scd.wall_plug_j,
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .collect()
 }
 
 /// Renders the energy projection.
@@ -243,20 +251,21 @@ pub fn serving_capacity() -> Result<Vec<ServingRow>, OptimusError> {
     let study = SpeedupStudy::paper_baseline();
     let scd = study.scd_inference();
     let gpu = study.gpu_inference();
-    let mut rows = Vec::new();
-    for budget_ms in [2.0, 5.0, 10.0, 25.0] {
-        let b = budget_ms / 1e3;
-        let s = plan_serving(&scd, &model, &par, (200, 200), 128, b)?;
-        let g = plan_serving(&gpu, &model, &par, (200, 200), 128, b)?;
-        rows.push(ServingRow {
-            budget_ms,
-            scd_batch: s.chosen.map_or(0, |p| p.batch),
-            scd_tokens_per_s: s.chosen.map_or(0.0, |p| p.tokens_per_s),
-            gpu_batch: g.chosen.map_or(0, |p| p.batch),
-            gpu_tokens_per_s: g.chosen.map_or(0.0, |p| p.tokens_per_s),
-        });
-    }
-    Ok(rows)
+    [2.0, 5.0, 10.0, 25.0]
+        .into_par_iter()
+        .map(|budget_ms| {
+            let b = budget_ms / 1e3;
+            let s = plan_serving(&scd, &model, &par, (200, 200), 128, b)?;
+            let g = plan_serving(&gpu, &model, &par, (200, 200), 128, b)?;
+            Ok(ServingRow {
+                budget_ms,
+                scd_batch: s.chosen.map_or(0, |p| p.batch),
+                scd_tokens_per_s: s.chosen.map_or(0.0, |p| p.tokens_per_s),
+                gpu_batch: g.chosen.map_or(0, |p| p.batch),
+                gpu_tokens_per_s: g.chosen.map_or(0.0, |p| p.tokens_per_s),
+            })
+        })
+        .collect()
 }
 
 /// Renders the serving-capacity study.
@@ -295,17 +304,18 @@ pub struct AdderAblationRow {
 /// Propagates flow failures.
 pub fn adder_ablation() -> Result<Vec<AdderAblationRow>, scd_eda::EdaError> {
     let flow = StarlingFlow::new(Technology::scd_nbtin()).with_verify_words(4);
-    let mut rows = Vec::new();
-    for width in [8usize, 16, 32] {
-        let ripple = flow.compile(&blocks::ripple_adder(width)?)?.report;
-        let ks = flow.compile(&blocks::kogge_stone_adder(width)?)?.report;
-        rows.push(AdderAblationRow {
-            width,
-            ripple: (ripple.total_junctions, ripple.pipeline_depth),
-            kogge_stone: (ks.total_junctions, ks.pipeline_depth),
-        });
-    }
-    Ok(rows)
+    [8usize, 16, 32]
+        .into_par_iter()
+        .map(|width| {
+            let ripple = flow.compile(&blocks::ripple_adder(width)?)?.report;
+            let ks = flow.compile(&blocks::kogge_stone_adder(width)?)?.report;
+            Ok(AdderAblationRow {
+                width,
+                ripple: (ripple.total_junctions, ripple.pipeline_depth),
+                kogge_stone: (ks.total_junctions, ks.pipeline_depth),
+            })
+        })
+        .collect()
 }
 
 /// Renders the adder ablation.
@@ -347,30 +357,31 @@ pub fn window_ablation() -> Result<Vec<WindowAblationRow>, OptimusError> {
     let par = Parallelism::pure_tp(64)?;
     let shape = RequestShape::paper_io(8);
     let blade = Blade::baseline();
-    let mut rows = Vec::new();
-    for outstanding in [16u32, 64, 256, 1024] {
-        let tm = TransferModel {
-            burst_bytes: 4096,
-            max_outstanding: outstanding,
-        };
-        let mut accel = blade
-            .accelerator()
-            .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
-        if let Some(level) = accel.hierarchy.level_mut(LevelKind::MainMemory) {
-            level.transfer = tm;
-        }
-        let cap = tm
-            .effective_bandwidth(Bandwidth::from_tbps(16.0), TimeInterval::from_ns(30.0))
-            .tbps();
-        let r = InferenceEstimator::new(accel, blade.interconnect())
-            .estimate(&model, &par, shape)?;
-        rows.push(WindowAblationRow {
-            outstanding,
-            cap_tbps: cap,
-            latency_s: r.latency_s(),
-        });
-    }
-    Ok(rows)
+    [16u32, 64, 256, 1024]
+        .into_par_iter()
+        .map(|outstanding| {
+            let tm = TransferModel {
+                burst_bytes: 4096,
+                max_outstanding: outstanding,
+            };
+            let mut accel = blade
+                .accelerator()
+                .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
+            if let Some(level) = accel.hierarchy.level_mut(LevelKind::MainMemory) {
+                level.transfer = tm;
+            }
+            let cap = tm
+                .effective_bandwidth(Bandwidth::from_tbps(16.0), TimeInterval::from_ns(30.0))
+                .tbps();
+            let r = InferenceEstimator::new(accel, blade.interconnect())
+                .estimate(&model, &par, shape)?;
+            Ok(WindowAblationRow {
+                outstanding,
+                cap_tbps: cap,
+                latency_s: r.latency_s(),
+            })
+        })
+        .collect()
 }
 
 /// Renders the window ablation.
@@ -411,22 +422,23 @@ pub fn fabric_ablation() -> Result<Vec<FabricAblationRow>, OptimusError> {
     let study = SpeedupStudy::paper_baseline();
     let shape = RequestShape::paper_io(8);
     let flat_fabric = Fabric::single(InterconnectSpec::nvlink());
-    let mut rows = Vec::new();
-    for model in [ModelZoo::llama_70b(), ModelZoo::llama_405b()] {
-        let par = Parallelism::pure_tp(64)?;
-        let tiered = study.inference(&model, &par, shape)?;
-        let gpu_flat = InferenceEstimator::new(
-            GpuSystem::h100_cluster(64).accelerator().clone(),
-            flat_fabric.clone(),
-        )
-        .estimate(&model, &par, shape)?;
-        rows.push(FabricAblationRow {
-            model: model.name.clone(),
-            tiered_speedup: tiered.speedup,
-            flat_speedup: gpu_flat.latency_s() / tiered.scd.latency_s(),
-        });
-    }
-    Ok(rows)
+    [ModelZoo::llama_70b(), ModelZoo::llama_405b()]
+        .into_par_iter()
+        .map(|model| {
+            let par = Parallelism::pure_tp(64)?;
+            let tiered = study.inference(&model, &par, shape)?;
+            let gpu_flat = InferenceEstimator::new(
+                GpuSystem::h100_cluster(64).accelerator().clone(),
+                flat_fabric.clone(),
+            )
+            .estimate(&model, &par, shape)?;
+            Ok(FabricAblationRow {
+                model: model.name.clone(),
+                tiered_speedup: tiered.speedup,
+                flat_speedup: gpu_flat.latency_s() / tiered.scd.latency_s(),
+            })
+        })
+        .collect()
 }
 
 /// Renders the fabric ablation.
@@ -473,7 +485,12 @@ mod tests {
     fn energy_projection_favors_scd() {
         let rows = energy_projection().unwrap();
         for r in &rows {
-            assert!(r.device_ratio > 10.0, "{}: {:.1}", r.workload, r.device_ratio);
+            assert!(
+                r.device_ratio > 10.0,
+                "{}: {:.1}",
+                r.workload,
+                r.device_ratio
+            );
             assert!(r.wall_ratio > 1.0, "{}: {:.2}", r.workload, r.wall_ratio);
         }
         assert!(render_energy(&rows).contains("wall adv"));

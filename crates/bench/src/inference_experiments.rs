@@ -4,6 +4,7 @@ use llm_workload::kvcache::KvCache;
 use llm_workload::model::{ModelZoo, Precision, TransformerConfig};
 use llm_workload::parallelism::Parallelism;
 use optimus::{OptimusError, RequestShape, SpeedupStudy};
+use rayon::prelude::*;
 use scd_tech::units::{Bandwidth, TimeInterval};
 use serde::{Deserialize, Serialize};
 
@@ -39,17 +40,18 @@ pub fn fig7_sweep() -> Result<Vec<Fig7Point>, OptimusError> {
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64)?;
     let shape = RequestShape::paper_io(8);
-    let mut out = Vec::new();
-    for bw in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
-        let study = SpeedupStudy::paper_baseline()
-            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
-        let r = study.scd_inference().estimate(&model, &par, shape)?;
-        out.push(Fig7Point {
-            bw_tbps: bw,
-            latency_s: r.latency_s(),
-        });
-    }
-    Ok(out)
+    [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        .into_par_iter()
+        .map(|bw| {
+            let study =
+                SpeedupStudy::paper_baseline().with_dram_bandwidth(Bandwidth::from_tbps(bw));
+            let r = study.scd_inference().estimate(&model, &par, shape)?;
+            Ok(Fig7Point {
+                bw_tbps: bw,
+                latency_s: r.latency_s(),
+            })
+        })
+        .collect()
 }
 
 /// Renders Fig. 7.
@@ -92,17 +94,18 @@ pub fn fig7a_sweep() -> Result<Vec<Fig7aPoint>, OptimusError> {
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64)?;
     let shape = RequestShape::paper_io(8);
-    let mut out = Vec::new();
-    for lat in [10.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0] {
-        let study = SpeedupStudy::paper_baseline()
-            .with_dram_latency(TimeInterval::from_ns(lat));
-        let r = study.scd_inference().estimate(&model, &par, shape)?;
-        out.push(Fig7aPoint {
-            latency_ns: lat,
-            pflops_per_spu: r.pflops_per_unit(),
-        });
-    }
-    Ok(out)
+    [10.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0]
+        .into_par_iter()
+        .map(|lat| {
+            let study =
+                SpeedupStudy::paper_baseline().with_dram_latency(TimeInterval::from_ns(lat));
+            let r = study.scd_inference().estimate(&model, &par, shape)?;
+            Ok(Fig7aPoint {
+                latency_ns: lat,
+                pflops_per_spu: r.pflops_per_unit(),
+            })
+        })
+        .collect()
 }
 
 /// Renders Fig. 7 inset (a).
@@ -113,7 +116,10 @@ pub fn render_fig7a(points: &[Fig7aPoint]) -> String {
          latency(ns)  PFLOP/s/SPU\n",
     );
     for p in points {
-        out.push_str(&format!("{:>11.0}{:>13.4}\n", p.latency_ns, p.pflops_per_spu));
+        out.push_str(&format!(
+            "{:>11.0}{:>13.4}\n",
+            p.latency_ns, p.pflops_per_spu
+        ));
     }
     out
 }
@@ -142,20 +148,21 @@ pub fn fig7b_sweep() -> Result<Vec<Fig7bPoint>, OptimusError> {
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64)?;
     let study = SpeedupStudy::paper_baseline();
-    let mut out = Vec::new();
-    for batch in [4u32, 8, 16, 32, 64, 128] {
-        let shape = RequestShape::paper_io(batch);
-        let scd = study.scd_inference().estimate(&model, &par, shape)?;
-        let gpu = study.gpu_inference().estimate(&model, &par, shape)?;
-        out.push(Fig7bPoint {
-            batch,
-            scd_latency_s: scd.latency_s(),
-            scd_pflops: scd.pflops_per_unit(),
-            gpu_latency_s: gpu.latency_s(),
-            gpu_pflops: gpu.pflops_per_unit(),
-        });
-    }
-    Ok(out)
+    [4u32, 8, 16, 32, 64, 128]
+        .into_par_iter()
+        .map(|batch| {
+            let shape = RequestShape::paper_io(batch);
+            let scd = study.scd_inference().estimate(&model, &par, shape)?;
+            let gpu = study.gpu_inference().estimate(&model, &par, shape)?;
+            Ok(Fig7bPoint {
+                batch,
+                scd_latency_s: scd.latency_s(),
+                scd_pflops: scd.pflops_per_unit(),
+                gpu_latency_s: gpu.latency_s(),
+                gpu_pflops: gpu.pflops_per_unit(),
+            })
+        })
+        .collect()
 }
 
 /// Renders Fig. 7 inset (b).
@@ -197,23 +204,24 @@ pub struct Fig8aRow {
 pub fn fig8a_rows() -> Result<Vec<Fig8aRow>, OptimusError> {
     let study = SpeedupStudy::paper_baseline();
     let shape = RequestShape::paper_io(8);
-    let mut rows = Vec::new();
-    for model in [
+    [
         ModelZoo::moe_132b(),
         ModelZoo::llama_70b(),
         ModelZoo::llama_405b(),
-    ] {
+    ]
+    .into_par_iter()
+    .map(|model| {
         let par = blade_parallelism(&model)?;
         let c = study.inference(&model, &par, shape)?;
-        rows.push(Fig8aRow {
+        Ok(Fig8aRow {
             model: model.name.clone(),
             parallelism: par.to_string(),
             speedup: c.speedup,
             scd_latency_s: c.scd.latency_s(),
             gpu_latency_s: c.gpu.latency_s(),
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .collect()
 }
 
 /// Renders Fig. 8a.
@@ -255,27 +263,27 @@ pub fn fig8b_sweep() -> Result<Vec<Fig8bPoint>, OptimusError> {
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64)?;
     let study = SpeedupStudy::paper_baseline();
-    let gpu_capacity_tb =
-        study.gpus().total_memory_bytes() as f64 / 1e12;
-    let mut out = Vec::new();
-    for batch in [4u32, 8, 16, 32, 64, 128] {
-        let c = study.inference(&model, &par, RequestShape::paper_io(batch))?;
-        // Fig. 8b plots the cache at the provisioned context window.
-        let kv = KvCache {
-            batch,
-            seq_len: model.max_context,
-            precision: Precision::Bf16,
-        }
-        .bytes_mha(&model)
-            / 1e12;
-        out.push(Fig8bPoint {
-            batch,
-            speedup: c.speedup,
-            kv_cache_tb: kv,
-            fits_gpu_memory: kv < gpu_capacity_tb,
-        });
-    }
-    Ok(out)
+    let gpu_capacity_tb = study.gpus().total_memory_bytes() as f64 / 1e12;
+    [4u32, 8, 16, 32, 64, 128]
+        .into_par_iter()
+        .map(|batch| {
+            let c = study.inference(&model, &par, RequestShape::paper_io(batch))?;
+            // Fig. 8b plots the cache at the provisioned context window.
+            let kv = KvCache {
+                batch,
+                seq_len: model.max_context,
+                precision: Precision::Bf16,
+            }
+            .bytes_mha(&model)
+                / 1e12;
+            Ok(Fig8bPoint {
+                batch,
+                speedup: c.speedup,
+                kv_cache_tb: kv,
+                fits_gpu_memory: kv < gpu_capacity_tb,
+            })
+        })
+        .collect()
 }
 
 /// Renders Fig. 8b.

@@ -1,13 +1,13 @@
 //! Experiments T1, F1f/g, F1h, F2b, F3c: regenerating the paper's
 //! specification tables bottom-up.
 
+use scd_arch::Blade;
 use scd_eda::blocks;
 use scd_eda::flow::StarlingFlow;
 use scd_eda::netlist::Netlist;
 use scd_mem::datalink::Datalink;
 use scd_tech::pcl::LibrarySummary;
 use scd_tech::technology::{render_table1, Technology};
-use scd_arch::Blade;
 use serde::{Deserialize, Serialize};
 
 /// Renders Table I (technology stack specifications).

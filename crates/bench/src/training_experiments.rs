@@ -30,8 +30,7 @@ pub fn fig5_sweep() -> Result<Vec<Fig5Point>, OptimusError> {
     let par = Parallelism::new(8, 8, 1)?;
     let mut out = Vec::new();
     for bw in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
-        let study = SpeedupStudy::paper_baseline()
-            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
+        let study = SpeedupStudy::paper_baseline().with_dram_bandwidth(Bandwidth::from_tbps(bw));
         let r = study.scd_training().estimate(&model, &par, 128)?;
         out.push(Fig5Point {
             bw_tbps: bw,

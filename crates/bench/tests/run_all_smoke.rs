@@ -1,0 +1,66 @@
+//! Smoke test: every figure/table entry function that `run_all` chains
+//! together must run to completion without panicking and render non-empty
+//! output. This is exactly the call list of `src/bin/run_all.rs`, so a
+//! green run here means the full paper-reproduction binary works.
+
+use scd_bench::{extensions as ext, inference_experiments as inf, l2_study, spec_tables as spec};
+use scd_bench::{training_experiments as tr, validation};
+use scd_perf::ScdError;
+
+#[test]
+fn every_run_all_stage_runs_and_renders() -> Result<(), ScdError> {
+    let stages: Vec<(&str, String)> = vec![
+        ("table1", spec::table1()),
+        ("fig1_pcl_library", spec::fig1_pcl_library()),
+        (
+            "fig1_eda_flow",
+            spec::render_eda_flow(&spec::fig1_eda_flow()?),
+        ),
+        ("fig2_datalink", spec::fig2_datalink()),
+        ("fig3_blade_specs", spec::fig3_blade_specs()),
+        ("fig5", tr::render_fig5(&tr::fig5_sweep()?)),
+        ("fig6", tr::render_fig6(&tr::fig6_rows()?)),
+        ("fig7", inf::render_fig7(&inf::fig7_sweep()?)),
+        ("fig7a", inf::render_fig7a(&inf::fig7a_sweep()?)),
+        ("fig7b", inf::render_fig7b(&inf::fig7b_sweep()?)),
+        ("fig8a", inf::render_fig8a(&inf::fig8a_rows()?)),
+        ("fig8b", inf::render_fig8b(&inf::fig8b_sweep()?)),
+        (
+            "l2_kv_study",
+            l2_study::render_l2_study(&l2_study::l2_kv_study()?),
+        ),
+        (
+            "noc_validation",
+            validation::render_validation(&validation::noc_validation()?),
+        ),
+        (
+            "multi_blade",
+            ext::render_multi_blade(&ext::multi_blade_scaling()?),
+        ),
+        (
+            "jsram_study",
+            ext::render_jsram_study(&ext::jsram_inference_study()?),
+        ),
+        ("energy", ext::render_energy(&ext::energy_projection()?)),
+        (
+            "adder_ablation",
+            ext::render_adder_ablation(&ext::adder_ablation()?),
+        ),
+        (
+            "window_ablation",
+            ext::render_window_ablation(&ext::window_ablation()?),
+        ),
+        (
+            "fabric_ablation",
+            ext::render_fabric_ablation(&ext::fabric_ablation()?),
+        ),
+        ("serving", ext::render_serving(&ext::serving_capacity()?)),
+    ];
+    for (name, rendered) in stages {
+        assert!(
+            rendered.trim().lines().count() >= 2,
+            "stage {name} rendered almost nothing: {rendered:?}"
+        );
+    }
+    Ok(())
+}

@@ -74,10 +74,7 @@ impl SpeedupStudy {
     /// The GPU training estimator for this study.
     #[must_use]
     pub fn gpu_training(&self) -> TrainingEstimator {
-        TrainingEstimator::new(
-            self.gpus.accelerator().clone(),
-            self.gpus.fabric().clone(),
-        )
+        TrainingEstimator::new(self.gpus.accelerator().clone(), self.gpus.fabric().clone())
     }
 
     /// The SCD inference estimator for this study.
@@ -95,10 +92,7 @@ impl SpeedupStudy {
     /// The GPU inference estimator for this study.
     #[must_use]
     pub fn gpu_inference(&self) -> InferenceEstimator {
-        InferenceEstimator::new(
-            self.gpus.accelerator().clone(),
-            self.gpus.fabric().clone(),
-        )
+        InferenceEstimator::new(self.gpus.accelerator().clone(), self.gpus.fabric().clone())
     }
 
     /// The GPU system under comparison.
@@ -182,7 +176,9 @@ mod tests {
             .inference(&ModelZoo::llama_70b(), &par, RequestShape::paper_io(8))
             .unwrap();
         let train_par = Parallelism::new(8, 8, 1).unwrap();
-        let train = study.training(&ModelZoo::gpt3_76b(), &train_par, 64).unwrap();
+        let train = study
+            .training(&ModelZoo::gpt3_76b(), &train_par, 64)
+            .unwrap();
         assert!(inf.speedup > train.speedup);
     }
 

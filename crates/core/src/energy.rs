@@ -148,17 +148,16 @@ pub fn estimate_energy(
             roofline.activation_level(kernel)
         };
         if placement.weights == dram_level.kind {
-            dram_j += dram_level.transfer_energy(kernel.weight_bytes).joules()
-                * kernel.invocations;
+            dram_j += dram_level.transfer_energy(kernel.weight_bytes).joules() * kernel.invocations;
         }
         if act_kind == dram_level.kind {
-            dram_j += dram_level.transfer_energy(kernel.activation_bytes).joules()
-                * kernel.invocations;
+            dram_j +=
+                dram_level.transfer_energy(kernel.activation_bytes).joules() * kernel.invocations;
         }
     }
     let on_chip_j = total_j - dram_j;
-    let wall_plug_j = on_chip_j * model.compute_stage.cooling_overhead()
-        + dram_j * dram_stage.cooling_overhead();
+    let wall_plug_j =
+        on_chip_j * model.compute_stage.cooling_overhead() + dram_j * dram_stage.cooling_overhead();
     Ok(EnergyReport {
         compute_j,
         memory_j,
@@ -195,10 +194,8 @@ mod tests {
             .accelerator()
             .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
         let gpu = GpuSystem::h100_cluster(64).accelerator().clone();
-        let e_scd =
-            estimate_energy(&spu, &g, &EnergyModel::scd(), Placement::dram()).unwrap();
-        let e_gpu =
-            estimate_energy(&gpu, &g, &EnergyModel::h100(), Placement::dram()).unwrap();
+        let e_scd = estimate_energy(&spu, &g, &EnergyModel::scd(), Placement::dram()).unwrap();
+        let e_gpu = estimate_energy(&gpu, &g, &EnergyModel::h100(), Placement::dram()).unwrap();
         let ratio = e_gpu.total_j / e_scd.total_j;
         assert!(ratio > 20.0, "device-level advantage, got {ratio:.1}x");
     }
@@ -210,10 +207,8 @@ mod tests {
             .accelerator()
             .with_dram_bandwidth(Bandwidth::from_tbps(16.0));
         let gpu = GpuSystem::h100_cluster(64).accelerator().clone();
-        let e_scd =
-            estimate_energy(&spu, &g, &EnergyModel::scd(), Placement::dram()).unwrap();
-        let e_gpu =
-            estimate_energy(&gpu, &g, &EnergyModel::h100(), Placement::dram()).unwrap();
+        let e_scd = estimate_energy(&spu, &g, &EnergyModel::scd(), Placement::dram()).unwrap();
+        let e_gpu = estimate_energy(&gpu, &g, &EnergyModel::h100(), Placement::dram()).unwrap();
         // On-chip joules pay 400×; cryo-DRAM traffic only 10×, so the
         // aggregate multiplier sits in between.
         let multiplier = e_scd.wall_plug_j / e_scd.total_j;

@@ -10,6 +10,12 @@ pub enum OptimusError {
     Workload(llm_workload::WorkloadError),
     /// The architecture descriptor was invalid.
     Architecture(scd_arch::ArchError),
+    /// A memory-hierarchy model rejected its configuration or query.
+    Memory(scd_mem::MemError),
+    /// The network simulator rejected its configuration or query.
+    Network(scd_noc::NocError),
+    /// A technology-layer parameter was invalid.
+    Technology(scd_tech::TechError),
     /// The requested mapping/placement was impossible.
     Mapping {
         /// Description of the violated constraint.
@@ -22,6 +28,9 @@ impl fmt::Display for OptimusError {
         match self {
             Self::Workload(e) => write!(f, "workload error: {e}"),
             Self::Architecture(e) => write!(f, "architecture error: {e}"),
+            Self::Memory(e) => write!(f, "memory error: {e}"),
+            Self::Network(e) => write!(f, "network error: {e}"),
+            Self::Technology(e) => write!(f, "technology error: {e}"),
             Self::Mapping { reason } => write!(f, "mapping error: {reason}"),
         }
     }
@@ -32,6 +41,9 @@ impl Error for OptimusError {
         match self {
             Self::Workload(e) => Some(e),
             Self::Architecture(e) => Some(e),
+            Self::Memory(e) => Some(e),
+            Self::Network(e) => Some(e),
+            Self::Technology(e) => Some(e),
             Self::Mapping { .. } => None,
         }
     }
@@ -49,6 +61,24 @@ impl From<scd_arch::ArchError> for OptimusError {
     }
 }
 
+impl From<scd_mem::MemError> for OptimusError {
+    fn from(e: scd_mem::MemError) -> Self {
+        Self::Memory(e)
+    }
+}
+
+impl From<scd_noc::NocError> for OptimusError {
+    fn from(e: scd_noc::NocError) -> Self {
+        Self::Network(e)
+    }
+}
+
+impl From<scd_tech::TechError> for OptimusError {
+    fn from(e: scd_tech::TechError) -> Self {
+        Self::Technology(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,11 +91,10 @@ mod tests {
         assert!(e.to_string().contains("no level fits"));
         assert!(e.source().is_none());
 
-        let w: OptimusError =
-            llm_workload::WorkloadError::InvalidModel {
-                reason: "x".to_owned(),
-            }
-            .into();
+        let w: OptimusError = llm_workload::WorkloadError::InvalidModel {
+            reason: "x".to_owned(),
+        }
+        .into();
         assert!(w.source().is_some());
     }
 }

@@ -12,6 +12,7 @@ use llm_workload::kvcache::KvCache;
 use llm_workload::model::{Precision, TransformerConfig};
 use llm_workload::parallelism::Parallelism;
 use llm_workload::taskgraph::{decode_step, prefill, TaskGraph};
+use rayon::prelude::*;
 use scd_arch::{Accelerator, Fabric};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -56,7 +57,10 @@ impl fmt::Display for InferenceReport {
         write!(
             f,
             "latency {:.3} s (prefill {:.3} + decode {:.3}); {:.3} PFLOP/s/unit",
-            self.total_s, self.prefill_s, self.decode_s, self.pflops_per_unit()
+            self.total_s,
+            self.prefill_s,
+            self.decode_s,
+            self.pflops_per_unit()
         )
     }
 }
@@ -147,33 +151,43 @@ impl InferenceEstimator {
         (compute, comm)
     }
 
-    /// Estimates a full request (prefill + decode).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`OptimusError`] for invalid model/parallelism combinations.
-    pub fn estimate(
+    /// Times the decode step at KV length `input_tokens + t`, returning
+    /// (compute s, communication s, FLOPs).
+    fn decode_token(
         &self,
         model: &TransformerConfig,
         par: &Parallelism,
         shape: RequestShape,
+        tp: usize,
+        t: u32,
+    ) -> Result<(f64, f64, f64), OptimusError> {
+        let kv_len = shape.input_tokens + t;
+        let g = decode_step(model, par, shape.batch, kv_len, self.precision)?;
+        let (c, m) = self.graph_time(&g, tp);
+        Ok((c, m, g.total_flops()))
+    }
+
+    /// Assembles the report from prefill timings and the per-token decode
+    /// timings, folding tokens in order. Shared by the parallel and serial
+    /// estimation paths so the two can only differ in how the per-token
+    /// values were produced.
+    fn compose_report(
+        &self,
+        model: &TransformerConfig,
+        shape: RequestShape,
+        prefill_comp: f64,
+        prefill_comm: f64,
+        prefill_flops: f64,
+        per_token: impl IntoIterator<Item = Result<(f64, f64, f64), OptimusError>>,
     ) -> Result<InferenceReport, OptimusError> {
-        self.accel.validate()?;
-        let tp = par.tp() as usize;
-
-        let prefill_graph = prefill(model, par, shape.batch, shape.input_tokens, self.precision)?;
-        let (prefill_comp, prefill_comm) = self.graph_time(&prefill_graph, tp);
-        let mut flops = prefill_graph.total_flops();
-
+        let mut flops = prefill_flops;
         let mut decode_comp = 0.0;
         let mut decode_comm = 0.0;
-        for t in 0..shape.output_tokens {
-            let kv_len = shape.input_tokens + t;
-            let g = decode_step(model, par, shape.batch, kv_len, self.precision)?;
-            let (c, m) = self.graph_time(&g, tp);
+        for timed in per_token {
+            let (c, m, fl) = timed?;
             decode_comp += c;
             decode_comm += m;
-            flops += g.total_flops();
+            flops += fl;
         }
 
         let prefill_s = prefill_comp + prefill_comm;
@@ -194,6 +208,71 @@ impl InferenceEstimator {
             per_token_s: decode_s / f64::from(shape.output_tokens.max(1)),
             kv_cache_bytes: kv.bytes_mha(model),
         })
+    }
+
+    /// Estimates a full request (prefill + decode). Each generated token's
+    /// task graph is built and timed on a separate rayon task — the KV
+    /// length, and therefore the graph, differs per token — and the
+    /// per-token times are folded in token order on the calling thread, so
+    /// the result is bit-identical to [`Self::estimate_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError`] for invalid model/parallelism combinations.
+    pub fn estimate(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        shape: RequestShape,
+    ) -> Result<InferenceReport, OptimusError> {
+        self.accel.validate()?;
+        let tp = par.tp() as usize;
+
+        let prefill_graph = prefill(model, par, shape.batch, shape.input_tokens, self.precision)?;
+        let (prefill_comp, prefill_comm) = self.graph_time(&prefill_graph, tp);
+
+        let per_token: Vec<Result<(f64, f64, f64), OptimusError>> = (0..shape.output_tokens)
+            .into_par_iter()
+            .map(|t| self.decode_token(model, par, shape, tp, t))
+            .collect();
+        self.compose_report(
+            model,
+            shape,
+            prefill_comp,
+            prefill_comm,
+            prefill_graph.total_flops(),
+            per_token,
+        )
+    }
+
+    /// Serial reference implementation of [`Self::estimate`], kept as the
+    /// ground truth for the rayon-equivalence test in CI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError`] for invalid model/parallelism combinations.
+    pub fn estimate_serial(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        shape: RequestShape,
+    ) -> Result<InferenceReport, OptimusError> {
+        self.accel.validate()?;
+        let tp = par.tp() as usize;
+
+        let prefill_graph = prefill(model, par, shape.batch, shape.input_tokens, self.precision)?;
+        let (prefill_comp, prefill_comm) = self.graph_time(&prefill_graph, tp);
+
+        let per_token =
+            (0..shape.output_tokens).map(|t| self.decode_token(model, par, shape, tp, t));
+        self.compose_report(
+            model,
+            shape,
+            prefill_comp,
+            prefill_comm,
+            prefill_graph.total_flops(),
+            per_token,
+        )
     }
 }
 
@@ -227,7 +306,9 @@ mod tests {
         let shape = RequestShape::paper_io(8);
         let mut latencies = Vec::new();
         for bw in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
-            let r = spu_estimator(bw, 30.0).estimate(&model, &par, shape).unwrap();
+            let r = spu_estimator(bw, 30.0)
+                .estimate(&model, &par, shape)
+                .unwrap();
             latencies.push(r.latency_s());
         }
         for w in latencies.windows(2) {
@@ -254,7 +335,9 @@ mod tests {
         let shape = RequestShape::paper_io(8);
         let mut last = f64::INFINITY;
         for lat in [10.0, 30.0, 50.0, 100.0, 200.0] {
-            let r = spu_estimator(16.0, lat).estimate(&model, &par, shape).unwrap();
+            let r = spu_estimator(16.0, lat)
+                .estimate(&model, &par, shape)
+                .unwrap();
             let p = r.pflops_per_unit();
             assert!(p < last, "throughput must fall with latency");
             last = p;
@@ -271,7 +354,10 @@ mod tests {
             let r = spu_estimator(16.0, 30.0)
                 .estimate(&model, &par, RequestShape::paper_io(b))
                 .unwrap();
-            assert!(r.pflops_per_unit() > last_throughput, "throughput grows with batch");
+            assert!(
+                r.pflops_per_unit() > last_throughput,
+                "throughput grows with batch"
+            );
             assert!(r.latency_s() > last_latency, "latency grows with batch");
             last_throughput = r.pflops_per_unit();
             last_latency = r.latency_s();
@@ -289,7 +375,9 @@ mod tests {
             (ModelZoo::llama_405b(), Parallelism::pure_tp(64).unwrap()),
         ];
         for (model, par) in cases {
-            let spu = spu_estimator(16.0, 30.0).estimate(&model, &par, shape).unwrap();
+            let spu = spu_estimator(16.0, 30.0)
+                .estimate(&model, &par, shape)
+                .unwrap();
             let gpu = gpu_estimator().estimate(&model, &par, shape).unwrap();
             let speedup = gpu.latency_s() / spu.latency_s();
             assert!(
@@ -309,7 +397,9 @@ mod tests {
         let inf_par = Parallelism::new(16, 4, 1).unwrap();
         let shape = RequestShape::paper_io(8);
 
-        let spu_inf = spu_estimator(16.0, 30.0).estimate(&model, &inf_par, shape).unwrap();
+        let spu_inf = spu_estimator(16.0, 30.0)
+            .estimate(&model, &inf_par, shape)
+            .unwrap();
         let gpu_inf = gpu_estimator().estimate(&model, &inf_par, shape).unwrap();
         let inf_speedup = gpu_inf.latency_s() / spu_inf.latency_s();
 

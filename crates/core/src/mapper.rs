@@ -3,12 +3,16 @@
 //!
 //! Exhaustively enumerates the (TP, PP, DP) factorizations of the unit
 //! count that are compatible with the model and picks the one minimizing
-//! estimated step time.
+//! estimated step time. Candidates are estimated in parallel (one rayon
+//! task per factorization); the argmin itself folds the ordered results
+//! on the calling thread, so the outcome is bit-identical to the serial
+//! reference ([`MappingSearch::best_training_serial`]).
 
 use crate::error::OptimusError;
 use crate::training::{TrainingEstimator, TrainingReport};
 use llm_workload::model::TransformerConfig;
 use llm_workload::parallelism::Parallelism;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One evaluated mapping.
@@ -66,28 +70,34 @@ impl MappingSearch {
         out
     }
 
-    /// Finds the fastest training mapping.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`OptimusError::Mapping`] if no candidate is valid.
-    pub fn best_training(
-        &self,
+    /// Evaluates one candidate plan into a (choice, report) pair, or
+    /// `None` if the estimator rejects it.
+    fn evaluate(
         estimator: &TrainingEstimator,
         model: &TransformerConfig,
         global_batch: u32,
+        par: &Parallelism,
+    ) -> Option<(MappingChoice, TrainingReport)> {
+        let report = estimator.estimate(model, par, global_batch).ok()?;
+        let choice = MappingChoice {
+            tp: par.tp(),
+            pp: par.pp(),
+            dp: par.dp(),
+            step_time_s: report.total_s,
+        };
+        Some((choice, report))
+    }
+
+    /// Folds evaluated candidates, in candidate-enumeration order, into
+    /// the fastest one. Ties keep the earliest candidate, exactly like
+    /// the original serial loop.
+    fn select(
+        &self,
+        evaluated: impl Iterator<Item = Option<(MappingChoice, TrainingReport)>>,
+        model: &TransformerConfig,
     ) -> Result<(MappingChoice, TrainingReport), OptimusError> {
         let mut best: Option<(MappingChoice, TrainingReport)> = None;
-        for par in self.candidates(model, global_batch) {
-            let Ok(report) = estimator.estimate(model, &par, global_batch) else {
-                continue;
-            };
-            let choice = MappingChoice {
-                tp: par.tp(),
-                pp: par.pp(),
-                dp: par.dp(),
-                step_time_s: report.total_s,
-            };
+        for (choice, report) in evaluated.flatten() {
             match &best {
                 Some((b, _)) if b.step_time_s <= choice.step_time_s => {}
                 _ => best = Some((choice, report)),
@@ -99,6 +109,49 @@ impl MappingSearch {
                 self.units, model.name
             ),
         })
+    }
+
+    /// Finds the fastest training mapping, estimating every candidate
+    /// factorization on a separate rayon task.
+    ///
+    /// Bit-identical to [`Self::best_training_serial`]: only the per-candidate
+    /// estimation runs concurrently; the argmin folds the ordered results
+    /// on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Mapping`] if no candidate is valid.
+    pub fn best_training(
+        &self,
+        estimator: &TrainingEstimator,
+        model: &TransformerConfig,
+        global_batch: u32,
+    ) -> Result<(MappingChoice, TrainingReport), OptimusError> {
+        let evaluated: Vec<Option<(MappingChoice, TrainingReport)>> = self
+            .candidates(model, global_batch)
+            .into_par_iter()
+            .map(|par| Self::evaluate(estimator, model, global_batch, &par))
+            .collect();
+        self.select(evaluated.into_iter(), model)
+    }
+
+    /// Serial reference implementation of [`Self::best_training`], kept as
+    /// the ground truth for the rayon-equivalence test in CI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Mapping`] if no candidate is valid.
+    pub fn best_training_serial(
+        &self,
+        estimator: &TrainingEstimator,
+        model: &TransformerConfig,
+        global_batch: u32,
+    ) -> Result<(MappingChoice, TrainingReport), OptimusError> {
+        let evaluated = self
+            .candidates(model, global_batch)
+            .into_iter()
+            .map(|par| Self::evaluate(estimator, model, global_batch, &par));
+        self.select(evaluated, model)
     }
 }
 
@@ -128,10 +181,7 @@ mod tests {
             assert_eq!(model.heads % par.tp(), 0);
         }
         // tp=64 does not divide 80 heads, so it must be absent.
-        assert!(search
-            .candidates(&model, 64)
-            .iter()
-            .all(|p| p.tp() != 64));
+        assert!(search.candidates(&model, 64).iter().all(|p| p.tp() != 64));
     }
 
     #[test]

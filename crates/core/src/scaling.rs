@@ -98,7 +98,8 @@ impl MultiBladeSystem {
     ) -> Result<TrainingReport, OptimusError> {
         let par = Parallelism::new(8, 8, self.blades)?;
         let global_batch = batch_per_blade * self.blades;
-        self.training_estimator().estimate(model, &par, global_batch)
+        self.training_estimator()
+            .estimate(model, &par, global_batch)
     }
 }
 
@@ -164,8 +165,7 @@ mod tests {
     fn weak_scaling_efficiency_high() {
         // DP gradient all-reduce over the blade-to-blade tier is cheap
         // relative to a training step, so weak scaling stays near-ideal.
-        let pts =
-            weak_scaling_sweep(&ModelZoo::gpt3_76b(), 64, &[1, 2, 4, 8]).unwrap();
+        let pts = weak_scaling_sweep(&ModelZoo::gpt3_76b(), 64, &[1, 2, 4, 8]).unwrap();
         assert_eq!(pts.len(), 4);
         for p in &pts {
             assert!(

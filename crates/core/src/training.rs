@@ -265,8 +265,14 @@ mod tests {
             / (low.fw_gemm_mem_bound_per_layer_s + low.fw_gemm_comp_bound_per_layer_s);
         let high_mem_frac = high.fw_gemm_mem_bound_per_layer_s
             / (high.fw_gemm_mem_bound_per_layer_s + high.fw_gemm_comp_bound_per_layer_s);
-        assert!(low_mem_frac > 0.5, "low BW is memory-dominated: {low_mem_frac}");
-        assert!(high_mem_frac < 0.3, "high BW is compute-dominated: {high_mem_frac}");
+        assert!(
+            low_mem_frac > 0.5,
+            "low BW is memory-dominated: {low_mem_frac}"
+        );
+        assert!(
+            high_mem_frac < 0.3,
+            "high BW is compute-dominated: {high_mem_frac}"
+        );
     }
 
     #[test]

@@ -210,7 +210,15 @@ mod tests {
 
     #[test]
     fn gemm_flops_and_bytes() {
-        let k = Kernel::gemm("t", KernelClass::Gemm, 64.0, 1024.0, 512.0, Precision::Bf16, 1.0);
+        let k = Kernel::gemm(
+            "t",
+            KernelClass::Gemm,
+            64.0,
+            1024.0,
+            512.0,
+            Precision::Bf16,
+            1.0,
+        );
         assert!((k.flops - 2.0 * 64.0 * 1024.0 * 512.0).abs() < 1.0);
         assert!((k.weight_bytes - 512.0 * 1024.0 * 2.0).abs() < 1.0);
         assert!((k.activation_bytes - (64.0 * 512.0 + 64.0 * 1024.0) * 2.0).abs() < 1.0);
@@ -218,9 +226,24 @@ mod tests {
 
     #[test]
     fn intensity_grows_with_batch() {
-        let small = Kernel::gemm("s", KernelClass::Gemm, 1.0, 1024.0, 1024.0, Precision::Bf16, 1.0);
-        let large =
-            Kernel::gemm("l", KernelClass::Gemm, 256.0, 1024.0, 1024.0, Precision::Bf16, 1.0);
+        let small = Kernel::gemm(
+            "s",
+            KernelClass::Gemm,
+            1.0,
+            1024.0,
+            1024.0,
+            Precision::Bf16,
+            1.0,
+        );
+        let large = Kernel::gemm(
+            "l",
+            KernelClass::Gemm,
+            256.0,
+            1024.0,
+            1024.0,
+            Precision::Bf16,
+            1.0,
+        );
         assert!(large.arithmetic_intensity() > small.arithmetic_intensity() * 50.0);
     }
 
@@ -229,7 +252,15 @@ mod tests {
         // For m = B and large n, k: AI → B per byte-pair; with bf16 the
         // paper's "minimal data reuse" claim.
         let b = 8.0;
-        let k = Kernel::gemm("gemv", KernelClass::Gemm, b, 16384.0, 16384.0, Precision::Bf16, 1.0);
+        let k = Kernel::gemm(
+            "gemv",
+            KernelClass::Gemm,
+            b,
+            16384.0,
+            16384.0,
+            Precision::Bf16,
+            1.0,
+        );
         let ai = k.arithmetic_intensity();
         assert!((ai - b).abs() < 0.5, "got {ai}");
     }

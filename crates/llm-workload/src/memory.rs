@@ -148,26 +148,38 @@ mod tests {
         let par = Parallelism::new(8, 8, 1).unwrap();
         // 80 GB HBM minus ~10 % workspace/fragmentation reserve.
         let usable: u64 = 72 << 30;
-        let store = training_footprint(&model, &par, 2048, Precision::Bf16,
-                                       ActivationPolicy::StoreAll);
-        let recompute = training_footprint(&model, &par, 2048, Precision::Bf16,
-                                           ActivationPolicy::Recompute);
+        let store = training_footprint(
+            &model,
+            &par,
+            2048,
+            Precision::Bf16,
+            ActivationPolicy::StoreAll,
+        );
+        let recompute = training_footprint(
+            &model,
+            &par,
+            2048,
+            Precision::Bf16,
+            ActivationPolicy::Recompute,
+        );
         assert!(
             !store.fits(usable),
             "store-all should blow the usable budget: {store}"
         );
-        assert!(
-            recompute.fits(usable),
-            "recompute should fit: {recompute}"
-        );
+        assert!(recompute.fits(usable), "recompute should fit: {recompute}");
     }
 
     #[test]
     fn recompute_slashes_activation_memory() {
         let model = ModelZoo::gpt3_76b();
         let par = Parallelism::training_baseline();
-        let store =
-            training_footprint(&model, &par, 2048, Precision::Bf16, ActivationPolicy::StoreAll);
+        let store = training_footprint(
+            &model,
+            &par,
+            2048,
+            Precision::Bf16,
+            ActivationPolicy::StoreAll,
+        );
         let rec = training_footprint(
             &model,
             &par,
@@ -207,8 +219,13 @@ mod tests {
     fn optimizer_state_dominates_training_weights() {
         let model = ModelZoo::gpt3_18b();
         let par = Parallelism::training_baseline();
-        let fp =
-            training_footprint(&model, &par, 2048, Precision::Bf16, ActivationPolicy::Recompute);
+        let fp = training_footprint(
+            &model,
+            &par,
+            2048,
+            Precision::Bf16,
+            ActivationPolicy::Recompute,
+        );
         assert!(fp.optimizer > fp.weights * 5.0);
     }
 }

@@ -97,7 +97,10 @@ impl TransformerConfig {
         }
         if !self.hidden.is_multiple_of(self.heads) {
             return Err(WorkloadError::InvalidModel {
-                reason: format!("hidden {} not divisible by heads {}", self.hidden, self.heads),
+                reason: format!(
+                    "hidden {} not divisible by heads {}",
+                    self.hidden, self.heads
+                ),
             });
         }
         if self.kv_heads == 0 || !self.heads.is_multiple_of(self.kv_heads) {
@@ -170,8 +173,7 @@ impl TransformerConfig {
     /// Total parameter count.
     #[must_use]
     pub fn total_params(&self) -> f64 {
-        f64::from(self.layers)
-            * (self.attention_params_per_layer() + self.mlp_params_per_layer())
+        f64::from(self.layers) * (self.attention_params_per_layer() + self.mlp_params_per_layer())
             + self.embedding_params()
     }
 

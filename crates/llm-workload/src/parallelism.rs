@@ -150,8 +150,14 @@ mod tests {
     #[test]
     fn model_compatibility() {
         let model = ModelZoo::gpt3_76b(); // 80 heads
-        assert!(Parallelism::new(8, 8, 1).unwrap().check_model(&model).is_ok());
-        assert!(Parallelism::new(3, 1, 1).unwrap().check_model(&model).is_err());
+        assert!(Parallelism::new(8, 8, 1)
+            .unwrap()
+            .check_model(&model)
+            .is_ok());
+        assert!(Parallelism::new(3, 1, 1)
+            .unwrap()
+            .check_model(&model)
+            .is_err());
         assert!(Parallelism::new(1, 70, 1)
             .unwrap()
             .check_model(&model)

@@ -290,10 +290,7 @@ impl Blade {
         );
         row(
             "Max SPU-to-SPU bandwidth",
-            format!(
-                "{}",
-                HierarchicalSwitch::blade_baseline().port_bandwidth()
-            ),
+            format!("{}", HierarchicalSwitch::blade_baseline().port_bandwidth()),
         );
         out
     }

@@ -43,9 +43,7 @@ impl MacArray {
         let count = budget / mac_junctions.max(1);
         if count == 0 {
             return Err(ArchError::InvalidConfig {
-                reason: format!(
-                    "compute area {compute_area} fits no {mac_junctions}-JJ MAC"
-                ),
+                reason: format!("compute area {compute_area} fits no {mac_junctions}-JJ MAC"),
             });
         }
         Ok(Self {

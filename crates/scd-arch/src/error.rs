@@ -44,6 +44,24 @@ impl From<scd_mem::MemError> for ArchError {
     }
 }
 
+impl From<scd_tech::TechError> for ArchError {
+    fn from(e: scd_tech::TechError) -> Self {
+        Self::Derivation {
+            step: "technology layer",
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<scd_noc::NocError> for ArchError {
+    fn from(e: scd_noc::NocError) -> Self {
+        Self::Derivation {
+            step: "blade interconnect",
+            detail: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

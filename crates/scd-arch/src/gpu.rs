@@ -96,7 +96,8 @@ impl GpuSystem {
         self.accelerator
             .hierarchy
             .outermost()
-            .capacity_bytes.saturating_mul(u64::from(self.devices))
+            .capacity_bytes
+            .saturating_mul(u64::from(self.devices))
     }
 
     /// Validates the system.
@@ -139,7 +140,9 @@ mod tests {
         // The deep HBM queue must not cap 3.35 TB/s at 500 ns.
         let g = GpuSystem::h100_cluster(8);
         let dram = g.accelerator().hierarchy.outermost();
-        let eff = dram.transfer.effective_bandwidth(dram.bandwidth, dram.latency);
+        let eff = dram
+            .transfer
+            .effective_bandwidth(dram.bandwidth, dram.latency);
         assert!((eff.tbps() - 3.35).abs() < 1e-9, "got {}", eff.tbps());
     }
 

@@ -289,7 +289,8 @@ mod tests {
         let scd = InterconnectSpec::scd_blade();
         let nv = InterconnectSpec::nvlink();
         let bytes = 100e6;
-        let ratio = nv.all_reduce_time(bytes, 8).seconds() / scd.all_reduce_time(bytes, 8).seconds();
+        let ratio =
+            nv.all_reduce_time(bytes, 8).seconds() / scd.all_reduce_time(bytes, 8).seconds();
         assert!(ratio > 50.0, "got {ratio}");
     }
 

@@ -67,12 +67,8 @@ impl Spu {
     /// realized.
     pub fn derive(tech: &Technology, config: SpuConfig) -> Result<Self, ArchError> {
         let compute_area = config.die_area * config.compute_fraction;
-        let mac_array = MacArray::derive(
-            tech,
-            compute_area,
-            config.mac_junctions,
-            config.utilization,
-        )?;
+        let mac_array =
+            MacArray::derive(tech, compute_area, config.mac_junctions, config.utilization)?;
         let l1 = JsramArray::new(
             JsramCell::Hd1R1W,
             config.l1_capacity_bytes,

@@ -64,7 +64,10 @@ impl fmt::Display for EdaError {
                 generator,
                 width,
                 supported,
-            } => write!(f, "{generator} does not support width {width} (supported: {supported})"),
+            } => write!(
+                f,
+                "{generator} does not support width {width} (supported: {supported})"
+            ),
         }
     }
 }

@@ -158,7 +158,10 @@ mod tests {
         let without = flow.clone().without_optimization().compile(&mac).unwrap();
         assert!(with_opt.report.total_junctions < without.report.total_junctions);
         assert!(with_opt.optimize_stats.gates_after < with_opt.optimize_stats.gates_before);
-        assert_eq!(without.optimize_stats, crate::optimize::OptimizeStats::default());
+        assert_eq!(
+            without.optimize_stats,
+            crate::optimize::OptimizeStats::default()
+        );
     }
 
     #[test]

@@ -63,5 +63,5 @@ pub use mapped::{MappedNetlist, Pin};
 pub use netlist::{LogicOp, Netlist, NodeId};
 pub use optimize::{optimize, OptimizeStats};
 pub use place::{place, PlacementResult};
-pub use route::{route, InductanceWindow, RoutingReport};
 pub use report::SynthesisReport;
+pub use route::{route, InductanceWindow, RoutingReport};

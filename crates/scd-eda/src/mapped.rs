@@ -293,11 +293,7 @@ impl MappedNetlist {
                 }
             }
         }
-        Ok(self
-            .outputs
-            .iter()
-            .map(|(_, p)| read(&values, p))
-            .collect())
+        Ok(self.outputs.iter().map(|(_, p)| read(&values, p)).collect())
     }
 
     /// Scalar functional simulation.
@@ -368,12 +364,23 @@ mod tests {
         let a = m.add_input("a");
         let b = m.add_input("b");
         let c = m.add_input("cin");
-        let fa = m.add_cell(
-            PclCell::FullAdder,
-            vec![Pin::of(a), Pin::of(b), Pin::of(c)],
+        let fa = m.add_cell(PclCell::FullAdder, vec![Pin::of(a), Pin::of(b), Pin::of(c)]);
+        m.add_output(
+            "sum",
+            Pin {
+                node: fa,
+                port: 0,
+                inverted: false,
+            },
         );
-        m.add_output("sum", Pin { node: fa, port: 0, inverted: false });
-        m.add_output("cout", Pin { node: fa, port: 1, inverted: false });
+        m.add_output(
+            "cout",
+            Pin {
+                node: fa,
+                port: 1,
+                inverted: false,
+            },
+        );
         for bits in 0..8u64 {
             let ins: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
             let out = m.eval(&ins).unwrap();

@@ -135,9 +135,9 @@ pub fn optimize(netlist: &Netlist) -> (Netlist, OptimizeStats) {
                     .iter()
                     .map(|&v| match v {
                         Value::Node(n) => n,
-                        Value::Const(b) => *const_nodes
-                            .entry(b)
-                            .or_insert_with(|| out.add_const(b)),
+                        Value::Const(b) => {
+                            *const_nodes.entry(b).or_insert_with(|| out.add_const(b))
+                        }
                     })
                     .collect();
                 let id = out.add_gate(*op, ids).expect("same arity as source");
@@ -203,11 +203,12 @@ fn fold_values(op: LogicOp, vals: &[FoldValue]) -> Option<FoldOutcome> {
             FoldValue::Wire(_) => None,
         },
         LogicOp::And => {
-            if known.iter().any(|k| *k == Some(false)) {
+            if known.contains(&Some(false)) {
                 Some(FoldOutcome::Const(false))
             } else if wires.is_empty() {
                 Some(FoldOutcome::Const(true))
-            } else if wires.len() == 1 && known.iter().filter(|k| k.is_some()).count() + 1 == vals.len()
+            } else if wires.len() == 1
+                && known.iter().filter(|k| k.is_some()).count() + 1 == vals.len()
             {
                 Some(FoldOutcome::PassThrough(wires[0]))
             } else {
@@ -215,11 +216,12 @@ fn fold_values(op: LogicOp, vals: &[FoldValue]) -> Option<FoldOutcome> {
             }
         }
         LogicOp::Or => {
-            if known.iter().any(|k| *k == Some(true)) {
+            if known.contains(&Some(true)) {
                 Some(FoldOutcome::Const(true))
             } else if wires.is_empty() {
                 Some(FoldOutcome::Const(false))
-            } else if wires.len() == 1 && known.iter().filter(|k| k.is_some()).count() + 1 == vals.len()
+            } else if wires.len() == 1
+                && known.iter().filter(|k| k.is_some()).count() + 1 == vals.len()
             {
                 Some(FoldOutcome::PassThrough(wires[0]))
             } else {
@@ -279,8 +281,8 @@ fn reachable_from_outputs(netlist: &Netlist) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::check_equivalent;
     use crate::synth::synthesize;
+    use crate::verify::check_equivalent;
 
     fn assert_equivalent(a: &Netlist, b: &Netlist) {
         // Reuse the mapped-equivalence machinery by synthesizing `b`.
@@ -394,7 +396,7 @@ mod tests {
         let mut n = Netlist::new("twice");
         let a: Vec<_> = (0..4).map(|i| n.add_input(format!("a{i}"))).collect();
         let b: Vec<_> = (0..4).map(|i| n.add_input(format!("b{i}"))).collect();
-        let mut build_chain = |n: &mut Netlist| {
+        let build_chain = |n: &mut Netlist| {
             let mut carry = n.add_const(false);
             let mut sums = Vec::new();
             for i in 0..4 {

@@ -52,8 +52,7 @@ impl PlacementResult {
 
 /// Nets as (driver, consumers) in node-id space.
 fn build_nets(netlist: &MappedNetlist) -> Vec<Vec<usize>> {
-    let mut nets: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut nets: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
     for (idx, node) in netlist.nodes().iter().enumerate() {
         if let MappedNode::Cell { pins, .. } = node {
             for p in pins {

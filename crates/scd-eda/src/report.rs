@@ -108,7 +108,11 @@ impl SynthesisReport {
 impl fmt::Display for SynthesisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "design           : {}", self.design)?;
-        writeln!(f, "io               : {} in / {} out", self.inputs, self.outputs)?;
+        writeln!(
+            f,
+            "io               : {} in / {} out",
+            self.inputs, self.outputs
+        )?;
         writeln!(f, "logic JJs        : {}", self.logic_junctions)?;
         writeln!(f, "splitter JJs     : {}", self.splitter_junctions)?;
         writeln!(f, "padding JJs      : {}", self.padding_junctions)?;
@@ -117,7 +121,11 @@ impl fmt::Display for SynthesisReport {
         writeln!(f, "area             : {}", self.area)?;
         writeln!(f, "latency          : {}", self.latency)?;
         writeln!(f, "energy/op        : {}", self.energy_per_op)?;
-        write!(f, "overhead fraction: {:.1} %", self.overhead_fraction() * 100.0)
+        write!(
+            f,
+            "overhead fraction: {:.1} %",
+            self.overhead_fraction() * 100.0
+        )
     }
 }
 

@@ -312,8 +312,7 @@ mod tests {
         n.add_output("carry", carry);
         let r = verify(&n);
         assert_eq!(r.stats.full_adders_fused, 1);
-        let separate =
-            u64::from(PclCell::Xor3.junctions()) + u64::from(PclCell::Maj3.junctions());
+        let separate = u64::from(PclCell::Xor3.junctions()) + u64::from(PclCell::Maj3.junctions());
         assert!(r.mapped.junctions() < separate);
     }
 
@@ -380,7 +379,10 @@ mod tests {
         let r = verify(&n);
         assert_eq!(r.stats.buffers_mapped, 2);
         assert_eq!(r.mapped.cell_count(), 2);
-        assert_eq!(r.mapped.junctions(), 2 * u64::from(PclCell::Buf.junctions()));
+        assert_eq!(
+            r.mapped.junctions(),
+            2 * u64::from(PclCell::Buf.junctions())
+        );
     }
 
     #[test]

@@ -15,7 +15,13 @@ use std::fmt::Write as _;
 fn ident(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         out.insert(0, 'n');
@@ -37,11 +43,7 @@ pub fn netlist_to_verilog(netlist: &Netlist) -> String {
             Node::Gate { .. } => unreachable!("inputs are input nodes"),
         })
         .collect();
-    let outputs: Vec<String> = netlist
-        .outputs()
-        .iter()
-        .map(|o| ident(&o.name))
-        .collect();
+    let outputs: Vec<String> = netlist.outputs().iter().map(|o| ident(&o.name)).collect();
     let _ = writeln!(
         v,
         "module {module} ({});",

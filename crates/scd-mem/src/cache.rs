@@ -44,7 +44,9 @@ impl CacheSim {
         let lines = capacity_bytes / line_bytes;
         if lines == 0 || !lines.is_multiple_of(ways as u64) {
             return Err(MemError::InvalidConfig {
-                reason: format!("{capacity_bytes} B / {line_bytes} B lines not divisible into {ways} ways"),
+                reason: format!(
+                    "{capacity_bytes} B / {line_bytes} B lines not divisible into {ways} ways"
+                ),
             });
         }
         let sets = lines / ways as u64;

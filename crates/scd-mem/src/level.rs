@@ -134,10 +134,7 @@ impl MemoryHierarchy {
                 return Err(MemError::InvalidConfig {
                     reason: format!(
                         "{} ({} B) is larger than outer level {} ({} B)",
-                        pair[0].kind,
-                        pair[0].capacity_bytes,
-                        pair[1].kind,
-                        pair[1].capacity_bytes
+                        pair[0].kind, pair[0].capacity_bytes, pair[1].kind, pair[1].capacity_bytes
                     ),
                 });
             }
@@ -178,11 +175,7 @@ impl MemoryHierarchy {
             .find(|l| l.capacity_bytes >= working_set)
             .ok_or(MemError::WorkingSetTooLarge {
                 requested: working_set,
-                largest: self
-                    .levels
-                    .last()
-                    .map(|l| l.capacity_bytes)
-                    .unwrap_or(0),
+                largest: self.levels.last().map(|l| l.capacity_bytes).unwrap_or(0),
             })
     }
 

@@ -88,9 +88,7 @@ impl HierarchicalSwitch {
     /// Traversal latency through both cross-point levels.
     #[must_use]
     pub fn traversal_latency(&self) -> TimeInterval {
-        TimeInterval::from_base(
-            f64::from(2 * self.level_phases) * self.clock.period().seconds(),
-        )
+        TimeInterval::from_base(f64::from(2 * self.level_phases) * self.clock.period().seconds())
     }
 
     /// Traversal latency in whole picoseconds (for the simulator config).
@@ -145,12 +143,6 @@ mod tests {
             2
         )
         .is_err());
-        assert!(HierarchicalSwitch::new(
-            4,
-            Bandwidth::ZERO,
-            Frequency::from_ghz(30.0),
-            2
-        )
-        .is_err());
+        assert!(HierarchicalSwitch::new(4, Bandwidth::ZERO, Frequency::from_ghz(30.0), 2).is_err());
     }
 }

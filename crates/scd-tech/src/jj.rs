@@ -129,8 +129,7 @@ impl JosephsonJunction {
     /// thermally-robust switching.
     #[must_use]
     pub fn thermal_stability(&self, temperature_k: f64) -> f64 {
-        let ej = self.critical_current_ua * 1e-6 * FLUX_QUANTUM_WB
-            / (2.0 * std::f64::consts::PI);
+        let ej = self.critical_current_ua * 1e-6 * FLUX_QUANTUM_WB / (2.0 * std::f64::consts::PI);
         ej / (BOLTZMANN_J_PER_K * temperature_k)
     }
 

@@ -269,7 +269,10 @@ mod tests {
     fn hd_density_matches_paper_4mb_per_cm2() {
         let arr = JsramArray::new(JsramCell::Hd1R1W, 4 * 1024 * 1024, 8, clk()).unwrap();
         let d = arr.density_mb_per_cm2();
-        assert!((3.5..=5.0).contains(&d), "HD density {d} MB/cm², expected ~4");
+        assert!(
+            (3.5..=5.0).contains(&d),
+            "HD density {d} MB/cm², expected ~4"
+        );
     }
 
     #[test]
@@ -290,15 +293,24 @@ mod tests {
     #[test]
     fn ports_match_paper() {
         assert_eq!(
-            (JsramCell::Hd1R1W.read_ports(), JsramCell::Hd1R1W.write_ports()),
+            (
+                JsramCell::Hd1R1W.read_ports(),
+                JsramCell::Hd1R1W.write_ports()
+            ),
             (1, 1)
         );
         assert_eq!(
-            (JsramCell::Hp2R1W.read_ports(), JsramCell::Hp2R1W.write_ports()),
+            (
+                JsramCell::Hp2R1W.read_ports(),
+                JsramCell::Hp2R1W.write_ports()
+            ),
             (2, 1)
         );
         assert_eq!(
-            (JsramCell::Hp3R2W.read_ports(), JsramCell::Hp3R2W.write_ports()),
+            (
+                JsramCell::Hp3R2W.read_ports(),
+                JsramCell::Hp3R2W.write_ports()
+            ),
             (3, 2)
         );
     }

@@ -195,10 +195,22 @@ impl PclCell {
     pub fn fanin(self) -> usize {
         match self {
             Self::Buf | Self::Inv | Self::Splitter => 1,
-            Self::And2 | Self::Or2 | Self::Nand2 | Self::Nor2 | Self::Xor2 | Self::Xnor2
+            Self::And2
+            | Self::Or2
+            | Self::Nand2
+            | Self::Nor2
+            | Self::Xor2
+            | Self::Xnor2
             | Self::HalfAdder => 2,
-            Self::And3 | Self::Or3 | Self::Nand3 | Self::Nor3 | Self::Maj3 | Self::Maj3Inv
-            | Self::Xor3 | Self::Xnor3 | Self::FullAdder => 3,
+            Self::And3
+            | Self::Or3
+            | Self::Nand3
+            | Self::Nor3
+            | Self::Maj3
+            | Self::Maj3Inv
+            | Self::Xor3
+            | Self::Xnor3
+            | Self::FullAdder => 3,
             Self::And4 | Self::Or4 | Self::Nand4 | Self::Nor4 | Self::Ao22 | Self::Oa22 => 4,
         }
     }
@@ -437,10 +449,7 @@ mod tests {
     fn xor2_and_ao22_truth_tables() {
         assert_eq!(PclCell::Xor2.eval(&[true, false]), vec![true]);
         assert_eq!(PclCell::Xor2.eval(&[true, true]), vec![false]);
-        assert_eq!(
-            PclCell::Ao22.eval(&[true, true, false, false]),
-            vec![true]
-        );
+        assert_eq!(PclCell::Ao22.eval(&[true, true, false, false]), vec![true]);
         assert_eq!(
             PclCell::Oa22.eval(&[true, false, false, false]),
             vec![false]

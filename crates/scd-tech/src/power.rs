@@ -66,12 +66,7 @@ impl ResonantNetwork {
     /// Dynamic power of a die with `junctions` JJs at `activity`
     /// (fraction of junctions switching per cycle).
     #[must_use]
-    pub fn dynamic_power(
-        &self,
-        jj: &JosephsonJunction,
-        junctions: u64,
-        activity: f64,
-    ) -> Power {
+    pub fn dynamic_power(&self, jj: &JosephsonJunction, junctions: u64, activity: f64) -> Power {
         let per_cycle: Energy =
             jj.switching_energy() * (junctions as f64) * activity.clamp(0.0, 1.0);
         Power::from_watts(per_cycle.joules() * self.clock.hz())

@@ -184,11 +184,7 @@ pub fn render_table1(cmos: &Technology, scd: &Technology) -> String {
     let mut row = |param: &str, a: String, b: String| {
         out.push_str(&format!("{param:<38}{a:>18}{b:>26}\n"));
     };
-    row(
-        "Parameter",
-        cmos.name.clone(),
-        scd.name.clone(),
-    );
+    row("Parameter", cmos.name.clone(), scd.name.clone());
     row(
         "Operating Frequency",
         format!("{:.0} GHz", cmos.clock.ghz()),

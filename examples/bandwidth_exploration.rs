@@ -5,20 +5,19 @@
 //!
 //! Run with: `cargo run --release --example bandwidth_exploration`
 
-use llm_workload::{ModelZoo, Parallelism, Precision};
 use llm_workload::taskgraph::training_step;
+use llm_workload::{ModelZoo, Parallelism, Precision};
 use optimus::{Boundedness, RequestShape, Roofline, SpeedupStudy};
 use scd_arch::Blade;
 use scd_tech::units::Bandwidth;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), scd_perf::ScdError> {
     let model = ModelZoo::gpt3_76b();
     let par = Parallelism::training_baseline();
 
     println!("== training throughput vs bandwidth (GPT3-76B, B=128) ==");
     for bw in [0.5, 2.0, 8.0, 16.0, 32.0, 64.0] {
-        let study = SpeedupStudy::paper_baseline()
-            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
+        let study = SpeedupStudy::paper_baseline().with_dram_bandwidth(Bandwidth::from_tbps(bw));
         let r = study.scd_training().estimate(&model, &par, 128)?;
         println!("  {bw:>5.1} TB/s -> {:.3} PFLOP/s/SPU", r.pflops_per_unit());
     }
@@ -31,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_dram_bandwidth(Bandwidth::from_tbps(bw));
         let roofline = Roofline::new(&accel);
         println!("  at {bw} TB/s:");
-        for kernel in graph.kernels.iter().filter(|k| !k.name.ends_with("_bwd")).take(8) {
+        for kernel in graph
+            .kernels
+            .iter()
+            .filter(|k| !k.name.ends_with("_bwd"))
+            .take(8)
+        {
             let t = roofline.time_kernel(kernel);
             let tag = match t.bound {
                 Boundedness::Compute => "compute".to_owned(),
@@ -43,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== inference latency vs bandwidth (Llama-405B, B=8) ==");
     for bw in [0.5, 4.0, 8.0, 16.0, 32.0] {
-        let study = SpeedupStudy::paper_baseline()
-            .with_dram_bandwidth(Bandwidth::from_tbps(bw));
+        let study = SpeedupStudy::paper_baseline().with_dram_bandwidth(Bandwidth::from_tbps(bw));
         let r = study.scd_inference().estimate(
             &ModelZoo::llama_405b(),
             &Parallelism::pure_tp(64)?,

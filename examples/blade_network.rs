@@ -10,7 +10,7 @@ use scd_arch::Blade;
 use scd_noc::collective::simulate_ring_all_reduce;
 use scd_noc::traffic::{run_traffic, TrafficPattern};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), scd_perf::ScdError> {
     let blade = Blade::baseline();
     let torus = blade.torus();
     let cfg = blade.noc_config();

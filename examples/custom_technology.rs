@@ -14,12 +14,15 @@ use scd_mem::dram::CryoDramBlock;
 use scd_tech::units::{Bandwidth, Frequency};
 use scd_tech::Technology;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), scd_perf::ScdError> {
     let model = ModelZoo::gpt3_175b();
     let par = Parallelism::training_baseline();
 
     for (label, tech) in [
-        ("baseline NbTiN (30 GHz, 4 MJJ/mm2)", Technology::scd_nbtin()),
+        (
+            "baseline NbTiN (30 GHz, 4 MJJ/mm2)",
+            Technology::scd_nbtin(),
+        ),
         ("next-gen (60 GHz, 8 MJJ/mm2)", {
             let mut t = Technology::scd_nbtin();
             t.name = "SCD NbTiN next-gen".to_owned();

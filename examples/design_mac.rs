@@ -9,7 +9,7 @@ use scd_eda::flow::StarlingFlow;
 use scd_tech::pcl::PclCell;
 use scd_tech::Technology;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), scd_perf::ScdError> {
     let tech = Technology::scd_nbtin();
     println!("target technology: {tech}\n");
 

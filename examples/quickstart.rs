@@ -7,7 +7,7 @@ use llm_workload::{ModelZoo, Parallelism};
 use optimus::{RequestShape, SpeedupStudy};
 use scd_arch::Blade;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), scd_perf::ScdError> {
     // 1. The system, derived bottom-up from NbTiN device data (Fig. 3c).
     let blade = Blade::baseline();
     println!("{blade}");
@@ -18,11 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let study = SpeedupStudy::paper_baseline();
 
     // Training: GPT3-76B, B=64, TP=8 / PP=8 / DP=1, bf16.
-    let train = study.training(
-        &ModelZoo::gpt3_76b(),
-        &Parallelism::training_baseline(),
-        64,
-    )?;
+    let train = study.training(&ModelZoo::gpt3_76b(), &Parallelism::training_baseline(), 64)?;
     println!("GPT3-76B training (B=64):");
     println!("  SPU: {}", train.scd);
     println!("  GPU: {}", train.gpu);

@@ -1,0 +1,163 @@
+//! The workspace-level error type.
+//!
+//! Every layer of the stack keeps its own precise error enum — the
+//! technology layer rejects out-of-range device parameters, the EDA flow
+//! reports inequivalent netlists, the performance model reports impossible
+//! mappings. [`ScdError`] is the umbrella sum of all of them, with a
+//! `From` impl per layer, so binaries, examples and integration tests can
+//! compose any cross-layer pipeline with `?` and still end up with a
+//! typed error that preserves the source chain (unlike
+//! `Box<dyn Error>`).
+//!
+//! ```
+//! use scd_perf::ScdError;
+//!
+//! fn cross_layer() -> Result<(), ScdError> {
+//!     let mac = scd_perf::scd_eda::blocks::bf16_mac()?; // EdaError
+//!     let par = scd_perf::llm_workload::Parallelism::new(8, 8, 1)?; // WorkloadError
+//!     let _ = (mac, par);
+//!     Ok(())
+//! }
+//! assert!(cross_layer().is_ok());
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Any error produced by any layer of the SCD performance stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScdError {
+    /// Technology layer (device physics, PCL library, JSRAM).
+    Tech(scd_tech::TechError),
+    /// EDA flow (netlists, synthesis, verification).
+    Eda(scd_eda::EdaError),
+    /// Memory hierarchy, cryo-DRAM, datalink.
+    Mem(scd_mem::MemError),
+    /// NoC topology and discrete-event simulation.
+    Noc(scd_noc::NocError),
+    /// Architecture builders (SPU, blade, GPU baseline).
+    Arch(scd_arch::ArchError),
+    /// LLM workload generation and parallelization plans.
+    Workload(llm_workload::WorkloadError),
+    /// Performance estimation (roofline, training, inference, mapping).
+    Optimus(optimus::OptimusError),
+}
+
+impl fmt::Display for ScdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tech(e) => write!(f, "technology layer: {e}"),
+            Self::Eda(e) => write!(f, "EDA flow: {e}"),
+            Self::Mem(e) => write!(f, "memory layer: {e}"),
+            Self::Noc(e) => write!(f, "NoC layer: {e}"),
+            Self::Arch(e) => write!(f, "architecture layer: {e}"),
+            Self::Workload(e) => write!(f, "workload layer: {e}"),
+            Self::Optimus(e) => write!(f, "performance model: {e}"),
+        }
+    }
+}
+
+impl Error for ScdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Tech(e) => Some(e),
+            Self::Eda(e) => Some(e),
+            Self::Mem(e) => Some(e),
+            Self::Noc(e) => Some(e),
+            Self::Arch(e) => Some(e),
+            Self::Workload(e) => Some(e),
+            Self::Optimus(e) => Some(e),
+        }
+    }
+}
+
+impl From<scd_tech::TechError> for ScdError {
+    fn from(e: scd_tech::TechError) -> Self {
+        Self::Tech(e)
+    }
+}
+
+impl From<scd_eda::EdaError> for ScdError {
+    fn from(e: scd_eda::EdaError) -> Self {
+        Self::Eda(e)
+    }
+}
+
+impl From<scd_mem::MemError> for ScdError {
+    fn from(e: scd_mem::MemError) -> Self {
+        Self::Mem(e)
+    }
+}
+
+impl From<scd_noc::NocError> for ScdError {
+    fn from(e: scd_noc::NocError) -> Self {
+        Self::Noc(e)
+    }
+}
+
+impl From<scd_arch::ArchError> for ScdError {
+    fn from(e: scd_arch::ArchError) -> Self {
+        Self::Arch(e)
+    }
+}
+
+impl From<llm_workload::WorkloadError> for ScdError {
+    fn from(e: llm_workload::WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}
+
+impl From<optimus::OptimusError> for ScdError {
+    fn from(e: optimus::OptimusError) -> Self {
+        Self::Optimus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_and_chains() {
+        let tech: ScdError = scd_tech::TechError::NonPhysical {
+            reason: "x".to_owned(),
+        }
+        .into();
+        let eda: ScdError = scd_eda::EdaError::CombinationalCycle.into();
+        let mem: ScdError = scd_mem::MemError::InvalidConfig {
+            reason: "x".to_owned(),
+        }
+        .into();
+        let noc: ScdError = scd_noc::NocError::InvalidConfig {
+            reason: "x".to_owned(),
+        }
+        .into();
+        let arch: ScdError = scd_arch::ArchError::InvalidConfig {
+            reason: "x".to_owned(),
+        }
+        .into();
+        let wl: ScdError = llm_workload::WorkloadError::InvalidModel {
+            reason: "x".to_owned(),
+        }
+        .into();
+        let opt: ScdError = optimus::OptimusError::Mapping {
+            reason: "x".to_owned(),
+        }
+        .into();
+        for e in [tech, eda, mem, noc, arch, wl, opt] {
+            assert!(e.source().is_some(), "{e} must preserve its source");
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn nested_optimus_error_keeps_two_level_chain() {
+        let inner = llm_workload::WorkloadError::InvalidParallelism {
+            reason: "tp=5".to_owned(),
+        };
+        let e: ScdError = optimus::OptimusError::from(inner).into();
+        let source = e.source().expect("optimus source");
+        assert!(source.source().is_some(), "workload source preserved");
+        assert!(e.to_string().contains("tp=5"));
+    }
+}

@@ -30,6 +30,9 @@
 //! # }
 //! ```
 
+pub mod error;
+
+pub use error::ScdError;
 pub use llm_workload;
 pub use optimus;
 pub use scd_arch;

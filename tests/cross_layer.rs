@@ -58,11 +58,7 @@ fn end_to_end_projection_runs_on_derived_architecture() {
         blade.interconnect(),
     );
     let r = est
-        .estimate(
-            &ModelZoo::gpt3_76b(),
-            &Parallelism::training_baseline(),
-            64,
-        )
+        .estimate(&ModelZoo::gpt3_76b(), &Parallelism::training_baseline(), 64)
         .expect("estimation succeeds");
     // Achieved throughput cannot exceed the utilization-capped peak.
     let cap = blade.accelerator().achievable_flops() / 1e15;

@@ -1,7 +1,9 @@
 //! Integration: every headline quantitative claim of the paper's §VI,
 //! checked end-to-end through the experiment harness.
 
-use scd_bench::{inference_experiments as inf, l2_study, spec_tables, training_experiments as tr, validation};
+use scd_bench::{
+    inference_experiments as inf, l2_study, spec_tables, training_experiments as tr, validation,
+};
 
 #[test]
 fn fig5_throughput_saturates_around_16_tbps() {
@@ -36,7 +38,10 @@ fn fig6_training_speedups_3_to_5x() {
 fn fig7_inference_scales_17x_with_bandwidth() {
     let pts = inf::fig7_sweep().expect("sweep");
     let overall = pts.first().unwrap().latency_s / pts.last().unwrap().latency_s;
-    assert!((10.0..25.0).contains(&overall), "paper: 17x, got {overall:.1}");
+    assert!(
+        (10.0..25.0).contains(&overall),
+        "paper: 17x, got {overall:.1}"
+    );
 }
 
 #[test]
@@ -66,7 +71,12 @@ fn l2_study_reproduces_2_to_4x() {
     let rows = l2_study::l2_kv_study().expect("study");
     assert!(rows[0].fits_l2 && rows[1].fits_l2 && !rows[2].fits_l2);
     for r in &rows[..2] {
-        assert!((1.3..6.0).contains(&r.speedup), "{}: {:.2}", r.model, r.speedup);
+        assert!(
+            (1.3..6.0).contains(&r.speedup),
+            "{}: {:.2}",
+            r.model,
+            r.speedup
+        );
     }
 }
 

@@ -1,0 +1,97 @@
+//! The rayon-parallelized hot paths must be *bit-identical* to their
+//! serial reference implementations: the estimation engine is an
+//! analytical model, so any nondeterminism would make figures
+//! irreproducible across machines with different core counts.
+
+use llm_workload::{ModelZoo, Parallelism};
+use optimus::{InferenceEstimator, MappingSearch, RequestShape, TrainingEstimator};
+use scd_arch::{Blade, GpuSystem};
+use scd_tech::units::{Bandwidth, TimeInterval};
+
+fn estimator(bw_tbps: f64) -> TrainingEstimator {
+    let blade = Blade::baseline();
+    TrainingEstimator::new(
+        blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw_tbps)),
+        blade.interconnect(),
+    )
+}
+
+#[test]
+fn mapper_search_parallel_matches_serial_bit_for_bit() {
+    let search = MappingSearch::new(64);
+    let model = ModelZoo::gpt3_76b();
+    for bw in [1.0, 4.0, 16.0] {
+        let est = estimator(bw);
+        let (par_choice, par_report) = search.best_training(&est, &model, 64).unwrap();
+        let (ser_choice, ser_report) = search.best_training_serial(&est, &model, 64).unwrap();
+        assert_eq!(
+            (par_choice.tp, par_choice.pp, par_choice.dp),
+            (ser_choice.tp, ser_choice.pp, ser_choice.dp),
+            "bw={bw}: chosen factorization must match"
+        );
+        assert_eq!(
+            par_choice.step_time_s.to_bits(),
+            ser_choice.step_time_s.to_bits(),
+            "bw={bw}: step time must match to the last bit"
+        );
+        assert_eq!(par_report.total_s.to_bits(), ser_report.total_s.to_bits());
+        assert_eq!(
+            par_report.compute_s.to_bits(),
+            ser_report.compute_s.to_bits()
+        );
+        assert_eq!(par_report.comm_s.to_bits(), ser_report.comm_s.to_bits());
+    }
+}
+
+#[test]
+fn mapper_search_error_case_matches_serial() {
+    // A unit count with no valid factorization errors identically on both
+    // paths.
+    let search = MappingSearch::new(7);
+    let mut model = ModelZoo::gpt3_76b();
+    model.heads = 64;
+    model.ffn_hidden = 4096;
+    model.layers = 4;
+    let est = estimator(16.0);
+    let par = search.best_training(&est, &model, 3);
+    let ser = search.best_training_serial(&est, &model, 3);
+    assert_eq!(par.unwrap_err(), ser.unwrap_err());
+}
+
+#[test]
+fn inference_decode_sweep_parallel_matches_serial_bit_for_bit() {
+    let blade = Blade::baseline();
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64).unwrap();
+    for (bw, batch) in [(0.5, 1), (16.0, 8), (32.0, 64)] {
+        let accel = blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(bw))
+            .with_dram_latency(TimeInterval::from_ns(30.0));
+        let est = InferenceEstimator::new(accel, blade.interconnect());
+        let shape = RequestShape::paper_io(batch);
+        let p = est.estimate(&model, &par, shape).unwrap();
+        let s = est.estimate_serial(&model, &par, shape).unwrap();
+        assert_eq!(p.prefill_s.to_bits(), s.prefill_s.to_bits());
+        assert_eq!(p.decode_s.to_bits(), s.decode_s.to_bits());
+        assert_eq!(p.comm_s.to_bits(), s.comm_s.to_bits());
+        assert_eq!(p.total_s.to_bits(), s.total_s.to_bits());
+        assert_eq!(p.flops_per_unit.to_bits(), s.flops_per_unit.to_bits());
+        assert_eq!(p.per_token_s.to_bits(), s.per_token_s.to_bits());
+        assert_eq!(p.kv_cache_bytes.to_bits(), s.kv_cache_bytes.to_bits());
+    }
+}
+
+#[test]
+fn inference_parallel_matches_on_gpu_baseline_too() {
+    let gpus = GpuSystem::h100_cluster(64);
+    let model = ModelZoo::llama_70b();
+    let par = Parallelism::pure_tp(64).unwrap();
+    let est = InferenceEstimator::new(gpus.accelerator().clone(), gpus.fabric().clone());
+    let shape = RequestShape::paper_io(8);
+    let p = est.estimate(&model, &par, shape).unwrap();
+    let s = est.estimate_serial(&model, &par, shape).unwrap();
+    assert_eq!(p.total_s.to_bits(), s.total_s.to_bits());
+}

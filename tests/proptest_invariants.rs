@@ -8,15 +8,21 @@ use llm_workload::taskgraph::{decode_step, training_step};
 use optimus::Roofline;
 use proptest::prelude::*;
 use scd_arch::Blade;
-use scd_eda::netlist::{LogicOp, Netlist, NodeId};
 use scd_eda::flow::StarlingFlow;
+use scd_eda::netlist::{LogicOp, Netlist, NodeId};
 use scd_noc::topology::{NodeId as TorusNode, Torus};
 use scd_tech::units::{Bandwidth, TimeInterval};
 
 /// Strategy: a random acyclic netlist with `inputs` primary inputs and up
 /// to `gates` gates over {AND, OR, XOR, NOT, MAJ, MUX}.
 fn arb_netlist(inputs: usize, gates: usize) -> impl Strategy<Value = Netlist> {
-    let ops = prop::collection::vec((0u8..6, prop::collection::vec(any::<prop::sample::Index>(), 3)), 1..=gates);
+    let ops = prop::collection::vec(
+        (
+            0u8..6,
+            prop::collection::vec(any::<prop::sample::Index>(), 3),
+        ),
+        1..=gates,
+    );
     ops.prop_map(move |specs| {
         let mut n = Netlist::new("random");
         let mut nodes: Vec<NodeId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `proptest 1.x` API subset this workspace uses.
+//!
+//! The workspace builds hermetically, so the real `proptest` cannot be
+//! fetched. This crate keeps the call-site surface of
+//! `tests/proptest_invariants.rs` — the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros, range and tuple strategies, `prop_map`,
+//! `prop::collection::vec`, `prop::sample::Index`, `any::<T>()` and
+//! `ProptestConfig::with_cases` — over a deterministic per-test RNG.
+//!
+//! Deliberately omitted relative to real proptest: shrinking (failures
+//! report the sampled case number; rerunning is deterministic, so the case
+//! reproduces exactly) and persistence files.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module shorthand.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests. Mirrors real proptest: attributes (including
+/// `#[test]`) written inside the macro are carried through verbatim; each
+/// argument is sampled from its strategy once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($body:tt)*) => {
+        $crate::__proptest_tests! { $config; $($body)* }
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_tests! { $crate::test_runner::ProptestConfig::default(); $($body)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $( let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng); )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!("proptest {} failed at case {case}/{}: {err}",
+                           stringify!($name), config.cases);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a `proptest!` body; failure aborts the current case with
+/// a `TestCaseError` instead of panicking mid-sample.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}

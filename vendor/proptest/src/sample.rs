@@ -1,0 +1,46 @@
+//! Sampling helpers (`Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An index into a not-yet-known collection (stand-in for
+/// `proptest::sample::Index`): stores a raw draw and projects it onto any
+/// slice with a modulus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects the stored draw onto `slice`. Panics on an empty slice,
+    /// exactly like real proptest.
+    #[must_use]
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "Index::get on an empty slice");
+        &slice[self.0 % slice.len()]
+    }
+
+    /// The equivalent index into a collection of length `len`.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index with len 0");
+        self.0 % len
+    }
+}
+
+/// Canonical strategy for [`Index`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+    fn sample(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+    fn arbitrary() -> Self::Strategy {
+        IndexStrategy
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline stand-in for the `rayon` API subset this workspace uses.
+//!
+//! The workspace builds hermetically, so the real `rayon` cannot be
+//! fetched. This crate provides genuine data parallelism — the mapped
+//! closure runs on `std::thread::scope` worker threads, one contiguous
+//! chunk of the input per thread — behind the familiar
+//! `par_iter()/into_par_iter()/map()/collect()` surface.
+//!
+//! Two deliberate semantic guarantees, which real rayon does *not* make
+//! but the Optimus estimation engine relies on for its serial-vs-parallel
+//! equivalence tests:
+//!
+//! 1. **Order preservation**: `collect()` concatenates per-chunk outputs
+//!    in input order, so `xs.par_iter().map(f).collect::<Vec<_>>()` is
+//!    element-for-element identical to the serial map.
+//! 2. **Deterministic reduction**: `sum()`, `min_by()`, `max_by()` and
+//!    `reduce()` fold the *ordered* mapped results on the calling thread,
+//!    left to right — only the per-item work is parallel — so floating
+//!    point rounding and tie-breaking match the serial loop bit for bit.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads (mirrors `rayon`'s default of one per core).
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Extra worker threads currently alive across all `parallel_map` calls.
+///
+/// Real rayon multiplexes nested parallelism onto one global pool. This
+/// stand-in spawns scoped threads per call instead, so without a budget a
+/// parallel sweep whose body is itself parallel (an outer figure sweep
+/// over `InferenceEstimator::estimate`, say) would oversubscribe the
+/// machine `outer × inner`-fold. The budget caps live workers at one per
+/// core: inner calls that find the budget exhausted simply run serially
+/// on their caller's thread, which is both the efficient arrangement
+/// (coarse-grained parallelism wins) and — results being order-folded —
+/// an identical-output one.
+static EXTRA_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Reserves up to `wanted` extra worker slots, returning how many were
+/// granted. Pair with [`release_workers`].
+fn reserve_workers(wanted: usize) -> usize {
+    let budget = max_threads().saturating_sub(1);
+    let mut current = EXTRA_WORKERS.load(Ordering::Relaxed);
+    loop {
+        let granted = wanted.min(budget.saturating_sub(current));
+        if granted == 0 {
+            return 0;
+        }
+        match EXTRA_WORKERS.compare_exchange_weak(
+            current,
+            current + granted,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return granted,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+fn release_workers(granted: usize) {
+    EXTRA_WORKERS.fetch_sub(granted, Ordering::Relaxed);
+}
+
+/// Releases its worker slots on drop, so a panicking mapped closure
+/// cannot leak budget and silently serialize the rest of the process.
+struct WorkerReservation(usize);
+
+impl Drop for WorkerReservation {
+    fn drop(&mut self) {
+        release_workers(self.0);
+    }
+}
+
+/// Splits `items` into contiguous chunks and maps each chunk on its own
+/// scoped thread (plus the calling thread), returning outputs in input
+/// order. Worker count adapts to the global budget, degrading to a plain
+/// serial map when nested under other parallel work.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let wanted = max_threads().min(items.len()).saturating_sub(1);
+    let reservation = WorkerReservation(reserve_workers(wanted));
+    parallel_map_with(items, f, reservation.0 + 1)
+}
+
+/// [`parallel_map`] with an explicit worker count, so tests can exercise
+/// the chunked multi-thread path even on single-core machines.
+fn parallel_map_with<T, R, F>(items: Vec<T>, f: &F, workers: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = workers.min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Distribute the remainder one item at a time so chunk sizes differ by
+    // at most one.
+    let base = len / threads;
+    let rem = len % threads;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    for i in 0..threads {
+        let take = base + usize::from(i < rem);
+        chunks.push(it.by_ref().take(take).collect());
+    }
+
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(mapped) => out.push(mapped),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Everything a caller needs in scope: the conversion traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Types convertible into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync, const N: usize> IntoParallelIterator for &'a [T; N] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(u32, u64, usize);
+
+/// `par_iter()` sugar over `&self` collections (mirror of rayon's trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+    C: 'a,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+/// Operations shared by [`ParIter`] and [`ParMap`].
+pub trait ParallelIterator: Sized {
+    /// Element type produced by the iterator.
+    type Item: Send;
+
+    /// Runs the parallel pipeline, returning outputs in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Collects into `C`, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Left-to-right sum over the ordered results (bit-identical to serial).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Left-to-right fold over the ordered results with `identity` as the
+    /// starting accumulator (bit-identical to a serial fold).
+    fn reduce<Id, Op>(self, identity: Id, op: Op) -> Self::Item
+    where
+        Id: Fn() -> Self::Item,
+        Op: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+
+    /// Minimum by comparator with serial tie-breaking (first minimum wins,
+    /// exactly like `Iterator::min_by`).
+    fn min_by<F>(self, compare: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering,
+    {
+        self.run().into_iter().min_by(compare)
+    }
+
+    /// Maximum by comparator with serial tie-breaking (last maximum wins,
+    /// exactly like `Iterator::max_by`).
+    fn max_by<F>(self, compare: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering,
+    {
+        self.run().into_iter().max_by(compare)
+    }
+}
+
+/// A materialized parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` on worker threads.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, R, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _r: std::marker::PhantomData,
+        }
+    }
+
+    /// Maps every item to an iterator and flattens, preserving order.
+    pub fn flat_map<R, I, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        I::IntoIter: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = parallel_map(self.items, &|x| f(x).into_iter().collect::<Vec<R>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A pending parallel map (`items` each fed through `f`).
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _r: std::marker::PhantomData<R>,
+}
+
+impl<T, R, F> ParallelIterator for ParMap<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        parallel_map(self.items, &self.f)
+    }
+}
+
+/// Runs `a` and `b` concurrently and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::join;
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let serial: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        let par: Vec<u64> = xs.par_iter().map(|x| *x * *x).collect();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn sum_is_bit_identical_to_serial() {
+        let xs: Vec<f64> = (1..5_000).map(|i| 1.0 / f64::from(i)).collect();
+        let serial: f64 = xs.iter().map(|x| x.sqrt()).sum();
+        let par: f64 = xs.par_iter().map(|x| x.sqrt()).sum();
+        assert_eq!(serial.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn min_by_matches_serial_tie_breaking() {
+        let xs = vec![(3, 'a'), (1, 'b'), (1, 'c'), (2, 'd')];
+        let serial = xs.iter().min_by(|a, b| a.0.cmp(&b.0));
+        let par = xs.par_iter().min_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn ranges_and_flat_map() {
+        let par: Vec<usize> = (0usize..100)
+            .into_par_iter()
+            .flat_map(|i| vec![i, i])
+            .collect();
+        let serial: Vec<usize> = (0usize..100).flat_map(|i| vec![i, i]).collect();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.into_par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunked_path_preserves_order_for_every_worker_count() {
+        // Exercise the scoped-thread path explicitly: on a single-core CI
+        // runner max_threads() is 1 and the public API degrades to the
+        // serial fast path, which would leave the chunking logic untested.
+        let xs: Vec<u64> = (0..1003).collect();
+        let expected: Vec<u64> = xs.iter().map(|x| x * 3 + 1).collect();
+        for workers in [2, 3, 4, 7, 16, 2000] {
+            let got = super::parallel_map_with(xs.clone(), &|x| x * 3 + 1, workers);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_is_correct_and_budgeted() {
+        // An outer parallel sweep whose body is itself parallel must
+        // produce exactly the serial result; the inner calls fall back to
+        // the caller's thread once the worker budget is spent.
+        let expected: Vec<Vec<u64>> = (0..4u64)
+            .map(|i| (0..100u64).map(|j| i * 1000 + j * j).collect())
+            .collect();
+        let got: Vec<Vec<u64>> = (0..4u64)
+            .into_par_iter()
+            .map(|i| {
+                (0..100u64)
+                    .into_par_iter()
+                    .map(|j| i * 1000 + j * j)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn worker_budget_is_returned_after_use() {
+        // Reserving after a completed parallel_map must see a budget no
+        // smaller than a fresh reservation saw (other tests may hold
+        // permits concurrently, so only monotone consistency is checked).
+        let budget = super::max_threads().saturating_sub(1);
+        let first = super::reserve_workers(budget);
+        super::release_workers(first);
+        let xs: Vec<u64> = (0..64).collect();
+        let _: Vec<u64> = xs.into_par_iter().map(|x| x + 1).collect();
+        let second = super::reserve_workers(budget);
+        super::release_workers(second);
+        assert!(second <= budget);
+    }
+
+    #[test]
+    fn chunked_path_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            super::parallel_map_with((0..8u32).collect(), &|x| assert_ne!(x, 5), 4)
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+}

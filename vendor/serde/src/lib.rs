@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no registry access), so the real
+//! `serde` cannot be fetched. Every use of serde in this codebase is a
+//! `#[derive(Serialize, Deserialize)]` marker on plain-old-data report
+//! types — nothing calls a serializer yet. These derives therefore expand
+//! to nothing: the types stay annotated exactly as they would be against
+//! real serde, and swapping this crate for the crates.io `serde` (plus
+//! `serde_derive`) is a one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
