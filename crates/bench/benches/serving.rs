@@ -1,0 +1,42 @@
+//! Criterion bench: the continuous-batching serving simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm_workload::{ModelZoo, Parallelism};
+use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
+use optimus::InferenceEstimator;
+use scd_arch::Blade;
+use scd_tech::units::Bandwidth;
+use std::hint::black_box;
+
+fn bench_serving(c: &mut Criterion) {
+    let blade = Blade::baseline();
+    let est = InferenceEstimator::new(
+        blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+        blade.interconnect(),
+    );
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64).unwrap();
+    let trace = TraceConfig {
+        seed: 1,
+        requests: 32,
+        arrival_rate_per_s: 16.0,
+        prompt_tokens: (150, 250),
+        output_tokens: (100, 200),
+    }
+    .synthesize()
+    .unwrap();
+    let config = ServingConfig::for_system(&est, &model, &par, 32).unwrap();
+    let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
+
+    c.bench_function("serving/replay_parallel_table", |b| {
+        b.iter(|| sim.replay(black_box(&trace)).unwrap())
+    });
+    c.bench_function("serving/replay_serial_table", |b| {
+        b.iter(|| sim.replay_serial(black_box(&trace)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

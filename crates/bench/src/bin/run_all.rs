@@ -48,5 +48,14 @@ fn main() -> Result<(), scd_perf::ScdError> {
         ext::render_fabric_ablation(&ext::fabric_ablation()?)
     );
     println!("{}\n{hr}", ext::render_serving(&ext::serving_capacity()?));
+    use scd_bench::serving_experiments as srv;
+    println!(
+        "{}\n{hr}",
+        srv::render_serving_frontier(&srv::scd_serving_frontier()?)
+    );
+    println!(
+        "{}\n{hr}",
+        srv::render_serving_comparison(&srv::scd_vs_gpu_serving()?)
+    );
     Ok(())
 }

@@ -1,6 +1,17 @@
-//! Extension: serving capacity under per-token QoS budgets.
+//! Serving studies: static capacity under per-token QoS budgets, plus the
+//! continuous-batching simulator's dynamic-traffic view (frontier sweep
+//! and SCD-vs-GPU trace replay).
 fn main() -> Result<(), optimus::OptimusError> {
-    let rows = scd_bench::extensions::serving_capacity()?;
-    print!("{}", scd_bench::extensions::render_serving(&rows));
+    use scd_bench::{extensions as ext, serving_experiments as srv};
+    let hr = "=".repeat(72);
+    println!("{}\n{hr}", ext::render_serving(&ext::serving_capacity()?));
+    println!(
+        "{}\n{hr}",
+        srv::render_serving_frontier(&srv::scd_serving_frontier()?)
+    );
+    print!(
+        "{}",
+        srv::render_serving_comparison(&srv::scd_vs_gpu_serving()?)
+    );
     Ok(())
 }

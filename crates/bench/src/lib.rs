@@ -11,6 +11,7 @@
 pub mod extensions;
 pub mod inference_experiments;
 pub mod l2_study;
+pub mod serving_experiments;
 pub mod spec_tables;
 pub mod training_experiments;
 pub mod validation;

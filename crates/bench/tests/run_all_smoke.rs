@@ -4,7 +4,7 @@
 //! green run here means the full paper-reproduction binary works.
 
 use scd_bench::{extensions as ext, inference_experiments as inf, l2_study, spec_tables as spec};
-use scd_bench::{training_experiments as tr, validation};
+use scd_bench::{serving_experiments as srv, training_experiments as tr, validation};
 use scd_perf::ScdError;
 
 #[test]
@@ -55,6 +55,14 @@ fn every_run_all_stage_runs_and_renders() -> Result<(), ScdError> {
             ext::render_fabric_ablation(&ext::fabric_ablation()?),
         ),
         ("serving", ext::render_serving(&ext::serving_capacity()?)),
+        (
+            "serving_frontier",
+            srv::render_serving_frontier(&srv::scd_serving_frontier()?),
+        ),
+        (
+            "serving_comparison",
+            srv::render_serving_comparison(&srv::scd_vs_gpu_serving()?),
+        ),
     ];
     for (name, rendered) in stages {
         assert!(

@@ -3,6 +3,7 @@
 
 use crate::error::OptimusError;
 use crate::inference::{InferenceEstimator, InferenceReport, RequestShape};
+use crate::serving::{ServingConfig, ServingReport, ServingSimulator, TraceConfig};
 use crate::training::{TrainingEstimator, TrainingReport};
 use llm_workload::model::TransformerConfig;
 use llm_workload::parallelism::Parallelism;
@@ -121,6 +122,42 @@ impl SpeedupStudy {
         })
     }
 
+    /// Replays the same serving trace on both systems under each
+    /// system's own KV-cache capacity (main memory minus weights) and the
+    /// shared `max_batch` / SLO settings, reporting the tail-latency
+    /// speed-up `gpu p95 TPOT / scd p95 TPOT` (p95 end-to-end latency
+    /// ratio for single-token traces, whose TPOT is 0 by definition).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace/estimation failures, including
+    /// [`OptimusError::Serving`] when a request can never fit either
+    /// system's KV capacity.
+    pub fn serving(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        trace_config: &TraceConfig,
+        max_batch: u32,
+    ) -> Result<Comparison<ServingReport>, OptimusError> {
+        let trace = trace_config.synthesize()?;
+        let run = |est: &InferenceEstimator| -> Result<ServingReport, OptimusError> {
+            let config = ServingConfig::for_system(est, model, par, max_batch)?;
+            ServingSimulator::new(est, model, par, config)?.replay(&trace)
+        };
+        let scd = run(&self.scd_inference())?;
+        let gpu = run(&self.gpu_inference())?;
+        // Single-token requests have TPOT = 0 by definition (no tokens
+        // after the first), which would make the ratio NaN; fall back to
+        // the p95 end-to-end latency ratio for such traces.
+        let speedup = if scd.tpot.p95 > 0.0 && gpu.tpot.p95 > 0.0 {
+            gpu.tpot.p95 / scd.tpot.p95
+        } else {
+            gpu.latency.p95 / scd.latency.p95
+        };
+        Ok(Comparison { scd, gpu, speedup })
+    }
+
     /// Runs the Fig. 8 inference comparison.
     ///
     /// # Errors
@@ -180,6 +217,53 @@ mod tests {
             .training(&ModelZoo::gpt3_76b(), &train_par, 64)
             .unwrap();
         assert!(inf.speedup > train.speedup);
+    }
+
+    #[test]
+    fn serving_comparison_favors_scd_tails() {
+        let study = SpeedupStudy::paper_baseline();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let trace = TraceConfig {
+            seed: 5,
+            requests: 24,
+            arrival_rate_per_s: 8.0,
+            prompt_tokens: (150, 250),
+            output_tokens: (100, 200),
+        };
+        let c = study
+            .serving(&ModelZoo::llama_405b(), &par, &trace, 32)
+            .unwrap();
+        assert_eq!(c.scd.completed, 24);
+        assert_eq!(c.gpu.completed, 24);
+        assert!(
+            c.speedup > 2.0,
+            "SCD p95 TPOT should beat GPUs well past 2x, got {:.2}",
+            c.speedup
+        );
+        assert!(c.scd.throughput_tok_s >= c.gpu.throughput_tok_s);
+    }
+
+    #[test]
+    fn serving_comparison_single_token_trace_has_finite_speedup() {
+        // TPOT is 0 for output_tokens == 1 requests; the speed-up must
+        // fall back to the latency ratio instead of dividing 0 by 0.
+        let study = SpeedupStudy::paper_baseline();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let trace = TraceConfig {
+            seed: 1,
+            requests: 6,
+            arrival_rate_per_s: 4.0,
+            prompt_tokens: (150, 250),
+            output_tokens: (1, 1),
+        };
+        let c = study
+            .serving(&ModelZoo::llama_405b(), &par, &trace, 8)
+            .unwrap();
+        assert!(
+            c.speedup.is_finite() && c.speedup > 1.0,
+            "got {}",
+            c.speedup
+        );
     }
 
     #[test]

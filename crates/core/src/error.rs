@@ -21,6 +21,13 @@ pub enum OptimusError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// A serving-plan or serving-simulation input was degenerate (zero
+    /// tokens, non-positive budget, a request that can never fit the
+    /// KV-cache capacity, ...).
+    Serving {
+        /// Description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for OptimusError {
@@ -32,6 +39,7 @@ impl fmt::Display for OptimusError {
             Self::Network(e) => write!(f, "network error: {e}"),
             Self::Technology(e) => write!(f, "technology error: {e}"),
             Self::Mapping { reason } => write!(f, "mapping error: {reason}"),
+            Self::Serving { reason } => write!(f, "serving error: {reason}"),
         }
     }
 }
@@ -44,7 +52,7 @@ impl Error for OptimusError {
             Self::Memory(e) => Some(e),
             Self::Network(e) => Some(e),
             Self::Technology(e) => Some(e),
-            Self::Mapping { .. } => None,
+            Self::Mapping { .. } | Self::Serving { .. } => None,
         }
     }
 }

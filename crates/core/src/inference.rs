@@ -8,7 +8,7 @@
 use crate::error::OptimusError;
 use crate::roofline::{Placement, Roofline};
 use llm_workload::kernel::CommScope;
-use llm_workload::kvcache::KvCache;
+use llm_workload::kvcache::{KvCache, KvConvention};
 use llm_workload::model::{Precision, TransformerConfig};
 use llm_workload::parallelism::Parallelism;
 use llm_workload::taskgraph::{decode_step, prefill, TaskGraph};
@@ -129,6 +129,56 @@ impl InferenceEstimator {
         &self.accel
     }
 
+    /// The working precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Times one prefill pass over `input_tokens` prompt tokens at the
+    /// given batch: compute plus communication, in seconds. This is the
+    /// admission cost a continuous-batching scheduler pays when a request
+    /// joins the running batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError`] for invalid model/parallelism/shape
+    /// combinations.
+    pub fn prefill_time(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        batch: u32,
+        input_tokens: u32,
+    ) -> Result<f64, OptimusError> {
+        self.accel.validate()?;
+        let g = prefill(model, par, batch, input_tokens, self.precision)?;
+        let (c, m) = self.graph_time(&g, par.tp() as usize);
+        Ok(c + m)
+    }
+
+    /// Times one decode iteration for `batch` concurrent sequences at
+    /// cache length `kv_len`: compute plus communication, in seconds.
+    /// This is the per-iteration cost a continuous-batching scheduler
+    /// pays for the running batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError`] for invalid model/parallelism/shape
+    /// combinations.
+    pub fn decode_step_time(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        batch: u32,
+        kv_len: u32,
+    ) -> Result<f64, OptimusError> {
+        self.accel.validate()?;
+        let g = decode_step(model, par, batch, kv_len, self.precision)?;
+        let (c, m) = self.graph_time(&g, par.tp() as usize);
+        Ok(c + m)
+    }
+
     fn graph_time(&self, graph: &TaskGraph, tp: usize) -> (f64, f64) {
         let roofline = Roofline::new(&self.accel).with_placement(self.placement);
         let compute: f64 = graph
@@ -198,6 +248,10 @@ impl InferenceEstimator {
             seq_len: shape.input_tokens + shape.output_tokens,
             precision: self.precision,
         };
+        // Reported in the paper's MHA convention so the Fig. 8b numbers
+        // reproduce; physical capacity accounting uses KvConvention::Gqa
+        // (see `serving`).
+        let kv_cache_bytes = kv.bytes(model, KvConvention::PaperMha);
         Ok(InferenceReport {
             prefill_s,
             decode_s,
@@ -206,7 +260,7 @@ impl InferenceEstimator {
             flops_per_unit: flops,
             achieved_flops_per_unit: flops / total_s,
             per_token_s: decode_s / f64::from(shape.output_tokens.max(1)),
-            kv_cache_bytes: kv.bytes_mha(model),
+            kv_cache_bytes,
         })
     }
 

@@ -13,6 +13,9 @@
 //! * [`inference`] — prefill + token-by-token decode with a growing KV
 //!   cache (Fig. 7/8), including the KV-in-L2 placement study.
 //! * [`mapper`] — exhaustive TP/PP search for the best mapping.
+//! * [`scheduler`] — static batch planning under a per-token budget.
+//! * [`serving`] — continuous-batching serving simulator: Poisson
+//!   traces, KV-capacity admission/eviction, TTFT/TPOT tails, goodput.
 //! * [`compare`] — SCD-vs-GPU speed-up harnesses.
 //! * [`scaling`] — multi-blade weak-scaling projection (§VII outlook).
 //! * [`energy`] — device- and wall-plug-level energy projection.
@@ -52,6 +55,7 @@ pub mod mapper;
 pub mod roofline;
 pub mod scaling;
 pub mod scheduler;
+pub mod serving;
 pub mod training;
 pub mod validate;
 
@@ -63,4 +67,8 @@ pub use mapper::{MappingChoice, MappingSearch};
 pub use roofline::{Boundedness, KernelTime, Placement, Roofline};
 pub use scaling::{weak_scaling_sweep, MultiBladeSystem, ScalingPoint};
 pub use scheduler::{plan_serving, SchedulerDecision, ServingPoint};
+pub use serving::{
+    FrontierPoint, Percentiles, RequestSpec, ServingConfig, ServingReport, ServingSimulator,
+    TraceConfig,
+};
 pub use training::{TrainingEstimator, TrainingReport};

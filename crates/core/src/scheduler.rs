@@ -54,12 +54,22 @@ pub struct SchedulerDecision {
     pub budget_s: f64,
 }
 
-/// Searches batch sizes (powers of two up to `max_batch`) for the largest
-/// batch whose mean per-token decode latency stays within `budget_s`.
+/// Searches for the largest batch whose mean per-token decode latency
+/// stays within `budget_s`.
+///
+/// The search first brackets the answer on the power-of-two ladder up to
+/// `max_batch`, then binary-searches the bracket `(best_pow2, next probe)`
+/// so non-power-of-two optima are found exactly (per-token latency is
+/// monotone in batch for this cost model, which the test suite asserts).
+/// The returned frontier holds every probed point, ascending in batch.
 ///
 /// # Errors
 ///
-/// Propagates estimation failures.
+/// Returns [`OptimusError::Serving`] for degenerate inputs — zero prompt
+/// or output tokens (whose mean per-token latency is undefined), a zero
+/// `max_batch`, or a non-finite/non-positive budget — and propagates
+/// estimation failures. An unreachable but well-formed budget is *not* an
+/// error: it yields `chosen: None` with the probed frontier.
 pub fn plan_serving(
     estimator: &InferenceEstimator,
     model: &TransformerConfig,
@@ -68,28 +78,82 @@ pub fn plan_serving(
     max_batch: u32,
     budget_s: f64,
 ) -> Result<SchedulerDecision, OptimusError> {
-    let mut frontier = Vec::new();
-    let mut chosen = None;
-    let mut batch = 1u32;
-    while batch <= max_batch {
+    if io.0 == 0 || io.1 == 0 {
+        return Err(OptimusError::Serving {
+            reason: format!(
+                "request shape I/O {}/{} is degenerate: per-token latency undefined",
+                io.0, io.1
+            ),
+        });
+    }
+    if max_batch == 0 {
+        return Err(OptimusError::Serving {
+            reason: "max_batch must be ≥ 1".to_owned(),
+        });
+    }
+    if !budget_s.is_finite() || budget_s <= 0.0 {
+        return Err(OptimusError::Serving {
+            reason: format!("per-token budget {budget_s} s must be finite and positive"),
+        });
+    }
+
+    let probe = |batch: u32| -> Result<ServingPoint, OptimusError> {
         let shape = RequestShape {
             batch,
             input_tokens: io.0,
             output_tokens: io.1,
         };
         let r = estimator.estimate(model, par, shape)?;
-        let point = ServingPoint {
+        Ok(ServingPoint {
             batch,
             per_token_s: r.per_token_s,
             tokens_per_s: f64::from(batch) / r.per_token_s,
             request_latency_s: r.latency_s(),
-        };
-        if point.per_token_s <= budget_s {
+        })
+    };
+
+    // Power-of-two bracket scan.
+    let mut frontier = Vec::new();
+    let mut chosen: Option<ServingPoint> = None;
+    let mut batch = 1u32;
+    while batch <= max_batch {
+        let point = probe(batch)?;
+        if point.per_token_s <= budget_s && chosen.is_none_or(|c| point.batch > c.batch) {
             chosen = Some(point);
         }
         frontier.push(point);
-        batch *= 2;
+        // checked_mul (not saturating) so max_batch == u32::MAX cannot pin
+        // `batch` below the bound and loop forever.
+        match batch.checked_mul(2) {
+            Some(next) => batch = next,
+            None => break,
+        }
     }
+
+    // Refine inside the bracket: the true optimum lies between the best
+    // power of two and the next probe (or max_batch).
+    if let Some(best) = chosen {
+        let hi_limit = if best.batch > max_batch / 2 {
+            max_batch // the next power of two was never probed
+        } else {
+            best.batch.saturating_mul(2) - 1
+        };
+        let (mut lo, mut hi) = (best.batch, hi_limit);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            let point = probe(mid)?;
+            frontier.push(point);
+            if point.per_token_s <= budget_s {
+                chosen = Some(point);
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+    }
+
+    frontier.sort_by_key(|p| p.batch);
+    frontier.dedup_by_key(|p| p.batch);
     Ok(SchedulerDecision {
         chosen,
         frontier,
@@ -183,6 +247,96 @@ mod tests {
             "SCD should batch more at 10 ms/token: {scd_batch} vs {gpu_batch}"
         );
         assert!(scd.frontier.iter().all(|p| p.tokens_per_s > 0.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        for r in [
+            plan_serving(&est, &model, &par, (200, 0), 8, 0.01),
+            plan_serving(&est, &model, &par, (0, 200), 8, 0.01),
+            plan_serving(&est, &model, &par, (200, 200), 0, 0.01),
+            plan_serving(&est, &model, &par, (200, 200), 8, 0.0),
+            plan_serving(&est, &model, &par, (200, 200), 8, -1.0),
+            plan_serving(&est, &model, &par, (200, 200), 8, f64::NAN),
+            plan_serving(&est, &model, &par, (200, 200), 8, f64::INFINITY),
+        ] {
+            assert!(matches!(r, Err(OptimusError::Serving { .. })));
+        }
+    }
+
+    #[test]
+    fn refinement_reaches_non_pow2_max_batch() {
+        // Generous budget, max_batch 100: the pow2 scan stops at 64 but
+        // the bracket refinement must walk up to the true cap.
+        let d = plan_serving(
+            &spu_estimator(),
+            &ModelZoo::llama_405b(),
+            &Parallelism::pure_tp(64).unwrap(),
+            (200, 200),
+            100,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(d.chosen.unwrap().batch, 100);
+        for w in d.frontier.windows(2) {
+            assert!(w[0].batch < w[1].batch, "frontier must ascend");
+        }
+    }
+
+    #[test]
+    fn refinement_lands_between_pow2_probes() {
+        // Pick a budget strictly between the B=32 and B=64 per-token
+        // times: the chosen batch must land in (32, 64), which the old
+        // pow2-only scan could never return.
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let generous = plan_serving(&est, &model, &par, (200, 200), 64, 10.0).unwrap();
+        let at = |b: u32| {
+            generous
+                .frontier
+                .iter()
+                .find(|p| p.batch == b)
+                .unwrap()
+                .per_token_s
+        };
+        let budget = (at(32) + at(64)) / 2.0;
+        let d = plan_serving(&est, &model, &par, (200, 200), 64, budget).unwrap();
+        let c = d.chosen.unwrap();
+        assert!(
+            c.batch > 32 && c.batch < 64,
+            "refined batch {} should sit inside the bracket",
+            c.batch
+        );
+        assert!(c.per_token_s <= budget);
+        // The next batch up must blow the budget (largest-feasible).
+        if let Some(next) = d.frontier.iter().find(|p| p.batch == c.batch + 1) {
+            assert!(next.per_token_s > budget);
+        }
+    }
+
+    #[test]
+    fn huge_max_batch_terminates() {
+        // max_batch == u32::MAX must not pin the pow2 ladder at the bound
+        // and spin forever; a saturating (rather than checked) doubling
+        // used to do exactly that.
+        let d = plan_serving(
+            &spu_estimator(),
+            &ModelZoo::llama2_7b(),
+            &Parallelism::new(1, 1, 1).unwrap(),
+            (8, 2),
+            u32::MAX,
+            1e-12, // nothing qualifies: pure ladder scan
+        )
+        .unwrap();
+        assert!(d.chosen.is_none());
+        assert_eq!(d.frontier.len(), 32); // the 2^0 ..= 2^31 ladder
+        for w in d.frontier.windows(2) {
+            assert!(w[0].batch < w[1].batch);
+        }
     }
 
     #[test]

@@ -1,0 +1,1071 @@
+//! Continuous-batching serving simulator: dynamic traffic on top of the
+//! per-request estimator.
+//!
+//! The paper's batching study (§VI, Fig. 7 inset b) answers a *static*
+//! capacity question — the largest batch within a per-token budget. A
+//! serving deployment faces a *dynamic* one: requests arrive over time,
+//! must be admitted against finite KV-cache capacity, and user experience
+//! is set by tail latency, not the mean. This module closes that gap with
+//! an iteration-level simulator in the style of continuous-batching
+//! engines (Orca, vLLM):
+//!
+//! * [`TraceConfig`] synthesizes a seeded request trace — Poisson
+//!   arrivals, sampled prompt/output lengths — that is deterministic per
+//!   seed.
+//! * [`ServingSimulator`] replays a trace against an
+//!   [`InferenceEstimator`]: each iteration admits waiting requests FCFS
+//!   while the grown KV cache fits [`ServingConfig::kv_capacity_bytes`],
+//!   prices the joint prefill + decode step with the roofline cost model,
+//!   and preempts (evicts) the youngest request when growth overflows
+//!   capacity, vLLM-recompute style.
+//! * [`ServingReport`] carries TTFT/TPOT/latency percentiles, throughput,
+//!   goodput and eviction counts; [`ServingSimulator::slo_frontier`]
+//!   sweeps arrival rates into an SLO-vs-throughput frontier.
+//!
+//! Replay is exactly reproducible: [`ServingSimulator::replay`] builds
+//! its iteration-cost table on rayon workers while
+//! [`ServingSimulator::replay_serial`] builds the identical table on one
+//! thread, and the two reports are bit-identical (enforced by the
+//! `parallel_equivalence` suite, like every other parallel path in this
+//! workspace).
+//!
+//! # Examples
+//!
+//! ```
+//! use llm_workload::{KvConvention, ModelZoo, Parallelism};
+//! use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
+//! use optimus::InferenceEstimator;
+//! use scd_arch::Blade;
+//! use scd_tech::units::Bandwidth;
+//!
+//! # fn main() -> Result<(), optimus::OptimusError> {
+//! let blade = Blade::baseline();
+//! let est = InferenceEstimator::new(
+//!     blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+//!     blade.interconnect(),
+//! );
+//! let model = ModelZoo::llama2_7b();
+//! let par = Parallelism::new(1, 1, 1)?;
+//! let trace = TraceConfig {
+//!     seed: 7,
+//!     requests: 8,
+//!     arrival_rate_per_s: 50.0,
+//!     prompt_tokens: (32, 64),
+//!     output_tokens: (8, 16),
+//! }
+//! .synthesize()?;
+//! let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))?;
+//! let report = sim.replay(&trace)?;
+//! assert_eq!(report.completed, 8);
+//! assert!(report.ttft.p99 >= report.ttft.p50);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::OptimusError;
+use crate::inference::InferenceEstimator;
+use llm_workload::kvcache::{KvCache, KvConvention};
+use llm_workload::model::TransformerConfig;
+use llm_workload::parallelism::Parallelism;
+use llm_workload::taskgraph::weights_per_unit_bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One request of a serving trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Stable request id (trace order).
+    pub id: u32,
+    /// Arrival time (s).
+    pub arrival_s: f64,
+    /// Prompt length (tokens).
+    pub prompt_tokens: u32,
+    /// Generation length (tokens).
+    pub output_tokens: u32,
+}
+
+/// Synthetic-trace generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// RNG seed; traces are deterministic per seed.
+    pub seed: u64,
+    /// Number of requests.
+    pub requests: u32,
+    /// Poisson arrival rate (requests/s). `f64::INFINITY` collapses every
+    /// arrival to t = 0 (the static burst used for degenerate-case
+    /// validation against the static scheduler).
+    pub arrival_rate_per_s: f64,
+    /// Inclusive prompt-length range (tokens), sampled uniformly.
+    pub prompt_tokens: (u32, u32),
+    /// Inclusive output-length range (tokens), sampled uniformly.
+    pub output_tokens: (u32, u32),
+}
+
+impl TraceConfig {
+    /// A burst trace: `requests` identical I/O-shaped requests all
+    /// arriving at t = 0 (the degenerate case that must reproduce the
+    /// static scheduler's operating point).
+    #[must_use]
+    pub fn burst(requests: u32, prompt: u32, output: u32) -> Self {
+        Self {
+            seed: 0,
+            requests,
+            arrival_rate_per_s: f64::INFINITY,
+            prompt_tokens: (prompt, prompt),
+            output_tokens: (output, output),
+        }
+    }
+
+    /// Synthesizes the trace: exponential inter-arrival gaps (inverse-CDF
+    /// sampling) and uniform prompt/output lengths, all drawn from one
+    /// seeded generator so the trace is a pure function of `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] for zero requests, an empty or
+    /// zero-based token range, or a non-positive arrival rate.
+    pub fn synthesize(&self) -> Result<Vec<RequestSpec>, OptimusError> {
+        if self.requests == 0 {
+            return Err(OptimusError::Serving {
+                reason: "trace needs at least one request".to_owned(),
+            });
+        }
+        for (name, (lo, hi)) in [
+            ("prompt", self.prompt_tokens),
+            ("output", self.output_tokens),
+        ] {
+            if lo == 0 || lo > hi {
+                return Err(OptimusError::Serving {
+                    reason: format!("{name} range {lo}..={hi} must be non-empty and ≥ 1"),
+                });
+            }
+        }
+        if self.arrival_rate_per_s.is_nan() || self.arrival_rate_per_s <= 0.0 {
+            return Err(OptimusError::Serving {
+                reason: format!("arrival rate {} must be positive", self.arrival_rate_per_s),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut clock = 0.0f64;
+        let mut trace = Vec::with_capacity(self.requests as usize);
+        for id in 0..self.requests {
+            if self.arrival_rate_per_s.is_finite() {
+                // Exponential gap via inverse CDF; u ∈ [0, 1) keeps the
+                // argument of ln strictly positive.
+                let u: f64 = rng.gen();
+                clock += -(1.0 - u).ln() / self.arrival_rate_per_s;
+            }
+            let prompt_tokens = rng.gen_range(self.prompt_tokens.0..=self.prompt_tokens.1);
+            let output_tokens = rng.gen_range(self.output_tokens.0..=self.output_tokens.1);
+            trace.push(RequestSpec {
+                id,
+                arrival_s: clock,
+                prompt_tokens,
+                output_tokens,
+            });
+        }
+        Ok(trace)
+    }
+}
+
+/// Serving-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Maximum concurrent sequences in the decode batch.
+    pub max_batch: u32,
+    /// KV-cache capacity (bytes, whole system) requests are admitted
+    /// against.
+    pub kv_capacity_bytes: f64,
+    /// Head-count convention for KV sizing. Physical deployments should
+    /// use [`KvConvention::Gqa`].
+    pub kv_convention: KvConvention,
+    /// Time-to-first-token SLO (s), used for goodput accounting.
+    pub ttft_slo_s: f64,
+    /// Time-per-output-token SLO (s), used for goodput accounting.
+    pub tpot_slo_s: f64,
+    /// KV-length quantization of the iteration-cost table (tokens). 1
+    /// prices every cache length exactly; larger buckets shrink the table.
+    pub kv_bucket_tokens: u32,
+}
+
+impl ServingConfig {
+    /// A capacity-unconstrained configuration (KV admission never binds):
+    /// useful for studying pure batching dynamics and for the degenerate
+    /// static-scheduler check. Prices costs exactly
+    /// (`kv_bucket_tokens = 1`) with generous default SLOs.
+    #[must_use]
+    pub fn unconstrained(max_batch: u32) -> Self {
+        Self {
+            max_batch,
+            kv_capacity_bytes: f64::MAX,
+            kv_convention: KvConvention::Gqa,
+            ttft_slo_s: 10.0,
+            tpot_slo_s: 0.1,
+            kv_bucket_tokens: 1,
+        }
+    }
+
+    /// Derives the KV capacity from the estimator's accelerator: the
+    /// main-memory capacity across all `par` units minus the resident
+    /// weights (at the estimator's working precision).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] if the weights alone exceed the
+    /// system's main memory.
+    pub fn for_system(
+        estimator: &InferenceEstimator,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        max_batch: u32,
+    ) -> Result<Self, OptimusError> {
+        let units = f64::from(par.units());
+        let capacity = estimator.accelerator().dram_capacity_bytes() as f64 * units;
+        let weights = weights_per_unit_bytes(model, par, estimator.precision()) * units;
+        let kv_capacity_bytes = capacity - weights;
+        if kv_capacity_bytes <= 0.0 {
+            return Err(OptimusError::Serving {
+                reason: format!(
+                    "{} weights ({:.0} GB) exceed system memory ({:.0} GB)",
+                    model.name,
+                    weights / 1e9,
+                    capacity / 1e9
+                ),
+            });
+        }
+        Ok(Self {
+            max_batch,
+            kv_capacity_bytes,
+            kv_convention: KvConvention::Gqa,
+            ttft_slo_s: 10.0,
+            tpot_slo_s: 0.1,
+            kv_bucket_tokens: 32,
+        })
+    }
+
+    fn validate(&self) -> Result<(), OptimusError> {
+        if self.max_batch == 0 || self.kv_bucket_tokens == 0 {
+            return Err(OptimusError::Serving {
+                reason: "max_batch and kv_bucket_tokens must be ≥ 1".to_owned(),
+            });
+        }
+        if self.kv_capacity_bytes.is_nan() || self.kv_capacity_bytes <= 0.0 {
+            return Err(OptimusError::Serving {
+                reason: format!(
+                    "KV capacity {} bytes must be positive",
+                    self.kv_capacity_bytes
+                ),
+            });
+        }
+        if self.ttft_slo_s.is_nan()
+            || self.ttft_slo_s <= 0.0
+            || self.tpot_slo_s.is_nan()
+            || self.tpot_slo_s <= 0.0
+        {
+            return Err(OptimusError::Serving {
+                reason: "SLO targets must be positive".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Nearest-rank percentiles of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    fn of(values: &mut [f64]) -> Self {
+        values.sort_by(f64::total_cmp);
+        let at = |q: f64| -> f64 {
+            if values.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * values.len() as f64).ceil() as usize;
+            values[rank.clamp(1, values.len()) - 1]
+        };
+        Self {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+        }
+    }
+}
+
+/// Outcome of replaying one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Requests in the trace.
+    pub requests: u32,
+    /// Requests that ran to completion (always equals `requests`: the
+    /// simulator drains its queue).
+    pub completed: u32,
+    /// Preemptions: a running request was evicted because the grown KV
+    /// cache no longer fit, and restarted later (recompute-style).
+    pub evictions: u32,
+    /// Generated tokens discarded by evictions (recomputed later).
+    pub wasted_tokens: u64,
+    /// Time from first arrival to last completion (s).
+    pub makespan_s: f64,
+    /// Useful generated tokens per second over the makespan.
+    pub throughput_tok_s: f64,
+    /// Throughput counting only requests that met both SLOs.
+    pub goodput_tok_s: f64,
+    /// Fraction of requests meeting both the TTFT and TPOT SLOs.
+    pub slo_attainment: f64,
+    /// Decode-time-weighted mean batch occupancy.
+    pub mean_batch: f64,
+    /// Total decode time across all iterations (s).
+    pub decode_time_s: f64,
+    /// Number of decode iterations.
+    pub decode_iterations: u64,
+    /// Time-to-first-token percentiles (s).
+    pub ttft: Percentiles,
+    /// Time-per-output-token percentiles (s).
+    pub tpot: Percentiles,
+    /// End-to-end request-latency percentiles (s).
+    pub latency: Percentiles,
+}
+
+impl ServingReport {
+    /// Mean decode-iteration cost (s) — the dynamic analogue of the
+    /// static scheduler's `per_token_s`.
+    #[must_use]
+    pub fn mean_step_s(&self) -> f64 {
+        if self.decode_iterations == 0 {
+            0.0
+        } else {
+            self.decode_time_s / self.decode_iterations as f64
+        }
+    }
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} done, {} evictions; {:.0} tok/s ({:.0} goodput); \
+             TTFT p50/p95/p99 {:.0}/{:.0}/{:.0} ms; TPOT {:.1}/{:.1}/{:.1} ms",
+            self.completed,
+            self.requests,
+            self.evictions,
+            self.throughput_tok_s,
+            self.goodput_tok_s,
+            self.ttft.p50 * 1e3,
+            self.ttft.p95 * 1e3,
+            self.ttft.p99 * 1e3,
+            self.tpot.p50 * 1e3,
+            self.tpot.p95 * 1e3,
+            self.tpot.p99 * 1e3
+        )
+    }
+}
+
+/// One point of the SLO-vs-throughput frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Offered arrival rate (requests/s).
+    pub arrival_rate_per_s: f64,
+    /// The replay outcome at that rate.
+    pub report: ServingReport,
+}
+
+/// Iteration-cost lookup: decode cost per (batch, bucketized KV length)
+/// and batch-1 prefill cost per bucketized prompt length. Built once per
+/// replay — in parallel or serially, bit-identically — so the simulation
+/// loop itself is pure table lookups.
+#[derive(Debug)]
+struct CostTable {
+    bucket: u32,
+    max_kv_idx: usize,
+    /// `decode[(b-1) * max_kv_idx + (idx-1)]` = decode step cost at batch
+    /// `b`, KV length `idx * bucket`.
+    decode: Vec<f64>,
+    /// `prefill[idx-1]` = batch-1 prefill cost at prompt `idx * bucket`.
+    prefill: Vec<f64>,
+}
+
+impl CostTable {
+    fn decode_cost(&self, batch: u32, kv_len: u32) -> f64 {
+        let idx = (kv_len.div_ceil(self.bucket) as usize).max(1);
+        self.decode[(batch as usize - 1) * self.max_kv_idx + (idx - 1)]
+    }
+
+    fn prefill_cost(&self, prompt: u32) -> f64 {
+        let idx = (prompt.div_ceil(self.bucket) as usize).max(1);
+        self.prefill[idx - 1]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    /// Index into the (arrival-sorted) trace.
+    idx: usize,
+    /// Cache length: prompt plus tokens generated so far.
+    kv_len: u32,
+    /// Tokens generated so far (this attempt).
+    produced: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Outcome {
+    first_token_s: Option<f64>,
+    completion_s: Option<f64>,
+}
+
+/// Continuous-batching simulator over one estimator + model + plan.
+#[derive(Debug)]
+pub struct ServingSimulator<'a> {
+    estimator: &'a InferenceEstimator,
+    model: &'a TransformerConfig,
+    par: &'a Parallelism,
+    config: ServingConfig,
+    /// KV bytes per cached token per sequence, whole system.
+    kv_bytes_per_token: f64,
+}
+
+impl<'a> ServingSimulator<'a> {
+    /// Creates a simulator; validates the configuration and model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] for invalid configurations and
+    /// propagates model/parallelism validation failures.
+    pub fn new(
+        estimator: &'a InferenceEstimator,
+        model: &'a TransformerConfig,
+        par: &'a Parallelism,
+        config: ServingConfig,
+    ) -> Result<Self, OptimusError> {
+        config.validate()?;
+        model.validate().map_err(OptimusError::from)?;
+        par.check_model(model).map_err(OptimusError::from)?;
+        let kv_bytes_per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: estimator.precision(),
+        }
+        .bytes(model, config.kv_convention);
+        Ok(Self {
+            estimator,
+            model,
+            par,
+            config,
+            kv_bytes_per_token,
+        })
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Replays the trace with the iteration-cost table built on rayon
+    /// workers. Bit-identical to [`Self::replay_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] for an empty trace or a request
+    /// that can never fit the KV capacity; propagates estimation errors.
+    pub fn replay(&self, trace: &[RequestSpec]) -> Result<ServingReport, OptimusError> {
+        let table = self.cost_table(trace, true)?;
+        self.run(trace, &table)
+    }
+
+    /// Serial reference implementation of [`Self::replay`], kept as the
+    /// ground truth for the rayon-equivalence test in CI.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::replay`].
+    pub fn replay_serial(&self, trace: &[RequestSpec]) -> Result<ServingReport, OptimusError> {
+        let table = self.cost_table(trace, false)?;
+        self.run(trace, &table)
+    }
+
+    /// Sweeps arrival rates into an SLO-vs-throughput frontier. Each rate
+    /// re-synthesizes `base` with the same seed and replays it; rates are
+    /// replayed concurrently (each replay is independent and
+    /// deterministic, so the frontier is too).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::replay`], plus trace-synthesis failures.
+    pub fn slo_frontier(
+        &self,
+        base: &TraceConfig,
+        rates: &[f64],
+    ) -> Result<Vec<FrontierPoint>, OptimusError> {
+        rates
+            .par_iter()
+            .map(|&rate| {
+                let trace = TraceConfig {
+                    arrival_rate_per_s: rate,
+                    ..*base
+                }
+                .synthesize()?;
+                Ok(FrontierPoint {
+                    arrival_rate_per_s: rate,
+                    report: self.replay_serial(&trace)?,
+                })
+            })
+            .collect()
+    }
+
+    fn kv_bytes(&self, tokens_cached: u64) -> f64 {
+        tokens_cached as f64 * self.kv_bytes_per_token
+    }
+
+    /// Builds the iteration-cost table covering every (batch, KV-bucket)
+    /// state the trace can reach.
+    fn cost_table(&self, trace: &[RequestSpec], parallel: bool) -> Result<CostTable, OptimusError> {
+        if trace.is_empty() {
+            return Err(OptimusError::Serving {
+                reason: "trace is empty".to_owned(),
+            });
+        }
+        for r in trace {
+            if r.prompt_tokens == 0 || r.output_tokens == 0 || !r.arrival_s.is_finite() {
+                return Err(OptimusError::Serving {
+                    reason: format!(
+                        "request {} is degenerate (prompt {}, output {}, arrival {})",
+                        r.id, r.prompt_tokens, r.output_tokens, r.arrival_s
+                    ),
+                });
+            }
+            let full = self.kv_bytes(u64::from(r.prompt_tokens + r.output_tokens));
+            if full > self.config.kv_capacity_bytes {
+                return Err(OptimusError::Serving {
+                    reason: format!(
+                        "request {} needs {:.1} GB of KV at full length but capacity is {:.1} GB",
+                        r.id,
+                        full / 1e9,
+                        self.config.kv_capacity_bytes / 1e9
+                    ),
+                });
+            }
+        }
+        let bucket = self.config.kv_bucket_tokens;
+        let max_kv = trace
+            .iter()
+            .map(|r| r.prompt_tokens + r.output_tokens - 1)
+            .max()
+            .expect("trace non-empty");
+        let max_prompt = trace
+            .iter()
+            .map(|r| r.prompt_tokens)
+            .max()
+            .expect("trace non-empty");
+        let max_kv_idx = max_kv.div_ceil(bucket) as usize;
+        let max_prompt_idx = max_prompt.div_ceil(bucket) as usize;
+        let max_batch = self.config.max_batch.min(trace.len() as u32) as usize;
+
+        let decode_cell = |cell: usize| -> Result<f64, OptimusError> {
+            let batch = (cell / max_kv_idx) as u32 + 1;
+            let kv = (cell % max_kv_idx + 1) as u32 * bucket;
+            self.estimator
+                .decode_step_time(self.model, self.par, batch, kv)
+        };
+        let prefill_cell = |idx: usize| -> Result<f64, OptimusError> {
+            self.estimator
+                .prefill_time(self.model, self.par, 1, (idx + 1) as u32 * bucket)
+        };
+
+        let decode_cells = max_batch * max_kv_idx;
+        let (decode, prefill) = if parallel {
+            (
+                (0..decode_cells)
+                    .into_par_iter()
+                    .map(decode_cell)
+                    .collect::<Result<Vec<_>, _>>()?,
+                (0..max_prompt_idx)
+                    .into_par_iter()
+                    .map(prefill_cell)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        } else {
+            (
+                (0..decode_cells)
+                    .map(decode_cell)
+                    .collect::<Result<Vec<_>, _>>()?,
+                (0..max_prompt_idx)
+                    .map(prefill_cell)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        };
+        Ok(CostTable {
+            bucket,
+            max_kv_idx,
+            decode,
+            prefill,
+        })
+    }
+
+    /// The simulation loop proper: deterministic, shared by both replay
+    /// paths, driven entirely by table lookups.
+    fn run(&self, trace: &[RequestSpec], table: &CostTable) -> Result<ServingReport, OptimusError> {
+        // Arrival-sorted view (stable on ties by trace order).
+        let mut order: Vec<usize> = (0..trace.len()).collect();
+        order.sort_by(|&a, &b| {
+            trace[a]
+                .arrival_s
+                .total_cmp(&trace[b].arrival_s)
+                .then(a.cmp(&b))
+        });
+        let mut queue: VecDeque<usize> = order.into_iter().collect();
+        let mut running: Vec<Running> = Vec::new();
+        let mut outcomes = vec![Outcome::default(); trace.len()];
+
+        let mut clock = trace.iter().map(|r| r.arrival_s).fold(f64::MAX, f64::min);
+        let mut completed = 0u32;
+        let mut evictions = 0u32;
+        let mut wasted_tokens = 0u64;
+        let mut decode_time_s = 0.0f64;
+        let mut decode_iterations = 0u64;
+        let mut batch_time_weighted = 0.0f64;
+
+        while completed < trace.len() as u32 {
+            // Idle: jump to the next arrival.
+            if running.is_empty() {
+                if let Some(&next) = queue.front() {
+                    clock = clock.max(trace[next].arrival_s);
+                }
+            }
+
+            // FCFS admission against batch slots and projected KV growth
+            // (every running sequence appends one token this iteration).
+            let mut projected: u64 = running.iter().map(|r| u64::from(r.kv_len) + 1).sum();
+            let mut admitted: Vec<usize> = Vec::new();
+            while let Some(&idx) = queue.front() {
+                if trace[idx].arrival_s > clock
+                    || running.len() + admitted.len() >= self.config.max_batch as usize
+                {
+                    break;
+                }
+                let candidate = u64::from(trace[idx].prompt_tokens) + 1;
+                if self.kv_bytes(projected + candidate) > self.config.kv_capacity_bytes {
+                    break;
+                }
+                projected += candidate;
+                admitted.push(idx);
+                queue.pop_front();
+            }
+            let mut step_cost = 0.0f64;
+            for &idx in &admitted {
+                step_cost += table.prefill_cost(trace[idx].prompt_tokens);
+                running.push(Running {
+                    idx,
+                    kv_len: trace[idx].prompt_tokens,
+                    produced: 0,
+                });
+            }
+
+            // Preempt youngest-first while the grown cache cannot fit.
+            // The head-of-line request always survives (its full-length
+            // cache fits by validation), so the simulation cannot
+            // livelock.
+            while running.len() > 1 {
+                let grown: u64 = running.iter().map(|r| u64::from(r.kv_len) + 1).sum();
+                if self.kv_bytes(grown) <= self.config.kv_capacity_bytes {
+                    break;
+                }
+                let victim = running.pop().expect("len > 1");
+                evictions += 1;
+                wasted_tokens += u64::from(victim.produced);
+                queue.push_front(victim.idx);
+            }
+
+            debug_assert!(!running.is_empty(), "queue drained with work pending");
+            let batch = running.len() as u32;
+            let kv_sum: u64 = running.iter().map(|r| u64::from(r.kv_len)).sum();
+            let kv_mean = kv_sum.div_ceil(u64::from(batch)) as u32;
+            let decode_cost = table.decode_cost(batch, kv_mean);
+            step_cost += decode_cost;
+            decode_time_s += decode_cost;
+            decode_iterations += 1;
+            batch_time_weighted += decode_cost * f64::from(batch);
+            clock += step_cost;
+
+            // Every running sequence emits one token; retire finishers.
+            let mut still_running = Vec::with_capacity(running.len());
+            for mut r in running.drain(..) {
+                r.produced += 1;
+                r.kv_len += 1;
+                let out = &mut outcomes[r.idx];
+                if out.first_token_s.is_none() {
+                    out.first_token_s = Some(clock);
+                }
+                if r.produced >= trace[r.idx].output_tokens {
+                    out.completion_s = Some(clock);
+                    completed += 1;
+                } else {
+                    still_running.push(r);
+                }
+            }
+            running = still_running;
+        }
+
+        // Metrics over the completed population.
+        let first_arrival = trace.iter().map(|r| r.arrival_s).fold(f64::MAX, f64::min);
+        let makespan_s = (clock - first_arrival).max(f64::MIN_POSITIVE);
+        let mut ttft = Vec::with_capacity(trace.len());
+        let mut tpot = Vec::with_capacity(trace.len());
+        let mut latency = Vec::with_capacity(trace.len());
+        let mut useful_tokens = 0u64;
+        let mut good_tokens = 0u64;
+        let mut slo_met = 0u32;
+        for (r, out) in trace.iter().zip(&outcomes) {
+            let first = out.first_token_s.expect("completed");
+            let done = out.completion_s.expect("completed");
+            let t_first = first - r.arrival_s;
+            let t_rest = (done - first) / f64::from((r.output_tokens - 1).max(1));
+            ttft.push(t_first);
+            tpot.push(t_rest);
+            latency.push(done - r.arrival_s);
+            useful_tokens += u64::from(r.output_tokens);
+            if t_first <= self.config.ttft_slo_s && t_rest <= self.config.tpot_slo_s {
+                slo_met += 1;
+                good_tokens += u64::from(r.output_tokens);
+            }
+        }
+        Ok(ServingReport {
+            requests: trace.len() as u32,
+            completed,
+            evictions,
+            wasted_tokens,
+            makespan_s,
+            throughput_tok_s: useful_tokens as f64 / makespan_s,
+            goodput_tok_s: good_tokens as f64 / makespan_s,
+            slo_attainment: f64::from(slo_met) / trace.len() as f64,
+            mean_batch: if decode_time_s > 0.0 {
+                batch_time_weighted / decode_time_s
+            } else {
+                0.0
+            },
+            decode_time_s,
+            decode_iterations,
+            ttft: Percentiles::of(&mut ttft),
+            tpot: Percentiles::of(&mut tpot),
+            latency: Percentiles::of(&mut latency),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::plan_serving;
+    use llm_workload::model::ModelZoo;
+    use scd_arch::Blade;
+    use scd_tech::units::Bandwidth;
+
+    fn spu_estimator() -> InferenceEstimator {
+        let blade = Blade::baseline();
+        InferenceEstimator::new(
+            blade
+                .accelerator()
+                .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        )
+    }
+
+    fn small_model_sim_parts() -> (InferenceEstimator, TransformerConfig, Parallelism) {
+        (
+            spu_estimator(),
+            ModelZoo::llama2_7b(),
+            Parallelism::new(1, 1, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_sorted() {
+        let cfg = TraceConfig {
+            seed: 42,
+            requests: 64,
+            arrival_rate_per_s: 10.0,
+            prompt_tokens: (50, 300),
+            output_tokens: (20, 200),
+        };
+        let a = cfg.synthesize().unwrap();
+        let b = cfg.synthesize().unwrap();
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+        assert!(a.iter().all(|r| (50..=300).contains(&r.prompt_tokens)));
+        assert!(a.iter().all(|r| (20..=200).contains(&r.output_tokens)));
+        let c = TraceConfig { seed: 43, ..cfg }.synthesize().unwrap();
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn burst_trace_arrives_at_zero() {
+        let t = TraceConfig::burst(8, 200, 200).synthesize().unwrap();
+        assert_eq!(t.len(), 8);
+        assert!(t.iter().all(|r| r.arrival_s == 0.0));
+        assert!(t
+            .iter()
+            .all(|r| r.prompt_tokens == 200 && r.output_tokens == 200));
+    }
+
+    #[test]
+    fn degenerate_traces_are_typed_errors() {
+        let bad = [
+            TraceConfig {
+                requests: 0,
+                ..TraceConfig::burst(1, 10, 10)
+            },
+            TraceConfig {
+                prompt_tokens: (0, 10),
+                ..TraceConfig::burst(1, 10, 10)
+            },
+            TraceConfig {
+                output_tokens: (20, 10),
+                ..TraceConfig::burst(1, 10, 10)
+            },
+            TraceConfig {
+                arrival_rate_per_s: 0.0,
+                ..TraceConfig::burst(1, 10, 10)
+            },
+            TraceConfig {
+                arrival_rate_per_s: -3.0,
+                ..TraceConfig::burst(1, 10, 10)
+            },
+        ];
+        for cfg in bad {
+            assert!(matches!(
+                cfg.synthesize(),
+                Err(OptimusError::Serving { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn burst_reproduces_static_scheduler_operating_point() {
+        // All requests arrive at t=0 with the paper's I/O 200/200 shape
+        // and nothing ever evicts: the simulator must run at the static
+        // scheduler's chosen batch, and its mean decode-iteration cost
+        // must equal the static per-token time at that batch.
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let batch = 8u32;
+        let decision = plan_serving(&est, &model, &par, (200, 200), batch, 1.0).unwrap();
+        let static_point = decision.chosen.unwrap();
+        assert_eq!(static_point.batch, batch);
+
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(batch)).unwrap();
+        let trace = TraceConfig::burst(batch, 200, 200).synthesize().unwrap();
+        let report = sim.replay(&trace).unwrap();
+        assert_eq!(report.completed, batch);
+        assert_eq!(report.evictions, 0);
+        assert!((report.mean_batch - f64::from(batch)).abs() < 1e-9);
+        let rel =
+            (report.mean_step_s() - static_point.per_token_s).abs() / static_point.per_token_s;
+        assert!(
+            rel < 1e-12,
+            "sim step {} vs static per-token {}",
+            report.mean_step_s(),
+            static_point.per_token_s
+        );
+    }
+
+    #[test]
+    fn poisson_replay_reports_sane_tails() {
+        let (est, model, par) = small_model_sim_parts();
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8)).unwrap();
+        let trace = TraceConfig {
+            seed: 9,
+            requests: 24,
+            arrival_rate_per_s: 200.0,
+            prompt_tokens: (32, 128),
+            output_tokens: (8, 32),
+        }
+        .synthesize()
+        .unwrap();
+        let r = sim.replay(&trace).unwrap();
+        assert_eq!(r.completed, 24);
+        assert!(r.ttft.p50 > 0.0 && r.ttft.p50 <= r.ttft.p95 && r.ttft.p95 <= r.ttft.p99);
+        assert!(r.tpot.p50 > 0.0 && r.tpot.p50 <= r.tpot.p95 && r.tpot.p95 <= r.tpot.p99);
+        assert!(r.latency.p99 >= r.ttft.p99);
+        assert!(r.throughput_tok_s > 0.0);
+        assert!(r.goodput_tok_s <= r.throughput_tok_s);
+        assert!((0.0..=1.0).contains(&r.slo_attainment));
+        assert!(r.mean_batch >= 1.0 && r.mean_batch <= 8.0);
+    }
+
+    #[test]
+    fn tight_kv_capacity_forces_evictions_but_completes() {
+        let (est, model, par) = small_model_sim_parts();
+        // Capacity for ~2.5 full-length requests: concurrency wants 6.
+        let per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes(&model, KvConvention::Gqa);
+        let config = ServingConfig {
+            max_batch: 6,
+            kv_capacity_bytes: per_token * f64::from(96 + 32) * 2.5,
+            kv_convention: KvConvention::Gqa,
+            ttft_slo_s: 10.0,
+            tpot_slo_s: 0.1,
+            kv_bucket_tokens: 1,
+        };
+        let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
+        let trace = TraceConfig {
+            seed: 3,
+            requests: 12,
+            arrival_rate_per_s: f64::INFINITY,
+            prompt_tokens: (96, 96),
+            output_tokens: (32, 32),
+        }
+        .synthesize()
+        .unwrap();
+        let r = sim.replay(&trace).unwrap();
+        assert_eq!(r.completed, 12, "every request must finish eventually");
+        assert!(r.evictions > 0, "tight capacity must preempt");
+        assert!(r.wasted_tokens > 0);
+
+        // The same workload with ample capacity evicts nothing.
+        let roomy = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(6))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        assert_eq!(roomy.evictions, 0);
+        assert!(
+            roomy.makespan_s <= r.makespan_s + 1e-12,
+            "evictions cost time"
+        );
+    }
+
+    #[test]
+    fn oversized_request_is_a_typed_error() {
+        let (est, model, par) = small_model_sim_parts();
+        let per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes(&model, KvConvention::Gqa);
+        let config = ServingConfig {
+            kv_capacity_bytes: per_token * 100.0,
+            ..ServingConfig::unconstrained(4)
+        };
+        let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
+        let trace = TraceConfig::burst(2, 96, 32).synthesize().unwrap();
+        assert!(matches!(
+            sim.replay(&trace),
+            Err(OptimusError::Serving { .. })
+        ));
+    }
+
+    #[test]
+    fn gqa_convention_admits_more_than_paper_mha() {
+        // Same capacity: physical GQA sizing (8 of 128 head-pairs for
+        // Llama-405B) packs far more concurrent requests than the
+        // MHA-convention bookkeeping would, so the trace finishes sooner.
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let per_token_mha = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes_mha(&model);
+        let capacity = per_token_mha * 400.0 * 3.0; // three MHA requests
+        let mk = |conv: KvConvention| ServingConfig {
+            max_batch: 16,
+            kv_capacity_bytes: capacity,
+            kv_convention: conv,
+            ttft_slo_s: 100.0,
+            tpot_slo_s: 10.0,
+            kv_bucket_tokens: 8,
+        };
+        let trace = TraceConfig::burst(16, 200, 16).synthesize().unwrap();
+        let gqa = ServingSimulator::new(&est, &model, &par, mk(KvConvention::Gqa))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        let mha = ServingSimulator::new(&est, &model, &par, mk(KvConvention::PaperMha))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        assert!(
+            gqa.mean_batch > mha.mean_batch,
+            "GQA sizing must batch more: {} vs {}",
+            gqa.mean_batch,
+            mha.mean_batch
+        );
+        assert!(gqa.makespan_s < mha.makespan_s);
+    }
+
+    #[test]
+    fn slo_frontier_throughput_rises_with_offered_load() {
+        let (est, model, par) = small_model_sim_parts();
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8)).unwrap();
+        let base = TraceConfig {
+            seed: 11,
+            requests: 16,
+            arrival_rate_per_s: 1.0,
+            prompt_tokens: (32, 64),
+            output_tokens: (8, 16),
+        };
+        let pts = sim.slo_frontier(&base, &[5.0, 50.0, 500.0]).unwrap();
+        assert_eq!(pts.len(), 3);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].report.throughput_tok_s >= w[0].report.throughput_tok_s * 0.99,
+                "throughput should not collapse as load rises below saturation"
+            );
+            assert!(w[1].report.ttft.p99 >= w[0].report.ttft.p99 * 0.5);
+        }
+        // At saturation the batch runs fuller than at a trickle.
+        assert!(pts[2].report.mean_batch > pts[0].report.mean_batch);
+    }
+
+    #[test]
+    fn for_system_subtracts_weights() {
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let cfg = ServingConfig::for_system(&est, &model, &par, 64).unwrap();
+        let total = est.accelerator().dram_capacity_bytes() as f64 * 64.0;
+        assert!(cfg.kv_capacity_bytes > 0.0 && cfg.kv_capacity_bytes < total);
+
+        // A model too large for the system is a typed error.
+        let mut huge = ModelZoo::llama_405b();
+        huge.layers *= 20;
+        assert!(matches!(
+            ServingConfig::for_system(&est, &huge, &par, 64),
+            Err(OptimusError::Serving { .. })
+        ));
+    }
+
+    #[test]
+    fn report_display_formats() {
+        let (est, model, par) = small_model_sim_parts();
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(2)).unwrap();
+        let trace = TraceConfig::burst(2, 16, 4).synthesize().unwrap();
+        let r = sim.replay(&trace).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("TTFT") && s.contains("TPOT") && s.contains("2/2"));
+    }
+}

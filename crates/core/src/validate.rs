@@ -1,5 +1,5 @@
 //! Cross-validation of the analytical communication model against the
-//! discrete-event NoC simulator — the role the paper's reference [35]
+//! discrete-event NoC simulator — the role the paper's reference \[35\]
 //! plays for Optimus (validation against measured systems).
 
 use scd_noc::collective::{analytical_ring_all_reduce, simulate_ring_all_reduce};

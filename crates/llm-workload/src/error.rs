@@ -16,6 +16,11 @@ pub enum WorkloadError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// A request shape was degenerate (zero batch, tokens, ...).
+    InvalidRequest {
+        /// Description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -23,6 +28,7 @@ impl fmt::Display for WorkloadError {
         match self {
             Self::InvalidParallelism { reason } => write!(f, "invalid parallelism: {reason}"),
             Self::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+            Self::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
         }
     }
 }

@@ -3,10 +3,25 @@
 //! The paper's quoted sizes (llama2-7B: 2 GB, llama2-13B: 3 GB,
 //! llama2-70B: 10 GB; Llama-405B at B=128 approaching the 5 TB capacity of
 //! 64 GPUs) correspond to the MHA convention — all `heads` stored — at the
-//! full provisioned context. Both MHA and the GQA-aware size are exposed.
+//! full provisioned context. A physical deployment of a grouped-query
+//! model stores only `kv_heads` head-pairs, so every sizing entry point
+//! takes an explicit [`KvConvention`]: `PaperMha` for reproducing the
+//! paper's quoted numbers, `Gqa` for physical capacity accounting and
+//! decode-traffic estimates.
 
 use crate::model::{Precision, TransformerConfig};
 use serde::{Deserialize, Serialize};
+
+/// Which head-count convention a KV-cache size is quoted in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KvConvention {
+    /// The paper's §VI convention: all `heads` query heads stored. Matches
+    /// the quoted spec-table sizes but overstates grouped-query models.
+    PaperMha,
+    /// Physical convention: only the `kv_heads` key/value heads stored
+    /// (equal to `PaperMha` when `kv_heads == heads`).
+    Gqa,
+}
 
 /// KV-cache size calculator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,6 +35,15 @@ pub struct KvCache {
 }
 
 impl KvCache {
+    /// Cache bytes under the given convention.
+    #[must_use]
+    pub fn bytes(&self, model: &TransformerConfig, convention: KvConvention) -> f64 {
+        match convention {
+            KvConvention::PaperMha => self.bytes_mha(model),
+            KvConvention::Gqa => self.bytes_gqa(model),
+        }
+    }
+
     /// Cache bytes with the paper's MHA convention (all query heads
     /// stored).
     #[must_use]
@@ -42,14 +66,27 @@ impl KvCache {
             * self.precision.bytes()
     }
 
-    /// Bytes read per decode step (the K and V streams of every layer).
+    /// Bytes read per decode step (the K and V streams of every layer) —
+    /// the bookkeeping view of decode DRAM traffic used by capacity and
+    /// serving analyses.
+    ///
+    /// A decode step physically stores (and can stream as little as) the
+    /// `kv_heads` key/value heads, so traffic estimates for grouped-query
+    /// models must pass [`KvConvention::Gqa`]: this helper's former
+    /// unconditional-MHA sizing overstated the stream by
+    /// `heads / kv_heads` (16× for Llama-405B). Note the per-kernel
+    /// roofline pricing in `taskgraph` is separate — it deliberately
+    /// prices attention operands per query head, the paper's convention.
+    /// `PaperMha` remains available here for reproducing the paper's
+    /// quoted MHA-convention numbers.
     #[must_use]
-    pub fn decode_read_bytes(&self, model: &TransformerConfig) -> f64 {
-        self.bytes_mha(model)
+    pub fn decode_read_bytes(&self, model: &TransformerConfig, convention: KvConvention) -> f64 {
+        self.bytes(model, convention)
     }
 }
 
-/// The paper's §VI convention: full provisioned context, batch 1, bf16.
+/// The paper's §VI convention: full provisioned context, batch 1, bf16,
+/// MHA head counting (the quoted spec-table sizes).
 #[must_use]
 pub fn paper_kv_bytes(model: &TransformerConfig) -> f64 {
     KvCache {
@@ -57,7 +94,7 @@ pub fn paper_kv_bytes(model: &TransformerConfig) -> f64 {
         seq_len: model.max_context,
         precision: Precision::Bf16,
     }
-    .bytes_mha(model)
+    .bytes(model, KvConvention::PaperMha)
 }
 
 #[cfg(test)]
@@ -110,6 +147,36 @@ mod tests {
         let gqa = kv.bytes_gqa(&model);
         let mha = kv.bytes_mha(&model);
         assert!((mha / gqa - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conventions_coincide_for_mha_models() {
+        let model = ModelZoo::gpt3_76b(); // kv_heads == heads
+        let kv = KvCache {
+            batch: 4,
+            seq_len: 2048,
+            precision: Precision::Bf16,
+        };
+        assert_eq!(
+            kv.bytes(&model, KvConvention::PaperMha).to_bits(),
+            kv.bytes(&model, KvConvention::Gqa).to_bits()
+        );
+    }
+
+    #[test]
+    fn decode_read_bytes_honors_gqa() {
+        // Llama-405B: 128 heads but only 8 kv_heads — the decode stream
+        // must be 16× smaller under the physical convention.
+        let model = ModelZoo::llama_405b();
+        let kv = KvCache {
+            batch: 8,
+            seq_len: 400,
+            precision: Precision::Bf16,
+        };
+        let mha = kv.decode_read_bytes(&model, KvConvention::PaperMha);
+        let gqa = kv.decode_read_bytes(&model, KvConvention::Gqa);
+        assert!((mha / gqa - 16.0).abs() < 1e-9, "got {}", mha / gqa);
+        assert_eq!(gqa.to_bits(), kv.bytes_gqa(&model).to_bits());
     }
 
     #[test]

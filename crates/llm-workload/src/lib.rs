@@ -2,7 +2,7 @@
 //!
 //! The workload layer of *"A System Level Performance Evaluation for
 //! Superconducting Digital Systems"* (Kundu et al., DATE 2025): the model
-//! zoo of §VI, the Megatron-style TP/PP/DP decomposition ([33], [34]) and
+//! zoo of §VI, the Megatron-style TP/PP/DP decomposition (\[33\], \[34\]) and
 //! the per-unit kernel/communication task graphs the Optimus performance
 //! model ingests.
 //!
@@ -44,7 +44,7 @@ pub mod taskgraph;
 
 pub use error::WorkloadError;
 pub use kernel::{CommKind, CommOp, CommScope, Kernel, KernelClass};
-pub use kvcache::KvCache;
+pub use kvcache::{KvCache, KvConvention};
 pub use memory::{inference_footprint, training_footprint, ActivationPolicy, MemoryFootprint};
 pub use model::{ModelZoo, Precision, TransformerConfig};
 pub use parallelism::Parallelism;

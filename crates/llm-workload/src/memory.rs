@@ -8,7 +8,7 @@
 //! precision), with optional full activation recomputation, which trades
 //! one extra forward pass for storing only layer inputs.
 
-use crate::kvcache::KvCache;
+use crate::kvcache::{KvCache, KvConvention};
 use crate::model::{Precision, TransformerConfig};
 use crate::parallelism::Parallelism;
 use serde::{Deserialize, Serialize};
@@ -109,6 +109,12 @@ pub fn training_footprint(
 }
 
 /// Per-unit inference footprint at the given request shape.
+///
+/// The KV cache is sized with [`KvConvention::Gqa`]: this function models
+/// what is physically resident on a unit, and a grouped-query deployment
+/// stores only `kv_heads` head-pairs (identical to MHA sizing when
+/// `kv_heads == heads`). Use [`crate::kvcache::paper_kv_bytes`] for the
+/// paper's quoted MHA-convention numbers.
 #[must_use]
 pub fn inference_footprint(
     model: &TransformerConfig,
@@ -124,7 +130,7 @@ pub fn inference_footprint(
         seq_len,
         precision,
     }
-    .bytes_mha(model)
+    .bytes(model, KvConvention::Gqa)
         / shards;
     // Transient decode activations are negligible next to weights/KV.
     let activations = f64::from(batch) * f64::from(model.hidden) * precision.bytes() * 8.0;
@@ -213,6 +219,23 @@ mod tests {
         let sum = fp.weights + fp.gradients + fp.optimizer + fp.activations + fp.kv_cache;
         assert!((fp.total() - sum).abs() < 1.0);
         assert!(fp.to_string().contains("GB"));
+    }
+
+    #[test]
+    fn inference_footprint_uses_physical_gqa_sizing() {
+        // Llama-405B stores 8 of 128 head-pairs: the resident KV must be
+        // 16× below the paper's MHA-convention quote.
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let fp = inference_footprint(&model, &par, 8, 400, Precision::Bf16);
+        let mha = KvCache {
+            batch: 8,
+            seq_len: 400,
+            precision: Precision::Bf16,
+        }
+        .bytes_mha(&model)
+            / 64.0;
+        assert!((mha / fp.kv_cache - 16.0).abs() < 1e-9);
     }
 
     #[test]

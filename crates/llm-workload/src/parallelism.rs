@@ -111,7 +111,7 @@ impl Parallelism {
     }
 
     /// Pipeline-bubble fraction for `microbatches` in flight:
-    /// `(pp−1) / (microbatches + pp − 1)` (GPipe/1F1B schedule, [34]).
+    /// `(pp−1) / (microbatches + pp − 1)` (GPipe/1F1B schedule, \[34\]).
     #[must_use]
     pub fn bubble_fraction(&self, microbatches: u32) -> f64 {
         if self.pp <= 1 {

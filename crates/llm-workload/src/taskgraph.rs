@@ -4,7 +4,7 @@
 //!
 //! All kernels are *per processing unit* — shapes are already sharded by
 //! the TP degree and layer counts by the PP degree, following the
-//! Megatron-LM decomposition ([34]): QKV/MLP-up are column-parallel,
+//! Megatron-LM decomposition (\[34\]): QKV/MLP-up are column-parallel,
 //! out-proj/MLP-down are row-parallel, giving two all-reduces per layer
 //! per pass.
 
@@ -366,6 +366,13 @@ pub fn prefill(
 ) -> Result<TaskGraph, WorkloadError> {
     model.validate()?;
     par.check_model(model)?;
+    if batch == 0 || input_tokens == 0 {
+        return Err(WorkloadError::InvalidRequest {
+            reason: format!(
+                "prefill needs batch ≥ 1 and input ≥ 1, got B={batch} in={input_tokens}"
+            ),
+        });
+    }
     let s = f64::from(input_tokens);
     let bsz = f64::from(batch);
     let h = f64::from(model.hidden);
@@ -431,6 +438,11 @@ pub fn decode_step(
 ) -> Result<TaskGraph, WorkloadError> {
     model.validate()?;
     par.check_model(model)?;
+    if batch == 0 || kv_len == 0 {
+        return Err(WorkloadError::InvalidRequest {
+            reason: format!("decode needs batch ≥ 1 and kv ≥ 1, got B={batch} kv={kv_len}"),
+        });
+    }
     let bsz = f64::from(batch);
     let h = f64::from(model.hidden);
     let layers = f64::from(model.layers) / f64::from(par.pp());
@@ -583,6 +595,20 @@ mod tests {
         let long = prefill(&model, &par, 8, 200, bf16()).unwrap();
         let ratio = long.total_flops() / short.total_flops();
         assert!(ratio > 1.9 && ratio < 2.3, "got {ratio}");
+    }
+
+    #[test]
+    fn degenerate_shapes_are_typed_errors() {
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).unwrap();
+        for r in [
+            prefill(&model, &par, 0, 128, bf16()),
+            prefill(&model, &par, 8, 0, bf16()),
+            decode_step(&model, &par, 0, 128, bf16()),
+            decode_step(&model, &par, 8, 0, bf16()),
+        ] {
+            assert!(matches!(r, Err(WorkloadError::InvalidRequest { .. })));
+        }
     }
 
     #[test]

@@ -65,6 +65,19 @@ impl Accelerator {
         self.hierarchy.outermost().latency
     }
 
+    /// Main-memory capacity of this unit (the outermost hierarchy level;
+    /// the per-SPU cryo-DRAM share, or one GPU's HBM).
+    #[must_use]
+    pub fn dram_capacity_bytes(&self) -> u64 {
+        self.hierarchy.outermost().capacity_bytes
+    }
+
+    /// Capacity of a specific hierarchy level, if present.
+    #[must_use]
+    pub fn capacity_bytes(&self, kind: LevelKind) -> Option<u64> {
+        self.hierarchy.level(kind).map(|l| l.capacity_bytes)
+    }
+
     /// Machine balance at the DRAM level: FLOPs per byte needed to stay
     /// compute-bound (the roofline ridge point).
     #[must_use]
@@ -149,6 +162,14 @@ mod tests {
         let a = test_accel();
         // 0.8e15 / 1e12 = 800 FLOP/byte.
         assert!((a.ridge_flops_per_byte() - 800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_accessors() {
+        let a = test_accel();
+        assert_eq!(a.dram_capacity_bytes(), 1 << 40);
+        assert_eq!(a.capacity_bytes(LevelKind::L1), Some(1 << 20));
+        assert_eq!(a.capacity_bytes(LevelKind::L2), None);
     }
 
     #[test]

@@ -157,6 +157,13 @@ impl Blade {
         self
     }
 
+    /// Total cryo-DRAM capacity behind the blade's datalink (the serving
+    /// simulator's KV-cache budget, before subtracting weights).
+    #[must_use]
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.dram.capacity_bytes()
+    }
+
     /// Main-memory bandwidth available per SPU at the baseline datalink.
     #[must_use]
     pub fn dram_bandwidth_per_spu(&self) -> Bandwidth {

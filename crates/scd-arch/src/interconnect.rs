@@ -2,7 +2,7 @@
 //! costs.
 //!
 //! The closed forms here are the communication model the paper's Optimus
-//! framework relies on (ring collectives per [34]); the `noc_validation`
+//! framework relies on (ring collectives per \[34\]); the `noc_validation`
 //! experiment checks them against the `scd-noc` discrete-event simulator.
 
 use crate::error::ArchError;

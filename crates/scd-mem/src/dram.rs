@@ -2,7 +2,7 @@
 //!
 //! Standard, unmodified DDR/LPDDR packages operated at 77 K on a silicon
 //! interposer. Cryo operation brings well-documented retention and I/O
-//! power benefits ([30]–[32] of the paper); capacity and channel bandwidth
+//! power benefits (\[30\]–\[32\] of the paper); capacity and channel bandwidth
 //! follow the commodity parts.
 
 use crate::error::MemError;
@@ -20,7 +20,7 @@ pub struct CryoDramPackage {
     /// Row access latency at 77 K (shorter than at 300 K).
     pub access_latency: TimeInterval,
     /// Refresh-power reduction factor vs 300 K operation (retention at
-    /// cryo temperatures practically eliminates refresh [30]).
+    /// cryo temperatures practically eliminates refresh \[30\]).
     pub refresh_power_factor: f64,
 }
 

@@ -3,7 +3,7 @@
 //! The paper observes two latency effects that pure `bytes / bandwidth`
 //! models miss:
 //!
-//! 1. Fig. 7: inference scaling "tend[s] to saturate beyond 8 TB/s since we
+//! 1. Fig. 7: inference scaling "tend\[s\] to saturate beyond 8 TB/s since we
 //!    start hitting the DRAM latency bound limit" (at 30 ns);
 //! 2. Fig. 7 inset (a): at a fixed 16 TB/s, throughput declines steadily as
 //!    DRAM latency grows from 10 ns to 200 ns.

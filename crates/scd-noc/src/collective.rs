@@ -1,7 +1,7 @@
 //! Collective-communication schedules on the blade torus.
 //!
 //! Tensor/data-parallel LLM execution is dominated by ring all-reduce
-//! ([34] of the paper). This module provides a boustrophedon ring embedding
+//! (\[34\] of the paper). This module provides a boustrophedon ring embedding
 //! (every ring neighbor is one torus hop), a synchronous phase-by-phase
 //! discrete-event simulation, and the closed-form analytical cost the
 //! `optimus` communication model uses — so the two can be cross-validated

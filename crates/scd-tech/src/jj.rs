@@ -42,7 +42,7 @@ pub struct JosephsonJunction {
 impl JosephsonJunction {
     /// Nominal junction used by the PCL cell library: 210 nm diameter at a
     /// critical-current density of 1 mA/µm² (the upper end of the range
-    /// characterized in [22] and targeted by the advanced NbTiN process).
+    /// characterized in \[22\] and targeted by the advanced NbTiN process).
     #[must_use]
     pub fn nominal() -> Self {
         Self::with_diameter_and_density(Length::from_nm(210.0), 1.0)
@@ -67,7 +67,7 @@ impl JosephsonJunction {
     ///
     /// Returns [`TechError::OutOfRange`] if the diameter is outside
     /// 210–500 nm or the density is outside the 0.1–1 mA/µm² range
-    /// characterized for shunted junctions ([22] of the paper).
+    /// characterized for shunted junctions (\[22\] of the paper).
     pub fn with_diameter_and_density(
         diameter: Length,
         critical_current_density_ma_um2: f64,

@@ -1,6 +1,6 @@
 //! Josephson SRAM (JSRAM) cell and array model.
 //!
-//! JSRAM ([18] of the paper) is the memory technology complementary to PCL,
+//! JSRAM (\[18\] of the paper) is the memory technology complementary to PCL,
 //! with XY addressing analogous to CMOS SRAM. The high-density (HD) variant
 //! is a single-port 1R/1W cell with 8 JJs in 1.86 µm² (Fig. 1e / Table I);
 //! high-performance (HP) multi-port variants (2R/1W with 14 JJs, 3R/2W with

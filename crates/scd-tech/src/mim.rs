@@ -2,7 +2,7 @@
 //!
 //! NbTiN/HZO/NbTiN MIM capacitors (Fig. 1d) together with NbTiN wires form
 //! the resonant AC power-distribution network of the PCL logic family
-//! ([29] of the paper). Diameters of 195–600 nm with σ < 2 % CD control
+//! (\[29\] of the paper). Diameters of 195–600 nm with σ < 2 % CD control
 //! across the 300 mm wafer were demonstrated.
 
 use crate::error::TechError;

@@ -1,6 +1,6 @@
 //! Pulse-Conserving Logic (PCL) standard-cell library.
 //!
-//! PCL ([13], [18] of the paper) is an AC-powered SCD logic family in which
+//! PCL (\[13\], \[18\] of the paper) is an AC-powered SCD logic family in which
 //! every digital signal travels on two physical wires (positive and negative
 //! sense). Inversion is a wire swap and therefore **free** — zero JJs, zero
 //! delay — which removes the inversion latency inherent to other AC-powered
@@ -17,7 +17,7 @@ use std::fmt;
 
 /// A primitive single-rail pulse gate.
 ///
-/// JJ costs follow the pulse-conserving design style of [18]: a JTL repeater
+/// JJ costs follow the pulse-conserving design style of \[18\]: a JTL repeater
 /// stage uses 2 JJs, a splitter 3, two-input confluence logic 4 and
 /// three-input logic 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

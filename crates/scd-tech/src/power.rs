@@ -1,7 +1,7 @@
 //! Resonant AC power-distribution network model.
 //!
 //! PCL circuits are AC-powered: a resonant network of NbTiN inductive
-//! wiring and HZO MIM capacitors ([29] of the paper) delivers the
+//! wiring and HZO MIM capacitors (\[29\] of the paper) delivers the
 //! multi-phase clock that is also the power supply. Design questions this
 //! model answers: how many tuning capacitors a die needs, what the
 //! network's reactive loading is, and what the dynamic power of a die

@@ -544,7 +544,7 @@ impl TemperatureDomain {
 
     /// Approximate specific cooling overhead (watts of wall power per watt
     /// dissipated at this stage), following standard cryo-cooler efficiency
-    /// assumptions used in cryo-computing studies ([30]–[32] of the paper).
+    /// assumptions used in cryo-computing studies (\[30\]–\[32\] of the paper).
     #[must_use]
     pub fn cooling_overhead(self) -> f64 {
         match self {

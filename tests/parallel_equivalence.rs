@@ -85,6 +85,47 @@ fn inference_decode_sweep_parallel_matches_serial_bit_for_bit() {
 }
 
 #[test]
+fn serving_trace_replay_parallel_matches_serial_bit_for_bit() {
+    use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
+    let blade = Blade::baseline();
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64).unwrap();
+    let est = InferenceEstimator::new(
+        blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+        blade.interconnect(),
+    );
+    let config = ServingConfig::for_system(&est, &model, &par, 32).unwrap();
+    let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
+    for (seed, rate) in [(1u64, 4.0), (2, 32.0), (3, f64::INFINITY)] {
+        let trace = TraceConfig {
+            seed,
+            requests: 24,
+            arrival_rate_per_s: rate,
+            prompt_tokens: (150, 250),
+            output_tokens: (100, 200),
+        }
+        .synthesize()
+        .unwrap();
+        let p = sim.replay(&trace).unwrap();
+        let s = sim.replay_serial(&trace).unwrap();
+        assert_eq!(p.completed, s.completed, "seed={seed}");
+        assert_eq!(p.evictions, s.evictions);
+        assert_eq!(p.makespan_s.to_bits(), s.makespan_s.to_bits());
+        assert_eq!(p.throughput_tok_s.to_bits(), s.throughput_tok_s.to_bits());
+        assert_eq!(p.goodput_tok_s.to_bits(), s.goodput_tok_s.to_bits());
+        assert_eq!(p.decode_time_s.to_bits(), s.decode_time_s.to_bits());
+        assert_eq!(p.mean_batch.to_bits(), s.mean_batch.to_bits());
+        for (a, b) in [(p.ttft, s.ttft), (p.tpot, s.tpot), (p.latency, s.latency)] {
+            assert_eq!(a.p50.to_bits(), b.p50.to_bits());
+            assert_eq!(a.p95.to_bits(), b.p95.to_bits());
+            assert_eq!(a.p99.to_bits(), b.p99.to_bits());
+        }
+    }
+}
+
+#[test]
 fn inference_parallel_matches_on_gpu_baseline_too() {
     let gpus = GpuSystem::h100_cluster(64);
     let model = ModelZoo::llama_70b();

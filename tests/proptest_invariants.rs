@@ -1,7 +1,7 @@
 //! Property-based tests over the core invariants of every layer.
 
 use llm_workload::kernel::{Kernel, KernelClass};
-use llm_workload::kvcache::KvCache;
+use llm_workload::kvcache::{KvCache, KvConvention};
 use llm_workload::model::{ModelZoo, Precision};
 use llm_workload::parallelism::Parallelism;
 use llm_workload::taskgraph::{decode_step, training_step};
@@ -147,6 +147,99 @@ proptest! {
         let b = base.bytes_mha(&model);
         let d = double.bytes_mha(&model);
         prop_assert!((d / b - 2.0).abs() < 1e-12);
+    }
+
+    /// KV cache bytes are monotone in batch, sequence length and element
+    /// width under both conventions, and the GQA convention never exceeds
+    /// MHA (they coincide when kv_heads == heads).
+    #[test]
+    fn kv_cache_monotone_and_gqa_bounded(
+        batch in 1u32..256,
+        seq in 1u32..8192,
+        kv_heads_pow in 0u32..7,
+    ) {
+        let mut model = ModelZoo::llama_70b(); // 64 heads
+        model.kv_heads = 1 << kv_heads_pow;    // any divisor of 64
+        for conv in [KvConvention::PaperMha, KvConvention::Gqa] {
+            let base = KvCache { batch, seq_len: seq, precision: Precision::Bf16 };
+            let bigger_batch = KvCache { batch: batch + 1, ..base };
+            let longer = KvCache { seq_len: seq + 1, ..base };
+            let wider = KvCache { precision: Precision::Fp32, ..base };
+            let narrower = KvCache { precision: Precision::Fp8, ..base };
+            let b = base.bytes(&model, conv);
+            prop_assert!(bigger_batch.bytes(&model, conv) > b);
+            prop_assert!(longer.bytes(&model, conv) > b);
+            prop_assert!(wider.bytes(&model, conv) > b);
+            prop_assert!(narrower.bytes(&model, conv) < b);
+        }
+        let kv = KvCache { batch, seq_len: seq, precision: Precision::Bf16 };
+        let gqa = kv.bytes(&model, KvConvention::Gqa);
+        let mha = kv.bytes(&model, KvConvention::PaperMha);
+        prop_assert!(gqa <= mha);
+        let expected_ratio = f64::from(model.heads) / f64::from(model.kv_heads);
+        prop_assert!((mha / gqa - expected_ratio).abs() < 1e-9);
+        // decode_read_bytes follows the same convention.
+        prop_assert!(
+            kv.decode_read_bytes(&model, KvConvention::Gqa).to_bits() == gqa.to_bits()
+        );
+    }
+
+    /// The refined scheduler frontier is strictly ascending in batch and
+    /// the chosen point (when any) meets the budget and is the largest
+    /// feasible probed batch.
+    #[test]
+    fn scheduler_frontier_ascending(max_batch in 1u32..48, budget_ms in 1.0f64..40.0) {
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let d = optimus::plan_serving(&est, &model, &par, (64, 16), max_batch, budget_ms / 1e3)
+            .expect("plans");
+        prop_assert!(!d.frontier.is_empty());
+        for w in d.frontier.windows(2) {
+            prop_assert!(w[0].batch < w[1].batch, "frontier must strictly ascend");
+        }
+        if let Some(c) = d.chosen {
+            prop_assert!(c.per_token_s <= d.budget_s);
+            for p in &d.frontier {
+                if p.per_token_s <= d.budget_s {
+                    prop_assert!(p.batch <= c.batch, "chosen must be the largest feasible");
+                }
+            }
+        }
+    }
+
+    /// The serving simulator is a pure function of (trace seed, config):
+    /// identical seeds replay bit-identically, and every replay conserves
+    /// requests.
+    #[test]
+    fn serving_replay_deterministic(seed in 0u64..32, rate in 10.0f64..500.0) {
+        use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let cfg = TraceConfig {
+            seed,
+            requests: 8,
+            arrival_rate_per_s: rate,
+            prompt_tokens: (16, 64),
+            output_tokens: (4, 12),
+        };
+        let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
+            .expect("valid config");
+        let a = sim.replay(&cfg.synthesize().expect("valid")).expect("replays");
+        let b = sim.replay(&cfg.synthesize().expect("valid")).expect("replays");
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.completed, 8);
+        prop_assert!(a.goodput_tok_s <= a.throughput_tok_s);
+        prop_assert!(a.ttft.p50 <= a.ttft.p99);
     }
 
     /// Torus routing: the dimension-order path always reaches the
