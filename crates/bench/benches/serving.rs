@@ -1,9 +1,13 @@
-//! Criterion bench: the continuous-batching serving simulator.
+//! Criterion bench: the continuous-batching serving simulator (single
+//! blade) and the cluster replay at 1/4/16 blades.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use llm_workload::{ModelZoo, Parallelism};
-use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
-use optimus::InferenceEstimator;
+use optimus::serving::{
+    ClusterConfig, ClusterSimulator, DispatchMode, RoutingPolicy, ServingConfig, ServingSimulator,
+    TraceConfig,
+};
+use optimus::{InferenceEstimator, MultiBladeSystem};
 use scd_arch::Blade;
 use scd_tech::units::Bandwidth;
 use std::hint::black_box;
@@ -38,5 +42,40 @@ fn bench_serving(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_serving);
+fn bench_cluster(c: &mut Criterion) {
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = TraceConfig {
+        seed: 2,
+        requests: 96,
+        arrival_rate_per_s: 400.0,
+        prompt_tokens: (32, 256),
+        output_tokens: (8, 64),
+    }
+    .synthesize()
+    .unwrap();
+    for blades in [1u32, 4, 16] {
+        let system = MultiBladeSystem::new(blades).unwrap();
+        let est = system.inference_estimator();
+        c.bench_function(&format!("serving/cluster_replay_{blades}_blades"), |b| {
+            b.iter(|| {
+                let sim =
+                    ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8))
+                        .unwrap();
+                let cluster = ClusterSimulator::new(
+                    sim,
+                    ClusterConfig {
+                        blades,
+                        routing: RoutingPolicy::JoinShortestQueue,
+                        dispatch: DispatchMode::PerBlade,
+                    },
+                )
+                .unwrap();
+                cluster.replay(black_box(&trace)).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_serving, bench_cluster);
 criterion_main!(benches);

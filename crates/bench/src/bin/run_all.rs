@@ -57,5 +57,10 @@ fn main() -> Result<(), scd_perf::ScdError> {
         "{}\n{hr}",
         srv::render_serving_comparison(&srv::scd_vs_gpu_serving()?)
     );
+    println!(
+        "{}\n{hr}",
+        srv::render_cluster_routing(&srv::cluster_routing_study()?)
+    );
+    println!("{}\n{hr}", srv::render_paged_kv(&srv::paged_kv_study()?));
     Ok(())
 }

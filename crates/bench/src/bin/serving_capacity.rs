@@ -1,6 +1,7 @@
-//! Serving studies: static capacity under per-token QoS budgets, plus the
+//! Serving studies: static capacity under per-token QoS budgets, the
 //! continuous-batching simulator's dynamic-traffic view (frontier sweep
-//! and SCD-vs-GPU trace replay).
+//! and SCD-vs-GPU trace replay), and the cluster-scale extensions
+//! (routing-policy study across 4 blades, paged-KV fragmentation sweep).
 fn main() -> Result<(), optimus::OptimusError> {
     use scd_bench::{extensions as ext, serving_experiments as srv};
     let hr = "=".repeat(72);
@@ -9,9 +10,14 @@ fn main() -> Result<(), optimus::OptimusError> {
         "{}\n{hr}",
         srv::render_serving_frontier(&srv::scd_serving_frontier()?)
     );
-    print!(
-        "{}",
+    println!(
+        "{}\n{hr}",
         srv::render_serving_comparison(&srv::scd_vs_gpu_serving()?)
     );
+    println!(
+        "{}\n{hr}",
+        srv::render_cluster_routing(&srv::cluster_routing_study()?)
+    );
+    print!("{}", srv::render_paged_kv(&srv::paged_kv_study()?));
     Ok(())
 }

@@ -8,10 +8,17 @@
 //! traffic: TTFT/TPOT tails, goodput under SLOs, and the
 //! SLO-vs-throughput frontier of each system.
 
+use llm_workload::kvcache::{KvCache, KvConvention};
 use llm_workload::model::ModelZoo;
 use llm_workload::parallelism::Parallelism;
-use optimus::serving::{FrontierPoint, ServingConfig, ServingSimulator, TraceConfig};
-use optimus::{Comparison, OptimusError, ServingReport, SpeedupStudy};
+use llm_workload::taskgraph::weights_per_unit_bytes;
+use optimus::serving::{
+    BurstyTraceConfig, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, FrontierPoint,
+    KvLayout, RoutingPolicy, ServingConfig, ServingSimulator, TraceConfig, TraceSource,
+};
+use optimus::{
+    Comparison, InferenceEstimator, MultiBladeSystem, OptimusError, ServingReport, SpeedupStudy,
+};
 
 /// The shared workload: Llama-405B, TP=64, prompt/output spread around
 /// the paper's I/O 200/200 point.
@@ -102,6 +109,193 @@ pub fn render_serving_comparison(c: &Comparison<ServingReport>) -> String {
     )
 }
 
+/// The bursty cluster workload: flash crowds of mixed-length requests
+/// that expose routing-policy differences (long flat periods would let
+/// every policy look alike).
+fn bursty_cluster_trace() -> BurstyTraceConfig {
+    BurstyTraceConfig {
+        seed: 4242,
+        requests: 64,
+        base_rate_per_s: 2.0,
+        burst_rate_per_s: 120.0,
+        burst_s: 1.5,
+        gap_s: 6.0,
+        prompt_tokens: (100, 300),
+        output_tokens: (50, 400),
+    }
+}
+
+/// One row of the cluster routing study.
+#[derive(Debug, Clone)]
+pub struct ClusterRow {
+    /// Routing policy under test.
+    pub routing: RoutingPolicy,
+    /// Dispatch mode under test.
+    pub dispatch: DispatchMode,
+    /// The cluster replay outcome.
+    pub report: ClusterReport,
+}
+
+/// Replays the same bursty trace across 4 SCD blades under every routing
+/// policy (per-blade dispatch) plus the central-queue reference: the
+/// cluster-scale counterpart of the single-blade frontier.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn cluster_routing_study() -> Result<Vec<ClusterRow>, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let system = MultiBladeSystem::new(4)?;
+    let est = system.inference_estimator();
+    let trace = bursty_cluster_trace().requests()?;
+    let variants = [
+        (RoutingPolicy::RoundRobin, DispatchMode::PerBlade),
+        (RoutingPolicy::JoinShortestQueue, DispatchMode::PerBlade),
+        (RoutingPolicy::LeastLoadedKv, DispatchMode::PerBlade),
+        (RoutingPolicy::JoinShortestQueue, DispatchMode::Central),
+    ];
+    let configs: Vec<ClusterConfig> = variants
+        .iter()
+        .map(|&(routing, dispatch)| ClusterConfig {
+            blades: system.blades(),
+            routing,
+            dispatch,
+        })
+        .collect();
+    // 8 decode slots per blade: bursts must queue, so routing and
+    // dispatch choices actually show up in the TTFT tail. One simulator,
+    // one cost table, four replays.
+    let config = ServingConfig::for_system(&est, &model, &par, 8)?;
+    let sim = ServingSimulator::new(&est, &model, &par, config)?;
+    let cluster = ClusterSimulator::new(sim, configs[0])?;
+    let reports = cluster.replay_each(&trace, &configs)?;
+    Ok(variants
+        .iter()
+        .zip(reports)
+        .map(|(&(routing, dispatch), report)| ClusterRow {
+            routing,
+            dispatch,
+            report,
+        })
+        .collect())
+}
+
+/// Renders the routing study.
+#[must_use]
+pub fn render_cluster_routing(rows: &[ClusterRow]) -> String {
+    let mut out = String::from(
+        "Cluster serving: one bursty trace across 4 SCD blades (Llama-405B, TP=64 per blade)\n\
+         64 requests, 120 req/s flash crowds, 8 slots/blade, I/O 100-300 / 50-400\n\n\
+         routing              dispatch   TTFT p99(ms)  TPOT p95(ms)  tok/s  util skew  evict\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<21}{:<11}{:>12.0}{:>14.2}{:>7.0}{:>11.2}{:>7}\n",
+            r.routing.to_string(),
+            match r.dispatch {
+                DispatchMode::PerBlade => "per-blade",
+                DispatchMode::Central => "central",
+            },
+            r.report.report.ttft.p99 * 1e3,
+            r.report.report.tpot.p95 * 1e3,
+            r.report.report.throughput_tok_s,
+            r.report.utilization_skew,
+            r.report.report.evictions,
+        ));
+    }
+    out
+}
+
+/// One row of the paged-KV study.
+#[derive(Debug, Clone, Copy)]
+pub struct PagedKvRow {
+    /// KV layout under test.
+    pub layout: KvLayout,
+    /// The replay outcome.
+    pub report: ServingReport,
+}
+
+/// Replays a capacity-starved workload (KV budget ≈ 6 full requests for
+/// 12 concurrent slots, via
+/// [`Accelerator::with_dram_capacity`](scd_arch::Accelerator)) under
+/// contiguous accounting and paged blocks of 16/64/256 tokens: block
+/// granularity trades admission parallelism against fragmentation.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn paged_kv_study() -> Result<Vec<PagedKvRow>, OptimusError> {
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1)?;
+    let base = SpeedupStudy::paper_baseline().scd_inference();
+    // Shrink the per-unit DRAM so the KV budget is ~6 full-length
+    // requests while max_batch wants 12.
+    let per_token = KvCache {
+        batch: 1,
+        seq_len: 1,
+        precision: base.precision(),
+    }
+    .bytes(&model, KvConvention::Gqa);
+    let weights = weights_per_unit_bytes(&model, &par, base.precision());
+    let kv_budget = per_token * f64::from(200 + 200) * 6.0;
+    let accel = base
+        .accelerator()
+        .clone()
+        .with_dram_capacity((weights + kv_budget).ceil() as u64);
+    let est = InferenceEstimator::new(accel, scd_arch::Blade::baseline().interconnect());
+    let trace = TraceConfig {
+        seed: 77,
+        requests: 32,
+        arrival_rate_per_s: 24.0,
+        prompt_tokens: (150, 250),
+        output_tokens: (150, 250),
+    }
+    .synthesize()?;
+    let mut rows = Vec::new();
+    for layout in [
+        KvLayout::Contiguous,
+        KvLayout::Paged { block_tokens: 16 },
+        KvLayout::Paged { block_tokens: 64 },
+        KvLayout::Paged { block_tokens: 256 },
+    ] {
+        let mut config = ServingConfig::for_system(&est, &model, &par, 12)?;
+        config.kv_layout = layout;
+        let sim = ServingSimulator::new(&est, &model, &par, config)?;
+        rows.push(PagedKvRow {
+            layout,
+            report: sim.replay(&trace)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the paged-KV study.
+#[must_use]
+pub fn render_paged_kv(rows: &[PagedKvRow]) -> String {
+    let mut out = String::from(
+        "Paged KV under capacity pressure: Llama2-7B, KV budget ≈ 6 requests, 12 slots\n\
+         32 requests at 24 req/s, I/O ~200/200\n\n\
+         layout           mean B  evict  wasted tok  frag peak(MB)  TTFT p99(ms)\n",
+    );
+    for r in rows {
+        let name = match r.layout {
+            KvLayout::Contiguous => "contiguous".to_owned(),
+            KvLayout::Paged { block_tokens } => format!("paged/{block_tokens}"),
+        };
+        out.push_str(&format!(
+            "{:<17}{:>6.2}{:>7}{:>12}{:>15.1}{:>14.0}\n",
+            name,
+            r.report.mean_batch,
+            r.report.evictions,
+            r.report.wasted_tokens,
+            r.report.kv_fragmentation_peak_bytes / 1e6,
+            r.report.ttft.p99 * 1e3,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +322,51 @@ mod tests {
         assert!(c.speedup > 2.0, "got {:.2}", c.speedup);
         assert!(c.scd.tpot.p95 < c.gpu.tpot.p95);
         assert!(render_serving_comparison(&c).contains("speed-up"));
+    }
+
+    #[test]
+    fn join_shortest_queue_beats_round_robin_on_bursty_p99_ttft() {
+        // The PR's cluster acceptance criterion: under flash-crowd
+        // arrivals with heavily mixed lengths, load-aware routing must
+        // beat blind round-robin on tail TTFT and spread load more
+        // evenly.
+        let rows = cluster_routing_study().unwrap();
+        let find = |routing, dispatch| {
+            rows.iter()
+                .find(|r| r.routing == routing && r.dispatch == dispatch)
+                .expect("row present")
+        };
+        let rr = find(RoutingPolicy::RoundRobin, DispatchMode::PerBlade);
+        let jsq = find(RoutingPolicy::JoinShortestQueue, DispatchMode::PerBlade);
+        assert_eq!(rr.report.report.completed, 64);
+        assert_eq!(jsq.report.report.completed, 64);
+        assert!(
+            jsq.report.report.ttft.p99 < rr.report.report.ttft.p99 * 0.85,
+            "JSQ p99 TTFT {:.1} ms must beat RR {:.1} ms by a clear margin",
+            jsq.report.report.ttft.p99 * 1e3,
+            rr.report.report.ttft.p99 * 1e3
+        );
+        assert!(
+            jsq.report.utilization_skew <= rr.report.utilization_skew,
+            "JSQ skew {:.3} vs RR {:.3}",
+            jsq.report.utilization_skew,
+            rr.report.utilization_skew
+        );
+        assert!(render_cluster_routing(&rows).contains("join-shortest-queue"));
+    }
+
+    #[test]
+    fn paged_kv_study_exposes_fragmentation() {
+        let rows = paged_kv_study().unwrap();
+        assert_eq!(rows.len(), 4);
+        let frag = |r: &PagedKvRow| r.report.kv_fragmentation_peak_bytes;
+        assert_eq!(frag(&rows[0]), 0.0, "contiguous does not fragment");
+        // Fragmentation grows with block size.
+        assert!(frag(&rows[1]) > 0.0);
+        assert!(frag(&rows[3]) > frag(&rows[1]));
+        for r in &rows {
+            assert_eq!(r.report.completed, 32, "{:?}", r.layout);
+        }
+        assert!(render_paged_kv(&rows).contains("paged/64"));
     }
 }

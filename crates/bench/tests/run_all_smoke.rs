@@ -63,6 +63,11 @@ fn every_run_all_stage_runs_and_renders() -> Result<(), ScdError> {
             "serving_comparison",
             srv::render_serving_comparison(&srv::scd_vs_gpu_serving()?),
         ),
+        (
+            "cluster_routing",
+            srv::render_cluster_routing(&srv::cluster_routing_study()?),
+        ),
+        ("paged_kv", srv::render_paged_kv(&srv::paged_kv_study()?)),
     ];
     for (name, rendered) in stages {
         assert!(

@@ -3,7 +3,10 @@
 
 use crate::error::OptimusError;
 use crate::inference::{InferenceEstimator, InferenceReport, RequestShape};
-use crate::serving::{ServingConfig, ServingReport, ServingSimulator, TraceConfig};
+use crate::serving::{
+    ClusterConfig, ClusterReport, ClusterSimulator, ServingConfig, ServingReport, ServingSimulator,
+};
+use crate::serving::{TraceConfig, TraceSource};
 use crate::training::{TrainingEstimator, TrainingReport};
 use llm_workload::model::TransformerConfig;
 use llm_workload::parallelism::Parallelism;
@@ -158,6 +161,39 @@ impl SpeedupStudy {
         Ok(Comparison { scd, gpu, speedup })
     }
 
+    /// Replays the same trace across `cluster.blades` SCD blades and the
+    /// same number of 64×H100 GPU pods, each side under its own per-blade
+    /// KV capacity, with identical routing/dispatch. The speed-up is the
+    /// merged p95-TPOT ratio (p95 latency ratio for single-token traces),
+    /// as in [`Self::serving`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace/estimation failures.
+    pub fn cluster_serving(
+        &self,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        trace_source: &dyn TraceSource,
+        max_batch: u32,
+        cluster: ClusterConfig,
+    ) -> Result<Comparison<ClusterReport>, OptimusError> {
+        let trace = trace_source.requests()?;
+        let run = |est: &InferenceEstimator| -> Result<ClusterReport, OptimusError> {
+            let config = ServingConfig::for_system(est, model, par, max_batch)?;
+            let sim = ServingSimulator::new(est, model, par, config)?;
+            ClusterSimulator::new(sim, cluster)?.replay(&trace)
+        };
+        let scd = run(&self.scd_inference())?;
+        let gpu = run(&self.gpu_inference())?;
+        let speedup = if scd.report.tpot.p95 > 0.0 && gpu.report.tpot.p95 > 0.0 {
+            gpu.report.tpot.p95 / scd.report.tpot.p95
+        } else {
+            gpu.report.latency.p95 / scd.report.latency.p95
+        };
+        Ok(Comparison { scd, gpu, speedup })
+    }
+
     /// Runs the Fig. 8 inference comparison.
     ///
     /// # Errors
@@ -262,6 +298,41 @@ mod tests {
         assert!(
             c.speedup.is_finite() && c.speedup > 1.0,
             "got {}",
+            c.speedup
+        );
+    }
+
+    #[test]
+    fn cluster_serving_comparison_completes_on_both_sides() {
+        use crate::serving::{DispatchMode, RoutingPolicy};
+        let study = SpeedupStudy::paper_baseline();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let trace = TraceConfig {
+            seed: 5,
+            requests: 24,
+            arrival_rate_per_s: 16.0,
+            prompt_tokens: (150, 250),
+            output_tokens: (50, 150),
+        };
+        let c = study
+            .cluster_serving(
+                &ModelZoo::llama_405b(),
+                &par,
+                &trace,
+                16,
+                crate::serving::ClusterConfig {
+                    blades: 4,
+                    routing: RoutingPolicy::JoinShortestQueue,
+                    dispatch: DispatchMode::PerBlade,
+                },
+            )
+            .unwrap();
+        assert_eq!(c.scd.report.completed, 24);
+        assert_eq!(c.gpu.report.completed, 24);
+        assert_eq!(c.scd.per_blade.len(), 4);
+        assert!(
+            c.speedup > 1.0,
+            "SCD cluster should keep its tail advantage, got {:.2}",
             c.speedup
         );
     }

@@ -14,8 +14,11 @@
 //!   cache (Fig. 7/8), including the KV-in-L2 placement study.
 //! * [`mapper`] — exhaustive TP/PP search for the best mapping.
 //! * [`scheduler`] — static batch planning under a per-token budget.
-//! * [`serving`] — continuous-batching serving simulator: Poisson
-//!   traces, KV-capacity admission/eviction, TTFT/TPOT tails, goodput.
+//! * [`serving`] — policy-driven continuous-batching serving engine:
+//!   pluggable traces (Poisson/bursty/diurnal/CSV), FCFS/SJF/aging
+//!   scheduler policies, contiguous or paged KV with chunked prefill,
+//!   TTFT/TPOT tails and goodput, and a multi-blade cluster simulator
+//!   with round-robin / join-shortest-queue / least-loaded-KV routing.
 //! * [`compare`] — SCD-vs-GPU speed-up harnesses.
 //! * [`scaling`] — multi-blade weak-scaling projection (§VII outlook).
 //! * [`energy`] — device- and wall-plug-level energy projection.
@@ -68,7 +71,8 @@ pub use roofline::{Boundedness, KernelTime, Placement, Roofline};
 pub use scaling::{weak_scaling_sweep, MultiBladeSystem, ScalingPoint};
 pub use scheduler::{plan_serving, SchedulerDecision, ServingPoint};
 pub use serving::{
-    FrontierPoint, Percentiles, RequestSpec, ServingConfig, ServingReport, ServingSimulator,
-    TraceConfig,
+    ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, FrontierPoint, Percentiles,
+    RequestSpec, RoutingPolicy, SchedulerPolicy, ServingConfig, ServingReport, ServingSimulator,
+    TraceConfig, TraceSource,
 };
 pub use training::{TrainingEstimator, TrainingReport};

@@ -8,6 +8,7 @@
 //! data-parallel training scale-out across blades.
 
 use crate::error::OptimusError;
+use crate::inference::InferenceEstimator;
 use crate::training::{TrainingEstimator, TrainingReport};
 use llm_workload::model::TransformerConfig;
 use llm_workload::parallelism::Parallelism;
@@ -73,6 +74,12 @@ impl MultiBladeSystem {
         Fabric::new(vec![intra, inter]).expect("tiers ordered by construction")
     }
 
+    /// The blade every unit of this system replicates.
+    #[must_use]
+    pub fn blade(&self) -> &Blade {
+        &self.blade
+    }
+
     /// A training estimator over the whole system.
     #[must_use]
     pub fn training_estimator(&self) -> TrainingEstimator {
@@ -81,6 +88,21 @@ impl MultiBladeSystem {
                 .accelerator()
                 .with_dram_bandwidth(self.dram_bandwidth_per_spu),
             self.fabric(),
+        )
+    }
+
+    /// A per-blade inference estimator at the system's operating point:
+    /// the view one serving replica sees (model parallelism stays inside
+    /// a blade, so the fabric is the on-blade torus). This is the
+    /// estimator a [`crate::serving::ClusterSimulator`] replicates across
+    /// [`Self::blades`] blades.
+    #[must_use]
+    pub fn inference_estimator(&self) -> InferenceEstimator {
+        InferenceEstimator::new(
+            self.blade
+                .accelerator()
+                .with_dram_bandwidth(self.dram_bandwidth_per_spu),
+            self.blade.interconnect(),
         )
     }
 
@@ -155,6 +177,11 @@ mod tests {
     fn single_blade_matches_baseline_fabric() {
         let s = MultiBladeSystem::new(1).unwrap();
         assert_eq!(s.spus(), 64);
+        assert_eq!(s.blade().spus(), 64);
+        // The serving-side estimator sees the blade at the §VI operating
+        // point: 16 TB/s per SPU over the on-blade fabric.
+        let est = s.inference_estimator();
+        assert!((est.accelerator().dram_bandwidth().tbps() - 16.0).abs() < 1e-9);
         assert_eq!(s.fabric().tiers().len(), 1);
         let multi = MultiBladeSystem::new(4).unwrap();
         assert_eq!(multi.fabric().tiers().len(), 2);

@@ -54,6 +54,16 @@ pub struct SchedulerDecision {
     pub budget_s: f64,
 }
 
+impl SchedulerDecision {
+    /// The chosen batch size, if any probe met the budget — the static
+    /// planner's answer to "what `max_batch` should the serving engine
+    /// run?".
+    #[must_use]
+    pub fn chosen_batch(&self) -> Option<u32> {
+        self.chosen.map(|p| p.batch)
+    }
+}
+
 /// Searches for the largest batch whose mean per-token decode latency
 /// stays within `budget_s`.
 ///
@@ -213,6 +223,7 @@ mod tests {
         let mid = (lo + hi) / 2.0;
         let constrained = plan_serving(&est, &model, &par, (200, 200), 128, mid).unwrap();
         let c = constrained.chosen.expect("some batch fits");
+        assert_eq!(constrained.chosen_batch(), Some(c.batch));
         assert!(c.batch < 128, "budget must bind");
         assert!(c.per_token_s <= mid);
     }
@@ -229,6 +240,7 @@ mod tests {
         )
         .unwrap();
         assert!(d.chosen.is_none());
+        assert_eq!(d.chosen_batch(), None);
         assert!(!d.frontier.is_empty());
     }
 

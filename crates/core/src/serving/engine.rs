@@ -1,0 +1,884 @@
+//! The continuous-batching engine: iteration-level replay of one trace on
+//! one blade, parameterized over the three seams introduced by this
+//! module tree — [`super::policy::SchedulerPolicy`] for
+//! admission/eviction, [`KvLayout`] for capacity accounting, and
+//! [`DecodePricing`] for the iteration cost model.
+//!
+//! The default configuration (FCFS, contiguous KV, whole-prompt prefill,
+//! bucketized-mean pricing) reproduces PR 2's reports bit-for-bit — the
+//! `serving_regression` suite pins the exact float bit patterns.
+
+use super::kv::KvLayout;
+use super::policy::{FcfsPolicy, SchedulerPolicy};
+use super::report::{FrontierPoint, Percentiles, ServingReport};
+use super::traces::{RequestSpec, TraceConfig};
+use crate::error::OptimusError;
+use crate::inference::InferenceEstimator;
+use llm_workload::kvcache::{KvCache, KvConvention};
+use llm_workload::model::TransformerConfig;
+use llm_workload::parallelism::Parallelism;
+use llm_workload::taskgraph::weights_per_unit_bytes;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How a decode iteration is priced from the memoized cost table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DecodePricing {
+    /// Price the whole batch at the (bucket-rounded) mean KV length of the
+    /// running sequences — PR 2's fast approximation, one table lookup per
+    /// iteration.
+    #[default]
+    BucketizedMean,
+    /// Price each sequence's attention span at its own KV length and
+    /// average the per-sequence batch costs: the batch-shared weight
+    /// stream appears once while each KV stream is summed exactly, so
+    /// heterogeneous (skewed-length) batches are priced correctly.
+    ExactPerSequence,
+}
+
+/// Serving-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Maximum concurrent sequences in the decode batch.
+    pub max_batch: u32,
+    /// KV-cache capacity (bytes, whole system) requests are admitted
+    /// against.
+    pub kv_capacity_bytes: f64,
+    /// Head-count convention for KV sizing. Physical deployments should
+    /// use [`KvConvention::Gqa`].
+    pub kv_convention: KvConvention,
+    /// Time-to-first-token SLO (s), used for goodput accounting.
+    pub ttft_slo_s: f64,
+    /// Time-per-output-token SLO (s), used for goodput accounting.
+    pub tpot_slo_s: f64,
+    /// KV-length quantization of the iteration-cost table (tokens). 1
+    /// prices every cache length exactly; larger buckets shrink the table.
+    pub kv_bucket_tokens: u32,
+    /// KV capacity accounting: contiguous (token-granular) or paged
+    /// (block-granular with fragmentation).
+    pub kv_layout: KvLayout,
+    /// Chunked prefill: split each admitted prompt into chunks of at most
+    /// this many tokens, one chunk per iteration, bounding the TTFT
+    /// interference a long prompt inflicts on running decodes. 0 runs the
+    /// whole prompt in the admission iteration (PR 2 behavior).
+    pub prefill_chunk_tokens: u32,
+    /// Iteration-cost pricing mode.
+    pub decode_pricing: DecodePricing,
+}
+
+impl ServingConfig {
+    /// A capacity-unconstrained configuration (KV admission never binds):
+    /// useful for studying pure batching dynamics and for the degenerate
+    /// static-scheduler check. Prices costs exactly
+    /// (`kv_bucket_tokens = 1`) with generous default SLOs.
+    #[must_use]
+    pub fn unconstrained(max_batch: u32) -> Self {
+        Self {
+            max_batch,
+            kv_capacity_bytes: f64::MAX,
+            kv_convention: KvConvention::Gqa,
+            ttft_slo_s: 10.0,
+            tpot_slo_s: 0.1,
+            kv_bucket_tokens: 1,
+            kv_layout: KvLayout::Contiguous,
+            prefill_chunk_tokens: 0,
+            decode_pricing: DecodePricing::BucketizedMean,
+        }
+    }
+
+    /// Derives the KV capacity from the estimator's accelerator: the
+    /// main-memory capacity across all `par` units minus the resident
+    /// weights (at the estimator's working precision).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] if the weights alone exceed the
+    /// system's main memory.
+    pub fn for_system(
+        estimator: &InferenceEstimator,
+        model: &TransformerConfig,
+        par: &Parallelism,
+        max_batch: u32,
+    ) -> Result<Self, OptimusError> {
+        let units = f64::from(par.units());
+        let capacity = estimator.accelerator().dram_capacity_bytes() as f64 * units;
+        let weights = weights_per_unit_bytes(model, par, estimator.precision()) * units;
+        let kv_capacity_bytes = capacity - weights;
+        if kv_capacity_bytes <= 0.0 {
+            return Err(OptimusError::Serving {
+                reason: format!(
+                    "{} weights ({:.0} GB) exceed system memory ({:.0} GB)",
+                    model.name,
+                    weights / 1e9,
+                    capacity / 1e9
+                ),
+            });
+        }
+        Ok(Self {
+            max_batch,
+            kv_capacity_bytes,
+            kv_convention: KvConvention::Gqa,
+            ttft_slo_s: 10.0,
+            tpot_slo_s: 0.1,
+            kv_bucket_tokens: 32,
+            kv_layout: KvLayout::Contiguous,
+            prefill_chunk_tokens: 0,
+            decode_pricing: DecodePricing::BucketizedMean,
+        })
+    }
+
+    /// Switches KV accounting to the block-granular paged layout.
+    #[must_use]
+    pub fn with_paged_kv(mut self, block_tokens: u32) -> Self {
+        self.kv_layout = KvLayout::Paged { block_tokens };
+        self
+    }
+
+    /// Enables chunked prefill with the given chunk size (tokens).
+    #[must_use]
+    pub fn with_chunked_prefill(mut self, chunk_tokens: u32) -> Self {
+        self.prefill_chunk_tokens = chunk_tokens;
+        self
+    }
+
+    /// Switches decode pricing to exact per-sequence attention spans.
+    #[must_use]
+    pub fn with_exact_pricing(mut self) -> Self {
+        self.decode_pricing = DecodePricing::ExactPerSequence;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), OptimusError> {
+        if self.max_batch == 0 || self.kv_bucket_tokens == 0 {
+            return Err(OptimusError::Serving {
+                reason: "max_batch and kv_bucket_tokens must be ≥ 1".to_owned(),
+            });
+        }
+        if self.kv_capacity_bytes.is_nan() || self.kv_capacity_bytes <= 0.0 {
+            return Err(OptimusError::Serving {
+                reason: format!(
+                    "KV capacity {} bytes must be positive",
+                    self.kv_capacity_bytes
+                ),
+            });
+        }
+        if self.ttft_slo_s.is_nan()
+            || self.ttft_slo_s <= 0.0
+            || self.tpot_slo_s.is_nan()
+            || self.tpot_slo_s <= 0.0
+        {
+            return Err(OptimusError::Serving {
+                reason: "SLO targets must be positive".to_owned(),
+            });
+        }
+        self.kv_layout.validate()
+    }
+}
+
+/// Iteration-cost lookup: decode cost per (batch, bucketized KV length)
+/// and batch-1 prefill cost per bucketized prompt length. Built once per
+/// replay — in parallel or serially, bit-identically — so the simulation
+/// loop itself is pure table lookups.
+#[derive(Debug)]
+pub(crate) struct CostTable {
+    bucket: u32,
+    max_kv_idx: usize,
+    /// `decode[(b-1) * max_kv_idx + (idx-1)]` = decode step cost at batch
+    /// `b`, KV length `idx * bucket`.
+    decode: Vec<f64>,
+    /// `prefill[idx-1]` = batch-1 prefill cost at prompt `idx * bucket`.
+    prefill: Vec<f64>,
+}
+
+impl CostTable {
+    pub(crate) fn decode_cost(&self, batch: u32, kv_len: u32) -> f64 {
+        let idx = (kv_len.div_ceil(self.bucket) as usize).max(1);
+        self.decode[(batch as usize - 1) * self.max_kv_idx + (idx - 1)]
+    }
+
+    pub(crate) fn prefill_cost(&self, prompt: u32) -> f64 {
+        let idx = (prompt.div_ceil(self.bucket) as usize).max(1);
+        self.prefill[idx - 1]
+    }
+
+    /// Largest batch the table covers.
+    pub(crate) fn max_batch(&self) -> u32 {
+        (self.decode.len() / self.max_kv_idx) as u32
+    }
+
+    /// Largest KV length the table covers.
+    pub(crate) fn max_kv(&self) -> u32 {
+        (self.max_kv_idx as u32) * self.bucket
+    }
+}
+
+/// One running sequence of the engine's batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RunningSeq {
+    /// Index into the (arrival-sorted) trace.
+    pub idx: usize,
+    /// Cache length: prompt plus tokens generated so far.
+    pub kv_len: u32,
+    /// Tokens generated so far (this attempt).
+    pub produced: u32,
+    /// Prompt tokens still awaiting prefill (chunked mode); 0 once the
+    /// sequence decodes.
+    pub prefill_remaining: u32,
+}
+
+impl RunningSeq {
+    /// A sequence freshly admitted with its whole prompt prefilled.
+    #[must_use]
+    pub fn admitted(idx: usize, prompt_tokens: u32) -> Self {
+        Self {
+            idx,
+            kv_len: prompt_tokens,
+            produced: 0,
+            prefill_remaining: 0,
+        }
+    }
+}
+
+/// Per-request replay outcome (first token + completion instants).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Outcome {
+    pub(crate) first_token_s: Option<f64>,
+    pub(crate) completion_s: Option<f64>,
+}
+
+/// Mutable per-blade replay state: the running batch, the blade clock and
+/// the accumulated counters. One instance per blade; the cluster couples
+/// several against a shared queue.
+#[derive(Debug, Clone)]
+pub(crate) struct BladeState {
+    pub(crate) running: Vec<RunningSeq>,
+    pub(crate) clock: f64,
+    pub(crate) evictions: u32,
+    pub(crate) wasted_tokens: u64,
+    pub(crate) decode_time_s: f64,
+    pub(crate) decode_iterations: u64,
+    pub(crate) batch_time_weighted: f64,
+    pub(crate) busy_s: f64,
+    pub(crate) max_step_s: f64,
+    pub(crate) served: u32,
+    pub(crate) kv_peak_tokens: u64,
+    pub(crate) frag_peak_tokens: u64,
+}
+
+impl BladeState {
+    pub(crate) fn new(clock: f64) -> Self {
+        Self {
+            running: Vec::new(),
+            clock,
+            evictions: 0,
+            wasted_tokens: 0,
+            decode_time_s: 0.0,
+            decode_iterations: 0,
+            batch_time_weighted: 0.0,
+            busy_s: 0.0,
+            max_step_s: 0.0,
+            served: 0,
+            kv_peak_tokens: 0,
+            frag_peak_tokens: 0,
+        }
+    }
+}
+
+/// Everything a replay step needs that does not mutate: configuration,
+/// policy, cost table, per-token KV sizing.
+pub(crate) struct EngineCtx<'a> {
+    pub(crate) config: &'a ServingConfig,
+    pub(crate) policy: &'a dyn SchedulerPolicy,
+    pub(crate) table: &'a CostTable,
+    pub(crate) kv_bytes_per_token: f64,
+}
+
+impl EngineCtx<'_> {
+    fn kv_bytes(&self, tokens_charged: u64) -> f64 {
+        tokens_charged as f64 * self.kv_bytes_per_token
+    }
+
+    /// Charged-token footprint of `r` including this iteration's growth
+    /// (+1 for decoding sequences; prefilling ones hold their reserved
+    /// prompt only).
+    fn charge(&self, r: &RunningSeq) -> u64 {
+        let growth = u64::from(r.prefill_remaining == 0);
+        self.config
+            .kv_layout
+            .charged_tokens(u64::from(r.kv_len) + growth)
+    }
+
+    /// One engine iteration on `blade`: admit from the (policy-ordered)
+    /// queue, preempt on KV overflow, price the joint prefill + decode
+    /// step, emit one token per decoding sequence. Returns the number of
+    /// requests completed this step.
+    ///
+    /// `ready` gives the instant each request may (re-)enter a batch: its
+    /// arrival for fresh requests, the eviction instant for preempted
+    /// ones (the cluster's central loop maintains this so a victim cannot
+    /// restart on another blade before it was evicted; single-blade
+    /// replay passes plain arrivals — one clock can't violate causality).
+    /// `evicted`, when given, collects the trace indices preempted this
+    /// step so the caller can stamp their re-entry time.
+    pub(crate) fn step(
+        &self,
+        trace: &[RequestSpec],
+        ready: &[f64],
+        queue: &mut VecDeque<usize>,
+        blade: &mut BladeState,
+        outcomes: &mut [Outcome],
+        mut evicted: Option<&mut Vec<usize>>,
+    ) -> u32 {
+        let cfg = self.config;
+
+        // Admission against batch slots and projected KV growth (every
+        // decoding sequence appends one token this iteration).
+        let mut projected: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
+        let mut admitted: Vec<usize> = Vec::new();
+        while let Some(&idx) = queue.front() {
+            if ready[idx] > blade.clock
+                || blade.running.len() + admitted.len() >= cfg.max_batch as usize
+            {
+                break;
+            }
+            let candidate = cfg
+                .kv_layout
+                .charged_tokens(u64::from(trace[idx].prompt_tokens) + 1);
+            if self.kv_bytes(projected + candidate) > cfg.kv_capacity_bytes {
+                break;
+            }
+            projected += candidate;
+            admitted.push(idx);
+            queue.pop_front();
+        }
+        let mut step_cost = 0.0f64;
+        for &idx in &admitted {
+            let prompt = trace[idx].prompt_tokens;
+            if cfg.prefill_chunk_tokens == 0 {
+                // Whole-prompt prefill in the admission iteration.
+                step_cost += self.table.prefill_cost(prompt);
+                blade.running.push(RunningSeq::admitted(idx, prompt));
+            } else {
+                blade.running.push(RunningSeq {
+                    idx,
+                    kv_len: prompt,
+                    produced: 0,
+                    prefill_remaining: prompt,
+                });
+            }
+        }
+
+        // Preempt while the grown cache cannot fit. The head-of-line
+        // request always survives (its full-length cache fits by
+        // validation), so the simulation cannot livelock.
+        while blade.running.len() > 1 {
+            let grown: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
+            if self.kv_bytes(grown) <= cfg.kv_capacity_bytes {
+                break;
+            }
+            let victim_at = self.policy.evict_victim(trace, &blade.running);
+            let victim = blade.running.remove(victim_at);
+            blade.evictions += 1;
+            blade.wasted_tokens += u64::from(victim.produced);
+            if let Some(out) = evicted.as_deref_mut() {
+                out.push(victim.idx);
+            }
+            queue.push_front(victim.idx);
+        }
+
+        if blade.running.is_empty() {
+            // Nothing admitted and nothing running: a no-op step (only
+            // reachable in cluster mode when another blade drained the
+            // shared queue first).
+            return 0;
+        }
+
+        // Chunked prefill: each prefilling sequence advances one chunk.
+        // Chunks ride the iteration's shared weight stream (Sarathi-style
+        // fused batches): when anything else streams the weights this
+        // iteration — a decoding sequence or an earlier chunk — only the
+        // chunk's marginal token work is charged; otherwise the largest
+        // chunk pays the full batch-1 prefill pass.
+        let mut chunks: Vec<u32> = Vec::new();
+        if cfg.prefill_chunk_tokens > 0 {
+            for r in &mut blade.running {
+                if r.prefill_remaining > 0 {
+                    let chunk = r.prefill_remaining.min(cfg.prefill_chunk_tokens);
+                    chunks.push(chunk);
+                    r.prefill_remaining -= chunk;
+                }
+            }
+        }
+        let decoding = blade
+            .running
+            .iter()
+            .filter(|r| r.prefill_remaining == 0)
+            .count() as u32;
+        if !chunks.is_empty() {
+            let marginal =
+                |c: u32| (self.table.prefill_cost(c) - self.table.prefill_cost(1)).max(0.0);
+            let full_at = if decoding > 0 {
+                usize::MAX // weights already stream for the decode batch
+            } else {
+                let (at, _) = chunks
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .expect("chunks non-empty");
+                at
+            };
+            for (i, &c) in chunks.iter().enumerate() {
+                step_cost += if i == full_at {
+                    self.table.prefill_cost(c)
+                } else {
+                    marginal(c)
+                };
+            }
+        }
+
+        // Price the decode iteration over the decoding subset.
+        let batch = decoding;
+        if batch > 0 {
+            let decode_cost = match cfg.decode_pricing {
+                DecodePricing::BucketizedMean => {
+                    let kv_sum: u64 = blade
+                        .running
+                        .iter()
+                        .filter(|r| r.prefill_remaining == 0)
+                        .map(|r| u64::from(r.kv_len))
+                        .sum();
+                    let kv_mean = kv_sum.div_ceil(u64::from(batch)) as u32;
+                    self.table.decode_cost(batch, kv_mean)
+                }
+                DecodePricing::ExactPerSequence => {
+                    let total: f64 = blade
+                        .running
+                        .iter()
+                        .filter(|r| r.prefill_remaining == 0)
+                        .map(|r| self.table.decode_cost(batch, r.kv_len))
+                        .sum();
+                    total / f64::from(batch)
+                }
+            };
+            step_cost += decode_cost;
+            blade.decode_time_s += decode_cost;
+            blade.decode_iterations += 1;
+            blade.batch_time_weighted += decode_cost * f64::from(batch);
+        }
+        blade.busy_s += step_cost;
+        blade.max_step_s = blade.max_step_s.max(step_cost);
+        blade.clock += step_cost;
+
+        // Occupancy + fragmentation peaks at this iteration's resident
+        // footprint — post-growth, before finishers release their caches
+        // (integer math: does not perturb the audited float stream).
+        let used: u64 = blade
+            .running
+            .iter()
+            .map(|r| u64::from(r.kv_len) + u64::from(r.prefill_remaining == 0))
+            .sum();
+        let charged: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
+        blade.kv_peak_tokens = blade.kv_peak_tokens.max(charged);
+        blade.frag_peak_tokens = blade.frag_peak_tokens.max(charged - used);
+
+        // Every decoding sequence emits one token; retire finishers.
+        let mut completions = 0u32;
+        let mut still_running = Vec::with_capacity(blade.running.len());
+        for mut r in blade.running.drain(..) {
+            if r.prefill_remaining > 0 {
+                still_running.push(r);
+                continue;
+            }
+            r.produced += 1;
+            r.kv_len += 1;
+            let out = &mut outcomes[r.idx];
+            if out.first_token_s.is_none() {
+                out.first_token_s = Some(blade.clock);
+            }
+            if r.produced >= trace[r.idx].output_tokens {
+                out.completion_s = Some(blade.clock);
+                completions += 1;
+            } else {
+                still_running.push(r);
+            }
+        }
+        blade.running = still_running;
+        blade.served += completions;
+
+        completions
+    }
+
+    /// Drives one blade until every request in `queue` has completed.
+    /// `outcomes` spans the whole trace; only the queued indices are
+    /// written.
+    pub(crate) fn drive(
+        &self,
+        trace: &[RequestSpec],
+        mut queue: VecDeque<usize>,
+        outcomes: &mut [Outcome],
+    ) -> BladeState {
+        let ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+        let expected = queue.len() as u32;
+        let first_arrival = queue
+            .iter()
+            .map(|&i| trace[i].arrival_s)
+            .fold(f64::MAX, f64::min);
+        let mut blade = BladeState::new(first_arrival);
+        while blade.served < expected {
+            if blade.running.is_empty() && !queue.is_empty() {
+                let next = queue
+                    .iter()
+                    .map(|&i| trace[i].arrival_s)
+                    .fold(f64::MAX, f64::min);
+                blade.clock = blade.clock.max(next);
+            }
+            self.policy.order_queue(blade.clock, trace, &mut queue);
+            self.step(trace, &ready, &mut queue, &mut blade, outcomes, None);
+        }
+        blade
+    }
+}
+
+/// Summed replay totals used to assemble a [`ServingReport`] (one blade's
+/// counters, or several blades' merged).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ReplayTotals {
+    pub(crate) evictions: u32,
+    pub(crate) wasted_tokens: u64,
+    pub(crate) decode_time_s: f64,
+    pub(crate) decode_iterations: u64,
+    pub(crate) batch_time_weighted: f64,
+    pub(crate) max_step_s: f64,
+    pub(crate) kv_peak_tokens: u64,
+    pub(crate) frag_peak_tokens: u64,
+}
+
+impl ReplayTotals {
+    pub(crate) fn absorb(&mut self, blade: &BladeState) {
+        self.evictions += blade.evictions;
+        self.wasted_tokens += blade.wasted_tokens;
+        self.decode_time_s += blade.decode_time_s;
+        self.decode_iterations += blade.decode_iterations;
+        self.batch_time_weighted += blade.batch_time_weighted;
+        self.max_step_s = self.max_step_s.max(blade.max_step_s);
+        self.kv_peak_tokens = self.kv_peak_tokens.max(blade.kv_peak_tokens);
+        self.frag_peak_tokens = self.frag_peak_tokens.max(blade.frag_peak_tokens);
+    }
+}
+
+/// Assembles the population metrics once every outcome is filled.
+pub(crate) fn finalize(
+    config: &ServingConfig,
+    kv_bytes_per_token: f64,
+    trace: &[RequestSpec],
+    outcomes: &[Outcome],
+    totals: &ReplayTotals,
+) -> ServingReport {
+    let first_arrival = trace.iter().map(|r| r.arrival_s).fold(f64::MAX, f64::min);
+    let last_completion = outcomes
+        .iter()
+        .map(|o| o.completion_s.expect("completed"))
+        .fold(f64::MIN, f64::max);
+    let makespan_s = (last_completion - first_arrival).max(f64::MIN_POSITIVE);
+    let mut ttft = Vec::with_capacity(trace.len());
+    let mut tpot = Vec::with_capacity(trace.len());
+    let mut latency = Vec::with_capacity(trace.len());
+    let mut useful_tokens = 0u64;
+    let mut good_tokens = 0u64;
+    let mut slo_met = 0u32;
+    for (r, out) in trace.iter().zip(outcomes) {
+        let first = out.first_token_s.expect("completed");
+        let done = out.completion_s.expect("completed");
+        let t_first = first - r.arrival_s;
+        let t_rest = (done - first) / f64::from((r.output_tokens - 1).max(1));
+        ttft.push(t_first);
+        tpot.push(t_rest);
+        latency.push(done - r.arrival_s);
+        useful_tokens += u64::from(r.output_tokens);
+        if t_first <= config.ttft_slo_s && t_rest <= config.tpot_slo_s {
+            slo_met += 1;
+            good_tokens += u64::from(r.output_tokens);
+        }
+    }
+    ServingReport {
+        requests: trace.len() as u32,
+        completed: trace.len() as u32,
+        evictions: totals.evictions,
+        wasted_tokens: totals.wasted_tokens,
+        makespan_s,
+        throughput_tok_s: useful_tokens as f64 / makespan_s,
+        goodput_tok_s: good_tokens as f64 / makespan_s,
+        slo_attainment: f64::from(slo_met) / trace.len() as f64,
+        mean_batch: if totals.decode_time_s > 0.0 {
+            totals.batch_time_weighted / totals.decode_time_s
+        } else {
+            0.0
+        },
+        decode_time_s: totals.decode_time_s,
+        decode_iterations: totals.decode_iterations,
+        max_step_s: totals.max_step_s,
+        kv_peak_bytes: totals.kv_peak_tokens as f64 * kv_bytes_per_token,
+        kv_fragmentation_peak_bytes: totals.frag_peak_tokens as f64 * kv_bytes_per_token,
+        ttft: Percentiles::of(&mut ttft),
+        tpot: Percentiles::of(&mut tpot),
+        latency: Percentiles::of(&mut latency),
+    }
+}
+
+/// Continuous-batching simulator over one estimator + model + plan.
+#[derive(Debug)]
+pub struct ServingSimulator<'a> {
+    estimator: &'a InferenceEstimator,
+    model: &'a TransformerConfig,
+    par: &'a Parallelism,
+    config: ServingConfig,
+    policy: Box<dyn SchedulerPolicy>,
+    /// KV bytes per cached token per sequence, whole system.
+    kv_bytes_per_token: f64,
+}
+
+impl<'a> ServingSimulator<'a> {
+    /// Creates a simulator with the default FCFS policy; validates the
+    /// configuration and model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] for invalid configurations and
+    /// propagates model/parallelism validation failures.
+    pub fn new(
+        estimator: &'a InferenceEstimator,
+        model: &'a TransformerConfig,
+        par: &'a Parallelism,
+        config: ServingConfig,
+    ) -> Result<Self, OptimusError> {
+        config.validate()?;
+        model.validate().map_err(OptimusError::from)?;
+        par.check_model(model).map_err(OptimusError::from)?;
+        let kv_bytes_per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: estimator.precision(),
+        }
+        .bytes(model, config.kv_convention);
+        Ok(Self {
+            estimator,
+            model,
+            par,
+            config,
+            policy: Box::new(FcfsPolicy),
+            kv_bytes_per_token,
+        })
+    }
+
+    /// Swaps the scheduling policy (admission order + eviction victim).
+    #[must_use]
+    pub fn with_policy(mut self, policy: impl SchedulerPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// The active scheduling policy.
+    #[must_use]
+    pub fn policy(&self) -> &dyn SchedulerPolicy {
+        self.policy.as_ref()
+    }
+
+    pub(crate) fn kv_bytes_per_token(&self) -> f64 {
+        self.kv_bytes_per_token
+    }
+
+    pub(crate) fn ctx<'t>(&'t self, table: &'t CostTable) -> EngineCtx<'t> {
+        EngineCtx {
+            config: &self.config,
+            policy: self.policy.as_ref(),
+            table,
+            kv_bytes_per_token: self.kv_bytes_per_token,
+        }
+    }
+
+    /// Replays the trace with the iteration-cost table built on rayon
+    /// workers. Bit-identical to [`Self::replay_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] for an empty trace or a request
+    /// that can never fit the KV capacity; propagates estimation errors.
+    pub fn replay(&self, trace: &[RequestSpec]) -> Result<ServingReport, OptimusError> {
+        let table = self.cost_table(trace, true)?;
+        Ok(self.run(trace, &table))
+    }
+
+    /// Serial reference implementation of [`Self::replay`], kept as the
+    /// ground truth for the rayon-equivalence test in CI.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::replay`].
+    pub fn replay_serial(&self, trace: &[RequestSpec]) -> Result<ServingReport, OptimusError> {
+        let table = self.cost_table(trace, false)?;
+        Ok(self.run(trace, &table))
+    }
+
+    /// Sweeps arrival rates into an SLO-vs-throughput frontier. Each rate
+    /// re-synthesizes `base` with the same seed and replays it; rates are
+    /// replayed concurrently (each replay is independent and
+    /// deterministic, so the frontier is too).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::replay`], plus trace-synthesis failures.
+    pub fn slo_frontier(
+        &self,
+        base: &TraceConfig,
+        rates: &[f64],
+    ) -> Result<Vec<FrontierPoint>, OptimusError> {
+        rates
+            .par_iter()
+            .map(|&rate| {
+                let trace = TraceConfig {
+                    arrival_rate_per_s: rate,
+                    ..*base
+                }
+                .synthesize()?;
+                Ok(FrontierPoint {
+                    arrival_rate_per_s: rate,
+                    report: self.replay_serial(&trace)?,
+                })
+            })
+            .collect()
+    }
+
+    fn kv_bytes(&self, tokens_cached: u64) -> f64 {
+        tokens_cached as f64 * self.kv_bytes_per_token
+    }
+
+    /// Builds the iteration-cost table covering every (batch, KV-bucket)
+    /// state the trace can reach.
+    pub(crate) fn cost_table(
+        &self,
+        trace: &[RequestSpec],
+        parallel: bool,
+    ) -> Result<CostTable, OptimusError> {
+        if trace.is_empty() {
+            return Err(OptimusError::Serving {
+                reason: "trace is empty".to_owned(),
+            });
+        }
+        for r in trace {
+            if r.prompt_tokens == 0 || r.output_tokens == 0 || !r.arrival_s.is_finite() {
+                return Err(OptimusError::Serving {
+                    reason: format!(
+                        "request {} is degenerate (prompt {}, output {}, arrival {})",
+                        r.id, r.prompt_tokens, r.output_tokens, r.arrival_s
+                    ),
+                });
+            }
+            let charged = self
+                .config
+                .kv_layout
+                .charged_tokens(u64::from(r.prompt_tokens + r.output_tokens));
+            let full = self.kv_bytes(charged);
+            if full > self.config.kv_capacity_bytes {
+                return Err(OptimusError::Serving {
+                    reason: format!(
+                        "request {} needs {:.1} GB of KV at full length but capacity is {:.1} GB",
+                        r.id,
+                        full / 1e9,
+                        self.config.kv_capacity_bytes / 1e9
+                    ),
+                });
+            }
+        }
+        let bucket = self.config.kv_bucket_tokens;
+        let max_kv = trace
+            .iter()
+            .map(|r| r.prompt_tokens + r.output_tokens - 1)
+            .max()
+            .expect("trace non-empty");
+        let max_prompt = trace
+            .iter()
+            .map(|r| r.prompt_tokens)
+            .max()
+            .expect("trace non-empty");
+        let max_kv_idx = max_kv.div_ceil(bucket) as usize;
+        let max_prompt_idx = max_prompt.div_ceil(bucket) as usize;
+        let max_batch = self.config.max_batch.min(trace.len() as u32) as usize;
+
+        let decode_cell = |cell: usize| -> Result<f64, OptimusError> {
+            let batch = (cell / max_kv_idx) as u32 + 1;
+            let kv = (cell % max_kv_idx + 1) as u32 * bucket;
+            self.estimator
+                .decode_step_time(self.model, self.par, batch, kv)
+        };
+        let prefill_cell = |idx: usize| -> Result<f64, OptimusError> {
+            self.estimator
+                .prefill_time(self.model, self.par, 1, (idx + 1) as u32 * bucket)
+        };
+
+        let decode_cells = max_batch * max_kv_idx;
+        let (decode, prefill) = if parallel {
+            (
+                (0..decode_cells)
+                    .into_par_iter()
+                    .map(decode_cell)
+                    .collect::<Result<Vec<_>, _>>()?,
+                (0..max_prompt_idx)
+                    .into_par_iter()
+                    .map(prefill_cell)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        } else {
+            (
+                (0..decode_cells)
+                    .map(decode_cell)
+                    .collect::<Result<Vec<_>, _>>()?,
+                (0..max_prompt_idx)
+                    .map(prefill_cell)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        };
+        Ok(CostTable {
+            bucket,
+            max_kv_idx,
+            decode,
+            prefill,
+        })
+    }
+
+    /// Arrival-sorted queue over the whole trace (stable on ties by trace
+    /// order).
+    pub(crate) fn arrival_queue(trace: &[RequestSpec]) -> VecDeque<usize> {
+        let mut order: Vec<usize> = (0..trace.len()).collect();
+        order.sort_by(|&a, &b| {
+            trace[a]
+                .arrival_s
+                .total_cmp(&trace[b].arrival_s)
+                .then(a.cmp(&b))
+        });
+        order.into_iter().collect()
+    }
+
+    /// The simulation loop proper: deterministic, shared by both replay
+    /// paths, driven entirely by table lookups.
+    fn run(&self, trace: &[RequestSpec], table: &CostTable) -> ServingReport {
+        let ctx = self.ctx(table);
+        let mut outcomes = vec![Outcome::default(); trace.len()];
+        let blade = ctx.drive(trace, Self::arrival_queue(trace), &mut outcomes);
+        let mut totals = ReplayTotals::default();
+        totals.absorb(&blade);
+        finalize(
+            &self.config,
+            self.kv_bytes_per_token,
+            trace,
+            &outcomes,
+            &totals,
+        )
+    }
+}

@@ -1,0 +1,649 @@
+//! Continuous-batching serving: dynamic traffic on top of the
+//! per-request estimator, from one blade to a cluster.
+//!
+//! The paper's batching study (§VI, Fig. 7 inset b) answers a *static*
+//! capacity question — the largest batch within a per-token budget. A
+//! serving deployment faces a *dynamic* one: requests arrive over time,
+//! must be admitted against finite KV-cache capacity, and user experience
+//! is set by tail latency, not the mean. This module tree closes that gap
+//! with an iteration-level simulator in the style of continuous-batching
+//! engines (Orca, vLLM), split along its natural seams:
+//!
+//! * [`traces`] — where requests come from: seeded Poisson
+//!   ([`TraceConfig`]), bursty and diurnal generators, and a CSV loader
+//!   for recorded logs, all behind the [`TraceSource`] trait.
+//! * [`policy`] — who runs next: the [`SchedulerPolicy`] trait (admission
+//!   order + eviction victim) with FCFS, SJF and max-waiting-time-guard
+//!   implementations.
+//! * [`kv`] — how capacity is charged: contiguous token-granular
+//!   accounting or vLLM-style block-granular paging
+//!   ([`PagedKvAllocator`]) with fragmentation tracking.
+//! * [`engine`] — the single-blade replay loop ([`ServingSimulator`]):
+//!   iteration-level admission, recompute-style preemption, chunked
+//!   prefill, and decode pricing from a memoized roofline cost table
+//!   (bucketized-mean fast path or exact per-sequence spans).
+//! * [`cluster`] — N blades ([`ClusterSimulator`]): round-robin /
+//!   join-shortest-queue / least-loaded-KV routing into per-blade queues,
+//!   or one central queue, with per-blade utilization skew in the report.
+//! * [`report`] — TTFT/TPOT/latency percentiles, throughput, goodput,
+//!   eviction and fragmentation accounting ([`ServingReport`]).
+//!
+//! Replay is exactly reproducible: [`ServingSimulator::replay`] builds
+//! its iteration-cost table on rayon workers while
+//! [`ServingSimulator::replay_serial`] builds the identical table on one
+//! thread, and the two reports are bit-identical (enforced by the
+//! `parallel_equivalence` suite, like every other parallel path in this
+//! workspace). The default configuration — FCFS, contiguous KV,
+//! whole-prompt prefill, bucketized-mean pricing — reproduces the PR 2
+//! monolith bit-for-bit (pinned by `tests/serving_regression.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use llm_workload::{KvConvention, ModelZoo, Parallelism};
+//! use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
+//! use optimus::InferenceEstimator;
+//! use scd_arch::Blade;
+//! use scd_tech::units::Bandwidth;
+//!
+//! # fn main() -> Result<(), optimus::OptimusError> {
+//! let blade = Blade::baseline();
+//! let est = InferenceEstimator::new(
+//!     blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+//!     blade.interconnect(),
+//! );
+//! let model = ModelZoo::llama2_7b();
+//! let par = Parallelism::new(1, 1, 1)?;
+//! let trace = TraceConfig {
+//!     seed: 7,
+//!     requests: 8,
+//!     arrival_rate_per_s: 50.0,
+//!     prompt_tokens: (32, 64),
+//!     output_tokens: (8, 16),
+//! }
+//! .synthesize()?;
+//! let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))?;
+//! let report = sim.replay(&trace)?;
+//! assert_eq!(report.completed, 8);
+//! assert!(report.ttft.p99 >= report.ttft.p50);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Scaling the same replay across four blades with load-aware routing:
+//!
+//! ```
+//! use llm_workload::{ModelZoo, Parallelism};
+//! use optimus::serving::{
+//!     ClusterConfig, ClusterSimulator, DispatchMode, RoutingPolicy, ServingConfig,
+//!     ServingSimulator, TraceConfig,
+//! };
+//! use optimus::MultiBladeSystem;
+//!
+//! # fn main() -> Result<(), optimus::OptimusError> {
+//! let system = MultiBladeSystem::new(4)?;
+//! let est = system.inference_estimator();
+//! let model = ModelZoo::llama2_7b();
+//! let par = Parallelism::new(1, 1, 1)?;
+//! let trace = TraceConfig {
+//!     seed: 11,
+//!     requests: 32,
+//!     arrival_rate_per_s: 200.0,
+//!     prompt_tokens: (32, 64),
+//!     output_tokens: (8, 16),
+//! }
+//! .synthesize()?;
+//! let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))?;
+//! let cluster = ClusterSimulator::new(
+//!     sim,
+//!     ClusterConfig {
+//!         blades: system.blades(),
+//!         routing: RoutingPolicy::JoinShortestQueue,
+//!         dispatch: DispatchMode::PerBlade,
+//!     },
+//! )?;
+//! let report = cluster.replay(&trace)?;
+//! assert_eq!(report.report.completed, 32);
+//! assert_eq!(report.per_blade.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cluster;
+pub mod engine;
+pub mod kv;
+pub mod policy;
+pub mod report;
+pub mod traces;
+
+pub use cluster::{
+    BladeLoad, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, RoutingPolicy,
+};
+pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator};
+pub use kv::{KvLayout, PagedKvAllocator};
+pub use policy::{FcfsPolicy, MaxWaitGuardPolicy, SchedulerPolicy, SjfPolicy};
+pub use report::{FrontierPoint, Percentiles, ServingReport};
+pub use traces::{
+    BurstyTraceConfig, CsvTrace, DiurnalTraceConfig, RequestSpec, TraceConfig, TraceSource,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::OptimusError;
+    use crate::inference::InferenceEstimator;
+    use crate::scheduler::plan_serving;
+    use llm_workload::kvcache::{KvCache, KvConvention};
+    use llm_workload::model::{ModelZoo, TransformerConfig};
+    use llm_workload::parallelism::Parallelism;
+    use scd_arch::Blade;
+    use scd_tech::units::Bandwidth;
+
+    fn spu_estimator() -> InferenceEstimator {
+        let blade = Blade::baseline();
+        InferenceEstimator::new(
+            blade
+                .accelerator()
+                .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        )
+    }
+
+    fn small_model_sim_parts() -> (InferenceEstimator, TransformerConfig, Parallelism) {
+        (
+            spu_estimator(),
+            ModelZoo::llama2_7b(),
+            Parallelism::new(1, 1, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn burst_reproduces_static_scheduler_operating_point() {
+        // All requests arrive at t=0 with the paper's I/O 200/200 shape
+        // and nothing ever evicts: the simulator must run at the static
+        // scheduler's chosen batch, and its mean decode-iteration cost
+        // must equal the static per-token time at that batch.
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let batch = 8u32;
+        let decision = plan_serving(&est, &model, &par, (200, 200), batch, 1.0).unwrap();
+        let static_point = decision.chosen.unwrap();
+        assert_eq!(static_point.batch, batch);
+
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(batch)).unwrap();
+        let trace = TraceConfig::burst(batch, 200, 200).synthesize().unwrap();
+        let report = sim.replay(&trace).unwrap();
+        assert_eq!(report.completed, batch);
+        assert_eq!(report.evictions, 0);
+        assert!((report.mean_batch - f64::from(batch)).abs() < 1e-9);
+        let rel =
+            (report.mean_step_s() - static_point.per_token_s).abs() / static_point.per_token_s;
+        assert!(
+            rel < 1e-12,
+            "sim step {} vs static per-token {}",
+            report.mean_step_s(),
+            static_point.per_token_s
+        );
+    }
+
+    #[test]
+    fn poisson_replay_reports_sane_tails() {
+        let (est, model, par) = small_model_sim_parts();
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8)).unwrap();
+        let trace = TraceConfig {
+            seed: 9,
+            requests: 24,
+            arrival_rate_per_s: 200.0,
+            prompt_tokens: (32, 128),
+            output_tokens: (8, 32),
+        }
+        .synthesize()
+        .unwrap();
+        let r = sim.replay(&trace).unwrap();
+        assert_eq!(r.completed, 24);
+        assert!(r.ttft.p50 > 0.0 && r.ttft.p50 <= r.ttft.p95 && r.ttft.p95 <= r.ttft.p99);
+        assert!(r.tpot.p50 > 0.0 && r.tpot.p50 <= r.tpot.p95 && r.tpot.p95 <= r.tpot.p99);
+        assert!(r.latency.p99 >= r.ttft.p99);
+        assert!(r.throughput_tok_s > 0.0);
+        assert!(r.goodput_tok_s <= r.throughput_tok_s);
+        assert!((0.0..=1.0).contains(&r.slo_attainment));
+        assert!(r.mean_batch >= 1.0 && r.mean_batch <= 8.0);
+        assert!(r.kv_peak_bytes > 0.0);
+        assert_eq!(r.kv_fragmentation_peak_bytes, 0.0, "contiguous layout");
+    }
+
+    fn tight_config(est: &InferenceEstimator, model: &TransformerConfig) -> ServingConfig {
+        // Capacity for ~2.5 full-length requests: concurrency wants 6.
+        let per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes(model, KvConvention::Gqa);
+        ServingConfig {
+            max_batch: 6,
+            kv_capacity_bytes: per_token * f64::from(96 + 32) * 2.5,
+            kv_bucket_tokens: 1,
+            ..ServingConfig::unconstrained(6)
+        }
+    }
+
+    #[test]
+    fn tight_kv_capacity_forces_evictions_but_completes() {
+        let (est, model, par) = small_model_sim_parts();
+        let sim = ServingSimulator::new(&est, &model, &par, tight_config(&est, &model)).unwrap();
+        let trace = TraceConfig {
+            seed: 3,
+            requests: 12,
+            arrival_rate_per_s: f64::INFINITY,
+            prompt_tokens: (96, 96),
+            output_tokens: (32, 32),
+        }
+        .synthesize()
+        .unwrap();
+        let r = sim.replay(&trace).unwrap();
+        assert_eq!(r.completed, 12, "every request must finish eventually");
+        assert!(r.evictions > 0, "tight capacity must preempt");
+        assert!(r.wasted_tokens > 0);
+
+        // The same workload with ample capacity evicts nothing.
+        let roomy = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(6))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        assert_eq!(roomy.evictions, 0);
+        assert!(
+            roomy.makespan_s <= r.makespan_s + 1e-12,
+            "evictions cost time"
+        );
+    }
+
+    #[test]
+    fn paged_layout_fragments_and_evicts_earlier() {
+        // Same tight capacity: block-granular charging rounds every
+        // sequence up to whole blocks, so the paged run carries visible
+        // fragmentation and can only do worse (more evictions, never
+        // fewer admissions) than token-granular accounting.
+        let (est, model, par) = small_model_sim_parts();
+        let trace = TraceConfig {
+            seed: 3,
+            requests: 12,
+            arrival_rate_per_s: f64::INFINITY,
+            prompt_tokens: (90, 100),
+            output_tokens: (28, 36),
+        }
+        .synthesize()
+        .unwrap();
+        let contiguous = ServingSimulator::new(&est, &model, &par, tight_config(&est, &model))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        let paged = ServingSimulator::new(
+            &est,
+            &model,
+            &par,
+            tight_config(&est, &model).with_paged_kv(64),
+        )
+        .unwrap()
+        .replay(&trace)
+        .unwrap();
+        assert_eq!(paged.completed, 12);
+        assert!(paged.kv_fragmentation_peak_bytes > 0.0);
+        assert_eq!(contiguous.kv_fragmentation_peak_bytes, 0.0);
+        // Block rounding wastes capacity, so the paged run can never pack
+        // more concurrent sequences (it may well finish sooner, though:
+        // conservative admission avoids eviction thrash).
+        assert!(paged.mean_batch <= contiguous.mean_batch + 1e-12);
+        assert!(paged.wasted_tokens <= contiguous.wasted_tokens);
+        // Paged occupancy is always a whole number of blocks.
+        let per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes(&model, KvConvention::Gqa);
+        let peak_tokens = (paged.kv_peak_bytes / per_token).round() as u64;
+        assert_eq!(peak_tokens % 64, 0, "peak {peak_tokens} not block-aligned");
+    }
+
+    #[test]
+    fn chunked_prefill_bounds_interference() {
+        // Long prompts, short outputs: with whole-prompt prefill a newly
+        // admitted 512-token prompt stalls every running decode for the
+        // full prefill in one iteration; 64-token chunks bound that
+        // per-iteration stall (the inter-token jitter chunked prefill
+        // exists to control), at the price of the chunked request's own
+        // TTFT.
+        let (est, model, par) = small_model_sim_parts();
+        let trace = TraceConfig {
+            seed: 21,
+            requests: 16,
+            arrival_rate_per_s: 40.0,
+            prompt_tokens: (384, 512),
+            output_tokens: (24, 48),
+        }
+        .synthesize()
+        .unwrap();
+        let whole = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        let chunked = ServingSimulator::new(
+            &est,
+            &model,
+            &par,
+            ServingConfig::unconstrained(8).with_chunked_prefill(64),
+        )
+        .unwrap()
+        .replay(&trace)
+        .unwrap();
+        assert_eq!(chunked.completed, 16);
+        assert!(
+            chunked.max_step_s < whole.max_step_s,
+            "chunking must bound the worst iteration stall: {} vs {}",
+            chunked.max_step_s,
+            whole.max_step_s
+        );
+        // Chunked prefill spreads a prompt across iterations, so the
+        // chunked request's own first token comes later.
+        assert!(chunked.ttft.p50 >= whole.ttft.p50);
+    }
+
+    #[test]
+    fn sjf_policy_beats_fcfs_on_median_latency_under_mixed_lengths() {
+        let (est, model, par) = small_model_sim_parts();
+        let trace = TraceConfig {
+            seed: 5,
+            requests: 24,
+            arrival_rate_per_s: f64::INFINITY,
+            prompt_tokens: (16, 512),
+            output_tokens: (4, 128),
+        }
+        .synthesize()
+        .unwrap();
+        let mk =
+            || ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(2)).unwrap();
+        let fcfs = mk().replay(&trace).unwrap();
+        let sjf = mk().with_policy(SjfPolicy).replay(&trace).unwrap();
+        assert_eq!(sjf.completed, 24);
+        assert!(
+            sjf.latency.p50 < fcfs.latency.p50,
+            "SJF should cut median latency: {} vs {}",
+            sjf.latency.p50,
+            fcfs.latency.p50
+        );
+        // The max-wait guard interpolates: overdue requests jump ahead,
+        // so its worst-case latency cannot exceed pure SJF's.
+        let guarded = mk()
+            .with_policy(MaxWaitGuardPolicy::new(0.5))
+            .replay(&trace)
+            .unwrap();
+        assert_eq!(guarded.completed, 24);
+        assert!(guarded.latency.p99 <= sjf.latency.p99 + 1e-12);
+    }
+
+    #[test]
+    fn oversized_request_is_a_typed_error() {
+        let (est, model, par) = small_model_sim_parts();
+        let per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes(&model, KvConvention::Gqa);
+        let config = ServingConfig {
+            kv_capacity_bytes: per_token * 100.0,
+            ..ServingConfig::unconstrained(4)
+        };
+        let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
+        let trace = TraceConfig::burst(2, 96, 32).synthesize().unwrap();
+        assert!(matches!(
+            sim.replay(&trace),
+            Err(OptimusError::Serving { .. })
+        ));
+    }
+
+    #[test]
+    fn gqa_convention_admits_more_than_paper_mha() {
+        // Same capacity: physical GQA sizing (8 of 128 head-pairs for
+        // Llama-405B) packs far more concurrent requests than the
+        // MHA-convention bookkeeping would, so the trace finishes sooner.
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let per_token_mha = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes_mha(&model);
+        let capacity = per_token_mha * 400.0 * 3.0; // three MHA requests
+        let mk = |conv: KvConvention| ServingConfig {
+            max_batch: 16,
+            kv_capacity_bytes: capacity,
+            kv_convention: conv,
+            ttft_slo_s: 100.0,
+            tpot_slo_s: 10.0,
+            kv_bucket_tokens: 8,
+            ..ServingConfig::unconstrained(16)
+        };
+        let trace = TraceConfig::burst(16, 200, 16).synthesize().unwrap();
+        let gqa = ServingSimulator::new(&est, &model, &par, mk(KvConvention::Gqa))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        let mha = ServingSimulator::new(&est, &model, &par, mk(KvConvention::PaperMha))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        assert!(
+            gqa.mean_batch > mha.mean_batch,
+            "GQA sizing must batch more: {} vs {}",
+            gqa.mean_batch,
+            mha.mean_batch
+        );
+        assert!(gqa.makespan_s < mha.makespan_s);
+    }
+
+    #[test]
+    fn slo_frontier_throughput_rises_with_offered_load() {
+        let (est, model, par) = small_model_sim_parts();
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8)).unwrap();
+        let base = TraceConfig {
+            seed: 11,
+            requests: 16,
+            arrival_rate_per_s: 1.0,
+            prompt_tokens: (32, 64),
+            output_tokens: (8, 16),
+        };
+        let pts = sim.slo_frontier(&base, &[5.0, 50.0, 500.0]).unwrap();
+        assert_eq!(pts.len(), 3);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].report.throughput_tok_s >= w[0].report.throughput_tok_s * 0.99,
+                "throughput should not collapse as load rises below saturation"
+            );
+            assert!(w[1].report.ttft.p99 >= w[0].report.ttft.p99 * 0.5);
+        }
+        // At saturation the batch runs fuller than at a trickle.
+        assert!(pts[2].report.mean_batch > pts[0].report.mean_batch);
+    }
+
+    #[test]
+    fn for_system_subtracts_weights() {
+        let est = spu_estimator();
+        let model = ModelZoo::llama_405b();
+        let par = Parallelism::pure_tp(64).unwrap();
+        let cfg = ServingConfig::for_system(&est, &model, &par, 64).unwrap();
+        let total = est.accelerator().dram_capacity_bytes() as f64 * 64.0;
+        assert!(cfg.kv_capacity_bytes > 0.0 && cfg.kv_capacity_bytes < total);
+
+        // A model too large for the system is a typed error.
+        let mut huge = ModelZoo::llama_405b();
+        huge.layers *= 20;
+        assert!(matches!(
+            ServingConfig::for_system(&est, &huge, &par, 64),
+            Err(OptimusError::Serving { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        let (est, model, par) = small_model_sim_parts();
+        for config in [
+            ServingConfig {
+                max_batch: 0,
+                ..ServingConfig::unconstrained(1)
+            },
+            ServingConfig {
+                kv_bucket_tokens: 0,
+                ..ServingConfig::unconstrained(1)
+            },
+            ServingConfig {
+                kv_capacity_bytes: -1.0,
+                ..ServingConfig::unconstrained(1)
+            },
+            ServingConfig {
+                ttft_slo_s: 0.0,
+                ..ServingConfig::unconstrained(1)
+            },
+            ServingConfig::unconstrained(1).with_paged_kv(0),
+        ] {
+            assert!(matches!(
+                ServingSimulator::new(&est, &model, &par, config),
+                Err(OptimusError::Serving { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn kv_peak_counts_sequences_that_finish_in_one_iteration() {
+        // Four 64-token prompts generating a single token each: every
+        // sequence completes in its admission iteration, but the KV it
+        // held during that iteration (65 tokens per sequence) must still
+        // register in the occupancy peak.
+        let (est, model, par) = small_model_sim_parts();
+        let per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes(&model, KvConvention::Gqa);
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4)).unwrap();
+        let trace = TraceConfig::burst(4, 64, 1).synthesize().unwrap();
+        let r = sim.replay(&trace).unwrap();
+        assert_eq!(r.completed, 4);
+        let expected = 4.0 * 65.0 * per_token;
+        assert!(
+            (r.kv_peak_bytes - expected).abs() < 1e-6,
+            "peak {} should equal the resident footprint {expected}",
+            r.kv_peak_bytes
+        );
+    }
+
+    #[test]
+    fn report_display_formats() {
+        let (est, model, par) = small_model_sim_parts();
+        let sim =
+            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(2)).unwrap();
+        let trace = TraceConfig::burst(2, 16, 4).synthesize().unwrap();
+        let r = sim.replay(&trace).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("TTFT") && s.contains("TPOT") && s.contains("2/2"));
+    }
+
+    #[test]
+    fn exact_pricing_diverges_from_bucketized_mean_on_skewed_lengths() {
+        // A batch holding one ~2000-token and several ~16-token KV
+        // streams: the bucketized mean prices everyone at the arithmetic
+        // mean length, while exact pricing sums the true per-sequence
+        // spans. The decode-time gap quantifies the approximation error
+        // (the ROADMAP's heterogeneous-decode-pricing item). Finding:
+        // this roofline's decode cost is near-affine in KV length, so the
+        // memoized-mean table errs only where short sequences sit in the
+        // latency-dominated transfer regime — a small but nonzero,
+        // exactly-reproducible gap (exact prices *below* the mean, the
+        // concave-side Jensen direction). That is why BucketizedMean
+        // stays the default fast path.
+        let (est, model, par) = small_model_sim_parts();
+        let trace = vec![
+            RequestSpec {
+                id: 0,
+                arrival_s: 0.0,
+                prompt_tokens: 1900,
+                output_tokens: 100,
+            },
+            RequestSpec {
+                id: 1,
+                arrival_s: 0.0,
+                prompt_tokens: 16,
+                output_tokens: 100,
+            },
+            RequestSpec {
+                id: 2,
+                arrival_s: 0.0,
+                prompt_tokens: 16,
+                output_tokens: 100,
+            },
+            RequestSpec {
+                id: 3,
+                arrival_s: 0.0,
+                prompt_tokens: 16,
+                output_tokens: 100,
+            },
+        ];
+        let approx = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
+            .unwrap()
+            .replay(&trace)
+            .unwrap();
+        let exact = ServingSimulator::new(
+            &est,
+            &model,
+            &par,
+            ServingConfig::unconstrained(4).with_exact_pricing(),
+        )
+        .unwrap()
+        .replay(&trace)
+        .unwrap();
+        assert_eq!(exact.completed, 4);
+        assert_eq!(exact.decode_iterations, approx.decode_iterations);
+        let gap = (exact.decode_time_s - approx.decode_time_s) / approx.decode_time_s;
+        assert!(
+            gap < 0.0 && gap.abs() > 1e-6,
+            "skewed batch must expose a concave-side pricing gap, got {:+.5}%",
+            gap * 100.0
+        );
+        assert!(
+            gap.abs() < 0.01,
+            "near-affine cost model: the gap stays sub-percent, got {:+.3}%",
+            gap * 100.0
+        );
+        // On a homogeneous batch the two modes coincide: every sequence
+        // sits at the mean, so the per-sequence sum collapses (up to the
+        // rounding of summing identical step costs).
+        let uniform = TraceConfig::burst(4, 64, 16).synthesize().unwrap();
+        let a = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
+            .unwrap()
+            .replay(&uniform)
+            .unwrap();
+        let e = ServingSimulator::new(
+            &est,
+            &model,
+            &par,
+            ServingConfig::unconstrained(4).with_exact_pricing(),
+        )
+        .unwrap()
+        .replay(&uniform)
+        .unwrap();
+        let uniform_gap = (a.decode_time_s - e.decode_time_s).abs() / a.decode_time_s;
+        assert!(
+            uniform_gap < 1e-12,
+            "homogeneous batches must price identically, gap {uniform_gap}"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Scheduler policies: the admission-order / eviction-victim seam of the
+//! serving engine.
+//!
+//! PR 2 hard-coded FCFS admission with youngest-first eviction inside the
+//! replay loop. The [`SchedulerPolicy`] trait lifts both decisions out of
+//! the engine: a policy reorders the waiting queue each iteration (only
+//! requests that have arrived may move ahead) and picks the preemption
+//! victim when KV growth overflows capacity. The engine still owns the
+//! mechanics — capacity math, head-of-line blocking, recompute-style
+//! restarts — so policies stay small and easily conformance-tested.
+
+use super::engine::RunningSeq;
+use super::traces::RequestSpec;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Admission + eviction strategy for the serving engine.
+///
+/// Implementations must keep two contracts the engine relies on:
+///
+/// * [`order_queue`](Self::order_queue) may only move *arrived* requests
+///   (`arrival_s <= clock`) ahead of others; not-yet-arrived requests keep
+///   their relative (arrival) order behind the arrived ones.
+/// * [`evict_victim`](Self::evict_victim) returns a valid index into
+///   `running` (the engine calls it only when `running.len() > 1`).
+pub trait SchedulerPolicy: fmt::Debug + Send + Sync {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Reorders the waiting queue before this iteration's admission scan.
+    /// The engine admits from the front until a request fails to fit
+    /// (head-of-line blocking), so the front of the queue is the policy's
+    /// highest-priority choice. Default: keep FCFS (arrival) order.
+    fn order_queue(&self, clock: f64, trace: &[RequestSpec], queue: &mut VecDeque<usize>) {
+        let _ = (clock, trace, queue);
+    }
+
+    /// Picks the preemption victim among the running batch when KV growth
+    /// overflows capacity. Default: the youngest sequence (the one that
+    /// has the least recompute work to throw away — vLLM's recompute
+    /// preemption order).
+    fn evict_victim(&self, trace: &[RequestSpec], running: &[RunningSeq]) -> usize {
+        let _ = trace;
+        running.len() - 1
+    }
+}
+
+/// Sorts the arrived prefix of the queue by `key`, leaving not-yet-arrived
+/// requests behind in their existing (arrival) order. Stable, so ties keep
+/// FCFS order.
+fn sort_arrived_by<K: Ord>(
+    clock: f64,
+    trace: &[RequestSpec],
+    queue: &mut VecDeque<usize>,
+    key: impl Fn(&RequestSpec) -> K,
+) {
+    let (mut arrived, future): (Vec<usize>, Vec<usize>) = queue
+        .iter()
+        .copied()
+        .partition(|&i| trace[i].arrival_s <= clock);
+    arrived.sort_by_key(|&i| key(&trace[i]));
+    queue.clear();
+    queue.extend(arrived);
+    queue.extend(future);
+}
+
+/// First-come first-served admission with youngest-first eviction: PR 2's
+/// behavior, and the engine's default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsPolicy;
+
+impl SchedulerPolicy for FcfsPolicy {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+}
+
+/// Shortest-job-first admission: among arrived requests, the smallest
+/// service demand goes first. Decode dominates service time (every
+/// generated token streams the full weights, while the whole prompt is
+/// prefetched in one pass), so jobs order by output length first, prompt
+/// length as the tie-break. Improves mean latency under mixed lengths at
+/// the cost of starving long requests — pair with [`MaxWaitGuardPolicy`]
+/// when tails matter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SjfPolicy;
+
+/// SJF ordering key: decode iterations dominate, prefill breaks ties.
+fn service_key(r: &RequestSpec) -> (u32, u32) {
+    (r.output_tokens, r.prompt_tokens)
+}
+
+impl SchedulerPolicy for SjfPolicy {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn order_queue(&self, clock: f64, trace: &[RequestSpec], queue: &mut VecDeque<usize>) {
+        sort_arrived_by(clock, trace, queue, service_key);
+    }
+}
+
+/// SJF admission with an aging guard: any arrived request that has waited
+/// longer than `max_wait_s` is promoted to the front (FCFS among the
+/// promoted), bounding the starvation SJF would otherwise inflict on long
+/// requests.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxWaitGuardPolicy {
+    /// Waiting-time bound (s) beyond which a request jumps the SJF order.
+    pub max_wait_s: f64,
+}
+
+impl MaxWaitGuardPolicy {
+    /// Creates a guard promoting requests that waited longer than
+    /// `max_wait_s`.
+    #[must_use]
+    pub fn new(max_wait_s: f64) -> Self {
+        Self { max_wait_s }
+    }
+}
+
+impl SchedulerPolicy for MaxWaitGuardPolicy {
+    fn name(&self) -> &'static str {
+        "sjf+max-wait-guard"
+    }
+
+    fn order_queue(&self, clock: f64, trace: &[RequestSpec], queue: &mut VecDeque<usize>) {
+        // Monotone u64 image of f64's total order (sign-flip trick), so
+        // overdue requests sort FCFS even for negative (relative)
+        // arrival timestamps.
+        let total_order = |x: f64| -> u64 {
+            let bits = x.to_bits();
+            if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            }
+        };
+        sort_arrived_by(clock, trace, queue, |r| {
+            if clock - r.arrival_s > self.max_wait_s {
+                // Overdue: ahead of everything, FCFS among themselves.
+                (0u8, total_order(r.arrival_s), 0u64)
+            } else {
+                let (out, prompt) = service_key(r);
+                (1u8, u64::from(out), u64::from(prompt))
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u32, arrival_s: f64, prompt: u32, output: u32) -> RequestSpec {
+        RequestSpec {
+            id,
+            arrival_s,
+            prompt_tokens: prompt,
+            output_tokens: output,
+        }
+    }
+
+    #[test]
+    fn fcfs_keeps_queue_untouched() {
+        let trace = [req(0, 0.0, 10, 10), req(1, 0.5, 5, 5), req(2, 9.0, 1, 1)];
+        let mut q: VecDeque<usize> = (0..3).collect();
+        FcfsPolicy.order_queue(1.0, &trace, &mut q);
+        assert_eq!(q, VecDeque::from([0, 1, 2]));
+        let running = [RunningSeq::admitted(0, 10), RunningSeq::admitted(1, 5)];
+        assert_eq!(FcfsPolicy.evict_victim(&trace, &running), 1);
+    }
+
+    #[test]
+    fn sjf_reorders_only_arrived() {
+        let trace = [
+            req(0, 0.0, 100, 100),
+            req(1, 0.5, 5, 5),
+            req(2, 9.0, 1, 1), // shortest, but not yet arrived
+        ];
+        let mut q: VecDeque<usize> = (0..3).collect();
+        SjfPolicy.order_queue(1.0, &trace, &mut q);
+        assert_eq!(q, VecDeque::from([1, 0, 2]), "future request stays last");
+        SjfPolicy.order_queue(10.0, &trace, &mut q);
+        assert_eq!(q, VecDeque::from([2, 1, 0]));
+    }
+
+    #[test]
+    fn max_wait_guard_promotes_overdue() {
+        let trace = [
+            req(0, 0.0, 100, 100), // long, waited 5 s
+            req(1, 4.5, 5, 5),     // short, fresh
+        ];
+        let mut q: VecDeque<usize> = (0..2).collect();
+        // Guard of 10 s: nothing overdue, SJF order wins.
+        MaxWaitGuardPolicy::new(10.0).order_queue(5.0, &trace, &mut q);
+        assert_eq!(q, VecDeque::from([1, 0]));
+        // Guard of 2 s: the long request is overdue and jumps ahead.
+        MaxWaitGuardPolicy::new(2.0).order_queue(5.0, &trace, &mut q);
+        assert_eq!(q, VecDeque::from([0, 1]));
+        assert!(MaxWaitGuardPolicy::new(2.0).name().contains("guard"));
+    }
+
+    #[test]
+    fn max_wait_guard_keeps_fcfs_for_negative_arrival_timestamps() {
+        // Relative (negative) timestamps are legal trace inputs; overdue
+        // ordering must stay FCFS across the sign boundary.
+        let trace = [req(0, -1.0, 9, 9), req(1, -2.0, 9, 9), req(2, 0.5, 9, 9)];
+        let mut q: VecDeque<usize> = (0..3).collect();
+        // All three overdue at clock 5 with a 1 s guard: arrival order.
+        MaxWaitGuardPolicy::new(1.0).order_queue(5.0, &trace, &mut q);
+        assert_eq!(q, VecDeque::from([1, 0, 2]));
+    }
+}

@@ -1,0 +1,122 @@
+//! Replay outcomes: latency percentiles, the [`ServingReport`] carried by
+//! every engine/cluster replay, and the SLO-frontier point.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Nearest-rank percentiles of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    pub(crate) fn of(values: &mut [f64]) -> Self {
+        values.sort_by(f64::total_cmp);
+        let at = |q: f64| -> f64 {
+            if values.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * values.len() as f64).ceil() as usize;
+            values[rank.clamp(1, values.len()) - 1]
+        };
+        Self {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+        }
+    }
+}
+
+/// Outcome of replaying one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Requests in the trace.
+    pub requests: u32,
+    /// Requests that ran to completion (always equals `requests`: the
+    /// simulator drains its queue).
+    pub completed: u32,
+    /// Preemptions: a running request was evicted because the grown KV
+    /// cache no longer fit, and restarted later (recompute-style).
+    pub evictions: u32,
+    /// Generated tokens discarded by evictions (recomputed later).
+    pub wasted_tokens: u64,
+    /// Time from first arrival to last completion (s).
+    pub makespan_s: f64,
+    /// Useful generated tokens per second over the makespan.
+    pub throughput_tok_s: f64,
+    /// Throughput counting only requests that met both SLOs.
+    pub goodput_tok_s: f64,
+    /// Fraction of requests meeting both the TTFT and TPOT SLOs.
+    pub slo_attainment: f64,
+    /// Decode-time-weighted mean batch occupancy.
+    pub mean_batch: f64,
+    /// Total decode time across all iterations (s).
+    pub decode_time_s: f64,
+    /// Number of decode iterations.
+    pub decode_iterations: u64,
+    /// Longest single engine iteration (s): the worst stall a running
+    /// decode experiences from a co-scheduled prefill — the quantity
+    /// chunked prefill exists to bound.
+    pub max_step_s: f64,
+    /// Peak KV-cache occupancy observed during replay (bytes; block
+    /// footprint under the paged layout, token footprint when contiguous).
+    pub kv_peak_bytes: f64,
+    /// Peak internal fragmentation under the paged layout (bytes reserved
+    /// in partially-filled blocks); 0 for the contiguous layout.
+    pub kv_fragmentation_peak_bytes: f64,
+    /// Time-to-first-token percentiles (s).
+    pub ttft: Percentiles,
+    /// Time-per-output-token percentiles (s).
+    pub tpot: Percentiles,
+    /// End-to-end request-latency percentiles (s).
+    pub latency: Percentiles,
+}
+
+impl ServingReport {
+    /// Mean decode-iteration cost (s) — the dynamic analogue of the
+    /// static scheduler's `per_token_s`.
+    #[must_use]
+    pub fn mean_step_s(&self) -> f64 {
+        if self.decode_iterations == 0 {
+            0.0
+        } else {
+            self.decode_time_s / self.decode_iterations as f64
+        }
+    }
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} done, {} evictions; {:.0} tok/s ({:.0} goodput); \
+             TTFT p50/p95/p99 {:.0}/{:.0}/{:.0} ms; TPOT {:.1}/{:.1}/{:.1} ms",
+            self.completed,
+            self.requests,
+            self.evictions,
+            self.throughput_tok_s,
+            self.goodput_tok_s,
+            self.ttft.p50 * 1e3,
+            self.ttft.p95 * 1e3,
+            self.ttft.p99 * 1e3,
+            self.tpot.p50 * 1e3,
+            self.tpot.p95 * 1e3,
+            self.tpot.p99 * 1e3
+        )
+    }
+}
+
+/// One point of the SLO-vs-throughput frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Offered arrival rate (requests/s).
+    pub arrival_rate_per_s: f64,
+    /// The replay outcome at that rate.
+    pub report: ServingReport,
+}

@@ -102,6 +102,17 @@ impl Accelerator {
         }
         self
     }
+
+    /// Re-parameterizes the main-memory capacity (per unit). Serving
+    /// studies use this to sweep the KV-cache budget — e.g. fragmentation
+    /// pressure under the paged allocator — without redefining the blade.
+    #[must_use]
+    pub fn with_dram_capacity(mut self, capacity_bytes: u64) -> Self {
+        if let Some(level) = self.hierarchy.level_mut(LevelKind::MainMemory) {
+            level.capacity_bytes = capacity_bytes;
+        }
+        self
+    }
 }
 
 impl fmt::Display for Accelerator {
@@ -176,9 +187,11 @@ mod tests {
     fn sweep_knobs_update_outermost_level() {
         let a = test_accel()
             .with_dram_bandwidth(Bandwidth::from_tbps(16.0))
-            .with_dram_latency(TimeInterval::from_ns(100.0));
+            .with_dram_latency(TimeInterval::from_ns(100.0))
+            .with_dram_capacity(1 << 33);
         assert!((a.dram_bandwidth().tbps() - 16.0).abs() < 1e-9);
         assert!((a.dram_latency().ns() - 100.0).abs() < 1e-9);
+        assert_eq!(a.dram_capacity_bytes(), 1 << 33);
     }
 
     #[test]

@@ -126,6 +126,53 @@ fn serving_trace_replay_parallel_matches_serial_bit_for_bit() {
 }
 
 #[test]
+fn cluster_replay_parallel_matches_serial_bit_for_bit() {
+    use optimus::serving::{
+        BurstyTraceConfig, ClusterConfig, ClusterSimulator, DispatchMode, RoutingPolicy,
+        ServingConfig, ServingSimulator, TraceSource,
+    };
+    let system = optimus::MultiBladeSystem::new(4).unwrap();
+    let est = system.inference_estimator();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = BurstyTraceConfig {
+        seed: 9,
+        requests: 48,
+        base_rate_per_s: 5.0,
+        burst_rate_per_s: 400.0,
+        burst_s: 0.5,
+        gap_s: 2.0,
+        prompt_tokens: (32, 256),
+        output_tokens: (8, 64),
+    }
+    .requests()
+    .unwrap();
+    for routing in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::JoinShortestQueue,
+        RoutingPolicy::LeastLoadedKv,
+    ] {
+        for dispatch in [DispatchMode::PerBlade, DispatchMode::Central] {
+            let sim =
+                ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8)).unwrap();
+            let cluster = ClusterSimulator::new(
+                sim,
+                ClusterConfig {
+                    blades: 4,
+                    routing,
+                    dispatch,
+                },
+            )
+            .unwrap();
+            let p = cluster.replay(&trace).unwrap();
+            let s = cluster.replay_serial(&trace).unwrap();
+            assert_eq!(p, s, "{routing} / {dispatch:?} must be bit-identical");
+            assert_eq!(p.report.completed, 48);
+        }
+    }
+}
+
+#[test]
 fn inference_parallel_matches_on_gpu_baseline_too() {
     let gpus = GpuSystem::h100_cluster(64);
     let model = ModelZoo::llama_70b();

@@ -242,6 +242,144 @@ proptest! {
         prop_assert!(a.ttft.p50 <= a.ttft.p99);
     }
 
+    /// Paged-KV allocator invariants: no double allocation, blocks in use
+    /// never exceed capacity, fragmentation stays below one block per
+    /// resident sequence (and thus below capacity), and freeing every
+    /// sequence drains the allocator to zero.
+    #[test]
+    fn paged_allocator_invariants(
+        block_pow in 0u32..7,
+        capacity_blocks in 1u64..64,
+        seeds in prop::collection::vec((1u64..512, 1u64..512), 1..24),
+    ) {
+        use optimus::serving::PagedKvAllocator;
+        let block = 1u32 << block_pow;
+        let mut a = PagedKvAllocator::new(block, capacity_blocks).expect("valid geometry");
+        let mut resident: Vec<u32> = Vec::new();
+        for (seq, &(tokens, grow)) in seeds.iter().enumerate() {
+            let seq = seq as u32;
+            if a.allocate(seq, tokens).is_ok() {
+                resident.push(seq);
+                // Double allocation of a resident sequence must fail.
+                prop_assert!(a.allocate(seq, 1).is_err());
+                // Growth either succeeds or leaves state unchanged.
+                let before = a.allocated_blocks();
+                if a.grow(seq, tokens + grow).is_err() {
+                    prop_assert_eq!(a.allocated_blocks(), before);
+                }
+            }
+            prop_assert!(a.allocated_blocks() <= a.capacity_blocks());
+            prop_assert!(
+                a.fragmentation_tokens() < a.sequences() as u64 * u64::from(block)
+                    || a.sequences() == 0
+            );
+            prop_assert!(
+                a.fragmentation_tokens() <= a.capacity_blocks() * u64::from(block)
+            );
+        }
+        for seq in resident {
+            a.free(seq).expect("resident sequence frees");
+        }
+        prop_assert_eq!(a.allocated_blocks(), 0);
+        prop_assert_eq!(a.used_tokens(), 0);
+        prop_assert_eq!(a.fragmentation_tokens(), 0);
+    }
+
+    /// Policy conformance: under every scheduler policy the head-of-line
+    /// request that fits is admitted — i.e. replay never livelocks, every
+    /// request completes, and conservation holds — even when capacity is
+    /// tight enough to force evictions.
+    #[test]
+    fn every_policy_drains_its_queue(seed in 0u64..24, tight in 1.0f64..3.0) {
+        use llm_workload::kvcache::{KvCache, KvConvention};
+        use optimus::serving::{
+            FcfsPolicy, MaxWaitGuardPolicy, ServingConfig, ServingSimulator, SjfPolicy,
+            TraceConfig,
+        };
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let trace = TraceConfig {
+            seed,
+            requests: 8,
+            arrival_rate_per_s: 200.0,
+            prompt_tokens: (16, 96),
+            output_tokens: (4, 24),
+        }
+        .synthesize()
+        .expect("valid");
+        // Capacity scaled from the largest single request: always ≥ one
+        // full-length sequence (the no-livelock precondition), rarely
+        // enough for the whole batch.
+        let per_token = KvCache { batch: 1, seq_len: 1, precision: est.precision() }
+            .bytes(&model, KvConvention::Gqa);
+        let max_len = trace
+            .iter()
+            .map(|r| r.prompt_tokens + r.output_tokens)
+            .max()
+            .expect("non-empty") as f64;
+        let config = ServingConfig {
+            kv_capacity_bytes: per_token * max_len * tight,
+            kv_bucket_tokens: 4,
+            ..ServingConfig::unconstrained(4)
+        };
+        let mk = || ServingSimulator::new(&est, &model, &par, config).expect("valid config");
+        let sims = [
+            mk(),
+            mk().with_policy(SjfPolicy),
+            mk().with_policy(MaxWaitGuardPolicy::new(0.05)),
+            mk().with_policy(FcfsPolicy),
+        ];
+        for sim in &sims {
+            let r = sim.replay(&trace).expect("replays");
+            prop_assert!(r.completed == 8, "{} must drain", sim.policy().name());
+            prop_assert!(r.goodput_tok_s <= r.throughput_tok_s);
+        }
+    }
+
+    /// Cluster replay is deterministic and conserving: the rayon and
+    /// serial paths agree exactly and every routed request completes.
+    #[test]
+    fn cluster_replay_deterministic(seed in 0u64..16, blades in 1u32..5) {
+        use optimus::serving::{
+            ClusterConfig, ClusterSimulator, DispatchMode, RoutingPolicy, ServingConfig,
+            ServingSimulator, TraceConfig,
+        };
+        let system = optimus::MultiBladeSystem::new(blades).expect("valid");
+        let est = system.inference_estimator();
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let trace = TraceConfig {
+            seed,
+            requests: 12,
+            arrival_rate_per_s: 300.0,
+            prompt_tokens: (16, 64),
+            output_tokens: (4, 12),
+        }
+        .synthesize()
+        .expect("valid");
+        let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
+            .expect("valid config");
+        let cluster = ClusterSimulator::new(
+            sim,
+            ClusterConfig {
+                blades,
+                routing: RoutingPolicy::JoinShortestQueue,
+                dispatch: DispatchMode::PerBlade,
+            },
+        )
+        .expect("valid cluster");
+        let p = cluster.replay(&trace).expect("replays");
+        let s = cluster.replay_serial(&trace).expect("replays");
+        prop_assert_eq!(&p, &s);
+        prop_assert_eq!(p.report.completed, 12);
+        prop_assert_eq!(p.per_blade.iter().map(|b| b.requests).sum::<u32>(), 12);
+    }
+
     /// Torus routing: the dimension-order path always reaches the
     /// destination in exactly `distance` hops, and distance is symmetric.
     #[test]
