@@ -1,12 +1,10 @@
-//! Criterion bench: the continuous-batching serving simulator (single
-//! blade) and the cluster replay at 1/4/16 blades.
+//! Criterion bench: scenario-compiled serving replays — single blade,
+//! the cluster loop at 1/4/16 blades, and the disaggregated
+//! prefill→decode loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use llm_workload::{ModelZoo, Parallelism};
-use optimus::serving::{
-    ClusterConfig, ClusterSimulator, DispatchMode, RoutingPolicy, ServingConfig, ServingSimulator,
-    TraceConfig,
-};
+use optimus::serving::{RoutingPolicy, Scenario, Topology, TraceConfig};
 use optimus::{InferenceEstimator, MultiBladeSystem};
 use scd_arch::Blade;
 use scd_tech::units::Bandwidth;
@@ -22,23 +20,25 @@ fn bench_serving(c: &mut Criterion) {
     );
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64).unwrap();
-    let trace = TraceConfig {
-        seed: 1,
-        requests: 32,
-        arrival_rate_per_s: 16.0,
-        prompt_tokens: (150, 250),
-        output_tokens: (100, 200),
-    }
-    .synthesize()
-    .unwrap();
-    let config = ServingConfig::for_system(&est, &model, &par, 32).unwrap();
-    let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
+    let compiled = Scenario::on_estimator(est)
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(32)
+        .poisson(TraceConfig {
+            seed: 1,
+            requests: 32,
+            arrival_rate_per_s: 16.0,
+            prompt_tokens: (150, 250),
+            output_tokens: (100, 200),
+        })
+        .compile()
+        .unwrap();
 
     c.bench_function("serving/replay_parallel_table", |b| {
-        b.iter(|| sim.replay(black_box(&trace)).unwrap())
+        b.iter(|| black_box(&compiled).run().unwrap())
     });
     c.bench_function("serving/replay_serial_table", |b| {
-        b.iter(|| sim.replay_serial(black_box(&trace)).unwrap())
+        b.iter(|| black_box(&compiled).run_serial().unwrap())
     });
 }
 
@@ -51,30 +51,36 @@ fn bench_cluster(c: &mut Criterion) {
         arrival_rate_per_s: 400.0,
         prompt_tokens: (32, 256),
         output_tokens: (8, 64),
-    }
-    .synthesize()
-    .unwrap();
+    };
     for blades in [1u32, 4, 16] {
         let system = MultiBladeSystem::new(blades).unwrap();
-        let est = system.inference_estimator();
+        let compiled = Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(8)
+            .unconstrained_kv()
+            .routing(RoutingPolicy::JoinShortestQueue)
+            .poisson(trace)
+            .compile()
+            .unwrap();
         c.bench_function(&format!("serving/cluster_replay_{blades}_blades"), |b| {
-            b.iter(|| {
-                let sim =
-                    ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8))
-                        .unwrap();
-                let cluster = ClusterSimulator::new(
-                    sim,
-                    ClusterConfig {
-                        blades,
-                        routing: RoutingPolicy::JoinShortestQueue,
-                        dispatch: DispatchMode::PerBlade,
-                    },
-                )
-                .unwrap();
-                cluster.replay(black_box(&trace)).unwrap()
-            })
+            b.iter(|| black_box(&compiled).run().unwrap())
         });
     }
+    // The disaggregated loop at the same scale as the 4-blade cluster.
+    let system = MultiBladeSystem::new(4).unwrap();
+    let disagg = Scenario::new(&system)
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(8)
+        .unconstrained_kv()
+        .topology(Topology::disaggregated(1, 3))
+        .poisson(trace)
+        .compile()
+        .unwrap();
+    c.bench_function("serving/disaggregated_replay_1p3d", |b| {
+        b.iter(|| black_box(&disagg).run().unwrap())
+    });
 }
 
 criterion_group!(benches, bench_serving, bench_cluster);

@@ -1,15 +1,43 @@
 //! Runs every experiment in sequence (the full paper reproduction).
+//!
+//! `--smoke` runs a CI-friendly subset: the technology/spec tables plus
+//! one representative study per subsystem (training, inference, serving
+//! — including the scenario-driven cluster, disaggregation and
+//! recorded-trace studies), skipping the long sweeps.
 fn main() -> Result<(), scd_perf::ScdError> {
     use scd_bench::{
         inference_experiments as inf, l2_study, spec_tables as spec, training_experiments as tr,
         validation,
     };
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let hr = "=".repeat(72);
     println!("{hr}\n{}\n{hr}", spec::table1());
     println!("{}\n{hr}", spec::fig1_pcl_library());
     println!("{}\n{hr}", spec::render_eda_flow(&spec::fig1_eda_flow()?));
     println!("{}\n{hr}", spec::fig2_datalink());
     println!("{}\n{hr}", spec::fig3_blade_specs());
+    use scd_bench::{extensions as ext, serving_experiments as srv};
+    if smoke {
+        // One representative study per subsystem, small enough for a
+        // timeboxed CI job.
+        println!("{}\n{hr}", tr::render_fig6(&tr::fig6_rows()?));
+        println!("{}\n{hr}", inf::render_fig8a(&inf::fig8a_rows()?));
+        println!("{}\n{hr}", ext::render_serving(&ext::serving_capacity()?));
+        println!(
+            "{}\n{hr}",
+            srv::render_cluster_routing(&srv::cluster_routing_study()?)
+        );
+        println!(
+            "{}\n{hr}",
+            srv::render_disaggregation(&srv::disaggregation_study()?)
+        );
+        println!(
+            "{}\n{hr}",
+            srv::render_recorded_trace(&srv::recorded_trace_study()?)
+        );
+        print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
+        return Ok(());
+    }
     println!("{}\n{hr}", tr::render_fig5(&tr::fig5_sweep()?));
     println!("{}\n{hr}", tr::render_fig6(&tr::fig6_rows()?));
     println!("{}\n{hr}", inf::render_fig7(&inf::fig7_sweep()?));
@@ -25,7 +53,6 @@ fn main() -> Result<(), scd_perf::ScdError> {
         "{}\n{hr}",
         validation::render_validation(&validation::noc_validation()?)
     );
-    use scd_bench::extensions as ext;
     println!(
         "{}\n{hr}",
         ext::render_multi_blade(&ext::multi_blade_scaling()?)
@@ -48,7 +75,6 @@ fn main() -> Result<(), scd_perf::ScdError> {
         ext::render_fabric_ablation(&ext::fabric_ablation()?)
     );
     println!("{}\n{hr}", ext::render_serving(&ext::serving_capacity()?));
-    use scd_bench::serving_experiments as srv;
     println!(
         "{}\n{hr}",
         srv::render_serving_frontier(&srv::scd_serving_frontier()?)
@@ -62,5 +88,14 @@ fn main() -> Result<(), scd_perf::ScdError> {
         srv::render_cluster_routing(&srv::cluster_routing_study()?)
     );
     println!("{}\n{hr}", srv::render_paged_kv(&srv::paged_kv_study()?));
+    println!(
+        "{}\n{hr}",
+        srv::render_disaggregation(&srv::disaggregation_study()?)
+    );
+    println!(
+        "{}\n{hr}",
+        srv::render_recorded_trace(&srv::recorded_trace_study()?)
+    );
+    print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
     Ok(())
 }

@@ -1,7 +1,8 @@
 //! Serving studies: static capacity under per-token QoS budgets, the
-//! continuous-batching simulator's dynamic-traffic view (frontier sweep
-//! and SCD-vs-GPU trace replay), and the cluster-scale extensions
-//! (routing-policy study across 4 blades, paged-KV fragmentation sweep).
+//! scenario-driven dynamic-traffic views (frontier sweep, SCD-vs-GPU
+//! trace replay), and the cluster-scale extensions (routing-policy study
+//! across 4 blades, paged-KV fragmentation sweep, disaggregated
+//! prefill/decode split, recorded-trace replay, SLO-class goodput).
 fn main() -> Result<(), optimus::OptimusError> {
     use scd_bench::{extensions as ext, serving_experiments as srv};
     let hr = "=".repeat(72);
@@ -18,6 +19,15 @@ fn main() -> Result<(), optimus::OptimusError> {
         "{}\n{hr}",
         srv::render_cluster_routing(&srv::cluster_routing_study()?)
     );
-    print!("{}", srv::render_paged_kv(&srv::paged_kv_study()?));
+    println!("{}\n{hr}", srv::render_paged_kv(&srv::paged_kv_study()?));
+    println!(
+        "{}\n{hr}",
+        srv::render_disaggregation(&srv::disaggregation_study()?)
+    );
+    println!(
+        "{}\n{hr}",
+        srv::render_recorded_trace(&srv::recorded_trace_study()?)
+    );
+    print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
     Ok(())
 }

@@ -1,20 +1,22 @@
 //! Serving-simulator experiments: dynamic-traffic extensions of the
-//! paper's §VI batching study.
+//! paper's §VI batching study, all expressed through the scenario-first
+//! serving API (`optimus::serving::Scenario`).
 //!
 //! Where `extensions::serving_capacity` answers the *static* question
 //! (largest batch within a per-token budget), these experiments replay
-//! seeded Poisson traces through the continuous-batching simulator in
-//! `optimus::serving` and report what actually matters for serving heavy
-//! traffic: TTFT/TPOT tails, goodput under SLOs, and the
-//! SLO-vs-throughput frontier of each system.
+//! traces — seeded Poisson, bursty flash crowds, and a bundled
+//! Azure-LLM-shaped recorded sample — through the continuous-batching
+//! engine and report what actually matters for serving heavy traffic:
+//! TTFT/TPOT tails, per-SLO-class goodput, routing and disaggregation
+//! effects at cluster scale.
 
 use llm_workload::kvcache::{KvCache, KvConvention};
 use llm_workload::model::ModelZoo;
 use llm_workload::parallelism::Parallelism;
 use llm_workload::taskgraph::weights_per_unit_bytes;
 use optimus::serving::{
-    BurstyTraceConfig, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, FrontierPoint,
-    KvLayout, RoutingPolicy, ServingConfig, ServingSimulator, TraceConfig, TraceSource,
+    BurstyTraceConfig, ClusterReport, CsvTrace, DispatchMode, FcfsPolicy, FrontierPoint, KvLayout,
+    MaxWaitGuardPolicy, RoutingPolicy, Scenario, SjfPolicy, SloClass, Topology, TraceConfig,
 };
 use optimus::{
     Comparison, InferenceEstimator, MultiBladeSystem, OptimusError, ServingReport, SpeedupStudy,
@@ -41,10 +43,13 @@ fn base_trace() -> TraceConfig {
 pub fn scd_serving_frontier() -> Result<Vec<FrontierPoint>, OptimusError> {
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64)?;
-    let est = SpeedupStudy::paper_baseline().scd_inference();
-    let config = ServingConfig::for_system(&est, &model, &par, 64)?;
-    let sim = ServingSimulator::new(&est, &model, &par, config)?;
-    sim.slo_frontier(&base_trace(), &[2.0, 8.0, 32.0, 128.0])
+    Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(64)
+        .poisson(base_trace())
+        .compile()?
+        .frontier(&[2.0, 8.0, 32.0, 128.0])
 }
 
 /// Renders the frontier sweep.
@@ -147,29 +152,23 @@ pub fn cluster_routing_study() -> Result<Vec<ClusterRow>, OptimusError> {
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64)?;
     let system = MultiBladeSystem::new(4)?;
-    let est = system.inference_estimator();
-    let trace = bursty_cluster_trace().requests()?;
+    let trace = bursty_cluster_trace();
     let variants = [
         (RoutingPolicy::RoundRobin, DispatchMode::PerBlade),
         (RoutingPolicy::JoinShortestQueue, DispatchMode::PerBlade),
         (RoutingPolicy::LeastLoadedKv, DispatchMode::PerBlade),
         (RoutingPolicy::JoinShortestQueue, DispatchMode::Central),
     ];
-    let configs: Vec<ClusterConfig> = variants
-        .iter()
-        .map(|&(routing, dispatch)| ClusterConfig {
-            blades: system.blades(),
-            routing,
-            dispatch,
-        })
-        .collect();
     // 8 decode slots per blade: bursts must queue, so routing and
-    // dispatch choices actually show up in the TTFT tail. One simulator,
-    // one cost table, four replays.
-    let config = ServingConfig::for_system(&est, &model, &par, 8)?;
-    let sim = ServingSimulator::new(&est, &model, &par, config)?;
-    let cluster = ClusterSimulator::new(sim, configs[0])?;
-    let reports = cluster.replay_each(&trace, &configs)?;
+    // dispatch choices actually show up in the TTFT tail. One compiled
+    // scenario, one cost table, four replays.
+    let reports = Scenario::new(&system)
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(8)
+        .trace(&trace)
+        .compile()?
+        .run_each(&variants)?;
     Ok(variants
         .iter()
         .zip(reports)
@@ -208,7 +207,7 @@ pub fn render_cluster_routing(rows: &[ClusterRow]) -> String {
 }
 
 /// One row of the paged-KV study.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PagedKvRow {
     /// KV layout under test.
     pub layout: KvLayout,
@@ -250,8 +249,7 @@ pub fn paged_kv_study() -> Result<Vec<PagedKvRow>, OptimusError> {
         arrival_rate_per_s: 24.0,
         prompt_tokens: (150, 250),
         output_tokens: (150, 250),
-    }
-    .synthesize()?;
+    };
     let mut rows = Vec::new();
     for layout in [
         KvLayout::Contiguous,
@@ -259,13 +257,16 @@ pub fn paged_kv_study() -> Result<Vec<PagedKvRow>, OptimusError> {
         KvLayout::Paged { block_tokens: 64 },
         KvLayout::Paged { block_tokens: 256 },
     ] {
-        let mut config = ServingConfig::for_system(&est, &model, &par, 12)?;
-        config.kv_layout = layout;
-        let sim = ServingSimulator::new(&est, &model, &par, config)?;
-        rows.push(PagedKvRow {
-            layout,
-            report: sim.replay(&trace)?,
-        });
+        let report = Scenario::on_estimator(est.clone())
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(12)
+            .kv_layout(layout)
+            .poisson(trace)
+            .compile()?
+            .run()?
+            .report;
+        rows.push(PagedKvRow { layout, report });
     }
     Ok(rows)
 }
@@ -291,6 +292,247 @@ pub fn render_paged_kv(rows: &[PagedKvRow]) -> String {
             r.report.wasted_tokens,
             r.report.kv_fragmentation_peak_bytes / 1e6,
             r.report.ttft.p99 * 1e3,
+        ));
+    }
+    out
+}
+
+/// One row of the disaggregation study.
+#[derive(Debug, Clone)]
+pub struct DisaggRow {
+    /// Human-readable topology label ("4 mixed", "2P + 2D").
+    pub label: &'static str,
+    /// The replay outcome.
+    pub report: ClusterReport,
+}
+
+/// The prefill-heavy flash-crowd workload disaggregation exists for:
+/// long prompts, short outputs, bursts that force prompt passes to
+/// collide with running decodes on mixed blades.
+fn prefill_heavy_trace() -> BurstyTraceConfig {
+    BurstyTraceConfig {
+        seed: 808,
+        requests: 48,
+        base_rate_per_s: 2.0,
+        burst_rate_per_s: 80.0,
+        burst_s: 1.0,
+        gap_s: 5.0,
+        prompt_tokens: (512, 1024),
+        output_tokens: (16, 48),
+    }
+}
+
+/// Replays the same prefill-heavy bursty trace on 4 SCD blades as a
+/// 2-prefill + 2-decode DistServe-style split versus 4 interchangeable
+/// mixed blades: dedicating prefill blades keeps long prompt passes out
+/// of the decode iterations, cutting the worst decode stall and the
+/// inter-token tail at the cost of the fabric handoff.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn disaggregation_study() -> Result<Vec<DisaggRow>, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let system = MultiBladeSystem::new(4)?;
+    let trace = prefill_heavy_trace();
+    let variants: [(&'static str, Topology); 2] = [
+        ("4 mixed", Topology::mixed(4)),
+        ("2P + 2D", Topology::disaggregated(2, 2)),
+    ];
+    variants
+        .into_iter()
+        .map(|(label, topology)| {
+            let report = Scenario::new(&system)
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(6)
+                .trace(&trace)
+                .topology(topology)
+                .compile()?
+                .run()?;
+            Ok(DisaggRow { label, report })
+        })
+        .collect()
+}
+
+/// Renders the disaggregation study.
+#[must_use]
+pub fn render_disaggregation(rows: &[DisaggRow]) -> String {
+    let mut out = String::from(
+        "Disaggregated prefill/decode: 2P+2D split vs 4 mixed blades (Llama-405B, TP=64)\n\
+         prefill-heavy flash crowds: 48 requests, prompts 512-1024, outputs 16-48\n\n\
+         topology   TTFT p50(ms)  TTFT p99(ms)  TPOT p99(ms)  max step(ms)  tok/s\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11}{:>12.0}{:>14.0}{:>14.2}{:>14.0}{:>7.0}\n",
+            r.label,
+            r.report.report.ttft.p50 * 1e3,
+            r.report.report.ttft.p99 * 1e3,
+            r.report.report.tpot.p99 * 1e3,
+            r.report.report.max_step_s * 1e3,
+            r.report.report.throughput_tok_s,
+        ));
+    }
+    out
+}
+
+/// Path of the bundled Azure-LLM-shaped recorded trace sample.
+#[must_use]
+pub fn recorded_trace_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/data/azure_llm_sample.csv")
+}
+
+/// Replays the bundled recorded trace (Azure-LLM-shaped prompt/output
+/// distributions) as a blade-count capacity sweep (1/2/4 SCD blades,
+/// JSQ routing) — the cluster studies on recorded arrivals the ROADMAP
+/// asked for — with interactive/batch SLO classes assigned by output
+/// length.
+///
+/// # Errors
+///
+/// Propagates IO ([`OptimusError::Io`]) and simulation failures.
+pub fn recorded_trace_study() -> Result<Vec<RecordedRow>, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let trace = CsvTrace::from_path(recorded_trace_path())?;
+    [1u32, 2, 4]
+        .into_iter()
+        .map(|blades| {
+            let system = MultiBladeSystem::new(blades)?;
+            let report = Scenario::new(&system)
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(8)
+                .trace(&trace)
+                .routing(RoutingPolicy::JoinShortestQueue)
+                .slo_classes(vec![
+                    SloClass::new("interactive", 4.0, 0.05),
+                    SloClass::batch(),
+                ])
+                .classify(|r| u32::from(r.output_tokens > 200))
+                .compile()?
+                .run()?;
+            Ok(RecordedRow { blades, report })
+        })
+        .collect()
+}
+
+/// One row of the recorded-trace capacity sweep.
+#[derive(Debug, Clone)]
+pub struct RecordedRow {
+    /// Blades serving the recorded trace.
+    pub blades: u32,
+    /// The replay outcome (with per-class breakdown).
+    pub report: ClusterReport,
+}
+
+/// Renders the recorded-trace study with its per-class breakdown.
+#[must_use]
+pub fn render_recorded_trace(rows: &[RecordedRow]) -> String {
+    let mut out = String::from(
+        "Recorded arrivals: bundled Azure-LLM-shaped sample, blade-count sweep (JSQ)\n\
+         (Llama-405B, TP=64 per blade; 64 requests, log-normal prompts ~900, outputs ~180)\n\n\
+         blades  TTFT p50(ms)  TTFT p99(ms)  tok/s  mean B  inter-goodput  batch-goodput\n",
+    );
+    for r in rows {
+        let class = |name: &str| r.report.report.class(name).map_or(0.0, |c| c.goodput_tok_s);
+        out.push_str(&format!(
+            "{:<8}{:>12.0}{:>14.0}{:>7.0}{:>8.2}{:>15.0}{:>15.0}\n",
+            r.blades,
+            r.report.report.ttft.p50 * 1e3,
+            r.report.report.ttft.p99 * 1e3,
+            r.report.report.throughput_tok_s,
+            r.report.report.mean_batch,
+            class("interactive"),
+            class("batch"),
+        ));
+    }
+    out
+}
+
+/// One row of the SLO-class policy study.
+#[derive(Debug, Clone)]
+pub struct SloPolicyRow {
+    /// Scheduling policy under test.
+    pub policy: &'static str,
+    /// The replay outcome (with per-class breakdown).
+    pub report: ServingReport,
+}
+
+/// An overloaded single blade serving a mixed population — interactive
+/// requests (short outputs, a tight 2 s TTFT / 20 ms TPOT target,
+/// double weight) against batch requests (long outputs, loose targets) —
+/// under FCFS, SJF and SJF + max-wait-guard: the ROADMAP's SLO-class
+/// goodput comparison. The whole population arrives as one flash burst,
+/// so FCFS leaves interactive requests queued behind long batch jobs
+/// past their TTFT target while SJF runs the short jobs first, buying
+/// interactive goodput at the batch class's expense.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn slo_class_study() -> Result<Vec<SloPolicyRow>, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let trace = TraceConfig {
+        seed: 99,
+        requests: 48,
+        arrival_rate_per_s: f64::INFINITY,
+        prompt_tokens: (64, 256),
+        output_tokens: (8, 256),
+    };
+    let classes = || {
+        vec![
+            SloClass::new("interactive", 2.0, 0.02).with_weight(2.0),
+            SloClass::new("batch", 60.0, 0.5),
+        ]
+    };
+    let scenario = || {
+        Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .poisson(trace)
+            .slo_classes(classes())
+            .classify(|r| u32::from(r.output_tokens > 64))
+    };
+    let mut rows = Vec::new();
+    for (name, scenario) in [
+        ("fcfs", scenario().policy(FcfsPolicy)),
+        ("sjf", scenario().policy(SjfPolicy)),
+        (
+            "sjf+guard(2s)",
+            scenario().policy(MaxWaitGuardPolicy::new(2.0)),
+        ),
+    ] {
+        rows.push(SloPolicyRow {
+            policy: name,
+            report: scenario.compile()?.run()?.report,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the SLO-class policy study.
+#[must_use]
+pub fn render_slo_classes(rows: &[SloPolicyRow]) -> String {
+    let mut out = String::from(
+        "SLO-class goodput under admission policies: one flash-crowded SCD blade\n\
+         (Llama-405B, TP=64; interactive = tight 2 s/20 ms targets, 2× weight)\n\n\
+         policy         inter-attain  inter-goodput  batch-attain  batch-goodput  weighted\n",
+    );
+    for r in rows {
+        let c = |name: &str| r.report.class(name).expect("class present");
+        out.push_str(&format!(
+            "{:<15}{:>12.2}{:>15.0}{:>14.2}{:>15.0}{:>10.0}\n",
+            r.policy,
+            c("interactive").slo_attainment,
+            c("interactive").goodput_tok_s,
+            c("batch").slo_attainment,
+            c("batch").goodput_tok_s,
+            r.report.weighted_goodput_tok_s(),
         ));
     }
     out
@@ -326,7 +568,7 @@ mod tests {
 
     #[test]
     fn join_shortest_queue_beats_round_robin_on_bursty_p99_ttft() {
-        // The PR's cluster acceptance criterion: under flash-crowd
+        // The PR 3 cluster acceptance criterion: under flash-crowd
         // arrivals with heavily mixed lengths, load-aware routing must
         // beat blind round-robin on tail TTFT and spread load more
         // evenly.
@@ -368,5 +610,80 @@ mod tests {
             assert_eq!(r.report.completed, 32, "{:?}", r.layout);
         }
         assert!(render_paged_kv(&rows).contains("paged/64"));
+    }
+
+    #[test]
+    fn disaggregated_split_beats_mixed_on_prefill_heavy_load() {
+        // The PR 4 acceptance criterion: the 2P+2D split must beat the
+        // 4-mixed baseline on decode interference under prefill-heavy
+        // flash crowds — a strictly smaller worst iteration stall and a
+        // lower inter-token p99.
+        let rows = disaggregation_study().unwrap();
+        assert_eq!(rows.len(), 2);
+        let mixed = &rows[0].report.report;
+        let disagg = &rows[1].report.report;
+        assert_eq!(mixed.completed, 48);
+        assert_eq!(disagg.completed, 48);
+        assert!(
+            disagg.max_step_s < mixed.max_step_s,
+            "dedicated prefill blades must bound the decode stall: {} vs {}",
+            disagg.max_step_s,
+            mixed.max_step_s
+        );
+        assert!(
+            disagg.tpot.p99 < mixed.tpot.p99,
+            "disaggregation must cut the inter-token tail: {} vs {}",
+            disagg.tpot.p99,
+            mixed.tpot.p99
+        );
+        assert!(render_disaggregation(&rows).contains("2P + 2D"));
+    }
+
+    #[test]
+    fn recorded_trace_study_runs_on_bundled_sample() {
+        let rows = recorded_trace_study().unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.report.report.completed, 64, "{} blades", r.blades);
+            assert_eq!(r.report.report.per_class.len(), 2);
+            let split: u32 = r.report.report.per_class.iter().map(|c| c.requests).sum();
+            assert_eq!(split, 64, "every request lands in a class");
+        }
+        // Adding blades never worsens the recorded trace's tail.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].report.report.ttft.p99 <= w[0].report.report.ttft.p99 + 1e-12,
+                "{}→{} blades must not inflate p99 TTFT",
+                w[0].blades,
+                w[1].blades
+            );
+        }
+        assert!(render_recorded_trace(&rows).contains("inter-goodput"));
+    }
+
+    #[test]
+    fn sjf_buys_interactive_goodput_under_mixed_classes() {
+        let rows = slo_class_study().unwrap();
+        let find = |name: &str| rows.iter().find(|r| r.policy == name).expect("row");
+        let fcfs = find("fcfs").report.class("interactive").unwrap();
+        let sjf = find("sjf").report.class("interactive").unwrap();
+        assert!(
+            sjf.slo_attainment > fcfs.slo_attainment,
+            "under the flash burst SJF must lift interactive attainment: {} vs {}",
+            sjf.slo_attainment,
+            fcfs.slo_attainment
+        );
+        assert!(
+            sjf.ttft.p99 < fcfs.ttft.p99,
+            "SJF must cut the interactive TTFT tail: {} vs {}",
+            sjf.ttft.p99,
+            fcfs.ttft.p99
+        );
+        assert!(
+            find("sjf").report.weighted_goodput_tok_s()
+                > find("fcfs").report.weighted_goodput_tok_s(),
+            "2×-weighted interactive goodput should favor SJF"
+        );
+        assert!(render_slo_classes(&rows).contains("weighted"));
     }
 }

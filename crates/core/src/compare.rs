@@ -3,9 +3,7 @@
 
 use crate::error::OptimusError;
 use crate::inference::{InferenceEstimator, InferenceReport, RequestShape};
-use crate::serving::{
-    ClusterConfig, ClusterReport, ClusterSimulator, ServingConfig, ServingReport, ServingSimulator,
-};
+use crate::serving::{ClusterConfig, ClusterReport, Scenario, ServingReport, Topology};
 use crate::serving::{TraceConfig, TraceSource};
 use crate::training::{TrainingEstimator, TrainingReport};
 use llm_workload::model::TransformerConfig;
@@ -143,13 +141,18 @@ impl SpeedupStudy {
         trace_config: &TraceConfig,
         max_batch: u32,
     ) -> Result<Comparison<ServingReport>, OptimusError> {
-        let trace = trace_config.synthesize()?;
-        let run = |est: &InferenceEstimator| -> Result<ServingReport, OptimusError> {
-            let config = ServingConfig::for_system(est, model, par, max_batch)?;
-            ServingSimulator::new(est, model, par, config)?.replay(&trace)
+        let run = |est: InferenceEstimator| -> Result<ServingReport, OptimusError> {
+            Ok(Scenario::on_estimator(est)
+                .model(model)
+                .parallelism(par)
+                .max_batch(max_batch)
+                .poisson(*trace_config)
+                .compile()?
+                .run()?
+                .report)
         };
-        let scd = run(&self.scd_inference())?;
-        let gpu = run(&self.gpu_inference())?;
+        let scd = run(self.scd_inference())?;
+        let gpu = run(self.gpu_inference())?;
         // Single-token requests have TPOT = 0 by definition (no tokens
         // after the first), which would make the ratio NaN; fall back to
         // the p95 end-to-end latency ratio for such traces.
@@ -178,14 +181,20 @@ impl SpeedupStudy {
         max_batch: u32,
         cluster: ClusterConfig,
     ) -> Result<Comparison<ClusterReport>, OptimusError> {
-        let trace = trace_source.requests()?;
-        let run = |est: &InferenceEstimator| -> Result<ClusterReport, OptimusError> {
-            let config = ServingConfig::for_system(est, model, par, max_batch)?;
-            let sim = ServingSimulator::new(est, model, par, config)?;
-            ClusterSimulator::new(sim, cluster)?.replay(&trace)
+        let run = |est: InferenceEstimator| -> Result<ClusterReport, OptimusError> {
+            Scenario::on_estimator(est)
+                .model(model)
+                .parallelism(par)
+                .max_batch(max_batch)
+                .trace(trace_source)
+                .topology(Topology::mixed(cluster.blades))
+                .routing(cluster.routing)
+                .dispatch(cluster.dispatch)
+                .compile()?
+                .run()
         };
-        let scd = run(&self.scd_inference())?;
-        let gpu = run(&self.gpu_inference())?;
+        let scd = run(self.scd_inference())?;
+        let gpu = run(self.gpu_inference())?;
         let speedup = if scd.report.tpot.p95 > 0.0 && gpu.report.tpot.p95 > 0.0 {
             gpu.report.tpot.p95 / scd.report.tpot.p95
         } else {

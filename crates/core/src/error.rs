@@ -28,6 +28,16 @@ pub enum OptimusError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// A file-backed input (e.g. a recorded trace) could not be read.
+    /// Carries the failing path and the rendered `std::io::Error` so
+    /// callers get a typed variant instead of stringifying IO failures
+    /// themselves.
+    Io {
+        /// Path that failed to read.
+        path: String,
+        /// Rendered IO error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for OptimusError {
@@ -40,6 +50,7 @@ impl fmt::Display for OptimusError {
             Self::Technology(e) => write!(f, "technology error: {e}"),
             Self::Mapping { reason } => write!(f, "mapping error: {reason}"),
             Self::Serving { reason } => write!(f, "serving error: {reason}"),
+            Self::Io { path, message } => write!(f, "io error reading {path}: {message}"),
         }
     }
 }
@@ -52,7 +63,7 @@ impl Error for OptimusError {
             Self::Memory(e) => Some(e),
             Self::Network(e) => Some(e),
             Self::Technology(e) => Some(e),
-            Self::Mapping { .. } | Self::Serving { .. } => None,
+            Self::Mapping { .. } | Self::Serving { .. } | Self::Io { .. } => None,
         }
     }
 }

@@ -71,8 +71,9 @@ pub use roofline::{Boundedness, KernelTime, Placement, Roofline};
 pub use scaling::{weak_scaling_sweep, MultiBladeSystem, ScalingPoint};
 pub use scheduler::{plan_serving, SchedulerDecision, ServingPoint};
 pub use serving::{
-    ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, FrontierPoint, Percentiles,
-    RequestSpec, RoutingPolicy, SchedulerPolicy, ServingConfig, ServingReport, ServingSimulator,
-    TraceConfig, TraceSource,
+    BladeRole, ClusterConfig, ClusterReport, ClusterSimulator, CompiledScenario, DispatchMode,
+    FrontierPoint, HandoffLink, Percentiles, RequestSpec, RoutingPolicy, Scenario, SchedulerPolicy,
+    ServingConfig, ServingReport, ServingSimulator, SimObserver, SloClass, SloClassReport,
+    Topology, TraceConfig, TraceSource,
 };
 pub use training::{TrainingEstimator, TrainingReport};

@@ -17,13 +17,184 @@
 //! the utilization skew that separates good routing from bad.
 
 use super::engine::{finalize, BladeState, CostTable, Outcome, ReplayTotals, ServingSimulator};
+use super::observer::{NoopObserver, SimObserver};
 use super::report::ServingReport;
 use super::traces::RequestSpec;
 use crate::error::OptimusError;
 use rayon::prelude::*;
+use scd_arch::Fabric;
+use scd_tech::units::Bandwidth;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// What work a blade of the cluster accepts: the role-typed topology
+/// behind DistServe-style disaggregated serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BladeRole {
+    /// Dedicated prefill blade: runs prompt passes only and streams the
+    /// finished KV to the decode pool over the blade-to-blade fabric.
+    Prefill,
+    /// Dedicated decode blade: admits only handed-off (already-prefilled)
+    /// sequences into its continuous batch.
+    Decode,
+    /// Serves both phases on one continuous-batching loop (the PR 3
+    /// behavior, and the default).
+    #[default]
+    Mixed,
+}
+
+impl BladeRole {
+    /// Whether decode work may run on this blade.
+    #[must_use]
+    pub fn can_decode(self) -> bool {
+        matches!(self, Self::Decode | Self::Mixed)
+    }
+}
+
+impl fmt::Display for BladeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Prefill => "prefill",
+            Self::Decode => "decode",
+            Self::Mixed => "mixed",
+        })
+    }
+}
+
+/// Role assignment for every blade of a scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    roles: Vec<BladeRole>,
+}
+
+impl Topology {
+    /// `blades` interchangeable blades, each serving both phases.
+    #[must_use]
+    pub fn mixed(blades: u32) -> Self {
+        Self {
+            roles: vec![BladeRole::Mixed; blades as usize],
+        }
+    }
+
+    /// A DistServe-style split: `prefill` dedicated prefill blades (the
+    /// first indices) feeding `decode` dedicated decode blades.
+    #[must_use]
+    pub fn disaggregated(prefill: u32, decode: u32) -> Self {
+        let mut roles = vec![BladeRole::Prefill; prefill as usize];
+        roles.extend(vec![BladeRole::Decode; decode as usize]);
+        Self { roles }
+    }
+
+    /// An explicit per-blade role list.
+    #[must_use]
+    pub fn from_roles(roles: Vec<BladeRole>) -> Self {
+        Self { roles }
+    }
+
+    /// Per-blade roles, by blade index.
+    #[must_use]
+    pub fn roles(&self) -> &[BladeRole] {
+        &self.roles
+    }
+
+    /// Blades in the topology.
+    #[must_use]
+    pub fn blades(&self) -> u32 {
+        self.roles.len() as u32
+    }
+
+    /// Whether any blade is role-typed (anything other than
+    /// [`BladeRole::Mixed`]), which routes the replay through the
+    /// disaggregated prefill→decode event loop.
+    #[must_use]
+    pub fn is_disaggregated(&self) -> bool {
+        self.roles.iter().any(|&r| r != BladeRole::Mixed)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), OptimusError> {
+        if self.roles.is_empty() {
+            return Err(OptimusError::Serving {
+                reason: "topology needs at least one blade".to_owned(),
+            });
+        }
+        if self.is_disaggregated() {
+            if !self.roles.contains(&BladeRole::Prefill) {
+                return Err(OptimusError::Serving {
+                    reason: "a role-typed topology needs at least one dedicated prefill blade \
+                             to feed its decode pool"
+                        .to_owned(),
+                });
+            }
+            if !self.roles.iter().any(|r| r.can_decode()) {
+                return Err(OptimusError::Serving {
+                    reason: "a role-typed topology needs at least one decode-capable blade \
+                             (Decode or Mixed)"
+                        .to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The blade-to-blade link a finished prefill's KV streams over in a
+/// disaggregated topology: a bandwidth plus a fixed per-transfer latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoffLink {
+    /// Link bandwidth (bytes/s).
+    pub bytes_per_s: f64,
+    /// Fixed per-transfer latency (s).
+    pub latency_s: f64,
+}
+
+impl HandoffLink {
+    /// A link of `bandwidth` with `latency_s` per-transfer latency.
+    #[must_use]
+    pub fn new(bandwidth: Bandwidth, latency_s: f64) -> Self {
+        Self {
+            bytes_per_s: bandwidth.bytes_per_s(),
+            latency_s,
+        }
+    }
+
+    /// Derives the link from a system fabric's slowest (blade-to-blade)
+    /// tier.
+    #[must_use]
+    pub fn from_fabric(fabric: &Fabric) -> Self {
+        let tier = fabric
+            .tiers()
+            .last()
+            .expect("a fabric has at least one tier");
+        Self {
+            bytes_per_s: tier.link_bandwidth.bytes_per_s(),
+            latency_s: tier.per_hop_latency.seconds(),
+        }
+    }
+
+    /// Time to stream `bytes` across the link (s).
+    #[must_use]
+    pub fn transfer_s(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bytes_per_s
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), OptimusError> {
+        if !(self.bytes_per_s.is_finite()
+            && self.bytes_per_s > 0.0
+            && self.latency_s.is_finite()
+            && self.latency_s >= 0.0)
+        {
+            return Err(OptimusError::Serving {
+                reason: format!(
+                    "handoff link needs positive bandwidth and non-negative latency \
+                     (got {} B/s, {} s)",
+                    self.bytes_per_s, self.latency_s
+                ),
+            });
+        }
+        Ok(())
+    }
+}
 
 /// How the front-end router picks a blade for an arriving request
 /// (per-blade dispatch only; central dispatch has no routing decision).
@@ -75,7 +246,11 @@ pub struct ClusterConfig {
 pub struct BladeLoad {
     /// Blade index.
     pub blade: u32,
-    /// Requests completed on this blade.
+    /// The blade's role in the topology ([`BladeRole::Mixed`] for the
+    /// classic interchangeable-blade cluster).
+    pub role: BladeRole,
+    /// Requests completed on this blade (0 for dedicated prefill blades,
+    /// which hand every sequence off before its first token).
     pub requests: u32,
     /// Time the blade spent stepping (prefill + decode), s.
     pub busy_s: f64,
@@ -128,7 +303,23 @@ impl<'a> ClusterSimulator<'a> {
     ///
     /// Returns [`OptimusError::Serving`] for a zero-blade cluster and
     /// propagates single-blade validation failures.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build cluster runs through `serving::Scenario` with a `.topology(...)` \
+                (see the README migration table); this shim delegates to the same \
+                validated core the scenario builder compiles into"
+    )]
     pub fn new(sim: ServingSimulator<'a>, cluster: ClusterConfig) -> Result<Self, OptimusError> {
+        Self::from_parts(sim, cluster)
+    }
+
+    /// The one validated constructor both [`Self::new`] and
+    /// [`Scenario::compile`](super::scenario::Scenario::compile) funnel
+    /// into.
+    pub(crate) fn from_parts(
+        sim: ServingSimulator<'a>,
+        cluster: ClusterConfig,
+    ) -> Result<Self, OptimusError> {
         if cluster.blades == 0 {
             return Err(OptimusError::Serving {
                 reason: "cluster needs at least one blade".to_owned(),
@@ -158,7 +349,23 @@ impl<'a> ClusterSimulator<'a> {
     /// As for [`ServingSimulator::replay`].
     pub fn replay(&self, trace: &[RequestSpec]) -> Result<ClusterReport, OptimusError> {
         let table = self.sim.cost_table(trace, true)?;
-        self.run(trace, &table, true)
+        self.run(trace, &table, true, &mut NoopObserver)
+    }
+
+    /// Replays the trace with `obs` receiving every engine event (serial
+    /// cost table, blades driven in index order; the report is
+    /// bit-identical to [`Self::replay`] — observers are read-only).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::replay`].
+    pub(crate) fn replay_observed(
+        &self,
+        trace: &[RequestSpec],
+        obs: &mut dyn SimObserver,
+    ) -> Result<ClusterReport, OptimusError> {
+        let table = self.sim.cost_table(trace, false)?;
+        self.run(trace, &table, false, obs)
     }
 
     /// Serial reference implementation of [`Self::replay`], kept as the
@@ -169,7 +376,7 @@ impl<'a> ClusterSimulator<'a> {
     /// As for [`Self::replay`].
     pub fn replay_serial(&self, trace: &[RequestSpec]) -> Result<ClusterReport, OptimusError> {
         let table = self.sim.cost_table(trace, false)?;
-        self.run(trace, &table, false)
+        self.run(trace, &table, false, &mut NoopObserver)
     }
 
     /// Replays the same trace under several cluster configurations —
@@ -196,7 +403,7 @@ impl<'a> ClusterSimulator<'a> {
                         reason: "cluster needs at least one blade".to_owned(),
                     });
                 }
-                self.run_with(cluster, trace, &table, true)
+                self.run_with(cluster, trace, &table, true, &mut NoopObserver)
             })
             .collect()
     }
@@ -250,8 +457,9 @@ impl<'a> ClusterSimulator<'a> {
         trace: &[RequestSpec],
         table: &CostTable,
         parallel: bool,
+        obs: &mut dyn SimObserver,
     ) -> Result<ClusterReport, OptimusError> {
-        self.run_with(self.cluster, trace, table, parallel)
+        self.run_with(self.cluster, trace, table, parallel, obs)
     }
 
     fn run_with(
@@ -260,61 +468,28 @@ impl<'a> ClusterSimulator<'a> {
         trace: &[RequestSpec],
         table: &CostTable,
         parallel: bool,
+        obs: &mut dyn SimObserver,
     ) -> Result<ClusterReport, OptimusError> {
-        let blades = cluster.blades as usize;
         let (states, outcomes) = match cluster.dispatch {
-            DispatchMode::PerBlade => self.run_per_blade(cluster, trace, table, parallel),
-            DispatchMode::Central => self.run_central(cluster, trace, table),
+            DispatchMode::PerBlade => self.run_per_blade(cluster, trace, table, parallel, obs),
+            DispatchMode::Central => self.run_central(cluster, trace, table, obs),
         };
-        let mut totals = ReplayTotals::default();
-        for blade in &states {
-            totals.absorb(blade);
-        }
-        let report = finalize(
-            self.sim.config(),
-            self.sim.kv_bytes_per_token(),
-            trace,
-            &outcomes,
-            &totals,
-        );
-        let per_blade: Vec<BladeLoad> = states
-            .iter()
-            .enumerate()
-            .map(|(b, s)| BladeLoad {
-                blade: b as u32,
-                requests: s.served,
-                busy_s: s.busy_s,
-                utilization: s.busy_s / report.makespan_s,
-                mean_batch: if s.decode_time_s > 0.0 {
-                    s.batch_time_weighted / s.decode_time_s
-                } else {
-                    0.0
-                },
-                evictions: s.evictions,
-            })
-            .collect();
-        let max_util = per_blade.iter().map(|b| b.utilization).fold(0.0, f64::max);
-        let min_util = per_blade
-            .iter()
-            .map(|b| b.utilization)
-            .fold(f64::MAX, f64::min);
-        Ok(ClusterReport {
-            blades: blades as u32,
-            report,
-            per_blade,
-            utilization_skew: max_util - min_util,
-        })
+        let roles = vec![BladeRole::Mixed; cluster.blades as usize];
+        Ok(assemble(&self.sim, trace, &states, &outcomes, &roles))
     }
 
     /// Per-blade dispatch: route at arrival, then replay each blade's
     /// sub-queue independently (concurrently when `parallel`; the blades
-    /// are decoupled, so serial and parallel replays are bit-identical).
+    /// are decoupled, so serial and parallel replays are bit-identical,
+    /// and `obs` — only honored on the serial path, where blades run in
+    /// index order — never perturbs the result).
     fn run_per_blade(
         &self,
         cluster: ClusterConfig,
         trace: &[RequestSpec],
         table: &CostTable,
         parallel: bool,
+        obs: &mut dyn SimObserver,
     ) -> (Vec<BladeState>, Vec<Outcome>) {
         let blades = cluster.blades as usize;
         let assignment = self.route(cluster, trace, table);
@@ -329,18 +504,28 @@ impl<'a> ClusterSimulator<'a> {
             })
             .collect();
         let ctx = self.sim.ctx(table);
-        let drive_one = |queue: VecDeque<usize>| -> (BladeState, Vec<Outcome>) {
+        let drive_one = |b: usize,
+                         queue: VecDeque<usize>,
+                         obs: &mut dyn SimObserver|
+         -> (BladeState, Vec<Outcome>) {
             let mut outcomes = vec![Outcome::default(); trace.len()];
             if queue.is_empty() {
-                return (BladeState::new(0.0), outcomes);
+                return (BladeState::new(b as u32, 0.0), outcomes);
             }
-            let state = ctx.drive(trace, queue, &mut outcomes);
+            let state = ctx.drive(b as u32, trace, queue, &mut outcomes, obs);
             (state, outcomes)
         };
+        let indexed: Vec<(usize, VecDeque<usize>)> = queues.into_iter().enumerate().collect();
         let per_blade: Vec<(BladeState, Vec<Outcome>)> = if parallel {
-            queues.into_par_iter().map(drive_one).collect()
+            indexed
+                .into_par_iter()
+                .map(|(b, queue)| drive_one(b, queue, &mut NoopObserver))
+                .collect()
         } else {
-            queues.into_iter().map(drive_one).collect()
+            indexed
+                .into_iter()
+                .map(|(b, queue)| drive_one(b, queue, obs))
+                .collect()
         };
         let mut outcomes = vec![Outcome::default(); trace.len()];
         let mut states = Vec::with_capacity(blades);
@@ -371,12 +556,15 @@ impl<'a> ClusterSimulator<'a> {
         cluster: ClusterConfig,
         trace: &[RequestSpec],
         table: &CostTable,
+        obs: &mut dyn SimObserver,
     ) -> (Vec<BladeState>, Vec<Outcome>) {
         let blades = cluster.blades as usize;
         let ctx = self.sim.ctx(table);
         let mut queue = ServingSimulator::arrival_queue(trace);
         let mut outcomes = vec![Outcome::default(); trace.len()];
-        let mut states: Vec<BladeState> = (0..blades).map(|_| BladeState::new(0.0)).collect();
+        let mut states: Vec<BladeState> = (0..blades)
+            .map(|b| BladeState::new(b as u32, 0.0))
+            .collect();
         let mut ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
         let mut victims: Vec<usize> = Vec::new();
         let mut served = 0u32;
@@ -427,6 +615,8 @@ impl<'a> ClusterSimulator<'a> {
                 blade,
                 &mut outcomes,
                 Some(&mut victims),
+                None,
+                obs,
             );
             for &v in &victims {
                 // The victim re-enters once the preempting iteration has
@@ -439,10 +629,203 @@ impl<'a> ClusterSimulator<'a> {
     }
 }
 
+/// Merges per-blade states and outcomes into the cluster report
+/// (shared by the classic loops and the disaggregated one).
+pub(crate) fn assemble(
+    sim: &ServingSimulator<'_>,
+    trace: &[RequestSpec],
+    states: &[BladeState],
+    outcomes: &[Outcome],
+    roles: &[BladeRole],
+) -> ClusterReport {
+    let mut totals = ReplayTotals::default();
+    for blade in states {
+        totals.absorb(blade);
+    }
+    let report = finalize(
+        sim.classes(),
+        sim.kv_bytes_per_token(),
+        trace,
+        outcomes,
+        &totals,
+    );
+    let per_blade: Vec<BladeLoad> = states
+        .iter()
+        .enumerate()
+        .map(|(b, s)| BladeLoad {
+            blade: b as u32,
+            role: roles[b],
+            requests: s.served,
+            busy_s: s.busy_s,
+            utilization: s.busy_s / report.makespan_s,
+            mean_batch: if s.decode_time_s > 0.0 {
+                s.batch_time_weighted / s.decode_time_s
+            } else {
+                0.0
+            },
+            evictions: s.evictions,
+        })
+        .collect();
+    let max_util = per_blade.iter().map(|b| b.utilization).fold(0.0, f64::max);
+    let min_util = per_blade
+        .iter()
+        .map(|b| b.utilization)
+        .fold(f64::MAX, f64::min);
+    ClusterReport {
+        blades: states.len() as u32,
+        report,
+        per_blade,
+        utilization_skew: max_util - min_util,
+    }
+}
+
+/// The disaggregated (DistServe-style) event loop: dedicated prefill
+/// blades run whole-prompt passes batch-1 in policy order, stream each
+/// finished prefill's KV to the decode pool over `link`, and the
+/// decode-capable blades pull handed-off sequences from one shared
+/// work-conserving queue (central-dispatch semantics). An evicted
+/// sequence keeps its prefilled status — its KV is re-streamed from the
+/// prefill tier (paying `link` again) instead of being recomputed.
+///
+/// The loop is serial and deterministic: the next action is always the
+/// earliest-clock blade, prefill before decode on ties, lower blade
+/// index last.
+pub(crate) fn run_disaggregated(
+    sim: &ServingSimulator<'_>,
+    trace: &[RequestSpec],
+    table: &CostTable,
+    roles: &[BladeRole],
+    link: &HandoffLink,
+    obs: &mut dyn SimObserver,
+) -> ClusterReport {
+    let ctx = sim.ctx(table);
+    let prefillers: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r == BladeRole::Prefill)
+        .map(|(b, _)| b)
+        .collect();
+    let decoders: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter(|&(_, r)| r.can_decode())
+        .map(|(b, _)| b)
+        .collect();
+    let mut states: Vec<BladeState> = (0..roles.len())
+        .map(|b| BladeState::new(b as u32, 0.0))
+        .collect();
+    let mut prompt_queue = ServingSimulator::arrival_queue(trace);
+    let mut decode_queue: VecDeque<usize> = VecDeque::new();
+    let mut outcomes = vec![Outcome::default(); trace.len()];
+    // Re-entry instant per request: the handoff completion for freshly
+    // prefilled sequences, eviction + re-stream for preempted ones.
+    let mut ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+    let mut prefilled = vec![false; trace.len()];
+    let mut victims: Vec<usize> = Vec::new();
+    let kv_stream_bytes = |r: &RequestSpec| f64::from(r.prompt_tokens) * sim.kv_bytes_per_token();
+    let mut served = 0u32;
+    while served < trace.len() as u32 {
+        // Earliest prefill action: an idle prefill blade and the first
+        // arrival still queued.
+        let prefill_action = if prompt_queue.is_empty() {
+            None
+        } else {
+            let next_arrival = prompt_queue
+                .iter()
+                .map(|&i| trace[i].arrival_s)
+                .fold(f64::MAX, f64::min);
+            prefillers
+                .iter()
+                .map(|&b| (states[b].clock.max(next_arrival), b))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+        };
+        // Earliest decode action, as in the central loop.
+        let next_ready = decode_queue
+            .iter()
+            .map(|&i| ready[i])
+            .fold(f64::MAX, f64::min);
+        let decode_action = decoders
+            .iter()
+            .filter_map(|&b| {
+                let s = &states[b];
+                if !s.running.is_empty() {
+                    Some((s.clock, b))
+                } else if !decode_queue.is_empty() {
+                    Some((s.clock.max(next_ready), b))
+                } else {
+                    None
+                }
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let do_prefill = match (prefill_action, decode_action) {
+            (Some((tp, _)), Some((td, _))) => tp <= td,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                debug_assert!(false, "disaggregated loop idle with work pending");
+                break;
+            }
+        };
+        if do_prefill {
+            let (at, b) = prefill_action.expect("chosen above");
+            let blade = &mut states[b];
+            blade.clock = blade.clock.max(at);
+            sim.policy()
+                .order_queue(blade.clock, trace, &mut prompt_queue);
+            let idx = prompt_queue.pop_front().expect("prompt queue non-empty");
+            let r = &trace[idx];
+            let start = blade.clock.max(r.arrival_s);
+            let cost = table.prefill_cost(r.prompt_tokens);
+            blade.clock = start + cost;
+            blade.busy_s += cost;
+            blade.max_step_s = blade.max_step_s.max(cost);
+            let transfer = link.transfer_s(kv_stream_bytes(r));
+            ready[idx] = blade.clock + transfer;
+            prefilled[idx] = true;
+            obs.on_handoff(b as u32, blade.clock, r, transfer);
+            decode_queue.push_back(idx);
+        } else {
+            let (at, b) = decode_action.expect("chosen above");
+            let blade = &mut states[b];
+            if blade.running.is_empty() {
+                blade.clock = blade.clock.max(at);
+            }
+            sim.policy()
+                .order_queue(blade.clock, trace, &mut decode_queue);
+            let clock = blade.clock;
+            let (eligible, waiting): (Vec<usize>, Vec<usize>) = decode_queue
+                .iter()
+                .copied()
+                .partition(|&i| ready[i] <= clock);
+            decode_queue.clear();
+            decode_queue.extend(eligible);
+            decode_queue.extend(waiting);
+            victims.clear();
+            served += ctx.step(
+                trace,
+                &ready,
+                &mut decode_queue,
+                blade,
+                &mut outcomes,
+                Some(&mut victims),
+                Some(&prefilled),
+                obs,
+            );
+            for &v in &victims {
+                // The victim's KV must be re-streamed from the prefill
+                // tier before it can restart anywhere.
+                ready[v] = states[b].clock + link.transfer_s(kv_stream_bytes(&trace[v]));
+            }
+        }
+    }
+    assemble(sim, trace, &states, &outcomes, roles)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scaling::MultiBladeSystem;
+    use crate::serving::policy::FcfsPolicy;
     use crate::serving::{ServingConfig, TraceConfig};
     use llm_workload::model::ModelZoo;
     use llm_workload::parallelism::Parallelism;
@@ -460,6 +843,15 @@ mod tests {
         )
     }
 
+    fn mk_sim<'a>(
+        est: &'a crate::inference::InferenceEstimator,
+        model: &'a llm_workload::model::TransformerConfig,
+        par: &'a Parallelism,
+        config: ServingConfig,
+    ) -> ServingSimulator<'a> {
+        ServingSimulator::from_parts(est, model, par, config, Box::new(FcfsPolicy), None).unwrap()
+    }
+
     fn mk_cluster<'a>(
         est: &'a crate::inference::InferenceEstimator,
         model: &'a llm_workload::model::TransformerConfig,
@@ -468,8 +860,8 @@ mod tests {
         routing: RoutingPolicy,
         dispatch: DispatchMode,
     ) -> ClusterSimulator<'a> {
-        let sim = ServingSimulator::new(est, model, par, ServingConfig::unconstrained(4)).unwrap();
-        ClusterSimulator::new(
+        let sim = mk_sim(est, model, par, ServingConfig::unconstrained(4));
+        ClusterSimulator::from_parts(
             sim,
             ClusterConfig {
                 blades,
@@ -495,9 +887,8 @@ mod tests {
     #[test]
     fn zero_blades_rejected() {
         let (est, model, par) = cluster_parts();
-        let sim =
-            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4)).unwrap();
-        assert!(ClusterSimulator::new(
+        let sim = mk_sim(&est, &model, &par, ServingConfig::unconstrained(4));
+        assert!(ClusterSimulator::from_parts(
             sim,
             ClusterConfig {
                 blades: 0,
@@ -514,8 +905,7 @@ mod tests {
         // bookkeeping: the merged report must match exactly.
         let (est, model, par) = cluster_parts();
         let trace = test_trace();
-        let single = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
-            .unwrap()
+        let single = mk_sim(&est, &model, &par, ServingConfig::unconstrained(4))
             .replay(&trace)
             .unwrap();
         for dispatch in [DispatchMode::PerBlade, DispatchMode::Central] {
@@ -612,8 +1002,8 @@ mod tests {
         .synthesize()
         .unwrap();
         let mk = || {
-            let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
-            ClusterSimulator::new(
+            let sim = mk_sim(&est, &model, &par, config);
+            ClusterSimulator::from_parts(
                 sim,
                 ClusterConfig {
                     blades: 2,

@@ -9,8 +9,9 @@
 //! `serving_regression` suite pins the exact float bit patterns.
 
 use super::kv::KvLayout;
+use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
-use super::report::{FrontierPoint, Percentiles, ServingReport};
+use super::report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
 use super::traces::{RequestSpec, TraceConfig};
 use crate::error::OptimusError;
 use crate::inference::InferenceEstimator;
@@ -252,6 +253,9 @@ pub(crate) struct Outcome {
 /// several against a shared queue.
 #[derive(Debug, Clone)]
 pub(crate) struct BladeState {
+    /// Blade index within the scenario topology (0 for single-blade
+    /// replays); carried so observer callbacks can attribute events.
+    pub(crate) id: u32,
     pub(crate) running: Vec<RunningSeq>,
     pub(crate) clock: f64,
     pub(crate) evictions: u32,
@@ -267,8 +271,9 @@ pub(crate) struct BladeState {
 }
 
 impl BladeState {
-    pub(crate) fn new(clock: f64) -> Self {
+    pub(crate) fn new(id: u32, clock: f64) -> Self {
         Self {
+            id,
             running: Vec::new(),
             clock,
             evictions: 0,
@@ -320,7 +325,12 @@ impl EngineCtx<'_> {
     /// restart on another blade before it was evicted; single-blade
     /// replay passes plain arrivals — one clock can't violate causality).
     /// `evicted`, when given, collects the trace indices preempted this
-    /// step so the caller can stamp their re-entry time.
+    /// step so the caller can stamp their re-entry time. `prefilled`,
+    /// when given, marks requests whose KV already exists (streamed from
+    /// a prefill blade): they enter the decode batch at full prompt
+    /// length with no prefill cost. `obs` receives the iteration's
+    /// events; it is read-only and never perturbs the float stream.
+    #[allow(clippy::too_many_arguments)] // one call site per replay loop
     pub(crate) fn step(
         &self,
         trace: &[RequestSpec],
@@ -329,6 +339,8 @@ impl EngineCtx<'_> {
         blade: &mut BladeState,
         outcomes: &mut [Outcome],
         mut evicted: Option<&mut Vec<usize>>,
+        prefilled: Option<&[bool]>,
+        obs: &mut dyn SimObserver,
     ) -> u32 {
         let cfg = self.config;
 
@@ -354,8 +366,13 @@ impl EngineCtx<'_> {
         }
         let mut step_cost = 0.0f64;
         for &idx in &admitted {
+            obs.on_admission(blade.id, blade.clock, &trace[idx]);
             let prompt = trace[idx].prompt_tokens;
-            if cfg.prefill_chunk_tokens == 0 {
+            if prefilled.is_some_and(|p| p[idx]) {
+                // KV streamed in from a prefill blade: decode-ready at
+                // full prompt length, no prefill work on this blade.
+                blade.running.push(RunningSeq::admitted(idx, prompt));
+            } else if cfg.prefill_chunk_tokens == 0 {
                 // Whole-prompt prefill in the admission iteration.
                 step_cost += self.table.prefill_cost(prompt);
                 blade.running.push(RunningSeq::admitted(idx, prompt));
@@ -381,6 +398,7 @@ impl EngineCtx<'_> {
             let victim = blade.running.remove(victim_at);
             blade.evictions += 1;
             blade.wasted_tokens += u64::from(victim.produced);
+            obs.on_eviction(blade.id, blade.clock, &trace[victim.idx], victim.produced);
             if let Some(out) = evicted.as_deref_mut() {
                 out.push(victim.idx);
             }
@@ -402,11 +420,13 @@ impl EngineCtx<'_> {
         // chunk pays the full batch-1 prefill pass.
         let mut chunks: Vec<u32> = Vec::new();
         if cfg.prefill_chunk_tokens > 0 {
+            let (blade_id, clock) = (blade.id, blade.clock);
             for r in &mut blade.running {
                 if r.prefill_remaining > 0 {
                     let chunk = r.prefill_remaining.min(cfg.prefill_chunk_tokens);
                     chunks.push(chunk);
                     r.prefill_remaining -= chunk;
+                    obs.on_chunk(blade_id, clock, &trace[r.idx], chunk);
                 }
             }
         }
@@ -469,6 +489,7 @@ impl EngineCtx<'_> {
         blade.busy_s += step_cost;
         blade.max_step_s = blade.max_step_s.max(step_cost);
         blade.clock += step_cost;
+        obs.on_step(blade.id, blade.clock, step_cost, batch);
 
         // Occupancy + fragmentation peaks at this iteration's resident
         // footprint — post-growth, before finishers release their caches
@@ -498,6 +519,7 @@ impl EngineCtx<'_> {
             }
             if r.produced >= trace[r.idx].output_tokens {
                 out.completion_s = Some(blade.clock);
+                obs.on_completion(blade.id, blade.clock, &trace[r.idx]);
                 completions += 1;
             } else {
                 still_running.push(r);
@@ -509,14 +531,16 @@ impl EngineCtx<'_> {
         completions
     }
 
-    /// Drives one blade until every request in `queue` has completed.
-    /// `outcomes` spans the whole trace; only the queued indices are
-    /// written.
+    /// Drives blade `blade_id` until every request in `queue` has
+    /// completed. `outcomes` spans the whole trace; only the queued
+    /// indices are written.
     pub(crate) fn drive(
         &self,
+        blade_id: u32,
         trace: &[RequestSpec],
         mut queue: VecDeque<usize>,
         outcomes: &mut [Outcome],
+        obs: &mut dyn SimObserver,
     ) -> BladeState {
         let ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
         let expected = queue.len() as u32;
@@ -524,7 +548,7 @@ impl EngineCtx<'_> {
             .iter()
             .map(|&i| trace[i].arrival_s)
             .fold(f64::MAX, f64::min);
-        let mut blade = BladeState::new(first_arrival);
+        let mut blade = BladeState::new(blade_id, first_arrival);
         while blade.served < expected {
             if blade.running.is_empty() && !queue.is_empty() {
                 let next = queue
@@ -534,7 +558,9 @@ impl EngineCtx<'_> {
                 blade.clock = blade.clock.max(next);
             }
             self.policy.order_queue(blade.clock, trace, &mut queue);
-            self.step(trace, &ready, &mut queue, &mut blade, outcomes, None);
+            self.step(
+                trace, &ready, &mut queue, &mut blade, outcomes, None, None, obs,
+            );
         }
         blade
     }
@@ -567,9 +593,12 @@ impl ReplayTotals {
     }
 }
 
-/// Assembles the population metrics once every outcome is filled.
+/// Assembles the population metrics once every outcome is filled. Each
+/// request is held to its own SLO class's targets (`classes[r.class]`);
+/// the single-default-class case reproduces the global-pair accounting
+/// bit-for-bit.
 pub(crate) fn finalize(
-    config: &ServingConfig,
+    classes: &[SloClass],
     kv_bytes_per_token: f64,
     trace: &[RequestSpec],
     outcomes: &[Outcome],
@@ -587,6 +616,23 @@ pub(crate) fn finalize(
     let mut useful_tokens = 0u64;
     let mut good_tokens = 0u64;
     let mut slo_met = 0u32;
+    struct ClassAcc {
+        ttft: Vec<f64>,
+        tpot: Vec<f64>,
+        requests: u32,
+        met: u32,
+        good_tokens: u64,
+    }
+    let mut acc: Vec<ClassAcc> = classes
+        .iter()
+        .map(|_| ClassAcc {
+            ttft: Vec::new(),
+            tpot: Vec::new(),
+            requests: 0,
+            met: 0,
+            good_tokens: 0,
+        })
+        .collect();
     for (r, out) in trace.iter().zip(outcomes) {
         let first = out.first_token_s.expect("completed");
         let done = out.completion_s.expect("completed");
@@ -596,11 +642,35 @@ pub(crate) fn finalize(
         tpot.push(t_rest);
         latency.push(done - r.arrival_s);
         useful_tokens += u64::from(r.output_tokens);
-        if t_first <= config.ttft_slo_s && t_rest <= config.tpot_slo_s {
+        let cls = &classes[r.class as usize];
+        let a = &mut acc[r.class as usize];
+        a.ttft.push(t_first);
+        a.tpot.push(t_rest);
+        a.requests += 1;
+        if t_first <= cls.ttft_slo_s && t_rest <= cls.tpot_slo_s {
             slo_met += 1;
             good_tokens += u64::from(r.output_tokens);
+            a.met += 1;
+            a.good_tokens += u64::from(r.output_tokens);
         }
     }
+    let per_class: Vec<SloClassReport> = classes
+        .iter()
+        .zip(&mut acc)
+        .map(|(cls, a)| SloClassReport {
+            name: cls.name.clone(),
+            weight: cls.weight,
+            requests: a.requests,
+            goodput_tok_s: a.good_tokens as f64 / makespan_s,
+            slo_attainment: if a.requests == 0 {
+                1.0
+            } else {
+                f64::from(a.met) / f64::from(a.requests)
+            },
+            ttft: Percentiles::of(&mut a.ttft),
+            tpot: Percentiles::of(&mut a.tpot),
+        })
+        .collect();
     ServingReport {
         requests: trace.len() as u32,
         completed: trace.len() as u32,
@@ -623,10 +693,15 @@ pub(crate) fn finalize(
         ttft: Percentiles::of(&mut ttft),
         tpot: Percentiles::of(&mut tpot),
         latency: Percentiles::of(&mut latency),
+        per_class,
     }
 }
 
 /// Continuous-batching simulator over one estimator + model + plan.
+///
+/// This is the execution engine behind the serving API; construct it
+/// through [`Scenario`](super::scenario::Scenario), which compiles a
+/// validated configuration and runs it on one blade or a whole topology.
 #[derive(Debug)]
 pub struct ServingSimulator<'a> {
     estimator: &'a InferenceEstimator,
@@ -634,6 +709,9 @@ pub struct ServingSimulator<'a> {
     par: &'a Parallelism,
     config: ServingConfig,
     policy: Box<dyn SchedulerPolicy>,
+    /// SLO classes indexed by [`RequestSpec::class`]; entry 0 defaults to
+    /// the config's global pair.
+    classes: Vec<SloClass>,
     /// KV bytes per cached token per sequence, whole system.
     kv_bytes_per_token: f64,
 }
@@ -646,15 +724,54 @@ impl<'a> ServingSimulator<'a> {
     ///
     /// Returns [`OptimusError::Serving`] for invalid configurations and
     /// propagates model/parallelism validation failures.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build serving runs through `serving::Scenario` (see the README migration \
+                table); this shim delegates to the same validated core the scenario \
+                builder compiles into"
+    )]
     pub fn new(
         estimator: &'a InferenceEstimator,
         model: &'a TransformerConfig,
         par: &'a Parallelism,
         config: ServingConfig,
     ) -> Result<Self, OptimusError> {
+        Self::from_parts(estimator, model, par, config, Box::new(FcfsPolicy), None)
+    }
+
+    /// The one validated constructor both [`Self::new`] and
+    /// [`Scenario::compile`](super::scenario::Scenario::compile) funnel
+    /// into. `classes` of `None` installs the single default class
+    /// carrying the config's global SLO pair (PR 3 semantics).
+    pub(crate) fn from_parts(
+        estimator: &'a InferenceEstimator,
+        model: &'a TransformerConfig,
+        par: &'a Parallelism,
+        config: ServingConfig,
+        policy: Box<dyn SchedulerPolicy>,
+        classes: Option<Vec<SloClass>>,
+    ) -> Result<Self, OptimusError> {
         config.validate()?;
         model.validate().map_err(OptimusError::from)?;
         par.check_model(model).map_err(OptimusError::from)?;
+        let classes = match classes {
+            None => vec![SloClass::new(
+                "default",
+                config.ttft_slo_s,
+                config.tpot_slo_s,
+            )],
+            Some(classes) => {
+                if classes.is_empty() {
+                    return Err(OptimusError::Serving {
+                        reason: "a scenario needs at least one SLO class".to_owned(),
+                    });
+                }
+                for class in &classes {
+                    class.validate()?;
+                }
+                classes
+            }
+        };
         let kv_bytes_per_token = KvCache {
             batch: 1,
             seq_len: 1,
@@ -666,12 +783,17 @@ impl<'a> ServingSimulator<'a> {
             model,
             par,
             config,
-            policy: Box::new(FcfsPolicy),
+            policy,
+            classes,
             kv_bytes_per_token,
         })
     }
 
     /// Swaps the scheduling policy (admission order + eviction victim).
+    #[deprecated(
+        since = "0.5.0",
+        note = "set the policy on the builder instead: `serving::Scenario::policy(...)`"
+    )]
     #[must_use]
     pub fn with_policy(mut self, policy: impl SchedulerPolicy + 'static) -> Self {
         self.policy = Box::new(policy);
@@ -688,6 +810,12 @@ impl<'a> ServingSimulator<'a> {
     #[must_use]
     pub fn policy(&self) -> &dyn SchedulerPolicy {
         self.policy.as_ref()
+    }
+
+    /// The SLO classes goodput is accounted against.
+    #[must_use]
+    pub fn classes(&self) -> &[SloClass] {
+        &self.classes
     }
 
     pub(crate) fn kv_bytes_per_token(&self) -> f64 {
@@ -712,7 +840,7 @@ impl<'a> ServingSimulator<'a> {
     /// that can never fit the KV capacity; propagates estimation errors.
     pub fn replay(&self, trace: &[RequestSpec]) -> Result<ServingReport, OptimusError> {
         let table = self.cost_table(trace, true)?;
-        Ok(self.run(trace, &table))
+        Ok(self.run(trace, &table, &mut NoopObserver))
     }
 
     /// Serial reference implementation of [`Self::replay`], kept as the
@@ -723,7 +851,7 @@ impl<'a> ServingSimulator<'a> {
     /// As for [`Self::replay`].
     pub fn replay_serial(&self, trace: &[RequestSpec]) -> Result<ServingReport, OptimusError> {
         let table = self.cost_table(trace, false)?;
-        Ok(self.run(trace, &table))
+        Ok(self.run(trace, &table, &mut NoopObserver))
     }
 
     /// Sweeps arrival rates into an SLO-vs-throughput frontier. Each rate
@@ -734,6 +862,11 @@ impl<'a> ServingSimulator<'a> {
     /// # Errors
     ///
     /// As for [`Self::replay`], plus trace-synthesis failures.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build the scenario with `Scenario::poisson(...)` and sweep with \
+                `CompiledScenario::frontier(...)` instead"
+    )]
     pub fn slo_frontier(
         &self,
         base: &TraceConfig,
@@ -777,6 +910,16 @@ impl<'a> ServingSimulator<'a> {
                     reason: format!(
                         "request {} is degenerate (prompt {}, output {}, arrival {})",
                         r.id, r.prompt_tokens, r.output_tokens, r.arrival_s
+                    ),
+                });
+            }
+            if r.class as usize >= self.classes.len() {
+                return Err(OptimusError::Serving {
+                    reason: format!(
+                        "request {} names SLO class {} but only {} class(es) are defined",
+                        r.id,
+                        r.class,
+                        self.classes.len()
                     ),
                 });
             }
@@ -865,16 +1008,21 @@ impl<'a> ServingSimulator<'a> {
         order.into_iter().collect()
     }
 
-    /// The simulation loop proper: deterministic, shared by both replay
-    /// paths, driven entirely by table lookups.
-    fn run(&self, trace: &[RequestSpec], table: &CostTable) -> ServingReport {
+    /// The simulation loop proper: deterministic, shared by every replay
+    /// path, driven entirely by table lookups.
+    fn run(
+        &self,
+        trace: &[RequestSpec],
+        table: &CostTable,
+        obs: &mut dyn SimObserver,
+    ) -> ServingReport {
         let ctx = self.ctx(table);
         let mut outcomes = vec![Outcome::default(); trace.len()];
-        let blade = ctx.drive(trace, Self::arrival_queue(trace), &mut outcomes);
+        let blade = ctx.drive(0, trace, Self::arrival_queue(trace), &mut outcomes, obs);
         let mut totals = ReplayTotals::default();
         totals.absorb(&blade);
         finalize(
-            &self.config,
+            &self.classes,
             self.kv_bytes_per_token,
             trace,
             &outcomes,

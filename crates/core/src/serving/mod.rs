@@ -28,44 +28,55 @@
 //! * [`report`] — TTFT/TPOT/latency percentiles, throughput, goodput,
 //!   eviction and fragmentation accounting ([`ServingReport`]).
 //!
-//! Replay is exactly reproducible: [`ServingSimulator::replay`] builds
-//! its iteration-cost table on rayon workers while
-//! [`ServingSimulator::replay_serial`] builds the identical table on one
+//! The public entry point is the [`Scenario`] builder in [`scenario`]:
+//! one fluent chain describes the system, workload, policy, KV layout,
+//! SLO classes and blade topology, and compiles into a validated
+//! [`CompiledScenario`] that runs on the single-blade engine, the
+//! classic cluster loops, or the DistServe-style disaggregated
+//! prefill→decode loop ([`BladeRole`]-typed blades streaming finished
+//! prefills over the system fabric). The [`SimObserver`] seam exposes
+//! per-iteration events (admission, eviction, chunk dispatch, handoff,
+//! completion) without reaching into engine internals. The PR 3
+//! constructors ([`ServingSimulator::new`], [`ClusterSimulator::new`])
+//! remain as deprecated shims that funnel into the same validated core.
+//!
+//! Replay is exactly reproducible: [`CompiledScenario::run`] builds its
+//! iteration-cost table on rayon workers while
+//! [`CompiledScenario::run_serial`] builds the identical table on one
 //! thread, and the two reports are bit-identical (enforced by the
 //! `parallel_equivalence` suite, like every other parallel path in this
 //! workspace). The default configuration — FCFS, contiguous KV,
-//! whole-prompt prefill, bucketized-mean pricing — reproduces the PR 2
-//! monolith bit-for-bit (pinned by `tests/serving_regression.rs`).
+//! whole-prompt prefill, bucketized-mean pricing, one default SLO class
+//! — reproduces the PR 2/PR 3 engines bit-for-bit (pinned by
+//! `tests/serving_regression.rs`).
 //!
 //! # Examples
 //!
 //! ```
-//! use llm_workload::{KvConvention, ModelZoo, Parallelism};
-//! use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
-//! use optimus::InferenceEstimator;
-//! use scd_arch::Blade;
-//! use scd_tech::units::Bandwidth;
+//! use llm_workload::{ModelZoo, Parallelism};
+//! use optimus::serving::{Scenario, TraceConfig};
+//! use optimus::MultiBladeSystem;
 //!
 //! # fn main() -> Result<(), optimus::OptimusError> {
-//! let blade = Blade::baseline();
-//! let est = InferenceEstimator::new(
-//!     blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
-//!     blade.interconnect(),
-//! );
+//! let system = MultiBladeSystem::new(1)?;
 //! let model = ModelZoo::llama2_7b();
 //! let par = Parallelism::new(1, 1, 1)?;
-//! let trace = TraceConfig {
-//!     seed: 7,
-//!     requests: 8,
-//!     arrival_rate_per_s: 50.0,
-//!     prompt_tokens: (32, 64),
-//!     output_tokens: (8, 16),
-//! }
-//! .synthesize()?;
-//! let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))?;
-//! let report = sim.replay(&trace)?;
-//! assert_eq!(report.completed, 8);
-//! assert!(report.ttft.p99 >= report.ttft.p50);
+//! let report = Scenario::new(&system)
+//!     .model(&model)
+//!     .parallelism(&par)
+//!     .max_batch(4)
+//!     .unconstrained_kv()
+//!     .poisson(TraceConfig {
+//!         seed: 7,
+//!         requests: 8,
+//!         arrival_rate_per_s: 50.0,
+//!         prompt_tokens: (32, 64),
+//!         output_tokens: (8, 16),
+//!     })
+//!     .compile()?
+//!     .run()?;
+//! assert_eq!(report.report.completed, 8);
+//! assert!(report.report.ttft.p99 >= report.report.ttft.p50);
 //! # Ok(())
 //! # }
 //! ```
@@ -74,37 +85,64 @@
 //!
 //! ```
 //! use llm_workload::{ModelZoo, Parallelism};
-//! use optimus::serving::{
-//!     ClusterConfig, ClusterSimulator, DispatchMode, RoutingPolicy, ServingConfig,
-//!     ServingSimulator, TraceConfig,
-//! };
+//! use optimus::serving::{RoutingPolicy, Scenario, TraceConfig};
 //! use optimus::MultiBladeSystem;
 //!
 //! # fn main() -> Result<(), optimus::OptimusError> {
 //! let system = MultiBladeSystem::new(4)?;
-//! let est = system.inference_estimator();
 //! let model = ModelZoo::llama2_7b();
 //! let par = Parallelism::new(1, 1, 1)?;
-//! let trace = TraceConfig {
-//!     seed: 11,
-//!     requests: 32,
-//!     arrival_rate_per_s: 200.0,
-//!     prompt_tokens: (32, 64),
-//!     output_tokens: (8, 16),
-//! }
-//! .synthesize()?;
-//! let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))?;
-//! let cluster = ClusterSimulator::new(
-//!     sim,
-//!     ClusterConfig {
-//!         blades: system.blades(),
-//!         routing: RoutingPolicy::JoinShortestQueue,
-//!         dispatch: DispatchMode::PerBlade,
-//!     },
-//! )?;
-//! let report = cluster.replay(&trace)?;
+//! let report = Scenario::new(&system)
+//!     .model(&model)
+//!     .parallelism(&par)
+//!     .max_batch(4)
+//!     .unconstrained_kv()
+//!     .routing(RoutingPolicy::JoinShortestQueue)
+//!     .poisson(TraceConfig {
+//!         seed: 11,
+//!         requests: 32,
+//!         arrival_rate_per_s: 200.0,
+//!         prompt_tokens: (32, 64),
+//!         output_tokens: (8, 16),
+//!     })
+//!     .compile()?
+//!     .run()?;
 //! assert_eq!(report.report.completed, 32);
 //! assert_eq!(report.per_blade.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Disaggregated prefill/decode with per-request SLO classes:
+//!
+//! ```
+//! use llm_workload::{ModelZoo, Parallelism};
+//! use optimus::serving::{Scenario, SloClass, Topology, TraceConfig};
+//! use optimus::MultiBladeSystem;
+//!
+//! # fn main() -> Result<(), optimus::OptimusError> {
+//! let system = MultiBladeSystem::new(4)?;
+//! let model = ModelZoo::llama2_7b();
+//! let par = Parallelism::new(1, 1, 1)?;
+//! let report = Scenario::new(&system)
+//!     .model(&model)
+//!     .parallelism(&par)
+//!     .max_batch(4)
+//!     .unconstrained_kv()
+//!     .topology(Topology::disaggregated(1, 3))
+//!     .slo_classes(vec![SloClass::interactive(), SloClass::batch()])
+//!     .classify(|r| u32::from(r.output_tokens > 12))
+//!     .poisson(TraceConfig {
+//!         seed: 13,
+//!         requests: 24,
+//!         arrival_rate_per_s: 100.0,
+//!         prompt_tokens: (64, 256),
+//!         output_tokens: (4, 24),
+//!     })
+//!     .compile()?
+//!     .run()?;
+//! assert_eq!(report.report.completed, 24);
+//! assert_eq!(report.report.per_class.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -112,17 +150,22 @@
 pub mod cluster;
 pub mod engine;
 pub mod kv;
+pub mod observer;
 pub mod policy;
 pub mod report;
+pub mod scenario;
 pub mod traces;
 
 pub use cluster::{
-    BladeLoad, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, RoutingPolicy,
+    BladeLoad, BladeRole, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode,
+    HandoffLink, RoutingPolicy, Topology,
 };
 pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator};
 pub use kv::{KvLayout, PagedKvAllocator};
+pub use observer::{CountingObserver, NoopObserver, SimObserver};
 pub use policy::{FcfsPolicy, MaxWaitGuardPolicy, SchedulerPolicy, SjfPolicy};
-pub use report::{FrontierPoint, Percentiles, ServingReport};
+pub use report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
+pub use scenario::{CompiledScenario, Scenario};
 pub use traces::{
     BurstyTraceConfig, CsvTrace, DiurnalTraceConfig, RequestSpec, TraceConfig, TraceSource,
 };
@@ -157,6 +200,21 @@ mod tests {
         )
     }
 
+    /// A single-blade unconstrained scenario over `est` — the Scenario
+    /// spelling of PR 3's `ServingConfig::unconstrained(max_batch)`.
+    fn unconstrained<'a>(
+        est: &InferenceEstimator,
+        model: &'a TransformerConfig,
+        par: &'a Parallelism,
+        max_batch: u32,
+    ) -> Scenario<'a> {
+        Scenario::on_estimator(est.clone())
+            .model(model)
+            .parallelism(par)
+            .max_batch(max_batch)
+            .unconstrained_kv()
+    }
+
     #[test]
     fn burst_reproduces_static_scheduler_operating_point() {
         // All requests arrive at t=0 with the paper's I/O 200/200 shape
@@ -171,10 +229,13 @@ mod tests {
         let static_point = decision.chosen.unwrap();
         assert_eq!(static_point.batch, batch);
 
-        let sim =
-            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(batch)).unwrap();
-        let trace = TraceConfig::burst(batch, 200, 200).synthesize().unwrap();
-        let report = sim.replay(&trace).unwrap();
+        let report = unconstrained(&est, &model, &par, batch)
+            .poisson(TraceConfig::burst(batch, 200, 200))
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
         assert_eq!(report.completed, batch);
         assert_eq!(report.evictions, 0);
         assert!((report.mean_batch - f64::from(batch)).abs() < 1e-9);
@@ -191,18 +252,19 @@ mod tests {
     #[test]
     fn poisson_replay_reports_sane_tails() {
         let (est, model, par) = small_model_sim_parts();
-        let sim =
-            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8)).unwrap();
-        let trace = TraceConfig {
-            seed: 9,
-            requests: 24,
-            arrival_rate_per_s: 200.0,
-            prompt_tokens: (32, 128),
-            output_tokens: (8, 32),
-        }
-        .synthesize()
-        .unwrap();
-        let r = sim.replay(&trace).unwrap();
+        let r = unconstrained(&est, &model, &par, 8)
+            .poisson(TraceConfig {
+                seed: 9,
+                requests: 24,
+                arrival_rate_per_s: 200.0,
+                prompt_tokens: (32, 128),
+                output_tokens: (8, 32),
+            })
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
         assert_eq!(r.completed, 24);
         assert!(r.ttft.p50 > 0.0 && r.ttft.p50 <= r.ttft.p95 && r.ttft.p95 <= r.ttft.p99);
         assert!(r.tpot.p50 > 0.0 && r.tpot.p50 <= r.tpot.p95 && r.tpot.p95 <= r.tpot.p99);
@@ -213,47 +275,60 @@ mod tests {
         assert!(r.mean_batch >= 1.0 && r.mean_batch <= 8.0);
         assert!(r.kv_peak_bytes > 0.0);
         assert_eq!(r.kv_fragmentation_peak_bytes, 0.0, "contiguous layout");
+        // One default class blending to the global figures.
+        assert_eq!(r.per_class.len(), 1);
+        assert_eq!(r.per_class[0].name, "default");
+        assert_eq!(
+            r.per_class[0].goodput_tok_s.to_bits(),
+            r.goodput_tok_s.to_bits()
+        );
+        assert_eq!(
+            r.weighted_goodput_tok_s().to_bits(),
+            r.goodput_tok_s.to_bits()
+        );
     }
 
-    fn tight_config(est: &InferenceEstimator, model: &TransformerConfig) -> ServingConfig {
-        // Capacity for ~2.5 full-length requests: concurrency wants 6.
+    /// Capacity for ~2.5 full-length requests while concurrency wants 6.
+    fn tight_kv_bytes(est: &InferenceEstimator, model: &TransformerConfig) -> f64 {
         let per_token = KvCache {
             batch: 1,
             seq_len: 1,
             precision: est.precision(),
         }
         .bytes(model, KvConvention::Gqa);
-        ServingConfig {
-            max_batch: 6,
-            kv_capacity_bytes: per_token * f64::from(96 + 32) * 2.5,
-            kv_bucket_tokens: 1,
-            ..ServingConfig::unconstrained(6)
-        }
+        per_token * f64::from(96 + 32) * 2.5
     }
 
     #[test]
     fn tight_kv_capacity_forces_evictions_but_completes() {
         let (est, model, par) = small_model_sim_parts();
-        let sim = ServingSimulator::new(&est, &model, &par, tight_config(&est, &model)).unwrap();
         let trace = TraceConfig {
             seed: 3,
             requests: 12,
             arrival_rate_per_s: f64::INFINITY,
             prompt_tokens: (96, 96),
             output_tokens: (32, 32),
-        }
-        .synthesize()
-        .unwrap();
-        let r = sim.replay(&trace).unwrap();
+        };
+        let r = unconstrained(&est, &model, &par, 6)
+            .kv_capacity_bytes(tight_kv_bytes(&est, &model))
+            .poisson(trace)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
         assert_eq!(r.completed, 12, "every request must finish eventually");
         assert!(r.evictions > 0, "tight capacity must preempt");
         assert!(r.wasted_tokens > 0);
 
         // The same workload with ample capacity evicts nothing.
-        let roomy = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(6))
+        let roomy = unconstrained(&est, &model, &par, 6)
+            .poisson(trace)
+            .compile()
             .unwrap()
-            .replay(&trace)
-            .unwrap();
+            .run()
+            .unwrap()
+            .report;
         assert_eq!(roomy.evictions, 0);
         assert!(
             roomy.makespan_s <= r.makespan_s + 1e-12,
@@ -274,22 +349,20 @@ mod tests {
             arrival_rate_per_s: f64::INFINITY,
             prompt_tokens: (90, 100),
             output_tokens: (28, 36),
-        }
-        .synthesize()
-        .unwrap();
-        let contiguous = ServingSimulator::new(&est, &model, &par, tight_config(&est, &model))
-            .unwrap()
-            .replay(&trace)
-            .unwrap();
-        let paged = ServingSimulator::new(
-            &est,
-            &model,
-            &par,
-            tight_config(&est, &model).with_paged_kv(64),
-        )
-        .unwrap()
-        .replay(&trace)
-        .unwrap();
+        };
+        let run = |layout: KvLayout| {
+            unconstrained(&est, &model, &par, 6)
+                .kv_capacity_bytes(tight_kv_bytes(&est, &model))
+                .kv_layout(layout)
+                .poisson(trace)
+                .compile()
+                .unwrap()
+                .run()
+                .unwrap()
+                .report
+        };
+        let contiguous = run(KvLayout::Contiguous);
+        let paged = run(KvLayout::Paged { block_tokens: 64 });
         assert_eq!(paged.completed, 12);
         assert!(paged.kv_fragmentation_peak_bytes > 0.0);
         assert_eq!(contiguous.kv_fragmentation_peak_bytes, 0.0);
@@ -324,22 +397,19 @@ mod tests {
             arrival_rate_per_s: 40.0,
             prompt_tokens: (384, 512),
             output_tokens: (24, 48),
-        }
-        .synthesize()
-        .unwrap();
-        let whole = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8))
-            .unwrap()
-            .replay(&trace)
-            .unwrap();
-        let chunked = ServingSimulator::new(
-            &est,
-            &model,
-            &par,
-            ServingConfig::unconstrained(8).with_chunked_prefill(64),
-        )
-        .unwrap()
-        .replay(&trace)
-        .unwrap();
+        };
+        let run = |chunk: u32| {
+            unconstrained(&est, &model, &par, 8)
+                .chunked_prefill(chunk)
+                .poisson(trace)
+                .compile()
+                .unwrap()
+                .run()
+                .unwrap()
+                .report
+        };
+        let whole = run(0);
+        let chunked = run(64);
         assert_eq!(chunked.completed, 16);
         assert!(
             chunked.max_step_s < whole.max_step_s,
@@ -361,13 +431,16 @@ mod tests {
             arrival_rate_per_s: f64::INFINITY,
             prompt_tokens: (16, 512),
             output_tokens: (4, 128),
-        }
-        .synthesize()
-        .unwrap();
-        let mk =
-            || ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(2)).unwrap();
-        let fcfs = mk().replay(&trace).unwrap();
-        let sjf = mk().with_policy(SjfPolicy).replay(&trace).unwrap();
+        };
+        let mk = || unconstrained(&est, &model, &par, 2).poisson(trace);
+        let fcfs = mk().compile().unwrap().run().unwrap().report;
+        let sjf = mk()
+            .policy(SjfPolicy)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
         assert_eq!(sjf.completed, 24);
         assert!(
             sjf.latency.p50 < fcfs.latency.p50,
@@ -378,9 +451,12 @@ mod tests {
         // The max-wait guard interpolates: overdue requests jump ahead,
         // so its worst-case latency cannot exceed pure SJF's.
         let guarded = mk()
-            .with_policy(MaxWaitGuardPolicy::new(0.5))
-            .replay(&trace)
-            .unwrap();
+            .policy(MaxWaitGuardPolicy::new(0.5))
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
         assert_eq!(guarded.completed, 24);
         assert!(guarded.latency.p99 <= sjf.latency.p99 + 1e-12);
     }
@@ -394,16 +470,12 @@ mod tests {
             precision: est.precision(),
         }
         .bytes(&model, KvConvention::Gqa);
-        let config = ServingConfig {
-            kv_capacity_bytes: per_token * 100.0,
-            ..ServingConfig::unconstrained(4)
-        };
-        let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
-        let trace = TraceConfig::burst(2, 96, 32).synthesize().unwrap();
-        assert!(matches!(
-            sim.replay(&trace),
-            Err(OptimusError::Serving { .. })
-        ));
+        let compiled = unconstrained(&est, &model, &par, 4)
+            .kv_capacity_bytes(per_token * 100.0)
+            .poisson(TraceConfig::burst(2, 96, 32))
+            .compile()
+            .unwrap();
+        assert!(matches!(compiled.run(), Err(OptimusError::Serving { .. })));
     }
 
     #[test]
@@ -421,24 +493,21 @@ mod tests {
         }
         .bytes_mha(&model);
         let capacity = per_token_mha * 400.0 * 3.0; // three MHA requests
-        let mk = |conv: KvConvention| ServingConfig {
-            max_batch: 16,
-            kv_capacity_bytes: capacity,
-            kv_convention: conv,
-            ttft_slo_s: 100.0,
-            tpot_slo_s: 10.0,
-            kv_bucket_tokens: 8,
-            ..ServingConfig::unconstrained(16)
+        let run = |conv: KvConvention| {
+            unconstrained(&est, &model, &par, 16)
+                .kv_capacity_bytes(capacity)
+                .kv_convention(conv)
+                .kv_bucket(8)
+                .slo(100.0, 10.0)
+                .poisson(TraceConfig::burst(16, 200, 16))
+                .compile()
+                .unwrap()
+                .run()
+                .unwrap()
+                .report
         };
-        let trace = TraceConfig::burst(16, 200, 16).synthesize().unwrap();
-        let gqa = ServingSimulator::new(&est, &model, &par, mk(KvConvention::Gqa))
-            .unwrap()
-            .replay(&trace)
-            .unwrap();
-        let mha = ServingSimulator::new(&est, &model, &par, mk(KvConvention::PaperMha))
-            .unwrap()
-            .replay(&trace)
-            .unwrap();
+        let gqa = run(KvConvention::Gqa);
+        let mha = run(KvConvention::PaperMha);
         assert!(
             gqa.mean_batch > mha.mean_batch,
             "GQA sizing must batch more: {} vs {}",
@@ -451,16 +520,17 @@ mod tests {
     #[test]
     fn slo_frontier_throughput_rises_with_offered_load() {
         let (est, model, par) = small_model_sim_parts();
-        let sim =
-            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8)).unwrap();
-        let base = TraceConfig {
-            seed: 11,
-            requests: 16,
-            arrival_rate_per_s: 1.0,
-            prompt_tokens: (32, 64),
-            output_tokens: (8, 16),
-        };
-        let pts = sim.slo_frontier(&base, &[5.0, 50.0, 500.0]).unwrap();
+        let compiled = unconstrained(&est, &model, &par, 8)
+            .poisson(TraceConfig {
+                seed: 11,
+                requests: 16,
+                arrival_rate_per_s: 1.0,
+                prompt_tokens: (32, 64),
+                output_tokens: (8, 16),
+            })
+            .compile()
+            .unwrap();
+        let pts = compiled.frontier(&[5.0, 50.0, 500.0]).unwrap();
         assert_eq!(pts.len(), 3);
         for w in pts.windows(2) {
             assert!(
@@ -471,6 +541,16 @@ mod tests {
         }
         // At saturation the batch runs fuller than at a trickle.
         assert!(pts[2].report.mean_batch > pts[0].report.mean_batch);
+
+        // A frontier needs a re-synthesizable workload.
+        let fixed = unconstrained(&est, &model, &par, 8)
+            .requests(TraceConfig::burst(4, 16, 4).synthesize().unwrap())
+            .compile()
+            .unwrap();
+        assert!(matches!(
+            fixed.frontier(&[1.0]),
+            Err(OptimusError::Serving { .. })
+        ));
     }
 
     #[test]
@@ -494,30 +574,34 @@ mod tests {
     #[test]
     fn degenerate_configs_are_typed_errors() {
         let (est, model, par) = small_model_sim_parts();
-        for config in [
-            ServingConfig {
-                max_batch: 0,
-                ..ServingConfig::unconstrained(1)
-            },
-            ServingConfig {
-                kv_bucket_tokens: 0,
-                ..ServingConfig::unconstrained(1)
-            },
-            ServingConfig {
-                kv_capacity_bytes: -1.0,
-                ..ServingConfig::unconstrained(1)
-            },
-            ServingConfig {
-                ttft_slo_s: 0.0,
-                ..ServingConfig::unconstrained(1)
-            },
-            ServingConfig::unconstrained(1).with_paged_kv(0),
+        let mk = || unconstrained(&est, &model, &par, 1).poisson(TraceConfig::burst(1, 10, 10));
+        for scenario in [
+            mk().max_batch(0),
+            mk().kv_bucket(0),
+            mk().kv_capacity_bytes(-1.0),
+            mk().slo(0.0, 0.1),
+            mk().paged_kv(0),
+            mk().slo_classes(vec![]),
+            mk().slo_classes(vec![SloClass::new("bad", f64::NAN, 0.1)]),
+            mk().slo_classes(vec![SloClass::interactive().with_weight(0.0)]),
+            mk().classify(|_| 7),
         ] {
             assert!(matches!(
-                ServingSimulator::new(&est, &model, &par, config),
-                Err(OptimusError::Serving { .. })
+                scenario.compile().err(),
+                Some(OptimusError::Serving { .. })
             ));
         }
+        // Missing pieces are named.
+        let missing_model = Scenario::on_estimator(est.clone())
+            .parallelism(&par)
+            .poisson(TraceConfig::burst(1, 10, 10))
+            .compile();
+        assert!(matches!(missing_model, Err(OptimusError::Serving { .. })));
+        let missing_trace = Scenario::on_estimator(est.clone())
+            .model(&model)
+            .parallelism(&par)
+            .compile();
+        assert!(matches!(missing_trace, Err(OptimusError::Serving { .. })));
     }
 
     #[test]
@@ -533,10 +617,13 @@ mod tests {
             precision: est.precision(),
         }
         .bytes(&model, KvConvention::Gqa);
-        let sim =
-            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4)).unwrap();
-        let trace = TraceConfig::burst(4, 64, 1).synthesize().unwrap();
-        let r = sim.replay(&trace).unwrap();
+        let r = unconstrained(&est, &model, &par, 4)
+            .poisson(TraceConfig::burst(4, 64, 1))
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
         assert_eq!(r.completed, 4);
         let expected = 4.0 * 65.0 * per_token;
         assert!(
@@ -549,10 +636,13 @@ mod tests {
     #[test]
     fn report_display_formats() {
         let (est, model, par) = small_model_sim_parts();
-        let sim =
-            ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(2)).unwrap();
-        let trace = TraceConfig::burst(2, 16, 4).synthesize().unwrap();
-        let r = sim.replay(&trace).unwrap();
+        let r = unconstrained(&est, &model, &par, 2)
+            .poisson(TraceConfig::burst(2, 16, 4))
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
         let s = r.to_string();
         assert!(s.contains("TTFT") && s.contains("TPOT") && s.contains("2/2"));
     }
@@ -572,44 +662,23 @@ mod tests {
         // stays the default fast path.
         let (est, model, par) = small_model_sim_parts();
         let trace = vec![
-            RequestSpec {
-                id: 0,
-                arrival_s: 0.0,
-                prompt_tokens: 1900,
-                output_tokens: 100,
-            },
-            RequestSpec {
-                id: 1,
-                arrival_s: 0.0,
-                prompt_tokens: 16,
-                output_tokens: 100,
-            },
-            RequestSpec {
-                id: 2,
-                arrival_s: 0.0,
-                prompt_tokens: 16,
-                output_tokens: 100,
-            },
-            RequestSpec {
-                id: 3,
-                arrival_s: 0.0,
-                prompt_tokens: 16,
-                output_tokens: 100,
-            },
+            RequestSpec::new(0, 0.0, 1900, 100),
+            RequestSpec::new(1, 0.0, 16, 100),
+            RequestSpec::new(2, 0.0, 16, 100),
+            RequestSpec::new(3, 0.0, 16, 100),
         ];
-        let approx = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
-            .unwrap()
-            .replay(&trace)
-            .unwrap();
-        let exact = ServingSimulator::new(
-            &est,
-            &model,
-            &par,
-            ServingConfig::unconstrained(4).with_exact_pricing(),
-        )
-        .unwrap()
-        .replay(&trace)
-        .unwrap();
+        let run = |pricing: DecodePricing| {
+            unconstrained(&est, &model, &par, 4)
+                .pricing(pricing)
+                .requests(trace.clone())
+                .compile()
+                .unwrap()
+                .run()
+                .unwrap()
+                .report
+        };
+        let approx = run(DecodePricing::BucketizedMean);
+        let exact = run(DecodePricing::ExactPerSequence);
         assert_eq!(exact.completed, 4);
         assert_eq!(exact.decode_iterations, approx.decode_iterations);
         let gap = (exact.decode_time_s - approx.decode_time_s) / approx.decode_time_s;
@@ -627,19 +696,18 @@ mod tests {
         // sits at the mean, so the per-sequence sum collapses (up to the
         // rounding of summing identical step costs).
         let uniform = TraceConfig::burst(4, 64, 16).synthesize().unwrap();
-        let a = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
-            .unwrap()
-            .replay(&uniform)
-            .unwrap();
-        let e = ServingSimulator::new(
-            &est,
-            &model,
-            &par,
-            ServingConfig::unconstrained(4).with_exact_pricing(),
-        )
-        .unwrap()
-        .replay(&uniform)
-        .unwrap();
+        let run_uniform = |pricing: DecodePricing| {
+            unconstrained(&est, &model, &par, 4)
+                .pricing(pricing)
+                .requests(uniform.clone())
+                .compile()
+                .unwrap()
+                .run()
+                .unwrap()
+                .report
+        };
+        let a = run_uniform(DecodePricing::BucketizedMean);
+        let e = run_uniform(DecodePricing::ExactPerSequence);
         let uniform_gap = (a.decode_time_s - e.decode_time_s).abs() / a.decode_time_s;
         assert!(
             uniform_gap < 1e-12,

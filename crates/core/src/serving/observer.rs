@@ -1,0 +1,137 @@
+//! The [`SimObserver`] seam: per-iteration engine callbacks so benches,
+//! tests and tools can watch a replay — admissions, evictions, prefill
+//! chunk dispatches, prefill→decode handoffs, completions and raw steps —
+//! without reaching into engine internals.
+//!
+//! Observers are strictly read-only: the engine never lets a callback
+//! perturb its float stream, so an observed replay is bit-identical to an
+//! unobserved one (the observed paths run the serial cost table; see
+//! [`CompiledScenario::run_observed`](super::scenario::CompiledScenario::run_observed)).
+
+use super::traces::RequestSpec;
+
+/// Read-only callbacks fired by the serving engine as a replay advances.
+/// Every method has a no-op default, so observers implement only what
+/// they watch. `blade` is the blade index within the scenario's topology
+/// (0 for single-blade replays); `clock_s` is that blade's clock at the
+/// instant the event took effect.
+pub trait SimObserver {
+    /// `request` joined blade `blade`'s running batch (clock is the
+    /// iteration start).
+    fn on_admission(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        let _ = (blade, clock_s, request);
+    }
+
+    /// `request` was preempted off blade `blade`, discarding
+    /// `wasted_tokens` generated tokens (recompute-style restart).
+    fn on_eviction(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, wasted_tokens: u32) {
+        let _ = (blade, clock_s, request, wasted_tokens);
+    }
+
+    /// A chunked-prefill slice of `chunk_tokens` tokens of `request` was
+    /// dispatched into blade `blade`'s iteration.
+    fn on_chunk(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, chunk_tokens: u32) {
+        let _ = (blade, clock_s, request, chunk_tokens);
+    }
+
+    /// Blade `blade` (a prefill blade) finished prefilling `request` and
+    /// started streaming its KV to the decode pool; the transfer occupies
+    /// the fabric for `transfer_s` seconds.
+    fn on_handoff(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, transfer_s: f64) {
+        let _ = (blade, clock_s, request, transfer_s);
+    }
+
+    /// `request` emitted its final token on blade `blade`.
+    fn on_completion(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        let _ = (blade, clock_s, request);
+    }
+
+    /// Blade `blade` finished one engine iteration of `step_s` seconds
+    /// with `decoding` sequences in the decode batch (clock is the
+    /// iteration end).
+    fn on_step(&mut self, blade: u32, clock_s: f64, step_s: f64, decoding: u32) {
+        let _ = (blade, clock_s, step_s, decoding);
+    }
+}
+
+/// The do-nothing observer the unobserved replay paths run with.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
+
+/// An observer that counts every event class — the drop-in replacement
+/// for the engine-internals peeking that benches and tests used to do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingObserver {
+    /// Admissions seen (re-admissions after eviction count again).
+    pub admissions: u64,
+    /// Evictions seen.
+    pub evictions: u64,
+    /// Prefill chunks dispatched.
+    pub chunks: u64,
+    /// Prefill→decode handoffs.
+    pub handoffs: u64,
+    /// Request completions.
+    pub completions: u64,
+    /// Engine iterations.
+    pub steps: u64,
+}
+
+impl SimObserver for CountingObserver {
+    fn on_admission(&mut self, _: u32, _: f64, _: &RequestSpec) {
+        self.admissions += 1;
+    }
+
+    fn on_eviction(&mut self, _: u32, _: f64, _: &RequestSpec, _: u32) {
+        self.evictions += 1;
+    }
+
+    fn on_chunk(&mut self, _: u32, _: f64, _: &RequestSpec, _: u32) {
+        self.chunks += 1;
+    }
+
+    fn on_handoff(&mut self, _: u32, _: f64, _: &RequestSpec, _: f64) {
+        self.handoffs += 1;
+    }
+
+    fn on_completion(&mut self, _: u32, _: f64, _: &RequestSpec) {
+        self.completions += 1;
+    }
+
+    fn on_step(&mut self, _: u32, _: f64, _: f64, _: u32) {
+        self.steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_no_ops_and_counts_accumulate() {
+        let r = RequestSpec::new(0, 0.0, 8, 4);
+        let mut noop = NoopObserver;
+        noop.on_admission(0, 0.0, &r);
+        noop.on_step(0, 1.0, 1.0, 1);
+
+        let mut c = CountingObserver::default();
+        c.on_admission(0, 0.0, &r);
+        c.on_eviction(0, 0.5, &r, 2);
+        c.on_chunk(0, 0.5, &r, 64);
+        c.on_handoff(0, 0.6, &r, 1e-6);
+        c.on_completion(0, 1.0, &r);
+        c.on_step(0, 1.0, 0.4, 3);
+        assert_eq!(
+            c,
+            CountingObserver {
+                admissions: 1,
+                evictions: 1,
+                chunks: 1,
+                handoffs: 1,
+                completions: 1,
+                steps: 1,
+            }
+        );
+    }
+}

@@ -153,12 +153,7 @@ mod tests {
     use super::*;
 
     fn req(id: u32, arrival_s: f64, prompt: u32, output: u32) -> RequestSpec {
-        RequestSpec {
-            id,
-            arrival_s,
-            prompt_tokens: prompt,
-            output_tokens: output,
-        }
+        RequestSpec::new(id, arrival_s, prompt, output)
     }
 
     #[test]

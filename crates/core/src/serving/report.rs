@@ -1,8 +1,98 @@
-//! Replay outcomes: latency percentiles, the [`ServingReport`] carried by
-//! every engine/cluster replay, and the SLO-frontier point.
+//! Replay outcomes: latency percentiles, per-request SLO classes, the
+//! [`ServingReport`] carried by every engine/cluster replay, and the
+//! SLO-frontier point.
 
+use crate::error::OptimusError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// A service-level-objective class: the TTFT/TPOT targets a subset of the
+/// request population is held to, plus the weight its goodput carries in
+/// the blended [`ServingReport::weighted_goodput_tok_s`]. Requests name
+/// their class by index ([`RequestSpec::class`](super::RequestSpec)); a
+/// scenario that never mentions classes runs one default class holding
+/// the engine's global SLO pair, which reproduces the PR 3 goodput
+/// accounting bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloClass {
+    /// Class name for reports (e.g. "interactive", "batch").
+    pub name: String,
+    /// Time-to-first-token target (s).
+    pub ttft_slo_s: f64,
+    /// Time-per-output-token target (s).
+    pub tpot_slo_s: f64,
+    /// Relative weight of this class's goodput in the blended figure.
+    pub weight: f64,
+}
+
+impl SloClass {
+    /// A class with unit weight.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ttft_slo_s: f64, tpot_slo_s: f64) -> Self {
+        Self {
+            name: name.into(),
+            ttft_slo_s,
+            tpot_slo_s,
+            weight: 1.0,
+        }
+    }
+
+    /// Overrides the goodput weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// A latency-sensitive chat-style class: tight first-token and
+    /// inter-token targets, double weight.
+    #[must_use]
+    pub fn interactive() -> Self {
+        Self::new("interactive", 2.0, 0.05).with_weight(2.0)
+    }
+
+    /// A throughput-oriented offline class: loose targets, unit weight.
+    #[must_use]
+    pub fn batch() -> Self {
+        Self::new("batch", 30.0, 0.5)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), OptimusError> {
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        if !positive(self.ttft_slo_s) || !positive(self.tpot_slo_s) || !positive(self.weight) {
+            return Err(OptimusError::Serving {
+                reason: format!(
+                    "SLO class {:?} needs positive finite targets and weight \
+                     (ttft {}, tpot {}, weight {})",
+                    self.name, self.ttft_slo_s, self.tpot_slo_s, self.weight
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-class slice of a [`ServingReport`]: the class's own goodput,
+/// attainment and tails over the requests that named it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloClassReport {
+    /// Class name (from [`SloClass::name`]).
+    pub name: String,
+    /// Goodput weight (from [`SloClass::weight`]).
+    pub weight: f64,
+    /// Requests in this class.
+    pub requests: u32,
+    /// Useful tokens per second over the replay makespan from this
+    /// class's requests that met the class targets.
+    pub goodput_tok_s: f64,
+    /// Fraction of this class's requests meeting both targets (1.0 for an
+    /// empty class).
+    pub slo_attainment: f64,
+    /// Time-to-first-token percentiles of this class (s).
+    pub ttft: Percentiles,
+    /// Time-per-output-token percentiles of this class (s).
+    pub tpot: Percentiles,
+}
 
 /// Nearest-rank percentiles of a latency population.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,7 +124,7 @@ impl Percentiles {
 }
 
 /// Outcome of replaying one trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
     /// Requests in the trace.
     pub requests: u32,
@@ -76,6 +166,10 @@ pub struct ServingReport {
     pub tpot: Percentiles,
     /// End-to-end request-latency percentiles (s).
     pub latency: Percentiles,
+    /// Per-SLO-class breakdown, in class-index order. Always holds at
+    /// least the default class; `goodput_tok_s` and `slo_attainment`
+    /// above are the blends of these slices.
+    pub per_class: Vec<SloClassReport>,
 }
 
 impl ServingReport {
@@ -88,6 +182,22 @@ impl ServingReport {
         } else {
             self.decode_time_s / self.decode_iterations as f64
         }
+    }
+
+    /// Class-weighted goodput: `Σ weight_c · goodput_c`. Equals
+    /// [`Self::goodput_tok_s`] for a single unit-weight class.
+    #[must_use]
+    pub fn weighted_goodput_tok_s(&self) -> f64 {
+        self.per_class
+            .iter()
+            .map(|c| c.weight * c.goodput_tok_s)
+            .sum()
+    }
+
+    /// The per-class slice named `name`, if any.
+    #[must_use]
+    pub fn class(&self, name: &str) -> Option<&SloClassReport> {
+        self.per_class.iter().find(|c| c.name == name)
     }
 }
 
@@ -113,7 +223,7 @@ impl fmt::Display for ServingReport {
 }
 
 /// One point of the SLO-vs-throughput frontier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrontierPoint {
     /// Offered arrival rate (requests/s).
     pub arrival_rate_per_s: f64,

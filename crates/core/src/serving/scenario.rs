@@ -1,0 +1,929 @@
+//! The scenario builder: the one entry point of the serving API.
+//!
+//! PR 2 and PR 3 accreted three overlapping ways to stand up a serving
+//! run — `ServingConfig` + `ServingSimulator`, `ClusterConfig` +
+//! `ClusterSimulator`, and hand-wired bench glue. [`Scenario`] replaces
+//! all of them with one fluent builder: anchor it on a system (or a bare
+//! estimator for GPU baselines), describe the workload, policy, KV
+//! layout, SLO classes and blade topology, and [`Scenario::compile`] it
+//! into a validated, immutable [`CompiledScenario`] that runs on the
+//! single-blade engine, the classic cluster loops, or the disaggregated
+//! prefill→decode loop — always returning a [`ClusterReport`] (a
+//! single-blade run is a 1-blade cluster, bit-for-bit).
+//!
+//! ```
+//! use llm_workload::{ModelZoo, Parallelism};
+//! use optimus::serving::Scenario;
+//! use optimus::MultiBladeSystem;
+//!
+//! # fn main() -> Result<(), optimus::OptimusError> {
+//! let system = MultiBladeSystem::new(1)?;
+//! let model = ModelZoo::llama2_7b();
+//! let par = Parallelism::new(1, 1, 1)?;
+//! let report = Scenario::new(&system)
+//!     .model(&model)
+//!     .parallelism(&par)
+//!     .max_batch(4)
+//!     .unconstrained_kv()
+//!     .poisson(optimus::serving::TraceConfig {
+//!         seed: 7,
+//!         requests: 8,
+//!         arrival_rate_per_s: 50.0,
+//!         prompt_tokens: (32, 64),
+//!         output_tokens: (8, 16),
+//!     })
+//!     .compile()?
+//!     .run()?;
+//! assert_eq!(report.report.completed, 8);
+//! # Ok(())
+//! # }
+//! ```
+
+use super::cluster::{
+    run_disaggregated, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, HandoffLink,
+    RoutingPolicy, Topology,
+};
+use super::engine::{DecodePricing, ServingConfig, ServingSimulator};
+use super::kv::KvLayout;
+use super::observer::{NoopObserver, SimObserver};
+use super::policy::{FcfsPolicy, SchedulerPolicy};
+use super::report::{FrontierPoint, SloClass};
+use super::traces::{RequestSpec, TraceConfig, TraceSource};
+use crate::error::OptimusError;
+use crate::inference::InferenceEstimator;
+use crate::scaling::MultiBladeSystem;
+use llm_workload::kvcache::KvConvention;
+use llm_workload::model::TransformerConfig;
+use llm_workload::parallelism::Parallelism;
+use rayon::prelude::*;
+use std::fmt;
+
+/// How the KV-cache capacity requests are admitted against is sized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum KvSizing {
+    /// Per-blade main memory minus resident weights
+    /// ([`ServingConfig::for_system`]) — the production default.
+    ForSystem,
+    /// Admission never binds ([`ServingConfig::unconstrained`]).
+    Unconstrained,
+    /// An explicit byte budget.
+    Bytes(f64),
+}
+
+type PolicyFactory = Box<dyn Fn() -> Box<dyn SchedulerPolicy> + Send + Sync>;
+type Classifier = Box<dyn Fn(&RequestSpec) -> u32 + Send + Sync>;
+
+/// Fluent description of a serving run: system, workload, scheduling
+/// policy, KV accounting, SLO classes and blade topology. Compile it
+/// with [`Self::compile`]; every validation error surfaces there as a
+/// typed [`OptimusError`].
+///
+/// Defaults: FCFS policy, contiguous KV sized for the system, GQA
+/// convention, whole-prompt prefill, bucketized-mean pricing, global
+/// 10 s TTFT / 100 ms TPOT SLOs in one default class, an all-mixed
+/// topology with join-shortest-queue routing and per-blade dispatch.
+pub struct Scenario<'a> {
+    estimator: InferenceEstimator,
+    link: Option<HandoffLink>,
+    default_blades: u32,
+    model: Option<&'a TransformerConfig>,
+    par: Option<&'a Parallelism>,
+    trace: Option<Result<Vec<RequestSpec>, OptimusError>>,
+    base: Option<TraceConfig>,
+    topology: Option<Topology>,
+    routing: RoutingPolicy,
+    dispatch: DispatchMode,
+    max_batch: u32,
+    kv: KvSizing,
+    kv_convention: KvConvention,
+    kv_bucket: Option<u32>,
+    layout: KvLayout,
+    chunk_tokens: u32,
+    pricing: DecodePricing,
+    ttft_slo_s: f64,
+    tpot_slo_s: f64,
+    classes: Option<Vec<SloClass>>,
+    classifier: Option<Classifier>,
+    policy: PolicyFactory,
+}
+
+impl fmt::Debug for Scenario<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("default_blades", &self.default_blades)
+            .field("topology", &self.topology)
+            .field("max_batch", &self.max_batch)
+            .field("kv", &self.kv)
+            .field("layout", &self.layout)
+            .field("classes", &self.classes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Scenario<'a> {
+    /// A scenario over an SCD [`MultiBladeSystem`]: per-blade estimator
+    /// at the system operating point, a handoff link derived from the
+    /// system fabric, and a default all-mixed topology of the system's
+    /// blades.
+    #[must_use]
+    pub fn new(system: &MultiBladeSystem) -> Self {
+        Self::with_estimator_link(
+            system.inference_estimator(),
+            Some(HandoffLink::from_fabric(&system.fabric())),
+            system.blades(),
+        )
+    }
+
+    /// A scenario over a bare per-blade estimator — for GPU baselines or
+    /// custom operating points. Defaults to one blade; a disaggregated
+    /// topology additionally needs [`Self::handoff`].
+    #[must_use]
+    pub fn on_estimator(estimator: InferenceEstimator) -> Self {
+        Self::with_estimator_link(estimator, None, 1)
+    }
+
+    fn with_estimator_link(
+        estimator: InferenceEstimator,
+        link: Option<HandoffLink>,
+        default_blades: u32,
+    ) -> Self {
+        Self {
+            estimator,
+            link,
+            default_blades,
+            model: None,
+            par: None,
+            trace: None,
+            base: None,
+            topology: None,
+            routing: RoutingPolicy::JoinShortestQueue,
+            dispatch: DispatchMode::PerBlade,
+            max_batch: 8,
+            kv: KvSizing::ForSystem,
+            kv_convention: KvConvention::Gqa,
+            kv_bucket: None,
+            layout: KvLayout::Contiguous,
+            chunk_tokens: 0,
+            pricing: DecodePricing::BucketizedMean,
+            ttft_slo_s: 10.0,
+            tpot_slo_s: 0.1,
+            classes: None,
+            classifier: None,
+            policy: Box::new(|| Box::new(FcfsPolicy)),
+        }
+    }
+
+    /// The model to serve.
+    #[must_use]
+    pub fn model(mut self, model: &'a TransformerConfig) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// The per-blade parallelism plan.
+    #[must_use]
+    pub fn parallelism(mut self, par: &'a Parallelism) -> Self {
+        self.par = Some(par);
+        self
+    }
+
+    /// The workload, from any [`TraceSource`] (synthetic, bursty,
+    /// diurnal, recorded CSV). Materialization errors surface at
+    /// [`Self::compile`].
+    #[must_use]
+    pub fn trace(mut self, source: &dyn TraceSource) -> Self {
+        self.base = None;
+        self.trace = Some(source.requests());
+        self
+    }
+
+    /// A seeded-Poisson workload. Unlike [`Self::trace`] this keeps the
+    /// generator, so [`CompiledScenario::frontier`] can re-synthesize it
+    /// across arrival rates.
+    #[must_use]
+    pub fn poisson(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config.synthesize());
+        self.base = Some(config);
+        self
+    }
+
+    /// An explicit, pre-materialized request list.
+    #[must_use]
+    pub fn requests(mut self, requests: Vec<RequestSpec>) -> Self {
+        self.base = None;
+        self.trace = Some(Ok(requests));
+        self
+    }
+
+    /// The scheduling policy (admission order + eviction victim).
+    #[must_use]
+    pub fn policy(mut self, policy: impl SchedulerPolicy + Clone + 'static) -> Self {
+        self.policy = Box::new(move || Box::new(policy.clone()));
+        self
+    }
+
+    /// Maximum concurrent sequences per blade.
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: u32) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// KV capacity accounting: contiguous or paged.
+    #[must_use]
+    pub fn kv_layout(mut self, layout: KvLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Shorthand for the paged layout with `block_tokens`-token blocks.
+    #[must_use]
+    pub fn paged_kv(self, block_tokens: u32) -> Self {
+        self.kv_layout(KvLayout::Paged { block_tokens })
+    }
+
+    /// Lifts the KV capacity constraint (admission never binds).
+    #[must_use]
+    pub fn unconstrained_kv(mut self) -> Self {
+        self.kv = KvSizing::Unconstrained;
+        self
+    }
+
+    /// An explicit KV byte budget (whole blade).
+    #[must_use]
+    pub fn kv_capacity_bytes(mut self, bytes: f64) -> Self {
+        self.kv = KvSizing::Bytes(bytes);
+        self
+    }
+
+    /// Head-count convention for KV sizing.
+    #[must_use]
+    pub fn kv_convention(mut self, convention: KvConvention) -> Self {
+        self.kv_convention = convention;
+        self
+    }
+
+    /// KV-length quantization of the iteration-cost table (tokens).
+    #[must_use]
+    pub fn kv_bucket(mut self, tokens: u32) -> Self {
+        self.kv_bucket = Some(tokens);
+        self
+    }
+
+    /// Enables chunked prefill with `chunk_tokens`-token chunks.
+    #[must_use]
+    pub fn chunked_prefill(mut self, chunk_tokens: u32) -> Self {
+        self.chunk_tokens = chunk_tokens;
+        self
+    }
+
+    /// Iteration-cost pricing mode.
+    #[must_use]
+    pub fn pricing(mut self, pricing: DecodePricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// The global SLO pair — the targets of the default class when no
+    /// explicit [`Self::slo_classes`] are given.
+    #[must_use]
+    pub fn slo(mut self, ttft_slo_s: f64, tpot_slo_s: f64) -> Self {
+        self.ttft_slo_s = ttft_slo_s;
+        self.tpot_slo_s = tpot_slo_s;
+        self
+    }
+
+    /// Per-request SLO classes; requests name them by index via
+    /// [`RequestSpec::class`] (see [`Self::classify`]).
+    #[must_use]
+    pub fn slo_classes(mut self, classes: Vec<SloClass>) -> Self {
+        self.classes = Some(classes);
+        self
+    }
+
+    /// Assigns every request's SLO class at compile time (e.g. by output
+    /// length, by arrival phase). Overrides classes already present on
+    /// the trace.
+    #[must_use]
+    pub fn classify(
+        mut self,
+        assign: impl Fn(&RequestSpec) -> u32 + Send + Sync + 'static,
+    ) -> Self {
+        self.classifier = Some(Box::new(assign));
+        self
+    }
+
+    /// The blade topology. Role-typed blades
+    /// ([`BladeRole::Prefill`](super::BladeRole::Prefill) /
+    /// [`BladeRole::Decode`](super::BladeRole::Decode)) switch the
+    /// replay to the disaggregated prefill→decode event loop.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Arrival-time routing policy (mixed topologies, per-blade
+    /// dispatch).
+    #[must_use]
+    pub fn routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Queue topology of mixed clusters: per-blade or central.
+    #[must_use]
+    pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Overrides the prefill→decode handoff link (defaults to the system
+    /// fabric's blade-to-blade tier; required for disaggregated
+    /// topologies on a bare estimator).
+    #[must_use]
+    pub fn handoff(mut self, link: HandoffLink) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Validates and freezes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] for a missing model, plan or
+    /// trace, degenerate configuration values, an invalid topology, a
+    /// disaggregated topology without a handoff link, or a request
+    /// naming an undefined SLO class; propagates trace-materialization
+    /// and model/parallelism validation failures.
+    pub fn compile(self) -> Result<CompiledScenario<'a>, OptimusError> {
+        let missing = |what: &str| OptimusError::Serving {
+            reason: format!("scenario is missing {what}"),
+        };
+        let model = self.model.ok_or_else(|| missing("a model (.model(...))"))?;
+        let par = self
+            .par
+            .ok_or_else(|| missing("a parallelism plan (.parallelism(...))"))?;
+        let mut trace = self
+            .trace
+            .ok_or_else(|| missing("a workload (.trace(...)/.poisson(...)/.requests(...))"))??;
+        if let Some(assign) = &self.classifier {
+            for r in &mut trace {
+                r.class = assign(r);
+            }
+        }
+        let mut config = match self.kv {
+            KvSizing::ForSystem => {
+                ServingConfig::for_system(&self.estimator, model, par, self.max_batch)?
+            }
+            KvSizing::Unconstrained => ServingConfig::unconstrained(self.max_batch),
+            KvSizing::Bytes(bytes) => ServingConfig {
+                kv_capacity_bytes: bytes,
+                ..ServingConfig::unconstrained(self.max_batch)
+            },
+        };
+        config.kv_convention = self.kv_convention;
+        if let Some(bucket) = self.kv_bucket {
+            config.kv_bucket_tokens = bucket;
+        }
+        config.kv_layout = self.layout;
+        config.prefill_chunk_tokens = self.chunk_tokens;
+        config.decode_pricing = self.pricing;
+        config.ttft_slo_s = self.ttft_slo_s;
+        config.tpot_slo_s = self.tpot_slo_s;
+
+        let topology = self
+            .topology
+            .unwrap_or_else(|| Topology::mixed(self.default_blades));
+        topology.validate()?;
+        let link = if topology.is_disaggregated() {
+            let link = self.link.ok_or_else(|| OptimusError::Serving {
+                reason: "a disaggregated topology needs a prefill→decode handoff link \
+                         (anchor the scenario on a MultiBladeSystem or set .handoff(...))"
+                    .to_owned(),
+            })?;
+            link.validate()?;
+            Some(link)
+        } else {
+            self.link
+        };
+
+        // Validate everything the engine will see once, now: the
+        // simulator construction checks config, model, plan and classes.
+        ServingSimulator::from_parts(
+            &self.estimator,
+            model,
+            par,
+            config,
+            (self.policy)(),
+            self.classes.clone(),
+        )?;
+        let class_count = self.classes.as_ref().map_or(1, Vec::len);
+        if let Some(r) = trace.iter().find(|r| r.class as usize >= class_count) {
+            return Err(OptimusError::Serving {
+                reason: format!(
+                    "request {} names SLO class {} but only {class_count} class(es) are defined",
+                    r.id, r.class
+                ),
+            });
+        }
+        Ok(CompiledScenario {
+            estimator: self.estimator,
+            model,
+            par,
+            config,
+            classes: self.classes,
+            policy: self.policy,
+            classifier: self.classifier,
+            trace,
+            base: self.base,
+            topology,
+            routing: self.routing,
+            dispatch: self.dispatch,
+            link,
+        })
+    }
+}
+
+/// A validated, immutable serving scenario. Every run path returns a
+/// [`ClusterReport`] (single-blade runs are 1-blade clusters); repeated
+/// runs of the same compiled scenario are bit-identical.
+pub struct CompiledScenario<'a> {
+    estimator: InferenceEstimator,
+    model: &'a TransformerConfig,
+    par: &'a Parallelism,
+    config: ServingConfig,
+    classes: Option<Vec<SloClass>>,
+    policy: PolicyFactory,
+    classifier: Option<Classifier>,
+    trace: Vec<RequestSpec>,
+    base: Option<TraceConfig>,
+    topology: Topology,
+    routing: RoutingPolicy,
+    dispatch: DispatchMode,
+    link: Option<HandoffLink>,
+}
+
+impl fmt::Debug for CompiledScenario<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledScenario")
+            .field("model", &self.model.name)
+            .field("requests", &self.trace.len())
+            .field("config", &self.config)
+            .field("topology", &self.topology)
+            .field("routing", &self.routing)
+            .field("dispatch", &self.dispatch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledScenario<'_> {
+    /// The frozen serving configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// The materialized (classified) trace.
+    #[must_use]
+    pub fn trace(&self) -> &[RequestSpec] {
+        &self.trace
+    }
+
+    /// The blade topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn sim(&self) -> Result<ServingSimulator<'_>, OptimusError> {
+        ServingSimulator::from_parts(
+            &self.estimator,
+            self.model,
+            self.par,
+            self.config,
+            (self.policy)(),
+            self.classes.clone(),
+        )
+    }
+
+    fn run_on(
+        &self,
+        trace: &[RequestSpec],
+        parallel: bool,
+        obs: &mut dyn SimObserver,
+    ) -> Result<ClusterReport, OptimusError> {
+        let sim = self.sim()?;
+        if self.topology.is_disaggregated() {
+            let link = self.link.as_ref().expect("validated at compile");
+            let table = sim.cost_table(trace, parallel)?;
+            Ok(run_disaggregated(
+                &sim,
+                trace,
+                &table,
+                self.topology.roles(),
+                link,
+                obs,
+            ))
+        } else {
+            let cluster = ClusterSimulator::from_parts(
+                sim,
+                ClusterConfig {
+                    blades: self.topology.blades(),
+                    routing: self.routing,
+                    dispatch: self.dispatch,
+                },
+            )?;
+            if parallel {
+                cluster.replay(trace)
+            } else {
+                cluster.replay_observed(trace, obs)
+            }
+        }
+    }
+
+    /// Runs the scenario with the iteration-cost table built on rayon
+    /// workers (and, for mixed per-blade topologies, blades replayed
+    /// concurrently). Bit-identical to [`Self::run_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] for degenerate requests or a
+    /// request that can never fit the KV capacity; propagates estimation
+    /// failures.
+    pub fn run(&self) -> Result<ClusterReport, OptimusError> {
+        self.run_on(&self.trace, true, &mut NoopObserver)
+    }
+
+    /// Serial reference implementation of [`Self::run`], kept as the
+    /// ground truth for the rayon-equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::run`].
+    pub fn run_serial(&self) -> Result<ClusterReport, OptimusError> {
+        self.run_on(&self.trace, false, &mut NoopObserver)
+    }
+
+    /// Runs the scenario with `observer` receiving every engine event
+    /// (admissions, evictions, prefill chunks, handoffs, completions,
+    /// steps). Observers are read-only, so the report is bit-identical
+    /// to [`Self::run_serial`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::run`].
+    pub fn run_observed(
+        &self,
+        observer: &mut dyn SimObserver,
+    ) -> Result<ClusterReport, OptimusError> {
+        self.run_on(&self.trace, false, observer)
+    }
+
+    /// Replays the scenario's trace under several routing/dispatch
+    /// variants of its (mixed) topology, building the iteration-cost
+    /// table once — it depends only on the per-blade engine and the
+    /// trace, not on routing. Each report is bit-identical to a
+    /// standalone [`Self::run`] of a scenario with that variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] for a disaggregated topology
+    /// (role-typed blades have no routing/dispatch axis to sweep);
+    /// otherwise as for [`Self::run`].
+    pub fn run_each(
+        &self,
+        variants: &[(RoutingPolicy, DispatchMode)],
+    ) -> Result<Vec<ClusterReport>, OptimusError> {
+        if self.topology.is_disaggregated() {
+            return Err(OptimusError::Serving {
+                reason: "run_each sweeps routing/dispatch of a mixed topology; role-typed \
+                         blades route by role instead"
+                    .to_owned(),
+            });
+        }
+        let configs: Vec<ClusterConfig> = variants
+            .iter()
+            .map(|&(routing, dispatch)| ClusterConfig {
+                blades: self.topology.blades(),
+                routing,
+                dispatch,
+            })
+            .collect();
+        let cluster = ClusterSimulator::from_parts(
+            self.sim()?,
+            ClusterConfig {
+                blades: self.topology.blades(),
+                routing: self.routing,
+                dispatch: self.dispatch,
+            },
+        )?;
+        cluster.replay_each(&self.trace, &configs)
+    }
+
+    /// Sweeps arrival rates into an SLO-vs-throughput frontier by
+    /// re-synthesizing the scenario's Poisson workload at each rate and
+    /// replaying the full topology (rates run concurrently; each replay
+    /// is deterministic, so the frontier is too).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] when the scenario was not built
+    /// from [`Scenario::poisson`]; otherwise as for [`Self::run`], plus
+    /// trace-synthesis failures.
+    pub fn frontier(&self, rates: &[f64]) -> Result<Vec<FrontierPoint>, OptimusError> {
+        let base = self.base.ok_or_else(|| OptimusError::Serving {
+            reason: "the SLO frontier needs a re-synthesizable Poisson workload \
+                     (build the scenario with .poisson(...))"
+                .to_owned(),
+        })?;
+        rates
+            .par_iter()
+            .map(|&rate| {
+                let mut trace = TraceConfig {
+                    arrival_rate_per_s: rate,
+                    ..base
+                }
+                .synthesize()?;
+                if let Some(assign) = &self.classifier {
+                    for r in &mut trace {
+                        r.class = assign(r);
+                    }
+                }
+                let report = self.run_on(&trace, false, &mut NoopObserver)?;
+                Ok(FrontierPoint {
+                    arrival_rate_per_s: rate,
+                    report: report.report,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::observer::CountingObserver;
+    use crate::serving::{BladeRole, SjfPolicy};
+    use llm_workload::model::ModelZoo;
+
+    fn parts() -> (MultiBladeSystem, TransformerConfig, Parallelism) {
+        (
+            MultiBladeSystem::new(4).unwrap(),
+            ModelZoo::llama2_7b(),
+            Parallelism::new(1, 1, 1).unwrap(),
+        )
+    }
+
+    /// Prefill-heavy flash crowds: the workload disaggregation exists for.
+    fn prefill_heavy_trace() -> TraceConfig {
+        TraceConfig {
+            seed: 31,
+            requests: 32,
+            arrival_rate_per_s: 60.0,
+            prompt_tokens: (384, 768),
+            output_tokens: (8, 24),
+        }
+    }
+
+    fn scenario<'a>(
+        system: &MultiBladeSystem,
+        model: &'a TransformerConfig,
+        par: &'a Parallelism,
+    ) -> Scenario<'a> {
+        Scenario::new(system)
+            .model(model)
+            .parallelism(par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .poisson(prefill_heavy_trace())
+    }
+
+    #[test]
+    fn scenario_runs_are_bit_deterministic_and_serial_parallel_equal() {
+        let (system, model, par) = parts();
+        let compiled = scenario(&system, &model, &par).compile().unwrap();
+        let a = compiled.run().unwrap();
+        let b = compiled.run().unwrap();
+        assert_eq!(a, b, "repeated runs must be bit-identical");
+        assert_eq!(a, compiled.run_serial().unwrap(), "serial == parallel");
+
+        let disagg = scenario(&system, &model, &par)
+            .topology(Topology::disaggregated(2, 2))
+            .compile()
+            .unwrap();
+        assert_eq!(
+            disagg.run().unwrap(),
+            disagg.run_serial().unwrap(),
+            "disaggregated serial == parallel"
+        );
+    }
+
+    #[test]
+    fn disaggregated_split_beats_mixed_on_prefill_interference() {
+        // 2 prefill + 2 decode blades vs 4 mixed blades on a
+        // prefill-heavy burst: isolating prompt passes on dedicated
+        // blades keeps long prefills out of the decode iterations, so
+        // the worst decode stall (max_step_s) and the inter-token tail
+        // (TPOT p99) must both improve.
+        let (system, model, par) = parts();
+        let mixed = scenario(&system, &model, &par)
+            .topology(Topology::mixed(4))
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        let disagg = scenario(&system, &model, &par)
+            .topology(Topology::disaggregated(2, 2))
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(mixed.report.completed, 32);
+        assert_eq!(disagg.report.completed, 32);
+        assert!(
+            disagg.report.max_step_s < mixed.report.max_step_s,
+            "dedicated prefill blades must bound the decode stall: {} vs {}",
+            disagg.report.max_step_s,
+            mixed.report.max_step_s
+        );
+        assert!(
+            disagg.report.tpot.p99 < mixed.report.tpot.p99,
+            "disaggregation must cut the inter-token tail: {} vs {}",
+            disagg.report.tpot.p99,
+            mixed.report.tpot.p99
+        );
+        // Role bookkeeping: prefill blades complete nothing; decode
+        // blades complete everything.
+        let roles: Vec<BladeRole> = disagg.per_blade.iter().map(|b| b.role).collect();
+        assert_eq!(
+            roles,
+            vec![
+                BladeRole::Prefill,
+                BladeRole::Prefill,
+                BladeRole::Decode,
+                BladeRole::Decode
+            ]
+        );
+        for b in &disagg.per_blade {
+            match b.role {
+                BladeRole::Prefill => {
+                    assert_eq!(b.requests, 0, "prefill blades hand everything off");
+                    assert!(b.busy_s > 0.0, "prefill blades did real work");
+                }
+                _ => assert!(b.requests > 0, "decode blades complete requests"),
+            }
+        }
+        assert_eq!(disagg.per_blade.iter().map(|b| b.requests).sum::<u32>(), 32);
+        // Every blade in the mixed run is Mixed.
+        assert!(mixed.per_blade.iter().all(|b| b.role == BladeRole::Mixed));
+    }
+
+    #[test]
+    fn handoff_link_costs_time() {
+        // Same disaggregated split, but a pathologically slow handoff
+        // link: the makespan and TTFT must strictly grow.
+        let (system, model, par) = parts();
+        let fast = scenario(&system, &model, &par)
+            .topology(Topology::disaggregated(2, 2))
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        let slow = scenario(&system, &model, &par)
+            .topology(Topology::disaggregated(2, 2))
+            .handoff(HandoffLink {
+                bytes_per_s: 1e6, // 1 MB/s: KV streams dominate
+                latency_s: 0.01,
+            })
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(slow.report.completed, 32);
+        assert!(slow.report.ttft.p50 > fast.report.ttft.p50);
+        assert!(slow.report.makespan_s > fast.report.makespan_s);
+    }
+
+    #[test]
+    fn run_each_matches_standalone_runs_off_one_table() {
+        let (system, model, par) = parts();
+        let variants = [
+            (RoutingPolicy::RoundRobin, DispatchMode::PerBlade),
+            (RoutingPolicy::JoinShortestQueue, DispatchMode::Central),
+        ];
+        let reports = scenario(&system, &model, &par)
+            .compile()
+            .unwrap()
+            .run_each(&variants)
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        for (&(routing, dispatch), swept) in variants.iter().zip(&reports) {
+            let standalone = scenario(&system, &model, &par)
+                .routing(routing)
+                .dispatch(dispatch)
+                .compile()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(swept, &standalone, "{routing} / {dispatch:?}");
+        }
+        // Role-typed topologies have no routing axis to sweep.
+        let disagg = scenario(&system, &model, &par)
+            .topology(Topology::disaggregated(2, 2))
+            .compile()
+            .unwrap();
+        assert!(matches!(
+            disagg.run_each(&variants),
+            Err(OptimusError::Serving { .. })
+        ));
+    }
+
+    #[test]
+    fn topology_validation_is_typed() {
+        let (system, model, par) = parts();
+        for topology in [
+            Topology::from_roles(vec![]),
+            Topology::from_roles(vec![BladeRole::Decode, BladeRole::Decode]),
+            Topology::from_roles(vec![BladeRole::Prefill, BladeRole::Prefill]),
+        ] {
+            let err = scenario(&system, &model, &par)
+                .topology(topology.clone())
+                .compile();
+            assert!(
+                matches!(err, Err(OptimusError::Serving { .. })),
+                "{topology:?} must be rejected"
+            );
+        }
+        // Mixed blades are decode-capable alongside dedicated prefill.
+        let ok = scenario(&system, &model, &par)
+            .topology(Topology::from_roles(vec![
+                BladeRole::Prefill,
+                BladeRole::Mixed,
+            ]))
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(ok.report.completed, 32);
+
+        // A bare estimator has no fabric: disaggregation needs .handoff.
+        let est = system.inference_estimator();
+        let bare = Scenario::on_estimator(est)
+            .model(&model)
+            .parallelism(&par)
+            .unconstrained_kv()
+            .poisson(prefill_heavy_trace())
+            .topology(Topology::disaggregated(1, 1))
+            .compile();
+        assert!(matches!(bare, Err(OptimusError::Serving { .. })));
+    }
+
+    #[test]
+    fn slo_classes_split_goodput_and_weights_blend() {
+        let (system, model, par) = parts();
+        let compiled = scenario(&system, &model, &par)
+            .slo_classes(vec![
+                SloClass::new("interactive", 0.5, 0.05).with_weight(3.0),
+                SloClass::batch(),
+            ])
+            .classify(|r| u32::from(r.prompt_tokens > 500))
+            .compile()
+            .unwrap();
+        // The classifier actually split the population.
+        let classes: Vec<u32> = compiled.trace().iter().map(|r| r.class).collect();
+        assert!(classes.contains(&0) && classes.contains(&1));
+        let report = compiled.run().unwrap().report;
+        assert_eq!(report.per_class.len(), 2);
+        let interactive = report.class("interactive").unwrap();
+        let batch = report.class("batch").unwrap();
+        assert_eq!(interactive.requests + batch.requests, report.requests);
+        // Per-class goodputs blend into the global figure...
+        let sum = interactive.goodput_tok_s + batch.goodput_tok_s;
+        assert!((sum - report.goodput_tok_s).abs() <= 1e-9 * report.goodput_tok_s.max(1.0));
+        // ...and the weighted blend honors the 3× interactive weight.
+        let weighted = 3.0 * interactive.goodput_tok_s + batch.goodput_tok_s;
+        assert!((report.weighted_goodput_tok_s() - weighted).abs() <= f64::EPSILON * weighted);
+    }
+
+    #[test]
+    fn observer_sees_the_whole_replay_without_perturbing_it() {
+        let (system, model, par) = parts();
+        let compiled = scenario(&system, &model, &par)
+            .topology(Topology::disaggregated(1, 3))
+            .policy(SjfPolicy)
+            .compile()
+            .unwrap();
+        let mut counts = CountingObserver::default();
+        let observed = compiled.run_observed(&mut counts).unwrap();
+        assert_eq!(observed, compiled.run().unwrap(), "observers are read-only");
+        assert_eq!(counts.completions, 32);
+        assert!(
+            counts.handoffs >= 32,
+            "every request streams through the fabric at least once, got {}",
+            counts.handoffs
+        );
+        assert!(counts.admissions >= 32);
+        assert!(counts.steps > 0);
+    }
+}

@@ -23,6 +23,32 @@ pub struct RequestSpec {
     pub prompt_tokens: u32,
     /// Generation length (tokens).
     pub output_tokens: u32,
+    /// SLO-class index into the scenario's class table
+    /// ([`SloClass`](super::report::SloClass)); 0 — the default class —
+    /// carries the engine's global TTFT/TPOT pair, so traces that never
+    /// mention classes keep their PR 3 goodput accounting bit-for-bit.
+    pub class: u32,
+}
+
+impl RequestSpec {
+    /// A request in the default SLO class.
+    #[must_use]
+    pub fn new(id: u32, arrival_s: f64, prompt_tokens: u32, output_tokens: u32) -> Self {
+        Self {
+            id,
+            arrival_s,
+            prompt_tokens,
+            output_tokens,
+            class: 0,
+        }
+    }
+
+    /// The same request reassigned to SLO class `class`.
+    #[must_use]
+    pub fn in_class(mut self, class: u32) -> Self {
+        self.class = class;
+        self
+    }
 }
 
 /// Anything that can produce a serving trace: the seam between trace
@@ -113,12 +139,7 @@ impl TraceConfig {
             }
             let prompt_tokens = rng.gen_range(self.prompt_tokens.0..=self.prompt_tokens.1);
             let output_tokens = rng.gen_range(self.output_tokens.0..=self.output_tokens.1);
-            trace.push(RequestSpec {
-                id,
-                arrival_s: clock,
-                prompt_tokens,
-                output_tokens,
-            });
+            trace.push(RequestSpec::new(id, clock, prompt_tokens, output_tokens));
         }
         Ok(trace)
     }
@@ -164,12 +185,7 @@ fn thinned_trace(
         }
         let prompt = rng.gen_range(prompt_tokens.0..=prompt_tokens.1);
         let output = rng.gen_range(output_tokens.0..=output_tokens.1);
-        trace.push(RequestSpec {
-            id,
-            arrival_s: clock,
-            prompt_tokens: prompt,
-            output_tokens: output,
-        });
+        trace.push(RequestSpec::new(id, clock, prompt, output));
         id += 1;
     }
     Ok(trace)
@@ -291,17 +307,36 @@ impl TraceSource for DiurnalTraceConfig {
 
 /// A trace recorded as CSV text: one `arrival_s,prompt_tokens,output_tokens`
 /// row per request (the schema of public LLM inference logs such as the
-/// Azure traces). Rows are re-sorted by arrival and re-numbered.
+/// Azure traces), with an optional fourth `class` column carrying the
+/// SLO-class index. Rows are re-sorted by arrival and re-numbered.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsvTrace {
     rows: Vec<RequestSpec>,
 }
 
 impl CsvTrace {
+    /// Reads and parses a recorded CSV trace from `path` — the
+    /// convenience entry for bundled trace files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Io`] (typed, carrying the path) when the
+    /// file cannot be read, and everything [`Self::parse`] returns for
+    /// malformed content.
+    pub fn from_path(path: impl AsRef<std::path::Path>) -> Result<Self, OptimusError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| OptimusError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::parse(&text)
+    }
+
     /// Parses CSV text. Blank lines and `#` comments are skipped; one
     /// header line naming the columns is tolerated. Every other row must
-    /// hold exactly three fields — a finite non-negative arrival time and
-    /// positive prompt/output token counts.
+    /// hold three or four fields — a finite non-negative arrival time,
+    /// positive prompt/output token counts, and an optional SLO-class
+    /// index (defaults to class 0 when absent).
     ///
     /// # Errors
     ///
@@ -320,10 +355,10 @@ impl CsvTrace {
                 continue;
             }
             let fields: Vec<&str> = row.split(',').map(str::trim).collect();
-            if fields.len() != 3 {
+            if fields.len() != 3 && fields.len() != 4 {
                 return Err(malformed(
                     line,
-                    &format!("expected 3 fields, got {}", fields.len()),
+                    &format!("expected 3 or 4 fields, got {}", fields.len()),
                 ));
             }
             // Tolerate a single header row naming the columns as the
@@ -351,11 +386,18 @@ impl CsvTrace {
                 }
                 Ok(v)
             };
+            let class: u32 = match fields.get(3) {
+                None => 0,
+                Some(field) => field
+                    .parse()
+                    .map_err(|_| malformed(line, &format!("bad class index {field:?}")))?,
+            };
             rows.push(RequestSpec {
                 id: 0, // renumbered after sorting
                 arrival_s,
                 prompt_tokens: parse_tokens(fields[1], "prompt")?,
                 output_tokens: parse_tokens(fields[2], "output")?,
+                class,
             });
         }
         if rows.is_empty() {
@@ -541,17 +583,51 @@ mod tests {
             trace.iter().map(|r| r.id).collect::<Vec<_>>(),
             vec![0, 1, 2]
         );
+        assert!(trace.iter().all(|r| r.class == 0), "3-column rows default");
+    }
+
+    #[test]
+    fn csv_fourth_column_carries_slo_class() {
+        let text = "arrival_s,prompt_tokens,output_tokens,class\n\
+                    0.0, 64, 8, 1\n\
+                    1.0, 32, 4\n\
+                    2.0, 16, 2, 0\n";
+        let trace = CsvTrace::parse(text).unwrap().requests().unwrap();
+        assert_eq!(
+            trace.iter().map(|r| r.class).collect::<Vec<_>>(),
+            vec![1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn from_path_round_trips_and_types_io_failures() {
+        let dir = std::env::temp_dir().join("scd_perf_csv_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        std::fs::write(&path, "0.5,64,8\n1.5,32,4,1\n").unwrap();
+        let trace = CsvTrace::from_path(&path).unwrap();
+        assert_eq!(trace.requests().unwrap().len(), 2);
+        assert_eq!(trace, CsvTrace::parse("0.5,64,8\n1.5,32,4,1\n").unwrap());
+
+        match CsvTrace::from_path(dir.join("missing.csv")) {
+            Err(OptimusError::Io { path, message }) => {
+                assert!(path.ends_with("missing.csv"), "{path}");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected a typed IO error, got {other:?}"),
+        }
     }
 
     #[test]
     fn csv_rejects_malformed_rows() {
         for (text, needle) in [
-            ("1.0,100", "expected 3 fields"),
-            ("1.0,100,20,9", "expected 3 fields"),
+            ("1.0,100", "expected 3 or 4 fields"),
+            ("1.0,100,20,9,extra", "expected 3 or 4 fields"),
             ("abc,100,20\n1.0,1,1", "bad arrival"),
             ("-1.0,100,20", "must be ≥ 0"),
             ("1.0,zap,20", "bad prompt"),
             ("1.0,100,0", "output tokens must be ≥ 1"),
+            ("1.0,100,20,interactive", "bad class index"),
             ("", "no requests"),
             ("# only a comment\n", "no requests"),
         ] {

@@ -1,0 +1,74 @@
+//! Scenario-first serving: the README's tour of the serving API.
+//!
+//! Builds one disaggregated serving scenario — 1 prefill blade feeding
+//! 3 decode blades over the blade-to-blade fabric, SJF scheduling,
+//! paged KV, chunked prefill, and interactive/batch SLO classes — runs
+//! it, and prints the merged report plus the per-class breakdown and
+//! the per-blade roles.
+//!
+//! ```console
+//! cargo run --release --example serving_scenario
+//! ```
+
+use llm_workload::{ModelZoo, Parallelism};
+use optimus::serving::{
+    BurstyTraceConfig, CountingObserver, RoutingPolicy, Scenario, SjfPolicy, SloClass, Topology,
+};
+use optimus::MultiBladeSystem;
+
+fn main() -> Result<(), optimus::OptimusError> {
+    let system = MultiBladeSystem::new(4)?;
+    let (model, par) = (ModelZoo::llama_405b(), Parallelism::pure_tp(64)?);
+    let trace = BurstyTraceConfig {
+        seed: 7,
+        requests: 64,
+        base_rate_per_s: 2.0,
+        burst_rate_per_s: 120.0,
+        burst_s: 1.5,
+        gap_s: 6.0,
+        prompt_tokens: (100, 300),
+        output_tokens: (50, 400),
+    };
+    let compiled = Scenario::new(&system) // 4 blades + fabric handoff link
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(8) // KV capacity = cryo-DRAM − weights (the default)
+        .paged_kv(16)
+        .chunked_prefill(64)
+        .policy(SjfPolicy)
+        .routing(RoutingPolicy::JoinShortestQueue)
+        .topology(Topology::disaggregated(1, 3)) // 1 prefill blade feeds 3 decode blades
+        .slo_classes(vec![SloClass::interactive(), SloClass::batch()])
+        .classify(|r| u32::from(r.output_tokens > 128))
+        .trace(&trace)
+        .compile()?; // all validation happens here
+
+    let report = compiled.run()?; // always a ClusterReport
+    println!("{report}");
+    for class in &report.report.per_class {
+        println!(
+            "  class {:<12} {:>2} requests, {:>5.0} tok/s goodput, attainment {:.2}",
+            class.name, class.requests, class.goodput_tok_s, class.slo_attainment
+        );
+    }
+    println!(
+        "  weighted goodput: {:.0} tok/s",
+        report.report.weighted_goodput_tok_s()
+    );
+    for blade in &report.per_blade {
+        println!(
+            "  blade {} ({:<7}) {:>2} completed, utilization {:.2}",
+            blade.blade, blade.role, blade.requests, blade.utilization
+        );
+    }
+
+    // The observer seam: re-run with event counting (bit-identical).
+    let mut counts = CountingObserver::default();
+    let observed = compiled.run_observed(&mut counts)?;
+    assert_eq!(observed, report);
+    println!(
+        "  events: {} admissions, {} chunks, {} handoffs, {} completions over {} steps",
+        counts.admissions, counts.chunks, counts.handoffs, counts.completions, counts.steps
+    );
+    Ok(())
+}

@@ -86,7 +86,7 @@ fn inference_decode_sweep_parallel_matches_serial_bit_for_bit() {
 
 #[test]
 fn serving_trace_replay_parallel_matches_serial_bit_for_bit() {
-    use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
+    use optimus::serving::{Scenario, TraceConfig};
     let blade = Blade::baseline();
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64).unwrap();
@@ -96,20 +96,22 @@ fn serving_trace_replay_parallel_matches_serial_bit_for_bit() {
             .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
         blade.interconnect(),
     );
-    let config = ServingConfig::for_system(&est, &model, &par, 32).unwrap();
-    let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
     for (seed, rate) in [(1u64, 4.0), (2, 32.0), (3, f64::INFINITY)] {
-        let trace = TraceConfig {
-            seed,
-            requests: 24,
-            arrival_rate_per_s: rate,
-            prompt_tokens: (150, 250),
-            output_tokens: (100, 200),
-        }
-        .synthesize()
-        .unwrap();
-        let p = sim.replay(&trace).unwrap();
-        let s = sim.replay_serial(&trace).unwrap();
+        let compiled = Scenario::on_estimator(est.clone())
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(32)
+            .poisson(TraceConfig {
+                seed,
+                requests: 24,
+                arrival_rate_per_s: rate,
+                prompt_tokens: (150, 250),
+                output_tokens: (100, 200),
+            })
+            .compile()
+            .unwrap();
+        let p = compiled.run().unwrap().report;
+        let s = compiled.run_serial().unwrap().report;
         assert_eq!(p.completed, s.completed, "seed={seed}");
         assert_eq!(p.evictions, s.evictions);
         assert_eq!(p.makespan_s.to_bits(), s.makespan_s.to_bits());
@@ -127,12 +129,8 @@ fn serving_trace_replay_parallel_matches_serial_bit_for_bit() {
 
 #[test]
 fn cluster_replay_parallel_matches_serial_bit_for_bit() {
-    use optimus::serving::{
-        BurstyTraceConfig, ClusterConfig, ClusterSimulator, DispatchMode, RoutingPolicy,
-        ServingConfig, ServingSimulator, TraceSource,
-    };
+    use optimus::serving::{BurstyTraceConfig, DispatchMode, RoutingPolicy, Scenario, Topology};
     let system = optimus::MultiBladeSystem::new(4).unwrap();
-    let est = system.inference_estimator();
     let model = ModelZoo::llama2_7b();
     let par = Parallelism::new(1, 1, 1).unwrap();
     let trace = BurstyTraceConfig {
@@ -144,32 +142,45 @@ fn cluster_replay_parallel_matches_serial_bit_for_bit() {
         gap_s: 2.0,
         prompt_tokens: (32, 256),
         output_tokens: (8, 64),
-    }
-    .requests()
-    .unwrap();
+    };
     for routing in [
         RoutingPolicy::RoundRobin,
         RoutingPolicy::JoinShortestQueue,
         RoutingPolicy::LeastLoadedKv,
     ] {
         for dispatch in [DispatchMode::PerBlade, DispatchMode::Central] {
-            let sim =
-                ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(8)).unwrap();
-            let cluster = ClusterSimulator::new(
-                sim,
-                ClusterConfig {
-                    blades: 4,
-                    routing,
-                    dispatch,
-                },
-            )
-            .unwrap();
-            let p = cluster.replay(&trace).unwrap();
-            let s = cluster.replay_serial(&trace).unwrap();
+            let compiled = Scenario::new(&system)
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(8)
+                .unconstrained_kv()
+                .routing(routing)
+                .dispatch(dispatch)
+                .trace(&trace)
+                .compile()
+                .unwrap();
+            let p = compiled.run().unwrap();
+            let s = compiled.run_serial().unwrap();
             assert_eq!(p, s, "{routing} / {dispatch:?} must be bit-identical");
             assert_eq!(p.report.completed, 48);
         }
     }
+    // The disaggregated prefill→decode loop is serial by construction,
+    // but the parallel path still builds its cost table on rayon
+    // workers: both paths must agree bit-for-bit too.
+    let disagg = Scenario::new(&system)
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(8)
+        .unconstrained_kv()
+        .topology(Topology::disaggregated(1, 3))
+        .trace(&trace)
+        .compile()
+        .unwrap();
+    let p = disagg.run().unwrap();
+    let s = disagg.run_serial().unwrap();
+    assert_eq!(p, s, "disaggregated replay must be bit-identical");
+    assert_eq!(p.report.completed, 48);
 }
 
 #[test]

@@ -212,12 +212,12 @@ proptest! {
         }
     }
 
-    /// The serving simulator is a pure function of (trace seed, config):
+    /// The serving scenario is a pure function of (trace seed, config):
     /// identical seeds replay bit-identically, and every replay conserves
     /// requests.
     #[test]
     fn serving_replay_deterministic(seed in 0u64..32, rate in 10.0f64..500.0) {
-        use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
+        use optimus::serving::{Scenario, TraceConfig};
         let blade = Blade::baseline();
         let est = optimus::InferenceEstimator::new(
             blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
@@ -232,14 +232,137 @@ proptest! {
             prompt_tokens: (16, 64),
             output_tokens: (4, 12),
         };
-        let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
-            .expect("valid config");
-        let a = sim.replay(&cfg.synthesize().expect("valid")).expect("replays");
-        let b = sim.replay(&cfg.synthesize().expect("valid")).expect("replays");
-        prop_assert_eq!(a, b);
+        let compiled = Scenario::on_estimator(est)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .poisson(cfg)
+            .compile()
+            .expect("valid scenario");
+        let a = compiled.run().expect("replays").report;
+        let b = compiled.run().expect("replays").report;
+        prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.completed, 8);
         prop_assert!(a.goodput_tok_s <= a.throughput_tok_s);
         prop_assert!(a.ttft.p50 <= a.ttft.p99);
+    }
+
+    /// SLO-class backward compatibility: an explicit single class holding
+    /// the engine's global SLO pair reproduces the classless (PR 3)
+    /// report's goodput, attainment and throughput bit-for-bit.
+    #[test]
+    fn single_class_with_global_pair_reproduces_classless_goodput(
+        seed in 0u64..24,
+        ttft_ms in 5.0f64..5000.0,
+        tpot_ms in 0.5f64..100.0,
+    ) {
+        use optimus::serving::{Scenario, SloClass, TraceConfig};
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let (ttft, tpot) = (ttft_ms / 1e3, tpot_ms / 1e3);
+        let mk = || {
+            Scenario::on_estimator(est.clone())
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .unconstrained_kv()
+                .slo(ttft, tpot)
+                .poisson(TraceConfig {
+                    seed,
+                    requests: 8,
+                    arrival_rate_per_s: 150.0,
+                    prompt_tokens: (16, 96),
+                    output_tokens: (4, 16),
+                })
+        };
+        let classless = mk().compile().expect("valid").run().expect("replays").report;
+        let one_class = mk()
+            .slo_classes(vec![SloClass::new("all", ttft, tpot)])
+            .compile()
+            .expect("valid")
+            .run()
+            .expect("replays")
+            .report;
+        prop_assert_eq!(
+            one_class.goodput_tok_s.to_bits(),
+            classless.goodput_tok_s.to_bits()
+        );
+        prop_assert_eq!(
+            one_class.slo_attainment.to_bits(),
+            classless.slo_attainment.to_bits()
+        );
+        prop_assert_eq!(
+            one_class.throughput_tok_s.to_bits(),
+            classless.throughput_tok_s.to_bits()
+        );
+        prop_assert_eq!(
+            one_class.weighted_goodput_tok_s().to_bits(),
+            classless.goodput_tok_s.to_bits()
+        );
+        prop_assert_eq!(one_class.per_class.len(), 1);
+        prop_assert_eq!(&one_class.per_class[0].name, "all");
+    }
+
+    /// Goodput monotonicity: tightening one class's targets never
+    /// increases that class's goodput or attainment, and never perturbs
+    /// the other class's slice (scheduling ignores SLO classes).
+    #[test]
+    fn tightening_a_class_never_increases_its_goodput(
+        seed in 0u64..24,
+        loose_ttft_ms in 50.0f64..5000.0,
+        shrink in 0.05f64..1.0,
+    ) {
+        use optimus::serving::{Scenario, SloClass, TraceConfig};
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let loose = loose_ttft_ms / 1e3;
+        let tight = loose * shrink;
+        let mk = |ttft: f64| {
+            Scenario::on_estimator(est.clone())
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .unconstrained_kv()
+                .slo_classes(vec![
+                    SloClass::new("watched", ttft, 0.02),
+                    SloClass::batch(),
+                ])
+                .classify(|r| u32::from(r.output_tokens > 10))
+                .poisson(TraceConfig {
+                    seed,
+                    requests: 10,
+                    arrival_rate_per_s: 300.0,
+                    prompt_tokens: (16, 96),
+                    output_tokens: (4, 24),
+                })
+        };
+        let loose_r = mk(loose).compile().expect("valid").run().expect("replays").report;
+        let tight_r = mk(tight).compile().expect("valid").run().expect("replays").report;
+        let watched_loose = loose_r.class("watched").expect("present");
+        let watched_tight = tight_r.class("watched").expect("present");
+        prop_assert!(watched_tight.goodput_tok_s <= watched_loose.goodput_tok_s);
+        prop_assert!(watched_tight.slo_attainment <= watched_loose.slo_attainment);
+        // The untouched class is bit-identical: classes only relabel
+        // goodput accounting, never scheduling.
+        prop_assert_eq!(
+            loose_r.class("batch").expect("present"),
+            tight_r.class("batch").expect("present")
+        );
+        prop_assert_eq!(
+            loose_r.throughput_tok_s.to_bits(),
+            tight_r.throughput_tok_s.to_bits()
+        );
     }
 
     /// Paged-KV allocator invariants: no double allocation, blocks in use
@@ -293,8 +416,7 @@ proptest! {
     fn every_policy_drains_its_queue(seed in 0u64..24, tight in 1.0f64..3.0) {
         use llm_workload::kvcache::{KvCache, KvConvention};
         use optimus::serving::{
-            FcfsPolicy, MaxWaitGuardPolicy, ServingConfig, ServingSimulator, SjfPolicy,
-            TraceConfig,
+            FcfsPolicy, MaxWaitGuardPolicy, Scenario, SjfPolicy, TraceConfig,
         };
         let blade = Blade::baseline();
         let est = optimus::InferenceEstimator::new(
@@ -303,15 +425,14 @@ proptest! {
         );
         let model = ModelZoo::llama2_7b();
         let par = Parallelism::new(1, 1, 1).expect("valid");
-        let trace = TraceConfig {
+        let cfg = TraceConfig {
             seed,
             requests: 8,
             arrival_rate_per_s: 200.0,
             prompt_tokens: (16, 96),
             output_tokens: (4, 24),
-        }
-        .synthesize()
-        .expect("valid");
+        };
+        let trace = cfg.synthesize().expect("valid");
         // Capacity scaled from the largest single request: always ≥ one
         // full-length sequence (the no-livelock precondition), rarely
         // enough for the whole batch.
@@ -322,21 +443,24 @@ proptest! {
             .map(|r| r.prompt_tokens + r.output_tokens)
             .max()
             .expect("non-empty") as f64;
-        let config = ServingConfig {
-            kv_capacity_bytes: per_token * max_len * tight,
-            kv_bucket_tokens: 4,
-            ..ServingConfig::unconstrained(4)
+        let mk = || {
+            Scenario::on_estimator(est.clone())
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .kv_capacity_bytes(per_token * max_len * tight)
+                .kv_bucket(4)
+                .poisson(cfg)
         };
-        let mk = || ServingSimulator::new(&est, &model, &par, config).expect("valid config");
-        let sims = [
-            mk(),
-            mk().with_policy(SjfPolicy),
-            mk().with_policy(MaxWaitGuardPolicy::new(0.05)),
-            mk().with_policy(FcfsPolicy),
+        let scenarios = [
+            ("fcfs-default", mk()),
+            ("sjf", mk().policy(SjfPolicy)),
+            ("guard", mk().policy(MaxWaitGuardPolicy::new(0.05))),
+            ("fcfs", mk().policy(FcfsPolicy)),
         ];
-        for sim in &sims {
-            let r = sim.replay(&trace).expect("replays");
-            prop_assert!(r.completed == 8, "{} must drain", sim.policy().name());
+        for (name, scenario) in scenarios {
+            let r = scenario.compile().expect("valid").run().expect("replays").report;
+            prop_assert!(r.completed == 8, "{} must drain", name);
             prop_assert!(r.goodput_tok_s <= r.throughput_tok_s);
         }
     }
@@ -345,39 +469,65 @@ proptest! {
     /// serial paths agree exactly and every routed request completes.
     #[test]
     fn cluster_replay_deterministic(seed in 0u64..16, blades in 1u32..5) {
-        use optimus::serving::{
-            ClusterConfig, ClusterSimulator, DispatchMode, RoutingPolicy, ServingConfig,
-            ServingSimulator, TraceConfig,
-        };
+        use optimus::serving::{RoutingPolicy, Scenario, TraceConfig};
         let system = optimus::MultiBladeSystem::new(blades).expect("valid");
-        let est = system.inference_estimator();
         let model = ModelZoo::llama2_7b();
         let par = Parallelism::new(1, 1, 1).expect("valid");
-        let trace = TraceConfig {
-            seed,
-            requests: 12,
-            arrival_rate_per_s: 300.0,
-            prompt_tokens: (16, 64),
-            output_tokens: (4, 12),
-        }
-        .synthesize()
-        .expect("valid");
-        let sim = ServingSimulator::new(&est, &model, &par, ServingConfig::unconstrained(4))
-            .expect("valid config");
-        let cluster = ClusterSimulator::new(
-            sim,
-            ClusterConfig {
-                blades,
-                routing: RoutingPolicy::JoinShortestQueue,
-                dispatch: DispatchMode::PerBlade,
-            },
-        )
-        .expect("valid cluster");
-        let p = cluster.replay(&trace).expect("replays");
-        let s = cluster.replay_serial(&trace).expect("replays");
+        let compiled = Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .routing(RoutingPolicy::JoinShortestQueue)
+            .poisson(TraceConfig {
+                seed,
+                requests: 12,
+                arrival_rate_per_s: 300.0,
+                prompt_tokens: (16, 64),
+                output_tokens: (4, 12),
+            })
+            .compile()
+            .expect("valid scenario");
+        let p = compiled.run().expect("replays");
+        let s = compiled.run_serial().expect("replays");
         prop_assert_eq!(&p, &s);
         prop_assert_eq!(p.report.completed, 12);
         prop_assert_eq!(p.per_blade.iter().map(|b| b.requests).sum::<u32>(), 12);
+    }
+
+    /// Disaggregated replay conservation: for any role split of a 4-blade
+    /// system, every request completes exactly once, prefill blades
+    /// complete none, and repeated runs are bit-identical.
+    #[test]
+    fn disaggregated_replay_conserves_requests(seed in 0u64..16, prefill in 1u32..4) {
+        use optimus::serving::{BladeRole, Scenario, Topology, TraceConfig};
+        let system = optimus::MultiBladeSystem::new(4).expect("valid");
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let compiled = Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .topology(Topology::disaggregated(prefill, 4 - prefill))
+            .poisson(TraceConfig {
+                seed,
+                requests: 12,
+                arrival_rate_per_s: 300.0,
+                prompt_tokens: (16, 64),
+                output_tokens: (4, 12),
+            })
+            .compile()
+            .expect("valid scenario");
+        let p = compiled.run().expect("replays");
+        prop_assert_eq!(&p, &compiled.run().expect("replays"));
+        prop_assert_eq!(p.report.completed, 12);
+        prop_assert_eq!(p.per_blade.iter().map(|b| b.requests).sum::<u32>(), 12);
+        for b in &p.per_blade {
+            if b.role == BladeRole::Prefill {
+                prop_assert_eq!(b.requests, 0);
+            }
+        }
     }
 
     /// Torus routing: the dimension-order path always reaches the

@@ -1,7 +1,9 @@
-//! Regression anchor for the serving refactor: the single-blade FCFS +
-//! contiguous-KV configuration of the rebuilt engine must reproduce the
-//! PR 2 monolith's `ServingReport` **bit-for-bit** on the seeded Poisson
-//! trace used by the bench experiments.
+//! Regression anchor for the serving API redesign: the single-blade
+//! FCFS + contiguous-KV configuration must reproduce the PR 2 monolith's
+//! `ServingReport` **bit-for-bit** on the seeded Poisson trace used by
+//! the bench experiments — both through the deprecated PR 3 constructor
+//! shim (`ServingSimulator::new`) and through the `Scenario` builder the
+//! shim now delegates into.
 //!
 //! The golden bit patterns below were captured from the pre-refactor
 //! `crates/core/src/serving.rs` (commit `bff4d3a`) replaying the
@@ -11,59 +13,97 @@
 //! 32), trace seed 2025 with 48 requests at 8 req/s and I/O ~200/200.
 
 use llm_workload::{ModelZoo, Parallelism};
-use optimus::serving::{ServingConfig, ServingSimulator, TraceConfig};
+use optimus::serving::{Scenario, ServingConfig, ServingReport, ServingSimulator, TraceConfig};
 use optimus::SpeedupStudy;
 
-#[test]
-fn single_blade_fcfs_contiguous_reproduces_pr2_bits() {
-    let model = ModelZoo::llama_405b();
-    let par = Parallelism::pure_tp(64).unwrap();
-    let est = SpeedupStudy::paper_baseline().scd_inference();
-    let config = ServingConfig::for_system(&est, &model, &par, 32).unwrap();
-    let trace = TraceConfig {
+fn golden_trace() -> TraceConfig {
+    TraceConfig {
         seed: 2025,
         requests: 48,
         arrival_rate_per_s: 8.0,
         prompt_tokens: (150, 250),
         output_tokens: (150, 250),
     }
-    .synthesize()
-    .unwrap();
+}
+
+fn assert_pr2_bits(path: &str, r: &ServingReport) {
+    assert_eq!(r.requests, 48, "{path}");
+    assert_eq!(r.completed, 48, "{path}");
+    assert_eq!(r.evictions, 0, "{path}");
+    assert_eq!(r.wasted_tokens, 0, "{path}");
+    assert_eq!(r.decode_iterations, 3300, "{path}");
+    let bits = [
+        ("makespan_s", r.makespan_s, 0x4014708407609be9u64),
+        ("throughput_tok_s", r.throughput_tok_s, 0x409dba5b5ab1f1e4),
+        ("goodput_tok_s", r.goodput_tok_s, 0x409dba5b5ab1f1e4),
+        ("slo_attainment", r.slo_attainment, 0x3ff0000000000000),
+        ("mean_batch", r.mean_batch, 0x4007a666cddab3e4),
+        ("decode_time_s", r.decode_time_s, 0x4013a5c20250ce63),
+        ("ttft.p50", r.ttft.p50, 0x3f6fdd14604de400),
+        ("ttft.p95", r.ttft.p95, 0x3f7679c31757e600),
+        ("ttft.p99", r.ttft.p99, 0x3f796fe787a21e00),
+        ("tpot.p50", r.tpot.p50, 0x3f58bfa3a25353fa),
+        ("tpot.p95", r.tpot.p95, 0x3f5987e162f6ebbc),
+        ("tpot.p99", r.tpot.p99, 0x3f59909e07f63427),
+        ("latency.p50", r.latency.p50, 0x3fd4396658dd2420),
+        ("latency.p95", r.latency.p95, 0x3fd81b42f3b214c0),
+        ("latency.p99", r.latency.p99, 0x3fd8c5ea83027430),
+    ];
+    for (name, got, want) in bits {
+        assert_eq!(
+            got.to_bits(),
+            want,
+            "{path}: {name} drifted from the PR 2 monolith: {got} ({:#018x} vs {want:#018x})",
+            got.to_bits()
+        );
+    }
+}
+
+/// The deprecated PR 3 constructor shim must keep reproducing the PR 2
+/// float bit patterns exactly.
+#[test]
+fn deprecated_single_blade_fcfs_shim_reproduces_pr2_bits() {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64).unwrap();
+    let est = SpeedupStudy::paper_baseline().scd_inference();
+    let config = ServingConfig::for_system(&est, &model, &par, 32).unwrap();
+    let trace = golden_trace().synthesize().unwrap();
+    #[allow(deprecated)] // the regression anchor pins the shim itself
     let sim = ServingSimulator::new(&est, &model, &par, config).unwrap();
 
     for (path, r) in [
-        ("parallel", sim.replay(&trace).unwrap()),
-        ("serial", sim.replay_serial(&trace).unwrap()),
+        ("shim/parallel", sim.replay(&trace).unwrap()),
+        ("shim/serial", sim.replay_serial(&trace).unwrap()),
     ] {
-        assert_eq!(r.requests, 48, "{path}");
-        assert_eq!(r.completed, 48, "{path}");
-        assert_eq!(r.evictions, 0, "{path}");
-        assert_eq!(r.wasted_tokens, 0, "{path}");
-        assert_eq!(r.decode_iterations, 3300, "{path}");
-        let bits = [
-            ("makespan_s", r.makespan_s, 0x4014708407609be9u64),
-            ("throughput_tok_s", r.throughput_tok_s, 0x409dba5b5ab1f1e4),
-            ("goodput_tok_s", r.goodput_tok_s, 0x409dba5b5ab1f1e4),
-            ("slo_attainment", r.slo_attainment, 0x3ff0000000000000),
-            ("mean_batch", r.mean_batch, 0x4007a666cddab3e4),
-            ("decode_time_s", r.decode_time_s, 0x4013a5c20250ce63),
-            ("ttft.p50", r.ttft.p50, 0x3f6fdd14604de400),
-            ("ttft.p95", r.ttft.p95, 0x3f7679c31757e600),
-            ("ttft.p99", r.ttft.p99, 0x3f796fe787a21e00),
-            ("tpot.p50", r.tpot.p50, 0x3f58bfa3a25353fa),
-            ("tpot.p95", r.tpot.p95, 0x3f5987e162f6ebbc),
-            ("tpot.p99", r.tpot.p99, 0x3f59909e07f63427),
-            ("latency.p50", r.latency.p50, 0x3fd4396658dd2420),
-            ("latency.p95", r.latency.p95, 0x3fd81b42f3b214c0),
-            ("latency.p99", r.latency.p99, 0x3fd8c5ea83027430),
-        ];
-        for (name, got, want) in bits {
-            assert_eq!(
-                got.to_bits(),
-                want,
-                "{path}: {name} drifted from the PR 2 monolith: {got} ({:#018x} vs {want:#018x})",
-                got.to_bits()
-            );
-        }
+        assert_pr2_bits(path, &r);
+        // The default SLO class blends to the same goodput bits.
+        assert_eq!(r.per_class.len(), 1);
+        assert_eq!(
+            r.per_class[0].goodput_tok_s.to_bits(),
+            r.goodput_tok_s.to_bits()
+        );
+    }
+}
+
+/// The scenario builder with the equivalent settings (for-system KV,
+/// FCFS, one blade) must produce the same bits as the shim — the shim
+/// and `Scenario` funnel into one validated core.
+#[test]
+fn scenario_single_blade_default_reproduces_pr2_bits() {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64).unwrap();
+    let compiled = Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(32)
+        .poisson(golden_trace())
+        .compile()
+        .unwrap();
+    for (path, r) in [
+        ("scenario/parallel", compiled.run().unwrap()),
+        ("scenario/serial", compiled.run_serial().unwrap()),
+    ] {
+        assert_eq!(r.blades, 1, "{path}");
+        assert_pr2_bits(path, &r.report);
     }
 }
