@@ -1,10 +1,10 @@
 //! Criterion bench: scenario-compiled serving replays — single blade,
-//! the cluster loop at 1/4/16 blades, and the disaggregated
-//! prefill→decode loop.
+//! the cluster loop at 1/4/16 blades, the disaggregated prefill→decode
+//! loop, and the prefix-cached shared-prompt replay.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use llm_workload::{ModelZoo, Parallelism};
-use optimus::serving::{RoutingPolicy, Scenario, Topology, TraceConfig};
+use optimus::serving::{RoutingPolicy, Scenario, SharedPrefixTraceConfig, Topology, TraceConfig};
 use optimus::{InferenceEstimator, MultiBladeSystem};
 use scd_arch::Blade;
 use scd_tech::units::Bandwidth;
@@ -83,5 +83,43 @@ fn bench_cluster(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_serving, bench_cluster);
+fn bench_prefix_caching(c: &mut Criterion) {
+    let blade = Blade::baseline();
+    let est = InferenceEstimator::new(
+        blade
+            .accelerator()
+            .with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+        blade.interconnect(),
+    );
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = SharedPrefixTraceConfig {
+        seed: 3,
+        requests: 96,
+        arrival_rate_per_s: 60.0,
+        prefixes: 4,
+        prefix_tokens: (256, 512),
+        zipf_s: 1.0,
+        share_fraction: 0.9,
+        unique_prompt_tokens: (16, 64),
+        output_tokens: (8, 32),
+    };
+    for (name, caching) in [("off", false), ("on", true)] {
+        let mut s = Scenario::on_estimator(est.clone())
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(8)
+            .unconstrained_kv()
+            .trace(&trace);
+        if caching {
+            s = s.prefix_caching(16);
+        }
+        let compiled = s.compile().unwrap();
+        c.bench_function(&format!("serving/prefix_cache_{name}"), |b| {
+            b.iter(|| black_box(&compiled).run().unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_serving, bench_cluster, bench_prefix_caching);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //!
 //! `--smoke` runs a CI-friendly subset: the technology/spec tables plus
 //! one representative study per subsystem (training, inference, serving
-//! — including the scenario-driven cluster, disaggregation and
-//! recorded-trace studies), skipping the long sweeps.
+//! — including the scenario-driven cluster, disaggregation,
+//! recorded-trace and prefix-caching studies), skipping the long sweeps.
 fn main() -> Result<(), scd_perf::ScdError> {
     use scd_bench::{
         inference_experiments as inf, l2_study, spec_tables as spec, training_experiments as tr,
@@ -34,6 +34,10 @@ fn main() -> Result<(), scd_perf::ScdError> {
         println!(
             "{}\n{hr}",
             srv::render_recorded_trace(&srv::recorded_trace_study()?)
+        );
+        println!(
+            "{}\n{hr}",
+            srv::render_prefix_caching(&srv::prefix_caching_study()?)
         );
         print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
         return Ok(());
@@ -95,6 +99,10 @@ fn main() -> Result<(), scd_perf::ScdError> {
     println!(
         "{}\n{hr}",
         srv::render_recorded_trace(&srv::recorded_trace_study()?)
+    );
+    println!(
+        "{}\n{hr}",
+        srv::render_prefix_caching(&srv::prefix_caching_study()?)
     );
     print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
     Ok(())

@@ -28,6 +28,10 @@ fn main() -> Result<(), optimus::OptimusError> {
         "{}\n{hr}",
         srv::render_recorded_trace(&srv::recorded_trace_study()?)
     );
+    println!(
+        "{}\n{hr}",
+        srv::render_prefix_caching(&srv::prefix_caching_study()?)
+    );
     print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
     Ok(())
 }

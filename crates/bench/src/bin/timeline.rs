@@ -1,0 +1,15 @@
+//! Dumps a per-request admission→prefill→handoff→completion event CSV
+//! for the showcase serving scenario (1 prefill blade feeding 3 decode
+//! blades with prefix caching over a shared-prefix trace), built on the
+//! `SimObserver` seam.
+//!
+//! ```console
+//! cargo run --release -p scd-bench --bin timeline            # lifecycle events
+//! cargo run --release -p scd-bench --bin timeline -- --steps # + per-iteration rows
+//! ```
+fn main() -> Result<(), optimus::OptimusError> {
+    let include_steps = std::env::args().any(|a| a == "--steps");
+    let timeline = scd_bench::timeline::showcase_timeline()?;
+    print!("{}", timeline.render_csv(include_steps));
+    Ok(())
+}

@@ -13,5 +13,6 @@ pub mod inference_experiments;
 pub mod l2_study;
 pub mod serving_experiments;
 pub mod spec_tables;
+pub mod timeline;
 pub mod training_experiments;
 pub mod validation;

@@ -1,0 +1,330 @@
+//! Timeline tooling on top of the [`SimObserver`] seam: record every
+//! engine event of a replay and dump a per-request
+//! admission→prefill-chunk→handoff→completion event CSV — the
+//! observer-driven alternative to growing the report structs (the
+//! ROADMAP's "observer-driven tooling" item).
+//!
+//! The CSV is one event per row, sorted by event time (ties keep engine
+//! order), so a per-request lifecycle is the subset of rows sharing a
+//! `request` id and a Gantt lane is the subset sharing a `blade`:
+//!
+//! ```csv
+//! clock_s,event,blade,request,detail
+//! 0.013127,admission,0,3,
+//! 0.013127,cache_hit,0,3,240
+//! 0.029418,handoff,0,3,0.000114
+//! ```
+
+use optimus::serving::{RequestSpec, SimObserver};
+use std::fmt::Write as _;
+
+/// What happened at one instant of a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineEventKind {
+    /// A request joined a blade's running batch.
+    Admission,
+    /// A running request was preempted (detail: wasted tokens).
+    Eviction,
+    /// A chunked-prefill slice was dispatched (detail: chunk tokens).
+    Chunk,
+    /// A prefill blade started streaming finished KV (detail: transfer
+    /// seconds).
+    Handoff,
+    /// A shared prefix hit the blade's cache (detail: tokens skipped).
+    CacheHit,
+    /// A shared prefix missed the blade's cache.
+    CacheMiss,
+    /// An unreferenced shared block was reclaimed (detail: block tokens).
+    CacheEvict,
+    /// A request emitted its final token.
+    Completion,
+    /// A blade finished one engine iteration (detail: step seconds; no
+    /// request attribution).
+    Step,
+}
+
+impl TimelineEventKind {
+    /// Stable CSV label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Admission => "admission",
+            Self::Eviction => "eviction",
+            Self::Chunk => "chunk",
+            Self::Handoff => "handoff",
+            Self::CacheHit => "cache_hit",
+            Self::CacheMiss => "cache_miss",
+            Self::CacheEvict => "cache_evict",
+            Self::Completion => "completion",
+            Self::Step => "step",
+        }
+    }
+}
+
+/// One recorded engine event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEvent {
+    /// Event kind.
+    pub kind: TimelineEventKind,
+    /// Blade the event happened on.
+    pub blade: u32,
+    /// Blade clock at the event (s).
+    pub clock_s: f64,
+    /// Request id ([`RequestSpec::id`]); `None` for blade-level events
+    /// (steps, cache evictions).
+    pub request: Option<u32>,
+    /// Kind-specific payload (tokens or seconds; 0 when unused).
+    pub detail: f64,
+}
+
+/// A [`SimObserver`] that records the whole replay as an event list.
+///
+/// Observers are read-only, so recording a timeline never perturbs the
+/// replay (`run_observed` is bit-identical to `run_serial`).
+#[derive(Debug, Clone, Default)]
+pub struct TimelineObserver {
+    /// Recorded events, in engine order.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl TimelineObserver {
+    fn push(
+        &mut self,
+        kind: TimelineEventKind,
+        blade: u32,
+        clock_s: f64,
+        request: Option<u32>,
+        detail: f64,
+    ) {
+        self.events.push(TimelineEvent {
+            kind,
+            blade,
+            clock_s,
+            request,
+            detail,
+        });
+    }
+
+    /// Events involving request `id`, in engine order — its lifecycle.
+    #[must_use]
+    pub fn request_events(&self, id: u32) -> Vec<TimelineEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.request == Some(id))
+            .collect()
+    }
+
+    /// Renders the recorded timeline as CSV, rows sorted by event time
+    /// (stable: ties keep engine order). `include_steps` also emits the
+    /// per-iteration `step` rows (one per engine iteration — verbose,
+    /// but what a Gantt lane needs).
+    #[must_use]
+    pub fn render_csv(&self, include_steps: bool) -> String {
+        let mut rows: Vec<&TimelineEvent> = self
+            .events
+            .iter()
+            .filter(|e| include_steps || e.kind != TimelineEventKind::Step)
+            .collect();
+        rows.sort_by(|a, b| a.clock_s.total_cmp(&b.clock_s));
+        let mut out = String::from("clock_s,event,blade,request,detail\n");
+        for e in rows {
+            let request = e.request.map_or(String::new(), |r| r.to_string());
+            let detail = if e.detail == 0.0 {
+                String::new()
+            } else {
+                format!("{:.6}", e.detail)
+            };
+            let _ = writeln!(
+                out,
+                "{:.6},{},{},{request},{detail}",
+                e.clock_s,
+                e.kind.label(),
+                e.blade
+            );
+        }
+        out
+    }
+}
+
+impl SimObserver for TimelineObserver {
+    fn on_admission(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        self.push(
+            TimelineEventKind::Admission,
+            blade,
+            clock_s,
+            Some(request.id),
+            0.0,
+        );
+    }
+
+    fn on_eviction(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, wasted_tokens: u32) {
+        self.push(
+            TimelineEventKind::Eviction,
+            blade,
+            clock_s,
+            Some(request.id),
+            f64::from(wasted_tokens),
+        );
+    }
+
+    fn on_chunk(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, chunk_tokens: u32) {
+        self.push(
+            TimelineEventKind::Chunk,
+            blade,
+            clock_s,
+            Some(request.id),
+            f64::from(chunk_tokens),
+        );
+    }
+
+    fn on_handoff(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, transfer_s: f64) {
+        self.push(
+            TimelineEventKind::Handoff,
+            blade,
+            clock_s,
+            Some(request.id),
+            transfer_s,
+        );
+    }
+
+    fn on_cache_hit(
+        &mut self,
+        blade: u32,
+        clock_s: f64,
+        request: &RequestSpec,
+        cached_tokens: u32,
+    ) {
+        self.push(
+            TimelineEventKind::CacheHit,
+            blade,
+            clock_s,
+            Some(request.id),
+            f64::from(cached_tokens),
+        );
+    }
+
+    fn on_cache_miss(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        self.push(
+            TimelineEventKind::CacheMiss,
+            blade,
+            clock_s,
+            Some(request.id),
+            0.0,
+        );
+    }
+
+    fn on_cache_evict(&mut self, blade: u32, clock_s: f64, block_tokens: u32) {
+        self.push(
+            TimelineEventKind::CacheEvict,
+            blade,
+            clock_s,
+            None,
+            f64::from(block_tokens),
+        );
+    }
+
+    fn on_completion(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        self.push(
+            TimelineEventKind::Completion,
+            blade,
+            clock_s,
+            Some(request.id),
+            0.0,
+        );
+    }
+
+    fn on_step(&mut self, blade: u32, clock_s: f64, step_s: f64, _decoding: u32) {
+        self.push(TimelineEventKind::Step, blade, clock_s, None, step_s);
+    }
+}
+
+/// Runs the bundled showcase scenario — 1 prefill blade feeding 3 decode
+/// blades, chunked prefill, prefix caching over a shared-prefix trace —
+/// and returns its timeline (used by the `timeline` binary and tests).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn showcase_timeline() -> Result<TimelineObserver, optimus::OptimusError> {
+    use llm_workload::{ModelZoo, Parallelism};
+    use optimus::serving::{Scenario, SharedPrefixTraceConfig, Topology};
+    use optimus::MultiBladeSystem;
+
+    let system = MultiBladeSystem::new(4)?;
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1)?;
+    let trace = SharedPrefixTraceConfig {
+        seed: 42,
+        requests: 24,
+        arrival_rate_per_s: 80.0,
+        prefixes: 2,
+        prefix_tokens: (200, 300),
+        zipf_s: 1.0,
+        share_fraction: 0.8,
+        unique_prompt_tokens: (16, 64),
+        output_tokens: (8, 24),
+    };
+    let mut timeline = TimelineObserver::default();
+    Scenario::new(&system)
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(6)
+        .unconstrained_kv()
+        .topology(Topology::disaggregated(1, 3))
+        .prefix_caching(16)
+        .trace(&trace)
+        .compile()?
+        .run_observed(&mut timeline)?;
+    Ok(timeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_records_full_lifecycles_and_renders_csv() {
+        let timeline = showcase_timeline().unwrap();
+        // Every request admits, hands off exactly once per (re)stream,
+        // and completes exactly once.
+        for id in 0..24u32 {
+            let events = timeline.request_events(id);
+            let count = |kind| events.iter().filter(|e| e.kind == kind).count();
+            assert!(count(TimelineEventKind::Admission) >= 1, "request {id}");
+            assert!(count(TimelineEventKind::Handoff) >= 1, "request {id}");
+            assert_eq!(count(TimelineEventKind::Completion), 1, "request {id}");
+            // The lifecycle is causally ordered: handoff before the
+            // decode admission, completion last.
+            let last = events.last().unwrap();
+            assert_eq!(last.kind, TimelineEventKind::Completion);
+        }
+        // The shared-prefix workload produced cache activity.
+        assert!(timeline
+            .events
+            .iter()
+            .any(|e| e.kind == TimelineEventKind::CacheHit));
+
+        let csv = timeline.render_csv(false);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("clock_s,event,blade,request,detail"));
+        let rows: Vec<&str> = lines.collect();
+        assert!(rows.iter().any(|r| r.contains(",admission,")));
+        assert!(rows.iter().any(|r| r.contains(",handoff,")));
+        assert!(rows.iter().any(|r| r.contains(",cache_hit,")));
+        assert!(rows.iter().any(|r| r.contains(",completion,")));
+        assert!(!csv.contains(",step,"), "steps excluded by default");
+        // Rows are time-sorted.
+        let clocks: Vec<f64> = rows
+            .iter()
+            .map(|r| r.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        for w in clocks.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // With steps included the CSV strictly grows.
+        let with_steps = timeline.render_csv(true);
+        assert!(with_steps.contains(",step,"));
+        assert!(with_steps.lines().count() > csv.lines().count());
+    }
+}

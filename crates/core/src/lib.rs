@@ -15,10 +15,11 @@
 //! * [`mapper`] — exhaustive TP/PP search for the best mapping.
 //! * [`scheduler`] — static batch planning under a per-token budget.
 //! * [`serving`] — policy-driven continuous-batching serving engine:
-//!   pluggable traces (Poisson/bursty/diurnal/CSV), FCFS/SJF/aging
-//!   scheduler policies, contiguous or paged KV with chunked prefill,
-//!   TTFT/TPOT tails and goodput, and a multi-blade cluster simulator
-//!   with round-robin / join-shortest-queue / least-loaded-KV routing.
+//!   pluggable traces (Poisson/bursty/diurnal/shared-prefix/CSV),
+//!   FCFS/SJF/aging scheduler policies, contiguous or paged KV with
+//!   chunked prefill and ref-counted prefix caching, TTFT/TPOT tails and
+//!   goodput, and a multi-blade cluster simulator with round-robin /
+//!   join-shortest-queue / least-loaded-KV routing.
 //! * [`compare`] — SCD-vs-GPU speed-up harnesses.
 //! * [`scaling`] — multi-blade weak-scaling projection (§VII outlook).
 //! * [`energy`] — device- and wall-plug-level energy projection.

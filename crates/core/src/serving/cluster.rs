@@ -260,6 +260,11 @@ pub struct BladeLoad {
     pub mean_batch: f64,
     /// Preemptions on this blade.
     pub evictions: u32,
+    /// Prefix-cache hits on this blade (0 with prefix caching off).
+    pub prefix_hits: u64,
+    /// Peak capacity pinned by this blade's resident shared prefix
+    /// blocks (bytes; 0 with prefix caching off).
+    pub shared_kv_peak_bytes: f64,
 }
 
 /// Outcome of a cluster replay: the merged single-system view plus the
@@ -510,7 +515,10 @@ impl<'a> ClusterSimulator<'a> {
          -> (BladeState, Vec<Outcome>) {
             let mut outcomes = vec![Outcome::default(); trace.len()];
             if queue.is_empty() {
-                return (BladeState::new(b as u32, 0.0), outcomes);
+                return (
+                    BladeState::new(b as u32, 0.0, self.sim.config().prefix),
+                    outcomes,
+                );
             }
             let state = ctx.drive(b as u32, trace, queue, &mut outcomes, obs);
             (state, outcomes)
@@ -563,7 +571,7 @@ impl<'a> ClusterSimulator<'a> {
         let mut queue = ServingSimulator::arrival_queue(trace);
         let mut outcomes = vec![Outcome::default(); trace.len()];
         let mut states: Vec<BladeState> = (0..blades)
-            .map(|b| BladeState::new(b as u32, 0.0))
+            .map(|b| BladeState::new(b as u32, 0.0, self.sim.config().prefix))
             .collect();
         let mut ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
         let mut victims: Vec<usize> = Vec::new();
@@ -664,6 +672,8 @@ pub(crate) fn assemble(
                 0.0
             },
             evictions: s.evictions,
+            prefix_hits: s.prefix_hits,
+            shared_kv_peak_bytes: s.shared_peak_tokens as f64 * sim.kv_bytes_per_token(),
         })
         .collect();
     let max_util = per_blade.iter().map(|b| b.utilization).fold(0.0, f64::max);
@@ -712,7 +722,7 @@ pub(crate) fn run_disaggregated(
         .map(|(b, _)| b)
         .collect();
     let mut states: Vec<BladeState> = (0..roles.len())
-        .map(|b| BladeState::new(b as u32, 0.0))
+        .map(|b| BladeState::new(b as u32, 0.0, sim.config().prefix))
         .collect();
     let mut prompt_queue = ServingSimulator::arrival_queue(trace);
     let mut decode_queue: VecDeque<usize> = VecDeque::new();
@@ -775,7 +785,50 @@ pub(crate) fn run_disaggregated(
             let idx = prompt_queue.pop_front().expect("prompt queue non-empty");
             let r = &trace[idx];
             let start = blade.clock.max(r.arrival_s);
-            let cost = table.prefill_cost(r.prompt_tokens);
+            // Prefix caching on the prefill tier: a cached prefix skips
+            // its prefill compute here. The blade retains no sequence KV
+            // (everything streams to the decode pool), so the cache is
+            // its only occupancy and is bounded by the blade's KV budget;
+            // references are dropped as soon as the handoff is priced.
+            let mut skip = 0u32;
+            if let (Some(pc), Some(prefix)) = (sim.config().prefix, r.prefix) {
+                let (chain, hits, covered) = blade.acquire_prefix(pc, prefix);
+                skip = covered;
+                blade.record_prefix_admission(pc, prefix, chain.len(), hits, skip);
+                if skip > 0 {
+                    obs.on_cache_hit(b as u32, start, r, skip);
+                } else {
+                    obs.on_cache_miss(b as u32, start, r);
+                }
+                let cache = blade.cache.as_mut().expect("cache present when enabled");
+                cache
+                    .insert(&chain, hits)
+                    .expect("suffix absent by acquire");
+                cache
+                    .release(&chain, chain.len())
+                    .expect("acquired/inserted above");
+                let budget = (sim.config().kv_capacity_bytes / sim.kv_bytes_per_token()) as u64;
+                let evicted = cache.evict_to_budget(pc.block_tokens, budget);
+                blade.cache_evictions += evicted;
+                for _ in 0..evicted {
+                    obs.on_cache_evict(b as u32, start, pc.block_tokens);
+                }
+                // The cache is the prefill blade's whole KV occupancy:
+                // fold it into the blade's peak (and its partial tail
+                // blocks into fragmentation) so shared ≤ total holds.
+                let charged = cache.charged_tokens(pc.block_tokens);
+                blade.shared_peak_tokens = blade.shared_peak_tokens.max(charged);
+                blade.kv_peak_tokens = blade.kv_peak_tokens.max(charged);
+                blade.frag_peak_tokens = blade
+                    .frag_peak_tokens
+                    .max(charged - cache.resident_tokens());
+                outcomes[idx].prefix_saved_tokens += u64::from(skip);
+            }
+            let cost = if r.prompt_tokens > skip {
+                table.prefill_cost(r.prompt_tokens - skip)
+            } else {
+                0.0
+            };
             blade.clock = start + cost;
             blade.busy_s += cost;
             blade.max_step_s = blade.max_step_s.max(cost);

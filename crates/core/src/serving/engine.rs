@@ -11,6 +11,7 @@
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
+use super::prefix::{PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
 use super::report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
 use super::traces::{RequestSpec, TraceConfig};
 use crate::error::OptimusError;
@@ -66,6 +67,11 @@ pub struct ServingConfig {
     pub prefill_chunk_tokens: u32,
     /// Iteration-cost pricing mode.
     pub decode_pricing: DecodePricing,
+    /// Prefix caching: share common prompt prefixes as ref-counted KV
+    /// blocks ([`PrefixCache`]), skipping their prefill and storing them
+    /// once against capacity. `None` — the default — keeps every replay
+    /// byte-identical to the pre-prefix-cache engine.
+    pub prefix: Option<PrefixCachingConfig>,
 }
 
 impl ServingConfig {
@@ -85,6 +91,7 @@ impl ServingConfig {
             kv_layout: KvLayout::Contiguous,
             prefill_chunk_tokens: 0,
             decode_pricing: DecodePricing::BucketizedMean,
+            prefix: None,
         }
     }
 
@@ -126,6 +133,7 @@ impl ServingConfig {
             kv_layout: KvLayout::Contiguous,
             prefill_chunk_tokens: 0,
             decode_pricing: DecodePricing::BucketizedMean,
+            prefix: None,
         })
     }
 
@@ -147,6 +155,13 @@ impl ServingConfig {
     #[must_use]
     pub fn with_exact_pricing(mut self) -> Self {
         self.decode_pricing = DecodePricing::ExactPerSequence;
+        self
+    }
+
+    /// Enables prefix caching with `block_tokens`-token shared blocks.
+    #[must_use]
+    pub fn with_prefix_caching(mut self, block_tokens: u32) -> Self {
+        self.prefix = Some(PrefixCachingConfig { block_tokens });
         self
     }
 
@@ -172,6 +187,9 @@ impl ServingConfig {
             return Err(OptimusError::Serving {
                 reason: "SLO targets must be positive".to_owned(),
             });
+        }
+        if let Some(prefix) = &self.prefix {
+            prefix.validate()?;
         }
         self.kv_layout.validate()
     }
@@ -226,6 +244,10 @@ pub struct RunningSeq {
     /// Prompt tokens still awaiting prefill (chunked mode); 0 once the
     /// sequence decodes.
     pub prefill_remaining: u32,
+    /// Tokens of this sequence's KV held in shared prefix blocks (full
+    /// blocks only; charged once globally, not against this sequence).
+    /// 0 when prefix caching is off.
+    pub shared_tokens: u32,
 }
 
 impl RunningSeq {
@@ -237,15 +259,18 @@ impl RunningSeq {
             kv_len: prompt_tokens,
             produced: 0,
             prefill_remaining: 0,
+            shared_tokens: 0,
         }
     }
 }
 
-/// Per-request replay outcome (first token + completion instants).
+/// Per-request replay outcome (first token + completion instants, plus
+/// prefill work avoided by prefix-cache hits, summed across attempts).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct Outcome {
     pub(crate) first_token_s: Option<f64>,
     pub(crate) completion_s: Option<f64>,
+    pub(crate) prefix_saved_tokens: u64,
 }
 
 /// Mutable per-blade replay state: the running batch, the blade clock and
@@ -268,10 +293,57 @@ pub(crate) struct BladeState {
     pub(crate) served: u32,
     pub(crate) kv_peak_tokens: u64,
     pub(crate) frag_peak_tokens: u64,
+    /// Per-blade shared-block cache (KV is per-blade memory); present iff
+    /// the configuration enables prefix caching.
+    pub(crate) cache: Option<PrefixCache>,
+    pub(crate) prefix_hits: u64,
+    pub(crate) prefix_misses: u64,
+    pub(crate) cow_copies: u64,
+    pub(crate) cache_evictions: u64,
+    pub(crate) shared_peak_tokens: u64,
 }
 
 impl BladeState {
-    pub(crate) fn new(id: u32, clock: f64) -> Self {
+    /// Acquires `prefix`'s block chain in this blade's cache, returning
+    /// the chain, the count of leading blocks already resident, and the
+    /// prefill tokens they cover. The hits hold references until
+    /// released; the caller inserts the missing suffix once its capacity
+    /// or budget check passes (or releases the hits to roll back).
+    pub(crate) fn acquire_prefix(
+        &mut self,
+        pc: PrefixCachingConfig,
+        prefix: SharedPrefix,
+    ) -> (Vec<PrefixBlock>, usize, u32) {
+        let cache = self.cache.as_mut().expect("cache present when enabled");
+        let chain = prefix.block_chain(pc.block_tokens);
+        let hits = cache.acquire(&chain);
+        let skip = chain[..hits].iter().map(|b| b.tokens).sum();
+        (chain, hits, skip)
+    }
+
+    /// Records a completed prefix admission: one hit (some leading block
+    /// was resident) or miss, plus the copy-on-write tail copy a
+    /// full-chain hit of a non-block-aligned prefix pays — a shared
+    /// partial tail block cannot be appended to in place.
+    pub(crate) fn record_prefix_admission(
+        &mut self,
+        pc: PrefixCachingConfig,
+        prefix: SharedPrefix,
+        chain_len: usize,
+        hits: usize,
+        skip: u32,
+    ) {
+        if skip > 0 {
+            self.prefix_hits += 1;
+        } else {
+            self.prefix_misses += 1;
+        }
+        if hits == chain_len && !prefix.tokens.is_multiple_of(pc.block_tokens) {
+            self.cow_copies += 1;
+        }
+    }
+
+    pub(crate) fn new(id: u32, clock: f64, prefix: Option<PrefixCachingConfig>) -> Self {
         Self {
             id,
             running: Vec::new(),
@@ -286,6 +358,12 @@ impl BladeState {
             served: 0,
             kv_peak_tokens: 0,
             frag_peak_tokens: 0,
+            cache: prefix.map(|_| PrefixCache::new()),
+            prefix_hits: 0,
+            prefix_misses: 0,
+            cow_copies: 0,
+            cache_evictions: 0,
+            shared_peak_tokens: 0,
         }
     }
 }
@@ -299,19 +377,136 @@ pub(crate) struct EngineCtx<'a> {
     pub(crate) kv_bytes_per_token: f64,
 }
 
+/// What one admission decided: the trace index, the prefill tokens a
+/// prefix-cache hit lets the blade skip, and the tokens of the sequence's
+/// KV that live in shared blocks (charged once globally).
+#[derive(Debug, Clone, Copy)]
+struct Admission {
+    idx: usize,
+    skip: u32,
+    shared: u32,
+}
+
 impl EngineCtx<'_> {
     fn kv_bytes(&self, tokens_charged: u64) -> f64 {
         tokens_charged as f64 * self.kv_bytes_per_token
     }
 
-    /// Charged-token footprint of `r` including this iteration's growth
-    /// (+1 for decoding sequences; prefilling ones hold their reserved
-    /// prompt only).
+    /// Charged-token footprint of `r`'s *private* KV including this
+    /// iteration's growth (+1 for decoding sequences; prefilling ones
+    /// hold their reserved prompt only). Tokens resident in shared prefix
+    /// blocks are excluded — they are charged once per blade, via
+    /// [`Self::cache_charged`].
     fn charge(&self, r: &RunningSeq) -> u64 {
         let growth = u64::from(r.prefill_remaining == 0);
         self.config
             .kv_layout
-            .charged_tokens(u64::from(r.kv_len) + growth)
+            .charged_tokens(u64::from(r.kv_len) + growth - u64::from(r.shared_tokens))
+    }
+
+    /// Capacity charged by `blade`'s resident shared blocks (0 with
+    /// prefix caching off — keeping every legacy comparison on the exact
+    /// integer value it always used).
+    fn cache_charged(&self, blade: &BladeState) -> u64 {
+        match (&blade.cache, self.config.prefix) {
+            (Some(cache), Some(pc)) => cache.charged_tokens(pc.block_tokens),
+            _ => 0,
+        }
+    }
+
+    /// Decides whether `trace[idx]` fits this iteration, mutating the
+    /// blade's prefix cache (acquire/insert, LRU reclaim) when caching is
+    /// on. Returns `None` — with the cache state rolled back — when the
+    /// request cannot fit even after reclaiming every unreferenced cached
+    /// block.
+    fn try_admit(
+        &self,
+        trace: &[RequestSpec],
+        idx: usize,
+        streamed: bool,
+        projected: &mut u64,
+        blade: &mut BladeState,
+        obs: &mut dyn SimObserver,
+    ) -> Option<Admission> {
+        let cfg = self.config;
+        let r = &trace[idx];
+        if let (Some(pc), Some(prefix), false) = (cfg.prefix, r.prefix, streamed) {
+            let (chain, hits, skip) = blade.acquire_prefix(pc, prefix);
+            let shared = prefix.shared_tokens(pc.block_tokens);
+            let private = cfg
+                .kv_layout
+                .charged_tokens(u64::from(r.prompt_tokens) + 1 - u64::from(shared));
+            let new_blocks = (chain.len() - hits) as u64;
+            let block = u64::from(pc.block_tokens);
+            let cache = blade.cache.as_mut().expect("cache present when enabled");
+            loop {
+                let total = *projected
+                    + private
+                    + cache.charged_tokens(pc.block_tokens)
+                    + new_blocks * block;
+                if self.kv_bytes(total) <= cfg.kv_capacity_bytes {
+                    break;
+                }
+                // Reclaim cold cached blocks before refusing admission.
+                if cache.evict_lru().is_none() {
+                    cache.release(&chain, hits).expect("acquired above");
+                    return None;
+                }
+                blade.cache_evictions += 1;
+                obs.on_cache_evict(blade.id, blade.clock, pc.block_tokens);
+            }
+            cache
+                .insert(&chain, hits)
+                .expect("suffix absent by acquire");
+            blade.record_prefix_admission(pc, prefix, chain.len(), hits, skip);
+            *projected += private;
+            Some(Admission { idx, skip, shared })
+        } else {
+            let candidate = cfg.kv_layout.charged_tokens(u64::from(r.prompt_tokens) + 1);
+            loop {
+                let total = *projected + candidate + self.cache_charged(blade);
+                if self.kv_bytes(total) <= cfg.kv_capacity_bytes {
+                    break;
+                }
+                blade.cache.as_mut()?.evict_lru()?;
+                blade.cache_evictions += 1;
+                obs.on_cache_evict(
+                    blade.id,
+                    blade.clock,
+                    cfg.prefix.expect("cache implies config").block_tokens,
+                );
+            }
+            *projected += candidate;
+            Some(Admission {
+                idx,
+                skip: 0,
+                shared: 0,
+            })
+        }
+    }
+
+    /// Drops the references sequence `r` holds on its prefix chain (it
+    /// acquired/inserted them at admission) when it leaves the blade.
+    /// Streamed (handed-off) sequences never touched the cache.
+    fn release_chain(
+        &self,
+        trace: &[RequestSpec],
+        r: &RunningSeq,
+        prefilled: Option<&[bool]>,
+        blade: &mut BladeState,
+    ) {
+        if prefilled.is_some_and(|p| p[r.idx]) {
+            return;
+        }
+        if let (Some(pc), Some(prefix)) = (self.config.prefix, trace[r.idx].prefix) {
+            let chain = prefix.block_chain(pc.block_tokens);
+            blade
+                .cache
+                .as_mut()
+                .expect("cache present when enabled")
+                .release(&chain, chain.len())
+                .expect("sequence held its chain since admission");
+        }
     }
 
     /// One engine iteration on `blade`: admit from the (policy-ordered)
@@ -345,53 +540,92 @@ impl EngineCtx<'_> {
         let cfg = self.config;
 
         // Admission against batch slots and projected KV growth (every
-        // decoding sequence appends one token this iteration).
+        // decoding sequence appends one token this iteration). `projected`
+        // tracks private charges only; resident shared blocks are added
+        // per comparison via `cache_charged` (0 with caching off, keeping
+        // the legacy comparison on its exact integer value).
         let mut projected: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
-        let mut admitted: Vec<usize> = Vec::new();
+        let mut admitted: Vec<Admission> = Vec::new();
         while let Some(&idx) = queue.front() {
             if ready[idx] > blade.clock
                 || blade.running.len() + admitted.len() >= cfg.max_batch as usize
             {
                 break;
             }
-            let candidate = cfg
-                .kv_layout
-                .charged_tokens(u64::from(trace[idx].prompt_tokens) + 1);
-            if self.kv_bytes(projected + candidate) > cfg.kv_capacity_bytes {
+            let streamed = prefilled.is_some_and(|p| p[idx]);
+            let Some(adm) = self.try_admit(trace, idx, streamed, &mut projected, blade, obs) else {
                 break;
-            }
-            projected += candidate;
-            admitted.push(idx);
+            };
+            admitted.push(adm);
             queue.pop_front();
         }
         let mut step_cost = 0.0f64;
-        for &idx in &admitted {
+        for &Admission { idx, skip, shared } in &admitted {
             obs.on_admission(blade.id, blade.clock, &trace[idx]);
-            let prompt = trace[idx].prompt_tokens;
-            if prefilled.is_some_and(|p| p[idx]) {
+            let r = &trace[idx];
+            let prompt = r.prompt_tokens;
+            let streamed = prefilled.is_some_and(|p| p[idx]);
+            if cfg.prefix.is_some() && r.prefix.is_some() && !streamed {
+                if skip > 0 {
+                    obs.on_cache_hit(blade.id, blade.clock, r, skip);
+                } else {
+                    obs.on_cache_miss(blade.id, blade.clock, r);
+                }
+                outcomes[idx].prefix_saved_tokens += u64::from(skip);
+            }
+            if streamed {
                 // KV streamed in from a prefill blade: decode-ready at
                 // full prompt length, no prefill work on this blade.
                 blade.running.push(RunningSeq::admitted(idx, prompt));
             } else if cfg.prefill_chunk_tokens == 0 {
-                // Whole-prompt prefill in the admission iteration.
-                step_cost += self.table.prefill_cost(prompt);
-                blade.running.push(RunningSeq::admitted(idx, prompt));
+                // Whole-prompt prefill in the admission iteration, minus
+                // the prefix tokens already cached on this blade.
+                if prompt > skip {
+                    step_cost += self.table.prefill_cost(prompt - skip);
+                }
+                blade.running.push(RunningSeq {
+                    idx,
+                    kv_len: prompt,
+                    produced: 0,
+                    prefill_remaining: 0,
+                    shared_tokens: shared,
+                });
             } else {
                 blade.running.push(RunningSeq {
                     idx,
                     kv_len: prompt,
                     produced: 0,
-                    prefill_remaining: prompt,
+                    prefill_remaining: prompt - skip,
+                    shared_tokens: shared,
                 });
             }
         }
 
-        // Preempt while the grown cache cannot fit. The head-of-line
-        // request always survives (its full-length cache fits by
-        // validation), so the simulation cannot livelock.
-        while blade.running.len() > 1 {
-            let grown: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
+        // Preempt while the grown cache cannot fit. Unreferenced shared
+        // blocks go first (dropping cold cache instead of live work) —
+        // even when only one sequence remains, so a lone survivor plus a
+        // warm cache still fits; then the policy picks sequence victims.
+        // The head-of-line request always survives (its full-length
+        // footprint, chain blocks included, fits by validation), so the
+        // simulation cannot livelock.
+        loop {
+            let grown: u64 = blade.running.iter().map(|r| self.charge(r)).sum::<u64>()
+                + self.cache_charged(blade);
             if self.kv_bytes(grown) <= cfg.kv_capacity_bytes {
+                break;
+            }
+            if let Some(cache) = blade.cache.as_mut() {
+                if cache.evict_lru().is_some() {
+                    blade.cache_evictions += 1;
+                    obs.on_cache_evict(
+                        blade.id,
+                        blade.clock,
+                        cfg.prefix.expect("cache implies config").block_tokens,
+                    );
+                    continue;
+                }
+            }
+            if blade.running.len() <= 1 {
                 break;
             }
             let victim_at = self.policy.evict_victim(trace, &blade.running);
@@ -399,6 +633,7 @@ impl EngineCtx<'_> {
             blade.evictions += 1;
             blade.wasted_tokens += u64::from(victim.produced);
             obs.on_eviction(blade.id, blade.clock, &trace[victim.idx], victim.produced);
+            self.release_chain(trace, &victim, prefilled, blade);
             if let Some(out) = evicted.as_deref_mut() {
                 out.push(victim.idx);
             }
@@ -494,19 +729,28 @@ impl EngineCtx<'_> {
         // Occupancy + fragmentation peaks at this iteration's resident
         // footprint — post-growth, before finishers release their caches
         // (integer math: does not perturb the audited float stream).
+        // Shared prefix blocks count once: privately per sequence they
+        // are excluded, globally they enter via the blade's cache.
         let used: u64 = blade
             .running
             .iter()
-            .map(|r| u64::from(r.kv_len) + u64::from(r.prefill_remaining == 0))
-            .sum();
-        let charged: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
+            .map(|r| {
+                u64::from(r.kv_len) + u64::from(r.prefill_remaining == 0)
+                    - u64::from(r.shared_tokens)
+            })
+            .sum::<u64>()
+            + blade.cache.as_ref().map_or(0, PrefixCache::resident_tokens);
+        let charged: u64 =
+            blade.running.iter().map(|r| self.charge(r)).sum::<u64>() + self.cache_charged(blade);
         blade.kv_peak_tokens = blade.kv_peak_tokens.max(charged);
         blade.frag_peak_tokens = blade.frag_peak_tokens.max(charged - used);
+        blade.shared_peak_tokens = blade.shared_peak_tokens.max(self.cache_charged(blade));
 
         // Every decoding sequence emits one token; retire finishers.
         let mut completions = 0u32;
-        let mut still_running = Vec::with_capacity(blade.running.len());
-        for mut r in blade.running.drain(..) {
+        let mut running = std::mem::take(&mut blade.running);
+        let mut still_running = Vec::with_capacity(running.len());
+        for mut r in running.drain(..) {
             if r.prefill_remaining > 0 {
                 still_running.push(r);
                 continue;
@@ -520,6 +764,9 @@ impl EngineCtx<'_> {
             if r.produced >= trace[r.idx].output_tokens {
                 out.completion_s = Some(blade.clock);
                 obs.on_completion(blade.id, blade.clock, &trace[r.idx]);
+                // The finisher's shared blocks stay resident (warm for
+                // the next arrival) but lose its references.
+                self.release_chain(trace, &r, prefilled, blade);
                 completions += 1;
             } else {
                 still_running.push(r);
@@ -548,7 +795,7 @@ impl EngineCtx<'_> {
             .iter()
             .map(|&i| trace[i].arrival_s)
             .fold(f64::MAX, f64::min);
-        let mut blade = BladeState::new(blade_id, first_arrival);
+        let mut blade = BladeState::new(blade_id, first_arrival, self.config.prefix);
         while blade.served < expected {
             if blade.running.is_empty() && !queue.is_empty() {
                 let next = queue
@@ -578,6 +825,11 @@ pub(crate) struct ReplayTotals {
     pub(crate) max_step_s: f64,
     pub(crate) kv_peak_tokens: u64,
     pub(crate) frag_peak_tokens: u64,
+    pub(crate) prefix_hits: u64,
+    pub(crate) prefix_misses: u64,
+    pub(crate) cow_copies: u64,
+    pub(crate) cache_evictions: u64,
+    pub(crate) shared_peak_tokens: u64,
 }
 
 impl ReplayTotals {
@@ -590,6 +842,13 @@ impl ReplayTotals {
         self.max_step_s = self.max_step_s.max(blade.max_step_s);
         self.kv_peak_tokens = self.kv_peak_tokens.max(blade.kv_peak_tokens);
         self.frag_peak_tokens = self.frag_peak_tokens.max(blade.frag_peak_tokens);
+        self.prefix_hits += blade.prefix_hits;
+        self.prefix_misses += blade.prefix_misses;
+        self.cow_copies += blade.cow_copies;
+        self.cache_evictions += blade.cache_evictions;
+        // KV (and its shared pool) is per-blade memory: the cluster-wide
+        // peak is the worst single blade, mirroring `kv_peak_tokens`.
+        self.shared_peak_tokens = self.shared_peak_tokens.max(blade.shared_peak_tokens);
     }
 }
 
@@ -616,12 +875,14 @@ pub(crate) fn finalize(
     let mut useful_tokens = 0u64;
     let mut good_tokens = 0u64;
     let mut slo_met = 0u32;
+    let mut prefix_tokens_saved = 0u64;
     struct ClassAcc {
         ttft: Vec<f64>,
         tpot: Vec<f64>,
         requests: u32,
         met: u32,
         good_tokens: u64,
+        prefix_tokens_saved: u64,
     }
     let mut acc: Vec<ClassAcc> = classes
         .iter()
@@ -631,6 +892,7 @@ pub(crate) fn finalize(
             requests: 0,
             met: 0,
             good_tokens: 0,
+            prefix_tokens_saved: 0,
         })
         .collect();
     for (r, out) in trace.iter().zip(outcomes) {
@@ -642,11 +904,13 @@ pub(crate) fn finalize(
         tpot.push(t_rest);
         latency.push(done - r.arrival_s);
         useful_tokens += u64::from(r.output_tokens);
+        prefix_tokens_saved += out.prefix_saved_tokens;
         let cls = &classes[r.class as usize];
         let a = &mut acc[r.class as usize];
         a.ttft.push(t_first);
         a.tpot.push(t_rest);
         a.requests += 1;
+        a.prefix_tokens_saved += out.prefix_saved_tokens;
         if t_first <= cls.ttft_slo_s && t_rest <= cls.tpot_slo_s {
             slo_met += 1;
             good_tokens += u64::from(r.output_tokens);
@@ -667,6 +931,7 @@ pub(crate) fn finalize(
             } else {
                 f64::from(a.met) / f64::from(a.requests)
             },
+            prefix_tokens_saved: a.prefix_tokens_saved,
             ttft: Percentiles::of(&mut a.ttft),
             tpot: Percentiles::of(&mut a.tpot),
         })
@@ -690,6 +955,12 @@ pub(crate) fn finalize(
         max_step_s: totals.max_step_s,
         kv_peak_bytes: totals.kv_peak_tokens as f64 * kv_bytes_per_token,
         kv_fragmentation_peak_bytes: totals.frag_peak_tokens as f64 * kv_bytes_per_token,
+        prefix_hits: totals.prefix_hits,
+        prefix_misses: totals.prefix_misses,
+        prefix_tokens_saved,
+        prefix_cow_copies: totals.cow_copies,
+        prefix_cache_evictions: totals.cache_evictions,
+        kv_shared_peak_bytes: totals.shared_peak_tokens as f64 * kv_bytes_per_token,
         ttft: Percentiles::of(&mut ttft),
         tpot: Percentiles::of(&mut tpot),
         latency: Percentiles::of(&mut latency),
@@ -923,6 +1194,16 @@ impl<'a> ServingSimulator<'a> {
                     ),
                 });
             }
+            if let Some(p) = r.prefix {
+                if p.tokens == 0 || p.tokens > r.prompt_tokens {
+                    return Err(OptimusError::Serving {
+                        reason: format!(
+                            "request {} claims a {}-token shared prefix of a {}-token prompt",
+                            r.id, p.tokens, r.prompt_tokens
+                        ),
+                    });
+                }
+            }
             let charged = self
                 .config
                 .kv_layout
@@ -937,6 +1218,32 @@ impl<'a> ServingSimulator<'a> {
                         self.config.kv_capacity_bytes / 1e9
                     ),
                 });
+            }
+            // With prefix caching, the no-livelock guarantee must also
+            // cover a lone sequence co-resident with its own chain:
+            // private KV (shared span excluded, tail copy included) plus
+            // the chain's block-rounded footprint.
+            if let (Some(pc), Some(p)) = (self.config.prefix, r.prefix) {
+                let block = u64::from(pc.block_tokens);
+                let chain_blocks = u64::from(p.tokens).div_ceil(block);
+                let shared = u64::from(p.shared_tokens(pc.block_tokens));
+                let worst = self
+                    .config
+                    .kv_layout
+                    .charged_tokens(u64::from(r.prompt_tokens + r.output_tokens) - shared)
+                    + chain_blocks * block;
+                if self.kv_bytes(worst) > self.config.kv_capacity_bytes {
+                    return Err(OptimusError::Serving {
+                        reason: format!(
+                            "request {} needs {:.1} GB of KV at full length with its \
+                             {chain_blocks}-block prefix chain resident but capacity is \
+                             {:.1} GB (prefix caching charges whole blocks)",
+                            r.id,
+                            self.kv_bytes(worst) / 1e9,
+                            self.config.kv_capacity_bytes / 1e9
+                        ),
+                    });
+                }
             }
         }
         let bucket = self.config.kv_bucket_tokens;

@@ -152,6 +152,7 @@ pub mod engine;
 pub mod kv;
 pub mod observer;
 pub mod policy;
+pub mod prefix;
 pub mod report;
 pub mod scenario;
 pub mod traces;
@@ -164,10 +165,12 @@ pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator};
 pub use kv::{KvLayout, PagedKvAllocator};
 pub use observer::{CountingObserver, NoopObserver, SimObserver};
 pub use policy::{FcfsPolicy, MaxWaitGuardPolicy, SchedulerPolicy, SjfPolicy};
+pub use prefix::{PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
 pub use report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
 pub use scenario::{CompiledScenario, Scenario};
 pub use traces::{
-    BurstyTraceConfig, CsvTrace, DiurnalTraceConfig, RequestSpec, TraceConfig, TraceSource,
+    BurstyTraceConfig, CsvTrace, DiurnalTraceConfig, RequestSpec, SharedPrefixTraceConfig,
+    TraceConfig, TraceSource,
 };
 
 #[cfg(test)]
@@ -631,6 +634,229 @@ mod tests {
             "peak {} should equal the resident footprint {expected}",
             r.kv_peak_bytes
         );
+    }
+
+    /// A shared-prefix workload: every request opens with one of two
+    /// ~250-token system prompts (non-block-aligned so full-chain hits
+    /// exercise copy-on-write), followed by a short unique turn.
+    fn shared_prefix_trace(share: f64) -> SharedPrefixTraceConfig {
+        SharedPrefixTraceConfig {
+            seed: 5,
+            requests: 16,
+            arrival_rate_per_s: 30.0,
+            prefixes: 2,
+            prefix_tokens: (250, 250),
+            zipf_s: 1.0,
+            share_fraction: share,
+            unique_prompt_tokens: (16, 48),
+            output_tokens: (8, 16),
+        }
+    }
+
+    #[test]
+    fn prefix_caching_skips_prefill_and_accounts_shared_blocks() {
+        let (est, model, par) = small_model_sim_parts();
+        let trace = shared_prefix_trace(1.0);
+        let run = |caching: bool| {
+            let mut s = unconstrained(&est, &model, &par, 8).trace(&trace);
+            if caching {
+                s = s.prefix_caching(16);
+            }
+            s.compile().unwrap().run().unwrap().report
+        };
+        let plain = run(false);
+        let cached = run(true);
+        assert_eq!(cached.completed, 16);
+        // Off: no lookups, no savings, no shared occupancy.
+        assert_eq!(plain.prefix_hits + plain.prefix_misses, 0);
+        assert_eq!(plain.prefix_tokens_saved, 0);
+        assert_eq!(plain.kv_shared_peak_bytes, 0.0);
+        // On: every admission looks up; only the first request per
+        // prefix misses; every full-chain hit of the unaligned 250-token
+        // prefix copies the shared tail block.
+        assert_eq!(cached.prefix_hits + cached.prefix_misses, 16);
+        assert!(cached.prefix_misses >= 1 && cached.prefix_misses <= 2);
+        assert_eq!(cached.prefix_cow_copies, cached.prefix_hits);
+        // Full hits skip the whole 250-token prefix.
+        assert_eq!(cached.prefix_tokens_saved, 250 * cached.prefix_hits);
+        assert!(cached.prefix_hit_rate() > 0.8);
+        assert!(cached.kv_shared_peak_bytes > 0.0);
+        assert!(cached.kv_shared_peak_bytes <= cached.kv_peak_bytes);
+        // Skipped prefill is time off the clock: first tokens come
+        // sooner and the replay finishes earlier.
+        assert!(
+            cached.ttft.p50 < plain.ttft.p50,
+            "cached TTFT p50 {} must beat uncached {}",
+            cached.ttft.p50,
+            plain.ttft.p50
+        );
+        assert!(cached.makespan_s < plain.makespan_s);
+        // Per-class accounting blends to the global figure.
+        assert_eq!(
+            cached.per_class[0].prefix_tokens_saved,
+            cached.prefix_tokens_saved
+        );
+        assert!(cached.to_string().contains("prefix hit rate"));
+        assert!(!plain.to_string().contains("prefix hit rate"));
+    }
+
+    #[test]
+    fn prefix_caching_admits_more_under_tight_kv() {
+        // KV capacity for ~2.5 unshared full-length requests while 6
+        // requests want to run. With the 256-token prefix stored once,
+        // each extra sequence costs only its unique tail, so the cached
+        // run packs a deeper batch and finishes sooner at *equal* KV
+        // capacity.
+        let (est, model, par) = small_model_sim_parts();
+        let trace = SharedPrefixTraceConfig {
+            seed: 9,
+            requests: 12,
+            arrival_rate_per_s: f64::INFINITY,
+            prefixes: 1,
+            prefix_tokens: (256, 256),
+            zipf_s: 0.0,
+            share_fraction: 1.0,
+            unique_prompt_tokens: (16, 32),
+            output_tokens: (16, 24),
+        };
+        let per_token = KvCache {
+            batch: 1,
+            seq_len: 1,
+            precision: est.precision(),
+        }
+        .bytes(&model, KvConvention::Gqa);
+        let capacity = per_token * f64::from(256 + 32 + 24) * 2.5;
+        let run = |caching: bool| {
+            let mut s = unconstrained(&est, &model, &par, 6)
+                .kv_capacity_bytes(capacity)
+                .trace(&trace);
+            if caching {
+                s = s.prefix_caching(16);
+            }
+            s.compile().unwrap().run().unwrap().report
+        };
+        let plain = run(false);
+        let cached = run(true);
+        assert_eq!(cached.completed, 12);
+        assert!(
+            cached.mean_batch > plain.mean_batch,
+            "sharing must deepen the batch: {} vs {}",
+            cached.mean_batch,
+            plain.mean_batch
+        );
+        assert!(cached.makespan_s < plain.makespan_s);
+        // Shared + private stays within the configured capacity.
+        assert!(cached.kv_peak_bytes <= capacity * (1.0 + 1e-12));
+        assert!(plain.kv_peak_bytes <= capacity * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn prefix_caching_off_ignores_prefix_tags_bit_for_bit() {
+        // Without .prefix_caching the engine must not even look at the
+        // SharedPrefix tags: the report equals the same trace with the
+        // tags stripped, bit for bit.
+        let (est, model, par) = small_model_sim_parts();
+        let tagged = shared_prefix_trace(0.7).requests().unwrap();
+        let stripped: Vec<RequestSpec> = tagged
+            .iter()
+            .map(|r| RequestSpec { prefix: None, ..*r })
+            .collect();
+        let run = |trace: Vec<RequestSpec>| {
+            unconstrained(&est, &model, &par, 8)
+                .requests(trace)
+                .compile()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = run(tagged);
+        let b = run(stripped);
+        assert_eq!(a, b);
+        assert_eq!(a.report.makespan_s.to_bits(), b.report.makespan_s.to_bits());
+
+        // Conversely, caching *on* over a trace with no tags is also
+        // bit-identical: the cache path never activates.
+        let plain = TraceConfig {
+            seed: 23,
+            requests: 12,
+            arrival_rate_per_s: 100.0,
+            prompt_tokens: (32, 128),
+            output_tokens: (8, 24),
+        };
+        let off = unconstrained(&est, &model, &par, 8)
+            .poisson(plain)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        let on = unconstrained(&est, &model, &par, 8)
+            .poisson(plain)
+            .prefix_caching(16)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(off, on);
+    }
+
+    #[test]
+    fn prefix_caching_composes_with_chunked_prefill_and_paged_kv() {
+        let (est, model, par) = small_model_sim_parts();
+        let trace = shared_prefix_trace(1.0);
+        let r = unconstrained(&est, &model, &par, 8)
+            .trace(&trace)
+            .paged_kv(32)
+            .chunked_prefill(64)
+            .prefix_caching(16)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap()
+            .report;
+        assert_eq!(r.completed, 16);
+        assert!(r.prefix_tokens_saved > 0);
+        assert!(r.kv_shared_peak_bytes > 0.0);
+    }
+
+    #[test]
+    fn prefix_observer_counts_match_report() {
+        use crate::serving::observer::CountingObserver;
+        let (est, model, par) = small_model_sim_parts();
+        let compiled = unconstrained(&est, &model, &par, 8)
+            .trace(&shared_prefix_trace(1.0))
+            .prefix_caching(16)
+            .compile()
+            .unwrap();
+        let mut counts = CountingObserver::default();
+        let observed = compiled.run_observed(&mut counts).unwrap();
+        assert_eq!(observed, compiled.run().unwrap(), "observers are read-only");
+        assert_eq!(counts.cache_hits, observed.report.prefix_hits);
+        assert_eq!(counts.cache_misses, observed.report.prefix_misses);
+        assert_eq!(
+            counts.cache_evictions,
+            observed.report.prefix_cache_evictions
+        );
+    }
+
+    #[test]
+    fn prefix_misuse_is_a_typed_error() {
+        let (est, model, par) = small_model_sim_parts();
+        // Zero-sized blocks are rejected at compile.
+        let bad_block = unconstrained(&est, &model, &par, 4)
+            .poisson(TraceConfig::burst(1, 10, 10))
+            .prefix_caching(0)
+            .compile();
+        assert!(matches!(bad_block, Err(OptimusError::Serving { .. })));
+        // A prefix longer than its prompt is rejected at compile, with
+        // and without caching enabled.
+        let overlong = vec![RequestSpec::new(0, 0.0, 64, 8).with_prefix(1, 65)];
+        for caching in [false, true] {
+            let mut s = unconstrained(&est, &model, &par, 4).requests(overlong.clone());
+            if caching {
+                s = s.prefix_caching(16);
+            }
+            assert!(matches!(s.compile(), Err(OptimusError::Serving { .. })));
+        }
     }
 
     #[test]

@@ -46,6 +46,32 @@ pub trait SimObserver {
         let _ = (blade, clock_s, request);
     }
 
+    /// `request`'s shared prefix hit blade `blade`'s prefix cache:
+    /// `cached_tokens` prefill tokens were skipped because their KV was
+    /// already resident.
+    fn on_cache_hit(
+        &mut self,
+        blade: u32,
+        clock_s: f64,
+        request: &RequestSpec,
+        cached_tokens: u32,
+    ) {
+        let _ = (blade, clock_s, request, cached_tokens);
+    }
+
+    /// `request` carried a shared prefix but found none of its blocks
+    /// cached on blade `blade` (its blocks are inserted for the next
+    /// arrival).
+    fn on_cache_miss(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        let _ = (blade, clock_s, request);
+    }
+
+    /// Blade `blade` reclaimed one unreferenced shared block of
+    /// `block_tokens` capacity tokens (LRU eviction under pressure).
+    fn on_cache_evict(&mut self, blade: u32, clock_s: f64, block_tokens: u32) {
+        let _ = (blade, clock_s, block_tokens);
+    }
+
     /// Blade `blade` finished one engine iteration of `step_s` seconds
     /// with `decoding` sequences in the decode batch (clock is the
     /// iteration end).
@@ -76,6 +102,12 @@ pub struct CountingObserver {
     pub completions: u64,
     /// Engine iterations.
     pub steps: u64,
+    /// Prefix-cache hits.
+    pub cache_hits: u64,
+    /// Prefix-cache misses.
+    pub cache_misses: u64,
+    /// Shared blocks reclaimed by LRU eviction.
+    pub cache_evictions: u64,
 }
 
 impl SimObserver for CountingObserver {
@@ -102,6 +134,18 @@ impl SimObserver for CountingObserver {
     fn on_step(&mut self, _: u32, _: f64, _: f64, _: u32) {
         self.steps += 1;
     }
+
+    fn on_cache_hit(&mut self, _: u32, _: f64, _: &RequestSpec, _: u32) {
+        self.cache_hits += 1;
+    }
+
+    fn on_cache_miss(&mut self, _: u32, _: f64, _: &RequestSpec) {
+        self.cache_misses += 1;
+    }
+
+    fn on_cache_evict(&mut self, _: u32, _: f64, _: u32) {
+        self.cache_evictions += 1;
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +166,9 @@ mod tests {
         c.on_handoff(0, 0.6, &r, 1e-6);
         c.on_completion(0, 1.0, &r);
         c.on_step(0, 1.0, 0.4, 3);
+        c.on_cache_hit(0, 1.1, &r, 32);
+        c.on_cache_miss(0, 1.2, &r);
+        c.on_cache_evict(0, 1.3, 16);
         assert_eq!(
             c,
             CountingObserver {
@@ -131,6 +178,9 @@ mod tests {
                 handoffs: 1,
                 completions: 1,
                 steps: 1,
+                cache_hits: 1,
+                cache_misses: 1,
+                cache_evictions: 1,
             }
         );
     }

@@ -88,6 +88,9 @@ pub struct SloClassReport {
     /// Fraction of this class's requests meeting both targets (1.0 for an
     /// empty class).
     pub slo_attainment: f64,
+    /// Prefill tokens this class's requests skipped via prefix-cache hits
+    /// (0 with prefix caching off).
+    pub prefix_tokens_saved: u64,
     /// Time-to-first-token percentiles of this class (s).
     pub ttft: Percentiles,
     /// Time-per-output-token percentiles of this class (s).
@@ -160,6 +163,23 @@ pub struct ServingReport {
     /// Peak internal fragmentation under the paged layout (bytes reserved
     /// in partially-filled blocks); 0 for the contiguous layout.
     pub kv_fragmentation_peak_bytes: f64,
+    /// Prefix-cache lookups that found at least one cached block
+    /// (admissions of prefix-tagged requests; 0 with caching off).
+    pub prefix_hits: u64,
+    /// Prefix-cache lookups that found nothing cached.
+    pub prefix_misses: u64,
+    /// Prefill tokens skipped because their KV was already cached
+    /// (summed over re-admissions after eviction too).
+    pub prefix_tokens_saved: u64,
+    /// Copy-on-write block copies: a sequence appended past a *shared*
+    /// partially-filled tail block and had to take a private copy first.
+    pub prefix_cow_copies: u64,
+    /// Shared blocks reclaimed by LRU eviction to make room.
+    pub prefix_cache_evictions: u64,
+    /// Peak capacity pinned by resident shared prefix blocks (bytes,
+    /// block-granular, worst single blade) — shared blocks are counted
+    /// once here and excluded from every sequence's private footprint.
+    pub kv_shared_peak_bytes: f64,
     /// Time-to-first-token percentiles (s).
     pub ttft: Percentiles,
     /// Time-per-output-token percentiles (s).
@@ -199,6 +219,18 @@ impl ServingReport {
     pub fn class(&self, name: &str) -> Option<&SloClassReport> {
         self.per_class.iter().find(|c| c.name == name)
     }
+
+    /// Fraction of prefix-cache lookups that hit (0.0 when the replay
+    /// performed no lookups — caching off or no prefix-tagged requests).
+    #[must_use]
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let lookups = self.prefix_hits + self.prefix_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.prefix_hits as f64 / lookups as f64
+        }
+    }
 }
 
 impl fmt::Display for ServingReport {
@@ -218,7 +250,16 @@ impl fmt::Display for ServingReport {
             self.tpot.p50 * 1e3,
             self.tpot.p95 * 1e3,
             self.tpot.p99 * 1e3
-        )
+        )?;
+        if self.prefix_hits + self.prefix_misses > 0 {
+            write!(
+                f,
+                "; prefix hit rate {:.2} ({} tok prefill saved)",
+                self.prefix_hit_rate(),
+                self.prefix_tokens_saved
+            )?;
+        }
+        Ok(())
     }
 }
 

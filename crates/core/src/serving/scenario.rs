@@ -47,6 +47,7 @@ use super::engine::{DecodePricing, ServingConfig, ServingSimulator};
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
+use super::prefix::PrefixCachingConfig;
 use super::report::{FrontierPoint, SloClass};
 use super::traces::{RequestSpec, TraceConfig, TraceSource};
 use crate::error::OptimusError;
@@ -100,6 +101,7 @@ pub struct Scenario<'a> {
     layout: KvLayout,
     chunk_tokens: u32,
     pricing: DecodePricing,
+    prefix: Option<PrefixCachingConfig>,
     ttft_slo_s: f64,
     tpot_slo_s: f64,
     classes: Option<Vec<SloClass>>,
@@ -165,6 +167,7 @@ impl<'a> Scenario<'a> {
             layout: KvLayout::Contiguous,
             chunk_tokens: 0,
             pricing: DecodePricing::BucketizedMean,
+            prefix: None,
             ttft_slo_s: 10.0,
             tpot_slo_s: 0.1,
             classes: None,
@@ -284,6 +287,21 @@ impl<'a> Scenario<'a> {
         self
     }
 
+    /// Enables vLLM-style prefix caching with `block_tokens`-token shared
+    /// blocks: requests tagged with a
+    /// [`SharedPrefix`](super::prefix::SharedPrefix) (via the
+    /// shared-prefix trace generator, `RequestSpec::with_prefix`, or a
+    /// recorded trace's 5th/6th CSV columns) store their common prefix KV
+    /// once per blade, skip its prefill on a hit, and release it to an
+    /// LRU pool on completion. Off by default; with it off — or with no
+    /// prefix-tagged requests — every replay is bit-identical to the
+    /// pre-prefix-cache engine.
+    #[must_use]
+    pub fn prefix_caching(mut self, block_tokens: u32) -> Self {
+        self.prefix = Some(PrefixCachingConfig { block_tokens });
+        self
+    }
+
     /// The global SLO pair — the targets of the default class when no
     /// explicit [`Self::slo_classes`] are given.
     #[must_use]
@@ -389,6 +407,7 @@ impl<'a> Scenario<'a> {
         config.kv_layout = self.layout;
         config.prefill_chunk_tokens = self.chunk_tokens;
         config.decode_pricing = self.pricing;
+        config.prefix = self.prefix;
         config.ttft_slo_s = self.ttft_slo_s;
         config.tpot_slo_s = self.tpot_slo_s;
 
@@ -424,6 +443,18 @@ impl<'a> Scenario<'a> {
                 reason: format!(
                     "request {} names SLO class {} but only {class_count} class(es) are defined",
                     r.id, r.class
+                ),
+            });
+        }
+        if let Some(r) = trace.iter().find(|r| {
+            r.prefix
+                .is_some_and(|p| p.tokens == 0 || p.tokens > r.prompt_tokens)
+        }) {
+            let p = r.prefix.expect("found by prefix");
+            return Err(OptimusError::Serving {
+                reason: format!(
+                    "request {} claims a {}-token shared prefix of a {}-token prompt",
+                    r.id, p.tokens, r.prompt_tokens
                 ),
             });
         }
@@ -650,6 +681,10 @@ impl CompiledScenario<'_> {
                         r.class = assign(r);
                     }
                 }
+                // The classifier ran on a fresh trace (the compile-time
+                // check covered the base trace only); the engine's trace
+                // validation re-checks its class indices with the same
+                // typed error compile() raises.
                 let report = self.run_on(&trace, false, &mut NoopObserver)?;
                 Ok(FrontierPoint {
                     arrival_rate_per_s: rate,
@@ -904,6 +939,52 @@ mod tests {
         // ...and the weighted blend honors the 3× interactive weight.
         let weighted = 3.0 * interactive.goodput_tok_s + batch.goodput_tok_s;
         assert!((report.weighted_goodput_tok_s() - weighted).abs() <= f64::EPSILON * weighted);
+    }
+
+    #[test]
+    fn out_of_range_class_indices_are_typed_errors_everywhere() {
+        use crate::serving::CsvTrace;
+        let (system, model, par) = parts();
+        // A classifier naming a class past the table fails at compile().
+        let err = scenario(&system, &model, &par)
+            .slo_classes(vec![SloClass::interactive(), SloClass::batch()])
+            .classify(|r| 2 + u32::from(r.prompt_tokens > 500))
+            .compile();
+        match err {
+            Err(OptimusError::Serving { reason }) => {
+                assert!(reason.contains("names SLO class"), "{reason}");
+                assert!(reason.contains("2 class(es)"), "{reason}");
+            }
+            other => panic!("expected a typed class error, got {other:?}"),
+        }
+        // A recorded trace's class column is held to the same check.
+        let csv = CsvTrace::parse("0.0,64,8,0\n1.0,32,4,3\n").unwrap();
+        let err = scenario(&system, &model, &par)
+            .trace(&csv)
+            .slo_classes(vec![SloClass::interactive(), SloClass::batch()])
+            .compile();
+        assert!(
+            matches!(err, Err(OptimusError::Serving { ref reason }) if reason.contains("class 3")),
+            "{err:?}"
+        );
+        // With one (default) class, any nonzero CSV class is rejected.
+        let err = scenario(&system, &model, &par).trace(&csv).compile();
+        assert!(matches!(err, Err(OptimusError::Serving { .. })));
+        // frontier() re-classifies freshly synthesized traces: a
+        // classifier that only misbehaves on them (here: keyed on
+        // arrival times, which stretch at low rates) still surfaces the
+        // same typed error instead of an out-of-range panic downstream.
+        let compiled = scenario(&system, &model, &par)
+            .slo_classes(vec![SloClass::interactive(), SloClass::batch()])
+            .classify(|r| u32::from(r.arrival_s > 2.0) * 9)
+            .compile()
+            .expect("the 60 req/s base trace finishes arriving before t = 2 s");
+        let err = compiled.frontier(&[5.0]);
+        assert!(
+            matches!(err, Err(OptimusError::Serving { ref reason })
+                if reason.contains("names SLO class")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Request traces: synthetic generators (uniform Poisson, bursty,
-//! diurnal) and a CSV loader for recorded logs, all producing the same
-//! [`RequestSpec`] stream behind the [`TraceSource`] seam.
+//! diurnal, shared-prefix) and a CSV loader for recorded logs, all
+//! producing the same [`RequestSpec`] stream behind the [`TraceSource`]
+//! seam.
 //!
 //! Every generator is a pure function of its configuration: arrivals are
 //! drawn from one seeded generator (exponential gaps by inverse-CDF
 //! sampling; non-homogeneous rates by Lewis–Shedler thinning), so a trace
 //! is exactly reproducible per seed.
 
+use super::prefix::SharedPrefix;
 use crate::error::OptimusError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,10 +30,17 @@ pub struct RequestSpec {
     /// carries the engine's global TTFT/TPOT pair, so traces that never
     /// mention classes keep their PR 3 goodput accounting bit-for-bit.
     pub class: u32,
+    /// Shared-prefix tag: the leading `prefix.tokens` prompt tokens are
+    /// the system prompt named `prefix.id`, sharable across requests when
+    /// the scenario enables
+    /// [`prefix_caching`](super::scenario::Scenario::prefix_caching).
+    /// `None` — the default — means the whole prompt is unique, which
+    /// keeps every pre-prefix-cache replay untouched.
+    pub prefix: Option<SharedPrefix>,
 }
 
 impl RequestSpec {
-    /// A request in the default SLO class.
+    /// A request in the default SLO class with a fully unique prompt.
     #[must_use]
     pub fn new(id: u32, arrival_s: f64, prompt_tokens: u32, output_tokens: u32) -> Self {
         Self {
@@ -40,6 +49,7 @@ impl RequestSpec {
             prompt_tokens,
             output_tokens,
             class: 0,
+            prefix: None,
         }
     }
 
@@ -47,6 +57,17 @@ impl RequestSpec {
     #[must_use]
     pub fn in_class(mut self, class: u32) -> Self {
         self.class = class;
+        self
+    }
+
+    /// The same request tagged as starting with `prefix_tokens` tokens of
+    /// the shared system prompt `prefix_id`.
+    #[must_use]
+    pub fn with_prefix(mut self, prefix_id: u64, prefix_tokens: u32) -> Self {
+        self.prefix = Some(SharedPrefix {
+            id: prefix_id,
+            tokens: prefix_tokens,
+        });
         self
     }
 }
@@ -305,10 +326,127 @@ impl TraceSource for DiurnalTraceConfig {
     }
 }
 
+/// Shared-prefix trace: seeded Poisson arrivals where a configurable
+/// fraction of requests open with one of a few common system prompts,
+/// assigned by a Zipf popularity law (rank-`k` prompt drawn with weight
+/// `k^-s`) — the production traffic shape prefix caching exists for.
+///
+/// Each prefix id has one fixed length (drawn once per id from
+/// `prefix_tokens`), so every request tagged with that id genuinely
+/// shares the same leading tokens; the unique user turn appended after
+/// it is drawn from `unique_prompt_tokens`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedPrefixTraceConfig {
+    /// RNG seed; traces are deterministic per seed.
+    pub seed: u64,
+    /// Number of requests.
+    pub requests: u32,
+    /// Poisson arrival rate (requests/s); `f64::INFINITY` collapses every
+    /// arrival to t = 0.
+    pub arrival_rate_per_s: f64,
+    /// Distinct shared system prompts.
+    pub prefixes: u32,
+    /// Inclusive length range (tokens) a system prompt is drawn from,
+    /// once per prefix id.
+    pub prefix_tokens: (u32, u32),
+    /// Zipf exponent of prefix popularity (0 = uniform; ~1 = web-like
+    /// skew where the top prompt dominates).
+    pub zipf_s: f64,
+    /// Fraction of requests carrying a shared prefix, in `[0, 1]`; the
+    /// rest are fully unique prompts.
+    pub share_fraction: f64,
+    /// Inclusive range (tokens) of the unique prompt part appended after
+    /// the shared prefix (the whole prompt for unshared requests).
+    pub unique_prompt_tokens: (u32, u32),
+    /// Inclusive output-length range (tokens), sampled uniformly.
+    pub output_tokens: (u32, u32),
+}
+
+impl TraceSource for SharedPrefixTraceConfig {
+    fn requests(&self) -> Result<Vec<RequestSpec>, OptimusError> {
+        if self.requests == 0 {
+            return Err(OptimusError::Serving {
+                reason: "trace needs at least one request".to_owned(),
+            });
+        }
+        check_ranges(self.unique_prompt_tokens, self.output_tokens)?;
+        let (plo, phi) = self.prefix_tokens;
+        if plo == 0 || plo > phi {
+            return Err(OptimusError::Serving {
+                reason: format!("prefix range {plo}..={phi} must be non-empty and ≥ 1"),
+            });
+        }
+        if self.prefixes == 0 {
+            return Err(OptimusError::Serving {
+                reason: "shared-prefix trace needs at least one prefix".to_owned(),
+            });
+        }
+        if self.arrival_rate_per_s.is_nan() || self.arrival_rate_per_s <= 0.0 {
+            return Err(OptimusError::Serving {
+                reason: format!("arrival rate {} must be positive", self.arrival_rate_per_s),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.share_fraction) {
+            return Err(OptimusError::Serving {
+                reason: format!("share fraction {} must lie in [0, 1]", self.share_fraction),
+            });
+        }
+        if !self.zipf_s.is_finite() || self.zipf_s < 0.0 {
+            return Err(OptimusError::Serving {
+                reason: format!("Zipf exponent {} must be finite and ≥ 0", self.zipf_s),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // One fixed length per system prompt: requests sharing an id
+        // share identical leading tokens by construction.
+        let prefix_len: Vec<u32> = (0..self.prefixes)
+            .map(|_| rng.gen_range(plo..=phi))
+            .collect();
+        // Zipf CDF over prefix ranks (rank 1 = most popular = id 0).
+        let weights: Vec<f64> = (1..=self.prefixes)
+            .map(|k| f64::from(k).powf(-self.zipf_s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut clock = 0.0f64;
+        let mut trace = Vec::with_capacity(self.requests as usize);
+        for id in 0..self.requests {
+            if self.arrival_rate_per_s.is_finite() {
+                let u: f64 = rng.gen();
+                clock += -(1.0 - u).ln() / self.arrival_rate_per_s;
+            }
+            let shared: f64 = rng.gen();
+            let unique = rng.gen_range(self.unique_prompt_tokens.0..=self.unique_prompt_tokens.1);
+            let output = rng.gen_range(self.output_tokens.0..=self.output_tokens.1);
+            if shared < self.share_fraction {
+                // Inverse-CDF Zipf draw.
+                let mut pick = (rng.gen::<f64>()) * total;
+                let mut prefix_id = self.prefixes - 1;
+                for (k, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        prefix_id = k as u32;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let p = prefix_len[prefix_id as usize];
+                trace.push(
+                    RequestSpec::new(id, clock, p + unique, output)
+                        .with_prefix(u64::from(prefix_id), p),
+                );
+            } else {
+                trace.push(RequestSpec::new(id, clock, unique, output));
+            }
+        }
+        Ok(trace)
+    }
+}
+
 /// A trace recorded as CSV text: one `arrival_s,prompt_tokens,output_tokens`
 /// row per request (the schema of public LLM inference logs such as the
 /// Azure traces), with an optional fourth `class` column carrying the
-/// SLO-class index. Rows are re-sorted by arrival and re-numbered.
+/// SLO-class index and optional fifth/sixth `prefix_id`/`prefix_tokens`
+/// columns tagging a shared system prompt. Rows are re-sorted by arrival
+/// and re-numbered.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsvTrace {
     rows: Vec<RequestSpec>,
@@ -334,9 +472,11 @@ impl CsvTrace {
 
     /// Parses CSV text. Blank lines and `#` comments are skipped; one
     /// header line naming the columns is tolerated. Every other row must
-    /// hold three or four fields — a finite non-negative arrival time,
-    /// positive prompt/output token counts, and an optional SLO-class
-    /// index (defaults to class 0 when absent).
+    /// hold three to six fields — a finite non-negative arrival time,
+    /// positive prompt/output token counts, an optional SLO-class index
+    /// (defaults to class 0 when absent), and an optional shared-prefix
+    /// tag as a `prefix_id,prefix_tokens` pair (both columns or neither;
+    /// `prefix_tokens` must be ≥ 1 and ≤ the row's prompt tokens).
     ///
     /// # Errors
     ///
@@ -355,10 +495,17 @@ impl CsvTrace {
                 continue;
             }
             let fields: Vec<&str> = row.split(',').map(str::trim).collect();
-            if fields.len() != 3 && fields.len() != 4 {
+            if !(3..=6).contains(&fields.len()) {
                 return Err(malformed(
                     line,
-                    &format!("expected 3 or 4 fields, got {}", fields.len()),
+                    &format!("expected 3 to 6 fields, got {}", fields.len()),
+                ));
+            }
+            if fields.len() == 5 {
+                return Err(malformed(
+                    line,
+                    "a shared-prefix tag needs both prefix_id and prefix_tokens \
+                     (5th and 6th fields)",
                 ));
             }
             // Tolerate a single header row naming the columns as the
@@ -392,12 +539,33 @@ impl CsvTrace {
                     .parse()
                     .map_err(|_| malformed(line, &format!("bad class index {field:?}")))?,
             };
+            let prompt_tokens = parse_tokens(fields[1], "prompt")?;
+            let prefix = match (fields.get(4), fields.get(5)) {
+                (Some(id), Some(tokens)) => {
+                    let id: u64 = id
+                        .parse()
+                        .map_err(|_| malformed(line, &format!("bad prefix id {id:?}")))?;
+                    let tokens = parse_tokens(tokens, "prefix")?;
+                    if tokens > prompt_tokens {
+                        return Err(malformed(
+                            line,
+                            &format!(
+                                "prefix spans {tokens} tokens but the prompt holds only \
+                                 {prompt_tokens}"
+                            ),
+                        ));
+                    }
+                    Some(SharedPrefix { id, tokens })
+                }
+                _ => None,
+            };
             rows.push(RequestSpec {
                 id: 0, // renumbered after sorting
                 arrival_s,
-                prompt_tokens: parse_tokens(fields[1], "prompt")?,
+                prompt_tokens,
                 output_tokens: parse_tokens(fields[2], "output")?,
                 class,
+                prefix,
             });
         }
         if rows.is_empty() {
@@ -597,6 +765,140 @@ mod tests {
             trace.iter().map(|r| r.class).collect::<Vec<_>>(),
             vec![1, 0, 0]
         );
+        assert!(trace.iter().all(|r| r.prefix.is_none()));
+    }
+
+    #[test]
+    fn csv_fifth_and_sixth_columns_carry_shared_prefix() {
+        let text = "arrival_s,prompt_tokens,output_tokens,class,prefix_id,prefix_tokens\n\
+                    0.0, 300, 8, 0, 7, 256\n\
+                    1.0, 64, 4\n\
+                    2.0, 280, 2, 1, 7, 256\n";
+        let trace = CsvTrace::parse(text).unwrap().requests().unwrap();
+        assert_eq!(trace[0].prefix, Some(SharedPrefix { id: 7, tokens: 256 }));
+        assert_eq!(trace[1].prefix, None);
+        assert_eq!(trace[2].prefix, trace[0].prefix);
+        assert_eq!(trace[2].class, 1);
+    }
+
+    fn shared_base() -> SharedPrefixTraceConfig {
+        SharedPrefixTraceConfig {
+            seed: 11,
+            requests: 400,
+            arrival_rate_per_s: 50.0,
+            prefixes: 4,
+            prefix_tokens: (200, 400),
+            zipf_s: 1.1,
+            share_fraction: 0.8,
+            unique_prompt_tokens: (16, 64),
+            output_tokens: (8, 32),
+        }
+    }
+
+    #[test]
+    fn shared_prefix_trace_is_deterministic_and_consistent() {
+        let cfg = shared_base();
+        let a = cfg.requests().unwrap();
+        assert_eq!(a, cfg.requests().unwrap());
+        assert_eq!(a.len(), 400);
+        for w in a.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+        // Each prefix id has one fixed length, always inside the range
+        // and always shorter than its request's prompt.
+        let mut len_of = std::collections::BTreeMap::new();
+        for r in &a {
+            if let Some(p) = r.prefix {
+                assert!((200..=400).contains(&p.tokens));
+                assert!(p.tokens < r.prompt_tokens);
+                assert_eq!(*len_of.entry(p.id).or_insert(p.tokens), p.tokens);
+            } else {
+                assert!((16..=64).contains(&r.prompt_tokens));
+            }
+        }
+        assert!(!len_of.is_empty() && len_of.len() <= 4);
+        // The share fraction lands near its target.
+        let shared = a.iter().filter(|r| r.prefix.is_some()).count();
+        assert!(
+            (250..=380).contains(&shared),
+            "~80% of 400 should share, got {shared}"
+        );
+    }
+
+    #[test]
+    fn shared_prefix_zipf_skews_popularity() {
+        let a = shared_base().requests().unwrap();
+        let count = |id: u64| {
+            a.iter()
+                .filter(|r| r.prefix.is_some_and(|p| p.id == id))
+                .count()
+        };
+        // Rank 1 (id 0) must dominate the tail rank under s = 1.1.
+        assert!(
+            count(0) > 2 * count(3),
+            "Zipf head {} vs tail {}",
+            count(0),
+            count(3)
+        );
+        // share_fraction 0 strips every prefix; 1.0 tags every request.
+        let none = SharedPrefixTraceConfig {
+            share_fraction: 0.0,
+            ..shared_base()
+        }
+        .requests()
+        .unwrap();
+        assert!(none.iter().all(|r| r.prefix.is_none()));
+        let all = SharedPrefixTraceConfig {
+            share_fraction: 1.0,
+            ..shared_base()
+        }
+        .requests()
+        .unwrap();
+        assert!(all.iter().all(|r| r.prefix.is_some()));
+    }
+
+    #[test]
+    fn shared_prefix_trace_rejects_degenerate_configs() {
+        let bad = [
+            SharedPrefixTraceConfig {
+                requests: 0,
+                ..shared_base()
+            },
+            SharedPrefixTraceConfig {
+                prefixes: 0,
+                ..shared_base()
+            },
+            SharedPrefixTraceConfig {
+                prefix_tokens: (0, 10),
+                ..shared_base()
+            },
+            SharedPrefixTraceConfig {
+                prefix_tokens: (20, 10),
+                ..shared_base()
+            },
+            SharedPrefixTraceConfig {
+                share_fraction: 1.5,
+                ..shared_base()
+            },
+            SharedPrefixTraceConfig {
+                zipf_s: f64::NAN,
+                ..shared_base()
+            },
+            SharedPrefixTraceConfig {
+                arrival_rate_per_s: 0.0,
+                ..shared_base()
+            },
+            SharedPrefixTraceConfig {
+                unique_prompt_tokens: (0, 4),
+                ..shared_base()
+            },
+        ];
+        for cfg in bad {
+            assert!(
+                matches!(cfg.requests(), Err(OptimusError::Serving { .. })),
+                "{cfg:?} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -621,13 +923,17 @@ mod tests {
     #[test]
     fn csv_rejects_malformed_rows() {
         for (text, needle) in [
-            ("1.0,100", "expected 3 or 4 fields"),
-            ("1.0,100,20,9,extra", "expected 3 or 4 fields"),
+            ("1.0,100", "expected 3 to 6 fields"),
+            ("1.0,100,20,0,7,64,extra", "expected 3 to 6 fields"),
+            ("1.0,100,20,9,7", "needs both prefix_id and prefix_tokens"),
             ("abc,100,20\n1.0,1,1", "bad arrival"),
             ("-1.0,100,20", "must be ≥ 0"),
             ("1.0,zap,20", "bad prompt"),
             ("1.0,100,0", "output tokens must be ≥ 1"),
             ("1.0,100,20,interactive", "bad class index"),
+            ("1.0,100,20,0,nine,64", "bad prefix id"),
+            ("1.0,100,20,0,7,0", "prefix tokens must be ≥ 1"),
+            ("1.0,100,20,0,7,101", "prompt holds only 100"),
             ("", "no requests"),
             ("# only a comment\n", "no requests"),
         ] {

@@ -1,0 +1,65 @@
+//! Prefix caching: the README's tour of shared-KV serving.
+//!
+//! Serves a system-prompt-heavy workload — three long prompts Zipf-shared
+//! across 90% of requests — on one SCD blade with and without prefix
+//! caching at equal KV capacity, then prints the hit-rate accounting and
+//! the TTFT win the ref-counted shared blocks buy.
+//!
+//! ```console
+//! cargo run --release --example prefix_caching
+//! ```
+
+use llm_workload::{ModelZoo, Parallelism};
+use optimus::serving::{CountingObserver, Scenario, SharedPrefixTraceConfig};
+use optimus::MultiBladeSystem;
+
+fn main() -> Result<(), optimus::OptimusError> {
+    let system = MultiBladeSystem::new(1)?;
+    let (model, par) = (ModelZoo::llama_405b(), Parallelism::pure_tp(64)?);
+    let trace = SharedPrefixTraceConfig {
+        seed: 2026,
+        requests: 48,
+        arrival_rate_per_s: 12.0,
+        prefixes: 3,               // three system prompts...
+        prefix_tokens: (600, 900), // ...of 600-900 tokens each
+        zipf_s: 1.0,               // web-like popularity skew
+        share_fraction: 0.9,       // 90% of requests open with one
+        unique_prompt_tokens: (32, 128),
+        output_tokens: (32, 96),
+    };
+    let scenario = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(8) // KV capacity = cryo-DRAM − weights (the default)
+            .trace(&trace)
+    };
+
+    let plain = scenario().compile()?.run()?.report;
+    let compiled = scenario().prefix_caching(16).compile()?; // 16-token shared blocks
+    let mut counts = CountingObserver::default();
+    let cached = compiled.run_observed(&mut counts)?.report;
+
+    println!("uncached: {plain}");
+    println!("cached:   {cached}");
+    println!(
+        "  {} hits / {} misses ({} events agree), {} prefill tokens never recomputed",
+        cached.prefix_hits,
+        cached.prefix_misses,
+        counts.cache_hits + counts.cache_misses,
+        cached.prefix_tokens_saved
+    );
+    println!(
+        "  shared blocks peak at {:.1} MB (stored once, inside the {:.1} MB KV peak); \
+         {} copy-on-write tail copies",
+        cached.kv_shared_peak_bytes / 1e6,
+        cached.kv_peak_bytes / 1e6,
+        cached.prefix_cow_copies
+    );
+    println!(
+        "  TTFT p99 {:.0} ms → {:.0} ms at equal KV capacity",
+        plain.ttft.p99 * 1e3,
+        cached.ttft.p99 * 1e3
+    );
+    Ok(())
+}

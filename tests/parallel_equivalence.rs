@@ -184,6 +184,63 @@ fn cluster_replay_parallel_matches_serial_bit_for_bit() {
 }
 
 #[test]
+fn prefix_cached_replay_parallel_matches_serial_bit_for_bit() {
+    // Prefix caching adds per-blade shared-block state to the replay;
+    // like every other serving path, the rayon-built cost table must not
+    // perturb a single bit of it — single blade, the central-queue
+    // cluster, and the disaggregated prefill tier alike.
+    use optimus::serving::{
+        DispatchMode, RoutingPolicy, Scenario, SharedPrefixTraceConfig, Topology,
+    };
+    let system = optimus::MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = SharedPrefixTraceConfig {
+        seed: 27,
+        requests: 32,
+        arrival_rate_per_s: 120.0,
+        prefixes: 3,
+        prefix_tokens: (100, 260),
+        zipf_s: 1.0,
+        share_fraction: 0.8,
+        unique_prompt_tokens: (16, 64),
+        output_tokens: (8, 32),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .prefix_caching(16)
+            .trace(&trace)
+    };
+    let variants = [
+        base().topology(Topology::mixed(1)),
+        base()
+            .topology(Topology::mixed(4))
+            .routing(RoutingPolicy::JoinShortestQueue),
+        base()
+            .topology(Topology::mixed(4))
+            .dispatch(DispatchMode::Central),
+        base().topology(Topology::disaggregated(1, 3)),
+    ];
+    for (i, scenario) in variants.into_iter().enumerate() {
+        let compiled = scenario.compile().unwrap();
+        let p = compiled.run().unwrap();
+        let s = compiled.run_serial().unwrap();
+        assert_eq!(p, s, "variant {i} must be bit-identical");
+        assert_eq!(p.report.completed, 32, "variant {i}");
+        assert!(p.report.prefix_hits > 0, "variant {i} exercised the cache");
+        assert_eq!(
+            p.report.makespan_s.to_bits(),
+            s.report.makespan_s.to_bits(),
+            "variant {i}"
+        );
+    }
+}
+
+#[test]
 fn inference_parallel_matches_on_gpu_baseline_too() {
     let gpus = GpuSystem::h100_cluster(64);
     let model = ModelZoo::llama_70b();

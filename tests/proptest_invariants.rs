@@ -408,6 +408,187 @@ proptest! {
         prop_assert_eq!(a.fragmentation_tokens(), 0);
     }
 
+    /// Prefix-cache invariants under random workloads: refcounts never
+    /// underflow (misuse is a typed error, not a panic), LRU eviction
+    /// never touches a referenced block, and releasing every holder
+    /// drains the cache to zero.
+    #[test]
+    fn prefix_cache_refcounts_never_underflow_and_drain(
+        holders in prop::collection::vec((0u64..6, 1u32..200, any::<bool>()), 1..20),
+        block_pow in 2u32..7,
+    ) {
+        use optimus::serving::{PrefixCache, SharedPrefix};
+        let block = 1u32 << block_pow;
+        let mut cache = PrefixCache::new();
+        let mut held: Vec<(Vec<optimus::serving::PrefixBlock>, usize)> = Vec::new();
+        for &(id, tokens, evict) in &holders {
+            let chain = SharedPrefix { id, tokens }.block_chain(block);
+            let hits = cache.acquire(&chain);
+            prop_assert!(hits <= chain.len());
+            cache.insert(&chain, hits).expect("suffix absent after acquire");
+            held.push((chain, 0));
+            if evict {
+                // Everything resident is referenced right now, so LRU
+                // reclamation must find nothing.
+                prop_assert_eq!(cache.reclaimable_blocks(), 0);
+                prop_assert!(cache.evict_lru().is_none());
+            }
+            // Every held chain stays fully resident.
+            for (chain, _) in &held {
+                prop_assert_eq!(cache.peek(chain), chain.len());
+            }
+            prop_assert!(cache.resident_tokens() <= cache.charged_tokens(block));
+        }
+        // Release every holder once: blocks become reclaimable but stay
+        // resident (warm cache) until evicted.
+        for (chain, _) in &held {
+            cache.release(chain, chain.len()).expect("holder releases once");
+        }
+        // A second release of any chain is a typed underflow error.
+        let (first, _) = &held[0];
+        prop_assert!(matches!(
+            cache.release(first, first.len()),
+            Err(optimus::OptimusError::Serving { .. })
+        ));
+        let resident = cache.resident_blocks();
+        prop_assert!(resident > 0);
+        // Fully unreferenced: at least the chain leaves are reclaimable,
+        // and peeling them frees their parents until nothing remains.
+        prop_assert!(cache.reclaimable_blocks() > 0);
+        let mut evicted = 0u64;
+        while cache.evict_lru().is_some() {
+            evicted += 1;
+        }
+        prop_assert_eq!(evicted, resident);
+        prop_assert_eq!(cache.resident_blocks(), 0);
+        prop_assert_eq!(cache.resident_tokens(), 0);
+        prop_assert_eq!(cache.reclaimable_blocks(), 0);
+    }
+
+    /// Cache-aware accounting stays within capacity and agrees with the
+    /// observer event stream: shared + private blocks never exceed the
+    /// KV budget, the shared pool is bounded by the whole-KV peak, and
+    /// the report's hit/miss/eviction counters equal what the observer
+    /// saw.
+    #[test]
+    fn prefix_caching_respects_capacity_and_observer_accounting(
+        seed in 0u64..24,
+        share in 0.0f64..1.0,
+        tight in 1.1f64..3.0,
+    ) {
+        use llm_workload::kvcache::{KvCache, KvConvention};
+        use optimus::serving::{CountingObserver, Scenario, SharedPrefixTraceConfig, TraceSource};
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let cfg = SharedPrefixTraceConfig {
+            seed,
+            requests: 10,
+            arrival_rate_per_s: 200.0,
+            prefixes: 2,
+            prefix_tokens: (48, 96),
+            zipf_s: 1.0,
+            share_fraction: share,
+            unique_prompt_tokens: (8, 48),
+            output_tokens: (4, 16),
+        };
+        let trace = cfg.requests().expect("valid");
+        let per_token = KvCache { batch: 1, seq_len: 1, precision: est.precision() }
+            .bytes(&model, KvConvention::Gqa);
+        let max_len = trace
+            .iter()
+            .map(|r| r.prompt_tokens + r.output_tokens)
+            .max()
+            .expect("non-empty") as f64;
+        // +32: headroom for the chain's block rounding and tail copy
+        // (prefix caching charges whole 16-token blocks), so the largest
+        // request passes validation even at tight = 1.1.
+        let capacity = per_token * (max_len + 32.0) * tight;
+        let compiled = Scenario::on_estimator(est)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .kv_capacity_bytes(capacity)
+            .kv_bucket(4)
+            .prefix_caching(16)
+            .requests(trace.clone())
+            .compile()
+            .expect("valid scenario");
+        let mut counts = CountingObserver::default();
+        let r = compiled.run_observed(&mut counts).expect("replays").report;
+        prop_assert_eq!(r.completed, 10);
+        prop_assert!(r.kv_peak_bytes <= capacity * (1.0 + 1e-12));
+        prop_assert!(r.kv_shared_peak_bytes <= r.kv_peak_bytes + 1e-9);
+        prop_assert_eq!(r.prefix_hits, counts.cache_hits);
+        prop_assert_eq!(r.prefix_misses, counts.cache_misses);
+        prop_assert_eq!(r.prefix_cache_evictions, counts.cache_evictions);
+        // Every prefix-tagged admission performed exactly one lookup.
+        let tagged = trace.iter().filter(|t| t.prefix.is_some()).count() as u64;
+        prop_assert!(r.prefix_hits + r.prefix_misses >= tagged);
+        // Savings only come from hits, bounded by the largest prefix.
+        prop_assert!(r.prefix_tokens_saved <= r.prefix_hits * 96);
+        if r.prefix_hits == 0 {
+            prop_assert_eq!(r.prefix_tokens_saved, 0);
+        }
+    }
+
+    /// PR 4 compatibility: with prefix caching off, SharedPrefix tags are
+    /// inert — the report is bit-identical to the same trace with the
+    /// tags stripped.
+    #[test]
+    fn prefix_tags_are_inert_without_caching(seed in 0u64..24, share in 0.0f64..1.0) {
+        use optimus::serving::{RequestSpec, Scenario, SharedPrefixTraceConfig, TraceSource};
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let tagged = SharedPrefixTraceConfig {
+            seed,
+            requests: 8,
+            arrival_rate_per_s: 150.0,
+            prefixes: 2,
+            prefix_tokens: (32, 64),
+            zipf_s: 0.8,
+            share_fraction: share,
+            unique_prompt_tokens: (8, 32),
+            output_tokens: (4, 12),
+        }
+        .requests()
+        .expect("valid");
+        let stripped: Vec<RequestSpec> = tagged
+            .iter()
+            .map(|r| RequestSpec { prefix: None, ..*r })
+            .collect();
+        let run = |t: Vec<RequestSpec>| {
+            Scenario::on_estimator(est.clone())
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .unconstrained_kv()
+                .requests(t)
+                .compile()
+                .expect("valid")
+                .run()
+                .expect("replays")
+                .report
+        };
+        let a = run(tagged);
+        let b = run(stripped);
+        prop_assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+        prop_assert_eq!(a.throughput_tok_s.to_bits(), b.throughput_tok_s.to_bits());
+        prop_assert_eq!(a.goodput_tok_s.to_bits(), b.goodput_tok_s.to_bits());
+        prop_assert_eq!(a.ttft.p99.to_bits(), b.ttft.p99.to_bits());
+        prop_assert_eq!(a.prefix_hits + a.prefix_misses, 0);
+        prop_assert_eq!(&a, &b);
+    }
+
     /// Policy conformance: under every scheduler policy the head-of-line
     /// request that fits is admitted — i.e. replay never livelocks, every
     /// request completes, and conservation holds — even when capacity is

@@ -32,6 +32,13 @@ fn assert_pr2_bits(path: &str, r: &ServingReport) {
     assert_eq!(r.evictions, 0, "{path}");
     assert_eq!(r.wasted_tokens, 0, "{path}");
     assert_eq!(r.decode_iterations, 3300, "{path}");
+    // Prefix caching is off by default: the cache must never have been
+    // consulted, let alone perturbed anything.
+    assert_eq!(r.prefix_hits + r.prefix_misses, 0, "{path}");
+    assert_eq!(r.prefix_tokens_saved, 0, "{path}");
+    assert_eq!(r.prefix_cow_copies, 0, "{path}");
+    assert_eq!(r.prefix_cache_evictions, 0, "{path}");
+    assert_eq!(r.kv_shared_peak_bytes, 0.0, "{path}");
     let bits = [
         ("makespan_s", r.makespan_s, 0x4014708407609be9u64),
         ("throughput_tok_s", r.throughput_tok_s, 0x409dba5b5ab1f1e4),
