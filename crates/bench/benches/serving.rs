@@ -1,12 +1,16 @@
 //! Criterion bench: scenario-compiled serving replays — single blade,
 //! the cluster loop at 1/4/16 blades, the disaggregated prefill→decode
-//! loop, and the prefix-cached shared-prompt replay.
+//! loop, the prefix-cached shared-prompt replay, and the simulation-core
+//! scaling trend (event-driven vs per-step on the diurnal trace).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use llm_workload::{ModelZoo, Parallelism};
-use optimus::serving::{RoutingPolicy, Scenario, SharedPrefixTraceConfig, Topology, TraceConfig};
-use optimus::{InferenceEstimator, MultiBladeSystem};
+use optimus::serving::{
+    RoutingPolicy, Scenario, SharedPrefixTraceConfig, SimCore, Topology, TraceConfig,
+};
+use optimus::{InferenceEstimator, MultiBladeSystem, SpeedupStudy};
 use scd_arch::Blade;
+use scd_bench::core_bench::diurnal_workload;
 use scd_tech::units::Bandwidth;
 use std::hint::black_box;
 
@@ -121,5 +125,40 @@ fn bench_prefix_caching(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_serving, bench_cluster, bench_prefix_caching);
+/// The core-scaling trend behind `BENCH_serving_core.json`: the event
+/// core at 10k/100k/1M diurnal requests against the per-step reference
+/// at 10k/100k. The per-step million-request point is omitted — its
+/// idle-gap scan is quadratic in trace length (minutes per iteration),
+/// which is exactly the cost the event core removes.
+fn bench_core_trend(c: &mut Criterion) {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64).unwrap();
+    let points: [(SimCore, &str, &[u32]); 2] = [
+        (SimCore::EventDriven, "event", &[10_000, 100_000, 1_000_000]),
+        (SimCore::PerStep, "per_step", &[10_000, 100_000]),
+    ];
+    for (core, name, sizes) in points {
+        for &requests in sizes {
+            let compiled = Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(32)
+                .core(core)
+                .trace(&diurnal_workload(requests))
+                .compile()
+                .unwrap();
+            c.bench_function(&format!("serving/core_{name}_{requests}_requests"), |b| {
+                b.iter(|| black_box(&compiled).run().unwrap())
+            });
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_serving,
+    bench_cluster,
+    bench_prefix_caching,
+    bench_core_trend
+);
 criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! CI gate for the event-driven simulation core's performance: replays
+//! the 10k-request diurnal point and fails (exit 1) if the measured
+//! simulator throughput falls below 70 % of the committed
+//! `BENCH_serving_core.json` baseline.
+//!
+//! The committed baseline is read from the path given as the first
+//! argument (default `BENCH_serving_core.json`, i.e. repo root when run
+//! via `cargo run`). Regenerate it with
+//! `cargo run --release -p scd-bench --bin serving_capacity -- --bench-json`.
+
+use scd_bench::core_bench::{
+    measure_point, parse_bench_json, SimCore, SMOKE_FLOOR, SMOKE_REQUESTS,
+};
+
+fn main() -> Result<(), optimus::OptimusError> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving_core.json".to_owned());
+    let baseline_json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("bench_smoke: cannot read baseline {path}: {e}");
+        std::process::exit(1);
+    });
+    let rows = parse_bench_json(&baseline_json).unwrap_or_else(|| {
+        eprintln!("bench_smoke: no rows parsed from {path}");
+        std::process::exit(1);
+    });
+    let Some(baseline) = rows
+        .iter()
+        .find(|r| r.scenario == "event" && r.requests == SMOKE_REQUESTS)
+    else {
+        eprintln!("bench_smoke: baseline lacks the event/{SMOKE_REQUESTS} row");
+        std::process::exit(1);
+    };
+
+    let measured = measure_point(SimCore::EventDriven, SMOKE_REQUESTS)?;
+    let floor = SMOKE_FLOOR * baseline.req_per_s;
+    println!(
+        "bench_smoke: event core, {SMOKE_REQUESTS} requests: {:.0} req/s \
+         (baseline {:.0}, floor {floor:.0})",
+        measured.req_per_s, baseline.req_per_s
+    );
+    if measured.req_per_s < floor {
+        eprintln!(
+            "bench_smoke: FAIL — {:.0} req/s is below {:.0}% of the committed baseline",
+            measured.req_per_s,
+            SMOKE_FLOOR * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_smoke: PASS");
+    Ok(())
+}

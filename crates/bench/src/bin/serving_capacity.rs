@@ -3,8 +3,25 @@
 //! trace replay), and the cluster-scale extensions (routing-policy study
 //! across 4 blades, paged-KV fragmentation sweep, disaggregated
 //! prefill/decode split, recorded-trace replay, SLO-class goodput).
+//!
+//! With `--bench-json` it instead runs the simulation-core scaling
+//! study (event-driven vs per-step at 10k/100k/1M diurnal requests) and
+//! rewrites `BENCH_serving_core.json` in the current directory — the
+//! snapshot the CI bench-smoke job gates against.
 fn main() -> Result<(), optimus::OptimusError> {
-    use scd_bench::{extensions as ext, serving_experiments as srv};
+    use scd_bench::{core_bench, extensions as ext, serving_experiments as srv};
+    if std::env::args().any(|a| a == "--bench-json") {
+        let rows = core_bench::core_scaling_study()?;
+        print!("{}", core_bench::render_core_scaling(&rows));
+        let json = core_bench::to_bench_json(&rows, &core_bench::git_rev());
+        std::fs::write("BENCH_serving_core.json", &json).map_err(|e| {
+            optimus::OptimusError::Serving {
+                reason: format!("writing BENCH_serving_core.json: {e}"),
+            }
+        })?;
+        println!("\nwrote BENCH_serving_core.json");
+        return Ok(());
+    }
     let hr = "=".repeat(72);
     println!("{}\n{hr}", ext::render_serving(&ext::serving_capacity()?));
     println!(

@@ -1,0 +1,306 @@
+//! Core-scaling study: wall-clock cost of the two serving simulation
+//! cores on a multi-hour diurnal workload.
+//!
+//! The event-driven core ([`SimCore::EventDriven`]) replays the same
+//! traces bit-identically to the per-step reference loop but schedules
+//! work off a time-ordered event heap: idle gaps jump straight to the
+//! next arrival and pure-decode stretches advance in one closed-form
+//! hop instead of one loop iteration per token. This module measures
+//! that difference where it matters — million-request, multi-hour
+//! traces — and emits the machine-readable `BENCH_serving_core.json`
+//! snapshot the CI bench-smoke job gates on.
+//!
+//! No external JSON crate is vendored, so the snapshot is written and
+//! re-parsed by the small hand-rolled helpers here; the format is kept
+//! deliberately flat (one object per measured point) so the parser
+//! stays trivial.
+
+use std::time::Instant;
+
+use llm_workload::model::ModelZoo;
+use llm_workload::parallelism::Parallelism;
+use optimus::serving::{DiurnalTraceConfig, Scenario};
+use optimus::{OptimusError, SpeedupStudy};
+
+pub use optimus::serving::SimCore;
+
+/// One measured point of the core-scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreBenchRow {
+    /// Which core produced the point: `"event"` or `"per_step"`.
+    pub scenario: String,
+    /// Requests replayed.
+    pub requests: u32,
+    /// Wall-clock replay time (ms), best of [`BENCH_PASSES`] passes.
+    pub wall_ms: f64,
+    /// Simulator throughput: requests replayed per wall-clock second.
+    pub req_per_s: f64,
+}
+
+/// Replay passes per point; the best (minimum wall time) is reported so
+/// the snapshot tracks the code's cost rather than scheduler noise.
+pub const BENCH_PASSES: u32 = 3;
+
+/// The request count the CI bench-smoke job measures and gates on.
+pub const SMOKE_REQUESTS: u32 = 10_000;
+
+/// A smoke run must stay within this fraction of the committed
+/// baseline's `req_per_s` (0.7 ⇒ fail on a >30 % regression).
+pub const SMOKE_FLOOR: f64 = 0.7;
+
+/// The diurnal workload scaled to `requests`: one sinusoidal day/night
+/// cycle per simulated hour, 0.9 relative swing around 8 req/s — the
+/// overnight troughs are what give the event core its idle gaps to
+/// fast-forward across. At one million requests the trace spans roughly
+/// 35 simulated hours.
+#[must_use]
+pub fn diurnal_workload(requests: u32) -> DiurnalTraceConfig {
+    DiurnalTraceConfig {
+        seed: 2026,
+        requests,
+        mean_rate_per_s: 8.0,
+        amplitude: 0.9,
+        period_s: 3600.0,
+        prompt_tokens: (32, 128),
+        output_tokens: (16, 64),
+    }
+}
+
+/// Replays the diurnal workload once through `core` and returns the
+/// wall-clock milliseconds of the replay alone (trace synthesis and
+/// scenario compilation excluded).
+///
+/// # Errors
+///
+/// Propagates trace-synthesis and simulation failures.
+pub fn replay_wall_ms(core: SimCore, requests: u32) -> Result<f64, OptimusError> {
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+    let compiled = Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(32)
+        .core(core)
+        .trace(&diurnal_workload(requests))
+        .compile()?;
+    let started = Instant::now();
+    let report = compiled.run()?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        report.report.completed, requests,
+        "core-scaling replay must complete every request"
+    );
+    Ok(wall_ms)
+}
+
+/// Measures one `(core, requests)` point, best of [`BENCH_PASSES`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn measure_point(core: SimCore, requests: u32) -> Result<CoreBenchRow, OptimusError> {
+    let mut best = f64::MAX;
+    for _ in 0..BENCH_PASSES {
+        best = best.min(replay_wall_ms(core, requests)?);
+    }
+    Ok(CoreBenchRow {
+        scenario: match core {
+            SimCore::EventDriven => "event".to_owned(),
+            SimCore::PerStep => "per_step".to_owned(),
+        },
+        requests,
+        wall_ms: best,
+        req_per_s: f64::from(requests) / (best / 1e3),
+    })
+}
+
+/// The full scaling study: the event core at 10k/100k/1M requests and
+/// the per-step reference at 10k/100k. The per-step loop is left out of
+/// the million-request point on purpose — its idle-gap scan is
+/// quadratic in trace length, which is precisely the behaviour the
+/// event core removes; the 10k/100k pairs pin the speedup trend.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn core_scaling_study() -> Result<Vec<CoreBenchRow>, OptimusError> {
+    let points: [(SimCore, &[u32]); 2] = [
+        (SimCore::EventDriven, &[10_000, 100_000, 1_000_000]),
+        (SimCore::PerStep, &[10_000, 100_000]),
+    ];
+    let mut rows = Vec::new();
+    for (core, sizes) in points {
+        for &requests in sizes {
+            rows.push(measure_point(core, requests)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the study as a table, with the per-step/event speedup at
+/// every request count both cores measured.
+#[must_use]
+pub fn render_core_scaling(rows: &[CoreBenchRow]) -> String {
+    let mut out = String::from(
+        "Simulation-core scaling: event-driven vs per-step on the diurnal trace\n\
+         Llama-405B on the SCD blade (TP=64, max batch 32), 8 req/s mean, 0.9 swing\n\n\
+         core      requests     wall(ms)     req/s      speedup\n",
+    );
+    for r in rows {
+        let speedup = rows
+            .iter()
+            .find(|o| o.requests == r.requests && o.scenario != r.scenario)
+            .map_or_else(String::new, |o| {
+                if r.scenario == "event" {
+                    format!("{:>10.1}x", o.wall_ms / r.wall_ms)
+                } else {
+                    String::new()
+                }
+            });
+        out.push_str(&format!(
+            "{:<10}{:>8}{:>13.1}{:>10.0}{speedup}\n",
+            r.scenario, r.requests, r.wall_ms, r.req_per_s
+        ));
+    }
+    out
+}
+
+/// The current `git rev-parse HEAD`, or `"unknown"` outside a checkout.
+#[must_use]
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map_or_else(
+            || "unknown".to_owned(),
+            |o| String::from_utf8_lossy(&o.stdout).trim().to_owned(),
+        )
+}
+
+/// Serializes the study to the `BENCH_serving_core.json` schema:
+/// `{study, git_rev, rows: [{scenario, requests, wall_ms, req_per_s}]}`.
+#[must_use]
+pub fn to_bench_json(rows: &[CoreBenchRow], git_rev: &str) -> String {
+    let mut out = String::from("{\n  \"study\": \"serving_core_scaling\",\n");
+    out.push_str(&format!("  \"git_rev\": \"{git_rev}\",\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_s\": {:.1}}}{}\n",
+            r.scenario,
+            r.requests,
+            r.wall_ms,
+            r.req_per_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses rows back out of [`to_bench_json`] output (or any JSON that
+/// keeps each row object on one line with the same four keys). Returns
+/// `None` when no well-formed row is found — the caller treats a
+/// malformed baseline as a hard error rather than silently passing.
+#[must_use]
+pub fn parse_bench_json(json: &str) -> Option<Vec<CoreBenchRow>> {
+    fn str_field(obj: &str, key: &str) -> Option<String> {
+        let tail = &obj[obj.find(&format!("\"{key}\""))? + key.len() + 2..];
+        let tail = &tail[tail.find('"')? + 1..];
+        Some(tail[..tail.find('"')?].to_owned())
+    }
+    fn num_field(obj: &str, key: &str) -> Option<f64> {
+        let tail = &obj[obj.find(&format!("\"{key}\""))? + key.len() + 2..];
+        let tail = tail.trim_start_matches([':', ' ']);
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(tail.len());
+        tail[..end].parse().ok()
+    }
+    let rows_block = &json[json.find("\"rows\"")?..];
+    let mut rows = Vec::new();
+    for obj in rows_block.split('{').skip(1) {
+        let obj = obj.split('}').next()?;
+        rows.push(CoreBenchRow {
+            scenario: str_field(obj, "scenario")?,
+            requests: num_field(obj, "requests")? as u32,
+            wall_ms: num_field(obj, "wall_ms")?,
+            req_per_s: num_field(obj, "req_per_s")?,
+        });
+    }
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_round_trips() {
+        let rows = vec![
+            CoreBenchRow {
+                scenario: "event".to_owned(),
+                requests: 10_000,
+                wall_ms: 12.5,
+                req_per_s: 800_000.0,
+            },
+            CoreBenchRow {
+                scenario: "per_step".to_owned(),
+                requests: 10_000,
+                wall_ms: 125.0,
+                req_per_s: 80_000.0,
+            },
+        ];
+        let json = to_bench_json(&rows, "deadbeef");
+        assert!(json.contains("\"git_rev\": \"deadbeef\""));
+        let parsed = parse_bench_json(&json).expect("round-trip parse");
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_baselines() {
+        assert_eq!(parse_bench_json(""), None);
+        assert_eq!(parse_bench_json("{\"study\": \"x\"}"), None);
+        assert_eq!(
+            parse_bench_json("{\"rows\": [{\"scenario\": \"event\"}]}"),
+            None
+        );
+    }
+
+    #[test]
+    fn small_points_measure_on_both_cores() {
+        let event = measure_point(SimCore::EventDriven, 500).unwrap();
+        let per_step = measure_point(SimCore::PerStep, 500).unwrap();
+        for r in [&event, &per_step] {
+            assert_eq!(r.requests, 500);
+            assert!(r.wall_ms > 0.0 && r.req_per_s > 0.0);
+        }
+        assert_eq!(event.scenario, "event");
+        assert_eq!(per_step.scenario, "per_step");
+    }
+
+    #[test]
+    fn render_reports_speedup_for_paired_points() {
+        let rows = vec![
+            CoreBenchRow {
+                scenario: "event".to_owned(),
+                requests: 10_000,
+                wall_ms: 10.0,
+                req_per_s: 1_000_000.0,
+            },
+            CoreBenchRow {
+                scenario: "per_step".to_owned(),
+                requests: 10_000,
+                wall_ms: 80.0,
+                req_per_s: 125_000.0,
+            },
+        ];
+        let table = render_core_scaling(&rows);
+        assert!(table.contains("8.0x"), "table:\n{table}");
+    }
+}

@@ -16,8 +16,12 @@
 //! The report carries the merged tail percentiles plus per-blade load and
 //! the utilization skew that separates good routing from bad.
 
-use super::engine::{finalize, BladeState, CostTable, Outcome, ReplayTotals, ServingSimulator};
+use super::engine::{
+    finalize, BladeState, CostTable, Outcome, ReplayTotals, ServingSimulator, SimCore,
+};
+use super::events::{ReadyWindow, TrackedQueue};
 use super::observer::{NoopObserver, SimObserver};
+use super::policy::OrderingContract;
 use super::report::ServingReport;
 use super::traces::RequestSpec;
 use crate::error::OptimusError;
@@ -475,9 +479,14 @@ impl<'a> ClusterSimulator<'a> {
         parallel: bool,
         obs: &mut dyn SimObserver,
     ) -> Result<ClusterReport, OptimusError> {
-        let (states, outcomes) = match cluster.dispatch {
-            DispatchMode::PerBlade => self.run_per_blade(cluster, trace, table, parallel, obs),
-            DispatchMode::Central => self.run_central(cluster, trace, table, obs),
+        let (states, outcomes) = match (cluster.dispatch, self.sim.config().core) {
+            (DispatchMode::PerBlade, _) => self.run_per_blade(cluster, trace, table, parallel, obs),
+            (DispatchMode::Central, SimCore::EventDriven) => {
+                self.run_central_event(cluster, trace, table, obs)
+            }
+            (DispatchMode::Central, SimCore::PerStep) => {
+                self.run_central(cluster, trace, table, obs)
+            }
         };
         let roles = vec![BladeRole::Mixed; cluster.blades as usize];
         Ok(assemble(&self.sim, trace, &states, &outcomes, &roles))
@@ -520,7 +529,7 @@ impl<'a> ClusterSimulator<'a> {
                     outcomes,
                 );
             }
-            let state = ctx.drive(b as u32, trace, queue, &mut outcomes, obs);
+            let state = ctx.drive_auto(b as u32, trace, queue, &mut outcomes, obs);
             (state, outcomes)
         };
         let indexed: Vec<(usize, VecDeque<usize>)> = queues.into_iter().enumerate().collect();
@@ -635,6 +644,113 @@ impl<'a> ClusterSimulator<'a> {
         }
         (states, outcomes)
     }
+
+    /// Event-driven twin of [`Self::run_central`]: the same round
+    /// structure and bit-identical reports, but the per-round O(queue)
+    /// scans — the next-ready fold, the FCFS no-op re-sort, the
+    /// eligibility partition — are replaced by a lazy ready-time window
+    /// plus membership bookkeeping, each skipped whenever its outcome is
+    /// provably the identity.
+    fn run_central_event(
+        &self,
+        cluster: ClusterConfig,
+        trace: &[RequestSpec],
+        table: &CostTable,
+        obs: &mut dyn SimObserver,
+    ) -> (Vec<BladeState>, Vec<Outcome>) {
+        let blades = cluster.blades as usize;
+        let ctx = self.sim.ctx(table);
+        let fcfs = self.sim.policy().ordering() == OrderingContract::Fcfs;
+        let mut queue = ServingSimulator::arrival_queue(trace);
+        let mut outcomes = vec![Outcome::default(); trace.len()];
+        let mut states: Vec<BladeState> = (0..blades)
+            .map(|b| BladeState::new(b as u32, 0.0, self.sim.config().prefix))
+            .collect();
+        let mut ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+        let mut in_queue = vec![true; trace.len()];
+        let mut is_victim = vec![false; trace.len()];
+        let mut victims_in_queue = 0usize;
+        let mut window = ReadyWindow::new();
+        for &i in &queue {
+            window.push(ready[i], i);
+        }
+        let mut victims: Vec<usize> = Vec::new();
+        let mut served = 0u32;
+        while served < trace.len() as u32 {
+            let next_ready = window.min(&in_queue, &ready).unwrap_or(f64::MAX);
+            let chosen = (0..blades)
+                .filter_map(|b| {
+                    let s = &states[b];
+                    if !s.running.is_empty() {
+                        Some((s.clock, b))
+                    } else if !queue.is_empty() {
+                        Some((s.clock.max(next_ready), b))
+                    } else {
+                        None
+                    }
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let Some((at, b)) = chosen else {
+                debug_assert!(false, "cluster idle with work pending");
+                break;
+            };
+            let blade = &mut states[b];
+            if blade.running.is_empty() {
+                blade.clock = blade.clock.max(at);
+            }
+            if !fcfs {
+                self.sim
+                    .policy()
+                    .order_queue(blade.clock, trace, &mut queue);
+            }
+            let clock = blade.clock;
+            // The eligibility partition is the identity when no victim
+            // re-entry times disturb the FCFS arrival order, when every
+            // member is already eligible, or when none is.
+            let skip_partition = (fcfs && victims_in_queue == 0)
+                || window.max(&in_queue, &ready).is_none_or(|t| t <= clock)
+                || window.min(&in_queue, &ready).is_none_or(|t| t > clock);
+            if !skip_partition {
+                let (eligible, waiting): (Vec<usize>, Vec<usize>) =
+                    queue.iter().copied().partition(|&i| ready[i] <= clock);
+                queue.clear();
+                queue.extend(eligible);
+                queue.extend(waiting);
+            }
+            victims.clear();
+            let mut tracked = TrackedQueue::new(&mut queue);
+            served += ctx.step(
+                trace,
+                &ready,
+                &mut tracked,
+                blade,
+                &mut outcomes,
+                Some(&mut victims),
+                None,
+                obs,
+            );
+            // Membership bookkeeping: admissions leave the queue before
+            // same-step victims re-enter it (an admit-then-evict round
+            // must end with the victim counted back in).
+            for &i in &tracked.admitted {
+                in_queue[i] = false;
+                if is_victim[i] {
+                    is_victim[i] = false;
+                    victims_in_queue -= 1;
+                }
+            }
+            for &v in &victims {
+                ready[v] = states[b].clock;
+                in_queue[v] = true;
+                if !is_victim[v] {
+                    is_victim[v] = true;
+                    victims_in_queue += 1;
+                }
+                window.push(ready[v], v);
+            }
+        }
+        (states, outcomes)
+    }
 }
 
 /// Merges per-blade states and outcomes into the cluster report
@@ -700,7 +816,25 @@ pub(crate) fn assemble(
 /// The loop is serial and deterministic: the next action is always the
 /// earliest-clock blade, prefill before decode on ties, lower blade
 /// index last.
+///
+/// Dispatches to the configured replay core; both produce bit-identical
+/// reports (pinned by the equivalence suite).
 pub(crate) fn run_disaggregated(
+    sim: &ServingSimulator<'_>,
+    trace: &[RequestSpec],
+    table: &CostTable,
+    roles: &[BladeRole],
+    link: &HandoffLink,
+    obs: &mut dyn SimObserver,
+) -> ClusterReport {
+    match sim.config().core {
+        SimCore::EventDriven => run_disaggregated_event(sim, trace, table, roles, link, obs),
+        SimCore::PerStep => run_disaggregated_per_step(sim, trace, table, roles, link, obs),
+    }
+}
+
+/// The legacy per-step disaggregated loop (the equivalence oracle).
+fn run_disaggregated_per_step(
     sim: &ServingSimulator<'_>,
     trace: &[RequestSpec],
     table: &CostTable,
@@ -868,6 +1002,197 @@ pub(crate) fn run_disaggregated(
                 // The victim's KV must be re-streamed from the prefill
                 // tier before it can restart anywhere.
                 ready[v] = states[b].clock + link.transfer_s(kv_stream_bytes(&trace[v]));
+            }
+        }
+    }
+    assemble(sim, trace, &states, &outcomes, roles)
+}
+
+/// Event-driven twin of [`run_disaggregated_per_step`]: the same
+/// prefill/decode alternation and bit-identical reports, with the
+/// per-round queue scans made incremental — the prompt queue's next
+/// arrival read off its head under FCFS (it only ever pops, so it stays
+/// arrival-sorted), the decode pool's ready fold replaced by a lazy
+/// ready-time window, the FCFS no-op re-sorts skipped, and the
+/// eligibility partition skipped whenever the window proves it the
+/// identity (handoff ready times are not queue-ordered, so the FCFS
+/// shortcut of the central loop does not apply here).
+fn run_disaggregated_event(
+    sim: &ServingSimulator<'_>,
+    trace: &[RequestSpec],
+    table: &CostTable,
+    roles: &[BladeRole],
+    link: &HandoffLink,
+    obs: &mut dyn SimObserver,
+) -> ClusterReport {
+    let ctx = sim.ctx(table);
+    let fcfs = sim.policy().ordering() == OrderingContract::Fcfs;
+    let prefillers: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r == BladeRole::Prefill)
+        .map(|(b, _)| b)
+        .collect();
+    let decoders: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter(|&(_, r)| r.can_decode())
+        .map(|(b, _)| b)
+        .collect();
+    let mut states: Vec<BladeState> = (0..roles.len())
+        .map(|b| BladeState::new(b as u32, 0.0, sim.config().prefix))
+        .collect();
+    let mut prompt_queue = ServingSimulator::arrival_queue(trace);
+    let mut decode_queue: VecDeque<usize> = VecDeque::new();
+    let mut outcomes = vec![Outcome::default(); trace.len()];
+    let mut ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+    let mut prefilled = vec![false; trace.len()];
+    let mut in_decode = vec![false; trace.len()];
+    let mut window = ReadyWindow::new();
+    let mut victims: Vec<usize> = Vec::new();
+    let kv_stream_bytes = |r: &RequestSpec| f64::from(r.prompt_tokens) * sim.kv_bytes_per_token();
+    let mut served = 0u32;
+    while served < trace.len() as u32 {
+        let prefill_action = if prompt_queue.is_empty() {
+            None
+        } else {
+            // Under FCFS the head is the earliest arrival (the prompt
+            // queue only pops — victims re-enter the decode pool);
+            // clock-ordering policies keep the legacy fold.
+            let next_arrival = if fcfs {
+                trace[*prompt_queue.front().expect("non-empty")].arrival_s
+            } else {
+                prompt_queue
+                    .iter()
+                    .map(|&i| trace[i].arrival_s)
+                    .fold(f64::MAX, f64::min)
+            };
+            prefillers
+                .iter()
+                .map(|&b| (states[b].clock.max(next_arrival), b))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+        };
+        let next_ready = window.min(&in_decode, &ready).unwrap_or(f64::MAX);
+        let decode_action = decoders
+            .iter()
+            .filter_map(|&b| {
+                let s = &states[b];
+                if !s.running.is_empty() {
+                    Some((s.clock, b))
+                } else if !decode_queue.is_empty() {
+                    Some((s.clock.max(next_ready), b))
+                } else {
+                    None
+                }
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let do_prefill = match (prefill_action, decode_action) {
+            (Some((tp, _)), Some((td, _))) => tp <= td,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                debug_assert!(false, "disaggregated loop idle with work pending");
+                break;
+            }
+        };
+        if do_prefill {
+            let (at, b) = prefill_action.expect("chosen above");
+            let blade = &mut states[b];
+            blade.clock = blade.clock.max(at);
+            if !fcfs {
+                sim.policy()
+                    .order_queue(blade.clock, trace, &mut prompt_queue);
+            }
+            let idx = prompt_queue.pop_front().expect("prompt queue non-empty");
+            let r = &trace[idx];
+            let start = blade.clock.max(r.arrival_s);
+            let mut skip = 0u32;
+            if let (Some(pc), Some(prefix)) = (sim.config().prefix, r.prefix) {
+                let (chain, hits, covered) = blade.acquire_prefix(pc, prefix);
+                skip = covered;
+                blade.record_prefix_admission(pc, prefix, chain.len(), hits, skip);
+                if skip > 0 {
+                    obs.on_cache_hit(b as u32, start, r, skip);
+                } else {
+                    obs.on_cache_miss(b as u32, start, r);
+                }
+                let cache = blade.cache.as_mut().expect("cache present when enabled");
+                cache
+                    .insert(&chain, hits)
+                    .expect("suffix absent by acquire");
+                cache
+                    .release(&chain, chain.len())
+                    .expect("acquired/inserted above");
+                let budget = (sim.config().kv_capacity_bytes / sim.kv_bytes_per_token()) as u64;
+                let evicted = cache.evict_to_budget(pc.block_tokens, budget);
+                blade.cache_evictions += evicted;
+                for _ in 0..evicted {
+                    obs.on_cache_evict(b as u32, start, pc.block_tokens);
+                }
+                let charged = cache.charged_tokens(pc.block_tokens);
+                blade.shared_peak_tokens = blade.shared_peak_tokens.max(charged);
+                blade.kv_peak_tokens = blade.kv_peak_tokens.max(charged);
+                blade.frag_peak_tokens = blade
+                    .frag_peak_tokens
+                    .max(charged - cache.resident_tokens());
+                outcomes[idx].prefix_saved_tokens += u64::from(skip);
+            }
+            let cost = if r.prompt_tokens > skip {
+                table.prefill_cost(r.prompt_tokens - skip)
+            } else {
+                0.0
+            };
+            blade.clock = start + cost;
+            blade.busy_s += cost;
+            blade.max_step_s = blade.max_step_s.max(cost);
+            let transfer = link.transfer_s(kv_stream_bytes(r));
+            ready[idx] = blade.clock + transfer;
+            prefilled[idx] = true;
+            obs.on_handoff(b as u32, blade.clock, r, transfer);
+            decode_queue.push_back(idx);
+            in_decode[idx] = true;
+            window.push(ready[idx], idx);
+        } else {
+            let (at, b) = decode_action.expect("chosen above");
+            let blade = &mut states[b];
+            if blade.running.is_empty() {
+                blade.clock = blade.clock.max(at);
+            }
+            if !fcfs {
+                sim.policy()
+                    .order_queue(blade.clock, trace, &mut decode_queue);
+            }
+            let clock = blade.clock;
+            let skip_partition = window.max(&in_decode, &ready).is_none_or(|t| t <= clock)
+                || window.min(&in_decode, &ready).is_none_or(|t| t > clock);
+            if !skip_partition {
+                let (eligible, waiting): (Vec<usize>, Vec<usize>) = decode_queue
+                    .iter()
+                    .copied()
+                    .partition(|&i| ready[i] <= clock);
+                decode_queue.clear();
+                decode_queue.extend(eligible);
+                decode_queue.extend(waiting);
+            }
+            victims.clear();
+            let mut tracked = TrackedQueue::new(&mut decode_queue);
+            served += ctx.step(
+                trace,
+                &ready,
+                &mut tracked,
+                blade,
+                &mut outcomes,
+                Some(&mut victims),
+                Some(&prefilled),
+                obs,
+            );
+            for &i in &tracked.admitted {
+                in_decode[i] = false;
+            }
+            for &v in &victims {
+                ready[v] = states[b].clock + link.transfer_s(kv_stream_bytes(&trace[v]));
+                in_decode[v] = true;
+                window.push(ready[v], v);
             }
         }
     }

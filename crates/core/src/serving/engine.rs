@@ -8,6 +8,7 @@
 //! bucketized-mean pricing) reproduces PR 2's reports bit-for-bit — the
 //! `serving_regression` suite pins the exact float bit patterns.
 
+use super::events::{AdmissionQueue, Gate, SchedQueue};
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
@@ -37,6 +38,25 @@ pub enum DecodePricing {
     /// stream appears once while each KV stream is summed exactly, so
     /// heterogeneous (skewed-length) batches are priced correctly.
     ExactPerSequence,
+}
+
+/// Which core drives the replay loops.
+///
+/// Both cores are *bit-identical* on every configuration — the
+/// regression pins and the `core_equivalence` proptests enforce it — so
+/// the choice is purely a wall-time one. The event-driven core advances
+/// time only when state can change: O(1) idle fast-forwards, policy
+/// order maintained incrementally, pure-decode stretches batched between
+/// events, and the cluster loops' per-round queue scans replaced by
+/// lazy ready-time heaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SimCore {
+    /// Heap-scheduled event-driven core (the default).
+    #[default]
+    EventDriven,
+    /// The legacy iteration-by-iteration loops, kept as the equivalence
+    /// oracle while the event core is the default.
+    PerStep,
 }
 
 /// Serving-engine configuration.
@@ -72,6 +92,9 @@ pub struct ServingConfig {
     /// once against capacity. `None` — the default — keeps every replay
     /// byte-identical to the pre-prefix-cache engine.
     pub prefix: Option<PrefixCachingConfig>,
+    /// Replay core selection (bit-identical either way; see [`SimCore`]).
+    #[serde(default)]
+    pub core: SimCore,
 }
 
 impl ServingConfig {
@@ -92,6 +115,7 @@ impl ServingConfig {
             prefill_chunk_tokens: 0,
             decode_pricing: DecodePricing::BucketizedMean,
             prefix: None,
+            core: SimCore::EventDriven,
         }
     }
 
@@ -134,6 +158,7 @@ impl ServingConfig {
             prefill_chunk_tokens: 0,
             decode_pricing: DecodePricing::BucketizedMean,
             prefix: None,
+            core: SimCore::EventDriven,
         })
     }
 
@@ -162,6 +187,13 @@ impl ServingConfig {
     #[must_use]
     pub fn with_prefix_caching(mut self, block_tokens: u32) -> Self {
         self.prefix = Some(PrefixCachingConfig { block_tokens });
+        self
+    }
+
+    /// Selects the replay core ([`SimCore::EventDriven`] by default).
+    #[must_use]
+    pub fn with_core(mut self, core: SimCore) -> Self {
+        self.core = core;
         self
     }
 
@@ -526,11 +558,11 @@ impl EngineCtx<'_> {
     /// length with no prefill cost. `obs` receives the iteration's
     /// events; it is read-only and never perturbs the float stream.
     #[allow(clippy::too_many_arguments)] // one call site per replay loop
-    pub(crate) fn step(
+    pub(crate) fn step<Q: AdmissionQueue>(
         &self,
         trace: &[RequestSpec],
         ready: &[f64],
-        queue: &mut VecDeque<usize>,
+        queue: &mut Q,
         blade: &mut BladeState,
         outcomes: &mut [Outcome],
         mut evicted: Option<&mut Vec<usize>>,
@@ -546,7 +578,7 @@ impl EngineCtx<'_> {
         // the legacy comparison on its exact integer value).
         let mut projected: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
         let mut admitted: Vec<Admission> = Vec::new();
-        while let Some(&idx) = queue.front() {
+        while let Some(idx) = queue.peek() {
             if ready[idx] > blade.clock
                 || blade.running.len() + admitted.len() >= cfg.max_batch as usize
             {
@@ -557,7 +589,7 @@ impl EngineCtx<'_> {
                 break;
             };
             admitted.push(adm);
-            queue.pop_front();
+            queue.pop();
         }
         let mut step_cost = 0.0f64;
         for &Admission { idx, skip, shared } in &admitted {
@@ -637,7 +669,7 @@ impl EngineCtx<'_> {
             if let Some(out) = evicted.as_deref_mut() {
                 out.push(victim.idx);
             }
-            queue.push_front(victim.idx);
+            queue.requeue_victim(victim.idx);
         }
 
         if blade.running.is_empty() {
@@ -810,6 +842,239 @@ impl EngineCtx<'_> {
             );
         }
         blade
+    }
+
+    /// Dispatches to the configured replay core.
+    pub(crate) fn drive_auto(
+        &self,
+        blade_id: u32,
+        trace: &[RequestSpec],
+        queue: VecDeque<usize>,
+        outcomes: &mut [Outcome],
+        obs: &mut dyn SimObserver,
+    ) -> BladeState {
+        match self.config.core {
+            SimCore::EventDriven => self.drive_event(blade_id, trace, queue, outcomes, obs),
+            SimCore::PerStep => self.drive(blade_id, trace, queue, outcomes, obs),
+        }
+    }
+
+    /// Event-driven twin of [`Self::drive`], bit-identical by
+    /// construction: the same `step` body runs over an incrementally
+    /// ordered queue, idle gaps jump to the head's arrival in O(1), and
+    /// pure-decode stretches between events are advanced by
+    /// [`Self::advance_decode_stretch`] instead of one `step` call per
+    /// token.
+    pub(crate) fn drive_event(
+        &self,
+        blade_id: u32,
+        trace: &[RequestSpec],
+        queue: VecDeque<usize>,
+        outcomes: &mut [Outcome],
+        obs: &mut dyn SimObserver,
+    ) -> BladeState {
+        let ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+        let expected = queue.len() as u32;
+        let first_arrival = queue
+            .iter()
+            .map(|&i| trace[i].arrival_s)
+            .fold(f64::MAX, f64::min);
+        let mut blade = BladeState::new(blade_id, first_arrival, self.config.prefix);
+        let mut sq = SchedQueue::new(self.policy, trace, queue);
+        while blade.served < expected {
+            if blade.running.is_empty() && !sq.is_empty() {
+                if let Some(next) = sq.fast_forward_target(trace) {
+                    blade.clock = blade.clock.max(next);
+                }
+            }
+            sq.prepare(blade.clock, trace, self.policy);
+            self.step(
+                trace, &ready, &mut sq, &mut blade, outcomes, None, None, obs,
+            );
+            // Batch-advance decode-only iterations up to the next event:
+            // the head's arrival when a batch slot is open, unbounded
+            // when the batch is full or the queue empty (the per-step
+            // loop would neither admit nor preempt before the stretch's
+            // own capacity/completion bounds end it).
+            loop {
+                let gate = if blade.running.len() >= self.config.max_batch as usize {
+                    f64::INFINITY
+                } else {
+                    match sq.admission_gate(trace, blade.clock) {
+                        Gate::Ready => break,
+                        Gate::Empty => f64::INFINITY,
+                        Gate::Blocked(at) => at,
+                    }
+                };
+                if self.advance_decode_stretch(trace, &mut blade, gate, obs) == 0 {
+                    break;
+                }
+            }
+        }
+        blade
+    }
+
+    /// Advances `blade` through consecutive pure-decode iterations whose
+    /// cost is provably constant and event-free — no admission (the gate
+    /// stays in the future), no completion, no first token, no
+    /// preemption, no cost-bucket crossing — replicating the per-step
+    /// loop's float operations exactly. Returns the iterations advanced;
+    /// 0 means the caller must fall back to a full `step`.
+    fn advance_decode_stretch(
+        &self,
+        trace: &[RequestSpec],
+        blade: &mut BladeState,
+        gate_s: f64,
+        obs: &mut dyn SimObserver,
+    ) -> u64 {
+        let cfg = self.config;
+        if gate_s <= blade.clock || blade.running.is_empty() {
+            return 0;
+        }
+        let batch = blade.running.len() as u32;
+        // Iterations until the earliest completion would fire (that
+        // iteration stamps outcomes, so it runs per-step); sequences
+        // still prefilling or awaiting their first token also force the
+        // per-step path.
+        let mut k = u64::MAX;
+        for r in &blade.running {
+            if r.prefill_remaining != 0 || r.produced == 0 {
+                return 0;
+            }
+            k = k.min(u64::from(trace[r.idx].output_tokens - r.produced) - 1);
+        }
+        if k == 0 {
+            return 0;
+        }
+        // Constant-cost bound: the table lookup only changes when a
+        // KV length crosses a bucket boundary. Under bucketized-mean
+        // pricing the mean grows by exactly one token per iteration
+        // (`ceil((s + j*b)/b) = ceil(s/b) + j`); under exact pricing
+        // each sequence's own span must stay in its bucket.
+        let bucket = u64::from(self.table.bucket);
+        let cost = match cfg.decode_pricing {
+            DecodePricing::BucketizedMean => {
+                let kv_sum: u64 = blade.running.iter().map(|r| u64::from(r.kv_len)).sum();
+                let kv_mean = kv_sum.div_ceil(u64::from(batch)) as u32;
+                let idx = u64::from(kv_mean).div_ceil(bucket).max(1);
+                k = k.min(idx * bucket - u64::from(kv_mean) + 1);
+                self.table.decode_cost(batch, kv_mean)
+            }
+            DecodePricing::ExactPerSequence => {
+                let mut total = 0.0f64;
+                for r in &blade.running {
+                    let idx = u64::from(r.kv_len).div_ceil(bucket).max(1);
+                    k = k.min(idx * bucket - u64::from(r.kv_len) + 1);
+                    total += self.table.decode_cost(batch, r.kv_len);
+                }
+                total / f64::from(batch)
+            }
+        };
+        // Zero-cost iterations would accumulate `0.0 + cost` in the
+        // per-step loop, whose bit pattern the hoisted sums below only
+        // reproduce for positive costs; NaN falls back to the per-step
+        // path too so a broken estimator degrades identically.
+        if cost <= 0.0 || cost.is_nan() {
+            return 0;
+        }
+        // No-preemption bound: the KV growth check must pass every
+        // stretched iteration, with the exact float predicate the
+        // per-step loop applies.
+        let cache_charged = self.cache_charged(blade);
+        let charged0: u64 =
+            blade.running.iter().map(|r| self.charge(r)).sum::<u64>() + cache_charged;
+        if self.kv_bytes(charged0) > cfg.kv_capacity_bytes {
+            return 0;
+        }
+        match cfg.kv_layout {
+            KvLayout::Contiguous => {
+                // Charged tokens grow by `batch` per iteration: binary
+                // search the last fitting iteration.
+                let fits = |j: u64| {
+                    self.kv_bytes(charged0 + j * u64::from(batch)) <= cfg.kv_capacity_bytes
+                };
+                if !fits(k - 1) {
+                    let (mut lo, mut hi) = (0u64, k - 1);
+                    while lo < hi {
+                        let mid = lo + (hi - lo).div_ceil(2);
+                        if fits(mid) {
+                            lo = mid;
+                        } else {
+                            hi = mid - 1;
+                        }
+                    }
+                    k = lo + 1;
+                }
+            }
+            KvLayout::Paged { block_tokens } => {
+                // Block-granular charge is constant until a sequence's
+                // private span crosses its current block boundary.
+                let blk = u64::from(block_tokens);
+                for r in &blade.running {
+                    let x = u64::from(r.kv_len) + 1 - u64::from(r.shared_tokens);
+                    k = k.min(x.div_ceil(blk) * blk - x + 1);
+                }
+            }
+        }
+        // The tight loop: per iteration the per-step path would execute
+        // `decode_time_s += c; batch_time_weighted += c*b; busy_s += c;
+        // clock += c` in this order (its `step_cost = 0.0 + c` equals
+        // `c` bitwise for positive costs), then notify the observer.
+        let weighted = cost * f64::from(batch);
+        let mut done = 0u64;
+        if obs.is_passive() {
+            for _ in 0..k {
+                if gate_s <= blade.clock {
+                    break;
+                }
+                blade.decode_time_s += cost;
+                blade.batch_time_weighted += weighted;
+                blade.busy_s += cost;
+                blade.clock += cost;
+                done += 1;
+            }
+        } else {
+            for _ in 0..k {
+                if gate_s <= blade.clock {
+                    break;
+                }
+                blade.decode_time_s += cost;
+                blade.batch_time_weighted += weighted;
+                blade.busy_s += cost;
+                blade.clock += cost;
+                obs.on_step(blade.id, blade.clock, cost, batch);
+                done += 1;
+            }
+        }
+        if done == 0 {
+            return 0;
+        }
+        blade.decode_iterations += done;
+        blade.max_step_s = blade.max_step_s.max(cost);
+        // Integer bookkeeping, batched: every sequence grew and produced
+        // `done` tokens; the capacity/occupancy peaks are monotone or
+        // constant across the stretch, so the endpoints cover them.
+        // Fragmentation (charged − used) is constant under contiguous
+        // accounting and non-increasing under paged, peaking at entry;
+        // the charged footprint peaks at the final iteration.
+        let used0: u64 = blade
+            .running
+            .iter()
+            .map(|r| u64::from(r.kv_len) + 1 - u64::from(r.shared_tokens))
+            .sum::<u64>()
+            + blade.cache.as_ref().map_or(0, PrefixCache::resident_tokens);
+        for r in &mut blade.running {
+            r.kv_len += done as u32;
+            r.produced += done as u32;
+        }
+        let charged_end = match cfg.kv_layout {
+            KvLayout::Contiguous => charged0 + (done - 1) * u64::from(batch),
+            KvLayout::Paged { .. } => charged0,
+        };
+        blade.kv_peak_tokens = blade.kv_peak_tokens.max(charged_end);
+        blade.frag_peak_tokens = blade.frag_peak_tokens.max(charged0 - used0);
+        blade.shared_peak_tokens = blade.shared_peak_tokens.max(cache_charged);
+        done
     }
 }
 
@@ -1325,7 +1590,7 @@ impl<'a> ServingSimulator<'a> {
     ) -> ServingReport {
         let ctx = self.ctx(table);
         let mut outcomes = vec![Outcome::default(); trace.len()];
-        let blade = ctx.drive(0, trace, Self::arrival_queue(trace), &mut outcomes, obs);
+        let blade = ctx.drive_auto(0, trace, Self::arrival_queue(trace), &mut outcomes, obs);
         let mut totals = ReplayTotals::default();
         totals.absorb(&blade);
         finalize(

@@ -1,0 +1,496 @@
+//! Event-scheduling primitives for the event-driven simulation core:
+//! a lazy-deletion time-ordered heap ([`EventHeap`]), incremental
+//! policy-ordered queues (`SchedQueue`), and the admission-queue seam
+//! (`AdmissionQueue`, crate-internal) that lets one engine iteration
+//! body serve both the legacy per-step loops and the event-driven ones
+//! bit-identically.
+//!
+//! The design constraint throughout is *bit-for-bit* equivalence with
+//! the per-step loops in [`super::engine`] and [`super::cluster`]: every
+//! structure here either reproduces the exact sequence of heads /
+//! minima the legacy O(n)-per-iteration scans would produce, or is only
+//! consulted at points where the legacy loop's answer is provably
+//! unchanged (see the contracts on [`SchedulerPolicy`]).
+
+use super::policy::{OrderingContract, SchedulerPolicy};
+use super::traces::RequestSpec;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// One pending event: a timestamp ordered by `f64::total_cmp`, with the
+/// payload index breaking ties so the pop order is fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    time: f64,
+    idx: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered min-heap of `(time, index)` events with lazy deletion:
+/// superseded entries stay in the heap and are discarded when they
+/// surface, so updates are O(log n) pushes instead of O(n) rebuilds.
+///
+/// Ordering is `f64::total_cmp` on the timestamp with the index as the
+/// deterministic tie-break — two heaps fed the same events always pop
+/// the same sequence, which the equivalence suites rely on.
+#[derive(Debug, Default)]
+pub struct EventHeap {
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl EventHeap {
+    /// An empty heap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules event `idx` at `time`.
+    pub fn push(&mut self, time: f64, idx: usize) {
+        self.heap.push(Reverse(Entry { time, idx }));
+    }
+
+    /// Pops the earliest event (ties broken by lowest index).
+    pub fn pop(&mut self) -> Option<(f64, usize)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.idx))
+    }
+
+    /// Returns the earliest event for which `valid(time, idx)` holds,
+    /// permanently discarding the stale entries surfacing before it.
+    /// Callers re-push an event whenever its timestamp changes, so a
+    /// discarded entry is always superseded by a live one.
+    pub fn peek_valid(
+        &mut self,
+        mut valid: impl FnMut(f64, usize) -> bool,
+    ) -> Option<(f64, usize)> {
+        while let Some(&Reverse(e)) = self.heap.peek() {
+            if valid(e.time, e.idx) {
+                return Some((e.time, e.idx));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Entries currently stored (live and stale alike).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Lazy min *and* max over the ready times of a queue's members, used by
+/// the cluster event loops to answer "is every queued request eligible /
+/// is none" in O(log n) amortized instead of re-scanning the queue. The
+/// max side stores negated times — an exact (sign-bit) transform — in a
+/// second min-heap.
+#[derive(Debug, Default)]
+pub(crate) struct ReadyWindow {
+    lo: EventHeap,
+    hi: EventHeap,
+}
+
+impl ReadyWindow {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers, after a ready-time change) member
+    /// `idx` with ready time `time`.
+    pub(crate) fn push(&mut self, time: f64, idx: usize) {
+        self.lo.push(time, idx);
+        self.hi.push(-time, idx);
+    }
+
+    /// The smallest ready time among live members (`in_queue[idx]` with
+    /// `ready[idx]` bit-equal to the registered time).
+    pub(crate) fn min(&mut self, in_queue: &[bool], ready: &[f64]) -> Option<f64> {
+        self.lo
+            .peek_valid(|t, i| in_queue[i] && ready[i].to_bits() == t.to_bits())
+            .map(|(t, _)| t)
+    }
+
+    /// The largest ready time among live members.
+    pub(crate) fn max(&mut self, in_queue: &[bool], ready: &[f64]) -> Option<f64> {
+        self.hi
+            .peek_valid(|t, i| in_queue[i] && ready[i].to_bits() == (-t).to_bits())
+            .map(|(t, _)| -t)
+    }
+}
+
+/// The queue operations one engine iteration performs, abstracted so
+/// [`EngineCtx::step`](super::engine::EngineCtx) runs unchanged over a
+/// plain `VecDeque` (legacy loops), an incrementally ordered
+/// [`SchedQueue`], or a [`TrackedQueue`] recording admissions.
+pub(crate) trait AdmissionQueue {
+    /// The next admission candidate (the legacy queue front).
+    fn peek(&self) -> Option<usize>;
+    /// Removes the candidate just peeked (it was admitted).
+    fn pop(&mut self);
+    /// Re-queues a preemption victim at the front (legacy `push_front`).
+    fn requeue_victim(&mut self, idx: usize);
+}
+
+impl AdmissionQueue for VecDeque<usize> {
+    fn peek(&self) -> Option<usize> {
+        self.front().copied()
+    }
+
+    fn pop(&mut self) {
+        self.pop_front();
+    }
+
+    fn requeue_victim(&mut self, idx: usize) {
+        self.push_front(idx);
+    }
+}
+
+/// A `VecDeque` wrapper recording which indices the engine iteration
+/// admitted, so the cluster event loops can maintain their membership
+/// flags and ready-time heaps incrementally.
+#[derive(Debug)]
+pub(crate) struct TrackedQueue<'a> {
+    queue: &'a mut VecDeque<usize>,
+    pub(crate) admitted: Vec<usize>,
+}
+
+impl<'a> TrackedQueue<'a> {
+    pub(crate) fn new(queue: &'a mut VecDeque<usize>) -> Self {
+        Self {
+            queue,
+            admitted: Vec::new(),
+        }
+    }
+}
+
+impl AdmissionQueue for TrackedQueue<'_> {
+    fn peek(&self) -> Option<usize> {
+        self.queue.front().copied()
+    }
+
+    fn pop(&mut self) {
+        if let Some(idx) = self.queue.pop_front() {
+            self.admitted.push(idx);
+        }
+    }
+
+    fn requeue_victim(&mut self, idx: usize) {
+        self.queue.push_front(idx);
+    }
+}
+
+/// What the single-blade event loop may do at the queue head right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Gate {
+    /// The queue is empty: only running work remains.
+    Empty,
+    /// An arrived request heads the queue — admission must go through
+    /// the full per-step path (its KV fit can have cache side effects).
+    Ready,
+    /// Nothing has arrived yet; the head arrives at this instant.
+    Blocked(f64),
+}
+
+/// Arrived requests of a [`SchedQueue::Keyed`] queue, ordered exactly as
+/// the legacy loop's repeated stable sorts would order them: by the
+/// policy's clock-independent key, then by an insertion sequence that
+/// keeps new arrivals *behind* key-equals (stable-sort semantics for
+/// appended entries) and re-queued victims *ahead* of them (a victim
+/// re-enters at the queue front, and every later stable sort keeps it
+/// ahead of its ties — most recent victim first).
+#[derive(Debug)]
+pub(crate) struct KeyedQueue {
+    arrived: BTreeSet<(u64, i64, usize)>,
+    /// Not-yet-arrived members, earliest first (the arrival-sorted tail
+    /// the legacy sort leaves untouched).
+    future: VecDeque<usize>,
+    /// `order_key` per trace index, precomputed once.
+    keys: Vec<u64>,
+    next_seq: i64,
+    next_victim_seq: i64,
+}
+
+/// The waiting queue of the single-blade event loop, specialized per
+/// [`OrderingContract`]: FCFS keeps the plain deque untouched, static
+/// keys get an incrementally maintained ordered set, and clock-dependent
+/// policies fall back to re-sorting before each admission-capable
+/// iteration (their contract makes the skipped no-admission sorts
+/// unobservable).
+#[derive(Debug)]
+pub(crate) enum SchedQueue {
+    Fcfs(VecDeque<usize>),
+    Keyed(KeyedQueue),
+    Resort(VecDeque<usize>),
+}
+
+impl SchedQueue {
+    /// Wraps an arrival-ordered queue for `policy`.
+    pub(crate) fn new(
+        policy: &dyn SchedulerPolicy,
+        trace: &[RequestSpec],
+        queue: VecDeque<usize>,
+    ) -> Self {
+        match policy.ordering() {
+            OrderingContract::Fcfs => Self::Fcfs(queue),
+            OrderingContract::StaticKey => {
+                let mut keys = vec![0u64; trace.len()];
+                for &i in &queue {
+                    keys[i] = policy.order_key(&trace[i]);
+                }
+                Self::Keyed(KeyedQueue {
+                    arrived: BTreeSet::new(),
+                    future: queue,
+                    keys,
+                    next_seq: 0,
+                    next_victim_seq: -1,
+                })
+            }
+            OrderingContract::ClockDependent => Self::Resort(queue),
+        }
+    }
+
+    /// Brings the order up to date at `clock` — the moment the legacy
+    /// loop would have called `order_queue` before stepping.
+    pub(crate) fn prepare(
+        &mut self,
+        clock: f64,
+        trace: &[RequestSpec],
+        policy: &dyn SchedulerPolicy,
+    ) {
+        match self {
+            Self::Fcfs(_) => {}
+            Self::Keyed(kq) => {
+                while let Some(&i) = kq.future.front() {
+                    if trace[i].arrival_s > clock {
+                        break;
+                    }
+                    kq.future.pop_front();
+                    kq.arrived.insert((kq.keys[i], kq.next_seq, i));
+                    kq.next_seq += 1;
+                }
+            }
+            Self::Resort(queue) => policy.order_queue(clock, trace, queue),
+        }
+    }
+
+    /// Whether any request is still waiting.
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            Self::Fcfs(q) | Self::Resort(q) => q.is_empty(),
+            Self::Keyed(kq) => kq.arrived.is_empty() && kq.future.is_empty(),
+        }
+    }
+
+    /// The arrival the idle-blade fast-forward should jump to, or `None`
+    /// when the legacy `clock.max(min arrival)` is provably a no-op
+    /// (some member already arrived). When `Some(t)` with `t > clock`,
+    /// the head is guaranteed to be the earliest arrival: a front with a
+    /// future arrival implies no re-queued victims (victims arrived in
+    /// the past and sit at the front), so the queue is arrival-sorted.
+    pub(crate) fn fast_forward_target(&self, trace: &[RequestSpec]) -> Option<f64> {
+        match self {
+            Self::Fcfs(q) | Self::Resort(q) => q.front().map(|&i| trace[i].arrival_s),
+            Self::Keyed(kq) => {
+                if kq.arrived.is_empty() {
+                    kq.future.front().map(|&i| trace[i].arrival_s)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Classifies the queue head for the decode-stretch gate at `clock`.
+    /// Must be called after [`Self::prepare`] at the same clock.
+    pub(crate) fn admission_gate(&self, trace: &[RequestSpec], clock: f64) -> Gate {
+        let head = match self {
+            Self::Fcfs(q) | Self::Resort(q) => q.front().copied(),
+            Self::Keyed(kq) => {
+                if let Some(&(_, _, i)) = kq.arrived.first() {
+                    Some(i)
+                } else {
+                    kq.future.front().copied()
+                }
+            }
+        };
+        match head {
+            None => Gate::Empty,
+            Some(i) if trace[i].arrival_s <= clock => Gate::Ready,
+            Some(i) => Gate::Blocked(trace[i].arrival_s),
+        }
+    }
+}
+
+impl AdmissionQueue for SchedQueue {
+    fn peek(&self) -> Option<usize> {
+        match self {
+            Self::Fcfs(q) | Self::Resort(q) => q.front().copied(),
+            Self::Keyed(kq) => {
+                if let Some(&(_, _, i)) = kq.arrived.first() {
+                    Some(i)
+                } else {
+                    kq.future.front().copied()
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) {
+        match self {
+            Self::Fcfs(q) | Self::Resort(q) => {
+                q.pop_front();
+            }
+            Self::Keyed(kq) => {
+                // Admission always pops an arrived head: `prepare` ran at
+                // this clock, so every not-yet-absorbed member is in the
+                // future and the engine's ready check would have broken.
+                if kq.arrived.pop_first().is_none() {
+                    kq.future.pop_front();
+                }
+            }
+        }
+    }
+
+    fn requeue_victim(&mut self, idx: usize) {
+        match self {
+            Self::Fcfs(q) | Self::Resort(q) => q.push_front(idx),
+            Self::Keyed(kq) => {
+                kq.arrived.insert((kq.keys[idx], kq.next_victim_seq, idx));
+                kq.next_victim_seq -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::policy::{FcfsPolicy, SjfPolicy};
+
+    #[test]
+    fn heap_pops_in_time_then_index_order() {
+        let mut h = EventHeap::new();
+        h.push(2.0, 1);
+        h.push(1.0, 7);
+        h.push(1.0, 3);
+        h.push(0.5, 9);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.pop(), Some((0.5, 9)));
+        assert_eq!(h.pop(), Some((1.0, 3)));
+        assert_eq!(h.pop(), Some((1.0, 7)));
+        assert_eq!(h.pop(), Some((2.0, 1)));
+        assert_eq!(h.pop(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn heap_lazy_deletion_discards_stale_entries() {
+        let mut h = EventHeap::new();
+        h.push(1.0, 0);
+        h.push(2.0, 1);
+        // Entry 0 was superseded: its live time is now 3.0.
+        h.push(3.0, 0);
+        let live = [3.0f64, 2.0];
+        assert_eq!(
+            h.peek_valid(|t, i| live[i].to_bits() == t.to_bits()),
+            Some((2.0, 1))
+        );
+        assert_eq!(h.len(), 2, "the stale entry was discarded");
+    }
+
+    #[test]
+    fn ready_window_tracks_min_and_max_of_live_members() {
+        let mut w = ReadyWindow::new();
+        let ready = [1.0, 5.0, 3.0];
+        let mut in_queue = [true, true, true];
+        for (i, &t) in ready.iter().enumerate() {
+            w.push(t, i);
+        }
+        assert_eq!(w.min(&in_queue, &ready), Some(1.0));
+        assert_eq!(w.max(&in_queue, &ready), Some(5.0));
+        in_queue[1] = false;
+        assert_eq!(w.max(&in_queue, &ready), Some(3.0));
+        in_queue[0] = false;
+        assert_eq!(w.min(&in_queue, &ready), Some(3.0));
+        in_queue[2] = false;
+        assert_eq!(w.min(&in_queue, &ready), None);
+        assert_eq!(w.max(&in_queue, &ready), None);
+    }
+
+    #[test]
+    fn keyed_queue_matches_repeated_stable_sorts() {
+        // Three arrived requests with SJF keys, plus a victim re-queued
+        // twice: the incremental set must hand out the same heads as
+        // push_front + stable re-sort would.
+        let trace = vec![
+            RequestSpec::new(0, 0.0, 10, 5),
+            RequestSpec::new(1, 0.0, 10, 5), // key-tied with 0: FCFS
+            RequestSpec::new(2, 0.0, 10, 2), // shortest: first
+        ];
+        let mut sq = SchedQueue::new(&SjfPolicy, &trace, (0..3).collect());
+        sq.prepare(0.0, &trace, &SjfPolicy);
+        assert_eq!(sq.peek(), Some(2));
+        sq.pop();
+        assert_eq!(sq.peek(), Some(0), "stable tie keeps arrival order");
+        sq.pop();
+        // Victim 0 re-enters: ahead of its key-tie 1.
+        sq.requeue_victim(0);
+        assert_eq!(sq.peek(), Some(0));
+        // Victim 2 re-enters: smallest key, ahead of everything.
+        sq.requeue_victim(2);
+        assert_eq!(sq.peek(), Some(2));
+        sq.pop();
+        sq.pop();
+        assert_eq!(sq.peek(), Some(1));
+        sq.pop();
+        assert!(sq.is_empty());
+    }
+
+    #[test]
+    fn fcfs_gate_and_fast_forward_use_the_head() {
+        let trace = vec![
+            RequestSpec::new(0, 2.0, 8, 4),
+            RequestSpec::new(1, 5.0, 8, 4),
+        ];
+        let sq = SchedQueue::new(&FcfsPolicy, &trace, (0..2).collect());
+        assert_eq!(sq.fast_forward_target(&trace), Some(2.0));
+        assert_eq!(sq.admission_gate(&trace, 1.0), Gate::Blocked(2.0));
+        assert_eq!(sq.admission_gate(&trace, 2.0), Gate::Ready);
+        let empty = SchedQueue::new(&FcfsPolicy, &trace, VecDeque::new());
+        assert_eq!(empty.admission_gate(&trace, 0.0), Gate::Empty);
+        assert_eq!(empty.fast_forward_target(&trace), None);
+    }
+
+    #[test]
+    fn tracked_queue_records_admissions_only() {
+        let mut q: VecDeque<usize> = VecDeque::from([4, 7]);
+        let mut tq = TrackedQueue::new(&mut q);
+        assert_eq!(tq.peek(), Some(4));
+        tq.pop();
+        tq.requeue_victim(9);
+        assert_eq!(tq.peek(), Some(9));
+        assert_eq!(tq.admitted, vec![4]);
+        assert_eq!(*tq.queue, VecDeque::from([9, 7]));
+    }
+}

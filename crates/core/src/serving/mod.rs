@@ -21,7 +21,14 @@
 //! * [`engine`] — the single-blade replay loop ([`ServingSimulator`]):
 //!   iteration-level admission, recompute-style preemption, chunked
 //!   prefill, and decode pricing from a memoized roofline cost table
-//!   (bucketized-mean fast path or exact per-sequence spans).
+//!   (bucketized-mean fast path or exact per-sequence spans). Two
+//!   [`SimCore`]s drive it: the event-driven default (heap-scheduled
+//!   arrivals, incremental queue order, batched decode stretches) and
+//!   the per-step reference loop, bit-identical by construction.
+//! * [`events`] — the event-driven core's machinery: the lazy-deletion
+//!   [`EventHeap`], incremental ready-time windows, and policy-ordered
+//!   admission queues built on the [`OrderingContract`] each
+//!   [`SchedulerPolicy`] declares.
 //! * [`cluster`] — N blades ([`ClusterSimulator`]): round-robin /
 //!   join-shortest-queue / least-loaded-KV routing into per-blade queues,
 //!   or one central queue, with per-blade utilization skew in the report.
@@ -149,6 +156,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod events;
 pub mod kv;
 pub mod observer;
 pub mod policy;
@@ -161,10 +169,11 @@ pub use cluster::{
     BladeLoad, BladeRole, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode,
     HandoffLink, RoutingPolicy, Topology,
 };
-pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator};
+pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator, SimCore};
+pub use events::EventHeap;
 pub use kv::{KvLayout, PagedKvAllocator};
 pub use observer::{CountingObserver, NoopObserver, SimObserver};
-pub use policy::{FcfsPolicy, MaxWaitGuardPolicy, SchedulerPolicy, SjfPolicy};
+pub use policy::{FcfsPolicy, MaxWaitGuardPolicy, OrderingContract, SchedulerPolicy, SjfPolicy};
 pub use prefix::{PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
 pub use report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
 pub use scenario::{CompiledScenario, Scenario};

@@ -78,13 +78,25 @@ pub trait SimObserver {
     fn on_step(&mut self, blade: u32, clock_s: f64, step_s: f64, decoding: u32) {
         let _ = (blade, clock_s, step_s, decoding);
     }
+
+    /// Whether this observer ignores every callback. The event-driven
+    /// core skips per-iteration dispatch inside batched decode stretches
+    /// for passive observers; real observers (returning `false`, the
+    /// default) receive the identical event stream on both cores.
+    fn is_passive(&self) -> bool {
+        false
+    }
 }
 
 /// The do-nothing observer the unobserved replay paths run with.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopObserver;
 
-impl SimObserver for NoopObserver {}
+impl SimObserver for NoopObserver {
+    fn is_passive(&self) -> bool {
+        true
+    }
+}
 
 /// An observer that counts every event class — the drop-in replacement
 /// for the engine-internals peeking that benches and tests used to do.

@@ -14,18 +14,76 @@ use super::traces::RequestSpec;
 use std::collections::VecDeque;
 use std::fmt;
 
+/// How the event-driven core may maintain a policy's queue order
+/// *incrementally* instead of re-running
+/// [`SchedulerPolicy::order_queue`] over the whole backlog every
+/// iteration. Each contract is a promise about what `order_queue`
+/// computes; the engine exploits the strongest promise a policy makes
+/// and falls back to per-iteration re-sorting otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingContract {
+    /// `order_queue` is a no-op: the queue stays in arrival order and
+    /// the engine skips the call entirely on the hot path.
+    Fcfs,
+    /// `order_queue(clock, ..)` is exactly a *stable* sort of the
+    /// arrived prefix by [`SchedulerPolicy::order_key`], and that key
+    /// does not depend on the clock. The engine then keeps arrived
+    /// requests in an ordered set keyed by `(order_key, insertion seq)`
+    /// — new arrivals insert after key-equals (stable-sort semantics),
+    /// preemption victims insert before key-equals (they re-enter at
+    /// the queue front and a stable sort keeps them ahead of ties) —
+    /// which is provably the same sequence of heads the repeated sort
+    /// would produce.
+    StaticKey,
+    /// The order depends on the clock (e.g. aging promotions), so the
+    /// engine re-runs `order_queue` before every admission-capable
+    /// iteration. Policies under this contract must additionally be
+    /// *history-independent*: the queue order after `order_queue(c2)`
+    /// must be a pure function of `(c2, queue contents)` regardless of
+    /// which earlier clocks `c1 <= c2` the queue was sorted at — i.e.
+    /// `order_queue(c2) ∘ order_queue(c1) ≡ order_queue(c2)` — because
+    /// the event-driven core skips the call for iterations where no
+    /// admission can occur (batch full, or nothing arrived). A stable
+    /// sort by a key that is monotone in the clock (like the max-wait
+    /// guard's overdue promotion) satisfies this.
+    ClockDependent,
+}
+
 /// Admission + eviction strategy for the serving engine.
 ///
-/// Implementations must keep two contracts the engine relies on:
+/// Implementations must keep these contracts the engine relies on:
 ///
 /// * [`order_queue`](Self::order_queue) may only move *arrived* requests
 ///   (`arrival_s <= clock`) ahead of others; not-yet-arrived requests keep
-///   their relative (arrival) order behind the arrived ones.
+///   their relative (arrival) order behind the arrived ones. In
+///   particular, a queue holding only not-yet-arrived requests must come
+///   back unchanged.
 /// * [`evict_victim`](Self::evict_victim) returns a valid index into
 ///   `running` (the engine calls it only when `running.len() > 1`).
+/// * [`ordering`](Self::ordering) must describe `order_queue` truthfully
+///   — the event-driven core replays are bit-compared against the
+///   per-step loops under that promise (see [`OrderingContract`]).
 pub trait SchedulerPolicy: fmt::Debug + Send + Sync {
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// The incremental-order contract [`order_queue`](Self::order_queue)
+    /// satisfies. The conservative default re-sorts every
+    /// admission-capable iteration; override to let the event-driven
+    /// core maintain the order incrementally (FCFS additionally skips
+    /// the `order_queue` call on the hot path entirely).
+    fn ordering(&self) -> OrderingContract {
+        OrderingContract::ClockDependent
+    }
+
+    /// The clock-independent sort key backing
+    /// [`OrderingContract::StaticKey`]: smaller keys run first, ties are
+    /// FCFS. Must totally agree with `order_queue`'s sort. Unused under
+    /// the other contracts.
+    fn order_key(&self, request: &RequestSpec) -> u64 {
+        let _ = request;
+        0
+    }
 
     /// Reorders the waiting queue before this iteration's admission scan.
     /// The engine admits from the front until a request fails to fit
@@ -73,6 +131,10 @@ impl SchedulerPolicy for FcfsPolicy {
     fn name(&self) -> &'static str {
         "fcfs"
     }
+
+    fn ordering(&self) -> OrderingContract {
+        OrderingContract::Fcfs
+    }
 }
 
 /// Shortest-job-first admission: among arrived requests, the smallest
@@ -93,6 +155,18 @@ fn service_key(r: &RequestSpec) -> (u32, u32) {
 impl SchedulerPolicy for SjfPolicy {
     fn name(&self) -> &'static str {
         "sjf"
+    }
+
+    fn ordering(&self) -> OrderingContract {
+        OrderingContract::StaticKey
+    }
+
+    fn order_key(&self, request: &RequestSpec) -> u64 {
+        // Packs (output, prompt) lexicographically: same total order as
+        // `service_key`, so the incremental ordered set agrees with the
+        // stable sort below.
+        let (out, prompt) = service_key(request);
+        (u64::from(out) << 32) | u64::from(prompt)
     }
 
     fn order_queue(&self, clock: f64, trace: &[RequestSpec], queue: &mut VecDeque<usize>) {
@@ -194,6 +268,25 @@ mod tests {
         MaxWaitGuardPolicy::new(2.0).order_queue(5.0, &trace, &mut q);
         assert_eq!(q, VecDeque::from([0, 1]));
         assert!(MaxWaitGuardPolicy::new(2.0).name().contains("guard"));
+    }
+
+    #[test]
+    fn ordering_contracts_match_order_queue_behavior() {
+        assert_eq!(FcfsPolicy.ordering(), OrderingContract::Fcfs);
+        assert_eq!(SjfPolicy.ordering(), OrderingContract::StaticKey);
+        assert_eq!(
+            MaxWaitGuardPolicy::new(1.0).ordering(),
+            OrderingContract::ClockDependent
+        );
+        // SJF's packed key must agree with its stable-sort key on both
+        // components, including the prompt tie-break.
+        let a = req(0, 0.0, 7, 3);
+        let b = req(1, 0.0, 9, 3);
+        let c = req(2, 0.0, 7, 4);
+        assert!(SjfPolicy.order_key(&a) < SjfPolicy.order_key(&b));
+        assert!(SjfPolicy.order_key(&a) < SjfPolicy.order_key(&c));
+        // Output dominates: b's shorter decode outranks c's shorter prompt.
+        assert!(SjfPolicy.order_key(&b) < SjfPolicy.order_key(&c));
     }
 
     #[test]

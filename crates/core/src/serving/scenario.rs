@@ -43,7 +43,7 @@ use super::cluster::{
     run_disaggregated, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, HandoffLink,
     RoutingPolicy, Topology,
 };
-use super::engine::{DecodePricing, ServingConfig, ServingSimulator};
+use super::engine::{DecodePricing, ServingConfig, ServingSimulator, SimCore};
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
@@ -107,6 +107,7 @@ pub struct Scenario<'a> {
     classes: Option<Vec<SloClass>>,
     classifier: Option<Classifier>,
     policy: PolicyFactory,
+    core: SimCore,
 }
 
 impl fmt::Debug for Scenario<'_> {
@@ -173,6 +174,7 @@ impl<'a> Scenario<'a> {
             classes: None,
             classifier: None,
             policy: Box::new(|| Box::new(FcfsPolicy)),
+            core: SimCore::EventDriven,
         }
     }
 
@@ -284,6 +286,16 @@ impl<'a> Scenario<'a> {
     #[must_use]
     pub fn pricing(mut self, pricing: DecodePricing) -> Self {
         self.pricing = pricing;
+        self
+    }
+
+    /// Which simulation core drives the replay. The event-driven core
+    /// (the default) is bit-identical to [`SimCore::PerStep`] on every
+    /// workload; the per-step core is retained as the reference
+    /// implementation the equivalence suite checks against.
+    #[must_use]
+    pub fn core(mut self, core: SimCore) -> Self {
+        self.core = core;
         self
     }
 
@@ -410,6 +422,7 @@ impl<'a> Scenario<'a> {
         config.prefix = self.prefix;
         config.ttft_slo_s = self.ttft_slo_s;
         config.tpot_slo_s = self.tpot_slo_s;
+        config.core = self.core;
 
         let topology = self
             .topology

@@ -1,0 +1,446 @@
+//! The event-driven simulation core must be *bit-identical* to the
+//! per-step reference loops on every workload: same reports, same
+//! per-blade accounting, same observer event streams. The per-step core
+//! stays in the tree exactly so this suite can replay each scenario on
+//! both and compare to the last bit — across policies (each
+//! `OrderingContract`), KV layouts, pricing modes, chunked prefill,
+//! prefix caching, cluster dispatch modes and the disaggregated
+//! prefill→decode topology.
+
+use llm_workload::kvcache::{KvCache, KvConvention};
+use llm_workload::model::{ModelZoo, TransformerConfig};
+use llm_workload::Parallelism;
+use optimus::serving::{
+    ClusterReport, CountingObserver, DecodePricing, DispatchMode, EventHeap, MaxWaitGuardPolicy,
+    RequestSpec, RoutingPolicy, Scenario, SharedPrefixTraceConfig, SimCore, SjfPolicy, Topology,
+    TraceConfig,
+};
+use optimus::MultiBladeSystem;
+use proptest::prelude::*;
+
+/// KV bytes for one token of `model` at the system's serving precision.
+fn per_token_bytes(system: &MultiBladeSystem, model: &TransformerConfig) -> f64 {
+    KvCache {
+        batch: 1,
+        seq_len: 1,
+        precision: system.inference_estimator().precision(),
+    }
+    .bytes(model, KvConvention::Gqa)
+}
+
+/// Compiles `build()` under both cores, runs each, and asserts the full
+/// cluster reports (global + per-blade + per-class) are identical.
+fn assert_cores_agree<'a>(label: &str, build: impl Fn() -> Scenario<'a>) -> ClusterReport {
+    let event = build()
+        .core(SimCore::EventDriven)
+        .compile()
+        .unwrap()
+        .run()
+        .unwrap();
+    let per_step = build()
+        .core(SimCore::PerStep)
+        .compile()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(event, per_step, "{label}: cores must be bit-identical");
+    assert_eq!(
+        event.report.makespan_s.to_bits(),
+        per_step.report.makespan_s.to_bits(),
+        "{label}: makespan bits"
+    );
+    assert_eq!(
+        event.report.decode_time_s.to_bits(),
+        per_step.report.decode_time_s.to_bits(),
+        "{label}: decode time bits"
+    );
+    event
+}
+
+#[test]
+fn single_blade_cores_agree_across_policies_and_pressure() {
+    let system = MultiBladeSystem::new(1).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    // Underloaded trickle: the regime the idle fast-forward and decode
+    // stretches exist for.
+    let trickle = TraceConfig {
+        seed: 11,
+        requests: 40,
+        arrival_rate_per_s: 3.0,
+        prompt_tokens: (32, 256),
+        output_tokens: (8, 64),
+    };
+    // Saturating burst with tight KV: eviction/re-admission churn.
+    let burst = TraceConfig {
+        seed: 13,
+        requests: 18,
+        arrival_rate_per_s: 500.0,
+        prompt_tokens: (90, 96),
+        output_tokens: (24, 32),
+    };
+    let tight = per_token_bytes(&system, &model) * f64::from(96 + 32) * 2.5;
+    let base = |trace: TraceConfig| {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .poisson(trace)
+    };
+    let r = assert_cores_agree("fcfs trickle", || base(trickle));
+    assert_eq!(r.report.completed, 40);
+    assert_cores_agree("sjf trickle", || base(trickle).policy(SjfPolicy));
+    assert_cores_agree("guard trickle", || {
+        base(trickle).policy(MaxWaitGuardPolicy::new(0.5))
+    });
+    let r = assert_cores_agree("fcfs tight kv", || base(burst).kv_capacity_bytes(tight));
+    assert!(r.report.evictions > 0, "pressure must preempt");
+    assert_cores_agree("sjf tight kv", || {
+        base(burst).kv_capacity_bytes(tight).policy(SjfPolicy)
+    });
+    assert_cores_agree("guard tight kv", || {
+        base(burst)
+            .kv_capacity_bytes(tight)
+            .policy(MaxWaitGuardPolicy::new(0.05))
+    });
+}
+
+#[test]
+fn single_blade_cores_agree_across_kv_and_pricing_features() {
+    let system = MultiBladeSystem::new(1).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = TraceConfig {
+        seed: 21,
+        requests: 24,
+        arrival_rate_per_s: 20.0,
+        prompt_tokens: (64, 512),
+        output_tokens: (8, 48),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(8)
+            .unconstrained_kv()
+            .poisson(trace)
+    };
+    let r = assert_cores_agree("paged kv", || base().paged_kv(64));
+    assert!(r.report.kv_fragmentation_peak_bytes > 0.0);
+    assert_cores_agree("chunked prefill", || base().chunked_prefill(64));
+    assert_cores_agree("exact pricing", || {
+        base().pricing(DecodePricing::ExactPerSequence)
+    });
+    assert_cores_agree("kitchen sink", || {
+        base()
+            .paged_kv(32)
+            .chunked_prefill(128)
+            .pricing(DecodePricing::ExactPerSequence)
+            .policy(SjfPolicy)
+    });
+}
+
+#[test]
+fn cluster_and_disaggregated_cores_agree() {
+    let system = MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = TraceConfig {
+        seed: 31,
+        requests: 48,
+        arrival_rate_per_s: 40.0,
+        prompt_tokens: (32, 384),
+        output_tokens: (8, 64),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .poisson(trace)
+    };
+    assert_cores_agree("jsq per-blade", || {
+        base().routing(RoutingPolicy::JoinShortestQueue)
+    });
+    assert_cores_agree("central fcfs", || base().dispatch(DispatchMode::Central));
+    assert_cores_agree("central sjf", || {
+        base().dispatch(DispatchMode::Central).policy(SjfPolicy)
+    });
+    assert_cores_agree("central guard", || {
+        base()
+            .dispatch(DispatchMode::Central)
+            .policy(MaxWaitGuardPolicy::new(0.2))
+    });
+    let r = assert_cores_agree("disaggregated fcfs", || {
+        base().topology(Topology::disaggregated(1, 3))
+    });
+    assert_eq!(r.report.completed, 48);
+    assert_cores_agree("disaggregated sjf", || {
+        base()
+            .topology(Topology::disaggregated(2, 2))
+            .policy(SjfPolicy)
+    });
+    // Central dispatch under KV pressure: eviction causality flows
+    // through the shared queue identically on both cores.
+    let two = MultiBladeSystem::new(2).unwrap();
+    let tight = per_token_bytes(&two, &model) * f64::from(96 + 32) * 1.5;
+    let pressure = TraceConfig {
+        seed: 13,
+        requests: 18,
+        arrival_rate_per_s: 500.0,
+        prompt_tokens: (90, 96),
+        output_tokens: (24, 32),
+    };
+    let r = assert_cores_agree("central tight kv", || {
+        Scenario::new(&two)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .kv_capacity_bytes(tight)
+            .dispatch(DispatchMode::Central)
+            .poisson(pressure)
+    });
+    assert!(r.report.evictions > 0);
+}
+
+#[test]
+fn prefix_cached_cores_agree() {
+    let system = MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = SharedPrefixTraceConfig {
+        seed: 27,
+        requests: 32,
+        arrival_rate_per_s: 120.0,
+        prefixes: 3,
+        prefix_tokens: (100, 260),
+        zipf_s: 1.0,
+        share_fraction: 0.8,
+        unique_prompt_tokens: (16, 64),
+        output_tokens: (8, 32),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .prefix_caching(16)
+            .trace(&trace)
+    };
+    let r = assert_cores_agree("prefix single", || base().topology(Topology::mixed(1)));
+    assert!(r.report.prefix_hits > 0, "the cache must be exercised");
+    assert_cores_agree("prefix central", || {
+        base()
+            .topology(Topology::mixed(4))
+            .dispatch(DispatchMode::Central)
+    });
+    assert_cores_agree("prefix disaggregated", || {
+        base().topology(Topology::disaggregated(1, 3))
+    });
+}
+
+#[test]
+fn observer_event_streams_are_identical_between_cores() {
+    // A non-passive observer forces the event core's decode stretches
+    // onto their callback-dispatching path: the full event stream (not
+    // just the report) must match the per-step core's.
+    let system = MultiBladeSystem::new(1).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = TraceConfig {
+        seed: 7,
+        requests: 24,
+        arrival_rate_per_s: 5.0,
+        prompt_tokens: (32, 256),
+        output_tokens: (8, 48),
+    };
+    let run = |core: SimCore| {
+        let compiled = Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .poisson(trace)
+            .core(core)
+            .compile()
+            .unwrap();
+        let mut counts = CountingObserver::default();
+        let report = compiled.run_observed(&mut counts).unwrap();
+        (report, counts)
+    };
+    let (event_report, event_counts) = run(SimCore::EventDriven);
+    let (step_report, step_counts) = run(SimCore::PerStep);
+    assert_eq!(event_report, step_report);
+    assert_eq!(event_counts, step_counts, "same events, same counts");
+    assert_eq!(event_counts.completions, 24);
+    assert!(event_counts.steps > 0);
+}
+
+/// A random sorted trace over exact (dyadic) arrival times.
+fn arb_trace() -> impl Strategy<Value = Vec<RequestSpec>> {
+    prop::collection::vec((0u32..48, 8u32..260, 1u32..48), 4..20).prop_map(|specs| {
+        let mut arrivals: Vec<f64> = specs
+            .iter()
+            .map(|&(a, _, _)| f64::from(a) * 0.0625)
+            .collect();
+        arrivals.sort_by(f64::total_cmp);
+        specs
+            .iter()
+            .zip(&arrivals)
+            .enumerate()
+            .map(|(i, (&(_, prompt, output), &arrival))| {
+                RequestSpec::new(i as u32, arrival, prompt, output)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random traces × policies × KV pressure × layouts × topologies:
+    /// the two cores never diverge by a single bit.
+    #[test]
+    fn cores_agree_on_random_scenarios(
+        trace in arb_trace(),
+        policy in 0usize..3,
+        topology in 0usize..4,
+        kv in 0usize..3,
+        paged in any::<bool>(),
+        chunked in any::<bool>(),
+        exact in any::<bool>(),
+    ) {
+        let system = MultiBladeSystem::new(4).unwrap();
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).unwrap();
+        let per_token = per_token_bytes(&system, &model);
+        let build = || {
+            let mut s = Scenario::new(&system)
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .requests(trace.clone());
+            s = match kv {
+                0 => s.unconstrained_kv(),
+                // Room for ~1.7 / ~3 worst-case requests: eviction churn
+                // without rejecting any single request (paged rounding
+                // included).
+                1 => s.kv_capacity_bytes(per_token * 384.0 * 1.7),
+                _ => s.kv_capacity_bytes(per_token * 384.0 * 3.0),
+            };
+            s = match policy {
+                0 => s,
+                1 => s.policy(SjfPolicy),
+                _ => s.policy(MaxWaitGuardPolicy::new(0.25)),
+            };
+            s = match topology {
+                0 => s.topology(Topology::mixed(1)),
+                1 => s
+                    .topology(Topology::mixed(4))
+                    .routing(RoutingPolicy::JoinShortestQueue),
+                2 => s
+                    .topology(Topology::mixed(4))
+                    .dispatch(DispatchMode::Central),
+                _ => s.topology(Topology::disaggregated(1, 3)),
+            };
+            if paged {
+                s = s.paged_kv(64);
+            }
+            if chunked {
+                s = s.chunked_prefill(64);
+            }
+            if exact {
+                s = s.pricing(DecodePricing::ExactPerSequence);
+            }
+            s
+        };
+        let event = build()
+            .core(SimCore::EventDriven)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        let per_step = build()
+            .core(SimCore::PerStep)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        prop_assert_eq!(&event, &per_step);
+        prop_assert_eq!(event.report.completed, trace.len() as u32);
+        prop_assert_eq!(
+            event.report.makespan_s.to_bits(),
+            per_step.report.makespan_s.to_bits()
+        );
+    }
+
+    /// Heap invariant: pops come out nondecreasing in (time, idx) and no
+    /// entry is lost or duplicated.
+    #[test]
+    fn event_heap_pops_sorted_and_lossless(times in prop::collection::vec(0u32..1000, 1..200)) {
+        let mut heap = EventHeap::new();
+        let mut expected: Vec<(f64, usize)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (f64::from(t) * 0.125, i))
+            .collect();
+        for &(t, i) in &expected {
+            heap.push(t, i);
+        }
+        prop_assert_eq!(heap.len(), expected.len());
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut popped = Vec::new();
+        while let Some(e) = heap.pop() {
+            popped.push(e);
+        }
+        prop_assert!(heap.is_empty());
+        prop_assert_eq!(popped.len(), expected.len());
+        for (&(pt, pi), &(et, ei)) in popped.iter().zip(&expected) {
+            prop_assert_eq!(pt.to_bits(), et.to_bits());
+            prop_assert_eq!(pi, ei);
+        }
+    }
+
+    /// Lazy deletion: after arbitrary requeues, the valid head is always
+    /// the live minimum, and draining yields each index exactly once.
+    #[test]
+    fn event_heap_lazy_deletion_tracks_live_minimum(
+        n in 1usize..24,
+        updates in prop::collection::vec((any::<prop::sample::Index>(), 0u32..1000), 0..64),
+    ) {
+        let mut heap = EventHeap::new();
+        let ids: Vec<usize> = (0..n).collect();
+        let mut live: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        for (i, &t) in live.iter().enumerate() {
+            heap.push(t, i);
+        }
+        for (pick, t) in updates {
+            let i = *pick.get(&ids);
+            live[i] = f64::from(t) * 0.25;
+            heap.push(live[i], i);
+        }
+        let mut alive = vec![true; n];
+        for _ in 0..n {
+            let head = heap
+                .peek_valid(|t, i| alive[i] && live[i].to_bits() == t.to_bits())
+                .expect("live entries remain");
+            let want = (0..n)
+                .filter(|&i| alive[i])
+                .map(|i| (live[i], i))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .expect("someone is alive");
+            prop_assert_eq!(head.0.to_bits(), want.0.to_bits());
+            prop_assert_eq!(head.1, want.1);
+            // peek_valid leaves the valid head on top; consume it.
+            let popped = heap.pop().expect("head stays queued");
+            prop_assert_eq!(popped.1, want.1);
+            alive[want.1] = false;
+        }
+        prop_assert!(heap
+            .peek_valid(|t, i| alive[i] && live[i].to_bits() == t.to_bits())
+            .is_none());
+    }
+}

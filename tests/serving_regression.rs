@@ -13,8 +13,11 @@
 //! 32), trace seed 2025 with 48 requests at 8 req/s and I/O ~200/200.
 
 use llm_workload::{ModelZoo, Parallelism};
-use optimus::serving::{Scenario, ServingConfig, ServingReport, ServingSimulator, TraceConfig};
-use optimus::SpeedupStudy;
+use optimus::serving::{
+    DispatchMode, RoutingPolicy, Scenario, ServingConfig, ServingReport, ServingSimulator,
+    SharedPrefixTraceConfig, SimCore, Topology, TraceConfig,
+};
+use optimus::{MultiBladeSystem, SpeedupStudy};
 
 fn golden_trace() -> TraceConfig {
     TraceConfig {
@@ -112,5 +115,145 @@ fn scenario_single_blade_default_reproduces_pr2_bits() {
     ] {
         assert_eq!(r.blades, 1, "{path}");
         assert_pr2_bits(path, &r.report);
+    }
+}
+
+/// Golden bit patterns for the cluster-scale replay paths, captured at
+/// the introduction of the event-driven core (which replays them
+/// bit-identically to the per-step loops — both cores are pinned here, so
+/// a drift in either one, or a divergence between them, fails).
+#[test]
+fn cluster_disaggregated_and_prefix_pins_hold_on_both_cores() {
+    let system = MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = TraceConfig {
+        seed: 41,
+        requests: 48,
+        arrival_rate_per_s: 30.0,
+        prompt_tokens: (64, 384),
+        output_tokens: (16, 96),
+    };
+    let prefix_trace = SharedPrefixTraceConfig {
+        seed: 43,
+        requests: 32,
+        arrival_rate_per_s: 60.0,
+        prefixes: 2,
+        prefix_tokens: (120, 250),
+        zipf_s: 1.0,
+        share_fraction: 0.9,
+        unique_prompt_tokens: (16, 64),
+        output_tokens: (8, 32),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+    };
+    // (field value, golden bits) per scenario; captured from the per-step
+    // loops at the pin commit.
+    struct Pin {
+        name: &'static str,
+        completed: u32,
+        decode_iterations: u64,
+        prefix_hits: u64,
+        prefix_tokens_saved: u64,
+        bits: [(&'static str, u64); 8],
+    }
+    let pins = [
+        Pin {
+            name: "central",
+            completed: 48,
+            decode_iterations: 2321,
+            prefix_hits: 0,
+            prefix_tokens_saved: 0,
+            bits: [
+                ("makespan_s", 0x3ffb1f76da7c1ff6),
+                ("throughput_tok_s", 0x409836bed9f91f46),
+                ("decode_time_s", 0x400c831a8bfa15f4),
+                ("mean_batch", 0x3ff2210649cf91cf),
+                ("ttft.p50", 0x3f6a98d81d031000),
+                ("ttft.p99", 0x3f73fc10103fe300),
+                ("tpot.p50", 0x3f59331133aff863),
+                ("latency.p99", 0x3fc3a04e94586368),
+            ],
+        },
+        Pin {
+            name: "disaggregated",
+            completed: 48,
+            decode_iterations: 2098,
+            prefix_hits: 0,
+            prefix_tokens_saved: 0,
+            bits: [
+                ("makespan_s", 0x3ffb1f8796a32eaf),
+                ("throughput_tok_s", 0x409836afe95a1063),
+                ("decode_time_s", 0x4009cd642e363eee),
+                ("mean_batch", 0x3ff4147bf97d8dc0),
+                ("ttft.p50", 0x3f6b7eb837fc4b00),
+                ("ttft.p99", 0x3f74db6d37341d00),
+                ("tpot.p50", 0x3f5936bf58ebb58e),
+                ("latency.p99", 0x3fc351386987c630),
+            ],
+        },
+        Pin {
+            name: "prefix",
+            completed: 32,
+            decode_iterations: 260,
+            prefix_hits: 23,
+            prefix_tokens_saved: 3777,
+            bits: [
+                ("makespan_s", 0x3fdd25afa1279fa2),
+                ("throughput_tok_s", 0x4095f51ef86462b1),
+                ("decode_time_s", 0x3fd9b412d01f700c),
+                ("mean_batch", 0x4003c9b519cc6eb7),
+                ("ttft.p50", 0x3f700a9901e13300),
+                ("ttft.p99", 0x3f7840cc4f983208),
+                ("tpot.p50", 0x3f5c5d313eccb8ab),
+                ("latency.p99", 0x3fad0798cf543510),
+            ],
+        },
+    ];
+    for core in [SimCore::EventDriven, SimCore::PerStep] {
+        let runs = [
+            base()
+                .routing(RoutingPolicy::JoinShortestQueue)
+                .dispatch(DispatchMode::Central)
+                .poisson(trace),
+            base()
+                .topology(Topology::disaggregated(1, 3))
+                .poisson(trace),
+            base()
+                .prefix_caching(16)
+                .topology(Topology::mixed(1))
+                .trace(&prefix_trace),
+        ];
+        for (scenario, pin) in runs.into_iter().zip(&pins) {
+            let r = scenario.core(core).compile().unwrap().run().unwrap().report;
+            let path = format!("{}/{core:?}", pin.name);
+            assert_eq!(r.completed, pin.completed, "{path}");
+            assert_eq!(r.decode_iterations, pin.decode_iterations, "{path}");
+            assert_eq!(r.prefix_hits, pin.prefix_hits, "{path}");
+            assert_eq!(r.prefix_tokens_saved, pin.prefix_tokens_saved, "{path}");
+            let got = [
+                ("makespan_s", r.makespan_s),
+                ("throughput_tok_s", r.throughput_tok_s),
+                ("decode_time_s", r.decode_time_s),
+                ("mean_batch", r.mean_batch),
+                ("ttft.p50", r.ttft.p50),
+                ("ttft.p99", r.ttft.p99),
+                ("tpot.p50", r.tpot.p50),
+                ("latency.p99", r.latency.p99),
+            ];
+            for ((name, value), &(_, want)) in got.into_iter().zip(&pin.bits) {
+                assert_eq!(
+                    value.to_bits(),
+                    want,
+                    "{path}: {name} drifted: {value} ({:#018x} vs {want:#018x})",
+                    value.to_bits()
+                );
+            }
+        }
     }
 }
