@@ -1,15 +1,17 @@
 //! CI gate for the event-driven simulation core's performance: replays
 //! the 10k-request diurnal point and fails (exit 1) if the measured
 //! simulator throughput falls below 70 % of the committed
-//! `BENCH_serving_core.json` baseline.
+//! `BENCH_serving_core.json` baseline's *latest* trajectory entry
+//! (legacy single-snapshot baselines gate against their only entry).
 //!
 //! The committed baseline is read from the path given as the first
 //! argument (default `BENCH_serving_core.json`, i.e. repo root when run
-//! via `cargo run`). Regenerate it with
-//! `cargo run --release -p scd-bench --bin serving_capacity -- --bench-json`.
+//! via `cargo run`). Grow it with
+//! `cargo run --release -p scd-bench --bin serving_capacity -- --bench-json`,
+//! which appends a snapshot keyed to the current git revision.
 
 use scd_bench::core_bench::{
-    measure_point, parse_bench_json, SimCore, SMOKE_FLOOR, SMOKE_REQUESTS,
+    measure_point, parse_trajectory_json, SimCore, SMOKE_FLOOR, SMOKE_REQUESTS,
 };
 
 fn main() -> Result<(), optimus::OptimusError> {
@@ -20,15 +22,20 @@ fn main() -> Result<(), optimus::OptimusError> {
         eprintln!("bench_smoke: cannot read baseline {path}: {e}");
         std::process::exit(1);
     });
-    let rows = parse_bench_json(&baseline_json).unwrap_or_else(|| {
-        eprintln!("bench_smoke: no rows parsed from {path}");
+    let trajectory = parse_trajectory_json(&baseline_json).unwrap_or_else(|| {
+        eprintln!("bench_smoke: no snapshots parsed from {path}");
         std::process::exit(1);
     });
-    let Some(baseline) = rows
+    let latest = trajectory.last().expect("parse yields at least one entry");
+    let Some(baseline) = latest
+        .rows
         .iter()
         .find(|r| r.scenario == "event" && r.requests == SMOKE_REQUESTS)
     else {
-        eprintln!("bench_smoke: baseline lacks the event/{SMOKE_REQUESTS} row");
+        eprintln!(
+            "bench_smoke: baseline {} lacks the event/{SMOKE_REQUESTS} row",
+            latest.git_rev
+        );
         std::process::exit(1);
     };
 
@@ -36,8 +43,11 @@ fn main() -> Result<(), optimus::OptimusError> {
     let floor = SMOKE_FLOOR * baseline.req_per_s;
     println!(
         "bench_smoke: event core, {SMOKE_REQUESTS} requests: {:.0} req/s \
-         (baseline {:.0}, floor {floor:.0})",
-        measured.req_per_s, baseline.req_per_s
+         (baseline {:.0} at {}, floor {floor:.0}; {} snapshot(s) on the trajectory)",
+        measured.req_per_s,
+        baseline.req_per_s,
+        latest.git_rev,
+        trajectory.len()
     );
     if measured.req_per_s < floor {
         eprintln!(

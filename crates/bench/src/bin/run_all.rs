@@ -3,7 +3,8 @@
 //! `--smoke` runs a CI-friendly subset: the technology/spec tables plus
 //! one representative study per subsystem (training, inference, serving
 //! — including the scenario-driven cluster, disaggregation,
-//! recorded-trace and prefix-caching studies), skipping the long sweeps.
+//! recorded-trace, prefix-caching, SLO-class and control-plane
+//! studies), skipping the long sweeps.
 fn main() -> Result<(), scd_perf::ScdError> {
     use scd_bench::{
         inference_experiments as inf, l2_study, spec_tables as spec, training_experiments as tr,
@@ -39,7 +40,14 @@ fn main() -> Result<(), scd_perf::ScdError> {
             "{}\n{hr}",
             srv::render_prefix_caching(&srv::prefix_caching_study()?)
         );
-        print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
+        println!(
+            "{}\n{hr}",
+            srv::render_slo_classes(&srv::slo_class_study()?)
+        );
+        print!(
+            "{}",
+            srv::render_control_plane(&srv::control_plane_study()?)
+        );
         return Ok(());
     }
     println!("{}\n{hr}", tr::render_fig5(&tr::fig5_sweep()?));
@@ -104,6 +112,13 @@ fn main() -> Result<(), scd_perf::ScdError> {
         "{}\n{hr}",
         srv::render_prefix_caching(&srv::prefix_caching_study()?)
     );
-    print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
+    println!(
+        "{}\n{hr}",
+        srv::render_slo_classes(&srv::slo_class_study()?)
+    );
+    print!(
+        "{}",
+        srv::render_control_plane(&srv::control_plane_study()?)
+    );
     Ok(())
 }

@@ -6,14 +6,16 @@
 //!
 //! With `--bench-json` it instead runs the simulation-core scaling
 //! study (event-driven vs per-step at 10k/100k/1M diurnal requests) and
-//! rewrites `BENCH_serving_core.json` in the current directory — the
-//! snapshot the CI bench-smoke job gates against.
+//! appends a snapshot keyed to the current git revision onto the
+//! `BENCH_serving_core.json` trajectory in the current directory — the
+//! baseline whose latest entry the CI bench-smoke job gates against.
 fn main() -> Result<(), optimus::OptimusError> {
     use scd_bench::{core_bench, extensions as ext, serving_experiments as srv};
     if std::env::args().any(|a| a == "--bench-json") {
         let rows = core_bench::core_scaling_study()?;
         print!("{}", core_bench::render_core_scaling(&rows));
-        let json = core_bench::to_bench_json(&rows, &core_bench::git_rev());
+        let existing = std::fs::read_to_string("BENCH_serving_core.json").ok();
+        let json = core_bench::append_snapshot(existing.as_deref(), rows, &core_bench::git_rev());
         std::fs::write("BENCH_serving_core.json", &json).map_err(|e| {
             optimus::OptimusError::Serving {
                 reason: format!("writing BENCH_serving_core.json: {e}"),
@@ -49,6 +51,13 @@ fn main() -> Result<(), optimus::OptimusError> {
         "{}\n{hr}",
         srv::render_prefix_caching(&srv::prefix_caching_study()?)
     );
-    print!("{}", srv::render_slo_classes(&srv::slo_class_study()?));
+    println!(
+        "{}\n{hr}",
+        srv::render_slo_classes(&srv::slo_class_study()?)
+    );
+    print!(
+        "{}",
+        srv::render_control_plane(&srv::control_plane_study()?)
+    );
     Ok(())
 }

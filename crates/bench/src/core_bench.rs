@@ -12,8 +12,12 @@
 //!
 //! No external JSON crate is vendored, so the snapshot is written and
 //! re-parsed by the small hand-rolled helpers here; the format is kept
-//! deliberately flat (one object per measured point) so the parser
-//! stays trivial.
+//! deliberately flat (one object per measured point, one line each) so
+//! the parser stays trivial. The committed baseline is a *trajectory*:
+//! one snapshot per measured git revision, appended by
+//! [`append_snapshot`], with the CI smoke gate reading only the latest
+//! entry. Legacy single-snapshot baselines still parse as a one-entry
+//! trajectory.
 
 use std::time::Instant;
 
@@ -179,8 +183,23 @@ pub fn git_rev() -> String {
         )
 }
 
-/// Serializes the study to the `BENCH_serving_core.json` schema:
+/// The rows measured at one git revision. `BENCH_serving_core.json`
+/// holds a *trajectory* of these, oldest first, so the committed
+/// baseline records how simulator throughput moved across the repo's
+/// history rather than only its latest value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// `git rev-parse HEAD` on the checkout that was measured.
+    pub git_rev: String,
+    /// The measured points at that revision.
+    pub rows: Vec<CoreBenchRow>,
+}
+
+/// Serializes one study run to the legacy single-snapshot
+/// `BENCH_serving_core.json` schema:
 /// `{study, git_rev, rows: [{scenario, requests, wall_ms, req_per_s}]}`.
+/// Kept as the writer for the fallback format [`parse_trajectory_json`]
+/// still accepts; new baselines are written by [`append_snapshot`].
 #[must_use]
 pub fn to_bench_json(rows: &[CoreBenchRow], git_rev: &str) -> String {
     let mut out = String::from("{\n  \"study\": \"serving_core_scaling\",\n");
@@ -197,6 +216,88 @@ pub fn to_bench_json(rows: &[CoreBenchRow], git_rev: &str) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Serializes a trajectory to the multi-snapshot
+/// `BENCH_serving_core.json` schema:
+/// `{study, trajectory: [{git_rev, rows: [...]}, ...]}`, oldest first.
+#[must_use]
+pub fn to_trajectory_json(trajectory: &[BenchSnapshot]) -> String {
+    let mut out = String::from("{\n  \"study\": \"serving_core_scaling\",\n  \"trajectory\": [\n");
+    for (i, snap) in trajectory.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"git_rev\": \"{}\", \"rows\": [\n",
+            snap.git_rev
+        ));
+        for (j, r) in snap.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"scenario\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_s\": {:.1}}}{}\n",
+                r.scenario,
+                r.requests,
+                r.wall_ms,
+                r.req_per_s,
+                if j + 1 < snap.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < trajectory.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a trajectory baseline, accepting both the multi-snapshot
+/// schema of [`to_trajectory_json`] and the legacy single-snapshot
+/// schema of [`to_bench_json`] (which yields a one-entry trajectory).
+/// Returns `None` when no well-formed snapshot is found, so a malformed
+/// baseline is a hard error for the caller rather than a silent pass.
+#[must_use]
+pub fn parse_trajectory_json(json: &str) -> Option<Vec<BenchSnapshot>> {
+    // Every snapshot — legacy or not — leads with its "git_rev" key, so
+    // the text between consecutive "git_rev" keys is one snapshot.
+    let starts: Vec<usize> = json.match_indices("\"git_rev\"").map(|(i, _)| i).collect();
+    let mut trajectory = Vec::new();
+    for (k, &start) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).copied().unwrap_or(json.len());
+        let chunk = &json[start..end];
+        // Stop at the snapshot's own closing `]` so the row parser never
+        // sees the next snapshot's opening brace (rows contain no `]`).
+        let chunk = chunk.find(']').map_or(chunk, |i| &chunk[..i]);
+        let tail = &chunk[chunk.find(':')? + 1..];
+        let tail = &tail[tail.find('"')? + 1..];
+        trajectory.push(BenchSnapshot {
+            git_rev: tail[..tail.find('"')?].to_owned(),
+            rows: parse_bench_json(chunk)?,
+        });
+    }
+    if trajectory.is_empty() {
+        None
+    } else {
+        Some(trajectory)
+    }
+}
+
+/// Appends a freshly measured snapshot to the committed trajectory
+/// (re-measuring at an already recorded revision replaces that entry
+/// in place, keeping one snapshot per revision). A missing or
+/// unparseable baseline starts a fresh one-entry trajectory.
+#[must_use]
+pub fn append_snapshot(
+    existing_json: Option<&str>,
+    rows: Vec<CoreBenchRow>,
+    git_rev: &str,
+) -> String {
+    let mut trajectory = existing_json
+        .and_then(parse_trajectory_json)
+        .unwrap_or_default();
+    trajectory.retain(|s| s.git_rev != git_rev);
+    trajectory.push(BenchSnapshot {
+        git_rev: git_rev.to_owned(),
+        rows,
+    });
+    to_trajectory_json(&trajectory)
 }
 
 /// Parses rows back out of [`to_bench_json`] output (or any JSON that
@@ -269,6 +370,61 @@ mod tests {
         assert_eq!(
             parse_bench_json("{\"rows\": [{\"scenario\": \"event\"}]}"),
             None
+        );
+        assert_eq!(parse_trajectory_json(""), None);
+        assert_eq!(parse_trajectory_json("{\"study\": \"x\"}"), None);
+    }
+
+    fn sample_rows(req_per_s: f64) -> Vec<CoreBenchRow> {
+        vec![CoreBenchRow {
+            scenario: "event".to_owned(),
+            requests: 10_000,
+            wall_ms: 10.0,
+            req_per_s,
+        }]
+    }
+
+    #[test]
+    fn trajectory_round_trips_and_appends() {
+        // A fresh baseline is a one-entry trajectory...
+        let v1 = append_snapshot(None, sample_rows(1e6), "aaaa");
+        let parsed = parse_trajectory_json(&v1).expect("parse v1");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].git_rev, "aaaa");
+        assert_eq!(parsed[0].rows, sample_rows(1e6));
+        // ...a second revision appends, oldest first...
+        let v2 = append_snapshot(Some(&v1), sample_rows(2e6), "bbbb");
+        let parsed = parse_trajectory_json(&v2).expect("parse v2");
+        assert_eq!(
+            parsed
+                .iter()
+                .map(|s| s.git_rev.as_str())
+                .collect::<Vec<_>>(),
+            ["aaaa", "bbbb"]
+        );
+        // ...and re-measuring at the same revision replaces in place.
+        let v2b = append_snapshot(Some(&v2), sample_rows(3e6), "bbbb");
+        let parsed = parse_trajectory_json(&v2b).expect("parse v2b");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].rows[0].req_per_s, 3e6);
+    }
+
+    #[test]
+    fn legacy_single_snapshot_baselines_still_parse() {
+        let legacy = to_bench_json(&sample_rows(5e5), "cafe");
+        let parsed = parse_trajectory_json(&legacy).expect("legacy parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].git_rev, "cafe");
+        assert_eq!(parsed[0].rows, sample_rows(5e5));
+        // Appending to a legacy baseline preserves it as entry zero.
+        let grown = append_snapshot(Some(&legacy), sample_rows(6e5), "f00d");
+        let parsed = parse_trajectory_json(&grown).expect("grown parse");
+        assert_eq!(
+            parsed
+                .iter()
+                .map(|s| s.git_rev.as_str())
+                .collect::<Vec<_>>(),
+            ["cafe", "f00d"]
         );
     }
 

@@ -68,6 +68,26 @@ fn every_run_all_stage_runs_and_renders() -> Result<(), ScdError> {
             srv::render_cluster_routing(&srv::cluster_routing_study()?),
         ),
         ("paged_kv", srv::render_paged_kv(&srv::paged_kv_study()?)),
+        (
+            "disaggregation",
+            srv::render_disaggregation(&srv::disaggregation_study()?),
+        ),
+        (
+            "recorded_trace",
+            srv::render_recorded_trace(&srv::recorded_trace_study()?),
+        ),
+        (
+            "prefix_caching",
+            srv::render_prefix_caching(&srv::prefix_caching_study()?),
+        ),
+        (
+            "slo_classes",
+            srv::render_slo_classes(&srv::slo_class_study()?),
+        ),
+        (
+            "control_plane",
+            srv::render_control_plane(&srv::control_plane_study()?),
+        ),
     ];
     for (name, rendered) in stages {
         assert!(

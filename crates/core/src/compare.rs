@@ -333,6 +333,7 @@ mod tests {
                     blades: 4,
                     routing: RoutingPolicy::JoinShortestQueue,
                     dispatch: DispatchMode::PerBlade,
+                    autoscale: None,
                 },
             )
             .unwrap();

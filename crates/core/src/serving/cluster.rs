@@ -16,10 +16,11 @@
 //! The report carries the merged tail percentiles plus per-blade load and
 //! the utilization skew that separates good routing from bad.
 
+use super::control::{AutoscaleConfig, ControlState, ScaleState};
 use super::engine::{
     finalize, BladeState, CostTable, Outcome, ReplayTotals, ServingSimulator, SimCore,
 };
-use super::events::{ReadyWindow, TrackedQueue};
+use super::events::{CentralKeyedQueue, ReadyWindow, TrackedQueue};
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::OrderingContract;
 use super::report::ServingReport;
@@ -235,7 +236,7 @@ pub enum DispatchMode {
 }
 
 /// Cluster shape + routing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Number of identical blades.
     pub blades: u32,
@@ -243,6 +244,32 @@ pub struct ClusterConfig {
     pub routing: RoutingPolicy,
     /// Queue topology.
     pub dispatch: DispatchMode,
+    /// Optional queue-depth autoscaler over the blade pool (central
+    /// dispatch only; `blades` is the pool the scaler may grow into).
+    /// `None` replays the classic fixed-count cluster bit-identically.
+    #[serde(default)]
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+/// The one validation both the constructor and every per-config sweep
+/// entry funnel through.
+pub(crate) fn validate_cluster(cluster: &ClusterConfig) -> Result<(), OptimusError> {
+    if cluster.blades == 0 {
+        return Err(OptimusError::Serving {
+            reason: "cluster needs at least one blade".to_owned(),
+        });
+    }
+    if let Some(autoscale) = &cluster.autoscale {
+        if cluster.dispatch != DispatchMode::Central {
+            return Err(OptimusError::Serving {
+                reason: "the autoscaler needs central dispatch: per-blade routing fixes each \
+                         request's blade at arrival, so a changing blade count has nothing to act on"
+                    .to_owned(),
+            });
+        }
+        autoscale.validate(cluster.blades)?;
+    }
+    Ok(())
 }
 
 /// Per-blade load summary of a cluster replay.
@@ -285,6 +312,12 @@ pub struct ClusterReport {
     /// Utilization spread: max − min per-blade utilization (0 = perfectly
     /// balanced).
     pub utilization_skew: f64,
+    /// Autoscaler blade-count changes during the replay (0 without an
+    /// autoscaler; the flapping bound benches assert on).
+    pub scale_events: u32,
+    /// Highest active blade count reached (`blades` without an
+    /// autoscaler).
+    pub peak_blades: u32,
 }
 
 impl fmt::Display for ClusterReport {
@@ -329,11 +362,7 @@ impl<'a> ClusterSimulator<'a> {
         sim: ServingSimulator<'a>,
         cluster: ClusterConfig,
     ) -> Result<Self, OptimusError> {
-        if cluster.blades == 0 {
-            return Err(OptimusError::Serving {
-                reason: "cluster needs at least one blade".to_owned(),
-            });
-        }
+        validate_cluster(&cluster)?;
         Ok(Self { sim, cluster })
     }
 
@@ -407,11 +436,7 @@ impl<'a> ClusterSimulator<'a> {
         configs
             .iter()
             .map(|&cluster| {
-                if cluster.blades == 0 {
-                    return Err(OptimusError::Serving {
-                        reason: "cluster needs at least one blade".to_owned(),
-                    });
-                }
+                validate_cluster(&cluster)?;
                 self.run_with(cluster, trace, &table, true, &mut NoopObserver)
             })
             .collect()
@@ -479,24 +504,40 @@ impl<'a> ClusterSimulator<'a> {
         parallel: bool,
         obs: &mut dyn SimObserver,
     ) -> Result<ClusterReport, OptimusError> {
-        let (states, outcomes) = match (cluster.dispatch, self.sim.config().core) {
+        let mut scale = cluster.autoscale.map(ScaleState::new);
+        let (states, outcomes, ctl) = match (cluster.dispatch, self.sim.config().core) {
             (DispatchMode::PerBlade, _) => self.run_per_blade(cluster, trace, table, parallel, obs),
             (DispatchMode::Central, SimCore::EventDriven) => {
-                self.run_central_event(cluster, trace, table, obs)
+                if self.sim.policy().ordering() == OrderingContract::StaticKey {
+                    self.run_central_event_keyed(cluster, trace, table, scale.as_mut(), obs)
+                } else {
+                    self.run_central_event(cluster, trace, table, scale.as_mut(), obs)
+                }
             }
             (DispatchMode::Central, SimCore::PerStep) => {
-                self.run_central(cluster, trace, table, obs)
+                self.run_central(cluster, trace, table, scale.as_mut(), obs)
             }
         };
         let roles = vec![BladeRole::Mixed; cluster.blades as usize];
-        Ok(assemble(&self.sim, trace, &states, &outcomes, &roles))
+        Ok(assemble(
+            &self.sim,
+            trace,
+            &states,
+            &outcomes,
+            &roles,
+            ctl.as_ref(),
+            scale.as_ref(),
+        ))
     }
 
     /// Per-blade dispatch: route at arrival, then replay each blade's
     /// sub-queue independently (concurrently when `parallel`; the blades
     /// are decoupled, so serial and parallel replays are bit-identical,
     /// and `obs` — only honored on the serial path, where blades run in
-    /// index order — never perturbs the result).
+    /// index order — never perturbs the result). Each blade runs its own
+    /// shedding gate over its own sub-queue (a per-blade front end sees
+    /// only its own strict-class completions); the disjoint shed sets are
+    /// merged for the report.
     fn run_per_blade(
         &self,
         cluster: ClusterConfig,
@@ -504,7 +545,7 @@ impl<'a> ClusterSimulator<'a> {
         table: &CostTable,
         parallel: bool,
         obs: &mut dyn SimObserver,
-    ) -> (Vec<BladeState>, Vec<Outcome>) {
+    ) -> (Vec<BladeState>, Vec<Outcome>, Option<ControlState>) {
         let blades = cluster.blades as usize;
         let assignment = self.route(cluster, trace, table);
         let arrival_order: Vec<usize> = ServingSimulator::arrival_queue(trace).into();
@@ -521,19 +562,21 @@ impl<'a> ClusterSimulator<'a> {
         let drive_one = |b: usize,
                          queue: VecDeque<usize>,
                          obs: &mut dyn SimObserver|
-         -> (BladeState, Vec<Outcome>) {
+         -> (BladeState, Vec<Outcome>, Option<ControlState>) {
             let mut outcomes = vec![Outcome::default(); trace.len()];
             if queue.is_empty() {
                 return (
                     BladeState::new(b as u32, 0.0, self.sim.config().prefix),
                     outcomes,
+                    None,
                 );
             }
-            let state = ctx.drive_auto(b as u32, trace, queue, &mut outcomes, obs);
-            (state, outcomes)
+            let mut ctl = self.sim.control_state(trace.len());
+            let state = ctx.drive_auto(b as u32, trace, queue, &mut outcomes, ctl.as_mut(), obs);
+            (state, outcomes, ctl)
         };
         let indexed: Vec<(usize, VecDeque<usize>)> = queues.into_iter().enumerate().collect();
-        let per_blade: Vec<(BladeState, Vec<Outcome>)> = if parallel {
+        let per_blade: Vec<(BladeState, Vec<Outcome>, Option<ControlState>)> = if parallel {
             indexed
                 .into_par_iter()
                 .map(|(b, queue)| drive_one(b, queue, &mut NoopObserver))
@@ -546,15 +589,22 @@ impl<'a> ClusterSimulator<'a> {
         };
         let mut outcomes = vec![Outcome::default(); trace.len()];
         let mut states = Vec::with_capacity(blades);
-        for (b, (state, blade_outcomes)) in per_blade.into_iter().enumerate() {
+        let mut merged: Option<ControlState> = None;
+        for (b, (state, blade_outcomes, ctl)) in per_blade.into_iter().enumerate() {
             for (i, o) in blade_outcomes.into_iter().enumerate() {
                 if assignment[i] as usize == b {
                     outcomes[i] = o;
                 }
             }
+            if let Some(c) = ctl {
+                match merged.as_mut() {
+                    Some(m) => m.absorb(&c),
+                    None => merged = Some(c),
+                }
+            }
             states.push(state);
         }
-        (states, outcomes)
+        (states, outcomes, merged)
     }
 
     /// Central dispatch: one shared queue, blades coupled through it. The
@@ -573,10 +623,12 @@ impl<'a> ClusterSimulator<'a> {
         cluster: ClusterConfig,
         trace: &[RequestSpec],
         table: &CostTable,
+        mut scale: Option<&mut ScaleState>,
         obs: &mut dyn SimObserver,
-    ) -> (Vec<BladeState>, Vec<Outcome>) {
+    ) -> (Vec<BladeState>, Vec<Outcome>, Option<ControlState>) {
         let blades = cluster.blades as usize;
         let ctx = self.sim.ctx(table);
+        let mut ctl = self.sim.control_state(trace.len());
         let mut queue = ServingSimulator::arrival_queue(trace);
         let mut outcomes = vec![Outcome::default(); trace.len()];
         let mut states: Vec<BladeState> = (0..blades)
@@ -589,8 +641,10 @@ impl<'a> ClusterSimulator<'a> {
             let next_ready = queue.iter().map(|&i| ready[i]).fold(f64::MAX, f64::min);
             // The blade whose next useful action comes earliest: its own
             // clock when it has running work, else the next request it
-            // could admit.
-            let chosen = (0..blades)
+            // could admit. Under an autoscaler only the active prefix of
+            // the blade pool competes.
+            let active = scale.as_deref().map_or(blades, |s| s.active() as usize);
+            let chosen = (0..active)
                 .filter_map(|b| {
                     let s = &states[b];
                     if !s.running.is_empty() {
@@ -633,6 +687,7 @@ impl<'a> ClusterSimulator<'a> {
                 &mut outcomes,
                 Some(&mut victims),
                 None,
+                ctl.as_mut(),
                 obs,
             );
             for &v in &victims {
@@ -641,8 +696,13 @@ impl<'a> ClusterSimulator<'a> {
                 // elsewhere) any earlier.
                 ready[v] = states[b].clock;
             }
+            if let Some(sc) = scale.as_deref_mut() {
+                let now = states[b].clock;
+                let depth = queue.iter().filter(|&&i| ready[i] <= now).count();
+                autoscale_round(sc, &mut states, now, depth, obs);
+            }
         }
-        (states, outcomes)
+        (states, outcomes, ctl)
     }
 
     /// Event-driven twin of [`Self::run_central`]: the same round
@@ -656,11 +716,13 @@ impl<'a> ClusterSimulator<'a> {
         cluster: ClusterConfig,
         trace: &[RequestSpec],
         table: &CostTable,
+        mut scale: Option<&mut ScaleState>,
         obs: &mut dyn SimObserver,
-    ) -> (Vec<BladeState>, Vec<Outcome>) {
+    ) -> (Vec<BladeState>, Vec<Outcome>, Option<ControlState>) {
         let blades = cluster.blades as usize;
         let ctx = self.sim.ctx(table);
         let fcfs = self.sim.policy().ordering() == OrderingContract::Fcfs;
+        let mut ctl = self.sim.control_state(trace.len());
         let mut queue = ServingSimulator::arrival_queue(trace);
         let mut outcomes = vec![Outcome::default(); trace.len()];
         let mut states: Vec<BladeState> = (0..blades)
@@ -678,7 +740,8 @@ impl<'a> ClusterSimulator<'a> {
         let mut served = 0u32;
         while served < trace.len() as u32 {
             let next_ready = window.min(&in_queue, &ready).unwrap_or(f64::MAX);
-            let chosen = (0..blades)
+            let active = scale.as_deref().map_or(blades, |s| s.active() as usize);
+            let chosen = (0..active)
                 .filter_map(|b| {
                     let s = &states[b];
                     if !s.running.is_empty() {
@@ -727,6 +790,7 @@ impl<'a> ClusterSimulator<'a> {
                 &mut outcomes,
                 Some(&mut victims),
                 None,
+                ctl.as_mut(),
                 obs,
             );
             // Membership bookkeeping: admissions leave the queue before
@@ -748,8 +812,153 @@ impl<'a> ClusterSimulator<'a> {
                 }
                 window.push(ready[v], v);
             }
+            if let Some(sc) = scale.as_deref_mut() {
+                let now = states[b].clock;
+                let depth = queue.iter().filter(|&&i| ready[i] <= now).count();
+                autoscale_round(sc, &mut states, now, depth, obs);
+            }
         }
-        (states, outcomes)
+        (states, outcomes, ctl)
+    }
+
+    /// Central-dispatch event loop specialized for
+    /// [`OrderingContract::StaticKey`] policies (SJF, strict priority):
+    /// instead of re-running the policy's O(n log n) stable sort over the
+    /// shared queue every round, arrived requests live in an
+    /// incrementally maintained ordered set keyed by
+    /// `(order_key, insertion seq)` — the single-blade event core's
+    /// [`CentralKeyedQueue`] — extended with the central loop's ready-time
+    /// semantics: victims whose re-entry time is still in the chosen
+    /// blade's future are *extracted* for the round (the per-step loop's
+    /// eligibility partition moves them behind every eligible request,
+    /// where the admission scan never looks) and re-inserted afterwards
+    /// with fresh sequence numbers (the partition demotes a blocked
+    /// victim behind its key-ties, and every later stable sort keeps it
+    /// there). Bit-identical to [`Self::run_central`] by the same
+    /// argument as the single-blade keyed queue, plus: a round's
+    /// admission scan sees exactly the eligible requests in key order,
+    /// and stops at batch/KV limits only — never at a blocked victim
+    /// parked mid-order.
+    fn run_central_event_keyed(
+        &self,
+        cluster: ClusterConfig,
+        trace: &[RequestSpec],
+        table: &CostTable,
+        mut scale: Option<&mut ScaleState>,
+        obs: &mut dyn SimObserver,
+    ) -> (Vec<BladeState>, Vec<Outcome>, Option<ControlState>) {
+        let blades = cluster.blades as usize;
+        let ctx = self.sim.ctx(table);
+        let mut ctl = self.sim.control_state(trace.len());
+        let mut queue = CentralKeyedQueue::new(
+            self.sim.policy(),
+            trace,
+            ServingSimulator::arrival_queue(trace),
+        );
+        let mut outcomes = vec![Outcome::default(); trace.len()];
+        let mut states: Vec<BladeState> = (0..blades)
+            .map(|b| BladeState::new(b as u32, 0.0, self.sim.config().prefix))
+            .collect();
+        let mut ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
+        let mut in_queue = vec![true; trace.len()];
+        let mut is_victim = vec![false; trace.len()];
+        let mut victims_in_queue = 0usize;
+        let mut window = ReadyWindow::new();
+        for (i, &at) in ready.iter().enumerate() {
+            window.push(at, i);
+        }
+        let mut victims: Vec<usize> = Vec::new();
+        let mut served = 0u32;
+        while served < trace.len() as u32 {
+            let next_ready = window.min(&in_queue, &ready).unwrap_or(f64::MAX);
+            let active = scale.as_deref().map_or(blades, |s| s.active() as usize);
+            let chosen = (0..active)
+                .filter_map(|b| {
+                    let s = &states[b];
+                    if !s.running.is_empty() {
+                        Some((s.clock, b))
+                    } else if !queue.is_empty() {
+                        Some((s.clock.max(next_ready), b))
+                    } else {
+                        None
+                    }
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let Some((at, b)) = chosen else {
+                debug_assert!(false, "cluster idle with work pending");
+                break;
+            };
+            let blade = &mut states[b];
+            if blade.running.is_empty() {
+                blade.clock = blade.clock.max(at);
+            }
+            let clock = blade.clock;
+            queue.prepare(clock, trace);
+            // Only re-queued victims can be arrived-but-not-ready, so the
+            // extraction scan runs only while victims are in the queue.
+            if victims_in_queue > 0 {
+                queue.extract_blocked(clock, &ready);
+            }
+            victims.clear();
+            served += ctx.step(
+                trace,
+                &ready,
+                &mut queue,
+                blade,
+                &mut outcomes,
+                Some(&mut victims),
+                None,
+                ctl.as_mut(),
+                obs,
+            );
+            for &i in &queue.admitted {
+                in_queue[i] = false;
+                if is_victim[i] {
+                    is_victim[i] = false;
+                    victims_in_queue -= 1;
+                }
+            }
+            queue.admitted.clear();
+            for &v in &victims {
+                ready[v] = states[b].clock;
+                in_queue[v] = true;
+                if !is_victim[v] {
+                    is_victim[v] = true;
+                    victims_in_queue += 1;
+                }
+                window.push(ready[v], v);
+            }
+            queue.restore_blocked();
+            if let Some(sc) = scale.as_deref_mut() {
+                let now = states[b].clock;
+                let depth = queue.ready_depth(&ready, now);
+                autoscale_round(sc, &mut states, now, depth, obs);
+            }
+        }
+        (states, outcomes, ctl)
+    }
+}
+
+/// One end-of-round autoscaler evaluation, shared verbatim by the
+/// per-step and event-driven central loops so the cores stay
+/// bit-identical: watermark check against the ready queue depth at the
+/// stepped blade's clock, scale-down gated on the top active blade being
+/// idle, and a scale-up's fresh blade frozen until `now + warmup`.
+fn autoscale_round(
+    scale: &mut ScaleState,
+    states: &mut [BladeState],
+    now: f64,
+    ready_depth: usize,
+    obs: &mut dyn SimObserver,
+) {
+    let top = scale.active() as usize - 1;
+    let top_idle = states[top].running.is_empty();
+    if let Some((from, to)) = scale.evaluate(now, ready_depth, top_idle) {
+        if to > from {
+            let fresh = &mut states[to as usize - 1];
+            fresh.clock = fresh.clock.max(now + scale.warmup_s());
+        }
+        obs.on_scale(now, from, to);
     }
 }
 
@@ -761,6 +970,8 @@ pub(crate) fn assemble(
     states: &[BladeState],
     outcomes: &[Outcome],
     roles: &[BladeRole],
+    ctl: Option<&ControlState>,
+    scale: Option<&ScaleState>,
 ) -> ClusterReport {
     let mut totals = ReplayTotals::default();
     for blade in states {
@@ -772,6 +983,7 @@ pub(crate) fn assemble(
         trace,
         outcomes,
         &totals,
+        ctl,
     );
     let per_blade: Vec<BladeLoad> = states
         .iter()
@@ -802,6 +1014,8 @@ pub(crate) fn assemble(
         report,
         per_blade,
         utilization_skew: max_util - min_util,
+        scale_events: scale.map_or(0, ScaleState::events),
+        peak_blades: scale.map_or(states.len() as u32, ScaleState::peak_active),
     }
 }
 
@@ -996,6 +1210,7 @@ fn run_disaggregated_per_step(
                 &mut outcomes,
                 Some(&mut victims),
                 Some(&prefilled),
+                None,
                 obs,
             );
             for &v in &victims {
@@ -1005,7 +1220,7 @@ fn run_disaggregated_per_step(
             }
         }
     }
-    assemble(sim, trace, &states, &outcomes, roles)
+    assemble(sim, trace, &states, &outcomes, roles, None, None)
 }
 
 /// Event-driven twin of [`run_disaggregated_per_step`]: the same
@@ -1184,6 +1399,7 @@ fn run_disaggregated_event(
                 &mut outcomes,
                 Some(&mut victims),
                 Some(&prefilled),
+                None,
                 obs,
             );
             for &i in &tracked.admitted {
@@ -1196,7 +1412,7 @@ fn run_disaggregated_event(
             }
         }
     }
-    assemble(sim, trace, &states, &outcomes, roles)
+    assemble(sim, trace, &states, &outcomes, roles, None, None)
 }
 
 #[cfg(test)]
@@ -1245,6 +1461,7 @@ mod tests {
                 blades,
                 routing,
                 dispatch,
+                autoscale: None,
             },
         )
         .unwrap()
@@ -1272,9 +1489,84 @@ mod tests {
                 blades: 0,
                 routing: RoutingPolicy::RoundRobin,
                 dispatch: DispatchMode::PerBlade,
+                autoscale: None,
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn autoscale_config_is_validated_at_construction() {
+        let (est, model, par) = cluster_parts();
+        let mk = |dispatch, autoscale| {
+            let sim = mk_sim(&est, &model, &par, ServingConfig::unconstrained(4));
+            ClusterSimulator::from_parts(
+                sim,
+                ClusterConfig {
+                    blades: 4,
+                    routing: RoutingPolicy::RoundRobin,
+                    dispatch,
+                    autoscale,
+                },
+            )
+        };
+        // Per-blade routing has no shared queue for the scaler to watch.
+        assert!(mk(DispatchMode::PerBlade, Some(AutoscaleConfig::new(1, 4))).is_err());
+        // Degenerate dials are rejected through the same funnel.
+        assert!(mk(DispatchMode::Central, Some(AutoscaleConfig::new(1, 8))).is_err());
+        assert!(mk(DispatchMode::Central, Some(AutoscaleConfig::new(1, 4))).is_ok());
+    }
+
+    #[test]
+    fn autoscaler_tracks_backlog_and_is_inert_when_absent() {
+        // A backlogged burst on a 1..=4 autoscaled central cluster must
+        // scale up (deep shared queue), complete everything, and report
+        // the same request outcomes invariants as the fixed cluster;
+        // both cores agree bit-for-bit.
+        let (est, model, par) = cluster_parts();
+        let trace = TraceConfig::burst(24, 64, 16).synthesize().unwrap();
+        let mk = |core: SimCore, autoscale: Option<AutoscaleConfig>| {
+            let sim = mk_sim(
+                &est,
+                &model,
+                &par,
+                ServingConfig {
+                    core,
+                    ..ServingConfig::unconstrained(4)
+                },
+            );
+            ClusterSimulator::from_parts(
+                sim,
+                ClusterConfig {
+                    blades: 4,
+                    routing: RoutingPolicy::RoundRobin,
+                    dispatch: DispatchMode::Central,
+                    autoscale,
+                },
+            )
+            .unwrap()
+        };
+        let scaler = AutoscaleConfig::new(1, 4)
+            .with_watermarks(0, 4)
+            .with_warmup(0.05)
+            .with_cooldown(0.02);
+        let scaled = mk(SimCore::PerStep, Some(scaler)).replay(&trace).unwrap();
+        assert_eq!(scaled.report.completed, 24);
+        assert!(
+            scaled.scale_events > 0,
+            "burst backlog must trigger scaling"
+        );
+        assert!(scaled.peak_blades > 1 && scaled.peak_blades <= 4);
+        let scaled_event = mk(SimCore::EventDriven, Some(scaler))
+            .replay(&trace)
+            .unwrap();
+        assert_eq!(scaled, scaled_event, "cores must agree under autoscaling");
+        // Without an autoscaler the report pins the fixed-pool shape.
+        let fixed = mk(SimCore::PerStep, None).replay(&trace).unwrap();
+        assert_eq!(fixed.scale_events, 0);
+        assert_eq!(fixed.peak_blades, 4);
+        // A warm pool the whole time can only help the makespan.
+        assert!(fixed.report.makespan_s <= scaled.report.makespan_s + 1e-9);
     }
 
     #[test]
@@ -1387,6 +1679,7 @@ mod tests {
                     blades: 2,
                     routing: RoutingPolicy::RoundRobin,
                     dispatch: DispatchMode::Central,
+                    autoscale: None,
                 },
             )
             .unwrap()

@@ -8,6 +8,7 @@
 //! bucketized-mean pricing) reproduces PR 2's reports bit-for-bit — the
 //! `serving_regression` suite pins the exact float bit patterns.
 
+use super::control::{AdmissionControl, ControlState};
 use super::events::{AdmissionQueue, Gate, SchedQueue};
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
@@ -56,6 +57,12 @@ pub enum SimCore {
     EventDriven,
     /// The legacy iteration-by-iteration loops, kept as the equivalence
     /// oracle while the event core is the default.
+    ///
+    /// **Deprecation cycle started:** serving as the oracle for the
+    /// `core_equivalence` suite is this core's remaining purpose. New
+    /// code should not select it; a future PR will gate it behind a
+    /// test-only path and then remove it once the equivalence pins have
+    /// accumulated enough history on the event core alone.
     PerStep,
 }
 
@@ -95,6 +102,13 @@ pub struct ServingConfig {
     /// Replay core selection (bit-identical either way; see [`SimCore`]).
     #[serde(default)]
     pub core: SimCore,
+    /// Admission-control load shedding: drop best-effort-class requests
+    /// at the admission boundary while the strict class's observed
+    /// attainment sits below its floor. `None` — the default — takes no
+    /// control-plane branch anywhere, keeping class-blind replays
+    /// bit-identical to the pre-control-plane engine.
+    #[serde(default)]
+    pub admission: Option<AdmissionControl>,
 }
 
 impl ServingConfig {
@@ -116,6 +130,7 @@ impl ServingConfig {
             decode_pricing: DecodePricing::BucketizedMean,
             prefix: None,
             core: SimCore::EventDriven,
+            admission: None,
         }
     }
 
@@ -159,6 +174,7 @@ impl ServingConfig {
             decode_pricing: DecodePricing::BucketizedMean,
             prefix: None,
             core: SimCore::EventDriven,
+            admission: None,
         })
     }
 
@@ -194,6 +210,17 @@ impl ServingConfig {
     #[must_use]
     pub fn with_core(mut self, core: SimCore) -> Self {
         self.core = core;
+        self
+    }
+
+    /// Installs the admission-control load-shedding gate (see
+    /// [`AdmissionControl`]). The gate's dials are validated against the
+    /// scenario's SLO classes when the simulator is constructed: the
+    /// strict class must exist and at least one other (sheddable) class
+    /// must be defined.
+    #[must_use]
+    pub fn with_admission_control(mut self, admission: AdmissionControl) -> Self {
+        self.admission = Some(admission);
         self
     }
 
@@ -555,8 +582,13 @@ impl EngineCtx<'_> {
     /// step so the caller can stamp their re-entry time. `prefilled`,
     /// when given, marks requests whose KV already exists (streamed from
     /// a prefill blade): they enter the decode batch at full prompt
-    /// length with no prefill cost. `obs` receives the iteration's
-    /// events; it is read-only and never perturbs the float stream.
+    /// length with no prefill cost. `ctl`, when given, is the
+    /// admission-control gate: best-effort requests are shed at the
+    /// instant they would otherwise be admitted, and strict-class
+    /// completions feed the gate's attainment window (shed requests count
+    /// toward the step's returned total so callers' served counters
+    /// terminate). `obs` receives the iteration's events; it is read-only
+    /// and never perturbs the float stream.
     #[allow(clippy::too_many_arguments)] // one call site per replay loop
     pub(crate) fn step<Q: AdmissionQueue>(
         &self,
@@ -567,6 +599,7 @@ impl EngineCtx<'_> {
         outcomes: &mut [Outcome],
         mut evicted: Option<&mut Vec<usize>>,
         prefilled: Option<&[bool]>,
+        mut ctl: Option<&mut ControlState>,
         obs: &mut dyn SimObserver,
     ) -> u32 {
         let cfg = self.config;
@@ -578,11 +611,26 @@ impl EngineCtx<'_> {
         // the legacy comparison on its exact integer value).
         let mut projected: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
         let mut admitted: Vec<Admission> = Vec::new();
+        let mut sheds = 0u32;
         while let Some(idx) = queue.peek() {
             if ready[idx] > blade.clock
                 || blade.running.len() + admitted.len() >= cfg.max_batch as usize
             {
                 break;
+            }
+            // Load shedding fires exactly where admission would: after
+            // the ready/batch-space gates, before the KV check. Both
+            // cores reach this point at the same blade clock with the
+            // same gate state, so the decision is bit-identical.
+            if let Some(c) = ctl.as_deref_mut() {
+                let class = trace[idx].class;
+                if c.should_shed(class) {
+                    c.mark_shed(idx, class);
+                    obs.on_shed(blade.id, blade.clock, &trace[idx]);
+                    queue.pop();
+                    sheds += 1;
+                    continue;
+                }
             }
             let streamed = prefilled.is_some_and(|p| p[idx]);
             let Some(adm) = self.try_admit(trace, idx, streamed, &mut projected, blade, obs) else {
@@ -675,8 +723,10 @@ impl EngineCtx<'_> {
         if blade.running.is_empty() {
             // Nothing admitted and nothing running: a no-op step (only
             // reachable in cluster mode when another blade drained the
-            // shared queue first).
-            return 0;
+            // shared queue first, or when the shedding gate dropped the
+            // whole ready prefix of the queue).
+            blade.served += sheds;
+            return sheds;
         }
 
         // Chunked prefill: each prefilling sequence advances one chunk.
@@ -796,6 +846,20 @@ impl EngineCtx<'_> {
             if r.produced >= trace[r.idx].output_tokens {
                 out.completion_s = Some(blade.clock);
                 obs.on_completion(blade.id, blade.clock, &trace[r.idx]);
+                // Strict-class completions feed the shedding gate's
+                // attainment window with the exact TTFT/TPOT arithmetic
+                // `finalize` will apply, so the gate's verdict agrees
+                // with the report's.
+                if let Some(c) = ctl.as_deref_mut() {
+                    let spec = &trace[r.idx];
+                    if spec.class == c.strict_class() {
+                        let first = out.first_token_s.expect("first token precedes completion");
+                        let t_first = first - spec.arrival_s;
+                        let t_rest =
+                            (blade.clock - first) / f64::from((spec.output_tokens - 1).max(1));
+                        c.observe_strict(t_first, t_rest);
+                    }
+                }
                 // The finisher's shared blocks stay resident (warm for
                 // the next arrival) but lose its references.
                 self.release_chain(trace, &r, prefilled, blade);
@@ -805,9 +869,9 @@ impl EngineCtx<'_> {
             }
         }
         blade.running = still_running;
-        blade.served += completions;
+        blade.served += completions + sheds;
 
-        completions
+        completions + sheds
     }
 
     /// Drives blade `blade_id` until every request in `queue` has
@@ -819,6 +883,7 @@ impl EngineCtx<'_> {
         trace: &[RequestSpec],
         mut queue: VecDeque<usize>,
         outcomes: &mut [Outcome],
+        mut ctl: Option<&mut ControlState>,
         obs: &mut dyn SimObserver,
     ) -> BladeState {
         let ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
@@ -838,7 +903,15 @@ impl EngineCtx<'_> {
             }
             self.policy.order_queue(blade.clock, trace, &mut queue);
             self.step(
-                trace, &ready, &mut queue, &mut blade, outcomes, None, None, obs,
+                trace,
+                &ready,
+                &mut queue,
+                &mut blade,
+                outcomes,
+                None,
+                None,
+                ctl.as_deref_mut(),
+                obs,
             );
         }
         blade
@@ -851,11 +924,12 @@ impl EngineCtx<'_> {
         trace: &[RequestSpec],
         queue: VecDeque<usize>,
         outcomes: &mut [Outcome],
+        ctl: Option<&mut ControlState>,
         obs: &mut dyn SimObserver,
     ) -> BladeState {
         match self.config.core {
-            SimCore::EventDriven => self.drive_event(blade_id, trace, queue, outcomes, obs),
-            SimCore::PerStep => self.drive(blade_id, trace, queue, outcomes, obs),
+            SimCore::EventDriven => self.drive_event(blade_id, trace, queue, outcomes, ctl, obs),
+            SimCore::PerStep => self.drive(blade_id, trace, queue, outcomes, ctl, obs),
         }
     }
 
@@ -871,6 +945,7 @@ impl EngineCtx<'_> {
         trace: &[RequestSpec],
         queue: VecDeque<usize>,
         outcomes: &mut [Outcome],
+        mut ctl: Option<&mut ControlState>,
         obs: &mut dyn SimObserver,
     ) -> BladeState {
         let ready: Vec<f64> = trace.iter().map(|r| r.arrival_s).collect();
@@ -889,7 +964,15 @@ impl EngineCtx<'_> {
             }
             sq.prepare(blade.clock, trace, self.policy);
             self.step(
-                trace, &ready, &mut sq, &mut blade, outcomes, None, None, obs,
+                trace,
+                &ready,
+                &mut sq,
+                &mut blade,
+                outcomes,
+                None,
+                None,
+                ctl.as_deref_mut(),
+                obs,
             );
             // Batch-advance decode-only iterations up to the next event:
             // the head's arrival when a batch slot is open, unbounded
@@ -1120,18 +1203,25 @@ impl ReplayTotals {
 /// Assembles the population metrics once every outcome is filled. Each
 /// request is held to its own SLO class's targets (`classes[r.class]`);
 /// the single-default-class case reproduces the global-pair accounting
-/// bit-for-bit.
+/// bit-for-bit. `ctl`, when given, marks the requests the shedding gate
+/// dropped: they have no outcome, count as SLO misses in their class's
+/// attainment, and contribute nothing to throughput or the latency
+/// populations.
 pub(crate) fn finalize(
     classes: &[SloClass],
     kv_bytes_per_token: f64,
     trace: &[RequestSpec],
     outcomes: &[Outcome],
     totals: &ReplayTotals,
+    ctl: Option<&ControlState>,
 ) -> ServingReport {
+    let was_shed = |idx: usize| ctl.is_some_and(|c| c.is_shed(idx));
     let first_arrival = trace.iter().map(|r| r.arrival_s).fold(f64::MAX, f64::min);
     let last_completion = outcomes
         .iter()
-        .map(|o| o.completion_s.expect("completed"))
+        .enumerate()
+        .filter(|&(i, _)| !was_shed(i))
+        .map(|(_, o)| o.completion_s.expect("completed"))
         .fold(f64::MIN, f64::max);
     let makespan_s = (last_completion - first_arrival).max(f64::MIN_POSITIVE);
     let mut ttft = Vec::with_capacity(trace.len());
@@ -1140,11 +1230,13 @@ pub(crate) fn finalize(
     let mut useful_tokens = 0u64;
     let mut good_tokens = 0u64;
     let mut slo_met = 0u32;
+    let mut shed_requests = 0u64;
     let mut prefix_tokens_saved = 0u64;
     struct ClassAcc {
         ttft: Vec<f64>,
         tpot: Vec<f64>,
         requests: u32,
+        shed: u64,
         met: u32,
         good_tokens: u64,
         prefix_tokens_saved: u64,
@@ -1155,12 +1247,20 @@ pub(crate) fn finalize(
             ttft: Vec::new(),
             tpot: Vec::new(),
             requests: 0,
+            shed: 0,
             met: 0,
             good_tokens: 0,
             prefix_tokens_saved: 0,
         })
         .collect();
-    for (r, out) in trace.iter().zip(outcomes) {
+    for (i, (r, out)) in trace.iter().zip(outcomes).enumerate() {
+        if was_shed(i) {
+            shed_requests += 1;
+            let a = &mut acc[r.class as usize];
+            a.requests += 1;
+            a.shed += 1;
+            continue;
+        }
         let first = out.first_token_s.expect("completed");
         let done = out.completion_s.expect("completed");
         let t_first = first - r.arrival_s;
@@ -1190,6 +1290,7 @@ pub(crate) fn finalize(
             name: cls.name.clone(),
             weight: cls.weight,
             requests: a.requests,
+            shed: a.shed,
             goodput_tok_s: a.good_tokens as f64 / makespan_s,
             slo_attainment: if a.requests == 0 {
                 1.0
@@ -1201,9 +1302,15 @@ pub(crate) fn finalize(
             tpot: Percentiles::of(&mut a.tpot),
         })
         .collect();
+    debug_assert_eq!(
+        shed_requests,
+        ctl.map_or(0, ControlState::shed_count),
+        "the gate's shed tally must match the per-request marks"
+    );
     ServingReport {
         requests: trace.len() as u32,
-        completed: trace.len() as u32,
+        completed: trace.len() as u32 - shed_requests as u32,
+        shed_requests,
         evictions: totals.evictions,
         wasted_tokens: totals.wasted_tokens,
         makespan_s,
@@ -1290,6 +1397,7 @@ impl<'a> ServingSimulator<'a> {
         config.validate()?;
         model.validate().map_err(OptimusError::from)?;
         par.check_model(model).map_err(OptimusError::from)?;
+        let mut policy = policy;
         let classes = match classes {
             None => vec![SloClass::new(
                 "default",
@@ -1308,6 +1416,12 @@ impl<'a> ServingSimulator<'a> {
                 classes
             }
         };
+        if let Some(ac) = config.admission {
+            ac.validate(&classes)?;
+        }
+        // The class-aware seam: policies that rank by class see the
+        // resolved table before any queue is ordered.
+        policy.bind_classes(&classes);
         let kv_bytes_per_token = KvCache {
             batch: 1,
             seq_len: 1,
@@ -1356,6 +1470,17 @@ impl<'a> ServingSimulator<'a> {
 
     pub(crate) fn kv_bytes_per_token(&self) -> f64 {
         self.kv_bytes_per_token
+    }
+
+    /// Fresh admission-control gate state for a `requests`-long trace, or
+    /// `None` when no gate is configured (the replay then takes no
+    /// control-plane branch anywhere). The gate watches the strict
+    /// class's own TTFT/TPOT targets.
+    pub(crate) fn control_state(&self, requests: usize) -> Option<ControlState> {
+        self.config.admission.map(|ac| {
+            let strict = &self.classes[ac.strict_class as usize];
+            ControlState::new(ac, requests, strict.ttft_slo_s, strict.tpot_slo_s)
+        })
     }
 
     pub(crate) fn ctx<'t>(&'t self, table: &'t CostTable) -> EngineCtx<'t> {
@@ -1590,7 +1715,15 @@ impl<'a> ServingSimulator<'a> {
     ) -> ServingReport {
         let ctx = self.ctx(table);
         let mut outcomes = vec![Outcome::default(); trace.len()];
-        let blade = ctx.drive_auto(0, trace, Self::arrival_queue(trace), &mut outcomes, obs);
+        let mut ctl = self.control_state(trace.len());
+        let blade = ctx.drive_auto(
+            0,
+            trace,
+            Self::arrival_queue(trace),
+            &mut outcomes,
+            ctl.as_mut(),
+            obs,
+        );
         let mut totals = ReplayTotals::default();
         totals.absorb(&blade);
         finalize(
@@ -1599,6 +1732,7 @@ impl<'a> ServingSimulator<'a> {
             trace,
             &outcomes,
             &totals,
+            ctl.as_ref(),
         )
     }
 }

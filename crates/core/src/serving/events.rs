@@ -342,6 +342,143 @@ impl SchedQueue {
     }
 }
 
+/// The shared queue of the cluster's central-dispatch event loop under a
+/// [`OrderingContract::StaticKey`] policy: the incremental
+/// `(key, seq, idx)` ordering of [`KeyedQueue`], extended with the
+/// central loop's ready-time semantics. The legacy loop re-sorts the
+/// whole queue by key every round and then stable-partitions it by
+/// eligibility (`ready <= clock`); here arrivals absorb incrementally,
+/// and the partition's only observable effect — parking blocked victims
+/// behind every eligible request, demoting them behind their key-ties
+/// for all later rounds — is reproduced by *extracting* blocked victims
+/// for the round and re-inserting them with fresh sequence numbers.
+/// Admitted indices are recorded (as in [`TrackedQueue`]) for the
+/// caller's membership bookkeeping.
+#[derive(Debug)]
+pub(crate) struct CentralKeyedQueue {
+    arrived: BTreeSet<(u64, i64, usize)>,
+    /// Not-yet-arrived members, earliest first.
+    future: VecDeque<usize>,
+    /// `order_key` per trace index, precomputed once.
+    keys: Vec<u64>,
+    next_seq: i64,
+    next_victim_seq: i64,
+    /// Members extracted for the current round (arrived victims whose
+    /// re-entry time is still in the stepping blade's future), in the
+    /// `(key, seq)` order they held.
+    blocked: Vec<(u64, i64, usize)>,
+    /// Indices the engine admitted (or shed) this round.
+    pub(crate) admitted: Vec<usize>,
+}
+
+impl CentralKeyedQueue {
+    /// Wraps an arrival-ordered queue for a `StaticKey` policy.
+    pub(crate) fn new(
+        policy: &dyn SchedulerPolicy,
+        trace: &[RequestSpec],
+        queue: VecDeque<usize>,
+    ) -> Self {
+        debug_assert_eq!(policy.ordering(), OrderingContract::StaticKey);
+        let mut keys = vec![0u64; trace.len()];
+        for &i in &queue {
+            keys[i] = policy.order_key(&trace[i]);
+        }
+        Self {
+            arrived: BTreeSet::new(),
+            future: queue,
+            keys,
+            next_seq: 0,
+            next_victim_seq: -1,
+            blocked: Vec::new(),
+            admitted: Vec::new(),
+        }
+    }
+
+    /// Whether any request is still waiting.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.arrived.is_empty() && self.future.is_empty() && self.blocked.is_empty()
+    }
+
+    /// Absorbs arrivals up to `clock` — the arrived prefix the legacy
+    /// sort would have ordered this round.
+    pub(crate) fn prepare(&mut self, clock: f64, trace: &[RequestSpec]) {
+        while let Some(&i) = self.future.front() {
+            if trace[i].arrival_s > clock {
+                break;
+            }
+            self.future.pop_front();
+            self.arrived.insert((self.keys[i], self.next_seq, i));
+            self.next_seq += 1;
+        }
+    }
+
+    /// The round's eligibility partition: members whose ready time is
+    /// still in the future (always re-queued victims — fresh arrivals
+    /// are ready the moment they arrive) leave the set for the duration
+    /// of the step, so the admission scan sees exactly the eligible
+    /// requests in key order.
+    pub(crate) fn extract_blocked(&mut self, clock: f64, ready: &[f64]) {
+        debug_assert!(self.blocked.is_empty());
+        self.blocked.extend(
+            self.arrived
+                .iter()
+                .copied()
+                .filter(|&(_, _, i)| ready[i] > clock),
+        );
+        for e in &self.blocked {
+            self.arrived.remove(e);
+        }
+    }
+
+    /// Re-inserts the extracted members with fresh sequence numbers: the
+    /// legacy partition moved them behind every eligible request, so
+    /// every later stable sort keeps them behind all of their current
+    /// key-ties (but still ahead of ties that arrive later — which get
+    /// larger sequence numbers still).
+    pub(crate) fn restore_blocked(&mut self) {
+        let blocked = std::mem::take(&mut self.blocked);
+        for (key, _, i) in blocked {
+            self.arrived.insert((key, self.next_seq, i));
+            self.next_seq += 1;
+        }
+    }
+
+    /// Queue members ready to run at `now` (the autoscaler's depth
+    /// signal; the future tail is arrival-sorted, so the prefix scan is
+    /// exact).
+    pub(crate) fn ready_depth(&self, ready: &[f64], now: f64) -> usize {
+        self.arrived
+            .iter()
+            .filter(|&&(_, _, i)| ready[i] <= now)
+            .count()
+            + self.future.iter().take_while(|&&i| ready[i] <= now).count()
+    }
+}
+
+impl AdmissionQueue for CentralKeyedQueue {
+    fn peek(&self) -> Option<usize> {
+        if let Some(&(_, _, i)) = self.arrived.first() {
+            Some(i)
+        } else {
+            self.future.front().copied()
+        }
+    }
+
+    fn pop(&mut self) {
+        if let Some((_, _, i)) = self.arrived.pop_first() {
+            self.admitted.push(i);
+        } else if let Some(i) = self.future.pop_front() {
+            self.admitted.push(i);
+        }
+    }
+
+    fn requeue_victim(&mut self, idx: usize) {
+        self.arrived
+            .insert((self.keys[idx], self.next_victim_seq, idx));
+        self.next_victim_seq -= 1;
+    }
+}
+
 impl AdmissionQueue for SchedQueue {
     fn peek(&self) -> Option<usize> {
         match self {
@@ -465,6 +602,46 @@ mod tests {
         assert_eq!(sq.peek(), Some(1));
         sq.pop();
         assert!(sq.is_empty());
+    }
+
+    #[test]
+    fn central_keyed_queue_demotes_blocked_victims_like_the_partition() {
+        // SJF keys: 2 is shortest, 0 and 1 are key-tied. A victim whose
+        // re-entry time is in the future must sit out the round and then
+        // fall behind its key-ties, exactly as the legacy
+        // sort-then-partition sequence would leave it.
+        let trace = vec![
+            RequestSpec::new(0, 0.0, 10, 5),
+            RequestSpec::new(1, 0.0, 10, 5),
+            RequestSpec::new(2, 0.0, 10, 2),
+        ];
+        let mut q = CentralKeyedQueue::new(&SjfPolicy, &trace, (0..3).collect());
+        q.prepare(0.0, &trace);
+        let mut ready = [0.0f64, 0.0, 0.0];
+        assert_eq!(q.peek(), Some(2));
+        q.pop();
+        q.pop(); // admits 0 (stable tie keeps arrival order)
+        assert_eq!(q.admitted, vec![2, 0]);
+        q.admitted.clear();
+        // 0 is evicted; it re-enters at t=5.0, ahead of its tie 1 for now.
+        q.requeue_victim(0);
+        ready[0] = 5.0;
+        assert_eq!(q.peek(), Some(0));
+        // At t=1.0 the victim is blocked: extraction hides it from the
+        // scan, restore demotes it behind tie 1.
+        q.extract_blocked(1.0, &ready);
+        assert_eq!(q.peek(), Some(1));
+        q.restore_blocked();
+        assert_eq!(q.peek(), Some(1), "demoted victim stays behind its tie");
+        assert_eq!(q.ready_depth(&ready, 1.0), 1);
+        assert_eq!(q.ready_depth(&ready, 5.0), 2);
+        // Once ready, nothing is extracted and it runs after the tie.
+        q.extract_blocked(5.0, &ready);
+        q.restore_blocked();
+        q.pop();
+        q.pop();
+        assert_eq!(q.admitted, vec![1, 0]);
+        assert!(q.is_empty());
     }
 
     #[test]

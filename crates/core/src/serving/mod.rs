@@ -32,6 +32,13 @@
 //! * [`cluster`] — N blades ([`ClusterSimulator`]): round-robin /
 //!   join-shortest-queue / least-loaded-KV routing into per-blade queues,
 //!   or one central queue, with per-blade utilization skew in the report.
+//! * [`control`] — the closed-loop control plane: class-aware load
+//!   shedding behind an attainment-floor gate with hysteresis
+//!   ([`AdmissionControl`]) and a watermark-driven cluster autoscaler
+//!   ([`AutoscaleConfig`]), composed via [`ControlPlane`] and attached
+//!   with [`Scenario::control`]. Class-aware *ordering* lives in
+//!   [`policy`]: [`StrictPriorityPolicy`] and [`WeightedFairPolicy`]
+//!   rank the queue by the bound SLO-class table.
 //! * [`report`] — TTFT/TPOT/latency percentiles, throughput, goodput,
 //!   eviction and fragmentation accounting ([`ServingReport`]).
 //!
@@ -155,6 +162,7 @@
 //! ```
 
 pub mod cluster;
+pub mod control;
 pub mod engine;
 pub mod events;
 pub mod kv;
@@ -169,11 +177,15 @@ pub use cluster::{
     BladeLoad, BladeRole, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode,
     HandoffLink, RoutingPolicy, Topology,
 };
+pub use control::{AdmissionControl, AutoscaleConfig, ControlPlane};
 pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator, SimCore};
 pub use events::EventHeap;
 pub use kv::{KvLayout, PagedKvAllocator};
 pub use observer::{CountingObserver, NoopObserver, SimObserver};
-pub use policy::{FcfsPolicy, MaxWaitGuardPolicy, OrderingContract, SchedulerPolicy, SjfPolicy};
+pub use policy::{
+    FcfsPolicy, MaxWaitGuardPolicy, OrderingContract, SchedulerPolicy, SjfPolicy,
+    StrictPriorityPolicy, WeightedFairPolicy,
+};
 pub use prefix::{PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
 pub use report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
 pub use scenario::{CompiledScenario, Scenario};
@@ -597,6 +609,18 @@ mod tests {
             mk().slo_classes(vec![SloClass::new("bad", f64::NAN, 0.1)]),
             mk().slo_classes(vec![SloClass::interactive().with_weight(0.0)]),
             mk().classify(|_| 7),
+            // Degenerate control planes: shed floor outside (0, 1], a
+            // strict class the table doesn't have, inverted autoscale
+            // watermarks, and a zero-blade floor.
+            mk().slo_classes(vec![SloClass::interactive(), SloClass::batch()])
+                .control(ControlPlane::new().shed(AdmissionControl::new(0, 0.0))),
+            mk().slo_classes(vec![SloClass::interactive(), SloClass::batch()])
+                .control(ControlPlane::new().shed(AdmissionControl::new(5, 0.9))),
+            mk().dispatch(DispatchMode::Central).control(
+                ControlPlane::new().autoscale(AutoscaleConfig::new(1, 1).with_watermarks(4, 4)),
+            ),
+            mk().dispatch(DispatchMode::Central)
+                .control(ControlPlane::new().autoscale(AutoscaleConfig::new(0, 1))),
         ] {
             assert!(matches!(
                 scenario.compile().err(),

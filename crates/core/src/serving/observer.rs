@@ -79,6 +79,21 @@ pub trait SimObserver {
         let _ = (blade, clock_s, step_s, decoding);
     }
 
+    /// The admission-control gate on blade `blade` dropped `request` at
+    /// the instant it would otherwise have been admitted (best-effort
+    /// load shedding while the strict class is below its attainment
+    /// floor). The request never runs.
+    fn on_shed(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        let _ = (blade, clock_s, request);
+    }
+
+    /// The cluster autoscaler changed the active blade count from
+    /// `active_from` to `active_to` at `clock_s` (a scale-up's new blade
+    /// starts serving after its warm-up delay).
+    fn on_scale(&mut self, clock_s: f64, active_from: u32, active_to: u32) {
+        let _ = (clock_s, active_from, active_to);
+    }
+
     /// Whether this observer ignores every callback. The event-driven
     /// core skips per-iteration dispatch inside batched decode stretches
     /// for passive observers; real observers (returning `false`, the
@@ -120,6 +135,10 @@ pub struct CountingObserver {
     pub cache_misses: u64,
     /// Shared blocks reclaimed by LRU eviction.
     pub cache_evictions: u64,
+    /// Requests dropped by the admission-control gate.
+    pub sheds: u64,
+    /// Autoscaler blade-count changes.
+    pub scale_events: u64,
 }
 
 impl SimObserver for CountingObserver {
@@ -158,6 +177,14 @@ impl SimObserver for CountingObserver {
     fn on_cache_evict(&mut self, _: u32, _: f64, _: u32) {
         self.cache_evictions += 1;
     }
+
+    fn on_shed(&mut self, _: u32, _: f64, _: &RequestSpec) {
+        self.sheds += 1;
+    }
+
+    fn on_scale(&mut self, _: f64, _: u32, _: u32) {
+        self.scale_events += 1;
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +208,8 @@ mod tests {
         c.on_cache_hit(0, 1.1, &r, 32);
         c.on_cache_miss(0, 1.2, &r);
         c.on_cache_evict(0, 1.3, 16);
+        c.on_shed(0, 1.4, &r);
+        c.on_scale(1.5, 1, 2);
         assert_eq!(
             c,
             CountingObserver {
@@ -193,6 +222,8 @@ mod tests {
                 cache_hits: 1,
                 cache_misses: 1,
                 cache_evictions: 1,
+                sheds: 1,
+                scale_events: 1,
             }
         );
     }

@@ -10,6 +10,7 @@
 //! restarts — so policies stay small and easily conformance-tested.
 
 use super::engine::RunningSeq;
+use super::report::SloClass;
 use super::traces::RequestSpec;
 use std::collections::VecDeque;
 use std::fmt;
@@ -66,6 +67,18 @@ pub enum OrderingContract {
 pub trait SchedulerPolicy: fmt::Debug + Send + Sync {
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Hands the policy the scenario's SLO-class table, once, at
+    /// simulator construction (before any replay). This is the seam that
+    /// lets `RequestSpec::class` flow into *decisions*: class-aware
+    /// policies capture what they need here — [`StrictPriorityPolicy`]
+    /// derives priority ranks from class weights,
+    /// [`WeightedFairPolicy`] captures the weights themselves — while
+    /// class-blind policies keep the no-op default and stay byte-for-byte
+    /// identical to their pre-control-plane behavior.
+    fn bind_classes(&mut self, classes: &[SloClass]) {
+        let _ = classes;
+    }
 
     /// The incremental-order contract [`order_queue`](Self::order_queue)
     /// satisfies. The conservative default re-sorts every
@@ -222,6 +235,166 @@ impl SchedulerPolicy for MaxWaitGuardPolicy {
     }
 }
 
+/// Strict-priority admission by SLO class: classes rank by descending
+/// goodput weight (ties break toward the lower class index), every
+/// request of a higher-priority class runs before any request of a lower
+/// one, and FCFS order holds within a class. Eviction inverts the
+/// ranking — the lowest-priority (then youngest) running sequence is
+/// preempted first, so strict traffic is protected on both the admission
+/// and the preemption side.
+///
+/// The ranks are captured from the class table via
+/// [`SchedulerPolicy::bind_classes`]; unbound (or single-class) use
+/// degenerates to FCFS. The rank is clock-independent, so the policy
+/// declares [`OrderingContract::StaticKey`] and the event-driven core
+/// maintains its queue incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct StrictPriorityPolicy {
+    /// `ranks[class]` = admission rank (0 runs first), by descending
+    /// class weight.
+    ranks: Vec<u64>,
+}
+
+impl StrictPriorityPolicy {
+    /// A strict-priority policy; ranks are bound from the scenario's
+    /// class table at compile time.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn rank(&self, r: &RequestSpec) -> u64 {
+        self.ranks.get(r.class as usize).copied().unwrap_or(0)
+    }
+}
+
+impl SchedulerPolicy for StrictPriorityPolicy {
+    fn name(&self) -> &'static str {
+        "strict-priority"
+    }
+
+    fn bind_classes(&mut self, classes: &[SloClass]) {
+        let mut order: Vec<usize> = (0..classes.len()).collect();
+        order.sort_by(|&a, &b| {
+            classes[b]
+                .weight
+                .total_cmp(&classes[a].weight)
+                .then(a.cmp(&b))
+        });
+        self.ranks = vec![0; classes.len()];
+        for (rank, &class) in order.iter().enumerate() {
+            self.ranks[class] = rank as u64;
+        }
+    }
+
+    fn ordering(&self) -> OrderingContract {
+        OrderingContract::StaticKey
+    }
+
+    fn order_key(&self, request: &RequestSpec) -> u64 {
+        self.rank(request)
+    }
+
+    fn order_queue(&self, clock: f64, trace: &[RequestSpec], queue: &mut VecDeque<usize>) {
+        sort_arrived_by(clock, trace, queue, |r| self.rank(r));
+    }
+
+    fn evict_victim(&self, trace: &[RequestSpec], running: &[RunningSeq]) -> usize {
+        // Lowest priority first; among ties the youngest (largest batch
+        // position — the default recompute order) is cheapest to redo.
+        running
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, r)| (self.rank(&trace[r.idx]), i))
+            .map(|(i, _)| i)
+            .expect("engine evicts only from a non-empty batch")
+    }
+}
+
+/// Weighted-fair admission by SLO class: each class's cumulative service
+/// demand (prompt + output tokens), divided by its goodput weight,
+/// defines a *virtual finish* per request, and arrived requests run in
+/// virtual-finish order — a deficit/weighted-fair-queueing discipline
+/// where a weight-2 class receives twice the admission share of a
+/// weight-1 class under contention instead of starving it outright
+/// (contrast [`StrictPriorityPolicy`]).
+///
+/// The virtual-finish walk accumulates over the trace in arrival order,
+/// so the order is a pure function of the trace: the sort is
+/// history-independent and clock-free (the clock only gates which
+/// requests have arrived), satisfying [`OrderingContract::ClockDependent`]'s
+/// contract. With one class (or unbound), every weight is equal and the
+/// order degenerates to FCFS.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedFairPolicy {
+    /// `weights[class]` = goodput weight, captured from the class table.
+    weights: Vec<f64>,
+}
+
+impl WeightedFairPolicy {
+    /// A weighted-fair policy; weights are bound from the scenario's
+    /// class table at compile time.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn weight(&self, class: u32) -> f64 {
+        self.weights.get(class as usize).copied().unwrap_or(1.0)
+    }
+
+    /// Virtual finish per trace index, as a monotone `u64` image
+    /// (virtual time is non-negative, so the raw bit pattern orders it).
+    fn virtual_finish(&self, trace: &[RequestSpec]) -> Vec<u64> {
+        let mut order: Vec<usize> = (0..trace.len()).collect();
+        order.sort_by(|&a, &b| {
+            trace[a]
+                .arrival_s
+                .total_cmp(&trace[b].arrival_s)
+                .then(a.cmp(&b))
+        });
+        let classes = trace
+            .iter()
+            .map(|r| r.class as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let mut cum = vec![0.0f64; classes];
+        let mut vf = vec![0u64; trace.len()];
+        for &i in &order {
+            let r = &trace[i];
+            let service = f64::from(r.prompt_tokens + r.output_tokens);
+            cum[r.class as usize] += service / self.weight(r.class);
+            vf[i] = cum[r.class as usize].to_bits();
+        }
+        vf
+    }
+}
+
+impl SchedulerPolicy for WeightedFairPolicy {
+    fn name(&self) -> &'static str {
+        "weighted-fair"
+    }
+
+    fn bind_classes(&mut self, classes: &[SloClass]) {
+        self.weights = classes.iter().map(|c| c.weight).collect();
+    }
+
+    fn order_queue(&self, clock: f64, trace: &[RequestSpec], queue: &mut VecDeque<usize>) {
+        let vf = self.virtual_finish(trace);
+        // Explicit index tie-break (not just sort stability): the result
+        // is a pure function of the queue *contents*, never of the order
+        // a previous sort or a victim re-queue left them in.
+        let (mut arrived, future): (Vec<usize>, Vec<usize>) = queue
+            .iter()
+            .copied()
+            .partition(|&i| trace[i].arrival_s <= clock);
+        arrived.sort_by_key(|&i| (vf[i], i));
+        queue.clear();
+        queue.extend(arrived);
+        queue.extend(future);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +460,88 @@ mod tests {
         assert!(SjfPolicy.order_key(&a) < SjfPolicy.order_key(&c));
         // Output dominates: b's shorter decode outranks c's shorter prompt.
         assert!(SjfPolicy.order_key(&b) < SjfPolicy.order_key(&c));
+    }
+
+    #[test]
+    fn strict_priority_ranks_by_weight_and_protects_on_eviction() {
+        // interactive carries weight 2, batch weight 1: interactive is
+        // rank 0 regardless of table order.
+        let mut policy = StrictPriorityPolicy::new();
+        policy.bind_classes(&[SloClass::batch(), SloClass::interactive()]);
+        let trace = [
+            req(0, 0.0, 10, 10).in_class(0), // batch
+            req(1, 0.1, 10, 10).in_class(1), // interactive
+            req(2, 0.2, 10, 10).in_class(0),
+            req(3, 9.0, 10, 10).in_class(1), // not yet arrived
+        ];
+        let mut q: VecDeque<usize> = (0..4).collect();
+        policy.order_queue(1.0, &trace, &mut q);
+        assert_eq!(
+            q,
+            VecDeque::from([1, 0, 2, 3]),
+            "interactive first, FCFS within"
+        );
+        assert!(policy.order_key(&trace[1]) < policy.order_key(&trace[0]));
+        assert_eq!(policy.order_key(&trace[0]), policy.order_key(&trace[2]));
+        assert_eq!(policy.ordering(), OrderingContract::StaticKey);
+        // Eviction preempts the lowest-priority running sequence, and the
+        // youngest among equals — never the strict one.
+        let running = [
+            RunningSeq::admitted(0, 10), // batch, oldest
+            RunningSeq::admitted(1, 10), // interactive
+            RunningSeq::admitted(2, 10), // batch, youngest
+        ];
+        assert_eq!(policy.evict_victim(&trace, &running), 2);
+        // Unbound, every class ranks equally: FCFS order and the default
+        // youngest-first victim.
+        let unbound = StrictPriorityPolicy::new();
+        let mut q2: VecDeque<usize> = (0..3).collect();
+        unbound.order_queue(1.0, &trace, &mut q2);
+        assert_eq!(q2, VecDeque::from([0, 1, 2]));
+        assert_eq!(unbound.evict_victim(&trace, &running), 2);
+    }
+
+    #[test]
+    fn weighted_fair_shares_admissions_by_weight() {
+        let mut policy = WeightedFairPolicy::new();
+        policy.bind_classes(&[
+            SloClass::interactive(), // weight 2
+            SloClass::batch(),       // weight 1
+        ]);
+        // Equal 10-token service demands, alternating classes by index;
+        // all arrived. Virtual finishes: class 0 at 5, 10, 15; class 1
+        // at 10, 20 — so class 0 takes two of the first three slots.
+        let trace = [
+            req(0, 0.0, 5, 5).in_class(0),
+            req(1, 0.0, 5, 5).in_class(1),
+            req(2, 0.0, 5, 5).in_class(0),
+            req(3, 0.0, 5, 5).in_class(1),
+            req(4, 0.0, 5, 5).in_class(0),
+        ];
+        let mut q: VecDeque<usize> = (0..5).collect();
+        policy.order_queue(1.0, &trace, &mut q);
+        assert_eq!(q, VecDeque::from([0, 1, 2, 4, 3]));
+        // History independence: a scrambled queue sorts to the same order.
+        let mut scrambled = VecDeque::from([3, 1, 4, 0, 2]);
+        policy.order_queue(1.0, &trace, &mut scrambled);
+        assert_eq!(scrambled, q);
+        // Future requests stay behind, untouched.
+        let late = [req(0, 0.0, 5, 5).in_class(0), req(1, 9.0, 5, 5).in_class(0)];
+        let mut lq = VecDeque::from([0, 1]);
+        policy.order_queue(1.0, &late, &mut lq);
+        assert_eq!(lq, VecDeque::from([0, 1]));
+    }
+
+    #[test]
+    fn weighted_fair_single_class_is_fcfs_in_arrival_order() {
+        // One class: virtual finish accumulates in arrival order, so the
+        // sort reproduces FCFS even when trace indices disagree with
+        // arrival order.
+        let policy = WeightedFairPolicy::new(); // unbound: all weight 1
+        let trace = [req(0, 2.0, 8, 8), req(1, 0.5, 8, 8), req(2, 1.0, 8, 8)];
+        let mut q = VecDeque::from([1, 2, 0]); // arrival order
+        policy.order_queue(5.0, &trace, &mut q);
+        assert_eq!(q, VecDeque::from([1, 2, 0]));
     }
 
     #[test]

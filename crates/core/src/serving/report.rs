@@ -80,13 +80,19 @@ pub struct SloClassReport {
     pub name: String,
     /// Goodput weight (from [`SloClass::weight`]).
     pub weight: f64,
-    /// Requests in this class.
+    /// Requests in this class (shed ones included).
     pub requests: u32,
+    /// Requests of this class dropped by the admission-control gate
+    /// (never run; 0 without a control plane, and always 0 for the
+    /// strict class).
+    pub shed: u64,
     /// Useful tokens per second over the replay makespan from this
     /// class's requests that met the class targets.
     pub goodput_tok_s: f64,
     /// Fraction of this class's requests meeting both targets (1.0 for an
-    /// empty class).
+    /// empty class). Shed requests count as misses — shedding trades
+    /// best-effort attainment for strict-class attainment, and the
+    /// accounting shows the price.
     pub slo_attainment: f64,
     /// Prefill tokens this class's requests skipped via prefix-cache hits
     /// (0 with prefix caching off).
@@ -131,9 +137,13 @@ impl Percentiles {
 pub struct ServingReport {
     /// Requests in the trace.
     pub requests: u32,
-    /// Requests that ran to completion (always equals `requests`: the
-    /// simulator drains its queue).
+    /// Requests that ran to completion. Equals `requests` minus
+    /// [`Self::shed_requests`] — the simulator drains its queue, and
+    /// only the admission-control gate (when configured) drops work.
     pub completed: u32,
+    /// Requests dropped by the admission-control load-shedding gate
+    /// (never admitted, never completed; 0 without a control plane).
+    pub shed_requests: u64,
     /// Preemptions: a running request was evicted because the grown KV
     /// cache no longer fit, and restarted later (recompute-style).
     pub evictions: u32,
@@ -251,6 +261,9 @@ impl fmt::Display for ServingReport {
             self.tpot.p95 * 1e3,
             self.tpot.p99 * 1e3
         )?;
+        if self.shed_requests > 0 {
+            write!(f, "; {} shed", self.shed_requests)?;
+        }
         if self.prefix_hits + self.prefix_misses > 0 {
             write!(
                 f,

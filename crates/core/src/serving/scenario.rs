@@ -43,6 +43,7 @@ use super::cluster::{
     run_disaggregated, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode, HandoffLink,
     RoutingPolicy, Topology,
 };
+use super::control::{AutoscaleConfig, ControlPlane};
 use super::engine::{DecodePricing, ServingConfig, ServingSimulator, SimCore};
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
@@ -108,6 +109,7 @@ pub struct Scenario<'a> {
     classifier: Option<Classifier>,
     policy: PolicyFactory,
     core: SimCore,
+    control: Option<ControlPlane>,
 }
 
 impl fmt::Debug for Scenario<'_> {
@@ -175,6 +177,7 @@ impl<'a> Scenario<'a> {
             classifier: None,
             policy: Box::new(|| Box::new(FcfsPolicy)),
             core: SimCore::EventDriven,
+            control: None,
         }
     }
 
@@ -343,6 +346,19 @@ impl<'a> Scenario<'a> {
         self
     }
 
+    /// Attaches the online control plane: a load-shedding admission gate
+    /// ([`AdmissionControl`](super::AdmissionControl)) and/or a
+    /// queue-depth blade autoscaler ([`AutoscaleConfig`]). The gate
+    /// needs an
+    /// explicit class table ([`Self::slo_classes`]) with a strict class
+    /// to protect; the autoscaler needs central dispatch on a mixed
+    /// topology. An empty [`ControlPlane`] is exactly no control plane.
+    #[must_use]
+    pub fn control(mut self, control: ControlPlane) -> Self {
+        self.control = Some(control);
+        self
+    }
+
     /// The blade topology. Role-typed blades
     /// ([`BladeRole::Prefill`](super::BladeRole::Prefill) /
     /// [`BladeRole::Decode`](super::BladeRole::Decode)) switch the
@@ -383,9 +399,13 @@ impl<'a> Scenario<'a> {
     ///
     /// Returns [`OptimusError::Serving`] for a missing model, plan or
     /// trace, degenerate configuration values, an invalid topology, a
-    /// disaggregated topology without a handoff link, or a request
-    /// naming an undefined SLO class; propagates trace-materialization
-    /// and model/parallelism validation failures.
+    /// disaggregated topology without a handoff link, a request naming
+    /// an undefined SLO class, or a control plane the topology cannot
+    /// host (any control on role-typed blades; an autoscaler without
+    /// central dispatch, with degenerate watermarks, or bounds exceeding
+    /// the blade pool; a shedding gate without a second class to shed);
+    /// propagates trace-materialization and model/parallelism validation
+    /// failures.
     pub fn compile(self) -> Result<CompiledScenario<'a>, OptimusError> {
         let missing = |what: &str| OptimusError::Serving {
             reason: format!("scenario is missing {what}"),
@@ -428,6 +448,30 @@ impl<'a> Scenario<'a> {
             .topology
             .unwrap_or_else(|| Topology::mixed(self.default_blades));
         topology.validate()?;
+        let mut autoscale = None;
+        if let Some(cp) = self.control {
+            if topology.is_disaggregated() && (cp.admission.is_some() || cp.autoscale.is_some()) {
+                return Err(OptimusError::Serving {
+                    reason: "the control plane runs on mixed topologies only: the \
+                             disaggregated prefill→decode loop has no shared admission \
+                             boundary to shed at nor a uniform pool to scale"
+                        .to_owned(),
+                });
+            }
+            if let Some(sc) = cp.autoscale {
+                if self.dispatch != DispatchMode::Central {
+                    return Err(OptimusError::Serving {
+                        reason: "the autoscaler needs .dispatch(DispatchMode::Central): \
+                                 per-blade routing fixes each request's blade at arrival, \
+                                 so a changing blade count has nothing to act on"
+                            .to_owned(),
+                    });
+                }
+                sc.validate(topology.blades())?;
+                autoscale = Some(sc);
+            }
+            config.admission = cp.admission;
+        }
         let link = if topology.is_disaggregated() {
             let link = self.link.ok_or_else(|| OptimusError::Serving {
                 reason: "a disaggregated topology needs a prefill→decode handoff link \
@@ -484,6 +528,7 @@ impl<'a> Scenario<'a> {
             topology,
             routing: self.routing,
             dispatch: self.dispatch,
+            autoscale,
             link,
         })
     }
@@ -505,6 +550,7 @@ pub struct CompiledScenario<'a> {
     topology: Topology,
     routing: RoutingPolicy,
     dispatch: DispatchMode,
+    autoscale: Option<AutoscaleConfig>,
     link: Option<HandoffLink>,
 }
 
@@ -576,6 +622,7 @@ impl CompiledScenario<'_> {
                     blades: self.topology.blades(),
                     routing: self.routing,
                     dispatch: self.dispatch,
+                    autoscale: self.autoscale,
                 },
             )?;
             if parallel {
@@ -652,6 +699,7 @@ impl CompiledScenario<'_> {
                 blades: self.topology.blades(),
                 routing,
                 dispatch,
+                autoscale: self.autoscale,
             })
             .collect();
         let cluster = ClusterSimulator::from_parts(
@@ -660,6 +708,7 @@ impl CompiledScenario<'_> {
                 blades: self.topology.blades(),
                 routing: self.routing,
                 dispatch: self.dispatch,
+                autoscale: self.autoscale,
             },
         )?;
         cluster.replay_each(&self.trace, &configs)
@@ -997,6 +1046,78 @@ mod tests {
             matches!(err, Err(OptimusError::Serving { ref reason })
                 if reason.contains("names SLO class")),
             "{err:?}"
+        );
+    }
+
+    #[test]
+    fn control_plane_validation_is_typed() {
+        use crate::serving::AdmissionControl;
+        let (system, model, par) = parts();
+        let two_classes = || {
+            vec![
+                SloClass::new("interactive", 0.5, 0.02).with_weight(2.0),
+                SloClass::batch(),
+            ]
+        };
+        // Any control on a disaggregated topology is rejected.
+        let err = scenario(&system, &model, &par)
+            .slo_classes(two_classes())
+            .topology(Topology::disaggregated(2, 2))
+            .control(ControlPlane::new().shed(AdmissionControl::new(0, 0.9)))
+            .compile();
+        assert!(
+            matches!(err, Err(OptimusError::Serving { ref reason }) if reason.contains("mixed")),
+            "{err:?}"
+        );
+        // The autoscaler needs central dispatch...
+        let err = scenario(&system, &model, &par)
+            .control(ControlPlane::new().autoscale(AutoscaleConfig::new(1, 4)))
+            .compile();
+        assert!(
+            matches!(err, Err(OptimusError::Serving { ref reason }) if reason.contains("Central")),
+            "{err:?}"
+        );
+        // ...and bounds inside the blade pool.
+        let err = scenario(&system, &model, &par)
+            .dispatch(DispatchMode::Central)
+            .control(ControlPlane::new().autoscale(AutoscaleConfig::new(1, 8)))
+            .compile();
+        assert!(matches!(err, Err(OptimusError::Serving { .. })), "{err:?}");
+        // The shedding gate needs a class table with something to shed.
+        let err = scenario(&system, &model, &par)
+            .control(ControlPlane::new().shed(AdmissionControl::new(0, 0.9)))
+            .compile();
+        assert!(matches!(err, Err(OptimusError::Serving { .. })), "{err:?}");
+        // An empty control plane is exactly no control plane.
+        let plain = scenario(&system, &model, &par).compile().unwrap();
+        let empty = scenario(&system, &model, &par)
+            .control(ControlPlane::new())
+            .compile()
+            .unwrap();
+        assert_eq!(plain.run().unwrap(), empty.run().unwrap());
+        // A valid full control plane compiles and runs on both cores
+        // identically.
+        let mk = |core| {
+            scenario(&system, &model, &par)
+                .core(core)
+                .slo_classes(two_classes())
+                .classify(|r| u32::from(r.prompt_tokens > 500))
+                .dispatch(DispatchMode::Central)
+                .control(
+                    ControlPlane::new()
+                        .shed(AdmissionControl::new(0, 0.9))
+                        .autoscale(AutoscaleConfig::new(1, 4).with_watermarks(0, 4)),
+                )
+                .compile()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let event = mk(SimCore::EventDriven);
+        assert_eq!(event, mk(SimCore::PerStep));
+        assert_eq!(
+            u64::from(event.report.completed) + event.report.shed_requests,
+            u64::from(event.report.requests)
         );
     }
 

@@ -11,9 +11,10 @@ use llm_workload::kvcache::{KvCache, KvConvention};
 use llm_workload::model::{ModelZoo, TransformerConfig};
 use llm_workload::Parallelism;
 use optimus::serving::{
-    ClusterReport, CountingObserver, DecodePricing, DispatchMode, EventHeap, MaxWaitGuardPolicy,
-    RequestSpec, RoutingPolicy, Scenario, SharedPrefixTraceConfig, SimCore, SjfPolicy, Topology,
-    TraceConfig,
+    AdmissionControl, AutoscaleConfig, ClusterReport, ControlPlane, CountingObserver,
+    DecodePricing, DispatchMode, EventHeap, MaxWaitGuardPolicy, RequestSpec, RoutingPolicy,
+    Scenario, SharedPrefixTraceConfig, SimCore, SjfPolicy, SloClass, StrictPriorityPolicy,
+    Topology, TraceConfig, WeightedFairPolicy,
 };
 use optimus::MultiBladeSystem;
 use proptest::prelude::*;
@@ -206,6 +207,98 @@ fn cluster_and_disaggregated_cores_agree() {
 }
 
 #[test]
+fn class_aware_policies_and_control_plane_cores_agree() {
+    let system = MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    // Sustained overload so ordering, shedding and scaling all matter.
+    let trace = TraceConfig {
+        seed: 41,
+        requests: 48,
+        arrival_rate_per_s: 120.0,
+        prompt_tokens: (32, 384),
+        output_tokens: (8, 64),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .slo_classes(vec![
+                // An unattainable strict target (TTFT below any prefill
+                // time): every gate below latches no matter how the
+                // dispatch mode spreads the load.
+                SloClass::new("interactive", 1e-6, 1e-9).with_weight(2.0),
+                SloClass::batch(),
+            ])
+            .classify(|r| u32::from(r.prompt_tokens > 128))
+            .poisson(trace)
+    };
+    assert_cores_agree("strict-priority single", || {
+        base()
+            .topology(Topology::mixed(1))
+            .policy(StrictPriorityPolicy::new())
+    });
+    assert_cores_agree("strict-priority central", || {
+        base()
+            .dispatch(DispatchMode::Central)
+            .policy(StrictPriorityPolicy::new())
+    });
+    assert_cores_agree("weighted-fair central", || {
+        base()
+            .dispatch(DispatchMode::Central)
+            .policy(WeightedFairPolicy::new())
+    });
+    assert_cores_agree("weighted-fair per-blade jsq", || {
+        base()
+            .routing(RoutingPolicy::JoinShortestQueue)
+            .policy(WeightedFairPolicy::new())
+    });
+    // Load shedding: the hopeless 20 ms TTFT floor latches the gate open,
+    // so best-effort requests are dropped — identically on both cores,
+    // through the engine gate (single blade), the per-blade merged gates
+    // and the central shared gate. The short window lets even a per-blade
+    // gate (which sees only its own ~12-request share) gather enough
+    // strict completions to latch.
+    let shed = ControlPlane::new().shed(AdmissionControl::new(0, 0.95).with_window(8, 2));
+    let r = assert_cores_agree("shedding single", || {
+        base().topology(Topology::mixed(1)).control(shed)
+    });
+    assert!(r.report.shed_requests > 0, "the gate must fire");
+    let r = assert_cores_agree("shedding per-blade", || base().control(shed));
+    assert!(r.report.shed_requests > 0);
+    let r = assert_cores_agree("shedding central", || {
+        base().dispatch(DispatchMode::Central).control(shed)
+    });
+    assert!(r.report.shed_requests > 0);
+    // The autoscaler's end-of-round evaluation sees the same queue depth
+    // on both cores, so the scale trajectories coincide.
+    let scaled = ControlPlane::new().autoscale(
+        AutoscaleConfig::new(1, 4)
+            .with_watermarks(0, 3)
+            .with_warmup(0.05),
+    );
+    let r = assert_cores_agree("autoscaled central", || {
+        base().dispatch(DispatchMode::Central).control(scaled)
+    });
+    assert!(r.scale_events > 0, "the backlog must trigger a scale-up");
+    // Everything at once: class-aware ordering + shedding + autoscaling.
+    assert_cores_agree("full control plane", || {
+        base()
+            .dispatch(DispatchMode::Central)
+            .policy(WeightedFairPolicy::new())
+            .control(shed.autoscale(AutoscaleConfig::new(2, 4).with_watermarks(1, 3)))
+    });
+    assert_cores_agree("full control plane, strict-priority", || {
+        base()
+            .dispatch(DispatchMode::Central)
+            .policy(StrictPriorityPolicy::new())
+            .control(shed.autoscale(AutoscaleConfig::new(2, 4).with_watermarks(1, 3)))
+    });
+}
+
+#[test]
 fn prefix_cached_cores_agree() {
     let system = MultiBladeSystem::new(4).unwrap();
     let model = ModelZoo::llama2_7b();
@@ -306,9 +399,10 @@ proptest! {
     #[test]
     fn cores_agree_on_random_scenarios(
         trace in arb_trace(),
-        policy in 0usize..3,
+        policy in 0usize..5,
         topology in 0usize..4,
         kv in 0usize..3,
+        control in 0usize..3,
         paged in any::<bool>(),
         chunked in any::<bool>(),
         exact in any::<bool>(),
@@ -317,6 +411,10 @@ proptest! {
         let model = ModelZoo::llama2_7b();
         let par = Parallelism::new(1, 1, 1).unwrap();
         let per_token = per_token_bytes(&system, &model);
+        // The shedding gate needs a sheddable second class, and any
+        // control needs a mixed topology; class-aware policies work
+        // either way but only bite with a class table bound.
+        let classed = policy >= 3 || control > 0;
         let build = || {
             let mut s = Scenario::new(&system)
                 .model(&model)
@@ -334,8 +432,18 @@ proptest! {
             s = match policy {
                 0 => s,
                 1 => s.policy(SjfPolicy),
-                _ => s.policy(MaxWaitGuardPolicy::new(0.25)),
+                2 => s.policy(MaxWaitGuardPolicy::new(0.25)),
+                3 => s.policy(StrictPriorityPolicy::new()),
+                _ => s.policy(WeightedFairPolicy::new()),
             };
+            if classed {
+                s = s
+                    .slo_classes(vec![
+                        SloClass::new("strict", 0.05, 0.005).with_weight(2.0),
+                        SloClass::batch(),
+                    ])
+                    .classify(|r| u32::from(r.prompt_tokens > 128));
+            }
             s = match topology {
                 0 => s.topology(Topology::mixed(1)),
                 1 => s
@@ -346,6 +454,17 @@ proptest! {
                     .dispatch(DispatchMode::Central),
                 _ => s.topology(Topology::disaggregated(1, 3)),
             };
+            // Control planes don't compose with the disaggregated
+            // topology, and the autoscaler needs central dispatch.
+            if control > 0 && topology != 3 {
+                let mut cp = ControlPlane::new().shed(AdmissionControl::new(0, 0.9));
+                if control == 2 && topology == 2 {
+                    cp = cp.autoscale(
+                        AutoscaleConfig::new(2, 4).with_watermarks(0, 3).with_warmup(0.1),
+                    );
+                }
+                s = s.control(cp);
+            }
             if paged {
                 s = s.paged_kv(64);
             }
@@ -370,7 +489,10 @@ proptest! {
             .run()
             .unwrap();
         prop_assert_eq!(&event, &per_step);
-        prop_assert_eq!(event.report.completed, trace.len() as u32);
+        prop_assert_eq!(
+            u64::from(event.report.completed) + event.report.shed_requests,
+            trace.len() as u64
+        );
         prop_assert_eq!(
             event.report.makespan_s.to_bits(),
             per_step.report.makespan_s.to_bits()

@@ -365,6 +365,127 @@ proptest! {
         );
     }
 
+    /// Control-plane inertness: an empty control plane, and the
+    /// class-aware policies bound to a single default class, reproduce
+    /// the class-blind replay bit-for-bit on both cores (no evictions:
+    /// FCFS requeues preemption victims at the queue front, which a
+    /// single-class virtual-finish sort would legitimately re-order).
+    #[test]
+    fn inert_control_plane_is_bit_identical(
+        seed in 0u64..24,
+        rate in 20.0f64..400.0,
+        event in any::<bool>(),
+    ) {
+        use optimus::serving::{
+            ControlPlane, Scenario, SimCore, StrictPriorityPolicy, TraceConfig,
+            WeightedFairPolicy,
+        };
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let core = if event { SimCore::EventDriven } else { SimCore::PerStep };
+        let mk = || {
+            Scenario::on_estimator(est.clone())
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .unconstrained_kv()
+                .core(core)
+                .poisson(TraceConfig {
+                    seed,
+                    requests: 16,
+                    arrival_rate_per_s: rate,
+                    prompt_tokens: (16, 192),
+                    output_tokens: (4, 32),
+                })
+        };
+        let plain = mk().compile().expect("valid").run().expect("replays");
+        let empty = mk()
+            .control(ControlPlane::new())
+            .compile()
+            .expect("valid")
+            .run()
+            .expect("replays");
+        prop_assert_eq!(&plain, &empty);
+        let strict = mk()
+            .policy(StrictPriorityPolicy::new())
+            .compile()
+            .expect("valid")
+            .run()
+            .expect("replays");
+        prop_assert_eq!(&plain, &strict);
+        let fair = mk()
+            .policy(WeightedFairPolicy::new())
+            .compile()
+            .expect("valid")
+            .run()
+            .expect("replays");
+        prop_assert_eq!(&plain, &fair);
+    }
+
+    /// The shedding gate never drops a strict-class request, sheds are
+    /// conserved (completed + shed == requests, globally and per class),
+    /// and both cores agree on every shed decision.
+    #[test]
+    fn shedding_never_drops_the_strict_class(
+        seed in 0u64..24,
+        floor_pct in 50u32..101,
+        rate in 100.0f64..500.0,
+    ) {
+        use optimus::serving::{
+            AdmissionControl, ControlPlane, Scenario, SimCore, SloClass, TraceConfig,
+        };
+        let blade = Blade::baseline();
+        let est = optimus::InferenceEstimator::new(
+            blade.accelerator().with_dram_bandwidth(Bandwidth::from_tbps(16.0)),
+            blade.interconnect(),
+        );
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let floor = f64::from(floor_pct) / 100.0;
+        let mk = |core: SimCore| {
+            Scenario::on_estimator(est.clone())
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .unconstrained_kv()
+                .core(core)
+                .slo_classes(vec![
+                    // Unattainable strict target: the gate latches as soon
+                    // as its window fills.
+                    SloClass::new("strict", 1e-6, 1e-9).with_weight(2.0),
+                    SloClass::batch(),
+                ])
+                .classify(|r| u32::from(r.prompt_tokens > 96))
+                .control(ControlPlane::new().shed(
+                    AdmissionControl::new(0, floor).with_resume_margin(0.0).with_window(6, 2),
+                ))
+                .poisson(TraceConfig {
+                    seed,
+                    requests: 24,
+                    arrival_rate_per_s: rate,
+                    prompt_tokens: (16, 192),
+                    output_tokens: (4, 32),
+                })
+        };
+        let run = mk(SimCore::EventDriven).compile().expect("valid").run().expect("replays");
+        prop_assert_eq!(&run, &mk(SimCore::PerStep).compile().expect("valid").run().expect("replays"));
+        let r = &run.report;
+        let strict = r.class("strict").expect("present");
+        let batch = r.class("batch").expect("present");
+        prop_assert_eq!(strict.shed, 0);
+        prop_assert_eq!(r.shed_requests, batch.shed);
+        prop_assert_eq!(
+            u64::from(r.completed) + r.shed_requests,
+            u64::from(r.requests)
+        );
+        prop_assert_eq!(strict.requests + batch.requests, r.requests);
+    }
+
     /// Paged-KV allocator invariants: no double allocation, blocks in use
     /// never exceed capacity, fragmentation stays below one block per
     /// resident sequence (and thus below capacity), and freeing every

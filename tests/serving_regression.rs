@@ -14,8 +14,9 @@
 
 use llm_workload::{ModelZoo, Parallelism};
 use optimus::serving::{
-    DispatchMode, RoutingPolicy, Scenario, ServingConfig, ServingReport, ServingSimulator,
-    SharedPrefixTraceConfig, SimCore, Topology, TraceConfig,
+    AdmissionControl, AutoscaleConfig, ControlPlane, DispatchMode, RoutingPolicy, Scenario,
+    ServingConfig, ServingReport, ServingSimulator, SharedPrefixTraceConfig, SimCore, SloClass,
+    StrictPriorityPolicy, Topology, TraceConfig, WeightedFairPolicy,
 };
 use optimus::{MultiBladeSystem, SpeedupStudy};
 
@@ -245,6 +246,217 @@ fn cluster_disaggregated_and_prefix_pins_hold_on_both_cores() {
                 ("ttft.p99", r.ttft.p99),
                 ("tpot.p50", r.tpot.p50),
                 ("latency.p99", r.latency.p99),
+            ];
+            for ((name, value), &(_, want)) in got.into_iter().zip(&pin.bits) {
+                assert_eq!(
+                    value.to_bits(),
+                    want,
+                    "{path}: {name} drifted: {value} ({:#018x} vs {want:#018x})",
+                    value.to_bits()
+                );
+            }
+        }
+    }
+}
+
+/// An *empty* control plane — and class-aware policies bound to the
+/// single default class — must not move the golden workload by a bit:
+/// the entire PR 7 control layer is provably inert when off.
+#[test]
+fn inert_control_plane_reproduces_cluster_pins() {
+    let system = MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = TraceConfig {
+        seed: 41,
+        requests: 48,
+        arrival_rate_per_s: 30.0,
+        prompt_tokens: (64, 384),
+        output_tokens: (16, 96),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .routing(RoutingPolicy::JoinShortestQueue)
+            .dispatch(DispatchMode::Central)
+            .poisson(trace)
+    };
+    for core in [SimCore::EventDriven, SimCore::PerStep] {
+        let plain = base().core(core).compile().unwrap().run().unwrap();
+        // The plain run is the pinned "central" workload of
+        // `cluster_disaggregated_and_prefix_pins_hold_on_both_cores`.
+        assert_eq!(plain.report.decode_iterations, 2321);
+        assert_eq!(plain.report.makespan_s.to_bits(), 0x3ffb1f76da7c1ff6);
+        let empty = base()
+            .control(ControlPlane::new())
+            .core(core)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(plain, empty, "{core:?}: empty control plane must be inert");
+        let strict = base()
+            .policy(StrictPriorityPolicy::new())
+            .core(core)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            plain, strict,
+            "{core:?}: single-class strict priority degenerates to FCFS"
+        );
+        let fair = base()
+            .policy(WeightedFairPolicy::new())
+            .core(core)
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            plain, fair,
+            "{core:?}: single-class weighted fair degenerates to FCFS"
+        );
+    }
+}
+
+/// Golden bit patterns for the PR 7 control-plane configurations:
+/// class-aware ordering (strict-priority, weighted-fair), the load-shed
+/// gate, and the autoscaler, each pinned on both cores.
+#[test]
+fn control_plane_pins_hold_on_both_cores() {
+    let system = MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    // A flash crowd (everything arrives at t=0): the central queue is
+    // deep from the first iteration, so ordering, shedding and scaling
+    // all leave visible fingerprints (at a finite trickle these blades
+    // absorb arrivals instantly and every policy degenerates to FCFS).
+    let trace = TraceConfig {
+        seed: 47,
+        requests: 48,
+        arrival_rate_per_s: f64::INFINITY,
+        prompt_tokens: (32, 384),
+        output_tokens: (8, 64),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .dispatch(DispatchMode::Central)
+            .slo_classes(vec![
+                SloClass::new("interactive", 1e-6, 1e-9).with_weight(2.0),
+                SloClass::batch(),
+            ])
+            .classify(|r| u32::from(r.prompt_tokens > 128))
+            .poisson(trace)
+    };
+    struct Pin {
+        name: &'static str,
+        completed: u32,
+        shed: u64,
+        scale_events: u32,
+        bits: [(&'static str, u64); 5],
+    }
+    let pins = [
+        Pin {
+            name: "strict-priority",
+            completed: 48,
+            shed: 0,
+            scale_events: 0,
+            bits: [
+                ("makespan_s", 0x3fcff5c70690f23a),
+                ("throughput_tok_s", 0x40bc69136b67c434),
+                ("decode_time_s", 0x3fea428bd63b86dd),
+                ("ttft.p99", 0x3fc419b30cbc4567),
+                ("latency.p99", 0x3fcff5c70690f23a),
+            ],
+        },
+        Pin {
+            name: "weighted-fair",
+            completed: 48,
+            shed: 0,
+            scale_events: 0,
+            bits: [
+                ("makespan_s", 0x3fcfeec1c0cd6622),
+                ("throughput_tok_s", 0x40bc6f5273a550e1),
+                ("decode_time_s", 0x3feab291262fdb9b),
+                ("ttft.p99", 0x3fc424cd164b0791),
+                ("latency.p99", 0x3fcfeec1c0cd6622),
+            ],
+        },
+        Pin {
+            name: "shedding",
+            completed: 27,
+            shed: 21,
+            scale_events: 0,
+            bits: [
+                ("makespan_s", 0x3fc3521862c39de7),
+                ("throughput_tok_s", 0x40b786259855972a),
+                ("decode_time_s", 0x3fdc3ece41c4c94b),
+                ("ttft.p99", 0x3fb03f1dfbba5c09),
+                ("latency.p99", 0x3fc3521862c39de7),
+            ],
+        },
+        Pin {
+            name: "autoscaled",
+            completed: 48,
+            shed: 0,
+            scale_events: 1,
+            bits: [
+                ("makespan_s", 0x3fdd7e60db6b85b5),
+                ("throughput_tok_s", 0x40aec9491bc921d6),
+                ("decode_time_s", 0x3fe8b470899cf4ce),
+                ("ttft.p99", 0x3fd926ca2d6d9fe0),
+                ("latency.p99", 0x3fdd7e60db6b85b5),
+            ],
+        },
+    ];
+    for core in [SimCore::EventDriven, SimCore::PerStep] {
+        let runs = [
+            base().policy(StrictPriorityPolicy::new()),
+            base().policy(WeightedFairPolicy::new()),
+            base()
+                .control(ControlPlane::new().shed(AdmissionControl::new(0, 0.9).with_window(8, 2))),
+            base().control(
+                ControlPlane::new().autoscale(
+                    AutoscaleConfig::new(1, 4)
+                        .with_watermarks(0, 3)
+                        .with_warmup(0.05),
+                ),
+            ),
+        ];
+        for (scenario, pin) in runs.into_iter().zip(&pins) {
+            let r = scenario.core(core).compile().unwrap().run().unwrap();
+            let path = format!("{}/{core:?}", pin.name);
+            if std::env::var("PIN_CAPTURE").is_ok() {
+                eprintln!(
+                    "{path}: completed {} shed {} scale_events {} makespan {:#018x} throughput {:#018x} decode_time {:#018x} ttft.p99 {:#018x} latency.p99 {:#018x}",
+                    r.report.completed,
+                    r.report.shed_requests,
+                    r.scale_events,
+                    r.report.makespan_s.to_bits(),
+                    r.report.throughput_tok_s.to_bits(),
+                    r.report.decode_time_s.to_bits(),
+                    r.report.ttft.p99.to_bits(),
+                    r.report.latency.p99.to_bits()
+                );
+                continue;
+            }
+            assert_eq!(r.report.completed, pin.completed, "{path}");
+            assert_eq!(r.report.shed_requests, pin.shed, "{path}");
+            assert_eq!(r.scale_events, pin.scale_events, "{path}");
+            let got = [
+                ("makespan_s", r.report.makespan_s),
+                ("throughput_tok_s", r.report.throughput_tok_s),
+                ("decode_time_s", r.report.decode_time_s),
+                ("ttft.p99", r.report.ttft.p99),
+                ("latency.p99", r.report.latency.p99),
             ];
             for ((name, value), &(_, want)) in got.into_iter().zip(&pin.bits) {
                 assert_eq!(
