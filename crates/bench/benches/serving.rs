@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use llm_workload::{ModelZoo, Parallelism};
 use optimus::serving::{
-    RoutingPolicy, Scenario, SharedPrefixTraceConfig, SimCore, Topology, TraceConfig,
+    DispatchMode, HandoffLink, RoutingPolicy, Scenario, SharedPrefixTraceConfig, SimCore, Topology,
+    TraceConfig,
 };
 use optimus::{InferenceEstimator, MultiBladeSystem, SpeedupStudy};
 use scd_arch::Blade;
@@ -127,9 +128,11 @@ fn bench_prefix_caching(c: &mut Criterion) {
 
 /// The core-scaling trend behind `BENCH_serving_core.json`: the event
 /// core at 10k/100k/1M diurnal requests against the per-step reference
-/// at 10k/100k. The per-step million-request point is omitted — its
-/// idle-gap scan is quadratic in trace length (minutes per iteration),
-/// which is exactly the cost the event core removes.
+/// at 10k/100k, plus the leapfrogged multi-blade event loops — 4-blade
+/// central dispatch and the 2P+2D disaggregated topology — at 10k/100k.
+/// The per-step million-request point is omitted — its idle-gap scan is
+/// quadratic in trace length (minutes per iteration), which is exactly
+/// the cost the event core removes.
 fn bench_core_trend(c: &mut Criterion) {
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64).unwrap();
@@ -151,6 +154,45 @@ fn bench_core_trend(c: &mut Criterion) {
                 b.iter(|| black_box(&compiled).run().unwrap())
             });
         }
+    }
+    // The multi-blade event loops the stretch-horizon fast-forward
+    // accelerates, mirroring the `cluster_event`/`disagg_event` rows of
+    // the committed trajectory (criterion keeps the 1M points out of the
+    // default run's time budget).
+    for requests in [10_000u32, 100_000] {
+        let central = Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(32)
+            .core(SimCore::EventDriven)
+            .topology(Topology::mixed(4))
+            .dispatch(DispatchMode::Central)
+            .trace(&diurnal_workload(requests))
+            .compile()
+            .unwrap();
+        c.bench_function(
+            &format!("serving/core_cluster_event_{requests}_requests"),
+            |b| b.iter(|| black_box(&central).run().unwrap()),
+        );
+        let disagg = Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(32)
+            .core(SimCore::EventDriven)
+            .topology(Topology::disaggregated(2, 2))
+            // Estimator-anchored scenarios carry no fabric to derive the
+            // prefill→decode link from; pin an NVLink-class one instead.
+            .handoff(HandoffLink {
+                bytes_per_s: 400e9,
+                latency_s: 5e-6,
+            })
+            .trace(&diurnal_workload(requests))
+            .compile()
+            .unwrap();
+        c.bench_function(
+            &format!("serving/core_disagg_event_{requests}_requests"),
+            |b| b.iter(|| black_box(&disagg).run().unwrap()),
+        );
     }
 }
 

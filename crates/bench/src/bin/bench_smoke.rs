@@ -1,8 +1,11 @@
 //! CI gate for the event-driven simulation core's performance: replays
-//! the 10k-request diurnal point and fails (exit 1) if the measured
-//! simulator throughput falls below 70 % of the committed
-//! `BENCH_serving_core.json` baseline's *latest* trajectory entry
-//! (legacy single-snapshot baselines gate against their only entry).
+//! the 10k-request diurnal point through the single-blade event core,
+//! the 4-blade central cluster and the 2P+2D disaggregated topology,
+//! failing (exit 1) if any measured simulator throughput falls below
+//! 70 % of the committed `BENCH_serving_core.json` baseline's *latest*
+//! trajectory entry. Baselines predating a gated scenario (e.g. legacy
+//! single-blade-only snapshots) skip that scenario's gate with a
+//! notice — the next `--bench-json` refresh starts gating it.
 //!
 //! The committed baseline is read from the path given as the first
 //! argument (default `BENCH_serving_core.json`, i.e. repo root when run
@@ -11,8 +14,16 @@
 //! which appends a snapshot keyed to the current git revision.
 
 use scd_bench::core_bench::{
-    measure_point, parse_trajectory_json, SimCore, SMOKE_FLOOR, SMOKE_REQUESTS,
+    measure_scenario, try_parse_trajectory_json, CoreScenario, SMOKE_FLOOR, SMOKE_REQUESTS,
 };
+
+/// The scenarios the smoke gate measures, each against its own
+/// baseline row.
+const GATED: [CoreScenario; 3] = [
+    CoreScenario::Event,
+    CoreScenario::ClusterEvent,
+    CoreScenario::DisaggEvent,
+];
 
 fn main() -> Result<(), optimus::OptimusError> {
     let path = std::env::args()
@@ -22,39 +33,48 @@ fn main() -> Result<(), optimus::OptimusError> {
         eprintln!("bench_smoke: cannot read baseline {path}: {e}");
         std::process::exit(1);
     });
-    let trajectory = parse_trajectory_json(&baseline_json).unwrap_or_else(|| {
-        eprintln!("bench_smoke: no snapshots parsed from {path}");
+    let trajectory = try_parse_trajectory_json(&baseline_json).unwrap_or_else(|e| {
+        eprintln!("bench_smoke: malformed baseline {path}: {e}");
         std::process::exit(1);
     });
     let latest = trajectory.last().expect("parse yields at least one entry");
-    let Some(baseline) = latest
-        .rows
-        .iter()
-        .find(|r| r.scenario == "event" && r.requests == SMOKE_REQUESTS)
-    else {
-        eprintln!(
-            "bench_smoke: baseline {} lacks the event/{SMOKE_REQUESTS} row",
-            latest.git_rev
-        );
-        std::process::exit(1);
-    };
 
-    let measured = measure_point(SimCore::EventDriven, SMOKE_REQUESTS)?;
-    let floor = SMOKE_FLOOR * baseline.req_per_s;
-    println!(
-        "bench_smoke: event core, {SMOKE_REQUESTS} requests: {:.0} req/s \
-         (baseline {:.0} at {}, floor {floor:.0}; {} snapshot(s) on the trajectory)",
-        measured.req_per_s,
-        baseline.req_per_s,
-        latest.git_rev,
-        trajectory.len()
-    );
-    if measured.req_per_s < floor {
-        eprintln!(
-            "bench_smoke: FAIL — {:.0} req/s is below {:.0}% of the committed baseline",
+    let mut failed = false;
+    for scenario in GATED {
+        let label = scenario.label();
+        let Some(baseline) = latest
+            .rows
+            .iter()
+            .find(|r| r.scenario == label && r.requests == SMOKE_REQUESTS)
+        else {
+            println!(
+                "bench_smoke: baseline {} predates the {label}/{SMOKE_REQUESTS} row; \
+                 skipping that gate (refresh with --bench-json to arm it)",
+                latest.git_rev
+            );
+            continue;
+        };
+        let measured = measure_scenario(scenario, SMOKE_REQUESTS)?;
+        let floor = SMOKE_FLOOR * baseline.req_per_s;
+        println!(
+            "bench_smoke: {label}, {SMOKE_REQUESTS} requests: {:.0} req/s \
+             (baseline {:.0} at {}, floor {floor:.0}; {} snapshot(s) on the trajectory)",
             measured.req_per_s,
-            SMOKE_FLOOR * 100.0
+            baseline.req_per_s,
+            latest.git_rev,
+            trajectory.len()
         );
+        if measured.req_per_s < floor {
+            eprintln!(
+                "bench_smoke: FAIL — {label} at {:.0} req/s is below {:.0}% of the \
+                 committed baseline",
+                measured.req_per_s,
+                SMOKE_FLOOR * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("bench_smoke: PASS");

@@ -19,11 +19,12 @@
 //! entry. Legacy single-snapshot baselines still parse as a one-entry
 //! trajectory.
 
+use std::fmt;
 use std::time::Instant;
 
 use llm_workload::model::ModelZoo;
 use llm_workload::parallelism::Parallelism;
-use optimus::serving::{DiurnalTraceConfig, Scenario};
+use optimus::serving::{DispatchMode, DiurnalTraceConfig, HandoffLink, Scenario, Topology};
 use optimus::{OptimusError, SpeedupStudy};
 
 pub use optimus::serving::SimCore;
@@ -70,23 +71,67 @@ pub fn diurnal_workload(requests: u32) -> DiurnalTraceConfig {
     }
 }
 
-/// Replays the diurnal workload once through `core` and returns the
+/// One measured scenario of the core-scaling study: the single-blade
+/// cores from PR 6, plus the multi-blade event loops whose stretch
+/// batching this study pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreScenario {
+    /// Single blade, event-driven core.
+    Event,
+    /// Single blade, per-step reference loop.
+    PerStep,
+    /// 4-blade central-dispatch cluster on the event core (one shared
+    /// queue, blades coupled through it).
+    ClusterEvent,
+    /// 2-prefill + 2-decode disaggregated topology on the event core.
+    DisaggEvent,
+}
+
+impl CoreScenario {
+    /// The `scenario` label the JSON rows carry.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Event => "event",
+            Self::PerStep => "per_step",
+            Self::ClusterEvent => "cluster_event",
+            Self::DisaggEvent => "disagg_event",
+        }
+    }
+}
+
+/// Replays the diurnal workload once through `scenario` and returns the
 /// wall-clock milliseconds of the replay alone (trace synthesis and
 /// scenario compilation excluded).
 ///
 /// # Errors
 ///
 /// Propagates trace-synthesis and simulation failures.
-pub fn replay_wall_ms(core: SimCore, requests: u32) -> Result<f64, OptimusError> {
+pub fn scenario_wall_ms(scenario: CoreScenario, requests: u32) -> Result<f64, OptimusError> {
     let model = ModelZoo::llama_405b();
     let par = Parallelism::pure_tp(64)?;
-    let compiled = Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+    let mut builder = Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
         .model(&model)
         .parallelism(&par)
-        .max_batch(32)
-        .core(core)
-        .trace(&diurnal_workload(requests))
-        .compile()?;
+        .max_batch(32);
+    builder = match scenario {
+        CoreScenario::Event => builder.core(SimCore::EventDriven),
+        CoreScenario::PerStep => builder.core(SimCore::PerStep),
+        CoreScenario::ClusterEvent => builder
+            .core(SimCore::EventDriven)
+            .topology(Topology::mixed(4))
+            .dispatch(DispatchMode::Central),
+        CoreScenario::DisaggEvent => builder
+            .core(SimCore::EventDriven)
+            .topology(Topology::disaggregated(2, 2))
+            // Estimator-anchored scenarios carry no fabric to derive the
+            // prefill→decode link from; pin an NVLink-class one instead.
+            .handoff(HandoffLink {
+                bytes_per_s: 400e9,
+                latency_s: 5e-6,
+            }),
+    };
+    let compiled = builder.trace(&diurnal_workload(requests)).compile()?;
     let started = Instant::now();
     let report = compiled.run()?;
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -97,45 +142,81 @@ pub fn replay_wall_ms(core: SimCore, requests: u32) -> Result<f64, OptimusError>
     Ok(wall_ms)
 }
 
-/// Measures one `(core, requests)` point, best of [`BENCH_PASSES`].
+/// Replays the diurnal workload once through a single-blade `core` —
+/// the PR 6 entry point, kept for callers that sweep the two cores.
+///
+/// # Errors
+///
+/// Propagates trace-synthesis and simulation failures.
+pub fn replay_wall_ms(core: SimCore, requests: u32) -> Result<f64, OptimusError> {
+    scenario_wall_ms(
+        match core {
+            SimCore::EventDriven => CoreScenario::Event,
+            SimCore::PerStep => CoreScenario::PerStep,
+        },
+        requests,
+    )
+}
+
+/// Measures one `(scenario, requests)` point, best of [`BENCH_PASSES`].
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn measure_point(core: SimCore, requests: u32) -> Result<CoreBenchRow, OptimusError> {
+pub fn measure_scenario(
+    scenario: CoreScenario,
+    requests: u32,
+) -> Result<CoreBenchRow, OptimusError> {
     let mut best = f64::MAX;
     for _ in 0..BENCH_PASSES {
-        best = best.min(replay_wall_ms(core, requests)?);
+        best = best.min(scenario_wall_ms(scenario, requests)?);
     }
     Ok(CoreBenchRow {
-        scenario: match core {
-            SimCore::EventDriven => "event".to_owned(),
-            SimCore::PerStep => "per_step".to_owned(),
-        },
+        scenario: scenario.label().to_owned(),
         requests,
         wall_ms: best,
         req_per_s: f64::from(requests) / (best / 1e3),
     })
 }
 
-/// The full scaling study: the event core at 10k/100k/1M requests and
-/// the per-step reference at 10k/100k. The per-step loop is left out of
+/// Measures one single-blade `(core, requests)` point, best of
+/// [`BENCH_PASSES`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn measure_point(core: SimCore, requests: u32) -> Result<CoreBenchRow, OptimusError> {
+    measure_scenario(
+        match core {
+            SimCore::EventDriven => CoreScenario::Event,
+            SimCore::PerStep => CoreScenario::PerStep,
+        },
+        requests,
+    )
+}
+
+/// The full scaling study: the event core — single-blade, 4-blade
+/// central and 2P+2D disaggregated — at 10k/100k/1M requests and the
+/// per-step reference at 10k/100k. The per-step loop is left out of
 /// the million-request point on purpose — its idle-gap scan is
 /// quadratic in trace length, which is precisely the behaviour the
-/// event core removes; the 10k/100k pairs pin the speedup trend.
+/// event core removes; the 10k/100k pairs pin the speedup trend (the
+/// 1M speedup is an extrapolation, flagged as such wherever quoted).
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
 pub fn core_scaling_study() -> Result<Vec<CoreBenchRow>, OptimusError> {
-    let points: [(SimCore, &[u32]); 2] = [
-        (SimCore::EventDriven, &[10_000, 100_000, 1_000_000]),
-        (SimCore::PerStep, &[10_000, 100_000]),
+    let points: [(CoreScenario, &[u32]); 4] = [
+        (CoreScenario::Event, &[10_000, 100_000, 1_000_000]),
+        (CoreScenario::PerStep, &[10_000, 100_000]),
+        (CoreScenario::ClusterEvent, &[10_000, 100_000, 1_000_000]),
+        (CoreScenario::DisaggEvent, &[10_000, 100_000, 1_000_000]),
     ];
     let mut rows = Vec::new();
-    for (core, sizes) in points {
+    for (scenario, sizes) in points {
         for &requests in sizes {
-            rows.push(measure_point(core, requests)?);
+            rows.push(measure_scenario(scenario, requests)?);
         }
     }
     Ok(rows)
@@ -248,16 +329,77 @@ pub fn to_trajectory_json(trajectory: &[BenchSnapshot]) -> String {
     out
 }
 
+/// Why a committed `BENCH_serving_core.json` baseline failed to parse.
+/// The variants name the offending snapshot (and field, for row errors)
+/// so a CI failure message points at the corruption instead of a bare
+/// "no baseline" — and so a half-mangled trajectory is a loud error
+/// rather than a silently truncated one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchParseError {
+    /// No `"git_rev"` key anywhere: not a bench baseline at all.
+    NoSnapshots,
+    /// Snapshot `snapshot` (0-based, oldest first) has a `git_rev` key
+    /// without a parseable string value.
+    MalformedGitRev {
+        /// Index of the broken snapshot in the trajectory.
+        snapshot: usize,
+    },
+    /// The named snapshot has no `rows` array or an empty one.
+    NoRows {
+        /// `git_rev` of the row-less snapshot.
+        git_rev: String,
+    },
+    /// A row object of the named snapshot is missing (or has a
+    /// non-parseable value for) the named field.
+    MalformedRow {
+        /// `git_rev` of the snapshot holding the broken row.
+        git_rev: String,
+        /// The first missing or unparseable row field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for BenchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSnapshots => write!(f, "no bench snapshot found (missing \"git_rev\" key)"),
+            Self::MalformedGitRev { snapshot } => {
+                write!(f, "snapshot {snapshot}: unparseable git_rev value")
+            }
+            Self::NoRows { git_rev } => write!(f, "snapshot {git_rev}: no bench rows"),
+            Self::MalformedRow { git_rev, field } => {
+                write!(
+                    f,
+                    "snapshot {git_rev}: row field {field:?} missing or unparseable"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchParseError {}
+
 /// Parses a trajectory baseline, accepting both the multi-snapshot
 /// schema of [`to_trajectory_json`] and the legacy single-snapshot
 /// schema of [`to_bench_json`] (which yields a one-entry trajectory).
-/// Returns `None` when no well-formed snapshot is found, so a malformed
-/// baseline is a hard error for the caller rather than a silent pass.
-#[must_use]
-pub fn parse_trajectory_json(json: &str) -> Option<Vec<BenchSnapshot>> {
+///
+/// Snapshots may carry different row sets: the measured scenario/size
+/// matrix has grown over the repo's history (per-step points stop at
+/// 100k requests, cluster and disaggregated rows only exist from the
+/// stretch-batching revision on), so no cross-snapshot shape check is
+/// applied — each snapshot stands alone.
+///
+/// # Errors
+///
+/// Returns a [`BenchParseError`] naming the first malformed snapshot or
+/// row rather than silently truncating the trajectory there.
+pub fn try_parse_trajectory_json(json: &str) -> Result<Vec<BenchSnapshot>, BenchParseError> {
     // Every snapshot — legacy or not — leads with its "git_rev" key, so
     // the text between consecutive "git_rev" keys is one snapshot.
     let starts: Vec<usize> = json.match_indices("\"git_rev\"").map(|(i, _)| i).collect();
+    if starts.is_empty() {
+        return Err(BenchParseError::NoSnapshots);
+    }
     let mut trajectory = Vec::new();
     for (k, &start) in starts.iter().enumerate() {
         let end = starts.get(k + 1).copied().unwrap_or(json.len());
@@ -265,18 +407,25 @@ pub fn parse_trajectory_json(json: &str) -> Option<Vec<BenchSnapshot>> {
         // Stop at the snapshot's own closing `]` so the row parser never
         // sees the next snapshot's opening brace (rows contain no `]`).
         let chunk = chunk.find(']').map_or(chunk, |i| &chunk[..i]);
-        let tail = &chunk[chunk.find(':')? + 1..];
-        let tail = &tail[tail.find('"')? + 1..];
+        let git_rev = (|| {
+            let tail = &chunk[chunk.find(':')? + 1..];
+            let tail = &tail[tail.find('"')? + 1..];
+            Some(tail[..tail.find('"')?].to_owned())
+        })()
+        .ok_or(BenchParseError::MalformedGitRev { snapshot: k })?;
         trajectory.push(BenchSnapshot {
-            git_rev: tail[..tail.find('"')?].to_owned(),
-            rows: parse_bench_json(chunk)?,
+            rows: try_parse_bench_rows(chunk, &git_rev)?,
+            git_rev,
         });
     }
-    if trajectory.is_empty() {
-        None
-    } else {
-        Some(trajectory)
-    }
+    Ok(trajectory)
+}
+
+/// [`try_parse_trajectory_json`] with the error collapsed to `None` —
+/// for callers that only care whether a usable baseline exists.
+#[must_use]
+pub fn parse_trajectory_json(json: &str) -> Option<Vec<BenchSnapshot>> {
+    try_parse_trajectory_json(json).ok()
 }
 
 /// Appends a freshly measured snapshot to the committed trajectory
@@ -301,11 +450,9 @@ pub fn append_snapshot(
 }
 
 /// Parses rows back out of [`to_bench_json`] output (or any JSON that
-/// keeps each row object on one line with the same four keys). Returns
-/// `None` when no well-formed row is found — the caller treats a
-/// malformed baseline as a hard error rather than silently passing.
-#[must_use]
-pub fn parse_bench_json(json: &str) -> Option<Vec<CoreBenchRow>> {
+/// keeps each row object on one line with the same four keys),
+/// reporting the first broken row as a typed error.
+fn try_parse_bench_rows(json: &str, git_rev: &str) -> Result<Vec<CoreBenchRow>, BenchParseError> {
     fn str_field(obj: &str, key: &str) -> Option<String> {
         let tail = &obj[obj.find(&format!("\"{key}\""))? + key.len() + 2..];
         let tail = &tail[tail.find('"')? + 1..];
@@ -319,22 +466,37 @@ pub fn parse_bench_json(json: &str) -> Option<Vec<CoreBenchRow>> {
             .unwrap_or(tail.len());
         tail[..end].parse().ok()
     }
-    let rows_block = &json[json.find("\"rows\"")?..];
+    let no_rows = || BenchParseError::NoRows {
+        git_rev: git_rev.to_owned(),
+    };
+    let bad_row = |field: &'static str| BenchParseError::MalformedRow {
+        git_rev: git_rev.to_owned(),
+        field,
+    };
+    let rows_block = &json[json.find("\"rows\"").ok_or_else(no_rows)?..];
     let mut rows = Vec::new();
     for obj in rows_block.split('{').skip(1) {
-        let obj = obj.split('}').next()?;
+        let obj = obj.split('}').next().ok_or_else(|| bad_row("}"))?;
         rows.push(CoreBenchRow {
-            scenario: str_field(obj, "scenario")?,
-            requests: num_field(obj, "requests")? as u32,
-            wall_ms: num_field(obj, "wall_ms")?,
-            req_per_s: num_field(obj, "req_per_s")?,
+            scenario: str_field(obj, "scenario").ok_or_else(|| bad_row("scenario"))?,
+            requests: num_field(obj, "requests").ok_or_else(|| bad_row("requests"))? as u32,
+            wall_ms: num_field(obj, "wall_ms").ok_or_else(|| bad_row("wall_ms"))?,
+            req_per_s: num_field(obj, "req_per_s").ok_or_else(|| bad_row("req_per_s"))?,
         });
     }
     if rows.is_empty() {
-        None
+        Err(no_rows())
     } else {
-        Some(rows)
+        Ok(rows)
     }
+}
+
+/// Parses the rows of a standalone single-snapshot document, with any
+/// parse error collapsed to `None` — the legacy entry point
+/// ([`try_parse_trajectory_json`] reports *which* field broke).
+#[must_use]
+pub fn parse_bench_json(json: &str) -> Option<Vec<CoreBenchRow>> {
+    try_parse_bench_rows(json, "unknown").ok()
 }
 
 #[cfg(test)]
@@ -373,6 +535,85 @@ mod tests {
         );
         assert_eq!(parse_trajectory_json(""), None);
         assert_eq!(parse_trajectory_json("{\"study\": \"x\"}"), None);
+    }
+
+    #[test]
+    fn typed_errors_name_the_corruption() {
+        assert_eq!(
+            try_parse_trajectory_json(""),
+            Err(BenchParseError::NoSnapshots)
+        );
+        assert_eq!(
+            try_parse_trajectory_json("{\"git_rev\": \"abc\"}"),
+            Err(BenchParseError::NoRows {
+                git_rev: "abc".to_owned()
+            })
+        );
+        let missing_wall =
+            "{\"git_rev\": \"abc\", \"rows\": [{\"scenario\": \"event\", \"requests\": 10}]}";
+        assert_eq!(
+            try_parse_trajectory_json(missing_wall),
+            Err(BenchParseError::MalformedRow {
+                git_rev: "abc".to_owned(),
+                field: "wall_ms"
+            })
+        );
+        // A broken later snapshot is an error, not a truncated parse.
+        let good = append_snapshot(None, sample_rows(1e6), "aaaa");
+        let mangled = format!("{good}{{\"git_rev\": \"bbbb\"}}");
+        assert_eq!(
+            try_parse_trajectory_json(&mangled),
+            Err(BenchParseError::NoRows {
+                git_rev: "bbbb".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn snapshots_may_carry_different_row_sets() {
+        // The measured matrix grew across history: an old snapshot with
+        // only the single-blade pair and a new one that adds cluster
+        // and disaggregated rows coexist in one trajectory.
+        let old_rows = vec![
+            CoreBenchRow {
+                scenario: "event".to_owned(),
+                requests: 10_000,
+                wall_ms: 10.0,
+                req_per_s: 1e6,
+            },
+            CoreBenchRow {
+                scenario: "per_step".to_owned(),
+                requests: 1_000_000,
+                wall_ms: 9e5,
+                req_per_s: 1.1e3,
+            },
+        ];
+        let new_rows = vec![
+            CoreBenchRow {
+                scenario: "event".to_owned(),
+                requests: 10_000,
+                wall_ms: 9.0,
+                req_per_s: 1.1e6,
+            },
+            CoreBenchRow {
+                scenario: "cluster_event".to_owned(),
+                requests: 100_000,
+                wall_ms: 100.0,
+                req_per_s: 1e6,
+            },
+            CoreBenchRow {
+                scenario: "disagg_event".to_owned(),
+                requests: 100_000,
+                wall_ms: 90.0,
+                req_per_s: 1.1e6,
+            },
+        ];
+        let v1 = append_snapshot(None, old_rows.clone(), "aaaa");
+        let v2 = append_snapshot(Some(&v1), new_rows.clone(), "bbbb");
+        let parsed = try_parse_trajectory_json(&v2).expect("mixed-shape parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].rows, old_rows);
+        assert_eq!(parsed[1].rows, new_rows);
     }
 
     fn sample_rows(req_per_s: f64) -> Vec<CoreBenchRow> {

@@ -17,10 +17,14 @@
 //! the utilization skew that separates good routing from bad.
 
 use super::control::{AutoscaleConfig, ControlState, ScaleState};
+use super::engine::EngineCtx;
 use super::engine::{
     finalize, BladeState, CostTable, Outcome, ReplayTotals, ServingSimulator, SimCore,
 };
-use super::events::{CentralKeyedQueue, ReadyWindow, TrackedQueue};
+use super::events::{
+    leapfrog_decode, CentralKeyedQueue, DecodeStretch, LeapfrogMember, ReadyWindow, StretchHorizon,
+    TrackedQueue,
+};
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::OrderingContract;
 use super::report::ServingReport;
@@ -298,9 +302,37 @@ pub struct BladeLoad {
     pub shared_kv_peak_bytes: f64,
 }
 
+/// Decode-stretch effectiveness counters, aggregated over every blade
+/// of a cluster replay. Diagnostics for the event core's fast-forward
+/// paths: the per-step core plans no stretches, so its reports carry
+/// zeros here, and [`ClusterReport`]'s equality deliberately ignores
+/// this field (the equivalence suite compares reports across cores).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StretchStats {
+    /// Closed-form stretch segments planned and advanced (each covers
+    /// one constant-cost run of skipped per-step rounds on one blade).
+    pub stretches: u64,
+    /// Decode iterations advanced inside stretch segments.
+    pub stretched_iterations: u64,
+    /// Decode iterations run as ordinary one-round steps.
+    pub single_steps: u64,
+}
+
+impl StretchStats {
+    /// Mean iterations per stretch segment (0 when none were planned).
+    #[must_use]
+    pub fn mean_stretch_len(&self) -> f64 {
+        if self.stretches == 0 {
+            0.0
+        } else {
+            self.stretched_iterations as f64 / self.stretches as f64
+        }
+    }
+}
+
 /// Outcome of a cluster replay: the merged single-system view plus the
 /// per-blade breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterReport {
     /// Blades in the cluster.
     pub blades: u32,
@@ -318,6 +350,25 @@ pub struct ClusterReport {
     /// Highest active blade count reached (`blades` without an
     /// autoscaler).
     pub peak_blades: u32,
+    /// Decode-stretch fast-forward diagnostics (all zero under the
+    /// per-step core; excluded from equality so cross-core equivalence
+    /// compares only simulated results).
+    #[serde(default)]
+    pub stretch: StretchStats,
+}
+
+/// Everything except [`Self::stretch`]: the stretch counters describe
+/// how the event core got to the result, not the result itself, and
+/// the cross-core equivalence suite asserts report equality.
+impl PartialEq for ClusterReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.blades == other.blades
+            && self.report == other.report
+            && self.per_blade == other.per_blade
+            && self.utilization_skew == other.utilization_skew
+            && self.scale_events == other.scale_events
+            && self.peak_blades == other.peak_blades
+    }
 }
 
 impl fmt::Display for ClusterReport {
@@ -420,8 +471,11 @@ impl<'a> ClusterSimulator<'a> {
     /// Replays the same trace under several cluster configurations —
     /// routing/dispatch/blade-count sweeps — building the iteration-cost
     /// table once (it depends only on the per-blade engine and the trace,
-    /// not on the cluster shape). Each report is bit-identical to a
-    /// standalone [`Self::replay`] with that configuration.
+    /// not on the cluster shape) and replaying the variants on rayon
+    /// workers. Each variant's replay is deterministic and shares no
+    /// mutable state with the others, so each report is bit-identical to
+    /// a standalone [`Self::replay`] with that configuration and to
+    /// [`Self::replay_each_serial`].
     ///
     /// # Errors
     ///
@@ -434,10 +488,31 @@ impl<'a> ClusterSimulator<'a> {
     ) -> Result<Vec<ClusterReport>, OptimusError> {
         let table = self.sim.cost_table(trace, true)?;
         configs
-            .iter()
+            .par_iter()
             .map(|&cluster| {
                 validate_cluster(&cluster)?;
                 self.run_with(cluster, trace, &table, true, &mut NoopObserver)
+            })
+            .collect()
+    }
+
+    /// Serial reference implementation of [`Self::replay_each`], kept as
+    /// the ground truth for the rayon-equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::replay_each`].
+    pub fn replay_each_serial(
+        &self,
+        trace: &[RequestSpec],
+        configs: &[ClusterConfig],
+    ) -> Result<Vec<ClusterReport>, OptimusError> {
+        let table = self.sim.cost_table(trace, false)?;
+        configs
+            .iter()
+            .map(|&cluster| {
+                validate_cluster(&cluster)?;
+                self.run_with(cluster, trace, &table, false, &mut NoopObserver)
             })
             .collect()
     }
@@ -732,6 +807,10 @@ impl<'a> ClusterSimulator<'a> {
         let mut in_queue = vec![true; trace.len()];
         let mut is_victim = vec![false; trace.len()];
         let mut victims_in_queue = 0usize;
+        let mut victim_list: Vec<usize> = Vec::new();
+        // The queue starts arrival-ordered: its ready times, in order,
+        // are the sorted arrival axis the stretch horizon binary-searches.
+        let sorted_arrivals: Vec<f64> = queue.iter().map(|&i| ready[i]).collect();
         let mut window = ReadyWindow::new();
         for &i in &queue {
             window.push(ready[i], i);
@@ -809,14 +888,42 @@ impl<'a> ClusterSimulator<'a> {
                 if !is_victim[v] {
                     is_victim[v] = true;
                     victims_in_queue += 1;
+                    if victim_list.len() >= (2 * victims_in_queue).max(8) {
+                        victim_list.retain(|&i| is_victim[i]);
+                    }
+                    victim_list.push(v);
                 }
                 window.push(ready[v], v);
             }
+            let mut scaler_depth = 0usize;
             if let Some(sc) = scale.as_deref_mut() {
                 let now = states[b].clock;
-                let depth = queue.iter().filter(|&&i| ready[i] <= now).count();
-                autoscale_round(sc, &mut states, now, depth, obs);
+                scaler_depth = queue.iter().filter(|&&i| ready[i] <= now).count();
+                autoscale_round(sc, &mut states, now, scaler_depth, obs);
             }
+            // Fast-forward the stepped blade through its pure-decode
+            // future up to the cluster-wide stretch horizon. Only FCFS
+            // rounds with blocked victims partition observably here —
+            // clock-dependent policies re-sort from scratch each round,
+            // erasing any skipped partition (their history-independence
+            // contract), and StaticKey policies use the keyed loop.
+            let next_ready = window.min(&in_queue, &ready).unwrap_or(f64::MAX);
+            central_decode_stretch(
+                &ctx,
+                trace,
+                &mut states,
+                b,
+                queue.is_empty(),
+                next_ready,
+                fcfs && victims_in_queue > 0,
+                scale.as_deref(),
+                scaler_depth,
+                &sorted_arrivals,
+                &victim_list,
+                &is_victim,
+                &ready,
+                obs,
+            );
         }
         (states, outcomes, ctl)
     }
@@ -850,11 +957,12 @@ impl<'a> ClusterSimulator<'a> {
         let blades = cluster.blades as usize;
         let ctx = self.sim.ctx(table);
         let mut ctl = self.sim.control_state(trace.len());
-        let mut queue = CentralKeyedQueue::new(
-            self.sim.policy(),
-            trace,
-            ServingSimulator::arrival_queue(trace),
-        );
+        let arrival_order = ServingSimulator::arrival_queue(trace);
+        // Capture the sorted arrival axis before the keyed queue consumes
+        // the arrival-ordered index list (traces themselves may arrive
+        // unsorted; `arrival_queue` is what sorts them).
+        let sorted_arrivals: Vec<f64> = arrival_order.iter().map(|&i| trace[i].arrival_s).collect();
+        let mut queue = CentralKeyedQueue::new(self.sim.policy(), trace, arrival_order);
         let mut outcomes = vec![Outcome::default(); trace.len()];
         let mut states: Vec<BladeState> = (0..blades)
             .map(|b| BladeState::new(b as u32, 0.0, self.sim.config().prefix))
@@ -863,6 +971,7 @@ impl<'a> ClusterSimulator<'a> {
         let mut in_queue = vec![true; trace.len()];
         let mut is_victim = vec![false; trace.len()];
         let mut victims_in_queue = 0usize;
+        let mut victim_list: Vec<usize> = Vec::new();
         let mut window = ReadyWindow::new();
         for (i, &at) in ready.iter().enumerate() {
             window.push(at, i);
@@ -925,15 +1034,41 @@ impl<'a> ClusterSimulator<'a> {
                 if !is_victim[v] {
                     is_victim[v] = true;
                     victims_in_queue += 1;
+                    if victim_list.len() >= (2 * victims_in_queue).max(8) {
+                        victim_list.retain(|&i| is_victim[i]);
+                    }
+                    victim_list.push(v);
                 }
                 window.push(ready[v], v);
             }
             queue.restore_blocked();
+            let mut scaler_depth = 0usize;
             if let Some(sc) = scale.as_deref_mut() {
                 let now = states[b].clock;
-                let depth = queue.ready_depth(&ready, now);
-                autoscale_round(sc, &mut states, now, depth, obs);
+                scaler_depth = queue.ready_depth(&ready, now);
+                autoscale_round(sc, &mut states, now, scaler_depth, obs);
             }
+            // Any ordering policy may run here (this loop serves
+            // StaticKey dispatch), so blocked victims always partition
+            // observably: their extraction depends on the stepping
+            // blade's clock relative to each victim's re-entry time.
+            let next_ready = window.min(&in_queue, &ready).unwrap_or(f64::MAX);
+            central_decode_stretch(
+                &ctx,
+                trace,
+                &mut states,
+                b,
+                queue.is_empty(),
+                next_ready,
+                victims_in_queue > 0,
+                scale.as_deref(),
+                scaler_depth,
+                &sorted_arrivals,
+                &victim_list,
+                &is_victim,
+                &ready,
+                obs,
+            );
         }
         (states, outcomes, ctl)
     }
@@ -960,6 +1095,237 @@ fn autoscale_round(
         }
         obs.on_scale(now, from, to);
     }
+}
+
+/// The earliest instant after `clock` at which any queued request's
+/// eligibility can change: the next arrival anywhere in the trace
+/// (requests already departed arrived in the past, so the global
+/// arrival successor is never *later* than the queue's own — an early
+/// bound only truncates stretches, never extends them) or the earliest
+/// future victim re-entry. While the stepped blade's clock stays below
+/// this instant, the eligibility partition and the autoscaler's
+/// ready-depth signal are provably frozen.
+fn next_ready_transition(
+    clock: f64,
+    sorted_arrivals: &[f64],
+    victim_list: &[usize],
+    is_victim: &[bool],
+    ready: &[f64],
+) -> f64 {
+    let p = sorted_arrivals.partition_point(|&a| a <= clock);
+    let mut e = sorted_arrivals.get(p).copied().unwrap_or(f64::INFINITY);
+    for &v in victim_list {
+        if is_victim[v] && ready[v] > clock {
+            e = e.min(ready[v]);
+        }
+    }
+    e
+}
+
+/// Fast-forwards blade `b` of a central-dispatch loop through its
+/// pure-decode future, bounded by the cluster-wide stretch horizon:
+///
+/// * **Blade race** (start gate): every other active blade's next action
+///   instant — its clock while it holds running work, else the moment
+///   the shared queue could hand it an admission. Ties break the stretch
+///   (the round loop resolves them by blade index).
+/// * **Own admission** (start gate): with a batch slot open, the
+///   earliest queued ready time; a full batch admits nothing, so the
+///   queue only gates through the partition bound below.
+/// * **Eligibility partition** (start gate, `partition_needs_e`): when
+///   skipped rounds would re-partition the queue observably (FCFS with
+///   blocked victims in the deque loop, victim demotion in the keyed
+///   loop), the stretch stops at the next ready-time transition, which
+///   freezes the partition across every skipped round.
+/// * **Autoscaler** (end gates): evaluations fire at round *end* clocks.
+///   An armed scaler (watermark branch would fire at the frozen
+///   depth/idleness) bounds the stretch by its exact cooldown-expiry
+///   predicate — or forbids it entirely when already out of cooldown;
+///   a disarmed one is a no-op until the depth can change, i.e. until
+///   the same ready-time transition.
+///
+/// Shedding needs no bound of its own: the gate's state moves only on
+/// strict-class completions (the stretch plan ends before any
+/// completion) and sheds fire only at admission instants (excluded by
+/// the start gates above).
+#[allow(clippy::too_many_arguments)] // one call site per central loop
+fn central_decode_stretch(
+    ctx: &EngineCtx<'_>,
+    trace: &[RequestSpec],
+    states: &mut [BladeState],
+    b: usize,
+    queue_empty: bool,
+    next_ready: f64,
+    partition_needs_e: bool,
+    scale: Option<&ScaleState>,
+    scaler_depth: usize,
+    sorted_arrivals: &[f64],
+    victim_list: &[usize],
+    is_victim: &[bool],
+    ready: &[f64],
+    obs: &mut dyn SimObserver,
+) {
+    if scale.is_none() {
+        // Without an autoscaler every blade can leapfrog at once: the
+        // skipped rounds are replayed in exact per-step order, so no
+        // conservative blade-race gate is needed. (The autoscaler path
+        // below stretches only the just-stepped blade: its frozen
+        // depth/idleness signal is sampled at that blade's clock and
+        // does not transfer to members whose clocks trail it.)
+        central_leapfrog(
+            ctx,
+            trace,
+            states,
+            queue_empty,
+            next_ready,
+            partition_needs_e,
+            sorted_arrivals,
+            victim_list,
+            is_victim,
+            ready,
+            obs,
+        );
+        return;
+    }
+    if states[b].running.is_empty() {
+        return;
+    }
+    let clock = states[b].clock;
+    let batch_full = states[b].running.len() >= ctx.config.max_batch as usize;
+    let active = scale.map_or(states.len(), |s| s.active() as usize);
+    let mut start_gate = f64::INFINITY;
+    for (ob, s) in states.iter().enumerate().take(active) {
+        if ob == b {
+            continue;
+        }
+        let action = if !s.running.is_empty() {
+            s.clock
+        } else if !queue_empty {
+            s.clock.max(next_ready)
+        } else {
+            continue;
+        };
+        start_gate = start_gate.min(action);
+    }
+    if !batch_full && !queue_empty {
+        start_gate = start_gate.min(next_ready);
+    }
+    if start_gate <= clock {
+        return;
+    }
+    let mut end_gate = f64::INFINITY;
+    let mut cooldown = None;
+    let need_partition_e = batch_full && partition_needs_e;
+    let mut scaler_needs_e = false;
+    if let Some(sc) = scale {
+        let top = sc.active() as usize - 1;
+        let top_idle = states[top].running.is_empty();
+        if sc.would_fire(scaler_depth, top_idle) {
+            if sc.in_cooldown(clock) {
+                cooldown = Some(sc.cooldown_guard());
+            } else {
+                // Out of cooldown and armed: the very next round end
+                // fires a scale event. No stretch.
+                return;
+            }
+        } else {
+            scaler_needs_e = true;
+        }
+    }
+    if need_partition_e || scaler_needs_e {
+        let e = next_ready_transition(clock, sorted_arrivals, victim_list, is_victim, ready);
+        if need_partition_e {
+            start_gate = start_gate.min(e);
+        }
+        if scaler_needs_e {
+            end_gate = e;
+        }
+        if start_gate <= clock {
+            return;
+        }
+    }
+    let horizon = StretchHorizon {
+        start_gate_s: start_gate,
+        end_gate_s: end_gate,
+        cooldown,
+    };
+    // Re-plan after each truncated advance: a bucket crossing changes
+    // the constant cost, and the next stretch picks up from there.
+    while let Some(stretch) = DecodeStretch::plan(ctx, trace, &states[b]) {
+        if stretch.advance(&mut states[b], &horizon, obs) == 0 {
+            break;
+        }
+    }
+}
+
+/// The scale-free central fast-forward: every running blade joins one
+/// [`leapfrog_decode`] call that replays the skipped rounds in exact
+/// per-step order. Shared gate: an idle blade's next admission instant
+/// (it could win the blade race and mutate the queue). Per-member
+/// gates: the next queued ready time while a batch slot is open (an
+/// admission round), and — batch full, when skipped partitions are
+/// observable — the next ready-time transition, measured from the
+/// minimal member clock so it lower-bounds every member's own
+/// transition (a member already past it parks, conservatively).
+#[allow(clippy::too_many_arguments)]
+fn central_leapfrog(
+    ctx: &EngineCtx<'_>,
+    trace: &[RequestSpec],
+    states: &mut [BladeState],
+    queue_empty: bool,
+    next_ready: f64,
+    partition_needs_e: bool,
+    sorted_arrivals: &[f64],
+    victim_list: &[usize],
+    is_victim: &[bool],
+    ready: &[f64],
+    obs: &mut dyn SimObserver,
+) {
+    let mut idle_gate = f64::INFINITY;
+    let mut min_clock = f64::INFINITY;
+    let mut any_full = false;
+    let mut members: Vec<(usize, bool)> = Vec::with_capacity(states.len());
+    for (b, s) in states.iter().enumerate() {
+        if s.running.is_empty() {
+            if !queue_empty {
+                idle_gate = idle_gate.min(s.clock.max(next_ready));
+            }
+            continue;
+        }
+        min_clock = min_clock.min(s.clock);
+        let full = s.running.len() >= ctx.config.max_batch as usize;
+        any_full |= full;
+        members.push((b, full));
+    }
+    if members.is_empty() || idle_gate <= min_clock {
+        return;
+    }
+    let e = if any_full && partition_needs_e {
+        next_ready_transition(min_clock, sorted_arrivals, victim_list, is_victim, ready)
+    } else {
+        f64::INFINITY
+    };
+    let members: Vec<LeapfrogMember> = members
+        .into_iter()
+        .map(|(blade, full)| LeapfrogMember {
+            blade,
+            start_gate_s: if full {
+                e
+            } else if !queue_empty {
+                next_ready
+            } else {
+                f64::INFINITY
+            },
+        })
+        .collect();
+    leapfrog_decode(
+        ctx,
+        trace,
+        states,
+        &members,
+        &StretchHorizon::until(idle_gate),
+        obs,
+    );
 }
 
 /// Merges per-blade states and outcomes into the cluster report
@@ -1009,6 +1375,9 @@ pub(crate) fn assemble(
         .iter()
         .map(|b| b.utilization)
         .fold(f64::MAX, f64::min);
+    let stretches: u64 = states.iter().map(|s| s.stretches).sum();
+    let stretched_iterations: u64 = states.iter().map(|s| s.stretched_iterations).sum();
+    let decode_iterations: u64 = states.iter().map(|s| s.decode_iterations).sum();
     ClusterReport {
         blades: states.len() as u32,
         report,
@@ -1016,6 +1385,11 @@ pub(crate) fn assemble(
         utilization_skew: max_util - min_util,
         scale_events: scale.map_or(0, ScaleState::events),
         peak_blades: scale.map_or(states.len() as u32, ScaleState::peak_active),
+        stretch: StretchStats {
+            stretches,
+            stretched_iterations,
+            single_steps: decode_iterations - stretched_iterations,
+        },
     }
 }
 
@@ -1409,6 +1783,76 @@ fn run_disaggregated_event(
                 ready[v] = states[b].clock + link.transfer_s(kv_stream_bytes(&trace[v]));
                 in_decode[v] = true;
                 window.push(ready[v], v);
+            }
+            // Fast-forward the decode pool through its pure-decode
+            // future with a leapfrog (exact per-step round order across
+            // decoders, ties broken by blade index as in `chosen`).
+            // Shared gates: the prefill tier's next action (prefill
+            // wins clock ties) and any idle decoder's next admission
+            // instant. Per-member gates: the next queued ready time
+            // while a batch slot is open, and — batch full — the next
+            // handoff delivery or victim re-stream, whose arrival
+            // observably re-partitions the pool (handoff ready times
+            // are not queue-ordered, so no policy earns the central
+            // loop's FCFS exemption). All gates are frozen across the
+            // leapfrog: nothing is admitted or evicted, and the prompt
+            // queue only moves on prefill rounds.
+            let queue_empty = decode_queue.is_empty();
+            let next_ready = window.min(&in_decode, &ready).unwrap_or(f64::MAX);
+            let mut shared_gate = f64::INFINITY;
+            if let Some((tp, _)) = prefill_action {
+                shared_gate = tp;
+            }
+            let mut min_clock = f64::INFINITY;
+            let mut any_full = false;
+            let mut pool: Vec<(usize, bool)> = Vec::with_capacity(decoders.len());
+            for &ob in &decoders {
+                let s = &states[ob];
+                if s.running.is_empty() {
+                    if !queue_empty {
+                        shared_gate = shared_gate.min(s.clock.max(next_ready));
+                    }
+                    continue;
+                }
+                min_clock = min_clock.min(s.clock);
+                let full = s.running.len() >= ctx.config.max_batch as usize;
+                any_full |= full;
+                pool.push((ob, full));
+            }
+            if !pool.is_empty() && shared_gate > min_clock {
+                // The delivery transition is measured from the minimal
+                // member clock so it lower-bounds every member's own;
+                // a member already past it parks, conservatively.
+                let e = if any_full {
+                    decode_queue
+                        .iter()
+                        .map(|&i| ready[i])
+                        .filter(|&t| t > min_clock)
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    f64::INFINITY
+                };
+                let members: Vec<LeapfrogMember> = pool
+                    .into_iter()
+                    .map(|(blade, full)| LeapfrogMember {
+                        blade,
+                        start_gate_s: if full {
+                            e
+                        } else if !queue_empty {
+                            next_ready
+                        } else {
+                            f64::INFINITY
+                        },
+                    })
+                    .collect();
+                leapfrog_decode(
+                    &ctx,
+                    trace,
+                    &mut states,
+                    &members,
+                    &StretchHorizon::until(shared_gate),
+                    obs,
+                );
             }
         }
     }

@@ -407,6 +407,34 @@ impl ScaleState {
         self.cfg.warmup_s
     }
 
+    /// The exact cooldown predicate [`Self::evaluate`] opens with: while
+    /// it holds, an evaluation at `now` returns `None` with no side
+    /// effects. The decode-stretch planner uses it to prove skipped
+    /// end-of-round evaluations unobservable.
+    pub(crate) fn in_cooldown(&self, now: f64) -> bool {
+        now - self.last_event_s < self.cfg.cooldown_s
+    }
+
+    /// The `(last_event_s, cooldown_s)` pair behind
+    /// [`Self::in_cooldown`], exported so a decode stretch can re-apply
+    /// the predicate per iteration without holding `&self`.
+    pub(crate) fn cooldown_guard(&self) -> (f64, f64) {
+        (self.last_event_s, self.cfg.cooldown_s)
+    }
+
+    /// Whether an out-of-cooldown evaluation with this depth/idleness
+    /// would change the active count — the watermark branches of
+    /// [`Self::evaluate`] verbatim, without the side effects. While this
+    /// is `false` and `(ready_depth, top_blade_idle, active)` provably
+    /// cannot change, evaluations are no-ops regardless of cooldown.
+    pub(crate) fn would_fire(&self, ready_depth: usize, top_blade_idle: bool) -> bool {
+        let depth = ready_depth as u64;
+        (depth >= u64::from(self.cfg.high_watermark) && self.active < self.cfg.max_blades)
+            || (depth <= u64::from(self.cfg.low_watermark)
+                && self.active > self.cfg.min_blades
+                && top_blade_idle)
+    }
+
     /// One watermark evaluation at time `now` with `ready_depth` queued
     /// requests ready to run; `top_blade_idle` reports whether the
     /// highest-indexed active blade holds no running work (the only one

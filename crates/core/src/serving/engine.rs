@@ -9,7 +9,7 @@
 //! `serving_regression` suite pins the exact float bit patterns.
 
 use super::control::{AdmissionControl, ControlState};
-use super::events::{AdmissionQueue, Gate, SchedQueue};
+use super::events::{AdmissionQueue, DecodeStretch, Gate, SchedQueue, StretchHorizon};
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
@@ -280,6 +280,11 @@ impl CostTable {
         self.prefill[idx - 1]
     }
 
+    /// Bucket width of the KV/prompt length axes.
+    pub(crate) fn bucket(&self) -> u32 {
+        self.bucket
+    }
+
     /// Largest batch the table covers.
     pub(crate) fn max_batch(&self) -> u32 {
         (self.decode.len() / self.max_kv_idx) as u32
@@ -360,6 +365,12 @@ pub(crate) struct BladeState {
     pub(crate) cow_copies: u64,
     pub(crate) cache_evictions: u64,
     pub(crate) shared_peak_tokens: u64,
+    /// Closed-form decode stretches taken (event core only; diagnostics,
+    /// never compared across cores).
+    pub(crate) stretches: u64,
+    /// Decode iterations advanced inside those stretches (the remainder
+    /// of `decode_iterations` ran as individual engine steps).
+    pub(crate) stretched_iterations: u64,
 }
 
 impl BladeState {
@@ -423,6 +434,8 @@ impl BladeState {
             cow_copies: 0,
             cache_evictions: 0,
             shared_peak_tokens: 0,
+            stretches: 0,
+            stretched_iterations: 0,
         }
     }
 }
@@ -447,7 +460,7 @@ struct Admission {
 }
 
 impl EngineCtx<'_> {
-    fn kv_bytes(&self, tokens_charged: u64) -> f64 {
+    pub(crate) fn kv_bytes(&self, tokens_charged: u64) -> f64 {
         tokens_charged as f64 * self.kv_bytes_per_token
     }
 
@@ -456,7 +469,7 @@ impl EngineCtx<'_> {
     /// hold their reserved prompt only). Tokens resident in shared prefix
     /// blocks are excluded — they are charged once per blade, via
     /// [`Self::cache_charged`].
-    fn charge(&self, r: &RunningSeq) -> u64 {
+    pub(crate) fn charge(&self, r: &RunningSeq) -> u64 {
         let growth = u64::from(r.prefill_remaining == 0);
         self.config
             .kv_layout
@@ -466,7 +479,7 @@ impl EngineCtx<'_> {
     /// Capacity charged by `blade`'s resident shared blocks (0 with
     /// prefix caching off — keeping every legacy comparison on the exact
     /// integer value it always used).
-    fn cache_charged(&self, blade: &BladeState) -> u64 {
+    pub(crate) fn cache_charged(&self, blade: &BladeState) -> u64 {
         match (&blade.cache, self.config.prefix) {
             (Some(cache), Some(pc)) => cache.charged_tokens(pc.block_tokens),
             _ => 0,
@@ -1003,6 +1016,11 @@ impl EngineCtx<'_> {
     /// preemption, no cost-bucket crossing — replicating the per-step
     /// loop's float operations exactly. Returns the iterations advanced;
     /// 0 means the caller must fall back to a full `step`.
+    ///
+    /// Thin wrapper over the reusable planner in [`super::events`]: the
+    /// single-blade loop's only horizon is its own admission gate; the
+    /// cluster loops assemble richer [`StretchHorizon`]s from the same
+    /// [`DecodeStretch`].
     fn advance_decode_stretch(
         &self,
         trace: &[RequestSpec],
@@ -1010,154 +1028,13 @@ impl EngineCtx<'_> {
         gate_s: f64,
         obs: &mut dyn SimObserver,
     ) -> u64 {
-        let cfg = self.config;
-        if gate_s <= blade.clock || blade.running.is_empty() {
+        if gate_s <= blade.clock {
             return 0;
         }
-        let batch = blade.running.len() as u32;
-        // Iterations until the earliest completion would fire (that
-        // iteration stamps outcomes, so it runs per-step); sequences
-        // still prefilling or awaiting their first token also force the
-        // per-step path.
-        let mut k = u64::MAX;
-        for r in &blade.running {
-            if r.prefill_remaining != 0 || r.produced == 0 {
-                return 0;
-            }
-            k = k.min(u64::from(trace[r.idx].output_tokens - r.produced) - 1);
+        match DecodeStretch::plan(self, trace, blade) {
+            Some(stretch) => stretch.advance(blade, &StretchHorizon::until(gate_s), obs),
+            None => 0,
         }
-        if k == 0 {
-            return 0;
-        }
-        // Constant-cost bound: the table lookup only changes when a
-        // KV length crosses a bucket boundary. Under bucketized-mean
-        // pricing the mean grows by exactly one token per iteration
-        // (`ceil((s + j*b)/b) = ceil(s/b) + j`); under exact pricing
-        // each sequence's own span must stay in its bucket.
-        let bucket = u64::from(self.table.bucket);
-        let cost = match cfg.decode_pricing {
-            DecodePricing::BucketizedMean => {
-                let kv_sum: u64 = blade.running.iter().map(|r| u64::from(r.kv_len)).sum();
-                let kv_mean = kv_sum.div_ceil(u64::from(batch)) as u32;
-                let idx = u64::from(kv_mean).div_ceil(bucket).max(1);
-                k = k.min(idx * bucket - u64::from(kv_mean) + 1);
-                self.table.decode_cost(batch, kv_mean)
-            }
-            DecodePricing::ExactPerSequence => {
-                let mut total = 0.0f64;
-                for r in &blade.running {
-                    let idx = u64::from(r.kv_len).div_ceil(bucket).max(1);
-                    k = k.min(idx * bucket - u64::from(r.kv_len) + 1);
-                    total += self.table.decode_cost(batch, r.kv_len);
-                }
-                total / f64::from(batch)
-            }
-        };
-        // Zero-cost iterations would accumulate `0.0 + cost` in the
-        // per-step loop, whose bit pattern the hoisted sums below only
-        // reproduce for positive costs; NaN falls back to the per-step
-        // path too so a broken estimator degrades identically.
-        if cost <= 0.0 || cost.is_nan() {
-            return 0;
-        }
-        // No-preemption bound: the KV growth check must pass every
-        // stretched iteration, with the exact float predicate the
-        // per-step loop applies.
-        let cache_charged = self.cache_charged(blade);
-        let charged0: u64 =
-            blade.running.iter().map(|r| self.charge(r)).sum::<u64>() + cache_charged;
-        if self.kv_bytes(charged0) > cfg.kv_capacity_bytes {
-            return 0;
-        }
-        match cfg.kv_layout {
-            KvLayout::Contiguous => {
-                // Charged tokens grow by `batch` per iteration: binary
-                // search the last fitting iteration.
-                let fits = |j: u64| {
-                    self.kv_bytes(charged0 + j * u64::from(batch)) <= cfg.kv_capacity_bytes
-                };
-                if !fits(k - 1) {
-                    let (mut lo, mut hi) = (0u64, k - 1);
-                    while lo < hi {
-                        let mid = lo + (hi - lo).div_ceil(2);
-                        if fits(mid) {
-                            lo = mid;
-                        } else {
-                            hi = mid - 1;
-                        }
-                    }
-                    k = lo + 1;
-                }
-            }
-            KvLayout::Paged { block_tokens } => {
-                // Block-granular charge is constant until a sequence's
-                // private span crosses its current block boundary.
-                let blk = u64::from(block_tokens);
-                for r in &blade.running {
-                    let x = u64::from(r.kv_len) + 1 - u64::from(r.shared_tokens);
-                    k = k.min(x.div_ceil(blk) * blk - x + 1);
-                }
-            }
-        }
-        // The tight loop: per iteration the per-step path would execute
-        // `decode_time_s += c; batch_time_weighted += c*b; busy_s += c;
-        // clock += c` in this order (its `step_cost = 0.0 + c` equals
-        // `c` bitwise for positive costs), then notify the observer.
-        let weighted = cost * f64::from(batch);
-        let mut done = 0u64;
-        if obs.is_passive() {
-            for _ in 0..k {
-                if gate_s <= blade.clock {
-                    break;
-                }
-                blade.decode_time_s += cost;
-                blade.batch_time_weighted += weighted;
-                blade.busy_s += cost;
-                blade.clock += cost;
-                done += 1;
-            }
-        } else {
-            for _ in 0..k {
-                if gate_s <= blade.clock {
-                    break;
-                }
-                blade.decode_time_s += cost;
-                blade.batch_time_weighted += weighted;
-                blade.busy_s += cost;
-                blade.clock += cost;
-                obs.on_step(blade.id, blade.clock, cost, batch);
-                done += 1;
-            }
-        }
-        if done == 0 {
-            return 0;
-        }
-        blade.decode_iterations += done;
-        blade.max_step_s = blade.max_step_s.max(cost);
-        // Integer bookkeeping, batched: every sequence grew and produced
-        // `done` tokens; the capacity/occupancy peaks are monotone or
-        // constant across the stretch, so the endpoints cover them.
-        // Fragmentation (charged − used) is constant under contiguous
-        // accounting and non-increasing under paged, peaking at entry;
-        // the charged footprint peaks at the final iteration.
-        let used0: u64 = blade
-            .running
-            .iter()
-            .map(|r| u64::from(r.kv_len) + 1 - u64::from(r.shared_tokens))
-            .sum::<u64>()
-            + blade.cache.as_ref().map_or(0, PrefixCache::resident_tokens);
-        for r in &mut blade.running {
-            r.kv_len += done as u32;
-            r.produced += done as u32;
-        }
-        let charged_end = match cfg.kv_layout {
-            KvLayout::Contiguous => charged0 + (done - 1) * u64::from(batch),
-            KvLayout::Paged { .. } => charged0,
-        };
-        blade.kv_peak_tokens = blade.kv_peak_tokens.max(charged_end);
-        blade.frag_peak_tokens = blade.frag_peak_tokens.max(charged0 - used0);
-        blade.shared_peak_tokens = blade.shared_peak_tokens.max(cache_charged);
-        done
     }
 }
 

@@ -12,7 +12,11 @@
 //! consulted at points where the legacy loop's answer is provably
 //! unchanged (see the contracts on [`SchedulerPolicy`]).
 
+use super::engine::{BladeState, DecodePricing, EngineCtx};
+use super::kv::KvLayout;
+use super::observer::SimObserver;
 use super::policy::{OrderingContract, SchedulerPolicy};
+use super::prefix::PrefixCache;
 use super::traces::RequestSpec;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
@@ -516,6 +520,397 @@ impl AdmissionQueue for SchedQueue {
                 kq.arrived.insert((kq.keys[idx], kq.next_victim_seq, idx));
                 kq.next_victim_seq -= 1;
             }
+        }
+    }
+}
+
+/// The horizon one decode stretch must respect: the instants at which
+/// the surrounding replay loop could make a decision the stretch would
+/// otherwise skip. Truncating a stretch early is always safe — the
+/// caller falls back to the full per-round path — so every bound here is
+/// conservative; only over-stretching could break bit-identity.
+///
+/// Two gate flavors encode *when* a decision fires relative to a round:
+///
+/// - **Start gates** (`start_gate_s`) cover decisions taken at a round's
+///   *start* clock — admissions, sheds, another blade winning the
+///   next-action race, queue re-sorts and eligibility partitions. A
+///   stretched iteration may *end* past a start gate (its hypothetical
+///   round started strictly before it), but no iteration may *begin* at
+///   or past one: `start_gate_s <= clock` breaks before iterating. The
+///   `<=` also covers the loops' deterministic tie-breaks (another blade
+///   tied on time may win by index, prefill wins prefill/decode ties).
+/// - **End gates** (`end_gate_s`, `cooldown`) cover decisions taken at a
+///   round's *end* clock — the central loops evaluate the autoscaler
+///   after each step at the stepped blade's new clock. An iteration
+///   whose end clock would trigger (or could trigger) such a decision
+///   must instead run as a real round, so the stretch breaks *before*
+///   advancing to that clock.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StretchHorizon {
+    /// Break before any iteration *starting* at or after this instant.
+    pub(crate) start_gate_s: f64,
+    /// Break before any iteration *ending* at or after this instant
+    /// (`f64::INFINITY` when no end-of-round decision is pending).
+    pub(crate) end_gate_s: f64,
+    /// `(last_event_s, cooldown_s)` of an autoscaler that *would* fire
+    /// as soon as its cooldown expires: break before any iteration whose
+    /// end clock satisfies the exact per-round expiry predicate
+    /// `!(now - last_event_s < cooldown_s)`. `None` when no autoscaler
+    /// is armed (absent, or provably returning `None` until `end_gate_s`).
+    pub(crate) cooldown: Option<(f64, f64)>,
+}
+
+impl StretchHorizon {
+    /// A horizon bounded only by a round-start gate — the single-blade
+    /// event loop, where the one blade's admission gate is the only
+    /// decision point.
+    pub(crate) fn until(start_gate_s: f64) -> Self {
+        Self {
+            start_gate_s,
+            end_gate_s: f64::INFINITY,
+            cooldown: None,
+        }
+    }
+}
+
+/// A planned pure-decode stretch for one blade: the proof that, for up
+/// to [`Self::max_iters`] iterations, every engine step would be a
+/// constant-cost decode with no admission, completion, first token,
+/// preemption or cost-bucket crossing — so the per-step float operations
+/// can be replicated in closed form by [`Self::advance`].
+///
+/// Planning is separate from advancing so the cluster loops can reject
+/// a stretch on their own (cheap) horizon gates before paying for the
+/// more expensive ones, and re-plan after a truncated advance (a bucket
+/// crossing changes the cost; the next stretch picks up from there).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DecodeStretch {
+    /// The constant per-iteration decode cost (s).
+    cost: f64,
+    /// Live batch size (every member decoding).
+    batch: u32,
+    /// Iterations until the first completion, bucket crossing or KV
+    /// exhaustion would fire — those iterations run per-step.
+    max_iters: u64,
+    /// Charged KV tokens (private + resident shared) at stretch entry.
+    charged0: u64,
+    /// Used KV tokens (incl. this iteration's growth) at stretch entry —
+    /// fragmentation peaks here (charged − used is constant under
+    /// contiguous accounting and non-increasing under paged).
+    used0: u64,
+    /// Tokens charged by resident shared prefix blocks (constant: no
+    /// admissions or evictions mid-stretch).
+    cache_charged: u64,
+    /// Charged-token growth per iteration: `batch` under contiguous
+    /// accounting, 0 under paged (no block boundary is crossed within
+    /// `max_iters` by construction).
+    charge_growth: u64,
+}
+
+impl DecodeStretch {
+    /// Plans a stretch for `blade`'s current batch, or `None` when the
+    /// very next iteration could do something a closed-form advance
+    /// cannot replicate (prefill work, a first token, a completion, a
+    /// non-positive or NaN cost, or a KV state already over capacity).
+    pub(crate) fn plan(
+        ctx: &EngineCtx<'_>,
+        trace: &[RequestSpec],
+        blade: &BladeState,
+    ) -> Option<Self> {
+        let cfg = ctx.config;
+        if blade.running.is_empty() {
+            return None;
+        }
+        let batch = blade.running.len() as u32;
+        // Iterations until the earliest completion would fire (that
+        // iteration stamps outcomes, so it runs per-step); sequences
+        // still prefilling or awaiting their first token also force the
+        // per-step path.
+        let mut k = u64::MAX;
+        for r in &blade.running {
+            if r.prefill_remaining != 0 || r.produced == 0 {
+                return None;
+            }
+            k = k.min(u64::from(trace[r.idx].output_tokens - r.produced) - 1);
+        }
+        if k == 0 {
+            return None;
+        }
+        // Constant-cost bound: the table lookup only changes when a
+        // KV length crosses a bucket boundary. Under bucketized-mean
+        // pricing the mean grows by exactly one token per iteration
+        // (`ceil((s + j*b)/b) = ceil(s/b) + j`); under exact pricing
+        // each sequence's own span must stay in its bucket.
+        let bucket = u64::from(ctx.table.bucket());
+        let cost = match cfg.decode_pricing {
+            DecodePricing::BucketizedMean => {
+                let kv_sum: u64 = blade.running.iter().map(|r| u64::from(r.kv_len)).sum();
+                let kv_mean = kv_sum.div_ceil(u64::from(batch)) as u32;
+                let idx = u64::from(kv_mean).div_ceil(bucket).max(1);
+                k = k.min(idx * bucket - u64::from(kv_mean) + 1);
+                ctx.table.decode_cost(batch, kv_mean)
+            }
+            DecodePricing::ExactPerSequence => {
+                let mut total = 0.0f64;
+                for r in &blade.running {
+                    let idx = u64::from(r.kv_len).div_ceil(bucket).max(1);
+                    k = k.min(idx * bucket - u64::from(r.kv_len) + 1);
+                    total += ctx.table.decode_cost(batch, r.kv_len);
+                }
+                total / f64::from(batch)
+            }
+        };
+        // Zero-cost iterations would accumulate `0.0 + cost` in the
+        // per-step loop, whose bit pattern the hoisted sums below only
+        // reproduce for positive costs; NaN falls back to the per-step
+        // path too so a broken estimator degrades identically.
+        if cost <= 0.0 || cost.is_nan() {
+            return None;
+        }
+        // No-preemption bound: the KV growth check must pass every
+        // stretched iteration, with the exact float predicate the
+        // per-step loop applies.
+        let cache_charged = ctx.cache_charged(blade);
+        let charged0: u64 =
+            blade.running.iter().map(|r| ctx.charge(r)).sum::<u64>() + cache_charged;
+        if ctx.kv_bytes(charged0) > cfg.kv_capacity_bytes {
+            return None;
+        }
+        let charge_growth = match cfg.kv_layout {
+            KvLayout::Contiguous => {
+                // Charged tokens grow by `batch` per iteration: binary
+                // search the last fitting iteration.
+                let fits =
+                    |j: u64| ctx.kv_bytes(charged0 + j * u64::from(batch)) <= cfg.kv_capacity_bytes;
+                if !fits(k - 1) {
+                    let (mut lo, mut hi) = (0u64, k - 1);
+                    while lo < hi {
+                        let mid = lo + (hi - lo).div_ceil(2);
+                        if fits(mid) {
+                            lo = mid;
+                        } else {
+                            hi = mid - 1;
+                        }
+                    }
+                    k = lo + 1;
+                }
+                u64::from(batch)
+            }
+            KvLayout::Paged { block_tokens } => {
+                // Block-granular charge is constant until a sequence's
+                // private span crosses its current block boundary.
+                let blk = u64::from(block_tokens);
+                for r in &blade.running {
+                    let x = u64::from(r.kv_len) + 1 - u64::from(r.shared_tokens);
+                    k = k.min(x.div_ceil(blk) * blk - x + 1);
+                }
+                0
+            }
+        };
+        let used0: u64 = blade
+            .running
+            .iter()
+            .map(|r| u64::from(r.kv_len) + 1 - u64::from(r.shared_tokens))
+            .sum::<u64>()
+            + blade.cache.as_ref().map_or(0, PrefixCache::resident_tokens);
+        Some(Self {
+            cost,
+            batch,
+            max_iters: k,
+            charged0,
+            used0,
+            cache_charged,
+            charge_growth,
+        })
+    }
+
+    /// Advances `blade` through the planned stretch up to `horizon`,
+    /// replicating the per-step loop's float operations in order: per
+    /// iteration `decode_time_s += c; batch_time_weighted += c*b;
+    /// busy_s += c; clock += c` (its `step_cost = 0.0 + c` equals `c`
+    /// bitwise for positive costs), then the observer callback. Returns
+    /// the iterations advanced; 0 means the caller must fall back to a
+    /// full per-round step.
+    ///
+    /// Non-passive observers still get one `on_step` per iteration —
+    /// batching changes the loop shape, never the event stream. `on_shed`
+    /// and `on_scale` need no replay here: sheds fire only at round-start
+    /// admission instants and scale events only at round-end evaluation
+    /// instants, both of which the horizon gates exclude by construction.
+    pub(crate) fn advance(
+        &self,
+        blade: &mut BladeState,
+        horizon: &StretchHorizon,
+        obs: &mut dyn SimObserver,
+    ) -> u64 {
+        let Self { cost, batch, .. } = *self;
+        let weighted = cost * f64::from(batch);
+        let mut done = 0u64;
+        macro_rules! stretch_loop {
+            ($($notify:expr)?) => {
+                for _ in 0..self.max_iters {
+                    if horizon.start_gate_s <= blade.clock {
+                        break;
+                    }
+                    // `clock + cost` is the value `clock += cost` would
+                    // store (the preceding adds never touch the clock), so
+                    // gating on it then assigning it is bit-identical.
+                    let next = blade.clock + cost;
+                    if next >= horizon.end_gate_s {
+                        break;
+                    }
+                    if let Some((last, cd)) = horizon.cooldown {
+                        // Stretch only while the autoscaler stays in
+                        // cooldown (matching the per-step `now - last <
+                        // cooldown` guard bit-for-bit; NaN parks).
+                        let in_cooldown = next - last < cd;
+                        if !in_cooldown {
+                            break;
+                        }
+                    }
+                    blade.decode_time_s += cost;
+                    blade.batch_time_weighted += weighted;
+                    blade.busy_s += cost;
+                    blade.clock = next;
+                    $($notify;)?
+                    done += 1;
+                }
+            };
+        }
+        if obs.is_passive() {
+            stretch_loop!();
+        } else {
+            stretch_loop!(obs.on_step(blade.id, blade.clock, cost, batch));
+        }
+        self.commit(blade, done);
+        done
+    }
+
+    /// Applies the end-of-stretch bookkeeping for `done` iterations
+    /// advanced under this plan (no-op for zero).
+    ///
+    /// Integer bookkeeping, batched: every sequence grew and produced
+    /// `done` tokens; the capacity/occupancy peaks are monotone or
+    /// constant across the stretch, so the endpoints cover them.
+    /// Fragmentation (charged − used) is constant under contiguous
+    /// accounting and non-increasing under paged, peaking at entry;
+    /// the charged footprint peaks at the final iteration.
+    fn commit(&self, blade: &mut BladeState, done: u64) {
+        if done == 0 {
+            return;
+        }
+        blade.decode_iterations += done;
+        blade.stretches += 1;
+        blade.stretched_iterations += done;
+        blade.max_step_s = blade.max_step_s.max(self.cost);
+        for r in &mut blade.running {
+            r.kv_len += done as u32;
+            r.produced += done as u32;
+        }
+        let charged_end = self.charged0 + (done - 1) * self.charge_growth;
+        blade.kv_peak_tokens = blade.kv_peak_tokens.max(charged_end);
+        blade.frag_peak_tokens = blade.frag_peak_tokens.max(self.charged0 - self.used0);
+        blade.shared_peak_tokens = blade.shared_peak_tokens.max(self.cache_charged);
+    }
+}
+
+/// One blade's membership in a cluster-wide leapfrog fast-forward: the
+/// blade index plus the member-specific round-start gate (own-admission
+/// and partition bounds; `f64::INFINITY` when only the shared horizon
+/// applies).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LeapfrogMember {
+    pub(crate) blade: usize,
+    pub(crate) start_gate_s: f64,
+}
+
+/// Fast-forwards a set of coupled blades through their pure-decode
+/// futures in *exact per-step round order*: repeatedly pick the
+/// `(clock, blade index)`-minimal member — the central loops' `chosen`
+/// tie-break, replicated bit-for-bit — and advance it one planned
+/// iteration. Unlike a single-blade stretch, no conservative blade-race
+/// gate is needed among members: the skipped rounds are executed, in
+/// their real order, with the float operations the per-step loop would
+/// apply (each touching only its own blade's state), so bit-identity
+/// holds even though many rounds across many blades are batched into
+/// one call.
+///
+/// Gate discipline: the shared `horizon` carries gates common to every
+/// round (idle-blade actions, prefill-tier actions, autoscaler end
+/// gates), while each member's `start_gate_s` carries its own
+/// round-start bounds. Because members are advanced in global round
+/// order, the first gated round in that order breaks the whole loop —
+/// rounds processed before it genuinely preceded it.
+///
+/// A member whose plan is exhausted mid-loop commits its bookkeeping
+/// and re-plans in place (a bucket crossing just changes the constant
+/// cost); when no new plan exists (completion, KV or admission event
+/// next) the member parks at its clock and breaks the loop once it
+/// becomes minimal — its real round is the cluster's next action.
+pub(crate) fn leapfrog_decode(
+    ctx: &EngineCtx<'_>,
+    trace: &[RequestSpec],
+    states: &mut [BladeState],
+    members: &[LeapfrogMember],
+    horizon: &StretchHorizon,
+    obs: &mut dyn SimObserver,
+) {
+    let passive = obs.is_passive();
+    let mut runs: Vec<Option<(DecodeStretch, u64)>> = members
+        .iter()
+        .map(|m| DecodeStretch::plan(ctx, trace, &states[m.blade]).map(|p| (p, 0)))
+        .collect();
+    loop {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, m) in members.iter().enumerate() {
+            let c = states[m.blade].clock;
+            let better = match best {
+                None => true,
+                Some((bc, bi)) => c
+                    .total_cmp(&bc)
+                    .then(m.blade.cmp(&members[bi].blade))
+                    .is_lt(),
+            };
+            if better {
+                best = Some((c, i));
+            }
+        }
+        let Some((clock, i)) = best else { break };
+        if horizon.start_gate_s <= clock || members[i].start_gate_s <= clock {
+            break;
+        }
+        let Some((plan, done)) = runs[i] else { break };
+        let next = clock + plan.cost;
+        if next >= horizon.end_gate_s {
+            break;
+        }
+        if let Some((last, cd)) = horizon.cooldown {
+            // As in the per-blade stretch: advance only while the
+            // autoscaler stays in cooldown (NaN parks).
+            let in_cooldown = next - last < cd;
+            if !in_cooldown {
+                break;
+            }
+        }
+        let blade = &mut states[members[i].blade];
+        blade.decode_time_s += plan.cost;
+        blade.batch_time_weighted += plan.cost * f64::from(plan.batch);
+        blade.busy_s += plan.cost;
+        blade.clock = next;
+        if !passive {
+            obs.on_step(blade.id, blade.clock, plan.cost, plan.batch);
+        }
+        if done + 1 == plan.max_iters {
+            plan.commit(blade, done + 1);
+            runs[i] = DecodeStretch::plan(ctx, trace, blade).map(|p| (p, 0));
+        } else {
+            runs[i] = Some((plan, done + 1));
+        }
+    }
+    for (i, m) in members.iter().enumerate() {
+        if let Some((plan, done)) = runs[i] {
+            plan.commit(&mut states[m.blade], done);
         }
     }
 }

@@ -175,7 +175,7 @@ pub mod traces;
 
 pub use cluster::{
     BladeLoad, BladeRole, ClusterConfig, ClusterReport, ClusterSimulator, DispatchMode,
-    HandoffLink, RoutingPolicy, Topology,
+    HandoffLink, RoutingPolicy, StretchStats, Topology,
 };
 pub use control::{AdmissionControl, AutoscaleConfig, ControlPlane};
 pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator, SimCore};

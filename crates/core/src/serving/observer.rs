@@ -96,8 +96,13 @@ pub trait SimObserver {
 
     /// Whether this observer ignores every callback. The event-driven
     /// core skips per-iteration dispatch inside batched decode stretches
-    /// for passive observers; real observers (returning `false`, the
-    /// default) receive the identical event stream on both cores.
+    /// — including the cluster-wide leapfrog's replayed rounds — for
+    /// passive observers; real observers (returning `false`, the
+    /// default) receive the identical event stream on both cores, one
+    /// [`Self::on_step`] per decode round in true global order, with
+    /// [`Self::on_shed`] and [`Self::on_scale`] interleaved exactly
+    /// where the per-step loop would fire them (stretches are truncated
+    /// at every control-plane decision instant).
     fn is_passive(&self) -> bool {
         false
     }

@@ -674,8 +674,10 @@ impl CompiledScenario<'_> {
     /// Replays the scenario's trace under several routing/dispatch
     /// variants of its (mixed) topology, building the iteration-cost
     /// table once — it depends only on the per-blade engine and the
-    /// trace, not on routing. Each report is bit-identical to a
-    /// standalone [`Self::run`] of a scenario with that variant.
+    /// trace, not on routing — and replaying the variants concurrently
+    /// on rayon workers. Each report is bit-identical to a standalone
+    /// [`Self::run`] of a scenario with that variant and to
+    /// [`Self::run_each_serial`].
     ///
     /// # Errors
     ///
@@ -686,6 +688,30 @@ impl CompiledScenario<'_> {
         &self,
         variants: &[(RoutingPolicy, DispatchMode)],
     ) -> Result<Vec<ClusterReport>, OptimusError> {
+        let (cluster, configs) = self.sweep_parts(variants)?;
+        cluster.replay_each(&self.trace, &configs)
+    }
+
+    /// Serial reference implementation of [`Self::run_each`], kept as
+    /// the ground truth for the rayon-equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::run_each`].
+    pub fn run_each_serial(
+        &self,
+        variants: &[(RoutingPolicy, DispatchMode)],
+    ) -> Result<Vec<ClusterReport>, OptimusError> {
+        let (cluster, configs) = self.sweep_parts(variants)?;
+        cluster.replay_each_serial(&self.trace, &configs)
+    }
+
+    /// Builds the cluster simulator and the per-variant configurations a
+    /// routing/dispatch sweep replays.
+    fn sweep_parts(
+        &self,
+        variants: &[(RoutingPolicy, DispatchMode)],
+    ) -> Result<(ClusterSimulator<'_>, Vec<ClusterConfig>), OptimusError> {
         if self.topology.is_disaggregated() {
             return Err(OptimusError::Serving {
                 reason: "run_each sweeps routing/dispatch of a mixed topology; role-typed \
@@ -711,7 +737,7 @@ impl CompiledScenario<'_> {
                 autoscale: self.autoscale,
             },
         )?;
-        cluster.replay_each(&self.trace, &configs)
+        Ok((cluster, configs))
     }
 
     /// Sweeps arrival rates into an SLO-vs-throughput frontier by

@@ -165,7 +165,12 @@ fn cluster_and_disaggregated_cores_agree() {
     assert_cores_agree("jsq per-blade", || {
         base().routing(RoutingPolicy::JoinShortestQueue)
     });
-    assert_cores_agree("central fcfs", || base().dispatch(DispatchMode::Central));
+    let r = assert_cores_agree("central fcfs", || base().dispatch(DispatchMode::Central));
+    assert!(
+        r.stretch.stretched_iterations > 0,
+        "the cluster leapfrog must batch decode rounds"
+    );
+    assert!(r.stretch.mean_stretch_len() >= 1.0);
     assert_cores_agree("central sjf", || {
         base().dispatch(DispatchMode::Central).policy(SjfPolicy)
     });
@@ -178,6 +183,10 @@ fn cluster_and_disaggregated_cores_agree() {
         base().topology(Topology::disaggregated(1, 3))
     });
     assert_eq!(r.report.completed, 48);
+    assert!(
+        r.stretch.stretched_iterations > 0,
+        "the decoder-pool leapfrog must batch decode rounds"
+    );
     assert_cores_agree("disaggregated sjf", || {
         base()
             .topology(Topology::disaggregated(2, 2))
@@ -272,6 +281,10 @@ fn class_aware_policies_and_control_plane_cores_agree() {
         base().dispatch(DispatchMode::Central).control(shed)
     });
     assert!(r.report.shed_requests > 0);
+    assert!(
+        r.stretch.stretches > 0,
+        "leapfrogging must coexist with a live shedding gate"
+    );
     // The autoscaler's end-of-round evaluation sees the same queue depth
     // on both cores, so the scale trajectories coincide.
     let scaled = ControlPlane::new().autoscale(
@@ -283,6 +296,10 @@ fn class_aware_policies_and_control_plane_cores_agree() {
         base().dispatch(DispatchMode::Central).control(scaled)
     });
     assert!(r.scale_events > 0, "the backlog must trigger a scale-up");
+    assert!(
+        r.stretch.stretches > 0,
+        "per-blade stretches must survive an active autoscaler"
+    );
     // Everything at once: class-aware ordering + shedding + autoscaling.
     assert_cores_agree("full control plane", || {
         base()
@@ -372,6 +389,64 @@ fn observer_event_streams_are_identical_between_cores() {
     assert!(event_counts.steps > 0);
 }
 
+#[test]
+fn cluster_observer_event_streams_are_identical_between_cores() {
+    // The cluster leapfrog and the disaggregated decoder-pool leapfrog
+    // replay skipped rounds in true global order, so even with a
+    // non-passive observer attached the per-step callback stream — one
+    // `on_step` per decode round, in execution order — must be
+    // reproduced exactly. Shedding keeps the control plane live on the
+    // central variant while the observer watches.
+    let system = MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = TraceConfig {
+        seed: 19,
+        requests: 36,
+        arrival_rate_per_s: 30.0,
+        prompt_tokens: (32, 256),
+        output_tokens: (8, 48),
+    };
+    let shed = ControlPlane::new().shed(AdmissionControl::new(0, 0.95).with_window(8, 2));
+    fn check<'a>(label: &str, build: &dyn Fn() -> Scenario<'a>) {
+        let run = |core: SimCore| {
+            let compiled = build().core(core).compile().unwrap();
+            let mut counts = CountingObserver::default();
+            let report = compiled.run_observed(&mut counts).unwrap();
+            (report, counts)
+        };
+        let (event_report, event_counts) = run(SimCore::EventDriven);
+        let (step_report, step_counts) = run(SimCore::PerStep);
+        assert_eq!(event_report, step_report, "{label}: reports");
+        assert_eq!(event_counts, step_counts, "{label}: event streams");
+        assert!(event_counts.steps > 0, "{label}");
+    }
+    check("central + shedding", &|| {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .slo_classes(vec![
+                SloClass::new("interactive", 1e-6, 1e-9).with_weight(2.0),
+                SloClass::batch(),
+            ])
+            .classify(|r| u32::from(r.prompt_tokens > 128))
+            .dispatch(DispatchMode::Central)
+            .control(shed)
+            .poisson(trace)
+    });
+    check("disaggregated 2P+2D", &|| {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .topology(Topology::disaggregated(2, 2))
+            .poisson(trace)
+    });
+}
+
 /// A random sorted trace over exact (dyadic) arrival times.
 fn arb_trace() -> impl Strategy<Value = Vec<RequestSpec>> {
     prop::collection::vec((0u32..48, 8u32..260, 1u32..48), 4..20).prop_map(|specs| {
@@ -394,8 +469,9 @@ fn arb_trace() -> impl Strategy<Value = Vec<RequestSpec>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Random traces × policies × KV pressure × layouts × topologies:
-    /// the two cores never diverge by a single bit.
+    /// Random traces × policies × KV pressure × layouts × topologies ×
+    /// prefix caching × observation: the two cores never diverge by a
+    /// single bit — in reports or in observer event streams.
     #[test]
     fn cores_agree_on_random_scenarios(
         trace in arb_trace(),
@@ -406,11 +482,31 @@ proptest! {
         paged in any::<bool>(),
         chunked in any::<bool>(),
         exact in any::<bool>(),
+        prefix in any::<bool>(),
+        observed in any::<bool>(),
     ) {
         let system = MultiBladeSystem::new(4).unwrap();
         let model = ModelZoo::llama2_7b();
         let par = Parallelism::new(1, 1, 1).unwrap();
         let per_token = per_token_bytes(&system, &model);
+        // Two shared system prompts (block-aligned to the 16-token page)
+        // tagged deterministically by request id; prompts too short to
+        // hold theirs stay unique.
+        let trace: Vec<RequestSpec> = if prefix {
+            trace
+                .iter()
+                .map(|r| {
+                    let (id, tokens) = if r.id % 2 == 0 { (0, 48) } else { (1, 96) };
+                    if r.prompt_tokens > tokens {
+                        r.with_prefix(id, tokens)
+                    } else {
+                        *r
+                    }
+                })
+                .collect()
+        } else {
+            trace
+        };
         // The shedding gate needs a sheddable second class, and any
         // control needs a mixed topology; class-aware policies work
         // either way but only bite with a class table bound.
@@ -474,21 +570,25 @@ proptest! {
             if exact {
                 s = s.pricing(DecodePricing::ExactPerSequence);
             }
+            if prefix {
+                s = s.prefix_caching(16);
+            }
             s
         };
-        let event = build()
-            .core(SimCore::EventDriven)
-            .compile()
-            .unwrap()
-            .run()
-            .unwrap();
-        let per_step = build()
-            .core(SimCore::PerStep)
-            .compile()
-            .unwrap()
-            .run()
-            .unwrap();
+        let run = |core: SimCore| {
+            let compiled = build().core(core).compile().unwrap();
+            let mut counts = CountingObserver::default();
+            let report = if observed {
+                compiled.run_observed(&mut counts).unwrap()
+            } else {
+                compiled.run().unwrap()
+            };
+            (report, counts)
+        };
+        let (event, event_counts) = run(SimCore::EventDriven);
+        let (per_step, step_counts) = run(SimCore::PerStep);
         prop_assert_eq!(&event, &per_step);
+        prop_assert_eq!(event_counts, step_counts);
         prop_assert_eq!(
             u64::from(event.report.completed) + event.report.shed_requests,
             trace.len() as u64

@@ -184,6 +184,72 @@ fn cluster_replay_parallel_matches_serial_bit_for_bit() {
 }
 
 #[test]
+fn run_each_sweep_parallel_matches_serial_bit_for_bit() {
+    // `run_each` replays the routing/dispatch variants concurrently on
+    // rayon workers off one shared cost table; every report must match
+    // the serial reference sweep bit-for-bit, in variant order.
+    use optimus::serving::{BurstyTraceConfig, DispatchMode, RoutingPolicy, Scenario, Topology};
+    let system = optimus::MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = BurstyTraceConfig {
+        seed: 17,
+        requests: 40,
+        base_rate_per_s: 6.0,
+        burst_rate_per_s: 300.0,
+        burst_s: 0.4,
+        gap_s: 1.5,
+        prompt_tokens: (32, 256),
+        output_tokens: (8, 64),
+    };
+    let compiled = Scenario::new(&system)
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(8)
+        .unconstrained_kv()
+        .topology(Topology::mixed(4))
+        .trace(&trace)
+        .compile()
+        .unwrap();
+    let variants = [
+        (RoutingPolicy::RoundRobin, DispatchMode::PerBlade),
+        (RoutingPolicy::RoundRobin, DispatchMode::Central),
+        (RoutingPolicy::JoinShortestQueue, DispatchMode::PerBlade),
+        (RoutingPolicy::JoinShortestQueue, DispatchMode::Central),
+        (RoutingPolicy::LeastLoadedKv, DispatchMode::PerBlade),
+        (RoutingPolicy::LeastLoadedKv, DispatchMode::Central),
+    ];
+    let p = compiled.run_each(&variants).unwrap();
+    let s = compiled.run_each_serial(&variants).unwrap();
+    assert_eq!(p.len(), variants.len());
+    for (i, (pr, sr)) in p.iter().zip(&s).enumerate() {
+        assert_eq!(pr, sr, "variant {:?} must be bit-identical", variants[i]);
+        assert_eq!(pr.report.completed, 40, "variant {:?}", variants[i]);
+        assert_eq!(
+            pr.report.makespan_s.to_bits(),
+            sr.report.makespan_s.to_bits(),
+            "variant {:?}",
+            variants[i]
+        );
+    }
+    // A disaggregated topology has no routing/dispatch axis: both paths
+    // must reject it with the same error.
+    let disagg = Scenario::new(&system)
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(8)
+        .unconstrained_kv()
+        .topology(Topology::disaggregated(1, 3))
+        .trace(&trace)
+        .compile()
+        .unwrap();
+    assert_eq!(
+        disagg.run_each(&variants).unwrap_err(),
+        disagg.run_each_serial(&variants).unwrap_err()
+    );
+}
+
+#[test]
 fn prefix_cached_replay_parallel_matches_serial_bit_for_bit() {
     // Prefix caching adds per-blade shared-block state to the replay;
     // like every other serving path, the rayon-built cost table must not
