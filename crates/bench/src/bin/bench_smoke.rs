@@ -1,9 +1,12 @@
 //! CI gate for the event-driven simulation core's performance: replays
 //! the 10k-request diurnal point through the single-blade event core,
-//! the 4-blade central cluster and the 2P+2D disaggregated topology,
+//! the 4-blade central cluster, the 2P+2D disaggregated topology and
+//! the cache-coordinated cluster (shared-prefix point),
 //! failing (exit 1) if any measured simulator throughput falls below
 //! 70 % of the committed `BENCH_serving_core.json` baseline's *latest*
-//! trajectory entry. Baselines predating a gated scenario (e.g. legacy
+//! trajectory entry on every attempt (a below-floor scenario is granted
+//! [`SMOKE_RETRIES`] fresh measurements before it counts as a
+//! regression). Baselines predating a gated scenario (e.g. legacy
 //! single-blade-only snapshots) skip that scenario's gate with a
 //! notice — the next `--bench-json` refresh starts gating it.
 //!
@@ -19,11 +22,18 @@ use scd_bench::core_bench::{
 
 /// The scenarios the smoke gate measures, each against its own
 /// baseline row.
-const GATED: [CoreScenario; 3] = [
+const GATED: [CoreScenario; 4] = [
     CoreScenario::Event,
     CoreScenario::ClusterEvent,
     CoreScenario::DisaggEvent,
+    CoreScenario::ClusterCache,
 ];
+
+/// Extra measurements granted to a scenario that lands below its floor.
+/// Shared CI machines hand out ~2x-slow scheduling windows often enough
+/// that one best-of-passes sample against a 70 % floor is flaky; a real
+/// regression fails every retry, a noisy window does not.
+const SMOKE_RETRIES: u32 = 2;
 
 fn main() -> Result<(), optimus::OptimusError> {
     let path = std::env::args()
@@ -54,8 +64,18 @@ fn main() -> Result<(), optimus::OptimusError> {
             );
             continue;
         };
-        let measured = measure_scenario(scenario, SMOKE_REQUESTS)?;
         let floor = SMOKE_FLOOR * baseline.req_per_s;
+        let mut measured = measure_scenario(scenario, SMOKE_REQUESTS)?;
+        let mut retries = 0;
+        while measured.req_per_s < floor && retries < SMOKE_RETRIES {
+            retries += 1;
+            println!(
+                "bench_smoke: {label} at {:.0} req/s is below floor {floor:.0}; \
+                 retrying ({retries}/{SMOKE_RETRIES}) in case the window was noisy",
+                measured.req_per_s
+            );
+            measured = measure_scenario(scenario, SMOKE_REQUESTS)?;
+        }
         println!(
             "bench_smoke: {label}, {SMOKE_REQUESTS} requests: {:.0} req/s \
              (baseline {:.0} at {}, floor {floor:.0}; {} snapshot(s) on the trajectory)",

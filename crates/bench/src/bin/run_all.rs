@@ -3,8 +3,8 @@
 //! `--smoke` runs a CI-friendly subset: the technology/spec tables plus
 //! one representative study per subsystem (training, inference, serving
 //! — including the scenario-driven cluster, disaggregation,
-//! recorded-trace, prefix-caching, SLO-class and control-plane
-//! studies), skipping the long sweeps.
+//! recorded-trace, prefix-caching, cluster-cache-coordination,
+//! SLO-class and control-plane studies), skipping the long sweeps.
 fn main() -> Result<(), scd_perf::ScdError> {
     use scd_bench::{
         inference_experiments as inf, l2_study, spec_tables as spec, training_experiments as tr,
@@ -39,6 +39,10 @@ fn main() -> Result<(), scd_perf::ScdError> {
         println!(
             "{}\n{hr}",
             srv::render_prefix_caching(&srv::prefix_caching_study()?)
+        );
+        println!(
+            "{}\n{hr}",
+            srv::render_cluster_cache(&srv::cluster_cache_study()?)
         );
         println!(
             "{}\n{hr}",
@@ -111,6 +115,10 @@ fn main() -> Result<(), scd_perf::ScdError> {
     println!(
         "{}\n{hr}",
         srv::render_prefix_caching(&srv::prefix_caching_study()?)
+    );
+    println!(
+        "{}\n{hr}",
+        srv::render_cluster_cache(&srv::cluster_cache_study()?)
     );
     println!(
         "{}\n{hr}",

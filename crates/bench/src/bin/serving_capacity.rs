@@ -2,7 +2,8 @@
 //! scenario-driven dynamic-traffic views (frontier sweep, SCD-vs-GPU
 //! trace replay), and the cluster-scale extensions (routing-policy study
 //! across 4 blades, paged-KV fragmentation sweep, disaggregated
-//! prefill/decode split, recorded-trace replay, SLO-class goodput).
+//! prefill/decode split, recorded-trace replay, cluster-cache
+//! coordination, SLO-class goodput).
 //!
 //! With `--bench-json` it instead runs the simulation-core scaling
 //! study (event-driven vs per-step at 10k/100k/1M diurnal requests) and
@@ -50,6 +51,10 @@ fn main() -> Result<(), optimus::OptimusError> {
     println!(
         "{}\n{hr}",
         srv::render_prefix_caching(&srv::prefix_caching_study()?)
+    );
+    println!(
+        "{}\n{hr}",
+        srv::render_cluster_cache(&srv::cluster_cache_study()?)
     );
     println!(
         "{}\n{hr}",

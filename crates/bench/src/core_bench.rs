@@ -24,7 +24,10 @@ use std::time::Instant;
 
 use llm_workload::model::ModelZoo;
 use llm_workload::parallelism::Parallelism;
-use optimus::serving::{DispatchMode, DiurnalTraceConfig, HandoffLink, Scenario, Topology};
+use optimus::serving::{
+    CacheEviction, DispatchMode, DiurnalTraceConfig, HandoffLink, RoutingPolicy, Scenario,
+    SharedPrefixTraceConfig, Topology,
+};
 use optimus::{OptimusError, SpeedupStudy};
 
 pub use optimus::serving::SimCore;
@@ -85,6 +88,11 @@ pub enum CoreScenario {
     ClusterEvent,
     /// 2-prefill + 2-decode disaggregated topology on the event core.
     DisaggEvent,
+    /// 4-blade cluster with the full cache-coordination stack on the
+    /// event core: cache-aware routing, the global KV tier and LFU
+    /// eviction over a shared-prefix workload — prices the routing
+    /// residency model and the tier's arrival-order pre-pass.
+    ClusterCache,
 }
 
 impl CoreScenario {
@@ -96,12 +104,33 @@ impl CoreScenario {
             Self::PerStep => "per_step",
             Self::ClusterEvent => "cluster_event",
             Self::DisaggEvent => "disagg_event",
+            Self::ClusterCache => "cluster_cache",
         }
     }
 }
 
-/// Replays the diurnal workload once through `scenario` and returns the
-/// wall-clock milliseconds of the replay alone (trace synthesis and
+/// The shared-prefix workload the `cluster_cache` scenario replays:
+/// the diurnal arrival shape swapped for a steady Zipf-shared prompt
+/// mix, so the routing residency model and the tier pre-pass see one
+/// cache lookup per request.
+#[must_use]
+pub fn shared_prefix_workload(requests: u32) -> SharedPrefixTraceConfig {
+    SharedPrefixTraceConfig {
+        seed: 2026,
+        requests,
+        arrival_rate_per_s: 8.0,
+        prefixes: 8,
+        prefix_tokens: (64, 128),
+        zipf_s: 1.2,
+        share_fraction: 0.9,
+        unique_prompt_tokens: (32, 128),
+        output_tokens: (16, 64),
+    }
+}
+
+/// Replays the diurnal workload (the shared-prefix one for
+/// [`CoreScenario::ClusterCache`]) once through `scenario` and returns
+/// the wall-clock milliseconds of the replay alone (trace synthesis and
 /// scenario compilation excluded).
 ///
 /// # Errors
@@ -114,6 +143,12 @@ pub fn scenario_wall_ms(scenario: CoreScenario, requests: u32) -> Result<f64, Op
         .model(&model)
         .parallelism(&par)
         .max_batch(32);
+    // Estimator-anchored scenarios carry no fabric to derive a
+    // cross-blade link from; pin an NVLink-class one where needed.
+    let link = HandoffLink {
+        bytes_per_s: 400e9,
+        latency_s: 5e-6,
+    };
     builder = match scenario {
         CoreScenario::Event => builder.core(SimCore::EventDriven),
         CoreScenario::PerStep => builder.core(SimCore::PerStep),
@@ -124,14 +159,21 @@ pub fn scenario_wall_ms(scenario: CoreScenario, requests: u32) -> Result<f64, Op
         CoreScenario::DisaggEvent => builder
             .core(SimCore::EventDriven)
             .topology(Topology::disaggregated(2, 2))
-            // Estimator-anchored scenarios carry no fabric to derive the
-            // prefill→decode link from; pin an NVLink-class one instead.
-            .handoff(HandoffLink {
-                bytes_per_s: 400e9,
-                latency_s: 5e-6,
-            }),
+            .handoff(link),
+        CoreScenario::ClusterCache => builder
+            .core(SimCore::EventDriven)
+            .topology(Topology::mixed(4))
+            .routing(RoutingPolicy::CacheAware)
+            .prefix_caching(16)
+            .cache_eviction(CacheEviction::Lfu)
+            .global_kv_cache(1 << 20)
+            .handoff(link),
     };
-    let compiled = builder.trace(&diurnal_workload(requests)).compile()?;
+    let compiled = if scenario == CoreScenario::ClusterCache {
+        builder.trace(&shared_prefix_workload(requests)).compile()?
+    } else {
+        builder.trace(&diurnal_workload(requests)).compile()?
+    };
     let started = Instant::now();
     let report = compiled.run()?;
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -196,8 +238,8 @@ pub fn measure_point(core: SimCore, requests: u32) -> Result<CoreBenchRow, Optim
 }
 
 /// The full scaling study: the event core — single-blade, 4-blade
-/// central and 2P+2D disaggregated — at 10k/100k/1M requests and the
-/// per-step reference at 10k/100k. The per-step loop is left out of
+/// central, 2P+2D disaggregated and the cache-coordinated cluster — at
+/// 10k/100k/1M requests and the per-step reference at 10k/100k. The per-step loop is left out of
 /// the million-request point on purpose — its idle-gap scan is
 /// quadratic in trace length, which is precisely the behaviour the
 /// event core removes; the 10k/100k pairs pin the speedup trend (the
@@ -207,11 +249,12 @@ pub fn measure_point(core: SimCore, requests: u32) -> Result<CoreBenchRow, Optim
 ///
 /// Propagates simulation failures.
 pub fn core_scaling_study() -> Result<Vec<CoreBenchRow>, OptimusError> {
-    let points: [(CoreScenario, &[u32]); 4] = [
+    let points: [(CoreScenario, &[u32]); 5] = [
         (CoreScenario::Event, &[10_000, 100_000, 1_000_000]),
         (CoreScenario::PerStep, &[10_000, 100_000]),
         (CoreScenario::ClusterEvent, &[10_000, 100_000, 1_000_000]),
         (CoreScenario::DisaggEvent, &[10_000, 100_000, 1_000_000]),
+        (CoreScenario::ClusterCache, &[10_000, 100_000, 1_000_000]),
     ];
     let mut rows = Vec::new();
     for (scenario, sizes) in points {

@@ -15,10 +15,10 @@ use llm_workload::model::ModelZoo;
 use llm_workload::parallelism::Parallelism;
 use llm_workload::taskgraph::weights_per_unit_bytes;
 use optimus::serving::{
-    AdmissionControl, AutoscaleConfig, BurstyTraceConfig, ClusterReport, ControlPlane, CsvTrace,
-    DispatchMode, DiurnalTraceConfig, FcfsPolicy, FrontierPoint, KvLayout, MaxWaitGuardPolicy,
-    RoutingPolicy, Scenario, SharedPrefixTraceConfig, SjfPolicy, SloClass, StrictPriorityPolicy,
-    Topology, TraceConfig, WeightedFairPolicy,
+    AdmissionControl, AutoscaleConfig, BurstyTraceConfig, CacheEviction, ClusterReport,
+    ControlPlane, CsvTrace, DispatchMode, DiurnalTraceConfig, FcfsPolicy, FrontierPoint, KvLayout,
+    MaxWaitGuardPolicy, RoutingPolicy, Scenario, SharedPrefixTraceConfig, SjfPolicy, SloClass,
+    StrictPriorityPolicy, Topology, TraceConfig, WeightedFairPolicy,
 };
 use optimus::{
     Comparison, InferenceEstimator, MultiBladeSystem, OptimusError, ServingReport, SpeedupStudy,
@@ -564,6 +564,128 @@ pub fn render_prefix_caching(rows: &[PrefixCacheRow]) -> String {
     out
 }
 
+/// One row of the cluster-cache coordination study.
+#[derive(Debug, Clone)]
+pub struct ClusterCacheRow {
+    /// Routing policy under test.
+    pub routing: RoutingPolicy,
+    /// Whether the global KV cache tier was enabled.
+    pub tier: bool,
+    /// Blade-cache eviction order.
+    pub eviction: CacheEviction,
+    /// The replay outcome.
+    pub report: ClusterReport,
+}
+
+/// The multi-tenant workload cluster coordination exists for: several
+/// Zipf-popular system prompts spread over four blades, with per-blade
+/// KV tight enough that a blade holding every prompt's cache thrashes.
+fn cluster_cache_trace() -> SharedPrefixTraceConfig {
+    SharedPrefixTraceConfig {
+        seed: 4242,
+        requests: 96,
+        arrival_rate_per_s: 300.0,
+        prefixes: 8,
+        prefix_tokens: (600, 900),
+        zipf_s: 1.2,
+        share_fraction: 0.9,
+        unique_prompt_tokens: (32, 128),
+        output_tokens: (8, 32),
+    }
+}
+
+/// Replays the same Zipf-shared multi-prompt workload over a 4-blade
+/// cluster at *equal aggregate KV*, sweeping the coordination stack in:
+/// round-robin and join-shortest-queue scatter every prompt over every
+/// blade (each blade caches — and thrashes — all of them), cache-aware
+/// routing concentrates each prompt's requests on the blade already
+/// holding its blocks, the global KV tier streams the head prompt's
+/// blocks to blades that are still cold, and LFU eviction keeps the
+/// Zipf head resident where LRU recency drops it during tail bursts.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn cluster_cache_study() -> Result<Vec<ClusterCacheRow>, OptimusError> {
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1)?;
+    let system = MultiBladeSystem::new(4)?;
+    let trace = cluster_cache_trace();
+    // Per-blade KV sized to hold roughly two of the eight prompts'
+    // blocks plus the running batch — identical across every variant,
+    // so the sweep compares coordination, not capacity.
+    let per_token = KvCache {
+        batch: 1,
+        seq_len: 1,
+        precision: system.inference_estimator().precision(),
+    }
+    .bytes(&model, KvConvention::Gqa);
+    let capacity = 2048.0 * per_token;
+    let variants = [
+        (RoutingPolicy::RoundRobin, false, CacheEviction::Lru),
+        (RoutingPolicy::JoinShortestQueue, false, CacheEviction::Lru),
+        (RoutingPolicy::CacheAware, false, CacheEviction::Lru),
+        (RoutingPolicy::CacheAware, true, CacheEviction::Lru),
+        (RoutingPolicy::CacheAware, true, CacheEviction::Lfu),
+    ];
+    variants
+        .into_iter()
+        .map(|(routing, tier, eviction)| {
+            let mut s = Scenario::new(&system)
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(8)
+                .kv_capacity_bytes(capacity)
+                .routing(routing)
+                .prefix_caching(16)
+                .cache_eviction(eviction)
+                .trace(&trace);
+            if tier {
+                // The tier holds what one warm blade holds: enough for
+                // every prompt's chain, far less than 4x the blade KV.
+                s = s.global_kv_cache(8192);
+            }
+            Ok(ClusterCacheRow {
+                routing,
+                tier,
+                eviction,
+                report: s.compile()?.run()?,
+            })
+        })
+        .collect()
+}
+
+/// Renders the cluster-cache coordination study.
+#[must_use]
+pub fn render_cluster_cache(rows: &[ClusterCacheRow]) -> String {
+    let mut out = String::from(
+        "Cluster cache coordination: routing x global tier x eviction at equal aggregate KV\n\
+         (Llama-2-7B, 4 blades; 96 requests over 8 Zipf-shared prompts, 90% tagged)\n\n\
+         routing              tier  evict  hit rate  tok saved  streams  fabric(MB)  skew(MB)  TTFT p50(ms)  TTFT p99(ms)  goodput\n",
+    );
+    for r in rows {
+        let rep = &r.report.report;
+        out.push_str(&format!(
+            "{:<21}{:<6}{:<7}{:>8.2}{:>11}{:>9}{:>12.1}{:>10.1}{:>14.0}{:>14.0}{:>9.0}\n",
+            r.routing.to_string(),
+            if r.tier { "on" } else { "off" },
+            match r.eviction {
+                CacheEviction::Lru => "lru",
+                CacheEviction::Lfu => "lfu",
+            },
+            rep.prefix_hit_rate(),
+            rep.prefix_tokens_saved,
+            rep.remote_prefix_streams,
+            rep.remote_kv_streamed_bytes / 1e6,
+            r.report.cache_residency_skew / 1e6,
+            rep.ttft.p50 * 1e3,
+            rep.ttft.p99 * 1e3,
+            rep.goodput_tok_s,
+        ));
+    }
+    out
+}
+
 /// One row of the SLO-class policy study.
 #[derive(Debug, Clone)]
 pub struct SloPolicyRow {
@@ -1008,6 +1130,77 @@ mod tests {
         };
         assert!(gain(0.9) > gain(0.5) * 0.9, "more sharing, more win");
         assert!(render_prefix_caching(&rows).contains("hit rate"));
+    }
+
+    #[test]
+    fn cluster_cache_coordination_wins_at_equal_aggregate_kv() {
+        // The coordination acceptance criteria: at equal aggregate KV,
+        // cache-aware routing must beat both scatter baselines on hit
+        // rate *and* the TTFT tail; the global tier must actually
+        // stream blocks to cold blades; and LFU must hold more of the
+        // Zipf head resident than LRU under the same pressure.
+        let rows = cluster_cache_study().unwrap();
+        assert_eq!(rows.len(), 5);
+        let find = |routing: RoutingPolicy, tier: bool, eviction: CacheEviction| {
+            rows.iter()
+                .find(|r| r.routing == routing && r.tier == tier && r.eviction == eviction)
+                .expect("row present")
+        };
+        let rr = find(RoutingPolicy::RoundRobin, false, CacheEviction::Lru);
+        let jsq = find(RoutingPolicy::JoinShortestQueue, false, CacheEviction::Lru);
+        let aware = find(RoutingPolicy::CacheAware, false, CacheEviction::Lru);
+        let tiered = find(RoutingPolicy::CacheAware, true, CacheEviction::Lru);
+        let lfu = find(RoutingPolicy::CacheAware, true, CacheEviction::Lfu);
+        for r in &rows {
+            assert_eq!(r.report.report.completed, 96);
+        }
+        for baseline in [rr, jsq] {
+            assert!(
+                aware.report.report.prefix_hit_rate() > baseline.report.report.prefix_hit_rate(),
+                "cache-aware hit rate {:.2} must beat {} at {:.2}",
+                aware.report.report.prefix_hit_rate(),
+                baseline.routing,
+                baseline.report.report.prefix_hit_rate()
+            );
+            assert!(
+                aware.report.report.ttft.p99 < baseline.report.report.ttft.p99,
+                "cache-aware TTFT p99 {:.0} ms must beat {} at {:.0} ms",
+                aware.report.report.ttft.p99 * 1e3,
+                baseline.routing,
+                baseline.report.report.ttft.p99 * 1e3
+            );
+        }
+        // Affinity concentrates each prompt's blocks on one blade: the
+        // residency spread is the price the report makes visible.
+        assert!(aware.report.cache_residency_skew >= rr.report.cache_residency_skew);
+        // The global tier finds cold blades to warm and wins at least
+        // one stream-vs-recompute race over the cluster interconnect.
+        let t = &tiered.report.report;
+        assert!(t.remote_prefix_hits > 0, "tier must be exercised");
+        assert!(
+            t.remote_prefix_streams > 0 && t.remote_kv_streamed_bytes > 0.0,
+            "the interconnect must win at least one race"
+        );
+        assert_eq!(
+            t.remote_prefix_streams + t.remote_prefix_recomputes,
+            t.remote_prefix_hits
+        );
+        assert!(
+            t.prefix_tokens_saved >= aware.report.report.prefix_tokens_saved,
+            "streamed tier hits only add to the saved prefill"
+        );
+        // Popularity-weighted eviction: under the same pressure LFU
+        // keeps the Zipf-head prompt's blocks where LRU recency drops
+        // them during tail bursts, saving more prefill.
+        assert!(
+            lfu.report.report.prefix_tokens_saved > tiered.report.report.prefix_tokens_saved,
+            "LFU must retain the Zipf head: {} vs LRU {}",
+            lfu.report.report.prefix_tokens_saved,
+            tiered.report.report.prefix_tokens_saved
+        );
+        let rendered = render_cluster_cache(&rows);
+        assert!(rendered.contains("cache-aware"));
+        assert!(rendered.contains("hit rate"));
     }
 
     #[test]

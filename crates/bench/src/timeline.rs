@@ -36,6 +36,11 @@ pub enum TimelineEventKind {
     CacheMiss,
     /// An unreferenced shared block was reclaimed (detail: block tokens).
     CacheEvict,
+    /// The global cache tier held more of a shared prefix than the
+    /// blade's own cache (detail: tokens the tier offered beyond the
+    /// local hit; the stream-vs-recompute outcome shows up as whether a
+    /// `handoff`-style transfer or extra prefill follows).
+    RemoteHit,
     /// A request emitted its final token.
     Completion,
     /// A blade finished one engine iteration (detail: step seconds; no
@@ -55,6 +60,7 @@ impl TimelineEventKind {
             Self::CacheHit => "cache_hit",
             Self::CacheMiss => "cache_miss",
             Self::CacheEvict => "cache_evict",
+            Self::RemoteHit => "remote_hit",
             Self::Completion => "completion",
             Self::Step => "step",
         }
@@ -224,6 +230,24 @@ impl SimObserver for TimelineObserver {
         );
     }
 
+    fn on_remote_cache_hit(
+        &mut self,
+        blade: u32,
+        clock_s: f64,
+        request: &RequestSpec,
+        remote_tokens: u32,
+        _transfer_s: f64,
+        _streamed: bool,
+    ) {
+        self.push(
+            TimelineEventKind::RemoteHit,
+            blade,
+            clock_s,
+            Some(request.id),
+            f64::from(remote_tokens),
+        );
+    }
+
     fn on_completion(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
         self.push(
             TimelineEventKind::Completion,
@@ -326,5 +350,52 @@ mod tests {
         let with_steps = timeline.render_csv(true);
         assert!(with_steps.contains(",step,"));
         assert!(with_steps.lines().count() > csv.lines().count());
+    }
+
+    #[test]
+    fn timeline_records_global_tier_remote_hits() {
+        use llm_workload::{ModelZoo, Parallelism};
+        use optimus::serving::{HandoffLink, RequestSpec, RoutingPolicy, Scenario};
+        use optimus::MultiBladeSystem;
+
+        // Round-robin over four blades with two alternating prefixes
+        // leaves every other blade cold for each prefix — exactly the
+        // arrivals the global tier covers.
+        let system = MultiBladeSystem::new(4).unwrap();
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).unwrap();
+        let trace: Vec<RequestSpec> = (0..24)
+            .map(|i| {
+                RequestSpec::new(i, f64::from(i) * 0.01, 320, 8)
+                    .with_prefix(1 + u64::from(i % 2), 256)
+            })
+            .collect();
+        let mut timeline = TimelineObserver::default();
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .requests(trace)
+            .routing(RoutingPolicy::RoundRobin)
+            .prefix_caching(16)
+            .global_kv_cache(1 << 20)
+            .handoff(HandoffLink {
+                bytes_per_s: 1e12,
+                latency_s: 1e-6,
+            })
+            .compile()
+            .unwrap()
+            .run_observed(&mut timeline)
+            .unwrap();
+        let remote: Vec<&TimelineEvent> = timeline
+            .events
+            .iter()
+            .filter(|e| e.kind == TimelineEventKind::RemoteHit)
+            .collect();
+        assert!(!remote.is_empty(), "cold blades must hit the tier");
+        // The tier offers whole blocks beyond the blade's local hit.
+        assert!(remote.iter().all(|e| e.request.is_some() && e.detail > 0.0));
+        assert!(timeline.render_csv(false).contains(",remote_hit,"));
     }
 }

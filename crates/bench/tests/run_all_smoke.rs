@@ -81,6 +81,10 @@ fn every_run_all_stage_runs_and_renders() -> Result<(), ScdError> {
             srv::render_prefix_caching(&srv::prefix_caching_study()?),
         ),
         (
+            "cluster_cache",
+            srv::render_cluster_cache(&srv::cluster_cache_study()?),
+        ),
+        (
             "slo_classes",
             srv::render_slo_classes(&srv::slo_class_study()?),
         ),

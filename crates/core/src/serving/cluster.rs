@@ -17,6 +17,7 @@
 //! the utilization skew that separates good routing from bad.
 
 use super::control::{AutoscaleConfig, ControlState, ScaleState};
+use super::coord::{ResidencyModel, CACHE_AWARE_MAX_IMBALANCE};
 use super::engine::EngineCtx;
 use super::engine::{
     finalize, BladeState, CostTable, Outcome, ReplayTotals, ServingSimulator, SimCore,
@@ -218,6 +219,14 @@ pub enum RoutingPolicy {
     /// The blade with the least outstanding KV footprint (tokens of
     /// in-flight requests) — KV-aware load balancing.
     LeastLoadedKv,
+    /// Prefix-affinity routing (SGLang-style): a tagged request goes to
+    /// the blade whose modeled prefix residency matches the longest
+    /// leading chain, so repeat prefixes land where their KV already
+    /// lives. Untagged requests, cold prefixes, and replays without
+    /// prefix caching fall back to [`Self::JoinShortestQueue`]
+    /// bit-identically, and the [`CACHE_AWARE_MAX_IMBALANCE`] guard caps
+    /// how far affinity may override load.
+    CacheAware,
 }
 
 impl fmt::Display for RoutingPolicy {
@@ -226,6 +235,7 @@ impl fmt::Display for RoutingPolicy {
             Self::RoundRobin => "round-robin",
             Self::JoinShortestQueue => "join-shortest-queue",
             Self::LeastLoadedKv => "least-loaded-kv",
+            Self::CacheAware => "cache-aware",
         })
     }
 }
@@ -297,6 +307,10 @@ pub struct BladeLoad {
     pub evictions: u32,
     /// Prefix-cache hits on this blade (0 with prefix caching off).
     pub prefix_hits: u64,
+    /// Global-tier hits raced on this blade (0 without a global cache
+    /// tier).
+    #[serde(default)]
+    pub remote_hits: u64,
     /// Peak capacity pinned by this blade's resident shared prefix
     /// blocks (bytes; 0 with prefix caching off).
     pub shared_kv_peak_bytes: f64,
@@ -344,6 +358,13 @@ pub struct ClusterReport {
     /// Utilization spread: max − min per-blade utilization (0 = perfectly
     /// balanced).
     pub utilization_skew: f64,
+    /// Prefix-residency spread: max − min per-blade
+    /// [`BladeLoad::shared_kv_peak_bytes`] (0 with prefix caching off).
+    /// Cache-aware routing deliberately *raises* this — it concentrates
+    /// each hot prefix on one blade instead of replicating it — so it is
+    /// reported rather than asserted small.
+    #[serde(default)]
+    pub cache_residency_skew: f64,
     /// Autoscaler blade-count changes during the replay (0 without an
     /// autoscaler; the flapping bound benches assert on).
     pub scale_events: u32,
@@ -366,6 +387,7 @@ impl PartialEq for ClusterReport {
             && self.report == other.report
             && self.per_blade == other.per_blade
             && self.utilization_skew == other.utilization_skew
+            && self.cache_residency_skew == other.cache_residency_skew
             && self.scale_events == other.scale_events
             && self.peak_blades == other.peak_blades
     }
@@ -536,6 +558,20 @@ impl<'a> ClusterSimulator<'a> {
         // in-flight requests, plus the latest finish time.
         let mut in_flight: Vec<VecDeque<(f64, u64)>> = vec![VecDeque::new(); blades];
         let mut last_finish = vec![0.0f64; blades];
+        // Cache-aware routing models per-blade prefix residency at the
+        // blade's own KV budget; without prefix caching the model is
+        // absent and the policy degenerates to JSQ exactly.
+        let mut residency = match (cluster.routing, cfg.prefix) {
+            (RoutingPolicy::CacheAware, Some(pc)) => Some((
+                ResidencyModel::new(
+                    blades,
+                    pc,
+                    (cfg.kv_capacity_bytes / self.sim.kv_bytes_per_token()) as u64,
+                ),
+                pc.block_tokens,
+            )),
+            _ => None,
+        };
         let mut assignment = Vec::with_capacity(trace.len());
         for (i, r) in trace.iter().enumerate() {
             for fl in &mut in_flight {
@@ -543,15 +579,35 @@ impl<'a> ClusterSimulator<'a> {
                     fl.pop_front();
                 }
             }
+            let jsq = |in_flight: &[VecDeque<(f64, u64)>]| {
+                (0..blades)
+                    .min_by_key(|&b| in_flight[b].len())
+                    .expect("blades >= 1")
+            };
             let blade = match cluster.routing {
                 RoutingPolicy::RoundRobin => i % blades,
-                RoutingPolicy::JoinShortestQueue => (0..blades)
-                    .min_by_key(|&b| in_flight[b].len())
-                    .expect("blades >= 1"),
+                RoutingPolicy::JoinShortestQueue => jsq(&in_flight),
                 RoutingPolicy::LeastLoadedKv => (0..blades)
                     .min_by_key(|&b| in_flight[b].iter().map(|&(_, kv)| kv).sum::<u64>())
                     .expect("blades >= 1"),
+                RoutingPolicy::CacheAware => {
+                    let fallback = jsq(&in_flight);
+                    match (&residency, r.prefix) {
+                        (Some((model, block_tokens)), Some(prefix)) => model
+                            .best_blade(&prefix.block_chain(*block_tokens))
+                            .map(|(best, _)| best)
+                            .filter(|&best| {
+                                in_flight[best].len()
+                                    <= in_flight[fallback].len() + CACHE_AWARE_MAX_IMBALANCE
+                            })
+                            .unwrap_or(fallback),
+                        _ => fallback,
+                    }
+                }
             };
+            if let (Some((model, block_tokens)), Some(prefix)) = (&mut residency, r.prefix) {
+                model.admit(blade, &prefix.block_chain(*block_tokens));
+            }
             let start = last_finish[blade].max(r.arrival_s);
             let finish = start + service_s(r);
             last_finish[blade] = finish;
@@ -1367,6 +1423,7 @@ pub(crate) fn assemble(
             },
             evictions: s.evictions,
             prefix_hits: s.prefix_hits,
+            remote_hits: s.remote_hits,
             shared_kv_peak_bytes: s.shared_peak_tokens as f64 * sim.kv_bytes_per_token(),
         })
         .collect();
@@ -1374,6 +1431,14 @@ pub(crate) fn assemble(
     let min_util = per_blade
         .iter()
         .map(|b| b.utilization)
+        .fold(f64::MAX, f64::min);
+    let max_res = per_blade
+        .iter()
+        .map(|b| b.shared_kv_peak_bytes)
+        .fold(0.0, f64::max);
+    let min_res = per_blade
+        .iter()
+        .map(|b| b.shared_kv_peak_bytes)
         .fold(f64::MAX, f64::min);
     let stretches: u64 = states.iter().map(|s| s.stretches).sum();
     let stretched_iterations: u64 = states.iter().map(|s| s.stretched_iterations).sum();
@@ -1383,6 +1448,7 @@ pub(crate) fn assemble(
         report,
         per_blade,
         utilization_skew: max_util - min_util,
+        cache_residency_skew: max_res - min_res,
         scale_events: scale.map_or(0, ScaleState::events),
         peak_blades: scale.map_or(states.len() as u32, ScaleState::peak_active),
         stretch: StretchStats {
@@ -1546,11 +1612,44 @@ fn run_disaggregated_per_step(
                     .max(charged - cache.resident_tokens());
                 outcomes[idx].prefix_saved_tokens += u64::from(skip);
             }
-            let cost = if r.prompt_tokens > skip {
-                table.prefill_cost(r.prompt_tokens - skip)
-            } else {
-                0.0
-            };
+            // Global-tier race (cluster coordination): when the tier held
+            // more of this prefix than the blade's own cache at arrival,
+            // the remainder streams in over the tier's link iff that
+            // beats recomputing it locally (see [`super::coord`]).
+            let mut tier_transfer_s = 0.0;
+            if let (Some(coord), Some(_)) = (sim.coord(), r.prefix) {
+                let covered = coord.covered[idx].min(r.prompt_tokens);
+                if covered > skip {
+                    let remote = covered - skip;
+                    let transfer = coord
+                        .link
+                        .transfer_s(f64::from(remote) * sim.kv_bytes_per_token());
+                    let recompute = table.prefill_cost(r.prompt_tokens - skip)
+                        - if r.prompt_tokens > covered {
+                            table.prefill_cost(r.prompt_tokens - covered)
+                        } else {
+                            0.0
+                        };
+                    let streams = transfer < recompute;
+                    blade.remote_hits += 1;
+                    obs.on_remote_cache_hit(b as u32, start, r, remote, transfer, streams);
+                    if streams {
+                        blade.remote_streams += 1;
+                        blade.remote_streamed_tokens += u64::from(remote);
+                        outcomes[idx].prefix_saved_tokens += u64::from(remote);
+                        tier_transfer_s = transfer;
+                        skip = covered;
+                    } else {
+                        blade.remote_recomputes += 1;
+                    }
+                }
+            }
+            let cost = tier_transfer_s
+                + if r.prompt_tokens > skip {
+                    table.prefill_cost(r.prompt_tokens - skip)
+                } else {
+                    0.0
+                };
             blade.clock = start + cost;
             blade.busy_s += cost;
             blade.max_step_s = blade.max_step_s.max(cost);
@@ -1726,11 +1825,44 @@ fn run_disaggregated_event(
                     .max(charged - cache.resident_tokens());
                 outcomes[idx].prefix_saved_tokens += u64::from(skip);
             }
-            let cost = if r.prompt_tokens > skip {
-                table.prefill_cost(r.prompt_tokens - skip)
-            } else {
-                0.0
-            };
+            // Global-tier race (cluster coordination): when the tier held
+            // more of this prefix than the blade's own cache at arrival,
+            // the remainder streams in over the tier's link iff that
+            // beats recomputing it locally (see [`super::coord`]).
+            let mut tier_transfer_s = 0.0;
+            if let (Some(coord), Some(_)) = (sim.coord(), r.prefix) {
+                let covered = coord.covered[idx].min(r.prompt_tokens);
+                if covered > skip {
+                    let remote = covered - skip;
+                    let transfer = coord
+                        .link
+                        .transfer_s(f64::from(remote) * sim.kv_bytes_per_token());
+                    let recompute = table.prefill_cost(r.prompt_tokens - skip)
+                        - if r.prompt_tokens > covered {
+                            table.prefill_cost(r.prompt_tokens - covered)
+                        } else {
+                            0.0
+                        };
+                    let streams = transfer < recompute;
+                    blade.remote_hits += 1;
+                    obs.on_remote_cache_hit(b as u32, start, r, remote, transfer, streams);
+                    if streams {
+                        blade.remote_streams += 1;
+                        blade.remote_streamed_tokens += u64::from(remote);
+                        outcomes[idx].prefix_saved_tokens += u64::from(remote);
+                        tier_transfer_s = transfer;
+                        skip = covered;
+                    } else {
+                        blade.remote_recomputes += 1;
+                    }
+                }
+            }
+            let cost = tier_transfer_s
+                + if r.prompt_tokens > skip {
+                    table.prefill_cost(r.prompt_tokens - skip)
+                } else {
+                    0.0
+                };
             blade.clock = start + cost;
             blade.busy_s += cost;
             blade.max_step_s = blade.max_step_s.max(cost);
@@ -2070,6 +2202,7 @@ mod tests {
             RoutingPolicy::RoundRobin,
             RoutingPolicy::JoinShortestQueue,
             RoutingPolicy::LeastLoadedKv,
+            RoutingPolicy::CacheAware,
         ] {
             let r = mk_cluster(&est, &model, &par, 4, routing, DispatchMode::PerBlade)
                 .replay(&trace)
@@ -2084,6 +2217,55 @@ mod tests {
             assert!(r.utilization_skew >= 0.0 && r.utilization_skew <= 1.0);
             assert!(r.to_string().contains("blades"));
         }
+    }
+
+    #[test]
+    fn cache_aware_routing_beats_jsq_on_repeat_prefixes() {
+        // Two hot prefixes across 4 blades: JSQ spreads arrivals by load
+        // and re-misses each prefix on every blade it lands on, while
+        // cache-aware routing pins each prefix to the blade that already
+        // holds it. Same trace, same aggregate KV — strictly better hit
+        // rate, and the deliberate concentration shows up as residency
+        // skew.
+        let (est, model, par) = cluster_parts();
+        let trace: Vec<RequestSpec> = test_trace()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.with_prefix(1 + (i as u64 % 2), 16))
+            .collect();
+        let mk = |routing| {
+            let sim = mk_sim(
+                &est,
+                &model,
+                &par,
+                ServingConfig::unconstrained(4).with_prefix_caching(16),
+            );
+            ClusterSimulator::from_parts(
+                sim,
+                ClusterConfig {
+                    blades: 4,
+                    routing,
+                    dispatch: DispatchMode::PerBlade,
+                    autoscale: None,
+                },
+            )
+            .unwrap()
+        };
+        let aware = mk(RoutingPolicy::CacheAware).replay(&trace).unwrap();
+        let jsq = mk(RoutingPolicy::JoinShortestQueue).replay(&trace).unwrap();
+        assert_eq!(aware.report.completed, 32);
+        assert!(
+            aware.report.prefix_hit_rate() > jsq.report.prefix_hit_rate(),
+            "affinity must beat cache-blind JSQ: {} vs {}",
+            aware.report.prefix_hit_rate(),
+            jsq.report.prefix_hit_rate()
+        );
+        assert!(aware.cache_residency_skew >= 0.0);
+        // Serial and parallel replays agree bit-for-bit for the new policy.
+        assert_eq!(
+            aware,
+            mk(RoutingPolicy::CacheAware).replay_serial(&trace).unwrap()
+        );
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! `serving_regression` suite pins the exact float bit patterns.
 
 use super::control::{AdmissionControl, ControlState};
+use super::coord::CoordPlan;
 use super::events::{AdmissionQueue, DecodeStretch, Gate, SchedQueue, StretchHorizon};
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
-use super::prefix::{PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
+use super::prefix::{CacheEviction, PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
 use super::report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
 use super::traces::{RequestSpec, TraceConfig};
 use crate::error::OptimusError;
@@ -199,10 +200,24 @@ impl ServingConfig {
         self
     }
 
-    /// Enables prefix caching with `block_tokens`-token shared blocks.
+    /// Enables prefix caching with `block_tokens`-token shared blocks
+    /// (LRU reclamation; see [`Self::with_cache_eviction`]).
     #[must_use]
     pub fn with_prefix_caching(mut self, block_tokens: u32) -> Self {
-        self.prefix = Some(PrefixCachingConfig { block_tokens });
+        self.prefix = Some(PrefixCachingConfig {
+            block_tokens,
+            eviction: CacheEviction::default(),
+        });
+        self
+    }
+
+    /// Selects the reclamation order of the prefix caches (requires
+    /// prefix caching to be enabled first; validated at compile time).
+    #[must_use]
+    pub fn with_cache_eviction(mut self, eviction: CacheEviction) -> Self {
+        if let Some(pc) = &mut self.prefix {
+            pc.eviction = eviction;
+        }
         self
     }
 
@@ -371,6 +386,16 @@ pub(crate) struct BladeState {
     /// Decode iterations advanced inside those stretches (the remainder
     /// of `decode_iterations` ran as individual engine steps).
     pub(crate) stretched_iterations: u64,
+    /// Admissions where the global cache tier held more of the prefix
+    /// than this blade's own cache (coordination on only).
+    pub(crate) remote_hits: u64,
+    /// Of those, admissions where streaming the tier's KV span over the
+    /// interconnect beat recomputing it locally.
+    pub(crate) remote_streams: u64,
+    /// KV tokens streamed in from the tier by the winning transfers.
+    pub(crate) remote_streamed_tokens: u64,
+    /// Tier hits where local recompute was cheaper than the transfer.
+    pub(crate) remote_recomputes: u64,
 }
 
 impl BladeState {
@@ -428,7 +453,7 @@ impl BladeState {
             served: 0,
             kv_peak_tokens: 0,
             frag_peak_tokens: 0,
-            cache: prefix.map(|_| PrefixCache::new()),
+            cache: prefix.map(|pc| PrefixCache::with_eviction(pc.eviction)),
             prefix_hits: 0,
             prefix_misses: 0,
             cow_copies: 0,
@@ -436,6 +461,10 @@ impl BladeState {
             shared_peak_tokens: 0,
             stretches: 0,
             stretched_iterations: 0,
+            remote_hits: 0,
+            remote_streams: 0,
+            remote_streamed_tokens: 0,
+            remote_recomputes: 0,
         }
     }
 }
@@ -447,6 +476,10 @@ pub(crate) struct EngineCtx<'a> {
     pub(crate) policy: &'a dyn SchedulerPolicy,
     pub(crate) table: &'a CostTable,
     pub(crate) kv_bytes_per_token: f64,
+    /// The global-tier coordination plan, when the scenario enables one
+    /// (see [`super::coord`]); `None` keeps every replay byte-identical
+    /// to the uncoordinated engine.
+    pub(crate) coord: Option<&'a CoordPlan>,
 }
 
 /// What one admission decided: the trace index, the prefill tokens a
@@ -657,6 +690,7 @@ impl EngineCtx<'_> {
             obs.on_admission(blade.id, blade.clock, &trace[idx]);
             let r = &trace[idx];
             let prompt = r.prompt_tokens;
+            let mut skip = skip;
             let streamed = prefilled.is_some_and(|p| p[idx]);
             if cfg.prefix.is_some() && r.prefix.is_some() && !streamed {
                 if skip > 0 {
@@ -665,6 +699,45 @@ impl EngineCtx<'_> {
                     obs.on_cache_miss(blade.id, blade.clock, r);
                 }
                 outcomes[idx].prefix_saved_tokens += u64::from(skip);
+                // Global-tier race: when the cluster tier held more of
+                // this prefix at arrival than the blade's own cache does
+                // now, streaming the extra span over the interconnect
+                // competes with recomputing it locally — the cheaper one
+                // wins and the choice is recorded (see `super::coord`).
+                if let Some(coord) = self.coord {
+                    let covered = coord.covered[idx].min(prompt);
+                    if covered > skip {
+                        let remote = covered - skip;
+                        let transfer = coord
+                            .link
+                            .transfer_s(f64::from(remote) * self.kv_bytes_per_token);
+                        let recompute = self.table.prefill_cost(prompt - skip)
+                            - if prompt > covered {
+                                self.table.prefill_cost(prompt - covered)
+                            } else {
+                                0.0
+                            };
+                        let streams = transfer < recompute;
+                        blade.remote_hits += 1;
+                        obs.on_remote_cache_hit(
+                            blade.id,
+                            blade.clock,
+                            r,
+                            remote,
+                            transfer,
+                            streams,
+                        );
+                        if streams {
+                            blade.remote_streams += 1;
+                            blade.remote_streamed_tokens += u64::from(remote);
+                            outcomes[idx].prefix_saved_tokens += u64::from(remote);
+                            step_cost += transfer;
+                            skip = covered;
+                        } else {
+                            blade.remote_recomputes += 1;
+                        }
+                    }
+                }
             }
             if streamed {
                 // KV streamed in from a prefill blade: decode-ready at
@@ -1055,6 +1128,10 @@ pub(crate) struct ReplayTotals {
     pub(crate) cow_copies: u64,
     pub(crate) cache_evictions: u64,
     pub(crate) shared_peak_tokens: u64,
+    pub(crate) remote_hits: u64,
+    pub(crate) remote_streams: u64,
+    pub(crate) remote_streamed_tokens: u64,
+    pub(crate) remote_recomputes: u64,
 }
 
 impl ReplayTotals {
@@ -1074,6 +1151,10 @@ impl ReplayTotals {
         // KV (and its shared pool) is per-blade memory: the cluster-wide
         // peak is the worst single blade, mirroring `kv_peak_tokens`.
         self.shared_peak_tokens = self.shared_peak_tokens.max(blade.shared_peak_tokens);
+        self.remote_hits += blade.remote_hits;
+        self.remote_streams += blade.remote_streams;
+        self.remote_streamed_tokens += blade.remote_streamed_tokens;
+        self.remote_recomputes += blade.remote_recomputes;
     }
 }
 
@@ -1210,6 +1291,10 @@ pub(crate) fn finalize(
         prefix_cow_copies: totals.cow_copies,
         prefix_cache_evictions: totals.cache_evictions,
         kv_shared_peak_bytes: totals.shared_peak_tokens as f64 * kv_bytes_per_token,
+        remote_prefix_hits: totals.remote_hits,
+        remote_prefix_streams: totals.remote_streams,
+        remote_prefix_recomputes: totals.remote_recomputes,
+        remote_kv_streamed_bytes: totals.remote_streamed_tokens as f64 * kv_bytes_per_token,
         ttft: Percentiles::of(&mut ttft),
         tpot: Percentiles::of(&mut tpot),
         latency: Percentiles::of(&mut latency),
@@ -1234,6 +1319,9 @@ pub struct ServingSimulator<'a> {
     classes: Vec<SloClass>,
     /// KV bytes per cached token per sequence, whole system.
     kv_bytes_per_token: f64,
+    /// Global-tier coordination plan, attached per replay by the compiled
+    /// scenario when the tier is enabled (see [`super::coord`]).
+    coord: Option<CoordPlan>,
 }
 
 impl<'a> ServingSimulator<'a> {
@@ -1313,6 +1401,7 @@ impl<'a> ServingSimulator<'a> {
             policy,
             classes,
             kv_bytes_per_token,
+            coord: None,
         })
     }
 
@@ -1349,6 +1438,18 @@ impl<'a> ServingSimulator<'a> {
         self.kv_bytes_per_token
     }
 
+    /// Attaches the global-tier coordination plan this simulator's
+    /// replays run under (computed per trace; see
+    /// [`plan_global_tier`](super::coord::plan_global_tier)).
+    pub(crate) fn set_coord(&mut self, plan: CoordPlan) {
+        self.coord = Some(plan);
+    }
+
+    /// The attached coordination plan, if any.
+    pub(crate) fn coord(&self) -> Option<&CoordPlan> {
+        self.coord.as_ref()
+    }
+
     /// Fresh admission-control gate state for a `requests`-long trace, or
     /// `None` when no gate is configured (the replay then takes no
     /// control-plane branch anywhere). The gate watches the strict
@@ -1366,6 +1467,7 @@ impl<'a> ServingSimulator<'a> {
             policy: self.policy.as_ref(),
             table,
             kv_bytes_per_token: self.kv_bytes_per_token,
+            coord: self.coord.as_ref(),
         }
     }
 

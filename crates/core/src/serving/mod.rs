@@ -30,8 +30,14 @@
 //!   admission queues built on the [`OrderingContract`] each
 //!   [`SchedulerPolicy`] declares.
 //! * [`cluster`] — N blades ([`ClusterSimulator`]): round-robin /
-//!   join-shortest-queue / least-loaded-KV routing into per-blade queues,
-//!   or one central queue, with per-blade utilization skew in the report.
+//!   join-shortest-queue / least-loaded-KV / cache-aware routing into
+//!   per-blade queues, or one central queue, with per-blade utilization
+//!   skew in the report.
+//! * [`coord`] — cluster-wide prefix-cache coordination: the
+//!   cache-aware router's per-blade residency model, and the global KV
+//!   cache tier ([`GlobalCacheConfig`]) whose hits stream cached spans
+//!   over the interconnect, raced against local recompute. Both off by
+//!   default and bit-inert when off.
 //! * [`control`] — the closed-loop control plane: class-aware load
 //!   shedding behind an attainment-floor gate with hysteresis
 //!   ([`AdmissionControl`]) and a watermark-driven cluster autoscaler
@@ -163,6 +169,7 @@
 
 pub mod cluster;
 pub mod control;
+pub mod coord;
 pub mod engine;
 pub mod events;
 pub mod kv;
@@ -178,6 +185,7 @@ pub use cluster::{
     HandoffLink, RoutingPolicy, StretchStats, Topology,
 };
 pub use control::{AdmissionControl, AutoscaleConfig, ControlPlane};
+pub use coord::{GlobalCacheConfig, CACHE_AWARE_MAX_IMBALANCE};
 pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator, SimCore};
 pub use events::EventHeap;
 pub use kv::{KvLayout, PagedKvAllocator};
@@ -186,7 +194,7 @@ pub use policy::{
     FcfsPolicy, MaxWaitGuardPolicy, OrderingContract, SchedulerPolicy, SjfPolicy,
     StrictPriorityPolicy, WeightedFairPolicy,
 };
-pub use prefix::{PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
+pub use prefix::{CacheEviction, PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
 pub use report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
 pub use scenario::{CompiledScenario, Scenario};
 pub use traces::{

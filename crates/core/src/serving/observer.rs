@@ -72,6 +72,23 @@ pub trait SimObserver {
         let _ = (blade, clock_s, block_tokens);
     }
 
+    /// The global cache tier held `remote_tokens` more of `request`'s
+    /// prefix than blade `blade`'s own cache: streaming that KV span over
+    /// the interconnect (`transfer_s` seconds) was raced against
+    /// recomputing it locally, and `streamed` records which won (see
+    /// [`super::coord`]). Fires only when a scenario enables the tier.
+    fn on_remote_cache_hit(
+        &mut self,
+        blade: u32,
+        clock_s: f64,
+        request: &RequestSpec,
+        remote_tokens: u32,
+        transfer_s: f64,
+        streamed: bool,
+    ) {
+        let _ = (blade, clock_s, request, remote_tokens, transfer_s, streamed);
+    }
+
     /// Blade `blade` finished one engine iteration of `step_s` seconds
     /// with `decoding` sequences in the decode batch (clock is the
     /// iteration end).
@@ -140,6 +157,8 @@ pub struct CountingObserver {
     pub cache_misses: u64,
     /// Shared blocks reclaimed by LRU eviction.
     pub cache_evictions: u64,
+    /// Global-tier hits raced against local recompute.
+    pub remote_hits: u64,
     /// Requests dropped by the admission-control gate.
     pub sheds: u64,
     /// Autoscaler blade-count changes.
@@ -183,6 +202,10 @@ impl SimObserver for CountingObserver {
         self.cache_evictions += 1;
     }
 
+    fn on_remote_cache_hit(&mut self, _: u32, _: f64, _: &RequestSpec, _: u32, _: f64, _: bool) {
+        self.remote_hits += 1;
+    }
+
     fn on_shed(&mut self, _: u32, _: f64, _: &RequestSpec) {
         self.sheds += 1;
     }
@@ -213,6 +236,7 @@ mod tests {
         c.on_cache_hit(0, 1.1, &r, 32);
         c.on_cache_miss(0, 1.2, &r);
         c.on_cache_evict(0, 1.3, 16);
+        c.on_remote_cache_hit(0, 1.35, &r, 32, 1e-6, true);
         c.on_shed(0, 1.4, &r);
         c.on_scale(1.5, 1, 2);
         assert_eq!(
@@ -227,6 +251,7 @@ mod tests {
                 cache_hits: 1,
                 cache_misses: 1,
                 cache_evictions: 1,
+                remote_hits: 1,
                 sheds: 1,
                 scale_events: 1,
             }

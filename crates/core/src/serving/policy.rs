@@ -393,6 +393,25 @@ impl SchedulerPolicy for WeightedFairPolicy {
         queue.extend(arrived);
         queue.extend(future);
     }
+
+    fn evict_victim(&self, trace: &[RequestSpec], running: &[RunningSeq]) -> usize {
+        // Preemption mirrors the admission share: the lightest-weight
+        // class gives up KV capacity first, and among equal weights the
+        // youngest sequence (largest batch position — least recompute to
+        // throw away) goes, matching the default recompute order. With
+        // uniform or unbound weights every comparison ties and this
+        // reduces to the default youngest-first victim bit-for-bit.
+        running
+            .iter()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| {
+                self.weight(trace[a.idx].class)
+                    .total_cmp(&self.weight(trace[b.idx].class))
+                    .then(j.cmp(i))
+            })
+            .map(|(i, _)| i)
+            .expect("engine evicts only from a non-empty batch")
+    }
 }
 
 #[cfg(test)]
@@ -530,6 +549,34 @@ mod tests {
         let mut lq = VecDeque::from([0, 1]);
         policy.order_queue(1.0, &late, &mut lq);
         assert_eq!(lq, VecDeque::from([0, 1]));
+    }
+
+    #[test]
+    fn weighted_fair_evicts_lightest_class_youngest_first() {
+        let mut policy = WeightedFairPolicy::new();
+        policy.bind_classes(&[
+            SloClass::interactive(), // weight 2
+            SloClass::batch(),       // weight 1
+        ]);
+        let trace = [
+            req(0, 0.0, 10, 10).in_class(1), // batch, oldest
+            req(1, 0.1, 10, 10).in_class(0), // interactive
+            req(2, 0.2, 10, 10).in_class(1), // batch, youngest
+            req(3, 0.3, 10, 10).in_class(0), // interactive, youngest overall
+        ];
+        let running = [
+            RunningSeq::admitted(0, 10),
+            RunningSeq::admitted(1, 10),
+            RunningSeq::admitted(2, 10),
+            RunningSeq::admitted(3, 10),
+        ];
+        // The youngest *batch* sequence loses, not the youngest overall:
+        // cache pressure lands on the lightest class first.
+        assert_eq!(policy.evict_victim(&trace, &running), 2);
+        // Class-blind use (unbound weights) keeps the default
+        // youngest-first victim bit-for-bit.
+        let unbound = WeightedFairPolicy::new();
+        assert_eq!(unbound.evict_victim(&trace, &running), running.len() - 1);
     }
 
     #[test]

@@ -36,6 +36,22 @@ use crate::error::OptimusError;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Reclamation order for unreferenced cache blocks.
+///
+/// `Lru` is the classic recency order. `Lfu` weights recency by
+/// popularity: blocks of a frequently-reacquired chain (the head of a
+/// Zipf request distribution) are reclaimed last, so the hot system
+/// prompt never falls out of a pressured cache. Both orders are pure
+/// integer bookkeeping and never touch the audited float stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CacheEviction {
+    /// Least-recently-used first (the PR 5 behaviour; bit-identical).
+    #[default]
+    Lru,
+    /// Least-frequently-used first, recency as the tiebreak.
+    Lfu,
+}
+
 /// Engine-facing prefix-caching configuration (off by default; enable via
 /// [`Scenario::prefix_caching`](super::scenario::Scenario::prefix_caching)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,6 +60,10 @@ pub struct PrefixCachingConfig {
     /// to 16). Independent of the [`KvLayout`](super::kv::KvLayout) used
     /// for private KV accounting.
     pub block_tokens: u32,
+    /// Reclamation order for unreferenced blocks (defaults to LRU, which
+    /// reproduces the pre-coordination behaviour bit for bit).
+    #[serde(default)]
+    pub eviction: CacheEviction,
 }
 
 impl PrefixCachingConfig {
@@ -141,6 +161,19 @@ struct Node {
     tokens: u32,
     /// Logical LRU stamp of the last acquire/insert touch.
     last_use: u64,
+    /// Times this block was reacquired while resident (the popularity
+    /// signal [`CacheEviction::Lfu`] orders reclamation by).
+    hits: u64,
+}
+
+/// Position of an unreferenced leaf in the reclamation order. The last
+/// element is always the block hash, so eviction can recover the victim
+/// regardless of mode.
+fn free_key(eviction: CacheEviction, node: &Node, hash: u64) -> (u64, u64, u64) {
+    match eviction {
+        CacheEviction::Lru => (node.last_use, 0, hash),
+        CacheEviction::Lfu => (node.hits, node.last_use, hash),
+    }
 }
 
 /// Ref-counted shared-block cache: a radix tree over chained block
@@ -152,13 +185,15 @@ struct Node {
 #[derive(Debug, Clone, Default)]
 pub struct PrefixCache {
     nodes: BTreeMap<u64, Node>,
-    /// Unreferenced leaves, ordered by (last_use, hash): the LRU victim
-    /// is always `free.first()`.
-    free: BTreeSet<(u64, u64)>,
+    /// Unreferenced leaves in reclamation order (see [`free_key`]): the
+    /// next victim is always `free.first()`.
+    free: BTreeSet<(u64, u64, u64)>,
     /// Logical clock for LRU stamps.
     tick: u64,
     /// Tokens actually cached across resident blocks.
     resident_tokens: u64,
+    /// Reclamation order (LRU by default).
+    eviction: CacheEviction,
 }
 
 impl PrefixCache {
@@ -166,6 +201,15 @@ impl PrefixCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with the given reclamation order.
+    #[must_use]
+    pub fn with_eviction(eviction: CacheEviction) -> Self {
+        Self {
+            eviction,
+            ..Self::default()
+        }
     }
 
     /// Resident blocks (referenced or LRU-reclaimable).
@@ -212,13 +256,16 @@ impl PrefixCache {
         let hits = self.peek(chain);
         for b in &chain[..hits] {
             self.tick += 1;
+            let eviction = self.eviction;
             let node = self.nodes.get_mut(&b.hash).expect("hit block resident");
             if node.refcount == 0 && node.children == 0 {
                 // The block stops being an evictable leaf.
-                self.free.remove(&(node.last_use, b.hash));
+                let key = free_key(eviction, node, b.hash);
+                self.free.remove(&key);
             }
             node.last_use = self.tick;
             node.refcount += 1;
+            node.hits += 1;
         }
         hits
     }
@@ -245,6 +292,7 @@ impl PrefixCache {
                 });
             }
             if let Some(p) = parent {
+                let eviction = self.eviction;
                 let Some(pn) = self.nodes.get_mut(&p) else {
                     return Err(OptimusError::Serving {
                         reason: format!(
@@ -255,7 +303,8 @@ impl PrefixCache {
                 };
                 if pn.refcount == 0 && pn.children == 0 {
                     // The parent stops being an evictable leaf.
-                    self.free.remove(&(pn.last_use, p));
+                    let key = free_key(eviction, pn, p);
+                    self.free.remove(&key);
                 }
                 pn.children += 1;
             }
@@ -268,6 +317,7 @@ impl PrefixCache {
                     refcount: 1,
                     tokens: b.tokens,
                     last_use: self.tick,
+                    hits: 0,
                 },
             );
             self.resident_tokens += u64::from(b.tokens);
@@ -302,30 +352,37 @@ impl PrefixCache {
             }
         }
         for b in blocks {
+            let eviction = self.eviction;
             let node = self.nodes.get_mut(&b.hash).expect("checked resident");
             node.refcount -= 1;
             if node.refcount == 0 && node.children == 0 {
-                self.free.insert((node.last_use, b.hash));
+                let key = free_key(eviction, node, b.hash);
+                self.free.insert(key);
             }
         }
         Ok(())
     }
 
-    /// Reclaims the least-recently-used unreferenced leaf block, if any,
-    /// returning the tokens it cached. Its parent may become reclaimable
-    /// in turn, so repeated calls peel a dead chain back to front.
+    /// Reclaims the first unreferenced leaf block in the configured
+    /// reclamation order (LRU by default, LFU under
+    /// [`CacheEviction::Lfu`]), if any, returning the tokens it cached.
+    /// Its parent may become reclaimable in turn, so repeated calls peel
+    /// a dead chain back to front.
     pub fn evict_lru(&mut self) -> Option<u32> {
-        let &(stamp, hash) = self.free.first()?;
-        self.free.remove(&(stamp, hash));
+        let &key = self.free.first()?;
+        self.free.remove(&key);
+        let hash = key.2;
         let node = self.nodes.remove(&hash).expect("free block resident");
         debug_assert_eq!(node.refcount, 0);
         debug_assert_eq!(node.children, 0);
         self.resident_tokens -= u64::from(node.tokens);
         if let Some(p) = node.parent {
+            let eviction = self.eviction;
             let pn = self.nodes.get_mut(&p).expect("parent resident");
             pn.children -= 1;
             if pn.refcount == 0 && pn.children == 0 {
-                self.free.insert((pn.last_use, p));
+                let parent_key = free_key(eviction, pn, p);
+                self.free.insert(parent_key);
             }
         }
         Some(node.tokens)
@@ -490,7 +547,51 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(PrefixCachingConfig { block_tokens: 0 }.validate().is_err());
-        assert!(PrefixCachingConfig { block_tokens: 16 }.validate().is_ok());
+        assert!(PrefixCachingConfig {
+            block_tokens: 0,
+            eviction: CacheEviction::Lru,
+        }
+        .validate()
+        .is_err());
+        assert!(PrefixCachingConfig {
+            block_tokens: 16,
+            eviction: CacheEviction::Lfu,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn lfu_retains_the_popular_chain_where_lru_drops_it() {
+        // Zipf head `hot` is touched many times early; the cold chain is
+        // touched once, later. Under LRU the *older* hot chain is the
+        // victim; under LFU popularity outranks recency and the cold
+        // chain goes first.
+        for (eviction, expect_hot_survives) in
+            [(CacheEviction::Lru, false), (CacheEviction::Lfu, true)]
+        {
+            let mut cache = PrefixCache::with_eviction(eviction);
+            let hot = chain(1, 16, 16);
+            let cold = chain(2, 16, 16);
+            let from = cache.acquire(&hot);
+            cache.insert(&hot, from).unwrap();
+            cache.release(&hot, 1).unwrap();
+            for _ in 0..5 {
+                let hits = cache.acquire(&hot);
+                assert_eq!(hits, 1);
+                cache.release(&hot, 1).unwrap();
+            }
+            let from = cache.acquire(&cold);
+            cache.insert(&cold, from).unwrap();
+            cache.release(&cold, 1).unwrap();
+            let evicted = cache.evict_to_budget(16, 16);
+            assert_eq!(evicted, 1);
+            assert_eq!(
+                cache.peek(&hot),
+                usize::from(expect_hot_survives),
+                "{eviction:?}: hot chain residency"
+            );
+            assert_eq!(cache.peek(&cold), usize::from(!expect_hot_survives));
+        }
     }
 }

@@ -190,6 +190,21 @@ pub struct ServingReport {
     /// block-granular, worst single blade) — shared blocks are counted
     /// once here and excluded from every sequence's private footprint.
     pub kv_shared_peak_bytes: f64,
+    /// Admissions where the global cache tier held more of the prefix
+    /// than the blade's own cache (0 without cluster coordination).
+    #[serde(default)]
+    pub remote_prefix_hits: u64,
+    /// Of those, admissions where streaming the tier's KV span over the
+    /// interconnect beat recomputing it locally.
+    #[serde(default)]
+    pub remote_prefix_streams: u64,
+    /// Tier hits where local recompute won the race instead.
+    #[serde(default)]
+    pub remote_prefix_recomputes: u64,
+    /// Cross-blade KV bytes streamed in from the global tier by the
+    /// winning transfers.
+    #[serde(default)]
+    pub remote_kv_streamed_bytes: f64,
     /// Time-to-first-token percentiles (s).
     pub ttft: Percentiles,
     /// Time-per-output-token percentiles (s).
@@ -270,6 +285,15 @@ impl fmt::Display for ServingReport {
                 "; prefix hit rate {:.2} ({} tok prefill saved)",
                 self.prefix_hit_rate(),
                 self.prefix_tokens_saved
+            )?;
+        }
+        if self.remote_prefix_hits > 0 {
+            write!(
+                f,
+                "; {} tier hits ({} streamed, {:.1} MB over fabric)",
+                self.remote_prefix_hits,
+                self.remote_prefix_streams,
+                self.remote_kv_streamed_bytes / 1e6
             )?;
         }
         Ok(())

@@ -44,11 +44,12 @@ use super::cluster::{
     RoutingPolicy, Topology,
 };
 use super::control::{AutoscaleConfig, ControlPlane};
+use super::coord::{plan_global_tier, GlobalCacheConfig};
 use super::engine::{DecodePricing, ServingConfig, ServingSimulator, SimCore};
 use super::kv::KvLayout;
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
-use super::prefix::PrefixCachingConfig;
+use super::prefix::{CacheEviction, PrefixCachingConfig};
 use super::report::{FrontierPoint, SloClass};
 use super::traces::{RequestSpec, TraceConfig, TraceSource};
 use crate::error::OptimusError;
@@ -103,6 +104,8 @@ pub struct Scenario<'a> {
     chunk_tokens: u32,
     pricing: DecodePricing,
     prefix: Option<PrefixCachingConfig>,
+    eviction: Option<CacheEviction>,
+    global: Option<GlobalCacheConfig>,
     ttft_slo_s: f64,
     tpot_slo_s: f64,
     classes: Option<Vec<SloClass>>,
@@ -171,6 +174,8 @@ impl<'a> Scenario<'a> {
             chunk_tokens: 0,
             pricing: DecodePricing::BucketizedMean,
             prefix: None,
+            eviction: None,
+            global: None,
             ttft_slo_s: 10.0,
             tpot_slo_s: 0.1,
             classes: None,
@@ -313,7 +318,38 @@ impl<'a> Scenario<'a> {
     /// pre-prefix-cache engine.
     #[must_use]
     pub fn prefix_caching(mut self, block_tokens: u32) -> Self {
-        self.prefix = Some(PrefixCachingConfig { block_tokens });
+        self.prefix = Some(PrefixCachingConfig {
+            block_tokens,
+            eviction: CacheEviction::default(),
+        });
+        self
+    }
+
+    /// Overrides the prefix-cache reclamation order — blade caches and
+    /// the global tier alike ([`CacheEviction::Lru`] is the default;
+    /// [`CacheEviction::Lfu`] keeps the popular chains of a Zipf-skewed
+    /// workload resident under pressure). Needs [`Self::prefix_caching`];
+    /// compile-time validated.
+    #[must_use]
+    pub fn cache_eviction(mut self, eviction: CacheEviction) -> Self {
+        self.eviction = Some(eviction);
+        self
+    }
+
+    /// Enables the cluster-level global KV cache tier (see
+    /// [`super::coord`]): a `budget_tokens`-bounded [`PrefixCache`]
+    /// populated by insert-through from every tagged admission. When the
+    /// tier holds more of a request's prefix than the target blade's own
+    /// cache, the remainder streams in over the cluster interconnect,
+    /// raced against local recompute — whichever is cheaper wins. Off by
+    /// default; needs [`Self::prefix_caching`] and an interconnect link
+    /// (a [`MultiBladeSystem`] anchor or [`Self::handoff`]), both
+    /// compile-time validated.
+    ///
+    /// [`PrefixCache`]: super::prefix::PrefixCache
+    #[must_use]
+    pub fn global_kv_cache(mut self, budget_tokens: u64) -> Self {
+        self.global = Some(GlobalCacheConfig { budget_tokens });
         self
     }
 
@@ -440,6 +476,18 @@ impl<'a> Scenario<'a> {
         config.prefill_chunk_tokens = self.chunk_tokens;
         config.decode_pricing = self.pricing;
         config.prefix = self.prefix;
+        if let Some(eviction) = self.eviction {
+            match &mut config.prefix {
+                Some(pc) => pc.eviction = eviction,
+                None => {
+                    return Err(OptimusError::Serving {
+                        reason: "a cache eviction policy orders prefix-cache reclamation: \
+                                 enable .prefix_caching(...) first"
+                            .to_owned(),
+                    })
+                }
+            }
+        }
         config.ttft_slo_s = self.ttft_slo_s;
         config.tpot_slo_s = self.tpot_slo_s;
         config.core = self.core;
@@ -482,6 +530,25 @@ impl<'a> Scenario<'a> {
             Some(link)
         } else {
             self.link
+        };
+        let global = match self.global {
+            None => None,
+            Some(g) => {
+                let pc = config.prefix.ok_or_else(|| OptimusError::Serving {
+                    reason: "the global KV cache tier coordinates prefix caches: enable \
+                             .prefix_caching(...) first"
+                        .to_owned(),
+                })?;
+                g.validate(&pc)?;
+                let tier_link = link.ok_or_else(|| OptimusError::Serving {
+                    reason: "the global KV cache tier streams hits over the cluster \
+                             interconnect: anchor the scenario on a MultiBladeSystem or set \
+                             .handoff(...)"
+                        .to_owned(),
+                })?;
+                tier_link.validate()?;
+                Some(g)
+            }
         };
 
         // Validate everything the engine will see once, now: the
@@ -530,6 +597,7 @@ impl<'a> Scenario<'a> {
             dispatch: self.dispatch,
             autoscale,
             link,
+            global,
         })
     }
 }
@@ -552,6 +620,7 @@ pub struct CompiledScenario<'a> {
     dispatch: DispatchMode,
     autoscale: Option<AutoscaleConfig>,
     link: Option<HandoffLink>,
+    global: Option<GlobalCacheConfig>,
 }
 
 impl fmt::Debug for CompiledScenario<'_> {
@@ -603,7 +672,14 @@ impl CompiledScenario<'_> {
         parallel: bool,
         obs: &mut dyn SimObserver,
     ) -> Result<ClusterReport, OptimusError> {
-        let sim = self.sim()?;
+        let mut sim = self.sim()?;
+        if let (Some(global), Some(pc)) = (self.global, self.config.prefix) {
+            // The coordination pre-pass walks the trace once in arrival
+            // order, so the plan — and every transfer-vs-recompute race —
+            // is identical across dispatch modes, cores, and parallelism.
+            let link = self.link.expect("validated at compile");
+            sim.set_coord(plan_global_tier(trace, pc, global, link)?);
+        }
         if self.topology.is_disaggregated() {
             let link = self.link.as_ref().expect("validated at compile");
             let table = sim.cost_table(trace, parallel)?;
@@ -1145,6 +1221,140 @@ mod tests {
             u64::from(event.report.completed) + event.report.shed_requests,
             u64::from(event.report.requests)
         );
+    }
+
+    /// Two hot 256-token prefixes over round-robin routing: each blade
+    /// keeps seeing one prefix, so the first arrival per blade is a
+    /// local miss the global tier already covers.
+    fn tagged_trace() -> Vec<RequestSpec> {
+        (0..24)
+            .map(|i| {
+                RequestSpec::new(i, f64::from(i) * 0.01, 320, 8)
+                    .with_prefix(1 + u64::from(i % 2), 256)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn global_tier_streams_cold_blades_warm_and_stays_bit_identical() {
+        let (system, model, par) = parts();
+        let mk = |core| {
+            Scenario::new(&system)
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(6)
+                .unconstrained_kv()
+                .requests(tagged_trace())
+                .routing(RoutingPolicy::RoundRobin)
+                .prefix_caching(16)
+                .global_kv_cache(1 << 20)
+                .handoff(HandoffLink {
+                    bytes_per_s: 1e12,
+                    latency_s: 1e-6,
+                })
+                .core(core)
+                .compile()
+                .unwrap()
+        };
+        let event = mk(SimCore::EventDriven).run().unwrap();
+        let r = &event.report;
+        assert!(r.remote_prefix_hits > 0, "cold blades must hit the tier");
+        assert_eq!(
+            r.remote_prefix_streams + r.remote_prefix_recomputes,
+            r.remote_prefix_hits,
+            "every tier hit resolves its race one way"
+        );
+        assert!(
+            r.remote_prefix_streams > 0 && r.remote_kv_streamed_bytes > 0.0,
+            "a TB/s link must win at least one race: {r}"
+        );
+        assert_eq!(
+            event.per_blade.iter().map(|b| b.remote_hits).sum::<u64>(),
+            r.remote_prefix_hits
+        );
+        // Bit-identical across cores and serial/parallel replay.
+        assert_eq!(event, mk(SimCore::PerStep).run().unwrap());
+        assert_eq!(event, mk(SimCore::EventDriven).run_serial().unwrap());
+        // A pathologically slow link loses every race to recompute — the
+        // tier can only ever help, never hurt.
+        let slow = Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .requests(tagged_trace())
+            .routing(RoutingPolicy::RoundRobin)
+            .prefix_caching(16)
+            .global_kv_cache(1 << 20)
+            .handoff(HandoffLink {
+                bytes_per_s: 1.0,
+                latency_s: 10.0,
+            })
+            .compile()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(slow.report.remote_prefix_streams, 0);
+        assert_eq!(
+            slow.report.remote_prefix_recomputes,
+            slow.report.remote_prefix_hits
+        );
+        assert!(slow.report.makespan_s <= event.report.makespan_s + 1e-12);
+    }
+
+    #[test]
+    fn cluster_cache_coordination_misconfigurations_are_typed() {
+        let (system, model, par) = parts();
+        // The tier coordinates prefix caches; without one it's a typo.
+        let err = scenario(&system, &model, &par)
+            .global_kv_cache(1 << 20)
+            .compile();
+        assert!(
+            matches!(err, Err(OptimusError::Serving { ref reason })
+                if reason.contains("prefix_caching")),
+            "{err:?}"
+        );
+        // So does an eviction-order override.
+        let err = scenario(&system, &model, &par)
+            .cache_eviction(CacheEviction::Lfu)
+            .compile();
+        assert!(
+            matches!(err, Err(OptimusError::Serving { ref reason })
+                if reason.contains("prefix_caching")),
+            "{err:?}"
+        );
+        // A tier budget below one block can never cache anything.
+        let err = scenario(&system, &model, &par)
+            .prefix_caching(16)
+            .global_kv_cache(15)
+            .compile();
+        assert!(
+            matches!(err, Err(OptimusError::Serving { ref reason }) if reason.contains("block")),
+            "{err:?}"
+        );
+        // A bare estimator has no interconnect for tier hits to stream
+        // over.
+        let err = Scenario::on_estimator(system.inference_estimator())
+            .model(&model)
+            .parallelism(&par)
+            .unconstrained_kv()
+            .poisson(prefill_heavy_trace())
+            .prefix_caching(16)
+            .global_kv_cache(1 << 20)
+            .compile();
+        assert!(
+            matches!(err, Err(OptimusError::Serving { ref reason })
+                if reason.contains("handoff")),
+            "{err:?}"
+        );
+        // The full coordination stack compiles when everything is wired.
+        assert!(scenario(&system, &model, &par)
+            .prefix_caching(16)
+            .cache_eviction(CacheEviction::Lfu)
+            .global_kv_cache(1 << 20)
+            .routing(RoutingPolicy::CacheAware)
+            .compile()
+            .is_ok());
     }
 
     #[test]

@@ -353,6 +353,58 @@ fn prefix_cached_cores_agree() {
 }
 
 #[test]
+fn coordinated_cluster_cores_agree() {
+    // Cluster coordination — cache-aware routing, the global KV tier,
+    // LFU eviction — is computed in arrival-order pre-passes off the
+    // trace alone, so it must leave the two cores bit-identical just
+    // like the base prefix cache does.
+    use optimus::serving::{CacheEviction, HandoffLink};
+    let system = MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = SharedPrefixTraceConfig {
+        seed: 27,
+        requests: 32,
+        arrival_rate_per_s: 120.0,
+        prefixes: 3,
+        prefix_tokens: (100, 260),
+        zipf_s: 1.0,
+        share_fraction: 0.8,
+        unique_prompt_tokens: (16, 64),
+        output_tokens: (8, 32),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .prefix_caching(16)
+            .cache_eviction(CacheEviction::Lfu)
+            .global_kv_cache(1 << 20)
+            .handoff(HandoffLink {
+                bytes_per_s: 1e12,
+                latency_s: 1e-6,
+            })
+            .trace(&trace)
+    };
+    let r = assert_cores_agree("coordinated cache-aware", || {
+        base()
+            .topology(Topology::mixed(4))
+            .routing(RoutingPolicy::CacheAware)
+    });
+    assert!(r.report.prefix_hits > 0, "the cache must be exercised");
+    assert_cores_agree("coordinated central", || {
+        base()
+            .topology(Topology::mixed(4))
+            .dispatch(DispatchMode::Central)
+    });
+    assert_cores_agree("coordinated disaggregated", || {
+        base().topology(Topology::disaggregated(1, 3))
+    });
+}
+
+#[test]
 fn observer_event_streams_are_identical_between_cores() {
     // A non-passive observer forces the event core's decode stretches
     // onto their callback-dispatching path: the full event stream (not

@@ -147,6 +147,7 @@ fn cluster_replay_parallel_matches_serial_bit_for_bit() {
         RoutingPolicy::RoundRobin,
         RoutingPolicy::JoinShortestQueue,
         RoutingPolicy::LeastLoadedKv,
+        RoutingPolicy::CacheAware,
     ] {
         for dispatch in [DispatchMode::PerBlade, DispatchMode::Central] {
             let compiled = Scenario::new(&system)
@@ -303,6 +304,66 @@ fn prefix_cached_replay_parallel_matches_serial_bit_for_bit() {
             s.report.makespan_s.to_bits(),
             "variant {i}"
         );
+    }
+}
+
+#[test]
+fn coordinated_cluster_replay_parallel_matches_serial_bit_for_bit() {
+    // The full coordination stack — cache-aware routing, the global KV
+    // cache tier, popularity-weighted (LFU) eviction — adds routing-time
+    // residency state and an arrival-order tier pre-pass to the replay;
+    // both are computed off the trace alone, so the rayon-built cost
+    // table must still not perturb a single bit, on the routed cluster
+    // loops and the disaggregated prefill tier alike.
+    use optimus::serving::{
+        CacheEviction, DispatchMode, HandoffLink, RoutingPolicy, Scenario, SharedPrefixTraceConfig,
+        Topology,
+    };
+    let system = optimus::MultiBladeSystem::new(4).unwrap();
+    let model = ModelZoo::llama2_7b();
+    let par = Parallelism::new(1, 1, 1).unwrap();
+    let trace = SharedPrefixTraceConfig {
+        seed: 33,
+        requests: 32,
+        arrival_rate_per_s: 120.0,
+        prefixes: 3,
+        prefix_tokens: (100, 260),
+        zipf_s: 1.0,
+        share_fraction: 0.85,
+        unique_prompt_tokens: (16, 64),
+        output_tokens: (8, 32),
+    };
+    let base = || {
+        Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(6)
+            .unconstrained_kv()
+            .prefix_caching(16)
+            .cache_eviction(CacheEviction::Lfu)
+            .global_kv_cache(1 << 20)
+            .handoff(HandoffLink {
+                bytes_per_s: 1e12,
+                latency_s: 1e-6,
+            })
+            .trace(&trace)
+    };
+    let variants = [
+        base()
+            .topology(Topology::mixed(4))
+            .routing(RoutingPolicy::CacheAware),
+        base()
+            .topology(Topology::mixed(4))
+            .dispatch(DispatchMode::Central),
+        base().topology(Topology::disaggregated(1, 3)),
+    ];
+    for (i, scenario) in variants.into_iter().enumerate() {
+        let compiled = scenario.compile().unwrap();
+        let p = compiled.run().unwrap();
+        let s = compiled.run_serial().unwrap();
+        assert_eq!(p, s, "variant {i} must be bit-identical");
+        assert_eq!(p.report.completed, 32, "variant {i}");
+        assert!(p.report.prefix_hits > 0, "variant {i} exercised the cache");
     }
 }
 

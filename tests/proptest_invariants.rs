@@ -797,6 +797,59 @@ proptest! {
         prop_assert_eq!(p.per_blade.iter().map(|b| b.requests).sum::<u32>(), 12);
     }
 
+    /// Cache-aware routing degenerates to join-shortest-queue whenever it
+    /// has no residency signal to act on: with no prefix tags in the
+    /// trace (caching on) or with prefix caching off entirely (tags
+    /// present but inert), the full cluster report is bit-identical to
+    /// [`RoutingPolicy::JoinShortestQueue`].
+    #[test]
+    fn cache_aware_routing_without_signal_is_jsq(seed in 0u64..16, blades in 2u32..5) {
+        use optimus::serving::{
+            RequestSpec, RoutingPolicy, Scenario, SharedPrefixTraceConfig, TraceSource,
+        };
+        let system = optimus::MultiBladeSystem::new(blades).expect("valid");
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let tagged = SharedPrefixTraceConfig {
+            seed,
+            requests: 12,
+            arrival_rate_per_s: 300.0,
+            prefixes: 2,
+            prefix_tokens: (32, 64),
+            zipf_s: 0.8,
+            share_fraction: 0.8,
+            unique_prompt_tokens: (8, 32),
+            output_tokens: (4, 12),
+        }
+        .requests()
+        .expect("valid");
+        let stripped: Vec<RequestSpec> = tagged
+            .iter()
+            .map(|r| RequestSpec { prefix: None, ..*r })
+            .collect();
+        let run = |routing, trace: &Vec<RequestSpec>, caching: bool| {
+            let mut s = Scenario::new(&system)
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .unconstrained_kv()
+                .routing(routing)
+                .requests(trace.clone());
+            if caching {
+                s = s.prefix_caching(16);
+            }
+            s.compile().expect("valid").run().expect("replays")
+        };
+        // Caching on, but nothing tagged: no residency to match.
+        let aware = run(RoutingPolicy::CacheAware, &stripped, true);
+        let jsq = run(RoutingPolicy::JoinShortestQueue, &stripped, true);
+        prop_assert_eq!(&aware, &jsq);
+        // Tags present, caching off: the residency model is never built.
+        let aware_off = run(RoutingPolicy::CacheAware, &tagged, false);
+        let jsq_off = run(RoutingPolicy::JoinShortestQueue, &tagged, false);
+        prop_assert_eq!(&aware_off, &jsq_off);
+    }
+
     /// Disaggregated replay conservation: for any role split of a 4-blade
     /// system, every request completes exactly once, prefill blades
     /// complete none, and repeated runs are bit-identical.
