@@ -84,6 +84,25 @@ fn main() -> Result<(), optimus::OptimusError> {
             latest.git_rev,
             trajectory.len()
         );
+        // Self-profile phase counters ride along informationally — the
+        // gate stays on req_per_s alone, and rows without them (legacy
+        // baselines, profiler compiled out) are equally fine.
+        if let Some(p) = &measured.profile {
+            println!(
+                "bench_smoke: {label} profile: {} heap ops, {} stretch plans \
+                 ({:.1} ms), {} leapfrogs ({:.1} ms), {} admission rounds \
+                 ({:.1} ms), {} routing calls ({:.1} ms)",
+                p.heap_ops,
+                p.stretch_plans,
+                p.stretch_plan_ms,
+                p.leapfrogs,
+                p.leapfrog_ms,
+                p.admission_rounds,
+                p.admission_ms,
+                p.routing_calls,
+                p.routing_ms
+            );
+        }
         if measured.req_per_s < floor {
             eprintln!(
                 "bench_smoke: FAIL — {label} at {:.0} req/s is below {:.0}% of the \

@@ -4,7 +4,8 @@
 //! one representative study per subsystem (training, inference, serving
 //! — including the scenario-driven cluster, disaggregation,
 //! recorded-trace, prefix-caching, cluster-cache-coordination,
-//! SLO-class and control-plane studies), skipping the long sweeps.
+//! SLO-class, control-plane and telemetry studies), skipping the long
+//! sweeps.
 fn main() -> Result<(), scd_perf::ScdError> {
     use scd_bench::{
         inference_experiments as inf, l2_study, spec_tables as spec, training_experiments as tr,
@@ -48,10 +49,11 @@ fn main() -> Result<(), scd_perf::ScdError> {
             "{}\n{hr}",
             srv::render_slo_classes(&srv::slo_class_study()?)
         );
-        print!(
-            "{}",
+        println!(
+            "{}\n{hr}",
             srv::render_control_plane(&srv::control_plane_study()?)
         );
+        print!("{}", srv::render_telemetry(&srv::telemetry_study()?));
         return Ok(());
     }
     println!("{}\n{hr}", tr::render_fig5(&tr::fig5_sweep()?));
@@ -124,9 +126,10 @@ fn main() -> Result<(), scd_perf::ScdError> {
         "{}\n{hr}",
         srv::render_slo_classes(&srv::slo_class_study()?)
     );
-    print!(
-        "{}",
+    println!(
+        "{}\n{hr}",
         srv::render_control_plane(&srv::control_plane_study()?)
     );
+    print!("{}", srv::render_telemetry(&srv::telemetry_study()?));
     Ok(())
 }

@@ -10,8 +10,27 @@
 //! appends a snapshot keyed to the current git revision onto the
 //! `BENCH_serving_core.json` trajectory in the current directory — the
 //! baseline whose latest entry the CI bench-smoke job gates against.
+//!
+//! With `--telemetry-csv <path>` it additionally runs the telemetry
+//! study and dumps its windowed diurnal series (cluster gauges,
+//! counters and per-window tail sketches) as wide-row CSV to `<path>`
+//! — the input for the plotting workflow in the README.
 fn main() -> Result<(), optimus::OptimusError> {
     use scd_bench::{core_bench, extensions as ext, serving_experiments as srv};
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--telemetry-csv") {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("serving_capacity: --telemetry-csv needs a path argument");
+            std::process::exit(2);
+        });
+        let study = srv::telemetry_study()?;
+        print!("{}", srv::render_telemetry(&study));
+        std::fs::write(&path, &study.csv).map_err(|e| optimus::OptimusError::Serving {
+            reason: format!("writing {path}: {e}"),
+        })?;
+        println!("\nwrote {} windowed rows to {path}", study.windows.len());
+        return Ok(());
+    }
     if std::env::args().any(|a| a == "--bench-json") {
         let rows = core_bench::core_scaling_study()?;
         print!("{}", core_bench::render_core_scaling(&rows));

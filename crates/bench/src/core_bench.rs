@@ -43,6 +43,51 @@ pub struct CoreBenchRow {
     pub wall_ms: f64,
     /// Simulator throughput: requests replayed per wall-clock second.
     pub req_per_s: f64,
+    /// Self-profile of one extra instrumented pass (`None` when the
+    /// `self-profile` feature is compiled out, and in every trajectory
+    /// row written before the profiler existed).
+    pub profile: Option<RowProfile>,
+}
+
+/// Flattened [`optimus::serving::ProfileReport`]: where one replay pass
+/// spent its wall clock, as the phase counters the trajectory rows
+/// carry. Times are milliseconds to match `wall_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowProfile {
+    /// Event-heap pushes + pops + stale-entry discards.
+    pub heap_ops: u64,
+    /// Closed-form decode-stretch plans built.
+    pub stretch_plans: u64,
+    /// Wall clock inside stretch planning (ms).
+    pub stretch_plan_ms: f64,
+    /// Cluster leapfrog replays.
+    pub leapfrogs: u64,
+    /// Wall clock inside leapfrog replay (ms).
+    pub leapfrog_ms: f64,
+    /// Admission scans (one per engine iteration prologue).
+    pub admission_rounds: u64,
+    /// Wall clock inside admission scans (ms).
+    pub admission_ms: f64,
+    /// Cluster routing decisions.
+    pub routing_calls: u64,
+    /// Wall clock inside routing (ms).
+    pub routing_ms: f64,
+}
+
+impl From<optimus::serving::ProfileReport> for RowProfile {
+    fn from(p: optimus::serving::ProfileReport) -> Self {
+        Self {
+            heap_ops: p.heap_ops,
+            stretch_plans: p.stretch_plans,
+            stretch_plan_ms: p.stretch_plan_s * 1e3,
+            leapfrogs: p.leapfrogs,
+            leapfrog_ms: p.leapfrog_s * 1e3,
+            admission_rounds: p.admission_rounds,
+            admission_ms: p.admission_s * 1e3,
+            routing_calls: p.routing_calls,
+            routing_ms: p.routing_s * 1e3,
+        }
+    }
 }
 
 /// Replay passes per point; the best (minimum wall time) is reported so
@@ -209,15 +254,22 @@ pub fn measure_scenario(
     scenario: CoreScenario,
     requests: u32,
 ) -> Result<CoreBenchRow, OptimusError> {
+    use optimus::serving::telemetry::profile;
     let mut best = f64::MAX;
     for _ in 0..BENCH_PASSES {
         best = best.min(scenario_wall_ms(scenario, requests)?);
     }
+    // One extra pass under the self-profiler, kept out of the timed
+    // passes so the phase counters never contaminate `wall_ms`.
+    profile::start();
+    scenario_wall_ms(scenario, requests)?;
+    let profiled = profile::stop();
     Ok(CoreBenchRow {
         scenario: scenario.label().to_owned(),
         requests,
         wall_ms: best,
         req_per_s: f64::from(requests) / (best / 1e3),
+        profile: (!profiled.is_empty()).then(|| RowProfile::from(profiled)),
     })
 }
 
@@ -319,6 +371,35 @@ pub struct BenchSnapshot {
     pub rows: Vec<CoreBenchRow>,
 }
 
+/// Renders one row as a flat one-line JSON object; the profile keys are
+/// appended only when the row carries a [`RowProfile`], so rows written
+/// before the profiler existed and rows measured without the
+/// `self-profile` feature keep the legacy four-key shape.
+fn row_json(r: &CoreBenchRow) -> String {
+    let mut obj = format!(
+        "{{\"scenario\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_s\": {:.1}",
+        r.scenario, r.requests, r.wall_ms, r.req_per_s
+    );
+    if let Some(p) = &r.profile {
+        obj.push_str(&format!(
+            ", \"heap_ops\": {}, \"stretch_plans\": {}, \"stretch_plan_ms\": {:.3}, \
+             \"leapfrogs\": {}, \"leapfrog_ms\": {:.3}, \"admission_rounds\": {}, \
+             \"admission_ms\": {:.3}, \"routing_calls\": {}, \"routing_ms\": {:.3}",
+            p.heap_ops,
+            p.stretch_plans,
+            p.stretch_plan_ms,
+            p.leapfrogs,
+            p.leapfrog_ms,
+            p.admission_rounds,
+            p.admission_ms,
+            p.routing_calls,
+            p.routing_ms,
+        ));
+    }
+    obj.push('}');
+    obj
+}
+
 /// Serializes one study run to the legacy single-snapshot
 /// `BENCH_serving_core.json` schema:
 /// `{study, git_rev, rows: [{scenario, requests, wall_ms, req_per_s}]}`.
@@ -330,11 +411,8 @@ pub fn to_bench_json(rows: &[CoreBenchRow], git_rev: &str) -> String {
     out.push_str(&format!("  \"git_rev\": \"{git_rev}\",\n  \"rows\": [\n"));
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_s\": {:.1}}}{}\n",
-            r.scenario,
-            r.requests,
-            r.wall_ms,
-            r.req_per_s,
+            "    {}{}\n",
+            row_json(r),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -355,11 +433,8 @@ pub fn to_trajectory_json(trajectory: &[BenchSnapshot]) -> String {
         ));
         for (j, r) in snap.rows.iter().enumerate() {
             out.push_str(&format!(
-                "      {{\"scenario\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_s\": {:.1}}}{}\n",
-                r.scenario,
-                r.requests,
-                r.wall_ms,
-                r.req_per_s,
+                "      {}{}\n",
+                row_json(r),
                 if j + 1 < snap.rows.len() { "," } else { "" }
             ));
         }
@@ -520,11 +595,30 @@ fn try_parse_bench_rows(json: &str, git_rev: &str) -> Result<Vec<CoreBenchRow>, 
     let mut rows = Vec::new();
     for obj in rows_block.split('{').skip(1) {
         let obj = obj.split('}').next().ok_or_else(|| bad_row("}"))?;
+        // Legacy rows carry only the four core keys; the profile keys
+        // are present as a block or not at all.
+        let profile = if obj.contains("\"heap_ops\"") {
+            let num = |key: &'static str| num_field(obj, key).ok_or_else(|| bad_row(key));
+            Some(RowProfile {
+                heap_ops: num("heap_ops")? as u64,
+                stretch_plans: num("stretch_plans")? as u64,
+                stretch_plan_ms: num("stretch_plan_ms")?,
+                leapfrogs: num("leapfrogs")? as u64,
+                leapfrog_ms: num("leapfrog_ms")?,
+                admission_rounds: num("admission_rounds")? as u64,
+                admission_ms: num("admission_ms")?,
+                routing_calls: num("routing_calls")? as u64,
+                routing_ms: num("routing_ms")?,
+            })
+        } else {
+            None
+        };
         rows.push(CoreBenchRow {
             scenario: str_field(obj, "scenario").ok_or_else(|| bad_row("scenario"))?,
             requests: num_field(obj, "requests").ok_or_else(|| bad_row("requests"))? as u32,
             wall_ms: num_field(obj, "wall_ms").ok_or_else(|| bad_row("wall_ms"))?,
             req_per_s: num_field(obj, "req_per_s").ok_or_else(|| bad_row("req_per_s"))?,
+            profile,
         });
     }
     if rows.is_empty() {
@@ -554,12 +648,14 @@ mod tests {
                 requests: 10_000,
                 wall_ms: 12.5,
                 req_per_s: 800_000.0,
+                profile: None,
             },
             CoreBenchRow {
                 scenario: "per_step".to_owned(),
                 requests: 10_000,
                 wall_ms: 125.0,
                 req_per_s: 80_000.0,
+                profile: None,
             },
         ];
         let json = to_bench_json(&rows, "deadbeef");
@@ -623,12 +719,14 @@ mod tests {
                 requests: 10_000,
                 wall_ms: 10.0,
                 req_per_s: 1e6,
+                profile: None,
             },
             CoreBenchRow {
                 scenario: "per_step".to_owned(),
                 requests: 1_000_000,
                 wall_ms: 9e5,
                 req_per_s: 1.1e3,
+                profile: None,
             },
         ];
         let new_rows = vec![
@@ -637,18 +735,21 @@ mod tests {
                 requests: 10_000,
                 wall_ms: 9.0,
                 req_per_s: 1.1e6,
+                profile: None,
             },
             CoreBenchRow {
                 scenario: "cluster_event".to_owned(),
                 requests: 100_000,
                 wall_ms: 100.0,
                 req_per_s: 1e6,
+                profile: None,
             },
             CoreBenchRow {
                 scenario: "disagg_event".to_owned(),
                 requests: 100_000,
                 wall_ms: 90.0,
                 req_per_s: 1.1e6,
+                profile: None,
             },
         ];
         let v1 = append_snapshot(None, old_rows.clone(), "aaaa");
@@ -665,6 +766,7 @@ mod tests {
             requests: 10_000,
             wall_ms: 10.0,
             req_per_s,
+            profile: None,
         }]
     }
 
@@ -713,12 +815,53 @@ mod tests {
     }
 
     #[test]
+    fn profiled_rows_round_trip_and_legacy_rows_parse_as_unprofiled() {
+        let profiled = CoreBenchRow {
+            scenario: "event".to_owned(),
+            requests: 10_000,
+            wall_ms: 10.0,
+            req_per_s: 1e6,
+            profile: Some(RowProfile {
+                heap_ops: 123,
+                stretch_plans: 45,
+                stretch_plan_ms: 1.5,
+                leapfrogs: 6,
+                leapfrog_ms: 0.25,
+                admission_rounds: 789,
+                admission_ms: 3.125,
+                routing_calls: 10,
+                routing_ms: 0.5,
+            }),
+        };
+        // A mixed trajectory: a legacy pre-profiler snapshot followed by
+        // a profiled one — both shapes must survive the round trip.
+        let v1 = append_snapshot(None, sample_rows(1e6), "aaaa");
+        let v2 = append_snapshot(Some(&v1), vec![profiled.clone()], "bbbb");
+        let parsed = try_parse_trajectory_json(&v2).expect("mixed parse");
+        assert_eq!(parsed[0].rows[0].profile, None);
+        assert_eq!(parsed[1].rows[0], profiled);
+        // A profiled row with a key torn out is a loud error.
+        let torn = v2.replace("\"routing_ms\": 0.500", "\"routing\": 0.500");
+        assert_eq!(
+            try_parse_trajectory_json(&torn),
+            Err(BenchParseError::MalformedRow {
+                git_rev: "bbbb".to_owned(),
+                field: "routing_ms"
+            })
+        );
+    }
+
+    #[test]
     fn small_points_measure_on_both_cores() {
         let event = measure_point(SimCore::EventDriven, 500).unwrap();
         let per_step = measure_point(SimCore::PerStep, 500).unwrap();
         for r in [&event, &per_step] {
             assert_eq!(r.requests, 500);
             assert!(r.wall_ms > 0.0 && r.req_per_s > 0.0);
+            // The default build carries the self-profiler; every engine
+            // iteration scans admission, so the extra pass counted some.
+            let p = r.profile.expect("self-profile feature is default-on");
+            assert!(p.admission_rounds > 0 && p.admission_ms >= 0.0);
         }
         assert_eq!(event.scenario, "event");
         assert_eq!(per_step.scenario, "per_step");
@@ -732,12 +875,14 @@ mod tests {
                 requests: 10_000,
                 wall_ms: 10.0,
                 req_per_s: 1_000_000.0,
+                profile: None,
             },
             CoreBenchRow {
                 scenario: "per_step".to_owned(),
                 requests: 10_000,
                 wall_ms: 80.0,
                 req_per_s: 125_000.0,
+                profile: None,
             },
         ];
         let table = render_core_scaling(&rows);

@@ -17,8 +17,9 @@ use llm_workload::taskgraph::weights_per_unit_bytes;
 use optimus::serving::{
     AdmissionControl, AutoscaleConfig, BurstyTraceConfig, CacheEviction, ClusterReport,
     ControlPlane, CsvTrace, DispatchMode, DiurnalTraceConfig, FcfsPolicy, FrontierPoint, KvLayout,
-    MaxWaitGuardPolicy, RoutingPolicy, Scenario, SharedPrefixTraceConfig, SjfPolicy, SloClass,
-    StrictPriorityPolicy, Topology, TraceConfig, WeightedFairPolicy,
+    MaxWaitGuardPolicy, ProfileReport, RoutingPolicy, Scenario, SharedPrefixTraceConfig, SjfPolicy,
+    SloClass, StrictPriorityPolicy, TailMetric, TelemetryConfig, Topology, TraceConfig,
+    WeightedFairPolicy, WindowRow,
 };
 use optimus::{
     Comparison, InferenceEstimator, MultiBladeSystem, OptimusError, ServingReport, SpeedupStudy,
@@ -952,6 +953,288 @@ pub fn render_control_plane(study: &ControlPlaneStudy) -> String {
     out
 }
 
+/// The telemetry study outcome: the windowed series pinned against the
+/// exact event timeline on both control-plane phases, plus the run-long
+/// sketch/exact tail comparison and the simulator self-profile.
+#[derive(Debug, Clone)]
+pub struct TelemetryStudy {
+    /// Overload replay (FCFS + shedding gate) with telemetry mounted.
+    pub overload: ClusterReport,
+    /// Exact instant of the first shed (the gate opening).
+    pub shed_open_s: f64,
+    /// Exact instant of the last shed (the gate's final close).
+    pub shed_close_s: f64,
+    /// `[start, end)` of the telemetry window resolving the gate open.
+    pub shed_open_window: (f64, f64),
+    /// `[start, end)` of the telemetry window resolving the gate close.
+    pub shed_close_window: (f64, f64),
+    /// Diurnal autoscaled replay with telemetry + profiling mounted.
+    pub autoscaled: ClusterReport,
+    /// Start of the first window whose queue depth crossed the scale-up
+    /// watermark.
+    pub depth_cross_s: f64,
+    /// Exact instant of the first scale-up.
+    pub scale_up_s: f64,
+    /// Autoscaler reaction lag the series resolves:
+    /// `scale_up_s - depth_cross_s`.
+    pub scale_lag_s: f64,
+    /// Run-long P² sketch estimate of the p99 request latency (s).
+    pub sketch_p99_s: f64,
+    /// Exact nearest-rank p99 request latency from the report (s).
+    pub exact_p99_s: f64,
+    /// Self-profile of the autoscaled replay (all-zero when the
+    /// `self-profile` feature is compiled out).
+    pub profile: ProfileReport,
+    /// Windowed series of the autoscaled phase.
+    pub windows: Vec<WindowRow>,
+    /// The wide-row CSV export of the autoscaled phase.
+    pub csv: String,
+    /// The Prometheus text-format export of the autoscaled phase.
+    pub prometheus: String,
+}
+
+/// The window of `rows` containing instant `t` (falling back to the
+/// last window for the replay's final event, whose window is closed by
+/// the end-of-run flush).
+fn window_at(rows: &[WindowRow], t: f64) -> &WindowRow {
+    rows.iter()
+        .find(|w| w.start_s <= t && t < w.end_s)
+        .or_else(|| rows.last())
+        .expect("telemetry recorded windows")
+}
+
+/// Mounts the telemetry collector on both control-plane phases and
+/// checks the series against the exact event timeline. Phase one
+/// replays [`control_plane_study`]'s FCFS + shedding-gate overload with
+/// a [`crate::timeline::TimelineObserver`] co-mounted: the windows
+/// containing the exact first and last shed instants must themselves
+/// record sheds, and the windowed shed counts must conserve the
+/// report's total. Phase two replays the diurnal autoscaled pool: the
+/// queue-depth series must cross the scale-up watermark at or before
+/// the first scale-up, the window holding that scale-up must record it,
+/// and the run-long P² latency sketch must land within 10 % of the
+/// report's exact nearest-rank p99.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+///
+/// # Panics
+///
+/// Panics when the telemetry series fails to resolve the gate or the
+/// autoscaler — the study's acceptance checks.
+pub fn telemetry_study() -> Result<TelemetryStudy, OptimusError> {
+    use crate::timeline::{TimelineEventKind, TimelineObserver};
+    let model = ModelZoo::llama_405b();
+    let par = Parallelism::pure_tp(64)?;
+
+    // Phase one: the control-plane study's sustained ~2x overload under
+    // FCFS + the shedding gate, with quarter-second telemetry windows.
+    let trace = TraceConfig {
+        seed: 99,
+        requests: 192,
+        arrival_rate_per_s: 40.0,
+        prompt_tokens: (64, 256),
+        output_tokens: (8, 256),
+    };
+    let gate = ControlPlane::new().shed(
+        AdmissionControl::new(0, 0.8)
+            .with_window(8, 2)
+            .with_resume_margin(0.1),
+    );
+    let mut shed_timeline = TimelineObserver::default();
+    let (overload, shed_tel) =
+        Scenario::on_estimator(SpeedupStudy::paper_baseline().scd_inference())
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .poisson(trace)
+            .slo_classes(vec![
+                SloClass::new("interactive", 0.5, 0.02).with_weight(2.0),
+                SloClass::new("batch", 60.0, 0.5),
+            ])
+            .classify(|r| u32::from(r.output_tokens > 64))
+            .policy(FcfsPolicy)
+            .control(gate)
+            .telemetry(TelemetryConfig {
+                window_s: 0.25,
+                max_windows: 512,
+                profile: false,
+            })
+            .compile()?
+            .run_observed_with_telemetry(&mut shed_timeline)?;
+    let sheds: Vec<f64> = shed_timeline
+        .events
+        .iter()
+        .filter(|e| e.kind == TimelineEventKind::Shed)
+        .map(|e| e.clock_s)
+        .collect();
+    assert!(!sheds.is_empty(), "the overload phase must shed");
+    let (shed_open_s, shed_close_s) = (sheds[0], *sheds.last().expect("non-empty"));
+    let shed_rows = shed_tel.cluster_windows();
+    let open_w = window_at(&shed_rows, shed_open_s);
+    let close_w = window_at(&shed_rows, shed_close_s);
+    assert!(
+        open_w.sheds > 0 && close_w.sheds > 0,
+        "the series must resolve the gate's open and close instants"
+    );
+    assert_eq!(
+        shed_rows.iter().map(|w| w.sheds).sum::<u64>(),
+        overload.report.shed_requests,
+        "windowed sheds must conserve the report total"
+    );
+    let shed_open_window = (open_w.start_s, open_w.end_s);
+    let shed_close_window = (close_w.start_s, close_w.end_s);
+
+    // Phase two: the diurnal autoscaled pool, profiled, at half-second
+    // resolution (finer than the 0.5 s warm-up it must resolve).
+    let high_watermark = 6;
+    let system = MultiBladeSystem::new(4)?;
+    let diurnal = DiurnalTraceConfig {
+        seed: 7,
+        requests: CONTROL_DIURNAL_REQUESTS,
+        mean_rate_per_s: 8.0,
+        amplitude: 0.9,
+        period_s: 30.0,
+        prompt_tokens: (64, 256),
+        output_tokens: (128, 384),
+    };
+    let mut scale_timeline = TimelineObserver::default();
+    let (autoscaled, tel) = Scenario::new(&system)
+        .model(&model)
+        .parallelism(&par)
+        .max_batch(4)
+        .dispatch(DispatchMode::Central)
+        .trace(&diurnal)
+        .control(
+            ControlPlane::new().autoscale(
+                AutoscaleConfig::new(1, 4)
+                    .with_watermarks(1, high_watermark)
+                    .with_warmup(0.5)
+                    .with_cooldown(2.0),
+            ),
+        )
+        .telemetry(TelemetryConfig {
+            window_s: 0.5,
+            max_windows: 512,
+            profile: true,
+        })
+        .compile()?
+        .run_observed_with_telemetry(&mut scale_timeline)?;
+    assert!(autoscaled.scale_events > 0, "the diurnal peak must scale");
+    let scale_up_s = scale_timeline
+        .events
+        .iter()
+        .find(|e| e.kind == TimelineEventKind::Scale && e.detail > f64::from(e.blade))
+        .map(|e| e.clock_s)
+        .expect("the first scale event is a scale-up");
+    let windows = tel.cluster_windows();
+    // The depth series must see the backlog cross the watermark at or
+    // before the scale-up it triggers — the lag the series resolves.
+    let depth_cross_s = windows
+        .iter()
+        .find(|w| w.queue_depth >= high_watermark && w.start_s <= scale_up_s)
+        .map(|w| w.start_s)
+        .expect("the depth series must cross the watermark before scale-up");
+    let scale_lag_s = scale_up_s - depth_cross_s;
+    assert!(scale_lag_s >= 0.0);
+    assert!(
+        window_at(&windows, scale_up_s).scale_events > 0,
+        "the series must resolve the scale-up window"
+    );
+    assert!(
+        windows.iter().map(|w| w.active_blades).max() > Some(1),
+        "the active-blade gauge must follow the scale-up"
+    );
+    let sketch_p99_s = tel
+        .tail(TailMetric::Latency)
+        .p99
+        .expect("completions were sketched");
+    let exact_p99_s = autoscaled.report.latency.p99;
+    assert!(
+        (sketch_p99_s - exact_p99_s).abs() <= 0.1 * exact_p99_s,
+        "P2 p99 {sketch_p99_s} vs exact {exact_p99_s}: off by more than 10%"
+    );
+    let profile = *tel.profile().expect("profiling was requested");
+    Ok(TelemetryStudy {
+        overload,
+        shed_open_s,
+        shed_close_s,
+        shed_open_window,
+        shed_close_window,
+        autoscaled,
+        depth_cross_s,
+        scale_up_s,
+        scale_lag_s,
+        sketch_p99_s,
+        exact_p99_s,
+        profile,
+        csv: tel.to_csv(),
+        prometheus: tel.to_prometheus(),
+        windows,
+    })
+}
+
+/// Renders the telemetry study.
+#[must_use]
+pub fn render_telemetry(study: &TelemetryStudy) -> String {
+    let mut out = format!(
+        "Telemetry: windowed series vs exact event timeline\n\n\
+         Shedding gate (overload phase, 0.25 s windows): {} shed\n\
+         gate opens  {:.3} s -> window [{:.2}, {:.2}) s\n\
+         gate closes {:.3} s -> window [{:.2}, {:.2}) s\n\n\
+         Autoscaler (diurnal phase, 0.5 s windows): {} scale events\n\
+         depth crosses watermark at {:.2} s, first scale-up at {:.3} s \
+         (lag {:.2} s)\n\n\
+         Run-long P2 sketch vs exact nearest-rank (request latency):\n\
+         p99 sketch {:.3} s vs exact {:.3} s ({:+.1}%)\n",
+        study.overload.report.shed_requests,
+        study.shed_open_s,
+        study.shed_open_window.0,
+        study.shed_open_window.1,
+        study.shed_close_s,
+        study.shed_close_window.0,
+        study.shed_close_window.1,
+        study.autoscaled.scale_events,
+        study.depth_cross_s,
+        study.scale_up_s,
+        study.scale_lag_s,
+        study.sketch_p99_s,
+        study.exact_p99_s,
+        (study.sketch_p99_s / study.exact_p99_s - 1.0) * 100.0,
+    );
+    let p = &study.profile;
+    if p.is_empty() {
+        out.push_str("\nSelf-profile: compiled out (self-profile feature off)\n");
+    } else {
+        out.push_str(&format!(
+            "\nSelf-profile of the autoscaled replay:\n\
+             phase            calls      wall(ms)\n\
+             admission   {:>10}{:>12.1}\n\
+             routing     {:>10}{:>12.1}\n\
+             stretch-plan{:>10}{:>12.1}\n\
+             leapfrog    {:>10}{:>12.1}\n\
+             heap-ops    {:>10}\n",
+            p.admission_rounds,
+            p.admission_s * 1e3,
+            p.routing_calls,
+            p.routing_s * 1e3,
+            p.stretch_plans,
+            p.stretch_plan_s * 1e3,
+            p.leapfrogs,
+            p.leapfrog_s * 1e3,
+            p.heap_ops,
+        ));
+    }
+    out.push_str(&format!(
+        "\nExports: {} CSV rows ({} windows), {} Prometheus lines\n",
+        study.csv.lines().count().saturating_sub(1),
+        study.windows.len(),
+        study.prometheus.lines().count(),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1304,5 +1587,31 @@ mod tests {
             "scaling down in the troughs must not halve delivered throughput"
         );
         assert!(render_control_plane(&s).contains("auto-1..4"));
+    }
+
+    #[test]
+    fn telemetry_study_resolves_gate_and_autoscaler() {
+        // The study's own asserts pin the gate's open/close windows, the
+        // scale-up lag, shed conservation and the 10 % sketch bound;
+        // this test pins the surface it returns.
+        let s = telemetry_study().unwrap();
+        assert!(s.overload.report.shed_requests > 0);
+        assert!(s.shed_open_s <= s.shed_close_s);
+        assert!(s.shed_open_window.0 <= s.shed_open_s);
+        assert!(s.scale_lag_s >= 0.0);
+        assert!(s.depth_cross_s <= s.scale_up_s);
+        // The exporters carry the full series.
+        assert!(s.csv.starts_with("window_start_s,"));
+        assert_eq!(s.csv.lines().count(), s.windows.len() + 1);
+        assert!(s.prometheus.contains("# TYPE"));
+        // The default build carries the self-profiler; every engine
+        // iteration scans admission (central dispatch pulls from the
+        // shared queue without per-blade routing calls).
+        assert!(!s.profile.is_empty());
+        assert!(s.profile.admission_rounds > 0);
+        let rendered = render_telemetry(&s);
+        assert!(rendered.contains("gate opens"));
+        assert!(rendered.contains("lag"));
+        assert!(rendered.contains("admission"));
     }
 }

@@ -43,6 +43,11 @@ pub enum TimelineEventKind {
     RemoteHit,
     /// A request emitted its final token.
     Completion,
+    /// The admission gate dropped a request (the request never runs).
+    Shed,
+    /// The autoscaler changed the active blade count (blade: the count
+    /// before; detail: the count after; no request attribution).
+    Scale,
     /// A blade finished one engine iteration (detail: step seconds; no
     /// request attribution).
     Step,
@@ -62,6 +67,8 @@ impl TimelineEventKind {
             Self::CacheEvict => "cache_evict",
             Self::RemoteHit => "remote_hit",
             Self::Completion => "completion",
+            Self::Shed => "shed",
+            Self::Scale => "scale",
             Self::Step => "step",
         }
     }
@@ -258,6 +265,28 @@ impl SimObserver for TimelineObserver {
         );
     }
 
+    fn on_shed(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        self.push(
+            TimelineEventKind::Shed,
+            blade,
+            clock_s,
+            Some(request.id),
+            0.0,
+        );
+    }
+
+    fn on_scale(&mut self, clock_s: f64, active_from: u32, active_to: u32) {
+        // No blade owns a fleet-level resize: record the old count in
+        // the blade column and the new count as the detail.
+        self.push(
+            TimelineEventKind::Scale,
+            active_from,
+            clock_s,
+            None,
+            f64::from(active_to),
+        );
+    }
+
     fn on_step(&mut self, blade: u32, clock_s: f64, step_s: f64, _decoding: u32) {
         self.push(TimelineEventKind::Step, blade, clock_s, None, step_s);
     }
@@ -350,6 +379,83 @@ mod tests {
         let with_steps = timeline.render_csv(true);
         assert!(with_steps.contains(",step,"));
         assert!(with_steps.lines().count() > csv.lines().count());
+    }
+
+    #[test]
+    fn timeline_records_sheds_and_scale_events_on_a_flash_crowd() {
+        use llm_workload::{ModelZoo, Parallelism};
+        use optimus::serving::{
+            AdmissionControl, AutoscaleConfig, BurstyTraceConfig, ControlPlane, DispatchMode,
+            Scenario, SloClass,
+        };
+        use optimus::MultiBladeSystem;
+
+        // A flash crowd against the full control plane: the gate sheds
+        // best-effort work while the strict class is drowning, and the
+        // autoscaler chases the burst.
+        let system = MultiBladeSystem::new(4).unwrap();
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).unwrap();
+        let trace = BurstyTraceConfig {
+            seed: 17,
+            requests: 48,
+            base_rate_per_s: 2.0,
+            burst_rate_per_s: 150.0,
+            burst_s: 1.0,
+            gap_s: 4.0,
+            prompt_tokens: (32, 256),
+            output_tokens: (8, 48),
+        };
+        let mut timeline = TimelineObserver::default();
+        let report = Scenario::new(&system)
+            .model(&model)
+            .parallelism(&par)
+            .max_batch(4)
+            .unconstrained_kv()
+            .slo_classes(vec![
+                // Unattainable strict target: the gate latches as soon
+                // as its attainment window fills.
+                SloClass::new("strict", 1e-6, 1e-9).with_weight(2.0),
+                SloClass::batch(),
+            ])
+            .classify(|r| u32::from(r.prompt_tokens > 128))
+            .dispatch(DispatchMode::Central)
+            .control(
+                ControlPlane::new()
+                    .shed(AdmissionControl::new(0, 0.95).with_window(8, 2))
+                    .autoscale(
+                        AutoscaleConfig::new(1, 4)
+                            .with_watermarks(1, 6)
+                            .with_warmup(0.1),
+                    ),
+            )
+            .trace(&trace)
+            .compile()
+            .unwrap()
+            .run_observed(&mut timeline)
+            .unwrap();
+        let count = |kind| timeline.events.iter().filter(|e| e.kind == kind).count() as u64;
+        assert!(report.report.shed_requests > 0, "the crowd must overload");
+        assert!(report.scale_events > 0, "the autoscaler must react");
+        assert_eq!(count(TimelineEventKind::Shed), report.report.shed_requests);
+        assert_eq!(
+            count(TimelineEventKind::Scale),
+            u64::from(report.scale_events)
+        );
+        // Shed rows carry the victim; scale rows carry the new count.
+        assert!(timeline
+            .events
+            .iter()
+            .filter(|e| e.kind == TimelineEventKind::Shed)
+            .all(|e| e.request.is_some()));
+        assert!(timeline
+            .events
+            .iter()
+            .filter(|e| e.kind == TimelineEventKind::Scale)
+            .all(|e| e.request.is_none() && e.detail >= 1.0));
+        let csv = timeline.render_csv(false);
+        assert!(csv.contains(",shed,"));
+        assert!(csv.contains(",scale,"));
     }
 
     #[test]

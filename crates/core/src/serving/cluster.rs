@@ -29,6 +29,7 @@ use super::events::{
 use super::observer::{NoopObserver, SimObserver};
 use super::policy::OrderingContract;
 use super::report::ServingReport;
+use super::telemetry::profile;
 use super::traces::RequestSpec;
 use crate::error::OptimusError;
 use rayon::prelude::*;
@@ -544,6 +545,7 @@ impl<'a> ClusterSimulator<'a> {
     /// estimated finish times of its in-flight requests; entries past the
     /// current arrival are drained before the routing decision.
     fn route(&self, cluster: ClusterConfig, trace: &[RequestSpec], table: &CostTable) -> Vec<u32> {
+        let _span = profile::span(profile::Phase::Routing);
         let blades = cluster.blades as usize;
         let cfg = self.sim.config();
         // Estimated service seconds for one request on an otherwise busy

@@ -16,6 +16,7 @@ use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
 use super::prefix::{CacheEviction, PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
 use super::report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
+use super::telemetry::profile;
 use super::traces::{RequestSpec, TraceConfig};
 use crate::error::OptimusError;
 use crate::inference::InferenceEstimator;
@@ -658,6 +659,7 @@ impl EngineCtx<'_> {
         let mut projected: u64 = blade.running.iter().map(|r| self.charge(r)).sum();
         let mut admitted: Vec<Admission> = Vec::new();
         let mut sheds = 0u32;
+        let admission_span = profile::span(profile::Phase::Admission);
         while let Some(idx) = queue.peek() {
             if ready[idx] > blade.clock
                 || blade.running.len() + admitted.len() >= cfg.max_batch as usize
@@ -685,6 +687,7 @@ impl EngineCtx<'_> {
             admitted.push(adm);
             queue.pop();
         }
+        drop(admission_span);
         let mut step_cost = 0.0f64;
         for &Admission { idx, skip, shared } in &admitted {
             obs.on_admission(blade.id, blade.clock, &trace[idx]);
@@ -908,11 +911,12 @@ impl EngineCtx<'_> {
             })
             .sum::<u64>()
             + blade.cache.as_ref().map_or(0, PrefixCache::resident_tokens);
-        let charged: u64 =
-            blade.running.iter().map(|r| self.charge(r)).sum::<u64>() + self.cache_charged(blade);
+        let shared_now = self.cache_charged(blade);
+        let charged: u64 = blade.running.iter().map(|r| self.charge(r)).sum::<u64>() + shared_now;
         blade.kv_peak_tokens = blade.kv_peak_tokens.max(charged);
         blade.frag_peak_tokens = blade.frag_peak_tokens.max(charged - used);
-        blade.shared_peak_tokens = blade.shared_peak_tokens.max(self.cache_charged(blade));
+        blade.shared_peak_tokens = blade.shared_peak_tokens.max(shared_now);
+        obs.on_kv_sample(blade.id, blade.clock, charged, shared_now);
 
         // Every decoding sequence emits one token; retire finishers.
         let mut completions = 0u32;
@@ -932,6 +936,8 @@ impl EngineCtx<'_> {
             if r.produced >= trace[r.idx].output_tokens {
                 out.completion_s = Some(blade.clock);
                 obs.on_completion(blade.id, blade.clock, &trace[r.idx]);
+                let first = out.first_token_s.expect("first token precedes completion");
+                obs.on_outcome(blade.id, blade.clock, &trace[r.idx], first);
                 // Strict-class completions feed the shedding gate's
                 // attainment window with the exact TTFT/TPOT arithmetic
                 // `finalize` will apply, so the gate's verdict agrees
@@ -939,7 +945,6 @@ impl EngineCtx<'_> {
                 if let Some(c) = ctl.as_deref_mut() {
                     let spec = &trace[r.idx];
                     if spec.class == c.strict_class() {
-                        let first = out.first_token_s.expect("first token precedes completion");
                         let t_first = first - spec.arrival_s;
                         let t_rest =
                             (blade.clock - first) / f64::from((spec.output_tokens - 1).max(1));

@@ -17,6 +17,7 @@ use super::kv::KvLayout;
 use super::observer::SimObserver;
 use super::policy::{OrderingContract, SchedulerPolicy};
 use super::prefix::PrefixCache;
+use super::telemetry::profile;
 use super::traces::RequestSpec;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
@@ -66,11 +67,13 @@ impl EventHeap {
 
     /// Schedules event `idx` at `time`.
     pub fn push(&mut self, time: f64, idx: usize) {
+        profile::heap_op();
         self.heap.push(Reverse(Entry { time, idx }));
     }
 
     /// Pops the earliest event (ties broken by lowest index).
     pub fn pop(&mut self) -> Option<(f64, usize)> {
+        profile::heap_op();
         self.heap.pop().map(|Reverse(e)| (e.time, e.idx))
     }
 
@@ -86,6 +89,7 @@ impl EventHeap {
             if valid(e.time, e.idx) {
                 return Some((e.time, e.idx));
             }
+            profile::heap_op();
             self.heap.pop();
         }
         None
@@ -618,6 +622,7 @@ impl DecodeStretch {
         trace: &[RequestSpec],
         blade: &BladeState,
     ) -> Option<Self> {
+        let _span = profile::span(profile::Phase::StretchPlan);
         let cfg = ctx.config;
         if blade.running.is_empty() {
             return None;
@@ -780,11 +785,34 @@ impl DecodeStretch {
         }
         if obs.is_passive() {
             stretch_loop!();
+            self.commit(blade, done);
+            // One closed-form summary replaces the skipped per-iteration
+            // stream (telemetry window-buckets it; see `on_stretch`).
+            if done > 0 {
+                obs.on_stretch(blade.id, blade.clock, done, cost, batch, self.kv_end(done));
+            }
         } else {
-            stretch_loop!(obs.on_step(blade.id, blade.clock, cost, batch));
+            stretch_loop!({
+                obs.on_step(blade.id, blade.clock, cost, batch);
+                // At notify, `done` completed iterations precede this one,
+                // so the charged footprint matches the per-step loop's
+                // `charged0 + done * growth` exactly.
+                obs.on_kv_sample(
+                    blade.id,
+                    blade.clock,
+                    self.charged0 + done * self.charge_growth,
+                    self.cache_charged,
+                );
+            });
+            self.commit(blade, done);
         }
-        self.commit(blade, done);
         done
+    }
+
+    /// Charged KV tokens at the stretch's last advanced iteration
+    /// (callers guarantee `done > 0`).
+    fn kv_end(&self, done: u64) -> u64 {
+        self.charged0 + (done - 1) * self.charge_growth
     }
 
     /// Applies the end-of-stretch bookkeeping for `done` iterations
@@ -856,6 +884,7 @@ pub(crate) fn leapfrog_decode(
     horizon: &StretchHorizon,
     obs: &mut dyn SimObserver,
 ) {
+    let _span = profile::span(profile::Phase::Leapfrog);
     let passive = obs.is_passive();
     let mut runs: Vec<Option<(DecodeStretch, u64)>> = members
         .iter()
@@ -900,9 +929,27 @@ pub(crate) fn leapfrog_decode(
         blade.clock = next;
         if !passive {
             obs.on_step(blade.id, blade.clock, plan.cost, plan.batch);
+            // `done` completed rounds of this plan precede the one just
+            // advanced, matching the per-step loop's charged footprint.
+            obs.on_kv_sample(
+                blade.id,
+                blade.clock,
+                plan.charged0 + done * plan.charge_growth,
+                plan.cache_charged,
+            );
         }
         if done + 1 == plan.max_iters {
             plan.commit(blade, done + 1);
+            if passive {
+                obs.on_stretch(
+                    blade.id,
+                    blade.clock,
+                    done + 1,
+                    plan.cost,
+                    plan.batch,
+                    plan.kv_end(done + 1),
+                );
+            }
             runs[i] = DecodeStretch::plan(ctx, trace, blade).map(|p| (p, 0));
         } else {
             runs[i] = Some((plan, done + 1));
@@ -911,6 +958,17 @@ pub(crate) fn leapfrog_decode(
     for (i, m) in members.iter().enumerate() {
         if let Some((plan, done)) = runs[i] {
             plan.commit(&mut states[m.blade], done);
+            if passive && done > 0 {
+                let blade = &states[m.blade];
+                obs.on_stretch(
+                    blade.id,
+                    blade.clock,
+                    done,
+                    plan.cost,
+                    plan.batch,
+                    plan.kv_end(done),
+                );
+            }
         }
     }
 }

@@ -47,6 +47,12 @@
 //!   rank the queue by the bound SLO-class table.
 //! * [`report`] — TTFT/TPOT/latency percentiles, throughput, goodput,
 //!   eviction and fragmentation accounting ([`ServingReport`]).
+//! * [`telemetry`] — passive time-resolved observability mounted with
+//!   [`Scenario::telemetry`]: bounded-memory windowed time-series per
+//!   blade and cluster-wide, P² streaming tail sketches
+//!   ([`telemetry::P2Sketch`]), Prometheus/CSV exporters, and
+//!   feature-gated simulator self-profiling
+//!   ([`telemetry::profile`]). Bit-inert by construction.
 //!
 //! The public entry point is the [`Scenario`] builder in [`scenario`]:
 //! one fluent chain describes the system, workload, policy, KV layout,
@@ -178,6 +184,7 @@ pub mod policy;
 pub mod prefix;
 pub mod report;
 pub mod scenario;
+pub mod telemetry;
 pub mod traces;
 
 pub use cluster::{
@@ -189,7 +196,7 @@ pub use coord::{GlobalCacheConfig, CACHE_AWARE_MAX_IMBALANCE};
 pub use engine::{DecodePricing, RunningSeq, ServingConfig, ServingSimulator, SimCore};
 pub use events::EventHeap;
 pub use kv::{KvLayout, PagedKvAllocator};
-pub use observer::{CountingObserver, NoopObserver, SimObserver};
+pub use observer::{CallbackCounts, CountingObserver, NoopObserver, SimObserver};
 pub use policy::{
     FcfsPolicy, MaxWaitGuardPolicy, OrderingContract, SchedulerPolicy, SjfPolicy,
     StrictPriorityPolicy, WeightedFairPolicy,
@@ -197,6 +204,10 @@ pub use policy::{
 pub use prefix::{CacheEviction, PrefixBlock, PrefixCache, PrefixCachingConfig, SharedPrefix};
 pub use report::{FrontierPoint, Percentiles, ServingReport, SloClass, SloClassReport};
 pub use scenario::{CompiledScenario, Scenario};
+pub use telemetry::{
+    BladeWindowRow, ClassWindow, P2Sketch, ProfileReport, TailMetric, TailSummary, Telemetry,
+    TelemetryConfig, WindowRow,
+};
 pub use traces::{
     BurstyTraceConfig, CsvTrace, DiurnalTraceConfig, RequestSpec, SharedPrefixTraceConfig,
     TraceConfig, TraceSource,
@@ -868,8 +879,9 @@ mod tests {
             .prefix_caching(16)
             .compile()
             .unwrap();
-        let mut counts = CountingObserver::default();
-        let observed = compiled.run_observed(&mut counts).unwrap();
+        let mut observer = CountingObserver::default();
+        let observed = compiled.run_observed(&mut observer).unwrap();
+        let counts = observer.counts();
         assert_eq!(observed, compiled.run().unwrap(), "observers are read-only");
         assert_eq!(counts.cache_hits, observed.report.prefix_hits);
         assert_eq!(counts.cache_misses, observed.report.prefix_misses);

@@ -7,6 +7,13 @@
 //! perturb its float stream, so an observed replay is bit-identical to an
 //! unobserved one (the observed paths run the serial cost table; see
 //! [`CompiledScenario::run_observed`](super::scenario::CompiledScenario::run_observed)).
+//!
+//! Beyond the lifecycle events, three sampling hooks feed the
+//! [`telemetry`](super::telemetry) layer: [`SimObserver::on_outcome`]
+//! (per-completion latency decomposition), [`SimObserver::on_kv_sample`]
+//! (KV/shared-block occupancy gauges) and [`SimObserver::on_stretch`]
+//! (closed-form decode-stretch summaries for passive observers). All
+//! three default to no-ops like every other callback.
 
 use super::traces::RequestSpec;
 
@@ -44,6 +51,16 @@ pub trait SimObserver {
     /// `request` emitted its final token on blade `blade`.
     fn on_completion(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
         let _ = (blade, clock_s, request);
+    }
+
+    /// `request`'s end-to-end outcome, fired right after
+    /// [`Self::on_completion`]: `first_token_s` is the absolute clock of
+    /// its first token, so TTFT is `first_token_s - request.arrival_s`,
+    /// latency is `clock_s - request.arrival_s`, and TPOT is
+    /// `(clock_s - first_token_s) / max(output_tokens - 1, 1)` — the
+    /// exact decomposition [`super::report`] aggregates at end of run.
+    fn on_outcome(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, first_token_s: f64) {
+        let _ = (blade, clock_s, request, first_token_s);
     }
 
     /// `request`'s shared prefix hit blade `blade`'s prefix cache:
@@ -96,6 +113,37 @@ pub trait SimObserver {
         let _ = (blade, clock_s, step_s, decoding);
     }
 
+    /// Blade `blade`'s KV occupancy after an iteration: `kv_tokens`
+    /// charged tokens in the paged/contiguous layout (the figure
+    /// [`ServingReport::kv_peak_tokens`](super::report::ServingReport)
+    /// tracks the max of) and `shared_tokens` resident in shared prefix
+    /// blocks. Fires once per dispatched iteration — alongside
+    /// [`Self::on_step`] on every path, so both cores emit the identical
+    /// gauge stream.
+    fn on_kv_sample(&mut self, blade: u32, clock_s: f64, kv_tokens: u64, shared_tokens: u64) {
+        let _ = (blade, clock_s, kv_tokens, shared_tokens);
+    }
+
+    /// The event-driven core advanced blade `blade` through a batched
+    /// decode stretch: `iterations` uniform rounds of `step_s` seconds
+    /// each with `decoding` sequences, ending at `clock_s` with
+    /// `kv_tokens` charged. Fired **only for passive observers**
+    /// ([`Self::is_passive`]) in place of the per-iteration
+    /// [`Self::on_step`]/[`Self::on_kv_sample`] stream the stretch
+    /// skipped — a closed-form summary the [`telemetry`](super::telemetry)
+    /// layer window-buckets without forcing the fast path off.
+    fn on_stretch(
+        &mut self,
+        blade: u32,
+        clock_s: f64,
+        iterations: u64,
+        step_s: f64,
+        decoding: u32,
+        kv_tokens: u64,
+    ) {
+        let _ = (blade, clock_s, iterations, step_s, decoding, kv_tokens);
+    }
+
     /// The admission-control gate on blade `blade` dropped `request` at
     /// the instant it would otherwise have been admitted (best-effort
     /// load shedding while the strict class is below its attainment
@@ -111,13 +159,15 @@ pub trait SimObserver {
         let _ = (clock_s, active_from, active_to);
     }
 
-    /// Whether this observer ignores every callback. The event-driven
-    /// core skips per-iteration dispatch inside batched decode stretches
-    /// — including the cluster-wide leapfrog's replayed rounds — for
-    /// passive observers; real observers (returning `false`, the
-    /// default) receive the identical event stream on both cores, one
-    /// [`Self::on_step`] per decode round in true global order, with
-    /// [`Self::on_shed`] and [`Self::on_scale`] interleaved exactly
+    /// Whether this observer skips the per-iteration stream. The
+    /// event-driven core skips per-iteration dispatch inside batched
+    /// decode stretches — including the cluster-wide leapfrog's replayed
+    /// rounds — for passive observers, handing them one
+    /// [`Self::on_stretch`] summary per stretch instead; real observers
+    /// (returning `false`, the default) receive the identical event
+    /// stream on both cores, one [`Self::on_step`] (plus
+    /// [`Self::on_kv_sample`]) per decode round in true global order,
+    /// with [`Self::on_shed`] and [`Self::on_scale`] interleaved exactly
     /// where the per-step loop would fire them (stretches are truncated
     /// at every control-plane decision instant).
     fn is_passive(&self) -> bool {
@@ -135,10 +185,11 @@ impl SimObserver for NoopObserver {
     }
 }
 
-/// An observer that counts every event class — the drop-in replacement
-/// for the engine-internals peeking that benches and tests used to do.
+/// A snapshot of every callback count a [`CountingObserver`] has seen.
+/// Subtraction gives the diff between two snapshots, so tests assert on
+/// deltas instead of reaching into individual fields.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CountingObserver {
+pub struct CallbackCounts {
     /// Admissions seen (re-admissions after eviction count again).
     pub admissions: u64,
     /// Evictions seen.
@@ -149,8 +200,15 @@ pub struct CountingObserver {
     pub handoffs: u64,
     /// Request completions.
     pub completions: u64,
+    /// Per-completion outcome samples.
+    pub outcomes: u64,
     /// Engine iterations.
     pub steps: u64,
+    /// KV-occupancy samples.
+    pub kv_samples: u64,
+    /// Batched decode-stretch summaries (passive observers only, so
+    /// always 0 for a mounted `CountingObserver`).
+    pub stretches: u64,
     /// Prefix-cache hits.
     pub cache_hits: u64,
     /// Prefix-cache misses.
@@ -165,53 +223,106 @@ pub struct CountingObserver {
     pub scale_events: u64,
 }
 
+impl std::ops::Sub for CallbackCounts {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            admissions: self.admissions - rhs.admissions,
+            evictions: self.evictions - rhs.evictions,
+            chunks: self.chunks - rhs.chunks,
+            handoffs: self.handoffs - rhs.handoffs,
+            completions: self.completions - rhs.completions,
+            outcomes: self.outcomes - rhs.outcomes,
+            steps: self.steps - rhs.steps,
+            kv_samples: self.kv_samples - rhs.kv_samples,
+            stretches: self.stretches - rhs.stretches,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            cache_evictions: self.cache_evictions - rhs.cache_evictions,
+            remote_hits: self.remote_hits - rhs.remote_hits,
+            sheds: self.sheds - rhs.sheds,
+            scale_events: self.scale_events - rhs.scale_events,
+        }
+    }
+}
+
+/// An observer that counts every event class — the drop-in replacement
+/// for the engine-internals peeking that benches and tests used to do.
+/// Read the tallies through [`Self::counts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingObserver {
+    counts: CallbackCounts,
+}
+
+impl CountingObserver {
+    /// A snapshot of every tally so far ([`CallbackCounts`] subtracts,
+    /// for before/after diffs).
+    #[must_use]
+    pub fn counts(&self) -> CallbackCounts {
+        self.counts
+    }
+}
+
 impl SimObserver for CountingObserver {
     fn on_admission(&mut self, _: u32, _: f64, _: &RequestSpec) {
-        self.admissions += 1;
+        self.counts.admissions += 1;
     }
 
     fn on_eviction(&mut self, _: u32, _: f64, _: &RequestSpec, _: u32) {
-        self.evictions += 1;
+        self.counts.evictions += 1;
     }
 
     fn on_chunk(&mut self, _: u32, _: f64, _: &RequestSpec, _: u32) {
-        self.chunks += 1;
+        self.counts.chunks += 1;
     }
 
     fn on_handoff(&mut self, _: u32, _: f64, _: &RequestSpec, _: f64) {
-        self.handoffs += 1;
+        self.counts.handoffs += 1;
     }
 
     fn on_completion(&mut self, _: u32, _: f64, _: &RequestSpec) {
-        self.completions += 1;
+        self.counts.completions += 1;
+    }
+
+    fn on_outcome(&mut self, _: u32, _: f64, _: &RequestSpec, _: f64) {
+        self.counts.outcomes += 1;
     }
 
     fn on_step(&mut self, _: u32, _: f64, _: f64, _: u32) {
-        self.steps += 1;
+        self.counts.steps += 1;
+    }
+
+    fn on_kv_sample(&mut self, _: u32, _: f64, _: u64, _: u64) {
+        self.counts.kv_samples += 1;
+    }
+
+    fn on_stretch(&mut self, _: u32, _: f64, _: u64, _: f64, _: u32, _: u64) {
+        self.counts.stretches += 1;
     }
 
     fn on_cache_hit(&mut self, _: u32, _: f64, _: &RequestSpec, _: u32) {
-        self.cache_hits += 1;
+        self.counts.cache_hits += 1;
     }
 
     fn on_cache_miss(&mut self, _: u32, _: f64, _: &RequestSpec) {
-        self.cache_misses += 1;
+        self.counts.cache_misses += 1;
     }
 
     fn on_cache_evict(&mut self, _: u32, _: f64, _: u32) {
-        self.cache_evictions += 1;
+        self.counts.cache_evictions += 1;
     }
 
     fn on_remote_cache_hit(&mut self, _: u32, _: f64, _: &RequestSpec, _: u32, _: f64, _: bool) {
-        self.remote_hits += 1;
+        self.counts.remote_hits += 1;
     }
 
     fn on_shed(&mut self, _: u32, _: f64, _: &RequestSpec) {
-        self.sheds += 1;
+        self.counts.sheds += 1;
     }
 
     fn on_scale(&mut self, _: f64, _: u32, _: u32) {
-        self.scale_events += 1;
+        self.counts.scale_events += 1;
     }
 }
 
@@ -225,29 +336,41 @@ mod tests {
         let mut noop = NoopObserver;
         noop.on_admission(0, 0.0, &r);
         noop.on_step(0, 1.0, 1.0, 1);
+        noop.on_outcome(0, 1.0, &r, 0.5);
+        noop.on_kv_sample(0, 1.0, 128, 0);
+        noop.on_stretch(0, 1.0, 4, 0.25, 2, 128);
 
         let mut c = CountingObserver::default();
+        let before = c.counts();
+        assert_eq!(before, CallbackCounts::default());
         c.on_admission(0, 0.0, &r);
         c.on_eviction(0, 0.5, &r, 2);
         c.on_chunk(0, 0.5, &r, 64);
         c.on_handoff(0, 0.6, &r, 1e-6);
         c.on_completion(0, 1.0, &r);
+        c.on_outcome(0, 1.0, &r, 0.5);
         c.on_step(0, 1.0, 0.4, 3);
+        c.on_kv_sample(0, 1.0, 128, 16);
+        c.on_stretch(0, 1.0, 4, 0.25, 2, 128);
         c.on_cache_hit(0, 1.1, &r, 32);
         c.on_cache_miss(0, 1.2, &r);
         c.on_cache_evict(0, 1.3, 16);
         c.on_remote_cache_hit(0, 1.35, &r, 32, 1e-6, true);
         c.on_shed(0, 1.4, &r);
         c.on_scale(1.5, 1, 2);
+        let diff = c.counts() - before;
         assert_eq!(
-            c,
-            CountingObserver {
+            diff,
+            CallbackCounts {
                 admissions: 1,
                 evictions: 1,
                 chunks: 1,
                 handoffs: 1,
                 completions: 1,
+                outcomes: 1,
                 steps: 1,
+                kv_samples: 1,
+                stretches: 1,
                 cache_hits: 1,
                 cache_misses: 1,
                 cache_evictions: 1,

@@ -115,7 +115,12 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    pub(crate) fn of(values: &mut [f64]) -> Self {
+    /// Exact nearest-rank percentiles of `values` (sorted in place;
+    /// all-zero for an empty slice). These are the authoritative
+    /// end-of-run figures the streaming sketches in
+    /// [`telemetry`](super::telemetry) are validated against.
+    #[must_use]
+    pub fn of(values: &mut [f64]) -> Self {
         values.sort_by(f64::total_cmp);
         let at = |q: f64| -> f64 {
             if values.is_empty() {

@@ -51,6 +51,7 @@ use super::observer::{NoopObserver, SimObserver};
 use super::policy::{FcfsPolicy, SchedulerPolicy};
 use super::prefix::{CacheEviction, PrefixCachingConfig};
 use super::report::{FrontierPoint, SloClass};
+use super::telemetry::{profile, Telemetry, TelemetryConfig};
 use super::traces::{RequestSpec, TraceConfig, TraceSource};
 use crate::error::OptimusError;
 use crate::inference::InferenceEstimator;
@@ -113,6 +114,7 @@ pub struct Scenario<'a> {
     policy: PolicyFactory,
     core: SimCore,
     control: Option<ControlPlane>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl fmt::Debug for Scenario<'_> {
@@ -183,6 +185,7 @@ impl<'a> Scenario<'a> {
             policy: Box::new(|| Box::new(FcfsPolicy)),
             core: SimCore::EventDriven,
             control: None,
+            telemetry: None,
         }
     }
 
@@ -395,6 +398,17 @@ impl<'a> Scenario<'a> {
         self
     }
 
+    /// Mounts the passive [`Telemetry`] layer
+    /// ([`super::telemetry`]): windowed time-series, streaming tail
+    /// sketches and optional self-profiling, collected by
+    /// [`CompiledScenario::run_with_telemetry`]. Mounting telemetry
+    /// never changes the replay — reports stay bit-identical.
+    #[must_use]
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// The blade topology. Role-typed blades
     /// ([`BladeRole::Prefill`](super::BladeRole::Prefill) /
     /// [`BladeRole::Decode`](super::BladeRole::Decode)) switch the
@@ -582,6 +596,9 @@ impl<'a> Scenario<'a> {
                 ),
             });
         }
+        if let Some(tc) = &self.telemetry {
+            tc.validate()?;
+        }
         Ok(CompiledScenario {
             estimator: self.estimator,
             model,
@@ -598,6 +615,7 @@ impl<'a> Scenario<'a> {
             autoscale,
             link,
             global,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -621,6 +639,7 @@ pub struct CompiledScenario<'a> {
     autoscale: Option<AutoscaleConfig>,
     link: Option<HandoffLink>,
     global: Option<GlobalCacheConfig>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl fmt::Debug for CompiledScenario<'_> {
@@ -747,6 +766,67 @@ impl CompiledScenario<'_> {
         self.run_on(&self.trace, false, observer)
     }
 
+    /// Runs the scenario with the mounted [`Telemetry`] layer
+    /// ([`Scenario::telemetry`]) collecting windowed series and tail
+    /// sketches, returning the report alongside the finished collector.
+    /// Telemetry is passive, so the report is bit-identical to
+    /// [`Self::run`] / [`Self::run_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimusError::Serving`] when no telemetry was mounted;
+    /// otherwise as for [`Self::run`].
+    pub fn run_with_telemetry(&self) -> Result<(ClusterReport, Telemetry), OptimusError> {
+        self.run_observed_with_telemetry(&mut NoopObserver)
+    }
+
+    /// [`Self::run_with_telemetry`] with an additional user observer
+    /// riding the same replay (both see every event; the replay batches
+    /// decode stretches only when `observer` is passive too).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::run_with_telemetry`].
+    pub fn run_observed_with_telemetry(
+        &self,
+        observer: &mut dyn SimObserver,
+    ) -> Result<(ClusterReport, Telemetry), OptimusError> {
+        let cfg = self.telemetry.ok_or_else(|| OptimusError::Serving {
+            reason: "no telemetry mounted: build the scenario with \
+                     .telemetry(TelemetryConfig { .. })"
+                .to_owned(),
+        })?;
+        let classes = self.classes.clone().unwrap_or_else(|| {
+            vec![SloClass::new(
+                "default",
+                self.config.ttft_slo_s,
+                self.config.tpot_slo_s,
+            )]
+        });
+        let mut tel = Telemetry::new(&cfg, self.topology.blades(), &classes)?;
+        tel.set_active_blades(
+            self.autoscale
+                .map_or(self.topology.blades(), |a| a.min_blades),
+        );
+        tel.observe_arrivals(&self.trace);
+        if tel.wants_profile() {
+            profile::start();
+        }
+        let result = {
+            let mut tee = Tee {
+                tel: &mut tel,
+                user: observer,
+            };
+            self.run_on(&self.trace, false, &mut tee)
+        };
+        if tel.wants_profile() {
+            tel.set_profile(profile::stop());
+        }
+        let report = result?;
+        tel.finish();
+        Ok((report, tel))
+    }
+
     /// Replays the scenario's trace under several routing/dispatch
     /// variants of its (mixed) topology, building the iteration-cost
     /// table once — it depends only on the per-blade engine and the
@@ -859,10 +939,124 @@ impl CompiledScenario<'_> {
     }
 }
 
+/// Forwards every engine event to the telemetry collector and a user
+/// observer riding the same replay. Passive only when the user side is
+/// (telemetry itself always is), so mounting telemetry alone keeps the
+/// event core's batched fast paths.
+struct Tee<'t, 'o> {
+    tel: &'t mut Telemetry,
+    user: &'o mut dyn SimObserver,
+}
+
+impl SimObserver for Tee<'_, '_> {
+    fn on_admission(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        self.tel.on_admission(blade, clock_s, request);
+        self.user.on_admission(blade, clock_s, request);
+    }
+
+    fn on_eviction(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, wasted_tokens: u32) {
+        self.tel.on_eviction(blade, clock_s, request, wasted_tokens);
+        self.user
+            .on_eviction(blade, clock_s, request, wasted_tokens);
+    }
+
+    fn on_chunk(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, chunk_tokens: u32) {
+        self.tel.on_chunk(blade, clock_s, request, chunk_tokens);
+        self.user.on_chunk(blade, clock_s, request, chunk_tokens);
+    }
+
+    fn on_handoff(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, transfer_s: f64) {
+        self.tel.on_handoff(blade, clock_s, request, transfer_s);
+        self.user.on_handoff(blade, clock_s, request, transfer_s);
+    }
+
+    fn on_completion(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        self.tel.on_completion(blade, clock_s, request);
+        self.user.on_completion(blade, clock_s, request);
+    }
+
+    fn on_outcome(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, first_token_s: f64) {
+        self.tel.on_outcome(blade, clock_s, request, first_token_s);
+        self.user.on_outcome(blade, clock_s, request, first_token_s);
+    }
+
+    fn on_cache_hit(&mut self, blade: u32, clock_s: f64, request: &RequestSpec, cached: u32) {
+        self.tel.on_cache_hit(blade, clock_s, request, cached);
+        self.user.on_cache_hit(blade, clock_s, request, cached);
+    }
+
+    fn on_cache_miss(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        self.tel.on_cache_miss(blade, clock_s, request);
+        self.user.on_cache_miss(blade, clock_s, request);
+    }
+
+    fn on_cache_evict(&mut self, blade: u32, clock_s: f64, block_tokens: u32) {
+        self.tel.on_cache_evict(blade, clock_s, block_tokens);
+        self.user.on_cache_evict(blade, clock_s, block_tokens);
+    }
+
+    fn on_remote_cache_hit(
+        &mut self,
+        blade: u32,
+        clock_s: f64,
+        request: &RequestSpec,
+        remote_tokens: u32,
+        transfer_s: f64,
+        streamed: bool,
+    ) {
+        self.tel
+            .on_remote_cache_hit(blade, clock_s, request, remote_tokens, transfer_s, streamed);
+        self.user
+            .on_remote_cache_hit(blade, clock_s, request, remote_tokens, transfer_s, streamed);
+    }
+
+    fn on_step(&mut self, blade: u32, clock_s: f64, step_s: f64, decoding: u32) {
+        self.tel.on_step(blade, clock_s, step_s, decoding);
+        self.user.on_step(blade, clock_s, step_s, decoding);
+    }
+
+    fn on_kv_sample(&mut self, blade: u32, clock_s: f64, kv_tokens: u64, shared_tokens: u64) {
+        self.tel
+            .on_kv_sample(blade, clock_s, kv_tokens, shared_tokens);
+        self.user
+            .on_kv_sample(blade, clock_s, kv_tokens, shared_tokens);
+    }
+
+    fn on_stretch(
+        &mut self,
+        blade: u32,
+        clock_s: f64,
+        iterations: u64,
+        step_s: f64,
+        decoding: u32,
+        kv_tokens: u64,
+    ) {
+        self.tel
+            .on_stretch(blade, clock_s, iterations, step_s, decoding, kv_tokens);
+        self.user
+            .on_stretch(blade, clock_s, iterations, step_s, decoding, kv_tokens);
+    }
+
+    fn on_shed(&mut self, blade: u32, clock_s: f64, request: &RequestSpec) {
+        self.tel.on_shed(blade, clock_s, request);
+        self.user.on_shed(blade, clock_s, request);
+    }
+
+    fn on_scale(&mut self, clock_s: f64, active_from: u32, active_to: u32) {
+        self.tel.on_scale(clock_s, active_from, active_to);
+        self.user.on_scale(clock_s, active_from, active_to);
+    }
+
+    fn is_passive(&self) -> bool {
+        self.user.is_passive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::serving::observer::CountingObserver;
+    use crate::serving::telemetry::TailMetric;
     use crate::serving::{BladeRole, SjfPolicy};
     use llm_workload::model::ModelZoo;
 
@@ -1365,10 +1559,12 @@ mod tests {
             .policy(SjfPolicy)
             .compile()
             .unwrap();
-        let mut counts = CountingObserver::default();
-        let observed = compiled.run_observed(&mut counts).unwrap();
+        let mut observer = CountingObserver::default();
+        let observed = compiled.run_observed(&mut observer).unwrap();
+        let counts = observer.counts();
         assert_eq!(observed, compiled.run().unwrap(), "observers are read-only");
         assert_eq!(counts.completions, 32);
+        assert_eq!(counts.outcomes, counts.completions);
         assert!(
             counts.handoffs >= 32,
             "every request streams through the fabric at least once, got {}",
@@ -1376,5 +1572,65 @@ mod tests {
         );
         assert!(counts.admissions >= 32);
         assert!(counts.steps > 0);
+        assert_eq!(
+            counts.kv_samples, counts.steps,
+            "one occupancy gauge per dispatched iteration"
+        );
+        assert_eq!(counts.stretches, 0, "summaries are for passive observers");
+    }
+
+    #[test]
+    fn telemetry_mounts_passively_and_sums_match_the_report() {
+        let (system, model, par) = parts();
+        let base = || scenario(&system, &model, &par).policy(SjfPolicy);
+        let plain = base().compile().unwrap().run().unwrap();
+        let compiled = base()
+            .telemetry(TelemetryConfig {
+                window_s: 0.05,
+                max_windows: 128,
+                profile: true,
+            })
+            .compile()
+            .unwrap();
+        let (report, tel) = compiled.run_with_telemetry().unwrap();
+        assert_eq!(report, plain, "telemetry must be bit-inert");
+        let windows = tel.cluster_windows();
+        let completions: u64 = windows.iter().map(|w| w.completions).sum();
+        assert_eq!(completions, u64::from(report.report.completed));
+        let arrivals: u64 = windows.iter().map(|w| w.arrivals).sum();
+        assert_eq!(arrivals, compiled.trace().len() as u64);
+        let tail = tel.tail(TailMetric::Latency);
+        assert_eq!(tail.count, u64::from(report.report.completed));
+        // Under 5 observations the sketch is exact nearest-rank; at 32
+        // it is converged enough to land inside the observed range.
+        let p99 = tail.p99.unwrap();
+        assert!(p99 > 0.0 && p99 <= report.report.latency.p99 * 1.5);
+        // The profile was captured around the replay (all-zero only
+        // when the self-profile feature is compiled out).
+        let profile = tel.profile().expect("profile requested");
+        #[cfg(feature = "self-profile")]
+        {
+            assert!(profile.admission_rounds > 0, "every step scans admission");
+            assert!(profile.admission_s >= 0.0);
+        }
+        #[cfg(not(feature = "self-profile"))]
+        assert!(profile.is_empty());
+    }
+
+    #[test]
+    fn telemetry_requires_mounting_and_valid_dials() {
+        let (system, model, par) = parts();
+        let compiled = scenario(&system, &model, &par).compile().unwrap();
+        assert!(matches!(
+            compiled.run_with_telemetry(),
+            Err(OptimusError::Serving { .. })
+        ));
+        let bad = scenario(&system, &model, &par)
+            .telemetry(TelemetryConfig {
+                window_s: 0.0,
+                ..TelemetryConfig::default()
+            })
+            .compile();
+        assert!(matches!(bad, Err(OptimusError::Serving { .. })));
     }
 }

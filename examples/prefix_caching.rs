@@ -37,8 +37,9 @@ fn main() -> Result<(), optimus::OptimusError> {
 
     let plain = scenario().compile()?.run()?.report;
     let compiled = scenario().prefix_caching(16).compile()?; // 16-token shared blocks
-    let mut counts = CountingObserver::default();
-    let cached = compiled.run_observed(&mut counts)?.report;
+    let mut observer = CountingObserver::default();
+    let cached = compiled.run_observed(&mut observer)?.report;
+    let counts = observer.counts();
 
     println!("uncached: {plain}");
     println!("cached:   {cached}");

@@ -63,9 +63,10 @@ fn main() -> Result<(), optimus::OptimusError> {
     }
 
     // The observer seam: re-run with event counting (bit-identical).
-    let mut counts = CountingObserver::default();
-    let observed = compiled.run_observed(&mut counts)?;
+    let mut observer = CountingObserver::default();
+    let observed = compiled.run_observed(&mut observer)?;
     assert_eq!(observed, report);
+    let counts = observer.counts();
     println!(
         "  events: {} admissions, {} chunks, {} handoffs, {} completions over {} steps",
         counts.admissions, counts.chunks, counts.handoffs, counts.completions, counts.steps

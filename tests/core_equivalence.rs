@@ -429,9 +429,9 @@ fn observer_event_streams_are_identical_between_cores() {
             .core(core)
             .compile()
             .unwrap();
-        let mut counts = CountingObserver::default();
-        let report = compiled.run_observed(&mut counts).unwrap();
-        (report, counts)
+        let mut observer = CountingObserver::default();
+        let report = compiled.run_observed(&mut observer).unwrap();
+        (report, observer.counts())
     };
     let (event_report, event_counts) = run(SimCore::EventDriven);
     let (step_report, step_counts) = run(SimCore::PerStep);
@@ -463,9 +463,9 @@ fn cluster_observer_event_streams_are_identical_between_cores() {
     fn check<'a>(label: &str, build: &dyn Fn() -> Scenario<'a>) {
         let run = |core: SimCore| {
             let compiled = build().core(core).compile().unwrap();
-            let mut counts = CountingObserver::default();
-            let report = compiled.run_observed(&mut counts).unwrap();
-            (report, counts)
+            let mut observer = CountingObserver::default();
+            let report = compiled.run_observed(&mut observer).unwrap();
+            (report, observer.counts())
         };
         let (event_report, event_counts) = run(SimCore::EventDriven);
         let (step_report, step_counts) = run(SimCore::PerStep);
@@ -629,13 +629,13 @@ proptest! {
         };
         let run = |core: SimCore| {
             let compiled = build().core(core).compile().unwrap();
-            let mut counts = CountingObserver::default();
+            let mut observer = CountingObserver::default();
             let report = if observed {
-                compiled.run_observed(&mut counts).unwrap()
+                compiled.run_observed(&mut observer).unwrap()
             } else {
                 compiled.run().unwrap()
             };
-            (report, counts)
+            (report, observer.counts())
         };
         let (event, event_counts) = run(SimCore::EventDriven);
         let (per_step, step_counts) = run(SimCore::PerStep);

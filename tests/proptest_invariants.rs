@@ -427,6 +427,95 @@ proptest! {
         prop_assert_eq!(&plain, &fair);
     }
 
+    /// Telemetry inertness: mounting the passive telemetry collector at
+    /// any resolution leaves the report bit-identical AND the callback
+    /// stream a co-mounted observer sees unchanged, across the
+    /// policy × topology × core matrix. The collector itself must agree
+    /// with the report on conserved totals and honor its memory bound.
+    #[test]
+    fn telemetry_mounting_is_bit_inert(
+        seed in 0u64..16,
+        rate in 50.0f64..400.0,
+        window_exp in 0i32..5,
+        topology in 0u8..3,
+        policy in 0u8..3,
+        event in any::<bool>(),
+    ) {
+        use optimus::serving::{
+            AutoscaleConfig, ControlPlane, CountingObserver, DispatchMode, Scenario, SimCore,
+            SjfPolicy, TelemetryConfig, Topology, TraceConfig, WeightedFairPolicy,
+        };
+        let system =
+            optimus::MultiBladeSystem::new(if topology == 0 { 1 } else { 4 }).expect("valid");
+        let model = ModelZoo::llama2_7b();
+        let par = Parallelism::new(1, 1, 1).expect("valid");
+        let core = if event { SimCore::EventDriven } else { SimCore::PerStep };
+        let cfg = TelemetryConfig {
+            window_s: 0.0625 * f64::powi(2.0, window_exp),
+            max_windows: 32,
+            profile: false,
+        };
+        let mk = || {
+            let mut s = Scenario::new(&system)
+                .model(&model)
+                .parallelism(&par)
+                .max_batch(4)
+                .unconstrained_kv()
+                .core(core)
+                .poisson(TraceConfig {
+                    seed,
+                    requests: 16,
+                    arrival_rate_per_s: rate,
+                    prompt_tokens: (16, 192),
+                    output_tokens: (4, 32),
+                });
+            s = match topology {
+                0 => s,
+                // The autoscaler keeps the control plane exercised and
+                // needs central dispatch; control planes don't compose
+                // with the disaggregated loop.
+                1 => s.dispatch(DispatchMode::Central).control(ControlPlane::new().autoscale(
+                    AutoscaleConfig::new(1, 4).with_watermarks(1, 4).with_warmup(0.1),
+                )),
+                _ => s.topology(Topology::disaggregated(1, 3)),
+            };
+            match policy {
+                0 => s,
+                1 => s.policy(SjfPolicy),
+                _ => s.policy(WeightedFairPolicy::new()),
+            }
+        };
+        let plain = mk().compile().expect("valid").run_serial().expect("replays");
+        let (mounted, tel) = mk()
+            .telemetry(cfg)
+            .compile()
+            .expect("valid")
+            .run_with_telemetry()
+            .expect("replays");
+        prop_assert_eq!(&plain, &mounted);
+        // The callback stream a user observer sees is also untouched.
+        let mut solo = CountingObserver::default();
+        mk().compile().expect("valid").run_observed(&mut solo).expect("replays");
+        let mut tee = CountingObserver::default();
+        mk().telemetry(cfg)
+            .compile()
+            .expect("valid")
+            .run_observed_with_telemetry(&mut tee)
+            .expect("replays");
+        prop_assert_eq!(solo.counts(), tee.counts());
+        // Collector consistency: conserved totals and the memory bound.
+        let windows = tel.cluster_windows();
+        prop_assert!(windows.len() <= 32);
+        prop_assert_eq!(
+            windows.iter().map(|w| w.completions).sum::<u64>(),
+            u64::from(mounted.report.completed)
+        );
+        prop_assert_eq!(
+            windows.iter().map(|w| w.sheds).sum::<u64>(),
+            mounted.report.shed_requests
+        );
+    }
+
     /// The shedding gate never drops a strict-class request, sheds are
     /// conserved (completed + shed == requests, globally and per class),
     /// and both cores agree on every shed decision.
@@ -639,8 +728,9 @@ proptest! {
             .requests(trace.clone())
             .compile()
             .expect("valid scenario");
-        let mut counts = CountingObserver::default();
-        let r = compiled.run_observed(&mut counts).expect("replays").report;
+        let mut observer = CountingObserver::default();
+        let r = compiled.run_observed(&mut observer).expect("replays").report;
+        let counts = observer.counts();
         prop_assert_eq!(r.completed, 10);
         prop_assert!(r.kv_peak_bytes <= capacity * (1.0 + 1e-12));
         prop_assert!(r.kv_shared_peak_bytes <= r.kv_peak_bytes + 1e-9);
